@@ -1,0 +1,109 @@
+//! Decoder performance benches: full-frame software decode versus the
+//! regional-pixel fraction (the paper's §6.3 claim that the software
+//! decoder "linearly scales in time to the amount of regional pixels"),
+//! random-access reads through the PMMU, and the reconstruction-mode
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpr_core::{
+    PixelMmu, PixelRequest, ReconstructionMode, RegionLabel, RegionList, RhythmicEncoder,
+    SoftwareDecoder,
+};
+use rpr_frame::{GrayFrame, Plane};
+use std::time::Duration;
+
+const W: u32 = 640;
+const H: u32 = 480;
+
+fn frame() -> GrayFrame {
+    Plane::from_fn(W, H, |x, y| (x ^ y) as u8)
+}
+
+/// A region list covering roughly `percent` % of the frame at full
+/// resolution.
+fn coverage_regions(percent: u32) -> RegionList {
+    let rows = H * percent / 100;
+    RegionList::new_lossy(W, H, vec![RegionLabel::new(0, 0, W, rows.max(1), 1, 1)])
+}
+
+fn bench_decode_scaling(c: &mut Criterion) {
+    let frame = frame();
+    let mut group = c.benchmark_group("decoder/regional_fraction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for percent in [10u32, 30, 60, 100] {
+        let mut enc = RhythmicEncoder::new(W, H);
+        let encoded = enc.encode(&frame, 0, &coverage_regions(percent));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(percent),
+            &encoded,
+            |b, encoded| {
+                let mut dec = SoftwareDecoder::new(W, H);
+                b.iter(|| dec.decode(encoded));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reconstruction_modes(c: &mut Criterion) {
+    let frame = frame();
+    let regions = RegionList::new_lossy(W, H, vec![RegionLabel::new(0, 0, W, H, 2, 1)]);
+    let mut enc = RhythmicEncoder::new(W, H);
+    let encoded = enc.encode(&frame, 0, &regions);
+    let mut group = c.benchmark_group("decoder/reconstruction_mode");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (name, mode) in [
+        ("block_nearest", ReconstructionMode::BlockNearest),
+        ("fifo_replicate", ReconstructionMode::FifoReplicate),
+    ] {
+        group.bench_function(name, |b| {
+            let mut dec = SoftwareDecoder::with_mode(W, H, mode);
+            b.iter(|| dec.decode(&encoded));
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let frame = frame();
+    let mut enc = RhythmicEncoder::new(W, H);
+    let encoded = enc.encode(&frame, 0, &coverage_regions(50));
+    let mut dec = SoftwareDecoder::new(W, H);
+    dec.decode(&encoded);
+    let mut group = c.benchmark_group("decoder/pmmu");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("single_pixel", |b| {
+        let mut mmu = PixelMmu::new(W, H);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % (W * H);
+            dec.read_pixel(&mut mmu, i % W, i / W).unwrap()
+        });
+    });
+    group.bench_function("row_burst_translate", |b| {
+        let mut mmu = PixelMmu::new(W, H);
+        let mut y = 0u32;
+        b.iter(|| {
+            y = (y + 7) % H;
+            mmu.analyze(dec.history(), PixelRequest::row(y, W)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_scaling,
+    bench_reconstruction_modes,
+    bench_random_access
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Encoder performance benches: throughput versus region count for the
+//! hybrid (shortlisting) engine, the run-length-reuse ablation, and the
+//! streaming-vs-batch interface — the software counterpart of the
+//! paper's Table 5 / §6.3 scalability story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpr_core::{
+    EncoderConfig, EngineKind, RegionLabel, RegionList, RhythmicEncoder, StreamingEncoder,
+};
+use rpr_frame::{GrayFrame, Plane};
+use std::time::Duration;
+
+const W: u32 = 640;
+const H: u32 = 480;
+
+fn frame() -> GrayFrame {
+    Plane::from_fn(W, H, |x, y| (x.wrapping_mul(31) ^ y.wrapping_mul(17)) as u8)
+}
+
+fn scattered_regions(n: u32) -> RegionList {
+    let labels: Vec<RegionLabel> = (0..n)
+        .map(|i| {
+            let x = (i.wrapping_mul(97)) % (W - 32);
+            let y = (i.wrapping_mul(61)) % (H - 32);
+            RegionLabel::new(x, y, 24 + i % 16, 24 + i % 12, 1 + i % 4, 1 + i % 3)
+        })
+        .collect();
+    RegionList::new_lossy(W, H, labels)
+}
+
+fn bench_region_scaling(c: &mut Criterion) {
+    let frame = frame();
+    let mut group = c.benchmark_group("encoder/region_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+        .throughput(Throughput::Elements(u64::from(W) * u64::from(H)));
+    for n in [10u32, 100, 400, 1600] {
+        let regions = scattered_regions(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &regions, |b, regions| {
+            let mut enc = RhythmicEncoder::new(W, H);
+            b.iter(|| enc.encode(&frame, 1, regions));
+        });
+    }
+    group.finish();
+}
+
+fn bench_run_length_ablation(c: &mut Criterion) {
+    let frame = frame();
+    let regions = scattered_regions(400);
+    let mut group = c.benchmark_group("encoder/run_length_reuse");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (name, reuse) in [("with_reuse", true), ("without_reuse", false)] {
+        let config = EncoderConfig { engine: EngineKind::Hybrid, run_length_reuse: reuse };
+        group.bench_function(name, |b| {
+            let mut enc = RhythmicEncoder::with_config(W, H, config);
+            b.iter(|| enc.encode(&frame, 1, &regions));
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_interface(c: &mut Criterion) {
+    let frame = frame();
+    let regions = scattered_regions(100);
+    let mut group = c.benchmark_group("encoder/interface");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("batch", |b| {
+        let mut enc = RhythmicEncoder::new(W, H);
+        b.iter(|| enc.encode(&frame, 1, &regions));
+    });
+    group.bench_function("streaming_per_pixel", |b| {
+        b.iter(|| {
+            let mut enc = StreamingEncoder::begin(W, H, 1, regions.clone());
+            for &px in frame.as_slice() {
+                enc.push(px);
+            }
+            enc.finish()
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    let frame = frame();
+    let full = RegionList::full_frame(W, H);
+    let mut group = c.benchmark_group("encoder/full_frame");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+        .throughput(Throughput::Bytes(u64::from(W) * u64::from(H)));
+    group.bench_function("vga", |b| {
+        let mut enc = RhythmicEncoder::new(W, H);
+        b.iter(|| enc.encode(&frame, 0, &full));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_region_scaling,
+    bench_run_length_ablation,
+    bench_streaming_interface,
+    bench_full_frame
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! End-to-end pipeline benches: scene rendering, the sensor + ISP
+//! front end, and the full capture chain
+//! (render → Bayer → ISP → encode → decode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpr_core::{RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder};
+use rpr_isp::{IspConfig, IspPipeline};
+use rpr_sensor::{CameraPose, ImageSensor, SensorConfig, TextureWorld};
+use std::time::Duration;
+
+const W: u32 = 320;
+const H: u32 = 240;
+
+fn bench_front_end(c: &mut Criterion) {
+    let world = TextureWorld::generate(1024, 1024, 7);
+    let pose = CameraPose::new(512.0, 512.0, 0.2);
+    let sensor = ImageSensor::new(SensorConfig {
+        width: W,
+        height: H,
+        read_noise_sigma: 1.5,
+        seed: 3,
+    });
+    let isp = IspPipeline::new(IspConfig::default());
+
+    let mut group = c.benchmark_group("pipeline/front_end");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("render_view", |b| {
+        b.iter(|| world.render_view(&pose, W, H));
+    });
+    let scene = world.render_view(&pose, W, H);
+    group.bench_function("bayer_capture", |b| {
+        b.iter(|| sensor.capture(&scene, 0));
+    });
+    let raw = sensor.capture(&scene, 0);
+    group.bench_function("isp_process", |b| {
+        b.iter(|| isp.process(&raw));
+    });
+    group.finish();
+}
+
+fn bench_capture_chain(c: &mut Criterion) {
+    let world = TextureWorld::generate(1024, 1024, 7);
+    let sensor = ImageSensor::new(SensorConfig {
+        width: W,
+        height: H,
+        read_noise_sigma: 1.5,
+        seed: 3,
+    });
+    let isp = IspPipeline::new(IspConfig::default());
+    let regions = RegionList::new_lossy(
+        W,
+        H,
+        (0..60)
+            .map(|i| RegionLabel::new((i * 37) % (W - 32), (i * 53) % (H - 32), 28, 28, 1 + i % 3, 1 + i % 2))
+            .collect(),
+    );
+
+    let mut group = c.benchmark_group("pipeline/end_to_end");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    group.bench_function("sensor_isp_encode_decode", |b| {
+        let mut enc = RhythmicEncoder::new(W, H);
+        let mut dec = SoftwareDecoder::new(W, H);
+        let mut t = 0u64;
+        b.iter(|| {
+            let pose = CameraPose::new(400.0 + t as f64, 512.0, 0.1);
+            let scene = world.render_view(&pose, W, H);
+            let raw = sensor.capture(&scene, t);
+            let out = isp.process(&raw);
+            let encoded = enc.encode(&out.luma, t, &regions);
+            t += 1;
+            dec.decode(&encoded)
+        });
+    });
+    group.finish();
+}
+
+fn bench_h264_baseline(c: &mut Criterion) {
+    use rpr_workloads::{H264Model, H264Quality};
+    let world = TextureWorld::generate(1024, 1024, 9);
+    let frames: Vec<_> = (0..4)
+        .map(|t| world.render_view_gray(&CameraPose::new(400.0 + t as f64 * 3.0, 512.0, 0.0), W, H))
+        .collect();
+    let mut group = c.benchmark_group("pipeline/h264");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    group.bench_function("zero_motion", |b| {
+        b.iter(|| {
+            let mut codec = H264Model::new(H264Quality::Medium, 10);
+            frames.iter().map(|f| codec.encode(f).bits).sum::<u64>()
+        });
+    });
+    group.bench_function("motion_compensated_r8", |b| {
+        b.iter(|| {
+            let mut codec = H264Model::new(H264Quality::Medium, 10).with_motion_search(8);
+            frames.iter().map(|f| codec.encode(f).bits).sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_front_end, bench_capture_chain, bench_h264_baseline);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Runtime/policy overhead benches: planning region labels from
+//! hundreds of features, the "OS level" validation + y-sorting the
+//! runtime performs, register-file programming, and the multi-ROI
+//! k-means clustering — the software costs of the paper's §4.3 runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpr_core::{
+    CycleLengthPolicy, Feature, FeaturePolicy, Policy, PolicyContext, RegionList,
+    RegionRuntime,
+};
+use rpr_vision::kmeans;
+use std::time::Duration;
+
+const W: u32 = 1920;
+const H: u32 = 1080;
+
+fn features(n: usize) -> Vec<Feature> {
+    (0..n)
+        .map(|i| {
+            Feature::new(
+                ((i * 131) % (W as usize - 40)) as f64,
+                ((i * 197) % (H as usize - 40)) as f64,
+                24.0 + (i % 50) as f64,
+            )
+            .with_octave((i % 4) as u32)
+            .with_displacement((i % 8) as f64)
+        })
+        .collect()
+}
+
+fn bench_policy_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy/plan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for n in [100usize, 500, 1500] {
+        let ctx = PolicyContext {
+            frame_idx: 3,
+            width: W,
+            height: H,
+            features: features(n),
+            detections: vec![],
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ctx, |b, ctx| {
+            let mut policy = CycleLengthPolicy::new(10, FeaturePolicy::new());
+            b.iter(|| policy.plan(ctx));
+        });
+    }
+    group.finish();
+}
+
+fn bench_runtime_programming(c: &mut Criterion) {
+    let mut policy = FeaturePolicy::new();
+    let ctx = PolicyContext {
+        frame_idx: 1,
+        width: W,
+        height: H,
+        features: features(973), // the paper's SLAM average
+        detections: vec![],
+    };
+    let list: RegionList = policy.plan(&ctx);
+    let labels = list.labels().to_vec();
+
+    let mut group = c.benchmark_group("policy/runtime");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("set_region_labels_973", |b| {
+        let mut rt = RegionRuntime::new(W, H);
+        b.iter(|| rt.set_region_labels(labels.clone()).unwrap());
+    });
+    group.bench_function("validate_sort_973", |b| {
+        b.iter(|| RegionList::new_lossy(W, H, labels.clone()));
+    });
+    group.finish();
+}
+
+fn bench_multiroi_clustering(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = features(973).iter().map(|f| (f.x, f.y)).collect();
+    let mut group = c.benchmark_group("policy/kmeans");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("cluster_973_into_16", |b| {
+        b.iter(|| kmeans(&pts, 16, 20, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_planning,
+    bench_runtime_programming,
+    bench_multiroi_clustering
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Vision-stack kernel benches: the per-frame costs behind the three
+//! workloads (FAST detection, full ORB, descriptor matching, RANSAC
+//! motion estimation, blob detection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpr_frame::Plane;
+use rpr_sensor::{CameraPose, TextureWorld};
+use rpr_vision::{
+    detect_blobs, detect_fast, estimate_rigid_motion, match_descriptors, FastConfig,
+    OrbDetector,
+};
+use std::time::Duration;
+
+const W: u32 = 320;
+const H: u32 = 240;
+
+fn bench_kernels(c: &mut Criterion) {
+    let world = TextureWorld::generate(1024, 1024, 5);
+    let frame_a = world.render_view_gray(&CameraPose::new(500.0, 500.0, 0.0), W, H);
+    let frame_b = world.render_view_gray(&CameraPose::new(504.0, 502.0, 0.01), W, H);
+
+    let mut group = c.benchmark_group("vision");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    group.bench_function("fast_detect", |b| {
+        b.iter(|| detect_fast(&frame_a, &FastConfig::default()));
+    });
+
+    let orb = OrbDetector::default();
+    group.bench_function("orb_detect", |b| {
+        b.iter(|| orb.detect(&frame_a));
+    });
+
+    let feats_a = orb.detect(&frame_a);
+    let feats_b = orb.detect(&frame_b);
+    group.bench_function("match_descriptors", |b| {
+        b.iter(|| match_descriptors(&feats_a, &feats_b, 64, 0.8));
+    });
+
+    let matches = match_descriptors(&feats_a, &feats_b, 64, 0.8);
+    let pairs: Vec<((f64, f64), (f64, f64))> = matches
+        .iter()
+        .map(|m| {
+            let p = feats_a[m.query].keypoint;
+            let q = feats_b[m.train].keypoint;
+            ((p.x, p.y), (q.x, q.y))
+        })
+        .collect();
+    group.bench_function("ransac_rigid", |b| {
+        b.iter(|| estimate_rigid_motion(&pairs, 150, 2.0, 9));
+    });
+
+    let blob_frame = Plane::from_fn(W, H, |x, y| {
+        if (x / 40 + y / 40) % 3 == 0 {
+            220
+        } else {
+            40
+        }
+    });
+    group.bench_function("blob_detect", |b| {
+        b.iter(|| detect_blobs(&blob_frame, 128, 16));
+    });
+
+    group.bench_function("block_motion_16px_r8", |b| {
+        b.iter(|| rpr_vision::estimate_block_motion(&frame_a, &frame_b, 16, 8));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

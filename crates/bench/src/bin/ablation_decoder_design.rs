@@ -1,0 +1,94 @@
+//! Ablation: EncMask-driven decoding (the paper's design) vs the
+//! rejected region-label-search translation (§3.3): "this would limit
+//! decoder scalability, as the complexity of the search operation
+//! quickly grows with additional regions".
+//!
+//! Both decoders reconstruct identical frames; the table shows how the
+//! label-search translation cost climbs with region count while the
+//! EncMask path stays flat.
+
+use rpr_bench::print_table;
+use rpr_core::{
+    LabelSearchDecoder, RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder,
+};
+use rpr_frame::Plane;
+use std::time::Instant;
+
+const W: u32 = 320;
+const H: u32 = 240;
+
+fn regions(n: u32) -> RegionList {
+    RegionList::new_lossy(
+        W,
+        H,
+        (0..n)
+            .map(|i| {
+                RegionLabel::new(
+                    (i * 131) % (W - 16),
+                    (i * 73) % (H - 16),
+                    12,
+                    12,
+                    1 + i % 3,
+                    1 + i % 2,
+                )
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let frame = Plane::from_fn(W, H, |x, y| ((x * 7) ^ (y * 3)) as u8);
+    let mut rows = Vec::new();
+    for n in [10u32, 50, 200, 800] {
+        let list = regions(n);
+        let mut encoder = RhythmicEncoder::new(W, H);
+        let encoded = encoder.encode(&frame, 0, &list);
+
+        // EncMask path.
+        let mut mask_dec = SoftwareDecoder::new(W, H);
+        let t0 = Instant::now();
+        let reps = 10;
+        for _ in 0..reps {
+            std::hint::black_box(mask_dec.decode(&encoded));
+        }
+        let mask_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+        // Label-search path.
+        let mut label_dec = LabelSearchDecoder::new(W, H);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(label_dec.decode(&encoded, &list));
+        }
+        let label_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+        // Equivalence sanity check.
+        let mut a = SoftwareDecoder::new(W, H);
+        let mut b = LabelSearchDecoder::new(W, H);
+        assert_eq!(a.decode(&encoded), b.decode(&encoded, &list));
+
+        rows.push(vec![
+            list.len().to_string(),
+            format!("{mask_ms:.2}"),
+            format!("{label_ms:.2}"),
+            format!("{:.2}", label_dec.stats().comparisons_per_pixel()),
+            format!("{:.1}x", label_ms / mask_ms.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Ablation — decoder address translation design",
+        &[
+            "#regions",
+            "EncMask decode (ms)",
+            "label-search decode (ms)",
+            "label comparisons/px",
+            "slowdown",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe EncMask decoder's cost is region-count independent (paper §6.3:\n\
+         'our decoder design is agnostic to the number of regions'); the\n\
+         label-search alternative pays per-pixel region comparisons that grow\n\
+         with the live-region density — the §3.3 scalability argument."
+    );
+}

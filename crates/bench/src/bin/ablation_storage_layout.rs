@@ -1,0 +1,112 @@
+//! Ablation: raster-packed encoded frames vs per-region grouped
+//! storage (the multi-ROI memory layout the paper argues against in
+//! §3.2: grouped storage "creates unfavorable random access patterns
+//! into DRAM" and duplicates overlapping pixels, while raster packing
+//! "retains sequential write patterns").
+//!
+//! Both layouts store the same captured content from a real SLAM
+//! region schedule; the burst-level DRAM model counts the writes.
+
+use rpr_bench::{print_table, Scale};
+use rpr_core::{CycleLengthPolicy, Feature, FeaturePolicy, Policy, PolicyContext, RhythmicEncoder};
+use rpr_memsim::{DmaWriter, DramConfig, DramModel};
+use rpr_workloads::datasets::VideoDataset;
+use rpr_vision::OrbDetector;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = scale.slam(0);
+    let (w, h) = (ds.width(), ds.height());
+
+    // Real feature-derived regions from frame 0.
+    let frame = ds.frame(0);
+    let features: Vec<Feature> = OrbDetector::default()
+        .detect(&frame)
+        .iter()
+        .map(|f| Feature {
+            x: f.keypoint.x,
+            y: f.keypoint.y,
+            size: f.keypoint.size,
+            octave: f.keypoint.octave,
+            // Fast features → skip 1, so every region samples on the
+            // frame we encode (the layouts must store identical content).
+            displacement: 8.0,
+        })
+        .collect();
+    let mut policy = CycleLengthPolicy::new(10, FeaturePolicy::new());
+    let regions = policy.plan(&PolicyContext {
+        frame_idx: 3,
+        width: w,
+        height: h,
+        features,
+        detections: vec![],
+    });
+    let mut encoder = RhythmicEncoder::new(w, h);
+    let encoded = encoder.encode(&ds.frame(3), 3, &regions);
+
+    // Layout A: raster-packed via line-buffered DMA (the paper's design).
+    let mut packed = DmaWriter::new(DramConfig::default(), 0x1000_0000);
+    for y in 0..h {
+        let span = encoded.metadata().row_offsets.row_span(y);
+        packed.push(span.len() as u64);
+        packed.end_line();
+    }
+    let packed_stats = *packed.dram_stats();
+
+    // Layout B: per-region grouped — each region's pixels written as an
+    // independently-addressed chunk (overlaps duplicated), regions
+    // scattered across the framebuffer heap.
+    let mut grouped = DramModel::new(DramConfig::default());
+    let chunks: Vec<(u64, u64)> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (0x2000_0000 + i as u64 * 1_048_576, r.kept_pixels()))
+        .collect();
+    grouped.write_scattered(&chunks);
+    let grouped_stats = *grouped.stats();
+
+    print_table(
+        &format!(
+            "Ablation — encoded-frame storage layout ({} regions, {}x{} frame)",
+            regions.len(),
+            w,
+            h
+        ),
+        &["layout", "bytes written", "write bursts", "row activations", "burst efficiency"],
+        &[
+            vec![
+                "raster-packed (paper)".into(),
+                packed_stats.bytes_written.to_string(),
+                packed_stats.write_bursts.to_string(),
+                packed_stats.row_activations.to_string(),
+                format!(
+                    "{:.2}",
+                    packed_stats.bytes_written as f64
+                        / (packed_stats.write_bursts * 64).max(1) as f64
+                ),
+            ],
+            vec![
+                "per-region grouped (multi-ROI style)".into(),
+                grouped_stats.bytes_written.to_string(),
+                grouped_stats.write_bursts.to_string(),
+                grouped_stats.row_activations.to_string(),
+                format!(
+                    "{:.2}",
+                    grouped_stats.bytes_written as f64
+                        / (grouped_stats.write_bursts * 64).max(1) as f64
+                ),
+            ],
+        ],
+    );
+    println!(
+        "\nduplicated overlap bytes in grouped layout: {} ({:+.0}% vs packed)",
+        grouped_stats.bytes_written as i64 - packed_stats.bytes_written as i64,
+        (grouped_stats.bytes_written as f64 / packed_stats.bytes_written.max(1) as f64 - 1.0)
+            * 100.0
+    );
+    println!(
+        "row activations: grouped pays {:.1}x the packed layout's — the paper's\n\
+         'unfavorable random access patterns into DRAM' made measurable.",
+        grouped_stats.row_activations as f64 / packed_stats.row_activations.max(1) as f64
+    );
+}

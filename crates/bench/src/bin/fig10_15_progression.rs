@@ -1,0 +1,48 @@
+//! Reproduces paper Figs. 10–15: the per-frame captured-pixel
+//! progression across one capture cycle for two sequences of each
+//! workload (full captures read 100 %, intermediate feature-guided
+//! frames read ~20–45 %).
+
+use rpr_bench::Scale;
+use rpr_workloads::progression::{format_progression, progression_series};
+use rpr_workloads::tasks::{run_face, run_pose, run_slam};
+use rpr_workloads::Baseline;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cl = 6u64; // the paper's strips show 7 frames: full, 5 regional, full
+    let rp = Baseline::Rp { cycle_length: cl };
+
+    println!("=== Figs. 10-15 — captured pixels per frame across one cycle (RP{cl}) ===");
+    println!("paper examples: 100% 37% 31% 34% 27% 35% 100% (SLAM, freiburg1-xyz)\n");
+
+    for seq in 0..2usize {
+        let out = run_slam(&scale.slam(seq), rp);
+        print_strip(&format!("Fig. {} — Visual SLAM, slam-seq{seq}", 10 + seq), &out
+            .measurements
+            .captured_fractions, cl);
+    }
+    for seq in 0..2usize {
+        let out = run_pose(&scale.pose(seq), rp);
+        print_strip(
+            &format!("Fig. {} — Human pose estimation, pose-seq{seq}", 12 + seq),
+            &out.measurements.captured_fractions,
+            cl,
+        );
+    }
+    for seq in 0..2usize {
+        let out = run_face(&scale.face(seq), rp);
+        print_strip(
+            &format!("Fig. {} — Face detection, face-seq{seq}", 14 + seq),
+            &out.measurements.captured_fractions,
+            cl,
+        );
+    }
+}
+
+fn print_strip(title: &str, fractions: &[f64], cl: u64) {
+    match progression_series(fractions, cl, cl as usize) {
+        Some(window) => println!("{title}:\n  {}", format_progression(&window)),
+        None => println!("{title}: sequence too short"),
+    }
+}

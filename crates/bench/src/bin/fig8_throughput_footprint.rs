@@ -1,0 +1,84 @@
+//! Reproduces paper Fig. 8: pixel-memory throughput (MB/s) and memory
+//! footprint (MB) for every baseline on the three workloads.
+//!
+//! Expected shape (the paper's claims): RPx cuts traffic and footprint
+//! vs FCH, more with higher cycle length (5–10 % per +5 CL); multi-ROI
+//! costs more than RP (substantially more for SLAM's hundreds of
+//! regions); H.264 is the most traffic-hungry because it streams
+//! multiple frames per coded frame.
+
+use rpr_bench::{print_table, Scale};
+use rpr_workloads::tasks::{run_face, run_pose, run_slam};
+use rpr_workloads::{Baseline, ExperimentResult};
+use std::collections::BTreeMap;
+
+fn result_rows(results: &[ExperimentResult]) -> Vec<Vec<String>> {
+    results
+        .iter()
+        .map(|r| {
+            vec![
+                r.baseline.clone(),
+                format!("{:.2}", r.throughput_mb_s()),
+                format!("{:.3}", r.mean_footprint_mb()),
+                format!("{:.3}", r.measurements.peak_footprint_bytes as f64 / 1e6),
+                format!("{:.0}%", r.measurements.mean_captured_fraction() * 100.0),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Per-task FCL factors mirroring the paper: 4K->480p for SLAM,
+    // 720p/SVGA->240p for pose and face.
+    let slam_baselines = Baseline::paper_set(4);
+    let det_baselines = Baseline::paper_set(3);
+    let header = ["baseline", "throughput MB/s", "mean footprint MB", "peak MB", "px captured"];
+
+    // (a) Visual SLAM.
+    let slam_ds = scale.slam(0);
+    let slam: Vec<ExperimentResult> = slam_baselines
+        .iter()
+        .map(|&b| {
+            let out = run_slam(&slam_ds, b);
+            ExperimentResult::new("visual-slam", "slam-0", b, BTreeMap::new(), out.measurements)
+        })
+        .collect();
+    print_table("Fig. 8(a) — Visual SLAM", &header, &result_rows(&slam));
+
+    // (b) Human pose estimation.
+    let pose_ds = scale.pose(0);
+    let pose: Vec<ExperimentResult> = det_baselines
+        .iter()
+        .map(|&b| {
+            let out = run_pose(&pose_ds, b);
+            ExperimentResult::new("pose", "pose-0", b, BTreeMap::new(), out.measurements)
+        })
+        .collect();
+    print_table("Fig. 8(b) — Human pose estimation", &header, &result_rows(&pose));
+
+    // (c) Face detection.
+    let face_ds = scale.face(0);
+    let face: Vec<ExperimentResult> = det_baselines
+        .iter()
+        .map(|&b| {
+            let out = run_face(&face_ds, b);
+            ExperimentResult::new("face", "face-0", b, BTreeMap::new(), out.measurements)
+        })
+        .collect();
+    print_table("Fig. 8(c) — Face detection", &header, &result_rows(&face));
+
+    // Headline reduction, as in the abstract (43–64 % vs FCH).
+    for (name, rows) in [("SLAM", &slam), ("pose", &pose), ("face", &face)] {
+        let fch = rows[0].throughput_mb_s();
+        let rp10 = rows
+            .iter()
+            .find(|r| r.baseline == "RP10")
+            .expect("RP10 present")
+            .throughput_mb_s();
+        println!(
+            "{name}: RP10 reduces interface traffic by {:.0}% vs FCH (paper: 43-64%)",
+            (1.0 - rp10 / fch) * 100.0
+        );
+    }
+}

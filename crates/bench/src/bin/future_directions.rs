@@ -1,0 +1,134 @@
+//! Quantifies the paper's §7 future directions on the reproduced
+//! system:
+//!
+//! 1. **DRAM-less computing** — how much of the encoded-frame stream
+//!    fits in on-chip SRAM, per budget;
+//! 2. **Rhythmic pixel camera** — CSI interface traffic/energy saved by
+//!    moving the encoder into the camera module;
+//! 3. **Region-selection policies** — Kalman-predictive and
+//!    motion-adaptive cycle policies vs the paper's example policy.
+
+use rpr_bench::{print_table, Scale};
+use rpr_memsim::{
+    in_sensor_saving_mj, placement_energy_mj, placement_traffic, DramlessAnalysis,
+    EncoderPlacement, EnergyModel,
+};
+use rpr_sensor::CsiLink;
+use rpr_workloads::datasets::VideoDataset;
+use rpr_workloads::tasks::{run_face, run_face_with, run_slam};
+use rpr_workloads::{Baseline, PipelineConfig, PolicyKind};
+
+fn main() {
+    let scale = Scale::from_env();
+
+    // ---- 1. DRAM-less computing --------------------------------------
+    let ds = scale.slam(0);
+    let rp10 = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    let frame_px = u64::from(ds.width()) * u64::from(ds.height());
+    // Per-frame buffer bytes (RGB payload + metadata) from the captured
+    // fractions.
+    let meta_bytes = frame_px / 4 + u64::from(ds.height()) * 4;
+    let frame_bytes: Vec<u64> = rp10
+        .measurements
+        .captured_fractions
+        .iter()
+        .map(|f| (f * frame_px as f64 * 3.0) as u64 + meta_bytes)
+        .collect();
+    let analysis = DramlessAnalysis::new(&frame_bytes);
+    let full_frame_bytes = frame_px * 3;
+    let mut rows = Vec::new();
+    for pct in [10u64, 25, 50, 100] {
+        let budget = full_frame_bytes * pct / 100;
+        let r = analysis.evaluate(budget);
+        rows.push(vec![
+            format!("{pct}% of a frame ({} KB)", budget / 1024),
+            format!("{:.0}%", r.fit_fraction * 100.0),
+            format!("{:.0}%", r.traffic_avoided_fraction() * 100.0),
+        ]);
+    }
+    print_table(
+        "§7.1 DRAM-less computing — SRAM budget sweep (RP10 V-SLAM stream)",
+        &["SRAM budget", "frames fitting on-chip", "DRAM traffic avoided"],
+        &rows,
+    );
+    if let Some(b) = analysis.budget_for_fit_fraction(0.9) {
+        println!(
+            "smallest budget keeping 90% of frames on-chip: {} KB ({:.0}% of a full frame)",
+            b / 1024,
+            b as f64 / full_frame_bytes as f64 * 100.0
+        );
+    }
+
+    // ---- 2. Rhythmic pixel camera (encoder placement) -----------------
+    let keep = rp10.measurements.mean_captured_fraction();
+    let px_4k: u64 = 3840 * 2160;
+    let kept_px = (px_4k as f64 * keep) as u64;
+    let meta_px = px_4k / 12;
+    let model = EnergyModel::paper_defaults();
+    let post = placement_traffic(EncoderPlacement::PostIsp, px_4k, kept_px, meta_px);
+    let in_s = placement_traffic(EncoderPlacement::InSensor, px_4k, kept_px, meta_px);
+    let link = CsiLink::default();
+    print_table(
+        "§7.2 Rhythmic pixel camera — encoder placement at 4K (measured keep fraction)",
+        &["placement", "CSI px/frame", "DDR write px/frame", "interface energy mJ/frame"],
+        &[
+            vec![
+                "post-ISP (paper impl.)".into(),
+                post.csi_px.to_string(),
+                post.ddr_write_px.to_string(),
+                format!("{:.1}", placement_energy_mj(&model, &post)),
+            ],
+            vec![
+                "in-sensor (§7)".into(),
+                in_s.csi_px.to_string(),
+                in_s.ddr_write_px.to_string(),
+                format!("{:.1}", placement_energy_mj(&model, &in_s)),
+            ],
+        ],
+    );
+    println!(
+        "in-sensor encoding saves {:.1} mJ/frame of CSI energy ({:.0} mW at 30 fps)\n\
+         and lifts the link's 4K headroom from {:.0} to {:.0} fps (RAW8).",
+        in_sensor_saving_mj(&model, px_4k, kept_px, meta_px),
+        in_sensor_saving_mj(&model, px_4k, kept_px, meta_px) * 30.0,
+        link.max_fps(3840, 2160, 1),
+        link.max_fps(3840, 2160, 1) / keep.clamp(1e-6, 1.0),
+    );
+
+    // ---- 3. Policy zoo -------------------------------------------------
+    let face_ds = scale.face(0);
+    let mut rows = Vec::new();
+    for (name, kind) in [
+        ("cycle+feature (paper)", PolicyKind::CycleFeature),
+        ("cycle+Kalman", PolicyKind::CycleKalman),
+        ("cycle+motion-vectors", PolicyKind::CycleMotion),
+        ("adaptive cycle 5..20", PolicyKind::AdaptiveCycle { min_cycle: 5, max_cycle: 20 }),
+    ] {
+        let cfg = PipelineConfig::new(
+            face_ds.width(),
+            face_ds.height(),
+            Baseline::Rp { cycle_length: 10 },
+        )
+        .with_policy(kind);
+        let out = run_face_with(&face_ds, cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", out.map * 100.0),
+            format!("{:.2}", out.measurements.traffic.throughput_mb_s),
+            format!("{:.0}%", out.measurements.mean_captured_fraction() * 100.0),
+        ]);
+    }
+    // FCH anchor row for context.
+    let fch = run_face(&face_ds, Baseline::Fch);
+    rows.push(vec![
+        "FCH (anchor)".into(),
+        format!("{:.1}", fch.map * 100.0),
+        format!("{:.2}", fch.measurements.traffic.throughput_mb_s),
+        "100%".into(),
+    ]);
+    print_table(
+        "§7.3 Region-selection policies — face workload",
+        &["policy", "mAP (%)", "traffic MB/s", "px captured"],
+        &rows,
+    );
+}

@@ -1,0 +1,112 @@
+//! Runs the complete evaluation matrix — every workload under every
+//! baseline — and writes the results as machine-readable JSON
+//! (`target/results/experiments.json`) plus a console summary. This is
+//! the one-command regeneration of the data behind Figs. 8–9.
+//!
+//! `RPR_SCALE=full cargo run --release -p rpr-bench --bin run_all`
+//! reproduces at the larger scale.
+
+use rpr_bench::{print_table, Scale};
+use rpr_workloads::tasks::{run_face, run_pose, run_slam};
+use rpr_workloads::{Baseline, ExperimentResult};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale::from_env();
+    let mut results: Vec<ExperimentResult> = Vec::new();
+
+    for seq in 0..scale.sequences {
+        let slam_ds = scale.slam(seq);
+        for &b in &Baseline::paper_set(4) {
+            let out = run_slam(&slam_ds, b);
+            let mut acc = BTreeMap::new();
+            acc.insert("ate_mm".into(), out.ate_mm);
+            acc.insert("rpe_translational_mm".into(), out.rpe_translational_mm);
+            acc.insert("rpe_rotational_deg".into(), out.rpe_rotational_deg);
+            acc.insert("tracking_failures".into(), f64::from(out.tracking_failures));
+            results.push(ExperimentResult::new(
+                "visual-slam",
+                &format!("slam-{seq}"),
+                b,
+                acc,
+                out.measurements,
+            ));
+        }
+        let pose_ds = scale.pose(seq);
+        for &b in &Baseline::paper_set(3) {
+            let out = run_pose(&pose_ds, b);
+            let mut acc = BTreeMap::new();
+            acc.insert("map".into(), out.map);
+            results.push(ExperimentResult::new(
+                "pose-estimation",
+                &format!("pose-{seq}"),
+                b,
+                acc,
+                out.measurements,
+            ));
+        }
+        let face_ds = scale.face(seq);
+        for &b in &Baseline::paper_set(3) {
+            let out = run_face(&face_ds, b);
+            let mut acc = BTreeMap::new();
+            acc.insert("map".into(), out.map);
+            results.push(ExperimentResult::new(
+                "face-detection",
+                &format!("face-{seq}"),
+                b,
+                acc,
+                out.measurements,
+            ));
+        }
+    }
+
+    // Persist.
+    let out_dir = PathBuf::from("target/results");
+    fs::create_dir_all(&out_dir)?;
+    let path = out_dir.join("experiments.json");
+    fs::write(&path, serde_json::to_string_pretty(&results)?)?;
+
+    // Console summary: one row per (task, baseline), averaged over
+    // sequences.
+    let mut by_key: BTreeMap<(String, String), Vec<&ExperimentResult>> = BTreeMap::new();
+    for r in &results {
+        by_key.entry((r.task.clone(), r.baseline.clone())).or_default().push(r);
+    }
+    let mut rows = Vec::new();
+    for ((task, baseline), group) in &by_key {
+        let n = group.len() as f64;
+        let throughput = group.iter().map(|r| r.throughput_mb_s()).sum::<f64>() / n;
+        let footprint = group.iter().map(|r| r.mean_footprint_mb()).sum::<f64>() / n;
+        let acc: String = if let Some(v) = group[0].accuracy.get("ate_mm") {
+            let mean = group
+                .iter()
+                .map(|r| r.accuracy.get("ate_mm").copied().unwrap_or(*v))
+                .sum::<f64>()
+                / n;
+            format!("{mean:.2} mm ATE")
+        } else {
+            let mean = group
+                .iter()
+                .filter_map(|r| r.accuracy.get("map"))
+                .sum::<f64>()
+                / n;
+            format!("{:.1}% mAP", mean * 100.0)
+        };
+        rows.push(vec![
+            task.clone(),
+            baseline.clone(),
+            format!("{throughput:.2}"),
+            format!("{footprint:.3}"),
+            acc,
+        ]);
+    }
+    print_table(
+        "run_all — evaluation matrix (mean over sequences)",
+        &["task", "baseline", "traffic MB/s", "footprint MB", "accuracy"],
+        &rows,
+    );
+    println!("\n{} experiment rows written to {}", results.len(), path.display());
+    Ok(())
+}

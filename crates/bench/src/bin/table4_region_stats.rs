@@ -1,0 +1,51 @@
+//! Reproduces paper Table 4: observed region-label statistics for each
+//! task under the rhythmic (RP10) configuration — average number of
+//! regions per frame, region-size range, stride range, and temporal
+//! rate range.
+//!
+//! Paper reference: V-SLAM averages 973 regions (70x70–230x230,
+//! stride 1–4, 33–100 ms); face detection 70x63–270x228 (stride 1–2);
+//! pose estimation 161x248–324x512 (stride 2–4). Absolute sizes scale
+//! with frame resolution; the structure (hundreds of small regions for
+//! SLAM, a handful of person/face-sized regions otherwise) is the
+//! reproduced claim.
+
+use rpr_bench::{print_table, Scale};
+use rpr_workloads::tasks::{run_face, run_pose, run_slam};
+use rpr_workloads::{Baseline, RegionStats};
+
+fn row(task: &str, stats: Option<RegionStats>) -> Vec<String> {
+    match stats {
+        Some(s) => vec![
+            task.into(),
+            format!("{:.0}", s.avg_regions),
+            format!("{}x{}", s.min_size.0, s.min_size.1),
+            format!("{}x{}", s.max_size.0, s.max_size.1),
+            format!("{}..{}", s.min_stride, s.max_stride),
+            format!("{:.0}..{:.0} ms", s.min_rate_ms, s.max_rate_ms),
+        ],
+        None => vec![task.into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()],
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rp = Baseline::Rp { cycle_length: 10 };
+
+    let slam = run_slam(&scale.slam(0), rp);
+    let pose = run_pose(&scale.pose(0), rp);
+    let face = run_face(&scale.face(0), rp);
+
+    print_table(
+        "Table 4 — observed region statistics (RP10)",
+        &["task", "avg #regions", "min size", "max size", "stride", "rate"],
+        &[
+            row("Visual SLAM", slam.measurements.region_stats),
+            row("Human pose estimation", pose.measurements.region_stats),
+            row("Face detection", face.measurements.region_stats),
+        ],
+    );
+    println!(
+        "\npaper: SLAM avg 973 regions 70x70..230x230 stride 1..4 rate 33..100 ms;\n       face 70x63..270x228 stride 1..2; pose 161x248..324x512 stride 2..4"
+    );
+}

@@ -1,0 +1,73 @@
+//! Reproduces paper Table 6 and the §6.2 energy analysis: per-pixel
+//! energy of each pipeline component, and the first-order frame-energy
+//! saving of RP10 on V-SLAM extrapolated to the paper's 4K@30 fps
+//! operating point (paper: ~18 mJ/frame, ~550 mW).
+
+use rpr_bench::{print_table, Scale};
+use rpr_memsim::{EnergyModel, FrameActivity};
+use rpr_workloads::tasks::run_slam;
+use rpr_workloads::Baseline;
+
+fn main() {
+    let model = EnergyModel::paper_defaults();
+    print_table(
+        "Table 6 — energy per pixel (model constants)",
+        &["component", "energy (pJ/pixel)", "paper"],
+        &[
+            vec!["Sensing".into(), format!("{:.0}", model.sensing_pj), "595".into()],
+            vec![
+                "Communication (SoC-DRAM, round trip)".into(),
+                format!("{:.0}", 2.0 * model.ddr_interface_pj),
+                "~2800".into(),
+            ],
+            vec![
+                "Storage (DRAM write+read)".into(),
+                format!("{:.0}", model.dram_write_pj + model.dram_read_pj),
+                "677".into(),
+            ],
+            vec![
+                "Computation (per MAC)".into(),
+                format!("{:.1}", model.mac_pj),
+                "4.6".into(),
+            ],
+        ],
+    );
+
+    // Measure the RP10 keep-fraction on the SLAM workload and apply it
+    // at the paper's 4K operating point.
+    let scale = Scale::from_env();
+    let ds = scale.slam(0);
+    let rp = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    let keep = rp.measurements.mean_captured_fraction();
+
+    let px_4k: u64 = 3840 * 2160;
+    let baseline = FrameActivity {
+        sensed_px: px_4k,
+        csi_px: px_4k,
+        dram_written_px: px_4k,
+        dram_read_px: px_4k,
+        macs: 0,
+    };
+    // Metadata adds 1/12 of a pixel-equivalent per pixel (2 bits vs 24).
+    let kept_px = (px_4k as f64 * (keep + 1.0 / 12.0)).round() as u64;
+    let reduced = FrameActivity {
+        dram_written_px: kept_px.min(px_4k),
+        dram_read_px: kept_px.min(px_4k),
+        ..baseline
+    };
+
+    let saving_mj = model.saving_mj(&baseline, &reduced);
+    let saving_mw = model.power_mw(&baseline, 30.0) - model.power_mw(&reduced, 30.0);
+    println!(
+        "\n§6.2 extrapolation — RP10 V-SLAM at 4K/30fps \
+         (measured keep fraction {:.0}% + 8% metadata):",
+        keep * 100.0
+    );
+    println!("  energy saved per frame: {saving_mj:.1} mJ   (paper: ~18 mJ)");
+    println!("  power saved at 30 fps:  {saving_mw:.0} mW    (paper: ~550 mW)");
+    println!(
+        "  full-frame pipeline energy: {:.1} mJ/frame, {:.0} mW at 30 fps",
+        model.frame_energy(&baseline).total_mj(),
+        model.power_mw(&baseline, 30.0)
+    );
+}

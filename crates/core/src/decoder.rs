@@ -1,0 +1,672 @@
+//! The rhythmic pixel decoder (paper §4.2).
+//!
+//! The decoder fulfills pixel requests in ordinary decoded-frame
+//! addressing so unmodified vision software never notices the encoded
+//! representation. Requests pass through the [`PixelMmu`] for address
+//! translation and are served by the FIFO sampling unit, which
+//! dequeues regional pixels, interpolates strided pixels, fetches
+//! temporally-skipped pixels from the recent-frame history, and fills
+//! black elsewhere.
+//!
+//! Two reconstruction behaviours are provided:
+//!
+//! * [`ReconstructionMode::BlockNearest`] — the software decoder's
+//!   nearest-anchor upsampling (each strided pixel takes the value of
+//!   the stride-grid sample governing its block);
+//! * [`ReconstructionMode::FifoReplicate`] — the hardware-faithful FIFO
+//!   behaviour (§4.2.2): a strided pixel re-samples whatever value the
+//!   response stream produced last.
+
+use crate::{EncodedFrame, PixelMmu, PixelRequest, PixelStatus, Result, SubRequestKind};
+use rpr_frame::{GrayFrame, Plane};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Number of recent encoded frames whose metadata the decoder's
+/// scratchpad holds (paper §4.2.1: "the four most recent encoded
+/// frames").
+pub const HISTORY_DEPTH: usize = 4;
+
+/// Ring buffer of the most recent encoded frames, newest first.
+#[derive(Debug, Clone, Default)]
+pub struct FrameHistory {
+    frames: VecDeque<EncodedFrame>,
+}
+
+impl FrameHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        FrameHistory { frames: VecDeque::with_capacity(HISTORY_DEPTH) }
+    }
+
+    /// Pushes a newly encoded frame, evicting the oldest beyond
+    /// [`HISTORY_DEPTH`].
+    pub fn push(&mut self, frame: EncodedFrame) {
+        self.frames.push_front(frame);
+        self.frames.truncate(HISTORY_DEPTH);
+    }
+
+    /// The most recent frame.
+    pub fn current(&self) -> Option<&EncodedFrame> {
+        self.frames.front()
+    }
+
+    /// The frame `frames_back` frames ago (0 = current).
+    pub fn get(&self, frames_back: usize) -> Option<&EncodedFrame> {
+        self.frames.get(frames_back)
+    }
+
+    /// Number of frames held (at most [`HISTORY_DEPTH`]).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frames have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Drops all held frames.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Sum of payload + metadata bytes currently resident — the
+    /// framebuffer footprint the memory simulator charges.
+    pub fn resident_bytes(&self) -> usize {
+        self.frames.iter().map(EncodedFrame::total_bytes).sum()
+    }
+}
+
+/// How strided (`St`) pixels are reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReconstructionMode {
+    /// Nearest stride-anchor upsampling (software decoder default).
+    #[default]
+    BlockNearest,
+    /// Hardware-faithful FIFO behaviour: repeat the previous value
+    /// emitted in the response stream.
+    FifoReplicate,
+}
+
+/// Counters describing how decoded pixels were produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecoderStats {
+    /// Frames fully decoded.
+    pub frames: u64,
+    /// Pixels dequeued directly from the current encoded frame.
+    pub regional: u64,
+    /// Pixels reconstructed by interpolation.
+    pub interpolated: u64,
+    /// Pixels served from the frame history.
+    pub from_history: u64,
+    /// Pixels filled black.
+    pub black: u64,
+}
+
+/// The reference software decoder (the paper also ships one, §5.1): it
+/// reconstructs whole frames sequentially and keeps the last decoded
+/// frame so temporally skipped pixels resolve to their most recent
+/// observed value.
+///
+/// # Example
+///
+/// ```
+/// use rpr_core::{RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder};
+/// use rpr_frame::Plane;
+///
+/// let frame = Plane::from_fn(16, 16, |x, y| (x + y) as u8);
+/// let regions = RegionList::new(16, 16, vec![RegionLabel::new(0, 0, 8, 8, 1, 1)])?;
+/// let mut enc = RhythmicEncoder::new(16, 16);
+/// let mut dec = SoftwareDecoder::new(16, 16);
+/// let decoded = dec.decode(&enc.encode(&frame, 0, &regions));
+/// assert_eq!(decoded.get(3, 3), frame.get(3, 3));
+/// # Ok::<(), rpr_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftwareDecoder {
+    width: u32,
+    height: u32,
+    mode: ReconstructionMode,
+    history: FrameHistory,
+    last_decoded: Option<GrayFrame>,
+    stats: DecoderStats,
+}
+
+impl SoftwareDecoder {
+    /// Creates a decoder for `width x height` frames using
+    /// [`ReconstructionMode::BlockNearest`].
+    pub fn new(width: u32, height: u32) -> Self {
+        Self::with_mode(width, height, ReconstructionMode::BlockNearest)
+    }
+
+    /// Creates a decoder with an explicit reconstruction mode.
+    pub fn with_mode(width: u32, height: u32, mode: ReconstructionMode) -> Self {
+        SoftwareDecoder {
+            width,
+            height,
+            mode,
+            history: FrameHistory::new(),
+            last_decoded: None,
+            stats: DecoderStats::default(),
+        }
+    }
+
+    /// Frame width the decoder was built for.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height the decoder was built for.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Accumulated decode statistics.
+    pub fn stats(&self) -> &DecoderStats {
+        &self.stats
+    }
+
+    /// The encoded-frame history the decoder currently holds.
+    pub fn history(&self) -> &FrameHistory {
+        &self.history
+    }
+
+    /// The most recently decoded full frame, if any.
+    pub fn last_decoded(&self) -> Option<&GrayFrame> {
+        self.last_decoded.as_ref()
+    }
+
+    /// Forgets all history (e.g. on a scene cut).
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.last_decoded = None;
+    }
+
+    /// Validates an encoded frame before decoding it — the defensive
+    /// entry point for frames read back from untrusted storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::GeometryMismatch`] for the wrong
+    /// frame size or [`crate::CoreError::CorruptEncodedFrame`] when the
+    /// payload and metadata disagree; the decoder state is untouched on
+    /// error.
+    pub fn try_decode(&mut self, encoded: &EncodedFrame) -> Result<GrayFrame> {
+        if (encoded.width(), encoded.height()) != (self.width, self.height) {
+            return Err(crate::CoreError::GeometryMismatch {
+                expected: (self.width, self.height),
+                actual: (encoded.width(), encoded.height()),
+            });
+        }
+        encoded.validate()?;
+        Ok(self.decode(encoded))
+    }
+
+    /// Decodes a full frame, updating the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the encoded frame's geometry does not match the
+    /// decoder's.
+    pub fn decode(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        assert_eq!(
+            (encoded.width(), encoded.height()),
+            (self.width, self.height),
+            "encoded frame geometry mismatch"
+        );
+        let out = match self.mode {
+            ReconstructionMode::BlockNearest => self.decode_block_nearest(encoded),
+            ReconstructionMode::FifoReplicate => self.decode_fifo(encoded),
+        };
+        self.history.push(encoded.clone());
+        self.last_decoded = Some(out.clone());
+        self.stats.frames += 1;
+        out
+    }
+
+    /// Nearest-anchor reconstruction: strided pixels take the value of
+    /// the nearest already-reconstructed in-region pixel (left in the
+    /// row, else directly above), which for stride grids is exactly the
+    /// governing stride anchor.
+    fn decode_block_nearest(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        let w = self.width as usize;
+        let meta = encoded.metadata();
+        let mut out: GrayFrame = Plane::new(self.width, self.height);
+        // Distance (in chamfer steps) from each pixel of the previous row
+        // to its data source; u32::MAX marks "no data".
+        let mut prev_dist = vec![u32::MAX; w];
+        let mut cur_dist = vec![u32::MAX; w];
+
+        for y in 0..self.height {
+            let span = meta.row_offsets.row_span(y);
+            let row_pixels = &encoded.pixels()[span.start as usize..span.end as usize];
+            let mut next_r = 0usize;
+            let mut last_r: Option<(u32, u8)> = None;
+            let (prev_row_black, out_row_split) = if y == 0 {
+                (true, None)
+            } else {
+                (false, Some(y))
+            };
+            // Borrow previous decoded row by value-copies to appease the
+            // borrow checker cheaply: we only need u8 reads.
+            let prev_row: Vec<u8> = if let Some(yy) = out_row_split {
+                out.row(yy - 1).to_vec()
+            } else {
+                Vec::new()
+            };
+
+            for x in 0..self.width {
+                let status = meta.mask.get(x, y);
+                let (value, dist) = match status {
+                    PixelStatus::Regional => {
+                        let v = row_pixels[next_r];
+                        next_r += 1;
+                        last_r = Some((x, v));
+                        self.stats.regional += 1;
+                        (v, 0)
+                    }
+                    PixelStatus::Strided => {
+                        self.stats.interpolated += 1;
+                        let left = last_r.map(|(xr, v)| (x - xr, v));
+                        let above = if !prev_row_black && prev_dist[x as usize] != u32::MAX {
+                            Some((prev_dist[x as usize] + 1, prev_row[x as usize]))
+                        } else {
+                            None
+                        };
+                        match (left, above) {
+                            (Some((dl, vl)), Some((da, va))) => {
+                                if dl <= da {
+                                    (vl, dl)
+                                } else {
+                                    (va, da)
+                                }
+                            }
+                            (Some((dl, vl)), None) => (vl, dl),
+                            (None, Some((da, va))) => (va, da),
+                            (None, None) => (0, u32::MAX),
+                        }
+                    }
+                    PixelStatus::Skipped => {
+                        if let Some(prev) = &self.last_decoded {
+                            self.stats.from_history += 1;
+                            (prev.get(x, y).unwrap_or(0), 0)
+                        } else {
+                            self.stats.black += 1;
+                            (0, u32::MAX)
+                        }
+                    }
+                    PixelStatus::NonRegional => {
+                        self.stats.black += 1;
+                        (0, u32::MAX)
+                    }
+                };
+                out.set(x, y, value);
+                cur_dist[x as usize] = dist;
+            }
+            std::mem::swap(&mut prev_dist, &mut cur_dist);
+        }
+        out
+    }
+
+    /// Hardware-faithful FIFO reconstruction: one whole-frame
+    /// transaction; `St` repeats the last emitted value.
+    fn decode_fifo(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        let meta = encoded.metadata();
+        let mut out: GrayFrame = Plane::new(self.width, self.height);
+        let mut last_emitted: u8 = 0;
+        for y in 0..self.height {
+            let span = meta.row_offsets.row_span(y);
+            let row_pixels = &encoded.pixels()[span.start as usize..span.end as usize];
+            let mut next_r = 0usize;
+            for x in 0..self.width {
+                let value = match meta.mask.get(x, y) {
+                    PixelStatus::Regional => {
+                        let v = row_pixels[next_r];
+                        next_r += 1;
+                        self.stats.regional += 1;
+                        v
+                    }
+                    PixelStatus::Strided => {
+                        self.stats.interpolated += 1;
+                        last_emitted
+                    }
+                    PixelStatus::Skipped => {
+                        if let Some(prev) = &self.last_decoded {
+                            self.stats.from_history += 1;
+                            prev.get(x, y).unwrap_or(0)
+                        } else {
+                            self.stats.black += 1;
+                            0
+                        }
+                    }
+                    PixelStatus::NonRegional => {
+                        self.stats.black += 1;
+                        0
+                    }
+                };
+                last_emitted = value;
+                out.set(x, y, value);
+            }
+        }
+        out
+    }
+
+    /// Random-access read of a single decoded pixel through the PMMU
+    /// translation path, without touching the sequential-decode cache —
+    /// the hardware request/response path of Fig. 6.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::OutOfFrame`] for coordinates outside
+    /// the decoded framebuffer or when no frame has been pushed yet.
+    pub fn read_pixel(&self, mmu: &mut PixelMmu, x: u32, y: u32) -> Result<u8> {
+        let subs = mmu.analyze(&self.history, PixelRequest::single(x, y))?;
+        Ok(self.resolve_sub_request(&subs[0]))
+    }
+
+    /// Reads a rectangular window through the PMMU request path — the
+    /// ROI access pattern a vision accelerator issues (one burst per
+    /// row of the window). Strided and skipped pixels resolve through
+    /// the same translation the hardware performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::OutOfFrame`] when the window leaves
+    /// the decoded framebuffer or no frame has been pushed yet.
+    pub fn read_rect(&self, mmu: &mut PixelMmu, rect: rpr_frame::Rect) -> Result<GrayFrame> {
+        let mut out: GrayFrame = Plane::new(rect.w, rect.h);
+        for row in 0..rect.h {
+            let subs = mmu.analyze(
+                &self.history,
+                PixelRequest { x: rect.x, y: rect.y + row, len: rect.w },
+            )?;
+            for (i, sub) in subs.iter().enumerate() {
+                out.set(i as u32, row, self.resolve_sub_request(sub));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves one translated sub-request to a pixel value.
+    fn resolve_sub_request(&self, sub: &crate::SubRequest) -> u8 {
+        match sub.kind {
+            SubRequestKind::CurrentFrame { offset } => self
+                .history
+                .current()
+                .and_then(|f| f.pixels().get(offset as usize).copied())
+                .unwrap_or(0),
+            SubRequestKind::HistoryFrame { frames_back, offset } => self
+                .history
+                .get(frames_back as usize)
+                .and_then(|f| f.pixels().get(offset as usize).copied())
+                .unwrap_or(0),
+            SubRequestKind::Interpolate => self
+                .history
+                .current()
+                .map(|f| resolve_strided(f, sub.x, sub.y))
+                .unwrap_or(0),
+            SubRequestKind::HistoryInterpolate { frames_back } => self
+                .history
+                .get(frames_back as usize)
+                .map(|f| resolve_strided(f, sub.x, sub.y))
+                .unwrap_or(0),
+            SubRequestKind::Black => 0,
+        }
+    }
+}
+
+/// Finds the stride anchor governing a strided pixel by scanning the
+/// EncMask: left in the pixel's row, then upward (and left) through
+/// earlier rows. For a stride grid this lands exactly on the block's
+/// `R` anchor. Returns black when no anchor exists.
+fn resolve_strided(frame: &EncodedFrame, x: u32, y: u32) -> u8 {
+    let meta = frame.metadata();
+    // Left in this row.
+    for xx in (0..=x).rev() {
+        match meta.mask.get(xx, y) {
+            PixelStatus::Regional => return frame.fetch_regional(xx, y).unwrap_or(0),
+            PixelStatus::Strided => continue,
+            _ => break,
+        }
+    }
+    // Upward: find the nearest row above with data at or left of x.
+    for yy in (0..y).rev() {
+        match meta.mask.get(x, yy) {
+            PixelStatus::Regional => return frame.fetch_regional(x, yy).unwrap_or(0),
+            PixelStatus::Strided => {
+                for xx in (0..x).rev() {
+                    if meta.mask.get(xx, yy) == PixelStatus::Regional {
+                        return frame.fetch_regional(xx, yy).unwrap_or(0);
+                    }
+                    if meta.mask.get(xx, yy) == PixelStatus::NonRegional {
+                        break;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegionLabel, RegionList, RhythmicEncoder};
+    use rpr_frame::Plane;
+
+    fn gradient(w: u32, h: u32) -> GrayFrame {
+        Plane::from_fn(w, h, |x, y| (x * 5 + y * 11) as u8)
+    }
+
+    #[test]
+    fn history_evicts_beyond_depth() {
+        let frame = gradient(8, 8);
+        let list = RegionList::full_frame(8, 8);
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let mut history = FrameHistory::new();
+        for idx in 0..6 {
+            history.push(enc.encode(&frame, idx, &list));
+        }
+        assert_eq!(history.len(), HISTORY_DEPTH);
+        assert_eq!(history.current().unwrap().frame_idx(), 5);
+        assert_eq!(history.get(3).unwrap().frame_idx(), 2);
+    }
+
+    #[test]
+    fn full_frame_roundtrip_is_lossless() {
+        let frame = gradient(16, 12);
+        let mut enc = RhythmicEncoder::new(16, 12);
+        let mut dec = SoftwareDecoder::new(16, 12);
+        let decoded = dec.decode(&enc.encode(&frame, 0, &RegionList::full_frame(16, 12)));
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn regional_pixels_roundtrip_exactly() {
+        let frame = gradient(16, 16);
+        let regions =
+            RegionList::new(16, 16, vec![RegionLabel::new(2, 3, 9, 7, 1, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(16, 16);
+        let mut dec = SoftwareDecoder::new(16, 16);
+        let decoded = dec.decode(&enc.encode(&frame, 0, &regions));
+        for y in 3..10 {
+            for x in 2..11 {
+                assert_eq!(decoded.get(x, y), frame.get(x, y), "({x},{y})");
+            }
+        }
+        assert_eq!(decoded.get(0, 0), Some(0));
+        assert_eq!(decoded.get(15, 15), Some(0));
+    }
+
+    #[test]
+    fn strided_pixels_take_block_anchor() {
+        let frame = gradient(8, 8);
+        let regions =
+            RegionList::new(8, 8, vec![RegionLabel::new(0, 0, 8, 8, 4, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let mut dec = SoftwareDecoder::new(8, 8);
+        let decoded = dec.decode(&enc.encode(&frame, 0, &regions));
+        // Every pixel of block (0..4, 0..4) should equal the anchor (0,0).
+        let anchor = frame.get(0, 0).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(decoded.get(x, y), Some(anchor), "({x},{y})");
+            }
+        }
+        let anchor2 = frame.get(4, 4).unwrap();
+        assert_eq!(decoded.get(7, 7), Some(anchor2));
+    }
+
+    #[test]
+    fn skipped_pixels_use_previous_decode() {
+        // Frame content changes between captures; the skipped frame must
+        // show the old content.
+        let frame_a = Plane::from_fn(8, 8, |_, _| 100u8);
+        let frame_b = Plane::from_fn(8, 8, |_, _| 200u8);
+        let regions =
+            RegionList::new(8, 8, vec![RegionLabel::new(0, 0, 8, 8, 1, 2)]).unwrap();
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let mut dec = SoftwareDecoder::new(8, 8);
+        let d0 = dec.decode(&enc.encode(&frame_a, 0, &regions));
+        assert_eq!(d0.get(4, 4), Some(100));
+        let d1 = dec.decode(&enc.encode(&frame_b, 1, &regions)); // skipped
+        assert_eq!(d1.get(4, 4), Some(100), "skip frame shows stale pixels");
+        let d2 = dec.decode(&enc.encode(&frame_b, 2, &regions)); // sampled
+        assert_eq!(d2.get(4, 4), Some(200));
+    }
+
+    #[test]
+    fn skipped_without_history_is_black() {
+        let frame = gradient(8, 8);
+        let regions =
+            RegionList::new(8, 8, vec![RegionLabel::new(0, 0, 8, 8, 1, 2)]).unwrap();
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let mut dec = SoftwareDecoder::new(8, 8);
+        // Decode only the off-phase frame.
+        let encoded = enc.encode(&frame, 1, &regions);
+        let decoded = dec.decode(&encoded);
+        assert_eq!(decoded.get(3, 3), Some(0));
+    }
+
+    #[test]
+    fn fifo_mode_replicates_previous_value() {
+        let frame = gradient(8, 1);
+        let regions =
+            RegionList::new(8, 1, vec![RegionLabel::new(0, 0, 8, 1, 2, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(8, 1);
+        let mut dec = SoftwareDecoder::with_mode(8, 1, ReconstructionMode::FifoReplicate);
+        let decoded = dec.decode(&enc.encode(&frame, 0, &regions));
+        // R at x=0,2,4,6; St at odd x repeats the left value.
+        for x in 0..8u32 {
+            let expected = frame.get(x - x % 2, 0).unwrap();
+            assert_eq!(decoded.get(x, 0), Some(expected), "x={x}");
+        }
+    }
+
+    #[test]
+    fn random_access_matches_full_decode_on_r_and_n() {
+        let frame = gradient(16, 16);
+        let regions = RegionList::new(
+            16,
+            16,
+            vec![
+                RegionLabel::new(1, 1, 6, 6, 2, 1),
+                RegionLabel::new(8, 8, 7, 7, 1, 2),
+            ],
+        )
+        .unwrap();
+        let mut enc = RhythmicEncoder::new(16, 16);
+        let mut dec = SoftwareDecoder::new(16, 16);
+        let encoded = enc.encode(&frame, 0, &regions);
+        let full = dec.decode(&encoded);
+        let mut mmu = PixelMmu::new(16, 16);
+        let mask = &encoded.metadata().mask;
+        for y in 0..16 {
+            for x in 0..16 {
+                let status = mask.get(x, y);
+                if status == PixelStatus::Regional || status == PixelStatus::NonRegional {
+                    let v = dec.read_pixel(&mut mmu, x, y).unwrap();
+                    assert_eq!(Some(v), full.get(x, y), "({x},{y}) {status}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_access_strided_finds_anchor() {
+        let frame = gradient(12, 12);
+        let regions =
+            RegionList::new(12, 12, vec![RegionLabel::new(2, 2, 8, 8, 4, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(12, 12);
+        let mut dec = SoftwareDecoder::new(12, 12);
+        dec.decode(&enc.encode(&frame, 0, &regions));
+        let mut mmu = PixelMmu::new(12, 12);
+        // (5, 5) is governed by the anchor at (2, 2).
+        let v = dec.read_pixel(&mut mmu, 5, 5).unwrap();
+        assert_eq!(Some(v), frame.get(2, 2));
+        // (7, 3): anchor (6, 2).
+        let v = dec.read_pixel(&mut mmu, 7, 3).unwrap();
+        assert_eq!(Some(v), frame.get(6, 2));
+    }
+
+    #[test]
+    fn read_rect_matches_full_decode_inside_dense_regions() {
+        let frame = gradient(24, 24);
+        let regions =
+            RegionList::new(24, 24, vec![RegionLabel::new(4, 4, 12, 12, 1, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(24, 24);
+        let mut dec = SoftwareDecoder::new(24, 24);
+        let full = dec.decode(&enc.encode(&frame, 0, &regions));
+        let mut mmu = PixelMmu::new(24, 24);
+        let window = dec.read_rect(&mut mmu, rpr_frame::Rect::new(4, 4, 12, 12)).unwrap();
+        for y in 0..12 {
+            for x in 0..12 {
+                assert_eq!(window.get(x, y), full.get(4 + x, 4 + y), "({x},{y})");
+            }
+        }
+        // Out-of-frame windows are rejected.
+        assert!(dec.read_rect(&mut mmu, rpr_frame::Rect::new(20, 20, 10, 10)).is_err());
+    }
+
+    #[test]
+    fn decoder_stats_classify_sources() {
+        let frame = gradient(8, 8);
+        let regions =
+            RegionList::new(8, 8, vec![RegionLabel::new(0, 0, 4, 4, 2, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let mut dec = SoftwareDecoder::new(8, 8);
+        dec.decode(&enc.encode(&frame, 0, &regions));
+        let s = *dec.stats();
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.regional, 4);
+        assert_eq!(s.interpolated, 12);
+        assert_eq!(s.black, 48);
+        assert_eq!(s.from_history, 0);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_history() {
+        let frame = gradient(8, 8);
+        let list = RegionList::full_frame(8, 8);
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let mut dec = SoftwareDecoder::new(8, 8);
+        assert_eq!(dec.history().resident_bytes(), 0);
+        dec.decode(&enc.encode(&frame, 0, &list));
+        let one = dec.history().resident_bytes();
+        assert!(one > 64);
+        dec.decode(&enc.encode(&frame, 1, &list));
+        assert_eq!(dec.history().resident_bytes(), 2 * one);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn decode_rejects_wrong_geometry() {
+        let frame = gradient(8, 8);
+        let mut enc = RhythmicEncoder::new(8, 8);
+        let encoded = enc.encode(&frame, 0, &RegionList::full_frame(8, 8));
+        let mut dec = SoftwareDecoder::new(16, 16);
+        dec.decode(&encoded);
+    }
+}

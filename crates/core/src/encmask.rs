@@ -1,0 +1,303 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 2-bit per-pixel sampling status written by the encoder
+/// (paper §3.3).
+///
+/// | bits | name | meaning |
+/// |------|------|---------|
+/// | `00` | `N`  | non-regional pixel (discarded, decodes to black) |
+/// | `01` | `St` | regional but spatially strided (decodes by resampling a neighbour) |
+/// | `10` | `Sk` | regional but temporally skipped this frame (decodes from a recent encoded frame) |
+/// | `11` | `R`  | regional pixel, stored in the encoded frame |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PixelStatus {
+    /// `00`: not inside any region label.
+    NonRegional = 0b00,
+    /// `01`: inside an actively sampled region but dropped by the stride.
+    Strided = 0b01,
+    /// `10`: inside a region whose skip interval excludes this frame.
+    Skipped = 0b10,
+    /// `11`: a kept, regional pixel present in the encoded frame.
+    Regional = 0b11,
+}
+
+impl PixelStatus {
+    /// Decodes a 2-bit value (only the low 2 bits are inspected).
+    #[inline]
+    pub fn from_bits(bits: u8) -> PixelStatus {
+        match bits & 0b11 {
+            0b00 => PixelStatus::NonRegional,
+            0b01 => PixelStatus::Strided,
+            0b10 => PixelStatus::Skipped,
+            _ => PixelStatus::Regional,
+        }
+    }
+
+    /// The raw 2-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Reconstruction preference order used when overlapping regions
+    /// disagree about a pixel: a stored pixel beats a strided
+    /// approximation, which beats stale history, which beats black.
+    ///
+    /// `R (3) > St (2) > Sk (1) > N (0)`.
+    #[inline]
+    pub fn priority(self) -> u8 {
+        match self {
+            PixelStatus::Regional => 3,
+            PixelStatus::Strided => 2,
+            PixelStatus::Skipped => 1,
+            PixelStatus::NonRegional => 0,
+        }
+    }
+
+    /// Returns the higher-priority of two statuses (see
+    /// [`PixelStatus::priority`]).
+    #[inline]
+    pub fn max_priority(self, other: PixelStatus) -> PixelStatus {
+        if other.priority() > self.priority() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for PixelStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PixelStatus::NonRegional => "N",
+            PixelStatus::Strided => "St",
+            PixelStatus::Skipped => "Sk",
+            PixelStatus::Regional => "R",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The encoding sequence bitmask: one [`PixelStatus`] for every pixel of
+/// the original (pre-encoding) frame, packed four pixels per byte in
+/// raster order (paper §3.3).
+///
+/// The mask is the decoder's only source of truth — it never sees the
+/// region labels — which is what makes the decoder's cost independent of
+/// the number of regions (paper §6.3).
+///
+/// # Example
+///
+/// ```
+/// use rpr_core::{EncMask, PixelStatus};
+///
+/// let mut mask = EncMask::new(8, 2);
+/// mask.set(3, 1, PixelStatus::Regional);
+/// assert_eq!(mask.get(3, 1), PixelStatus::Regional);
+/// assert_eq!(mask.get(0, 0), PixelStatus::NonRegional);
+/// assert_eq!(mask.size_bytes(), 4); // 16 px * 2 bits = 4 bytes
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncMask {
+    width: u32,
+    height: u32,
+    /// Packed statuses, 4 pixels per byte, pixel `i` in bits `2*(i%4)`.
+    packed: Vec<u8>,
+}
+
+impl EncMask {
+    /// Creates an all-`N` mask for a `width x height` frame.
+    pub fn new(width: u32, height: u32) -> Self {
+        let pixels = width as usize * height as usize;
+        EncMask { width, height, packed: vec![0; pixels.div_ceil(4)] }
+    }
+
+    /// Mask width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mask height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn index(&self, x: u32, y: u32) -> (usize, u32) {
+        debug_assert!(x < self.width && y < self.height);
+        let i = y as usize * self.width as usize + x as usize;
+        (i / 4, (i as u32 % 4) * 2)
+    }
+
+    /// The status at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `(x, y)` is outside the mask;
+    /// in release builds out-of-bounds reads panic on slice indexing.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> PixelStatus {
+        let (byte, shift) = self.index(x, y);
+        PixelStatus::from_bits(self.packed[byte] >> shift)
+    }
+
+    /// Sets the status at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x, y)` is outside the mask.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, status: PixelStatus) {
+        let (byte, shift) = self.index(x, y);
+        self.packed[byte] = (self.packed[byte] & !(0b11 << shift)) | (status.bits() << shift);
+    }
+
+    /// Byte size of the packed mask: exactly 2 bits per pixel, the 8 %
+    /// metadata overhead (relative to 24-bit frames) the paper reports.
+    pub fn size_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Iterates the statuses of row `y` from left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y >= height`.
+    pub fn row_iter(&self, y: u32) -> impl Iterator<Item = PixelStatus> + '_ {
+        assert!(y < self.height, "row {y} out of bounds");
+        (0..self.width).map(move |x| self.get(x, y))
+    }
+
+    /// Number of `R` pixels in row `y` strictly left of column `x` —
+    /// the column offset the PMMU's translator computes ("the number of
+    /// `11` entries in the EncMask", paper §4.2.1).
+    pub fn regional_before(&self, x: u32, y: u32) -> u32 {
+        (0..x.min(self.width))
+            .filter(|&c| self.get(c, y) == PixelStatus::Regional)
+            .count() as u32
+    }
+
+    /// Counts pixels of each status over the whole mask, returned as
+    /// `[N, St, Sk, R]`.
+    pub fn histogram(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        let total = self.width as usize * self.height as usize;
+        for i in 0..total {
+            let bits = (self.packed[i / 4] >> ((i % 4) * 2)) & 0b11;
+            counts[bits as usize] += 1;
+        }
+        counts
+    }
+
+    /// Total number of `R` pixels — the encoded frame's pixel count.
+    pub fn regional_total(&self) -> u64 {
+        self.histogram()[PixelStatus::Regional.bits() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_bits_roundtrip() {
+        for status in [
+            PixelStatus::NonRegional,
+            PixelStatus::Strided,
+            PixelStatus::Skipped,
+            PixelStatus::Regional,
+        ] {
+            assert_eq!(PixelStatus::from_bits(status.bits()), status);
+        }
+    }
+
+    #[test]
+    fn status_bits_match_paper_encoding() {
+        assert_eq!(PixelStatus::NonRegional.bits(), 0b00);
+        assert_eq!(PixelStatus::Strided.bits(), 0b01);
+        assert_eq!(PixelStatus::Skipped.bits(), 0b10);
+        assert_eq!(PixelStatus::Regional.bits(), 0b11);
+    }
+
+    #[test]
+    fn priority_prefers_fresh_data() {
+        use PixelStatus::*;
+        assert_eq!(Regional.max_priority(Strided), Regional);
+        assert_eq!(Strided.max_priority(Skipped), Strided);
+        assert_eq!(Skipped.max_priority(NonRegional), Skipped);
+        assert_eq!(NonRegional.max_priority(Regional), Regional);
+    }
+
+    #[test]
+    fn mask_set_get_roundtrip_all_positions_in_byte() {
+        let mut mask = EncMask::new(4, 1);
+        mask.set(0, 0, PixelStatus::Regional);
+        mask.set(1, 0, PixelStatus::Strided);
+        mask.set(2, 0, PixelStatus::Skipped);
+        mask.set(3, 0, PixelStatus::NonRegional);
+        assert_eq!(mask.get(0, 0), PixelStatus::Regional);
+        assert_eq!(mask.get(1, 0), PixelStatus::Strided);
+        assert_eq!(mask.get(2, 0), PixelStatus::Skipped);
+        assert_eq!(mask.get(3, 0), PixelStatus::NonRegional);
+    }
+
+    #[test]
+    fn set_overwrites_previous_status() {
+        let mut mask = EncMask::new(2, 2);
+        mask.set(1, 1, PixelStatus::Regional);
+        mask.set(1, 1, PixelStatus::Strided);
+        assert_eq!(mask.get(1, 1), PixelStatus::Strided);
+    }
+
+    #[test]
+    fn size_is_two_bits_per_pixel() {
+        assert_eq!(EncMask::new(1920, 1080).size_bytes(), 1920 * 1080 / 4);
+        // ~506 KB for a 1080p frame, the paper's "500 KB" figure.
+        assert_eq!(EncMask::new(1920, 1080).size_bytes(), 518_400);
+        // Non-multiple-of-4 pixel counts round up.
+        assert_eq!(EncMask::new(3, 1).size_bytes(), 1);
+        assert_eq!(EncMask::new(5, 1).size_bytes(), 2);
+    }
+
+    #[test]
+    fn regional_before_counts_only_r() {
+        let mut mask = EncMask::new(6, 1);
+        mask.set(0, 0, PixelStatus::Regional);
+        mask.set(1, 0, PixelStatus::Strided);
+        mask.set(2, 0, PixelStatus::Regional);
+        assert_eq!(mask.regional_before(0, 0), 0);
+        assert_eq!(mask.regional_before(2, 0), 1);
+        assert_eq!(mask.regional_before(6, 0), 2);
+    }
+
+    #[test]
+    fn histogram_sums_to_pixel_count() {
+        let mut mask = EncMask::new(7, 3);
+        mask.set(0, 0, PixelStatus::Regional);
+        mask.set(3, 2, PixelStatus::Skipped);
+        let h = mask.histogram();
+        assert_eq!(h.iter().sum::<u64>(), 21);
+        assert_eq!(h[PixelStatus::Regional.bits() as usize], 1);
+        assert_eq!(h[PixelStatus::Skipped.bits() as usize], 1);
+        assert_eq!(mask.regional_total(), 1);
+    }
+
+    #[test]
+    fn row_iter_visits_whole_row() {
+        let mut mask = EncMask::new(5, 2);
+        mask.set(4, 1, PixelStatus::Regional);
+        let row: Vec<PixelStatus> = mask.row_iter(1).collect();
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[4], PixelStatus::Regional);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(PixelStatus::NonRegional.to_string(), "N");
+        assert_eq!(PixelStatus::Strided.to_string(), "St");
+        assert_eq!(PixelStatus::Skipped.to_string(), "Sk");
+        assert_eq!(PixelStatus::Regional.to_string(), "R");
+    }
+}

@@ -1,0 +1,200 @@
+use crate::{FrameMetadata, PixelStatus};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One encoded frame: the tightly packed regional (`R`) pixels in
+/// original raster-scan order, plus the metadata needed to decode them
+/// (paper §3.2–3.3).
+///
+/// Preserving raster order — instead of grouping pixels per region the
+/// way multi-ROI cameras do — keeps DRAM writes sequential and stores
+/// overlapping regions' pixels exactly once, which is what lets the
+/// representation scale to hundreds of regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedFrame {
+    /// Original frame width in pixels.
+    width: u32,
+    /// Original frame height in pixels.
+    height: u32,
+    /// Index of the frame in the capture sequence.
+    frame_idx: u64,
+    /// Packed `R` pixel values in raster order.
+    pixels: Bytes,
+    /// Per-row offsets and EncMask.
+    metadata: FrameMetadata,
+}
+
+impl EncodedFrame {
+    /// Assembles an encoded frame. The constructor does not check
+    /// consistency (so corrupted frames can be modeled); use
+    /// [`EncodedFrame::validate`] to verify integrity before trusting
+    /// the contents.
+    pub fn new(
+        width: u32,
+        height: u32,
+        frame_idx: u64,
+        pixels: Vec<u8>,
+        metadata: FrameMetadata,
+    ) -> Self {
+        EncodedFrame { width, height, frame_idx, pixels: Bytes::from(pixels), metadata }
+    }
+
+    /// Original (decoded-space) frame width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Original (decoded-space) frame height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Position of this frame in the capture sequence.
+    pub fn frame_idx(&self) -> u64 {
+        self.frame_idx
+    }
+
+    /// The packed regional pixel payload.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Number of stored (`R`) pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// The frame's decode metadata.
+    pub fn metadata(&self) -> &FrameMetadata {
+        &self.metadata
+    }
+
+    /// Fetches the stored value of the `R` pixel at decoded coordinate
+    /// `(x, y)`: per-row offset plus the count of `R` entries before `x`
+    /// (the PMMU translation, paper §4.2.1). Returns `None` when the
+    /// pixel is not `R` or out of bounds.
+    pub fn fetch_regional(&self, x: u32, y: u32) -> Option<u8> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        if self.metadata.mask.get(x, y) != PixelStatus::Regional {
+            return None;
+        }
+        let offset =
+            self.metadata.row_offsets.offset_of_row(y) + self.metadata.mask.regional_before(x, y);
+        self.pixels.get(offset as usize).copied()
+    }
+
+    /// Payload bytes (1 byte per stored pixel in the reference gray
+    /// pipeline; multi-byte formats scale this in the traffic model).
+    pub fn payload_bytes(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Metadata bytes (EncMask + per-row offsets).
+    pub fn metadata_bytes(&self) -> usize {
+        self.metadata.size_bytes()
+    }
+
+    /// Total DRAM footprint of this frame: payload plus metadata.
+    pub fn total_bytes(&self) -> usize {
+        self.payload_bytes() + self.metadata_bytes()
+    }
+
+    /// Integrity check for a frame read back from (possibly corrupted)
+    /// storage: the mask geometry, the per-row offset totals, and the
+    /// payload length must all agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CorruptEncodedFrame`] describing the
+    /// first inconsistency found.
+    pub fn validate(&self) -> crate::Result<()> {
+        let corrupt = |reason: String| crate::CoreError::CorruptEncodedFrame { reason };
+        if self.metadata.mask.width() != self.width
+            || self.metadata.mask.height() != self.height
+        {
+            return Err(corrupt(format!(
+                "mask is {}x{} but frame is {}x{}",
+                self.metadata.mask.width(),
+                self.metadata.mask.height(),
+                self.width,
+                self.height
+            )));
+        }
+        if self.metadata.row_offsets.total() as usize != self.pixels.len() {
+            return Err(corrupt(format!(
+                "offsets claim {} pixels but payload holds {}",
+                self.metadata.row_offsets.total(),
+                self.pixels.len()
+            )));
+        }
+        if !self.metadata.is_consistent() {
+            return Err(corrupt("per-row offsets disagree with the EncMask".into()));
+        }
+        Ok(())
+    }
+
+    /// Fraction of the original frame's pixels that were stored, the
+    /// quantity reported under each frame of the paper's Figs. 10–15.
+    pub fn captured_fraction(&self) -> f64 {
+        let total = self.width as f64 * self.height as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.pixels.len() as f64 / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EncMask, FrameMetadata};
+
+    fn tiny_encoded() -> EncodedFrame {
+        // 4x2 frame; R pixels at (1,0), (3,0), (0,1).
+        let mut mask = EncMask::new(4, 2);
+        mask.set(1, 0, PixelStatus::Regional);
+        mask.set(3, 0, PixelStatus::Regional);
+        mask.set(0, 1, PixelStatus::Regional);
+        mask.set(2, 1, PixelStatus::Strided);
+        let meta = FrameMetadata::from_mask(mask);
+        EncodedFrame::new(4, 2, 7, vec![10, 20, 30], meta)
+    }
+
+    #[test]
+    fn fetch_regional_translates_addresses() {
+        let f = tiny_encoded();
+        assert_eq!(f.fetch_regional(1, 0), Some(10));
+        assert_eq!(f.fetch_regional(3, 0), Some(20));
+        assert_eq!(f.fetch_regional(0, 1), Some(30));
+    }
+
+    #[test]
+    fn fetch_regional_rejects_non_r_pixels() {
+        let f = tiny_encoded();
+        assert_eq!(f.fetch_regional(0, 0), None); // N
+        assert_eq!(f.fetch_regional(2, 1), None); // St
+        assert_eq!(f.fetch_regional(9, 9), None); // out of bounds
+    }
+
+    #[test]
+    fn accounting_adds_payload_and_metadata() {
+        let f = tiny_encoded();
+        assert_eq!(f.payload_bytes(), 3);
+        assert_eq!(f.metadata_bytes(), 2 + 8); // 8 px mask + 2 rows * 4 B
+        assert_eq!(f.total_bytes(), 13);
+    }
+
+    #[test]
+    fn captured_fraction_counts_stored_pixels() {
+        let f = tiny_encoded();
+        assert!((f.captured_fraction() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_idx_is_preserved() {
+        assert_eq!(tiny_encoded().frame_idx(), 7);
+    }
+}

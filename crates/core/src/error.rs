@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced by region validation and encode/decode operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A region label had a zero dimension, zero stride, or zero skip.
+    InvalidRegion {
+        /// Human-readable description of which constraint failed.
+        reason: String,
+    },
+    /// A region list or frame references dimensions of zero pixels.
+    InvalidFrameDimensions {
+        /// Frame width.
+        width: u32,
+        /// Frame height.
+        height: u32,
+    },
+    /// The encoded frame does not match the decoder's configured geometry.
+    GeometryMismatch {
+        /// Width/height the decoder was built for.
+        expected: (u32, u32),
+        /// Width/height carried by the encoded frame.
+        actual: (u32, u32),
+    },
+    /// A pixel request fell outside the decoded framebuffer address space
+    /// (the PMMU's out-of-frame handler rejects it rather than bypassing).
+    OutOfFrame {
+        /// Requested x coordinate.
+        x: u32,
+        /// Requested y coordinate.
+        y: u32,
+    },
+    /// The runtime service channel was closed before the call completed.
+    ServiceUnavailable,
+    /// An encoded frame's payload and metadata disagree (corrupted in
+    /// "DRAM" or assembled inconsistently).
+    CorruptEncodedFrame {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidRegion { reason } => write!(f, "invalid region label: {reason}"),
+            CoreError::InvalidFrameDimensions { width, height } => {
+                write!(f, "invalid frame dimensions {width}x{height}")
+            }
+            CoreError::GeometryMismatch { expected, actual } => write!(
+                f,
+                "encoded frame is {}x{} but decoder expects {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            CoreError::OutOfFrame { x, y } => {
+                write!(f, "pixel request ({x}, {y}) outside decoded framebuffer")
+            }
+            CoreError::ServiceUnavailable => f.write_str("runtime service is not running"),
+            CoreError::CorruptEncodedFrame { reason } => {
+                write!(f, "corrupt encoded frame: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,389 @@
+//! Kalman-filter region prediction (paper §4.3.1: policies "can also
+//! introduce improved application-specific proxies with other
+//! prediction strategies, e.g., with Kalman filters").
+//!
+//! [`KalmanTracker2d`] is a standard constant-velocity Kalman filter
+//! over a 2-D position (state `[x, y, vx, vy]`, position-only
+//! measurements); [`KalmanPolicy`] runs one tracker per detected object
+//! and places each region at the *predicted* next-frame position, sized
+//! by the box plus the filter's positional uncertainty — so fast or
+//! poorly-observed objects automatically get bigger regions and denser
+//! temporal sampling.
+
+use crate::{Policy, PolicyContext, RegionLabel, RegionList};
+use rpr_frame::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A constant-velocity Kalman filter tracking one 2-D point.
+///
+/// # Example
+///
+/// ```
+/// use rpr_core::KalmanTracker2d;
+///
+/// let mut kf = KalmanTracker2d::new(10.0, 20.0, 1.0, 0.05);
+/// for t in 1..=20 {
+///     kf.predict();
+///     kf.update(10.0 + 3.0 * t as f64, 20.0); // moving +3 px/frame in x
+/// }
+/// let (px, _) = kf.predicted_position();
+/// assert!((px - (10.0 + 3.0 * 21.0)).abs() < 1.0);
+/// let (vx, vy) = kf.velocity();
+/// assert!((vx - 3.0).abs() < 0.2 && vy.abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KalmanTracker2d {
+    /// State estimate `[x, y, vx, vy]`.
+    state: [f64; 4],
+    /// State covariance (row-major 4x4).
+    p: [[f64; 4]; 4],
+    /// Measurement noise variance (px²).
+    r: f64,
+    /// Process (acceleration) noise intensity.
+    q: f64,
+}
+
+impl KalmanTracker2d {
+    /// Starts a track at `(x, y)` with measurement noise std-dev
+    /// `meas_sigma` (pixels) and process-noise intensity `q`.
+    pub fn new(x: f64, y: f64, meas_sigma: f64, q: f64) -> Self {
+        let mut p = [[0.0; 4]; 4];
+        // Uncertain velocity, fairly confident position.
+        p[0][0] = meas_sigma * meas_sigma;
+        p[1][1] = meas_sigma * meas_sigma;
+        p[2][2] = 25.0;
+        p[3][3] = 25.0;
+        KalmanTracker2d { state: [x, y, 0.0, 0.0], p, r: meas_sigma * meas_sigma, q }
+    }
+
+    /// Time-update with dt = 1 frame: `x += vx`, covariance grows by
+    /// the constant-acceleration process noise.
+    pub fn predict(&mut self) {
+        // State: F x with F = [I, I; 0, I] (dt = 1).
+        self.state[0] += self.state[2];
+        self.state[1] += self.state[3];
+        // Covariance: F P F' + Q.
+        let p = self.p;
+        let mut np = [[0.0; 4]; 4];
+        // F P F' expanded for the block structure (per axis a in {0,1}:
+        // positions index a, velocities a+2).
+        for a in 0..2 {
+            let (i, j) = (a, a + 2);
+            np[i][i] = p[i][i] + p[i][j] + p[j][i] + p[j][j];
+            np[i][j] = p[i][j] + p[j][j];
+            np[j][i] = p[j][i] + p[j][j];
+            np[j][j] = p[j][j];
+        }
+        // Cross-axis terms propagate the same way.
+        for (ai, aj) in [(0usize, 1usize), (1, 0)] {
+            let (i, j) = (ai, aj);
+            let (iv, jv) = (ai + 2, aj + 2);
+            np[i][j] = p[i][j] + p[i][jv] + p[iv][j] + p[iv][jv];
+            np[i][jv] = p[i][jv] + p[iv][jv];
+            np[iv][j] = p[iv][j] + p[iv][jv];
+            np[iv][jv] = p[iv][jv];
+        }
+        // Q: discrete constant-acceleration model, dt = 1.
+        for a in 0..2 {
+            np[a][a] += self.q / 4.0;
+            np[a][a + 2] += self.q / 2.0;
+            np[a + 2][a] += self.q / 2.0;
+            np[a + 2][a + 2] += self.q;
+        }
+        self.p = np;
+    }
+
+    /// Measurement-update with an observed position.
+    #[allow(clippy::needless_range_loop)] // parallel-array matrix math
+    pub fn update(&mut self, mx: f64, my: f64) {
+        // H = [I2 0]; S = H P H' + R is 2x2.
+        let s00 = self.p[0][0] + self.r;
+        let s11 = self.p[1][1] + self.r;
+        let s01 = self.p[0][1];
+        let det = s00 * s11 - s01 * s01;
+        if det.abs() < 1e-12 {
+            return;
+        }
+        let (i00, i01, i11) = (s11 / det, -s01 / det, s00 / det);
+        // K = P H' S^-1 (4x2).
+        let mut k = [[0.0; 2]; 4];
+        for row in 0..4 {
+            let (ph0, ph1) = (self.p[row][0], self.p[row][1]);
+            k[row][0] = ph0 * i00 + ph1 * i01;
+            k[row][1] = ph0 * i01 + ph1 * i11;
+        }
+        let y0 = mx - self.state[0];
+        let y1 = my - self.state[1];
+        for row in 0..4 {
+            self.state[row] += k[row][0] * y0 + k[row][1] * y1;
+        }
+        // P = (I - K H) P.
+        let p = self.p;
+        for row in 0..4 {
+            for col in 0..4 {
+                self.p[row][col] =
+                    p[row][col] - k[row][0] * p[0][col] - k[row][1] * p[1][col];
+            }
+        }
+    }
+
+    /// The filtered position.
+    pub fn position(&self) -> (f64, f64) {
+        (self.state[0], self.state[1])
+    }
+
+    /// The estimated velocity in px/frame.
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.state[2], self.state[3])
+    }
+
+    /// Where the filter expects the object on the *next* frame.
+    pub fn predicted_position(&self) -> (f64, f64) {
+        (self.state[0] + self.state[2], self.state[1] + self.state[3])
+    }
+
+    /// Positional uncertainty (1-sigma, pixels) — drives the region
+    /// margin.
+    pub fn position_sigma(&self) -> f64 {
+        (self.p[0][0].max(0.0) + self.p[1][1].max(0.0)).sqrt()
+    }
+
+    /// Speed estimate in px/frame.
+    pub fn speed(&self) -> f64 {
+        let (vx, vy) = self.velocity();
+        (vx * vx + vy * vy).sqrt()
+    }
+}
+
+/// Internal per-object track.
+#[derive(Debug, Clone)]
+struct Track {
+    filter: KalmanTracker2d,
+    size: (u32, u32),
+    missed: u32,
+}
+
+/// A Kalman-prediction region policy: detections from the previous
+/// frame update per-object trackers, and regions are placed at each
+/// tracker's *predicted* next-frame position with a margin scaled by
+/// the filter's uncertainty.
+///
+/// Compared to [`crate::FeaturePolicy`]'s "current position + fixed
+/// margin", prediction lets fast objects keep tight regions (the
+/// region moves with them instead of growing to cover the motion).
+#[derive(Debug, Clone)]
+pub struct KalmanPolicy {
+    tracks: Vec<Track>,
+    /// Largest temporal skip granted to a stationary object.
+    max_skip: u32,
+    /// Speed (px/frame) above which an object is sampled every frame.
+    fast_speed: f64,
+    /// Frames a track survives without a matching detection.
+    max_missed: u32,
+}
+
+impl KalmanPolicy {
+    /// Creates a policy with the default tuning.
+    pub fn new() -> Self {
+        KalmanPolicy { tracks: Vec::new(), max_skip: 3, fast_speed: 4.0, max_missed: 8 }
+    }
+
+    /// Number of live tracks.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Associates detections to tracks (greedy nearest-neighbour),
+    /// updates the filters, spawns new tracks, and retires stale ones.
+    fn ingest(&mut self, detections: &[(Rect, f64)]) {
+        let mut claimed = vec![false; detections.len()];
+        for track in &mut self.tracks {
+            track.filter.predict();
+            let (px, py) = track.filter.position();
+            let gate = f64::from(track.size.0.max(track.size.1)).max(16.0);
+            let best = detections
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !claimed[*i])
+                .map(|(i, (r, _))| {
+                    let (cx, cy) = r.center();
+                    (i, ((cx - px).powi(2) + (cy - py).powi(2)).sqrt())
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match best {
+                Some((i, dist)) if dist <= gate => {
+                    claimed[i] = true;
+                    let (cx, cy) = detections[i].0.center();
+                    track.filter.update(cx, cy);
+                    track.size = (detections[i].0.w, detections[i].0.h);
+                    track.missed = 0;
+                }
+                _ => track.missed += 1,
+            }
+        }
+        self.tracks.retain(|t| t.missed <= self.max_missed);
+        for (i, (r, _)) in detections.iter().enumerate() {
+            if !claimed[i] {
+                let (cx, cy) = r.center();
+                self.tracks.push(Track {
+                    filter: KalmanTracker2d::new(cx, cy, 2.0, 0.5),
+                    size: (r.w, r.h),
+                    missed: 0,
+                });
+            }
+        }
+    }
+}
+
+impl Default for KalmanPolicy {
+    fn default() -> Self {
+        KalmanPolicy::new()
+    }
+}
+
+impl Policy for KalmanPolicy {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        self.ingest(&ctx.detections);
+        let labels: Vec<RegionLabel> = self
+            .tracks
+            .iter()
+            .map(|t| {
+                let (px, py) = t.filter.predicted_position();
+                // Margin: 3-sigma prediction uncertainty (at least 4 px).
+                let margin = (3.0 * t.filter.position_sigma()).max(4.0) as u32;
+                let rect = Rect::centered(
+                    px.round() as i64,
+                    py.round() as i64,
+                    t.size.0 + 2 * margin,
+                    t.size.1 + 2 * margin,
+                );
+                let speed = t.filter.speed();
+                let skip = if speed >= self.fast_speed {
+                    1
+                } else {
+                    let slowness = 1.0 - (speed / self.fast_speed).clamp(0.0, 1.0);
+                    1 + (slowness * (self.max_skip - 1) as f64).round() as u32
+                };
+                RegionLabel::from_rect(rect, 1, skip)
+            })
+            .collect();
+        RegionList::new_lossy(ctx.width, ctx.height, labels)
+    }
+
+    fn name(&self) -> &str {
+        "kalman"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_converges_on_constant_velocity() {
+        let mut kf = KalmanTracker2d::new(0.0, 0.0, 1.0, 0.05);
+        for t in 1..=30 {
+            kf.predict();
+            kf.update(2.0 * t as f64, -(t as f64));
+        }
+        let (vx, vy) = kf.velocity();
+        assert!((vx - 2.0).abs() < 0.1, "vx {vx}");
+        assert!((vy + 1.0).abs() < 0.1, "vy {vy}");
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_measurements() {
+        let mut kf = KalmanTracker2d::new(0.0, 0.0, 2.0, 0.1);
+        let initial = kf.position_sigma();
+        for t in 1..=10 {
+            kf.predict();
+            kf.update(t as f64, 0.0);
+        }
+        assert!(kf.position_sigma() < initial);
+    }
+
+    #[test]
+    fn uncertainty_grows_while_coasting() {
+        let mut kf = KalmanTracker2d::new(0.0, 0.0, 1.0, 0.2);
+        for t in 1..=10 {
+            kf.predict();
+            kf.update(t as f64, 0.0);
+        }
+        let tracked = kf.position_sigma();
+        for _ in 0..5 {
+            kf.predict(); // no updates
+        }
+        assert!(kf.position_sigma() > tracked);
+    }
+
+    #[test]
+    fn stationary_measurements_give_zero_velocity() {
+        let mut kf = KalmanTracker2d::new(5.0, 5.0, 1.0, 0.05);
+        for _ in 0..20 {
+            kf.predict();
+            kf.update(5.0, 5.0);
+        }
+        assert!(kf.speed() < 0.05, "speed {}", kf.speed());
+    }
+
+    fn ctx_with(detections: Vec<(Rect, f64)>, frame_idx: u64) -> PolicyContext {
+        PolicyContext { frame_idx, width: 320, height: 240, features: vec![], detections }
+    }
+
+    #[test]
+    fn policy_tracks_a_moving_box() {
+        let mut policy = KalmanPolicy::new();
+        let mut last = RegionList::empty(320, 240);
+        for t in 0..12u32 {
+            let x = 20 + t * 5;
+            let det = vec![(Rect::new(x, 100, 30, 30), 1.0)];
+            last = policy.plan(&ctx_with(det, u64::from(t)));
+        }
+        assert_eq!(policy.track_count(), 1);
+        assert_eq!(last.len(), 1);
+        let r = last.labels()[0];
+        // Region centred near the *predicted* next position (~80-90).
+        let (cx, _) = r.rect().center();
+        assert!(cx > 80.0 && cx < 105.0, "cx {cx}");
+        // Fast object: sampled every frame.
+        assert_eq!(r.skip, 1);
+    }
+
+    #[test]
+    fn stationary_object_gets_temporal_skip() {
+        let mut policy = KalmanPolicy::new();
+        let mut last = RegionList::empty(320, 240);
+        for t in 0..15u64 {
+            last = policy.plan(&ctx_with(vec![(Rect::new(100, 100, 40, 40), 1.0)], t));
+        }
+        assert_eq!(last.labels()[0].skip, 3);
+    }
+
+    #[test]
+    fn tracks_retire_after_missing() {
+        let mut policy = KalmanPolicy::new();
+        for t in 0..3u64 {
+            policy.plan(&ctx_with(vec![(Rect::new(50, 50, 20, 20), 1.0)], t));
+        }
+        assert_eq!(policy.track_count(), 1);
+        for t in 3..15u64 {
+            policy.plan(&ctx_with(vec![], t));
+        }
+        assert_eq!(policy.track_count(), 0);
+    }
+
+    #[test]
+    fn separate_objects_get_separate_tracks() {
+        let mut policy = KalmanPolicy::new();
+        for t in 0..5u64 {
+            policy.plan(&ctx_with(
+                vec![
+                    (Rect::new(20, 20, 20, 20), 1.0),
+                    (Rect::new(250, 180, 20, 20), 1.0),
+                ],
+                t,
+            ));
+        }
+        assert_eq!(policy.track_count(), 2);
+    }
+}

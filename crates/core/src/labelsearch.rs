@@ -1,0 +1,202 @@
+//! The decoder design the paper *rejected* (§3.3): translating pixel
+//! addresses by searching the region-label list instead of reading the
+//! EncMask.
+//!
+//! "To service pixel requests …, the decoder will need to translate
+//! pixel addresses … However, this would limit decoder scalability, as
+//! the complexity of the search operation quickly grows with additional
+//! regions. Thus, instead of using region labels, we propose an
+//! alternative method that uses two forms of metadata …"
+//!
+//! [`LabelSearchDecoder`] implements the rejected design so the
+//! scalability argument can be measured: it reconstructs frames from
+//! the packed payload plus the *region labels* alone (never touching
+//! the EncMask), re-deriving each pixel's status by comparing it
+//! against the label list. Output is bit-identical to
+//! [`crate::SoftwareDecoder`] in block-nearest mode (asserted by
+//! property tests); cost grows with the number of regions, which the
+//! `ablation_decoder_design` bench quantifies.
+
+use crate::{
+    ComparisonEngine, EncodedFrame, PixelStatus, RegionList, RoiSelector, SoftwareDecoder,
+};
+use rpr_frame::GrayFrame;
+use serde::{Deserialize, Serialize};
+
+/// Work counters for the label-search translation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSearchStats {
+    /// Frames decoded.
+    pub frames: u64,
+    /// Region comparisons performed during address translation.
+    pub comparisons: u64,
+    /// Pixels translated.
+    pub pixels: u64,
+}
+
+impl LabelSearchStats {
+    /// Comparisons per translated pixel — grows with region count,
+    /// unlike the EncMask decoder's flat cost.
+    pub fn comparisons_per_pixel(&self) -> f64 {
+        if self.pixels == 0 {
+            0.0
+        } else {
+            self.comparisons as f64 / self.pixels as f64
+        }
+    }
+}
+
+/// The region-label-searching decoder (the paper's rejected §3.3
+/// alternative), kept for the scalability ablation.
+#[derive(Debug, Clone)]
+pub struct LabelSearchDecoder {
+    width: u32,
+    height: u32,
+    inner: SoftwareDecoder,
+    stats: LabelSearchStats,
+}
+
+impl LabelSearchDecoder {
+    /// Creates a decoder for `width x height` frames.
+    pub fn new(width: u32, height: u32) -> Self {
+        LabelSearchDecoder {
+            width,
+            height,
+            inner: SoftwareDecoder::new(width, height),
+            stats: LabelSearchStats::default(),
+        }
+    }
+
+    /// Accumulated translation-work counters.
+    pub fn stats(&self) -> &LabelSearchStats {
+        &self.stats
+    }
+
+    /// Decodes a frame from its payload and the *region labels*,
+    /// ignoring the stored EncMask entirely: the mask is re-derived by
+    /// classifying every pixel against the label list (with the same
+    /// row-shortlisting the encoder uses — the comparison count still
+    /// grows with the live-region density, which is the point of the
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the encoded frame, the region list, and the decoder
+    /// geometry disagree, or when the payload does not match the
+    /// classification (i.e. the labels are not the ones the frame was
+    /// encoded with).
+    pub fn decode(&mut self, encoded: &EncodedFrame, regions: &RegionList) -> GrayFrame {
+        assert_eq!((encoded.width(), encoded.height()), (self.width, self.height));
+        assert_eq!((regions.width(), regions.height()), (self.width, self.height));
+
+        // Re-derive the mask from the labels (the expensive search the
+        // hardware would perform per pixel request).
+        let mut mask = crate::EncMask::new(self.width, self.height);
+        let mut selector = RoiSelector::new();
+        let frame_idx = encoded.frame_idx();
+        let mut regional: u32 = 0;
+        let mut row_counts = Vec::with_capacity(self.height as usize);
+        for y in 0..self.height {
+            let shortlist = selector.advance_to_row(regions, y).to_vec();
+            let mut count = 0u32;
+            for x in 0..self.width {
+                let (status, comparisons) =
+                    ComparisonEngine::classify(regions, &shortlist, x, y, frame_idx);
+                self.stats.comparisons += comparisons;
+                if status != PixelStatus::NonRegional {
+                    mask.set(x, y, status);
+                }
+                if status == PixelStatus::Regional {
+                    count += 1;
+                }
+            }
+            regional += count;
+            row_counts.push(count);
+        }
+        self.stats.pixels += u64::from(self.width) * u64::from(self.height);
+        self.stats.frames += 1;
+        assert_eq!(
+            regional as usize,
+            encoded.pixel_count(),
+            "labels do not match the encoded payload"
+        );
+
+        // Assemble an equivalent encoded frame and reuse the reference
+        // reconstruction path so outputs stay bit-identical.
+        let metadata = crate::FrameMetadata {
+            row_offsets: crate::RowOffsets::from_row_counts(&row_counts),
+            mask,
+        };
+        let rebuilt = EncodedFrame::new(
+            self.width,
+            self.height,
+            frame_idx,
+            encoded.pixels().to_vec(),
+            metadata,
+        );
+        self.inner.decode(&rebuilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegionLabel, RhythmicEncoder};
+    use rpr_frame::Plane;
+
+    fn frame() -> GrayFrame {
+        Plane::from_fn(48, 40, |x, y| (x * 3 + y * 7) as u8)
+    }
+
+    fn regions(n: u32) -> RegionList {
+        RegionList::new_lossy(
+            48,
+            40,
+            (0..n)
+                .map(|i| RegionLabel::new((i * 11) % 40, (i * 7) % 32, 8, 8, 1 + i % 3, 1 + i % 2))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn output_matches_encmask_decoder() {
+        let frame = frame();
+        let list = regions(6);
+        for idx in 0..3u64 {
+            let mut enc = RhythmicEncoder::new(48, 40);
+            let encoded = enc.encode(&frame, idx, &list);
+            let mut reference = SoftwareDecoder::new(48, 40);
+            let expected = reference.decode(&encoded);
+            let mut label_search = LabelSearchDecoder::new(48, 40);
+            let actual = label_search.decode(&encoded, &list);
+            assert_eq!(actual, expected, "frame {idx}");
+        }
+    }
+
+    #[test]
+    fn comparison_cost_grows_with_regions() {
+        let frame = frame();
+        let mut costs = Vec::new();
+        for n in [2u32, 8, 24] {
+            let list = regions(n);
+            let mut enc = RhythmicEncoder::new(48, 40);
+            let encoded = enc.encode(&frame, 0, &list);
+            let mut dec = LabelSearchDecoder::new(48, 40);
+            dec.decode(&encoded, &list);
+            costs.push(dec.stats().comparisons_per_pixel());
+        }
+        assert!(costs[0] < costs[1] && costs[1] < costs[2], "costs {costs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels do not match")]
+    fn wrong_labels_are_detected() {
+        let frame = frame();
+        let list = regions(4);
+        let mut enc = RhythmicEncoder::new(48, 40);
+        let encoded = enc.encode(&frame, 0, &list);
+        let other = regions(9);
+        let mut dec = LabelSearchDecoder::new(48, 40);
+        let _ = dec.decode(&encoded, &other);
+    }
+}

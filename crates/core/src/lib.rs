@@ -1,0 +1,74 @@
+//! Rhythmic pixel regions: the encoder, decoder, runtime, and policies
+//! from *Rhythmic Pixel Regions: Multi-resolution Visual Sensing System
+//! towards High-Precision Visual Computing at Low Power* (ASPLOS '21).
+//!
+//! The central idea is to stop treating camera frames as uniform grids:
+//! an application declares [`RegionLabel`]s — rectangles with a spatial
+//! `stride` (pixel density) and temporal `skip` (update interval) — and
+//! the [`RhythmicEncoder`] discards every pixel outside that rhythm
+//! *before* the frame reaches DRAM, writing a tightly packed
+//! [`EncodedFrame`] plus two pieces of metadata: a per-row offset table
+//! and a 2-bit-per-pixel [`EncMask`]. The [`SoftwareDecoder`] (and its
+//! hardware counterpart modeled by [`PixelMmu`]) reconstructs ordinary
+//! frame-addressed pixels on demand so unmodified vision algorithms can
+//! consume the stream.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rpr_core::{RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder};
+//! use rpr_frame::{GrayFrame, Plane};
+//!
+//! // A 64x48 frame with a gradient.
+//! let frame: GrayFrame = Plane::from_fn(64, 48, |x, y| (x + y) as u8);
+//!
+//! // Keep full detail in a 16x16 box, discard everything else.
+//! let regions = RegionList::new(64, 48, vec![RegionLabel::new(8, 8, 16, 16, 1, 1)])?;
+//!
+//! let mut encoder = RhythmicEncoder::new(64, 48);
+//! let encoded = encoder.encode(&frame, 0, &regions);
+//! assert_eq!(encoded.pixel_count(), 16 * 16);
+//!
+//! let mut decoder = SoftwareDecoder::new(64, 48);
+//! let decoded = decoder.decode(&encoded);
+//! assert_eq!(decoded.get(10, 10), frame.get(10, 10)); // inside region
+//! assert_eq!(decoded.get(40, 40), Some(0));           // outside: black
+//! # Ok::<(), rpr_core::CoreError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod encmask;
+mod encoded;
+mod encoder;
+mod decoder;
+mod error;
+mod kalman;
+mod labelsearch;
+mod metadata;
+mod mmu;
+mod policy;
+mod region;
+mod runtime;
+
+pub use encmask::{EncMask, PixelStatus};
+pub use encoded::EncodedFrame;
+pub use encoder::{
+    ComparisonEngine, EncoderConfig, EncoderStats, EngineKind, RhythmicEncoder, RoiSelector,
+    Sequencer, StreamingEncoder,
+};
+pub use decoder::{FrameHistory, ReconstructionMode, SoftwareDecoder, HISTORY_DEPTH};
+pub use error::CoreError;
+pub use kalman::{KalmanPolicy, KalmanTracker2d};
+pub use labelsearch::{LabelSearchDecoder, LabelSearchStats};
+pub use metadata::{FrameMetadata, RowOffsets};
+pub use mmu::{PixelMmu, PixelRequest, SubRequest, SubRequestKind, TransactionAnalyzer};
+pub use policy::{
+    AdaptiveCyclePolicy, CycleLengthPolicy, Feature, FeaturePolicy, FeaturePolicyParams,
+    FullFramePolicy, Policy, PolicyContext, StaticPolicy,
+};
+pub use region::{RegionLabel, RegionList};
+pub use runtime::{RegionRuntime, RegisterFile, RuntimeService, RuntimeStats};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,197 @@
+use crate::{EncMask, PixelStatus};
+use serde::{Deserialize, Serialize};
+
+/// The per-row offset table (paper §3.3): entry `y` counts the encoded
+/// (`R`) pixels in all rows strictly above `y`, so the decoder can jump
+/// to a row's span of the packed encoded frame in O(1).
+///
+/// A final entry equal to the total encoded pixel count is appended so
+/// `row_span` needs no special casing for the last row.
+///
+/// # Example
+///
+/// ```
+/// use rpr_core::RowOffsets;
+///
+/// // Rows containing 3, 0, and 2 encoded pixels.
+/// let offsets = RowOffsets::from_row_counts(&[3, 0, 2]);
+/// assert_eq!(offsets.offset_of_row(0), 0);
+/// assert_eq!(offsets.offset_of_row(2), 3);
+/// assert_eq!(offsets.row_span(2), 3..5);
+/// assert_eq!(offsets.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowOffsets {
+    /// `offsets[y]` = encoded pixels before row `y`; length = rows + 1.
+    offsets: Vec<u32>,
+}
+
+impl RowOffsets {
+    /// Builds the table from the number of encoded pixels in each row.
+    pub fn from_row_counts(counts: &[u32]) -> Self {
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        RowOffsets { offsets }
+    }
+
+    /// Number of rows covered.
+    pub fn rows(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Encoded pixels before row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y > rows()`.
+    #[inline]
+    pub fn offset_of_row(&self, y: u32) -> u32 {
+        self.offsets[y as usize]
+    }
+
+    /// The encoded-frame index range holding row `y`'s pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y >= rows()`.
+    #[inline]
+    pub fn row_span(&self, y: u32) -> std::ops::Range<u32> {
+        self.offsets[y as usize]..self.offsets[y as usize + 1]
+    }
+
+    /// Total number of encoded pixels.
+    pub fn total(&self) -> u32 {
+        *self.offsets.last().expect("offsets always non-empty")
+    }
+
+    /// Byte size of the table in DRAM (4 bytes per row, matching the
+    /// paper's metadata accounting; the sentinel entry is an
+    /// implementation convenience and is not charged).
+    pub fn size_bytes(&self) -> usize {
+        (self.offsets.len() - 1) * std::mem::size_of::<u32>()
+    }
+
+    /// True when every row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+/// The complete decoder-facing metadata for one encoded frame: the
+/// per-row offsets and the [`EncMask`] (paper §3.3). Stored alongside
+/// the encoded framebuffer in DRAM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameMetadata {
+    /// Per-row offsets into the packed encoded frame.
+    pub row_offsets: RowOffsets,
+    /// Two-bit sampling status per original pixel.
+    pub mask: EncMask,
+}
+
+impl FrameMetadata {
+    /// Builds metadata from a finished mask by counting `R` pixels per
+    /// row. Primarily for tests; the encoder produces both in one pass.
+    pub fn from_mask(mask: EncMask) -> Self {
+        let counts: Vec<u32> = (0..mask.height())
+            .map(|y| {
+                mask.row_iter(y).filter(|&s| s == PixelStatus::Regional).count() as u32
+            })
+            .collect();
+        FrameMetadata { row_offsets: RowOffsets::from_row_counts(&counts), mask }
+    }
+
+    /// Total metadata footprint in bytes (mask + offset table), the
+    /// overhead the paper quotes as ~8 % of a 1080p frame.
+    pub fn size_bytes(&self) -> usize {
+        self.mask.size_bytes() + self.row_offsets.size_bytes()
+    }
+
+    /// Consistency check: the offset table's totals must match the
+    /// mask's per-row `R` counts. The encoder maintains this invariant;
+    /// property tests assert it.
+    pub fn is_consistent(&self) -> bool {
+        if self.row_offsets.rows() != self.mask.height() {
+            return false;
+        }
+        (0..self.mask.height()).all(|y| {
+            let expected =
+                self.mask.row_iter(y).filter(|&s| s == PixelStatus::Regional).count() as u32;
+            self.row_offsets.row_span(y).len() as u32 == expected
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_accumulate() {
+        let o = RowOffsets::from_row_counts(&[2, 0, 5, 1]);
+        assert_eq!(o.rows(), 4);
+        assert_eq!(o.offset_of_row(0), 0);
+        assert_eq!(o.offset_of_row(1), 2);
+        assert_eq!(o.offset_of_row(3), 7);
+        assert_eq!(o.total(), 8);
+    }
+
+    #[test]
+    fn row_span_covers_row_pixels() {
+        let o = RowOffsets::from_row_counts(&[2, 0, 5]);
+        assert_eq!(o.row_span(0), 0..2);
+        assert_eq!(o.row_span(1), 2..2);
+        assert_eq!(o.row_span(2), 2..7);
+    }
+
+    #[test]
+    fn empty_offsets() {
+        let o = RowOffsets::from_row_counts(&[]);
+        assert_eq!(o.rows(), 0);
+        assert!(o.is_empty());
+        assert_eq!(o.size_bytes(), 0);
+    }
+
+    #[test]
+    fn size_bytes_is_four_per_row() {
+        let o = RowOffsets::from_row_counts(&[1; 1080]);
+        assert_eq!(o.size_bytes(), 4 * 1080);
+    }
+
+    #[test]
+    fn metadata_from_mask_is_consistent() {
+        let mut mask = EncMask::new(6, 3);
+        mask.set(0, 0, PixelStatus::Regional);
+        mask.set(5, 0, PixelStatus::Regional);
+        mask.set(2, 2, PixelStatus::Regional);
+        mask.set(3, 2, PixelStatus::Strided);
+        let meta = FrameMetadata::from_mask(mask);
+        assert!(meta.is_consistent());
+        assert_eq!(meta.row_offsets.total(), 3);
+        assert_eq!(meta.row_offsets.row_span(0), 0..2);
+        assert_eq!(meta.row_offsets.row_span(1), 2..2);
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let mut mask = EncMask::new(4, 2);
+        mask.set(0, 0, PixelStatus::Regional);
+        let bad = FrameMetadata {
+            row_offsets: RowOffsets::from_row_counts(&[0, 0]),
+            mask,
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn metadata_overhead_at_1080p_is_about_8_percent_of_rgb() {
+        let meta = FrameMetadata::from_mask(EncMask::new(1920, 1080));
+        let rgb_frame_bytes = 1920 * 1080 * 3;
+        let overhead = meta.size_bytes() as f64 / rgb_frame_bytes as f64;
+        assert!(overhead > 0.07 && overhead < 0.09, "overhead {overhead}");
+    }
+}

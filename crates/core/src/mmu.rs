@@ -1,0 +1,359 @@
+//! The pixel memory management unit (paper §4.2.1).
+//!
+//! The PMMU plays the role a conventional MMU plays for virtual memory:
+//! the vision application issues reads in the *decoded* frame address
+//! space, and the PMMU translates each one into the DRAM address of the
+//! right pixel of the right *encoded* frame — the current frame for `R`
+//! pixels, one of the four most recent frames for temporally skipped
+//! (`Sk`) pixels — or flags it for interpolation (`St`) or black fill
+//! (`N`). Requests outside the decoded framebuffer are rejected by the
+//! out-of-frame handler (modeling the bypass to standard memory access).
+
+use crate::decoder::FrameHistory;
+use crate::{CoreError, PixelStatus, Result};
+use serde::{Deserialize, Serialize};
+
+/// A read request from the vision application: `len` sequential pixels
+/// of the decoded frame starting at `(x, y)`, in linear raster order
+/// (the request may cross row boundaries, like an AXI burst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PixelRequest {
+    /// Start column.
+    pub x: u32,
+    /// Start row.
+    pub y: u32,
+    /// Number of sequential pixels requested.
+    pub len: u32,
+}
+
+impl PixelRequest {
+    /// A request for a single pixel.
+    pub fn single(x: u32, y: u32) -> Self {
+        PixelRequest { x, y, len: 1 }
+    }
+
+    /// A request for a whole row of a `width`-pixel frame.
+    pub fn row(y: u32, width: u32) -> Self {
+        PixelRequest { x: 0, y, len: width }
+    }
+}
+
+/// Where the translated pixel lives, produced by the
+/// [`TransactionAnalyzer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubRequestKind {
+    /// `R` in the current frame: fetch `offset` in its encoded payload.
+    CurrentFrame {
+        /// Linear index into the encoded pixel payload.
+        offset: u32,
+    },
+    /// `Sk` resolved to an `R` pixel of a recent encoded frame.
+    HistoryFrame {
+        /// How many frames back the hosting encoded frame is (1-based).
+        frames_back: u8,
+        /// Linear index into that frame's encoded payload.
+        offset: u32,
+    },
+    /// `St` in the current frame: the FIFO sampling unit interpolates.
+    Interpolate,
+    /// `Sk` resolved to an `St` pixel of a recent frame: interpolate
+    /// within that frame.
+    HistoryInterpolate {
+        /// How many frames back the hosting encoded frame is (1-based).
+        frames_back: u8,
+    },
+    /// No data anywhere in the history window: black fill.
+    Black,
+}
+
+/// One translated pixel sub-request (paper §4.2.1: base address, row and
+/// column offset, and a tag index of which frame hosts the pixel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubRequest {
+    /// Decoded-space column of the pixel this sub-request serves.
+    pub x: u32,
+    /// Decoded-space row of the pixel this sub-request serves.
+    pub y: u32,
+    /// Translation result.
+    pub kind: SubRequestKind,
+}
+
+/// Counters describing where translated pixels were found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationStats {
+    /// Sub-requests served by the current encoded frame.
+    pub intra_frame: u64,
+    /// Sub-requests served by an older encoded frame.
+    pub inter_frame: u64,
+    /// Sub-requests resolved by interpolation (current or history).
+    pub interpolated: u64,
+    /// Sub-requests that produced black fill.
+    pub black: u64,
+}
+
+impl TranslationStats {
+    /// Total translated sub-requests.
+    pub fn total(&self) -> u64 {
+        self.intra_frame + self.inter_frame + self.interpolated + self.black
+    }
+}
+
+/// Inspects the EncMasks of the recent frames and classifies each pixel
+/// of a transaction into sub-requests (paper §4.2.1's "Transaction
+/// Analyzer").
+#[derive(Debug, Clone, Default)]
+pub struct TransactionAnalyzer {
+    stats: TranslationStats,
+}
+
+impl TransactionAnalyzer {
+    /// Creates an analyzer with zeroed statistics.
+    pub fn new() -> Self {
+        TransactionAnalyzer::default()
+    }
+
+    /// Accumulated translation statistics.
+    pub fn stats(&self) -> &TranslationStats {
+        &self.stats
+    }
+
+    /// Clears the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = TranslationStats::default();
+    }
+
+    /// Translates one pixel against the history (index 0 = current
+    /// frame). The history must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the history holds no frames.
+    pub fn translate_pixel(&mut self, history: &FrameHistory, x: u32, y: u32) -> SubRequest {
+        let current = history.current().expect("translate_pixel needs a current frame");
+        let kind = match current.metadata().mask.get(x, y) {
+            PixelStatus::Regional => {
+                self.stats.intra_frame += 1;
+                let offset = current.metadata().row_offsets.offset_of_row(y)
+                    + current.metadata().mask.regional_before(x, y);
+                SubRequestKind::CurrentFrame { offset }
+            }
+            PixelStatus::Strided => {
+                self.stats.interpolated += 1;
+                SubRequestKind::Interpolate
+            }
+            PixelStatus::NonRegional => {
+                self.stats.black += 1;
+                SubRequestKind::Black
+            }
+            PixelStatus::Skipped => self.resolve_skipped(history, x, y),
+        };
+        SubRequest { x, y, kind }
+    }
+
+    /// Searches the older frames (newest first) for real data backing a
+    /// temporally skipped pixel.
+    fn resolve_skipped(&mut self, history: &FrameHistory, x: u32, y: u32) -> SubRequestKind {
+        for back in 1..history.len() {
+            let frame = history.get(back).expect("index < len");
+            match frame.metadata().mask.get(x, y) {
+                PixelStatus::Regional => {
+                    self.stats.inter_frame += 1;
+                    let offset = frame.metadata().row_offsets.offset_of_row(y)
+                        + frame.metadata().mask.regional_before(x, y);
+                    return SubRequestKind::HistoryFrame { frames_back: back as u8, offset };
+                }
+                PixelStatus::Strided => {
+                    self.stats.interpolated += 1;
+                    return SubRequestKind::HistoryInterpolate { frames_back: back as u8 };
+                }
+                // Skipped or NonRegional: keep looking further back.
+                _ => continue,
+            }
+        }
+        self.stats.black += 1;
+        SubRequestKind::Black
+    }
+}
+
+/// The pixel memory management unit: bounds checking (out-of-frame
+/// handler) plus transaction analysis (paper §4.2.1, Fig. 6).
+#[derive(Debug, Clone)]
+pub struct PixelMmu {
+    width: u32,
+    height: u32,
+    analyzer: TransactionAnalyzer,
+}
+
+impl PixelMmu {
+    /// Creates a PMMU for a `width x height` decoded framebuffer.
+    pub fn new(width: u32, height: u32) -> Self {
+        PixelMmu { width, height, analyzer: TransactionAnalyzer::new() }
+    }
+
+    /// Decoded framebuffer width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Decoded framebuffer height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Accumulated translation statistics.
+    pub fn stats(&self) -> &TranslationStats {
+        self.analyzer.stats()
+    }
+
+    /// Clears the statistics.
+    pub fn reset_stats(&mut self) {
+        self.analyzer.reset_stats();
+    }
+
+    /// Validates and translates a whole transaction into per-pixel
+    /// sub-requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfFrame`] when any requested pixel lies
+    /// outside the decoded framebuffer address space (the hardware
+    /// would bypass such a request to standard DRAM access).
+    pub fn analyze(
+        &mut self,
+        history: &FrameHistory,
+        request: PixelRequest,
+    ) -> Result<Vec<SubRequest>> {
+        if history.current().is_none() {
+            return Err(CoreError::OutOfFrame { x: request.x, y: request.y });
+        }
+        let start = u64::from(request.y) * u64::from(self.width) + u64::from(request.x);
+        let frame_pixels = u64::from(self.width) * u64::from(self.height);
+        if request.x >= self.width || start + u64::from(request.len) > frame_pixels {
+            return Err(CoreError::OutOfFrame { x: request.x, y: request.y });
+        }
+        let mut subs = Vec::with_capacity(request.len as usize);
+        for i in 0..u64::from(request.len) {
+            let linear = start + i;
+            let x = (linear % u64::from(self.width)) as u32;
+            let y = (linear / u64::from(self.width)) as u32;
+            subs.push(self.analyzer.translate_pixel(history, x, y));
+        }
+        Ok(subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::FrameHistory;
+    use crate::{RegionLabel, RegionList, RhythmicEncoder};
+    use rpr_frame::Plane;
+
+    fn history_with(regions: Vec<RegionLabel>, frames: u64) -> FrameHistory {
+        let frame = Plane::from_fn(16, 16, |x, y| (x * 3 + y) as u8);
+        let list = RegionList::new(16, 16, regions).unwrap();
+        let mut enc = RhythmicEncoder::new(16, 16);
+        let mut history = FrameHistory::new();
+        for idx in 0..frames {
+            history.push(enc.encode(&frame, idx, &list));
+        }
+        history
+    }
+
+    #[test]
+    fn regional_pixel_translates_to_current_frame() {
+        let history = history_with(vec![RegionLabel::new(2, 2, 4, 4, 1, 1)], 1);
+        let mut mmu = PixelMmu::new(16, 16);
+        let subs = mmu.analyze(&history, PixelRequest::single(2, 2)).unwrap();
+        assert_eq!(subs[0].kind, SubRequestKind::CurrentFrame { offset: 0 });
+        let subs = mmu.analyze(&history, PixelRequest::single(3, 3)).unwrap();
+        // Row 3 holds the second row of the region; one row of 4 before it.
+        assert_eq!(subs[0].kind, SubRequestKind::CurrentFrame { offset: 5 });
+    }
+
+    #[test]
+    fn non_regional_pixel_is_black() {
+        let history = history_with(vec![RegionLabel::new(2, 2, 4, 4, 1, 1)], 1);
+        let mut mmu = PixelMmu::new(16, 16);
+        let subs = mmu.analyze(&history, PixelRequest::single(10, 10)).unwrap();
+        assert_eq!(subs[0].kind, SubRequestKind::Black);
+    }
+
+    #[test]
+    fn strided_pixel_requests_interpolation() {
+        let history = history_with(vec![RegionLabel::new(0, 0, 8, 8, 2, 1)], 1);
+        let mut mmu = PixelMmu::new(16, 16);
+        let subs = mmu.analyze(&history, PixelRequest::single(1, 0)).unwrap();
+        assert_eq!(subs[0].kind, SubRequestKind::Interpolate);
+    }
+
+    #[test]
+    fn skipped_pixel_resolves_to_history_frame() {
+        // skip=2: frame 0 samples, frame 1 skips.
+        let history = history_with(vec![RegionLabel::new(0, 0, 4, 4, 1, 2)], 2);
+        let mut mmu = PixelMmu::new(16, 16);
+        let subs = mmu.analyze(&history, PixelRequest::single(1, 1)).unwrap();
+        assert_eq!(
+            subs[0].kind,
+            SubRequestKind::HistoryFrame { frames_back: 1, offset: 5 }
+        );
+        assert_eq!(mmu.stats().inter_frame, 1);
+    }
+
+    #[test]
+    fn skipped_pixel_without_history_is_black() {
+        // First frame of a skip=3 region observed off-phase: encode only
+        // frame index 1 (region inactive), no earlier frames in history.
+        let frame = Plane::from_fn(16, 16, |_, _| 9u8);
+        let list =
+            RegionList::new(16, 16, vec![RegionLabel::new(0, 0, 4, 4, 1, 3)]).unwrap();
+        let mut enc = RhythmicEncoder::new(16, 16);
+        let mut history = FrameHistory::new();
+        history.push(enc.encode(&frame, 1, &list));
+        let mut mmu = PixelMmu::new(16, 16);
+        let subs = mmu.analyze(&history, PixelRequest::single(0, 0)).unwrap();
+        assert_eq!(subs[0].kind, SubRequestKind::Black);
+    }
+
+    #[test]
+    fn burst_request_crosses_rows() {
+        let history = history_with(vec![RegionLabel::new(0, 0, 16, 16, 1, 1)], 1);
+        let mut mmu = PixelMmu::new(16, 16);
+        let subs = mmu.analyze(&history, PixelRequest { x: 14, y: 0, len: 4 }).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!((subs[2].x, subs[2].y), (0, 1));
+    }
+
+    #[test]
+    fn out_of_frame_requests_are_rejected() {
+        let history = history_with(vec![RegionLabel::new(0, 0, 4, 4, 1, 1)], 1);
+        let mut mmu = PixelMmu::new(16, 16);
+        assert!(matches!(
+            mmu.analyze(&history, PixelRequest::single(16, 0)),
+            Err(CoreError::OutOfFrame { .. })
+        ));
+        assert!(matches!(
+            mmu.analyze(&history, PixelRequest { x: 0, y: 15, len: 17 }),
+            Err(CoreError::OutOfFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_history_is_rejected() {
+        let history = FrameHistory::new();
+        let mut mmu = PixelMmu::new(16, 16);
+        assert!(mmu.analyze(&history, PixelRequest::single(0, 0)).is_err());
+    }
+
+    #[test]
+    fn stats_count_each_source() {
+        let history = history_with(vec![RegionLabel::new(0, 0, 8, 8, 2, 1)], 1);
+        let mut mmu = PixelMmu::new(16, 16);
+        mmu.analyze(&history, PixelRequest::row(0, 16)).unwrap();
+        let s = *mmu.stats();
+        assert_eq!(s.intra_frame, 4); // x = 0, 2, 4, 6
+        assert_eq!(s.interpolated, 4); // x = 1, 3, 5, 7
+        assert_eq!(s.black, 8);
+        assert_eq!(s.total(), 16);
+    }
+}

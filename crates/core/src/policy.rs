@@ -1,0 +1,515 @@
+//! Region-selection policies (paper §4.3, §4.3.1).
+//!
+//! The paper splits developers into *policy makers*, who write the logic
+//! that turns application state (visual features, detections, motion)
+//! into region labels, and *policy users*, who pick a ready-made policy.
+//! This module is the policy-maker toolkit: the [`Policy`] trait, the
+//! feature abstraction policies consume, and the paper's example
+//! policies — most importantly the cycle-length policy, which performs a
+//! full-frame capture every `cycle_length` frames and feature-guided
+//! regional capture in between (Fig. 7).
+
+use crate::{RegionLabel, RegionList};
+use rpr_frame::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A tracked visual feature, the currency between vision algorithms and
+/// policies. For ORB-SLAM the paper derives the region footprint from
+/// the feature's `size` attribute, the stride from its `octave`
+/// (texture scale), and the temporal rate from its frame-to-frame
+/// displacement (§3.4, §4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Feature {
+    /// Feature centre, x.
+    pub x: f64,
+    /// Feature centre, y.
+    pub y: f64,
+    /// Diameter of the meaningful neighbourhood around the feature.
+    pub size: f64,
+    /// Pyramid octave the feature was detected in (0 = full resolution).
+    pub octave: u32,
+    /// Frame-to-frame displacement magnitude in pixels (0 when unknown).
+    pub displacement: f64,
+}
+
+impl Feature {
+    /// Creates a feature at `(x, y)` with the given neighbourhood size.
+    pub fn new(x: f64, y: f64, size: f64) -> Self {
+        Feature { x, y, size, octave: 0, displacement: 0.0 }
+    }
+
+    /// Sets the detection octave.
+    pub fn with_octave(mut self, octave: u32) -> Self {
+        self.octave = octave;
+        self
+    }
+
+    /// Sets the observed displacement.
+    pub fn with_displacement(mut self, displacement: f64) -> Self {
+        self.displacement = displacement;
+        self
+    }
+}
+
+/// Everything a policy may consult when planning the next frame's
+/// region labels.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyContext {
+    /// Index of the frame about to be captured.
+    pub frame_idx: u64,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Features extracted from the most recent decoded frame.
+    pub features: Vec<Feature>,
+    /// Detection boxes (faces, people) from the most recent frame, with
+    /// an observed per-box displacement magnitude.
+    pub detections: Vec<(Rect, f64)>,
+}
+
+/// A region-selection policy: called before each frame capture to
+/// produce the region labels the encoder will apply.
+pub trait Policy {
+    /// Plans the region labels for the frame described by `ctx`.
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList;
+
+    /// A short human-readable name for experiment reports.
+    fn name(&self) -> &str;
+}
+
+/// Captures every frame in full: the frame-based-computing baseline
+/// expressed as a (degenerate) policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullFramePolicy;
+
+impl Policy for FullFramePolicy {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        RegionList::full_frame(ctx.width, ctx.height)
+    }
+
+    fn name(&self) -> &str {
+        "full-frame"
+    }
+}
+
+/// Replays a fixed region list every frame (region label lists "persist
+/// across frames", §4.3).
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    labels: Vec<RegionLabel>,
+}
+
+impl StaticPolicy {
+    /// Creates a policy that always returns `labels`.
+    pub fn new(labels: Vec<RegionLabel>) -> Self {
+        StaticPolicy { labels }
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        RegionList::new_lossy(ctx.width, ctx.height, self.labels.clone())
+    }
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+/// Tuning knobs for [`FeaturePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeaturePolicyParams {
+    /// Extra pixels added around each feature's neighbourhood to absorb
+    /// frame-to-frame displacement (§4.3.1 "extra margin").
+    pub margin: u32,
+    /// Smallest region edge emitted.
+    pub min_region: u32,
+    /// Largest region edge emitted.
+    pub max_region: u32,
+    /// Largest stride a region may receive.
+    pub max_stride: u32,
+    /// Largest temporal skip a region may receive.
+    pub max_skip: u32,
+    /// Displacement (px/frame) above which a region is sampled every
+    /// frame; slower regions get proportionally larger skips.
+    pub fast_displacement: f64,
+}
+
+impl Default for FeaturePolicyParams {
+    fn default() -> Self {
+        FeaturePolicyParams {
+            margin: 8,
+            min_region: 16,
+            max_region: 256,
+            max_stride: 4,
+            max_skip: 3,
+            fast_displacement: 4.0,
+        }
+    }
+}
+
+/// The paper's feature-guided policy (§3.4, §4.3.1): one region per
+/// feature, sized from the feature's `size`, strided from its `octave`,
+/// and temporally rated from its displacement; plus one region per
+/// tracked detection box.
+#[derive(Debug, Clone, Default)]
+pub struct FeaturePolicy {
+    params: FeaturePolicyParams,
+}
+
+impl FeaturePolicy {
+    /// Creates the policy with default parameters.
+    pub fn new() -> Self {
+        FeaturePolicy { params: FeaturePolicyParams::default() }
+    }
+
+    /// Creates the policy with explicit parameters.
+    pub fn with_params(params: FeaturePolicyParams) -> Self {
+        FeaturePolicy { params }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &FeaturePolicyParams {
+        &self.params
+    }
+
+    /// Region label for a single feature.
+    pub fn label_for_feature(&self, f: &Feature) -> RegionLabel {
+        let p = &self.params;
+        // "size" guides the width and height of the region (§4.3.1).
+        let edge = (f.size.ceil() as u32 + 2 * p.margin).clamp(p.min_region, p.max_region);
+        let rect = Rect::centered(f.x.round() as i64, f.y.round() as i64, edge, edge);
+        // "octave" (texture scale) determines the stride: coarse features
+        // tolerate sparser sampling.
+        let stride = (f.octave + 1).clamp(1, p.max_stride);
+        // Feature velocity determines the temporal rate: fast regions are
+        // sampled every frame, slow regions every `max_skip` frames.
+        let skip = if f.displacement >= p.fast_displacement {
+            1
+        } else {
+            let slowness = 1.0 - (f.displacement / p.fast_displacement).clamp(0.0, 1.0);
+            1 + (slowness * (p.max_skip - 1) as f64).round() as u32
+        };
+        RegionLabel::from_rect(rect, stride, skip)
+    }
+
+    /// Region label for a tracked detection box moving at
+    /// `displacement` px/frame.
+    pub fn label_for_detection(&self, rect: &Rect, displacement: f64) -> RegionLabel {
+        let p = &self.params;
+        let grown = rect.inflated(p.margin);
+        // Larger boxes tolerate sparser sampling (they are closer/bigger
+        // than the precision the task needs), matching the paper's
+        // observed strides of 1-4 scaling with region size.
+        let stride = ((grown.w.max(grown.h)) / 128 + 1).clamp(1, p.max_stride);
+        let skip = if displacement >= p.fast_displacement {
+            1
+        } else {
+            let slowness = 1.0 - (displacement / p.fast_displacement).clamp(0.0, 1.0);
+            1 + (slowness * (p.max_skip - 1) as f64).round() as u32
+        };
+        RegionLabel::from_rect(grown, stride, skip)
+    }
+}
+
+impl Policy for FeaturePolicy {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        let mut labels: Vec<RegionLabel> =
+            ctx.features.iter().map(|f| self.label_for_feature(f)).collect();
+        labels.extend(
+            ctx.detections.iter().map(|(r, d)| self.label_for_detection(r, *d)),
+        );
+        RegionList::new_lossy(ctx.width, ctx.height, labels)
+    }
+
+    fn name(&self) -> &str {
+        "feature"
+    }
+}
+
+/// The paper's example cycle-length policy (Fig. 7): a full-frame
+/// capture every `cycle_length` frames to keep scene coverage, with the
+/// inner policy's feature/detection regions in between. The paper
+/// evaluates CL = 5, 10, 15.
+#[derive(Debug, Clone)]
+pub struct CycleLengthPolicy<P> {
+    cycle_length: u64,
+    inner: P,
+    name: String,
+}
+
+impl<P: Policy> CycleLengthPolicy<P> {
+    /// Wraps `inner` with full captures every `cycle_length` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle_length == 0`.
+    pub fn new(cycle_length: u64, inner: P) -> Self {
+        assert!(cycle_length > 0, "cycle length must be >= 1");
+        let name = format!("RP{cycle_length}");
+        CycleLengthPolicy { cycle_length, inner, name }
+    }
+
+    /// The configured cycle length.
+    pub fn cycle_length(&self) -> u64 {
+        self.cycle_length
+    }
+
+    /// Whether `frame_idx` is a full-capture frame.
+    pub fn is_full_capture(&self, frame_idx: u64) -> bool {
+        frame_idx.is_multiple_of(self.cycle_length)
+    }
+
+    /// Access to the wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Policy> Policy for CycleLengthPolicy<P> {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        if self.is_full_capture(ctx.frame_idx) {
+            RegionList::full_frame(ctx.width, ctx.height)
+        } else {
+            self.inner.plan(ctx)
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A motion-adaptive cycle-length policy (paper §4.3.1: "The cycle
+/// length could also be adaptive, for example, by using the motion in
+/// the frame or other semantics to guide the need for more frequent or
+/// less frequent full captures").
+///
+/// The observed feature/detection motion is smoothed with an
+/// exponential moving average; high motion shortens the cycle toward
+/// `min_cycle`, calm scenes stretch it toward `max_cycle`. A full
+/// capture fires whenever the frames elapsed since the last one reach
+/// the current cycle length.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCyclePolicy<P> {
+    inner: P,
+    min_cycle: u64,
+    max_cycle: u64,
+    /// Motion (px/frame) at or above which the cycle clamps to
+    /// `min_cycle`.
+    fast_motion: f64,
+    smoothed_motion: f64,
+    frames_since_full: u64,
+    current_cycle: u64,
+}
+
+impl<P: Policy> AdaptiveCyclePolicy<P> {
+    /// Wraps `inner` with a cycle length adapting between `min_cycle`
+    /// and `max_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_cycle == 0` or `min_cycle > max_cycle`.
+    pub fn new(min_cycle: u64, max_cycle: u64, inner: P) -> Self {
+        assert!(min_cycle > 0, "cycle length must be >= 1");
+        assert!(min_cycle <= max_cycle, "min cycle must not exceed max");
+        AdaptiveCyclePolicy {
+            inner,
+            min_cycle,
+            max_cycle,
+            fast_motion: 6.0,
+            smoothed_motion: 0.0,
+            frames_since_full: 0,
+            current_cycle: (min_cycle + max_cycle) / 2,
+        }
+    }
+
+    /// The cycle length currently in effect.
+    pub fn current_cycle(&self) -> u64 {
+        self.current_cycle
+    }
+
+    fn observe_motion(&mut self, ctx: &PolicyContext) {
+        let mut motion = 0.0;
+        let mut n = 0usize;
+        for f in &ctx.features {
+            motion += f.displacement;
+            n += 1;
+        }
+        for (_, d) in &ctx.detections {
+            motion += d;
+            n += 1;
+        }
+        if n > 0 {
+            let mean = motion / n as f64;
+            self.smoothed_motion = 0.7 * self.smoothed_motion + 0.3 * mean;
+        }
+        // High motion → short cycle; calm → long cycle.
+        let calmness = 1.0 - (self.smoothed_motion / self.fast_motion).clamp(0.0, 1.0);
+        self.current_cycle = self.min_cycle
+            + ((self.max_cycle - self.min_cycle) as f64 * calmness).round() as u64;
+    }
+}
+
+impl<P: Policy> Policy for AdaptiveCyclePolicy<P> {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        self.observe_motion(ctx);
+        if ctx.frame_idx == 0 || self.frames_since_full >= self.current_cycle {
+            self.frames_since_full = 1;
+            RegionList::full_frame(ctx.width, ctx.height)
+        } else {
+            self.frames_since_full += 1;
+            self.inner.plan(ctx)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "adaptive-cycle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(frame_idx: u64) -> PolicyContext {
+        PolicyContext {
+            frame_idx,
+            width: 640,
+            height: 480,
+            features: vec![
+                Feature::new(100.0, 100.0, 31.0).with_octave(0).with_displacement(6.0),
+                Feature::new(300.0, 200.0, 62.0).with_octave(2).with_displacement(0.5),
+            ],
+            detections: vec![(Rect::new(400, 300, 60, 80), 2.0)],
+        }
+    }
+
+    #[test]
+    fn full_frame_policy_covers_frame() {
+        let mut p = FullFramePolicy;
+        let list = p.plan(&ctx(3));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.labels()[0].w, 640);
+    }
+
+    #[test]
+    fn feature_policy_emits_one_region_per_input() {
+        let mut p = FeaturePolicy::new();
+        let list = p.plan(&ctx(1));
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn fast_features_get_skip_one() {
+        let p = FeaturePolicy::new();
+        let fast = p.label_for_feature(&Feature::new(50.0, 50.0, 31.0).with_displacement(10.0));
+        assert_eq!(fast.skip, 1);
+        let slow = p.label_for_feature(&Feature::new(50.0, 50.0, 31.0).with_displacement(0.0));
+        assert_eq!(slow.skip, FeaturePolicyParams::default().max_skip);
+    }
+
+    #[test]
+    fn octave_drives_stride() {
+        let p = FeaturePolicy::new();
+        let fine = p.label_for_feature(&Feature::new(50.0, 50.0, 31.0).with_octave(0));
+        assert_eq!(fine.stride, 1);
+        let coarse = p.label_for_feature(&Feature::new(50.0, 50.0, 31.0).with_octave(3));
+        assert_eq!(coarse.stride, 4);
+        let deep = p.label_for_feature(&Feature::new(50.0, 50.0, 31.0).with_octave(9));
+        assert_eq!(deep.stride, FeaturePolicyParams::default().max_stride);
+    }
+
+    #[test]
+    fn size_drives_region_edge_with_clamping() {
+        let p = FeaturePolicy::new();
+        let small = p.label_for_feature(&Feature::new(50.0, 50.0, 1.0));
+        assert_eq!(small.w, 17); // 1 + 2 * 8 margin
+        let huge = p.label_for_feature(&Feature::new(50.0, 50.0, 1000.0));
+        assert!(huge.w <= FeaturePolicyParams::default().max_region);
+    }
+
+    #[test]
+    fn cycle_length_alternates_full_and_regional() {
+        let mut p = CycleLengthPolicy::new(5, FeaturePolicy::new());
+        assert_eq!(p.plan(&ctx(0)).len(), 1);
+        assert_eq!(p.plan(&ctx(1)).len(), 3);
+        assert_eq!(p.plan(&ctx(4)).len(), 3);
+        assert_eq!(p.plan(&ctx(5)).len(), 1);
+        assert_eq!(p.name(), "RP5");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle length")]
+    fn zero_cycle_length_panics() {
+        let _ = CycleLengthPolicy::new(0, FullFramePolicy);
+    }
+
+    #[test]
+    fn static_policy_repeats_labels() {
+        let mut p = StaticPolicy::new(vec![RegionLabel::new(0, 0, 10, 10, 1, 1)]);
+        assert_eq!(p.plan(&ctx(0)).len(), 1);
+        assert_eq!(p.plan(&ctx(9)).len(), 1);
+    }
+
+    fn motion_ctx(frame_idx: u64, displacement: f64) -> PolicyContext {
+        PolicyContext {
+            frame_idx,
+            width: 640,
+            height: 480,
+            features: vec![Feature::new(100.0, 100.0, 31.0).with_displacement(displacement)],
+            detections: vec![],
+        }
+    }
+
+    #[test]
+    fn adaptive_cycle_shortens_under_motion() {
+        let mut calm = AdaptiveCyclePolicy::new(2, 20, FeaturePolicy::new());
+        for t in 0..30 {
+            calm.plan(&motion_ctx(t, 0.1));
+        }
+        let calm_cycle = calm.current_cycle();
+
+        let mut busy = AdaptiveCyclePolicy::new(2, 20, FeaturePolicy::new());
+        for t in 0..30 {
+            busy.plan(&motion_ctx(t, 10.0));
+        }
+        assert!(
+            busy.current_cycle() < calm_cycle,
+            "busy {} vs calm {}",
+            busy.current_cycle(),
+            calm_cycle
+        );
+        assert!(busy.current_cycle() <= 4);
+        assert!(calm_cycle >= 15);
+    }
+
+    #[test]
+    fn adaptive_cycle_issues_full_captures() {
+        let mut p = AdaptiveCyclePolicy::new(3, 3, FeaturePolicy::new());
+        let mut fulls = 0;
+        for t in 0..9 {
+            let list = p.plan(&motion_ctx(t, 1.0));
+            if list.len() == 1 && list.labels()[0].w == 640 {
+                fulls += 1;
+            }
+        }
+        assert_eq!(fulls, 3, "fixed 3-frame cycle over 9 frames");
+    }
+
+    #[test]
+    #[should_panic(expected = "min cycle")]
+    fn adaptive_cycle_rejects_inverted_range() {
+        let _ = AdaptiveCyclePolicy::new(10, 5, FullFramePolicy);
+    }
+
+    #[test]
+    fn out_of_frame_features_are_dropped_not_fatal() {
+        let mut p = FeaturePolicy::new();
+        let mut c = ctx(1);
+        c.features.push(Feature::new(10_000.0, 10_000.0, 31.0));
+        let list = p.plan(&c);
+        assert_eq!(list.len(), 3); // the stray feature is clamped away
+    }
+}

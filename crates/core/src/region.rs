@@ -1,0 +1,381 @@
+use crate::{CoreError, Result};
+use rpr_frame::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A developer-specified region label (paper §3.1).
+///
+/// A region is a rectangle of pixels together with a *stride* (spatial
+/// resolution: keep one pixel out of every `stride x stride` block) and a
+/// *skip* rate (temporal resolution: sample the region only on frames
+/// where `frame_idx % skip == 0`). This mirrors the paper's runtime
+/// struct:
+///
+/// ```c
+/// struct RegionLabel { int x, y, w, h, stride, skip; };
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use rpr_core::RegionLabel;
+///
+/// // Full-resolution region sampled every other frame.
+/// let r = RegionLabel::new(10, 20, 64, 48, 1, 2);
+/// assert!(r.is_sampled_on(0));
+/// assert!(!r.is_sampled_on(1));
+/// assert!(r.keeps_pixel(10, 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionLabel {
+    /// Left column of the region's top-left corner.
+    pub x: u32,
+    /// Top row of the region's top-left corner.
+    pub y: u32,
+    /// Region width in pixels.
+    pub w: u32,
+    /// Region height in pixels.
+    pub h: u32,
+    /// Spatial stride: keep one pixel per `stride x stride` block
+    /// (1 = full resolution). The paper observes strides of 1–4.
+    pub stride: u32,
+    /// Temporal skip: sample the region every `skip` frames
+    /// (1 = every frame). The paper observes intervals of 33–100 ms,
+    /// i.e. skips of 1–3 at 30 fps.
+    pub skip: u32,
+}
+
+impl RegionLabel {
+    /// Creates a region label.
+    pub fn new(x: u32, y: u32, w: u32, h: u32, stride: u32, skip: u32) -> Self {
+        RegionLabel { x, y, w, h, stride, skip }
+    }
+
+    /// A full-resolution, every-frame region covering a whole
+    /// `width x height` frame — what a cycle-length policy emits on full
+    /// capture frames.
+    pub fn full_frame(width: u32, height: u32) -> Self {
+        RegionLabel { x: 0, y: 0, w: width, h: height, stride: 1, skip: 1 }
+    }
+
+    /// Creates a region from a [`Rect`] footprint plus rhythm parameters.
+    pub fn from_rect(rect: Rect, stride: u32, skip: u32) -> Self {
+        RegionLabel { x: rect.x, y: rect.y, w: rect.w, h: rect.h, stride, skip }
+    }
+
+    /// The region's rectangular footprint.
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x, self.y, self.w, self.h)
+    }
+
+    /// Exclusive right edge.
+    pub fn right(&self) -> u32 {
+        self.x.saturating_add(self.w)
+    }
+
+    /// Exclusive bottom edge.
+    pub fn bottom(&self) -> u32 {
+        self.y.saturating_add(self.h)
+    }
+
+    /// Returns true when the region is temporally sampled on `frame_idx`.
+    pub fn is_sampled_on(&self, frame_idx: u64) -> bool {
+        frame_idx.is_multiple_of(u64::from(self.skip.max(1)))
+    }
+
+    /// Returns true when `(x, y)` lies inside the region footprint.
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        self.rect().contains(x, y)
+    }
+
+    /// Returns true when row `y` intersects the region's vertical span —
+    /// the RoI selector's per-row liveness check.
+    pub fn contains_row(&self, y: u32) -> bool {
+        y >= self.y && y < self.bottom()
+    }
+
+    /// Returns true when `(x, y)` is a stride-kept pixel of this region —
+    /// i.e. inside the footprint and aligned to the `stride x stride`
+    /// sampling grid anchored at the region's top-left corner.
+    pub fn keeps_pixel(&self, x: u32, y: u32) -> bool {
+        self.contains(x, y)
+            && (x - self.x).is_multiple_of(self.stride.max(1))
+            && (y - self.y).is_multiple_of(self.stride.max(1))
+    }
+
+    /// Validates the label against a frame and returns the clamped copy
+    /// actually used for encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRegion`] when a dimension, the stride,
+    /// or the skip is zero, or the region lies entirely outside the frame.
+    pub fn validated(&self, frame_width: u32, frame_height: u32) -> Result<RegionLabel> {
+        if self.w == 0 || self.h == 0 {
+            return Err(CoreError::InvalidRegion {
+                reason: format!("zero-sized region {}x{}", self.w, self.h),
+            });
+        }
+        if self.stride == 0 {
+            return Err(CoreError::InvalidRegion { reason: "stride must be >= 1".into() });
+        }
+        if self.skip == 0 {
+            return Err(CoreError::InvalidRegion { reason: "skip must be >= 1".into() });
+        }
+        let clamped = self.rect().clamped(frame_width, frame_height);
+        if clamped.is_empty() {
+            return Err(CoreError::InvalidRegion {
+                reason: format!(
+                    "region {} lies outside the {frame_width}x{frame_height} frame",
+                    self.rect()
+                ),
+            });
+        }
+        Ok(RegionLabel::from_rect(clamped, self.stride, self.skip))
+    }
+
+    /// Number of pixels this region stores per sampled frame
+    /// (its stride-kept pixel count).
+    pub fn kept_pixels(&self) -> u64 {
+        let s = u64::from(self.stride.max(1));
+        let w = u64::from(self.w).div_ceil(s);
+        let h = u64::from(self.h).div_ceil(s);
+        w * h
+    }
+}
+
+impl fmt::Display for RegionLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}@({},{}) stride {} skip {}",
+            self.w, self.h, self.x, self.y, self.stride, self.skip
+        )
+    }
+}
+
+/// A validated, y-sorted list of region labels bound to a frame geometry.
+///
+/// The paper's runtime sorts regions by their y-indices before handing
+/// them to the encoder so the hardware RoI selector can shortlist the
+/// regions relevant to each row with a cheap sweep (§4.1.1). This type
+/// performs that validation, clamping, and sorting once.
+///
+/// # Example
+///
+/// ```
+/// use rpr_core::{RegionLabel, RegionList};
+///
+/// let list = RegionList::new(
+///     640,
+///     480,
+///     vec![
+///         RegionLabel::new(0, 200, 64, 64, 2, 1),
+///         RegionLabel::new(0, 10, 32, 32, 1, 1),
+///     ],
+/// )?;
+/// // Sorted by y.
+/// assert_eq!(list.labels()[0].y, 10);
+/// # Ok::<(), rpr_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionList {
+    width: u32,
+    height: u32,
+    labels: Vec<RegionLabel>,
+}
+
+impl RegionList {
+    /// Validates, clamps, and y-sorts `labels` for a `width x height`
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidFrameDimensions`] for a zero-area
+    /// frame, or the first region validation error encountered.
+    pub fn new(width: u32, height: u32, labels: Vec<RegionLabel>) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(CoreError::InvalidFrameDimensions { width, height });
+        }
+        let mut validated = labels
+            .into_iter()
+            .map(|label| label.validated(width, height))
+            .collect::<Result<Vec<_>>>()?;
+        validated.sort_by_key(|r| (r.y, r.x));
+        Ok(RegionList { width, height, labels: validated })
+    }
+
+    /// Like [`RegionList::new`] but silently drops invalid regions
+    /// instead of failing — the behaviour of a permissive runtime that
+    /// clamps what it can and ignores the rest.
+    pub fn new_lossy(width: u32, height: u32, labels: Vec<RegionLabel>) -> Self {
+        let mut validated: Vec<RegionLabel> = labels
+            .into_iter()
+            .filter_map(|label| label.validated(width, height).ok())
+            .collect();
+        validated.sort_by_key(|r| (r.y, r.x));
+        RegionList { width, height, labels: validated }
+    }
+
+    /// A single full-frame region — the frame-based-computing degenerate
+    /// case.
+    pub fn full_frame(width: u32, height: u32) -> Self {
+        RegionList {
+            width,
+            height,
+            labels: vec![RegionLabel::full_frame(width, height)],
+        }
+    }
+
+    /// An empty list: every pixel is discarded.
+    pub fn empty(width: u32, height: u32) -> Self {
+        RegionList { width, height, labels: Vec::new() }
+    }
+
+    /// Frame width the list was validated against.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height the list was validated against.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The validated labels in ascending-y order.
+    pub fn labels(&self) -> &[RegionLabel] {
+        &self.labels
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns true when no regions are present.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over the labels in ascending-y order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RegionLabel> {
+        self.labels.iter()
+    }
+
+    /// Upper bound on encoded pixels per fully-sampled frame: the sum of
+    /// each region's kept pixels (overlaps counted once per pixel would
+    /// be tighter; this is the quick capacity estimate a runtime uses).
+    pub fn kept_pixel_upper_bound(&self) -> u64 {
+        self.labels.iter().map(RegionLabel::kept_pixels).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegionList {
+    type Item = &'a RegionLabel;
+    type IntoIter = std::slice::Iter<'a, RegionLabel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.labels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_schedule_follows_skip() {
+        let r = RegionLabel::new(0, 0, 4, 4, 1, 3);
+        assert!(r.is_sampled_on(0));
+        assert!(!r.is_sampled_on(1));
+        assert!(!r.is_sampled_on(2));
+        assert!(r.is_sampled_on(3));
+    }
+
+    #[test]
+    fn stride_grid_is_anchored_at_corner() {
+        let r = RegionLabel::new(5, 7, 10, 10, 2, 1);
+        assert!(r.keeps_pixel(5, 7));
+        assert!(!r.keeps_pixel(6, 7));
+        assert!(!r.keeps_pixel(5, 8));
+        assert!(r.keeps_pixel(7, 9));
+    }
+
+    #[test]
+    fn validation_rejects_zero_fields() {
+        assert!(RegionLabel::new(0, 0, 0, 4, 1, 1).validated(64, 64).is_err());
+        assert!(RegionLabel::new(0, 0, 4, 0, 1, 1).validated(64, 64).is_err());
+        assert!(RegionLabel::new(0, 0, 4, 4, 0, 1).validated(64, 64).is_err());
+        assert!(RegionLabel::new(0, 0, 4, 4, 1, 0).validated(64, 64).is_err());
+    }
+
+    #[test]
+    fn validation_clamps_to_frame() {
+        let r = RegionLabel::new(60, 60, 10, 10, 1, 1).validated(64, 64).unwrap();
+        assert_eq!((r.w, r.h), (4, 4));
+    }
+
+    #[test]
+    fn validation_rejects_fully_outside() {
+        assert!(RegionLabel::new(100, 100, 5, 5, 1, 1).validated(64, 64).is_err());
+    }
+
+    #[test]
+    fn kept_pixels_rounds_up() {
+        let r = RegionLabel::new(0, 0, 5, 5, 2, 1);
+        assert_eq!(r.kept_pixels(), 9); // ceil(5/2)^2
+        let full = RegionLabel::new(0, 0, 8, 8, 1, 1);
+        assert_eq!(full.kept_pixels(), 64);
+    }
+
+    #[test]
+    fn region_list_sorts_by_y() {
+        let list = RegionList::new(
+            100,
+            100,
+            vec![
+                RegionLabel::new(0, 50, 4, 4, 1, 1),
+                RegionLabel::new(0, 10, 4, 4, 1, 1),
+                RegionLabel::new(5, 10, 4, 4, 1, 1),
+            ],
+        )
+        .unwrap();
+        let ys: Vec<u32> = list.iter().map(|r| r.y).collect();
+        assert_eq!(ys, vec![10, 10, 50]);
+        assert_eq!(list.labels()[0].x, 0);
+    }
+
+    #[test]
+    fn region_list_rejects_zero_frame() {
+        assert!(RegionList::new(0, 10, vec![]).is_err());
+    }
+
+    #[test]
+    fn lossy_constructor_drops_invalid() {
+        let list = RegionList::new_lossy(
+            64,
+            64,
+            vec![
+                RegionLabel::new(0, 0, 4, 4, 1, 1),
+                RegionLabel::new(200, 200, 4, 4, 1, 1), // dropped
+                RegionLabel::new(0, 0, 4, 4, 0, 1),     // dropped
+            ],
+        );
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn full_frame_region_covers_everything() {
+        let list = RegionList::full_frame(32, 16);
+        assert_eq!(list.kept_pixel_upper_bound(), 32 * 16);
+        assert!(list.labels()[0].keeps_pixel(31, 15));
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = RegionLabel::new(1, 2, 3, 4, 5, 6).to_string();
+        for needle in ["1", "2", "3", "4", "5", "6"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the rhythmic pixel region invariants.
+
+use proptest::prelude::*;
+use rpr_core::{
+    PixelStatus, RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder, StreamingEncoder,
+};
+use rpr_frame::{GrayFrame, Plane};
+
+/// Strategy: a frame geometry plus a batch of (possibly out-of-range,
+/// possibly overlapping) region labels and a frame index.
+fn scenario() -> impl Strategy<Value = (u32, u32, Vec<RegionLabel>, u64)> {
+    (8u32..48, 8u32..48).prop_flat_map(|(w, h)| {
+        let region = (0..w, 0..h, 1u32..24, 1u32..24, 1u32..5, 1u32..4)
+            .prop_map(|(x, y, rw, rh, stride, skip)| RegionLabel::new(x, y, rw, rh, stride, skip));
+        (
+            Just(w),
+            Just(h),
+            proptest::collection::vec(region, 0..8),
+            0u64..6,
+        )
+    })
+}
+
+fn textured_frame(w: u32, h: u32, seed: u32) -> GrayFrame {
+    Plane::from_fn(w, h, |x, y| (x.wrapping_mul(31) ^ y.wrapping_mul(17) ^ seed) as u8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The packed payload length always equals the mask's R count and
+    /// the offset table's total.
+    #[test]
+    fn payload_matches_metadata((w, h, labels, idx) in scenario()) {
+        let frame = textured_frame(w, h, 1);
+        let regions = RegionList::new_lossy(w, h, labels);
+        let mut enc = RhythmicEncoder::new(w, h);
+        let encoded = enc.encode(&frame, idx, &regions);
+        prop_assert_eq!(encoded.pixel_count() as u64, encoded.metadata().mask.regional_total());
+        prop_assert_eq!(encoded.pixel_count() as u32, encoded.metadata().row_offsets.total());
+        prop_assert!(encoded.metadata().is_consistent());
+    }
+
+    /// Encoded pixels are exactly the raster-order original values at
+    /// R-mask positions.
+    #[test]
+    fn payload_is_raster_filtered_original((w, h, labels, idx) in scenario()) {
+        let frame = textured_frame(w, h, 2);
+        let regions = RegionList::new_lossy(w, h, labels);
+        let mut enc = RhythmicEncoder::new(w, h);
+        let encoded = enc.encode(&frame, idx, &regions);
+        let mask = &encoded.metadata().mask;
+        let expected: Vec<u8> = (0..h)
+            .flat_map(|y| (0..w).map(move |x| (x, y)))
+            .filter(|&(x, y)| mask.get(x, y) == PixelStatus::Regional)
+            .map(|(x, y)| frame.get(x, y).unwrap())
+            .collect();
+        prop_assert_eq!(encoded.pixels(), &expected[..]);
+    }
+
+    /// The streaming (per-pixel) encoder and the whole-frame encoder
+    /// produce identical encoded frames.
+    #[test]
+    fn streaming_equals_batch((w, h, labels, idx) in scenario()) {
+        let frame = textured_frame(w, h, 3);
+        let regions = RegionList::new_lossy(w, h, labels);
+        let mut enc = RhythmicEncoder::new(w, h);
+        let expected = enc.encode(&frame, idx, &regions);
+        let mut streaming = StreamingEncoder::begin(w, h, idx, regions);
+        for &px in frame.as_slice() {
+            streaming.push(px);
+        }
+        prop_assert_eq!(streaming.finish(), expected);
+    }
+
+    /// Decoding reproduces the original exactly at R positions and
+    /// black at N positions (on a history-free first frame).
+    #[test]
+    fn decode_respects_mask((w, h, labels, idx) in scenario()) {
+        let frame = textured_frame(w, h, 4);
+        let regions = RegionList::new_lossy(w, h, labels);
+        let mut enc = RhythmicEncoder::new(w, h);
+        let encoded = enc.encode(&frame, idx, &regions);
+        let mut dec = SoftwareDecoder::new(w, h);
+        let decoded = dec.decode(&encoded);
+        let mask = &encoded.metadata().mask;
+        for y in 0..h {
+            for x in 0..w {
+                match mask.get(x, y) {
+                    PixelStatus::Regional => {
+                        prop_assert_eq!(decoded.get(x, y), frame.get(x, y));
+                    }
+                    PixelStatus::NonRegional | PixelStatus::Skipped => {
+                        // No history yet: both decode to black.
+                        prop_assert_eq!(decoded.get(x, y), Some(0));
+                    }
+                    PixelStatus::Strided => {}
+                }
+            }
+        }
+    }
+
+    /// A full-frame region list is a lossless identity round trip on
+    /// every frame index.
+    #[test]
+    fn full_frame_roundtrip(w in 4u32..64, h in 4u32..64, idx in 0u64..8, seed in 0u32..255) {
+        let frame = textured_frame(w, h, seed);
+        let mut enc = RhythmicEncoder::new(w, h);
+        let mut dec = SoftwareDecoder::new(w, h);
+        let decoded = dec.decode(&enc.encode(&frame, idx, &RegionList::full_frame(w, h)));
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Captured fraction is within [0, 1] and consistent with the
+    /// payload size.
+    #[test]
+    fn captured_fraction_bounded((w, h, labels, idx) in scenario()) {
+        let frame = textured_frame(w, h, 5);
+        let regions = RegionList::new_lossy(w, h, labels);
+        let mut enc = RhythmicEncoder::new(w, h);
+        let encoded = enc.encode(&frame, idx, &regions);
+        let f = encoded.captured_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        let expected = encoded.pixel_count() as f64 / (w as f64 * h as f64);
+        prop_assert!((f - expected).abs() < 1e-12);
+    }
+
+    /// Over a multi-frame sequence with temporal skips, every decoded
+    /// regional-or-skipped pixel equals the original value from the most
+    /// recent frame on which its region was sampled.
+    #[test]
+    fn temporal_skip_serves_most_recent_sample(
+        w in 12u32..32,
+        h in 12u32..32,
+        skip in 1u32..4,
+        frames in 2u64..8,
+    ) {
+        // One region with a clean stride so values are exact.
+        let regions = RegionList::new_lossy(
+            w, h, vec![RegionLabel::new(2, 2, w - 4, h - 4, 1, skip)],
+        );
+        let mut enc = RhythmicEncoder::new(w, h);
+        let mut dec = SoftwareDecoder::new(w, h);
+        let mut last_sampled: Option<GrayFrame> = None;
+        for idx in 0..frames {
+            let frame = textured_frame(w, h, idx as u32 * 7 + 1);
+            let decoded = dec.decode(&enc.encode(&frame, idx, &regions));
+            if idx % u64::from(skip) == 0 {
+                last_sampled = Some(frame.clone());
+            }
+            let reference = last_sampled.as_ref().unwrap();
+            for y in 2..h - 2 {
+                for x in 2..w - 2 {
+                    prop_assert_eq!(
+                        decoded.get(x, y),
+                        reference.get(x, y),
+                        "frame {} pixel ({}, {})", idx, x, y
+                    );
+                }
+            }
+        }
+    }
+
+    /// Region-list construction is idempotent: re-validating an already
+    /// validated list changes nothing.
+    #[test]
+    fn region_list_validation_idempotent((w, h, labels, _idx) in scenario()) {
+        let once = RegionList::new_lossy(w, h, labels);
+        let twice = RegionList::new_lossy(w, h, once.labels().to_vec());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Encoder work accounting: hybrid never performs more comparisons
+    /// than the parallel engine model.
+    #[test]
+    fn hybrid_never_exceeds_parallel((w, h, labels, idx) in scenario()) {
+        use rpr_core::{EncoderConfig, EngineKind};
+        let frame = textured_frame(w, h, 6);
+        let regions = RegionList::new_lossy(w, h, labels);
+        let mut hybrid = RhythmicEncoder::new(w, h);
+        hybrid.encode(&frame, idx, &regions);
+        let mut parallel = RhythmicEncoder::with_config(
+            w, h, EncoderConfig { engine: EngineKind::Parallel, run_length_reuse: true },
+        );
+        parallel.encode(&frame, idx, &regions);
+        prop_assert!(hybrid.stats().comparisons <= parallel.stats().comparisons);
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced by frame construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// A frame dimension was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: u32,
+        /// Requested height in pixels.
+        height: u32,
+    },
+    /// The provided backing buffer does not match `width * height * channels`.
+    BufferSizeMismatch {
+        /// Number of elements the dimensions require.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A coordinate fell outside the frame bounds.
+    OutOfBounds {
+        /// Offending x coordinate.
+        x: u32,
+        /// Offending y coordinate.
+        y: u32,
+        /// Frame width.
+        width: u32,
+        /// Frame height.
+        height: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::InvalidDimensions { width, height } => {
+                write!(f, "invalid frame dimensions {width}x{height}")
+            }
+            FrameError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer holds {actual} elements but {expected} are required")
+            }
+            FrameError::OutOfBounds { x, y, width, height } => {
+                write!(f, "coordinate ({x}, {y}) outside {width}x{height} frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}

@@ -1,0 +1,88 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pixel memory layouts understood by the pipeline.
+///
+/// The format determines how many bytes a pixel occupies in DRAM and on
+/// the sensor interface, which feeds the traffic and energy accounting in
+/// `rpr-memsim`.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::PixelFormat;
+///
+/// assert_eq!(PixelFormat::Rgb888.bytes_per_pixel(), 3);
+/// assert_eq!(PixelFormat::Gray8.frame_bytes(1920, 1080), 1920 * 1080);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PixelFormat {
+    /// 8-bit single-channel luminance.
+    Gray8,
+    /// 8-bit Bayer color-filter-array raw data (RGGB pattern).
+    BayerRggb8,
+    /// 24-bit interleaved RGB.
+    Rgb888,
+    /// 16-bit YUV 4:2:2 (2 bytes per pixel average).
+    Yuv422,
+}
+
+impl PixelFormat {
+    /// Average number of bytes one pixel occupies in this format.
+    pub fn bytes_per_pixel(self) -> usize {
+        match self {
+            PixelFormat::Gray8 | PixelFormat::BayerRggb8 => 1,
+            PixelFormat::Rgb888 => 3,
+            PixelFormat::Yuv422 => 2,
+        }
+    }
+
+    /// Total byte size of a `width x height` frame in this format.
+    pub fn frame_bytes(self, width: u32, height: u32) -> usize {
+        self.bytes_per_pixel() * width as usize * height as usize
+    }
+}
+
+impl fmt::Display for PixelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PixelFormat::Gray8 => "Gray8",
+            PixelFormat::BayerRggb8 => "BayerRGGB8",
+            PixelFormat::Rgb888 => "RGB888",
+            PixelFormat::Yuv422 => "YUV422",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_pixel_matches_layout() {
+        assert_eq!(PixelFormat::Gray8.bytes_per_pixel(), 1);
+        assert_eq!(PixelFormat::BayerRggb8.bytes_per_pixel(), 1);
+        assert_eq!(PixelFormat::Rgb888.bytes_per_pixel(), 3);
+        assert_eq!(PixelFormat::Yuv422.bytes_per_pixel(), 2);
+    }
+
+    #[test]
+    fn frame_bytes_scales_with_dimensions() {
+        assert_eq!(PixelFormat::Rgb888.frame_bytes(10, 10), 300);
+        assert_eq!(PixelFormat::Gray8.frame_bytes(0, 10), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for fmt in [
+            PixelFormat::Gray8,
+            PixelFormat::BayerRggb8,
+            PixelFormat::Rgb888,
+            PixelFormat::Yuv422,
+        ] {
+            assert!(!fmt.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An integer pixel coordinate.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Point;
+///
+/// let p = Point::new(3, 4);
+/// assert_eq!(p.x, 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (column).
+    pub x: u32,
+    /// Vertical coordinate (row).
+    pub y: u32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub fn new(x: u32, y: u32) -> Self {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A width/height pair in pixels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Size {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Size {
+    /// Creates a size of `width x height`.
+    pub fn new(width: u32, height: u32) -> Self {
+        Size { width, height }
+    }
+
+    /// Number of pixels covered (`width * height`).
+    pub fn area(self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Returns true when either dimension is zero.
+    pub fn is_empty(self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// An axis-aligned rectangle of pixels, the footprint vocabulary for
+/// region labels, sprites, and detector bounding boxes.
+///
+/// The rectangle covers columns `x .. x + w` and rows `y .. y + h`
+/// (half-open, like slice ranges).
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Rect;
+///
+/// let a = Rect::new(0, 0, 10, 10);
+/// let b = Rect::new(5, 5, 10, 10);
+/// let i = a.intersection(&b).unwrap();
+/// assert_eq!(i, Rect::new(5, 5, 5, 5));
+/// assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left column of the rectangle.
+    pub x: u32,
+    /// Top row of the rectangle.
+    pub y: u32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle with top-left corner `(x, y)` and size `w x h`.
+    pub fn new(x: u32, y: u32, w: u32, h: u32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Creates a rectangle centred on `(cx, cy)`, clamped to start at 0.
+    pub fn centered(cx: i64, cy: i64, w: u32, h: u32) -> Self {
+        let x = (cx - i64::from(w) / 2).max(0) as u32;
+        let y = (cy - i64::from(h) / 2).max(0) as u32;
+        Rect { x, y, w, h }
+    }
+
+    /// Exclusive right edge (`x + w`).
+    pub fn right(&self) -> u32 {
+        self.x.saturating_add(self.w)
+    }
+
+    /// Exclusive bottom edge (`y + h`).
+    pub fn bottom(&self) -> u32 {
+        self.y.saturating_add(self.h)
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// Returns true when the rectangle covers no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Returns true when `(x, y)` lies inside the rectangle.
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        x >= self.x && x < self.right() && y >= self.y && y < self.bottom()
+    }
+
+    /// Returns true when row `y` intersects the rectangle's vertical span.
+    pub fn contains_row(&self, y: u32) -> bool {
+        y >= self.y && y < self.bottom()
+    }
+
+    /// Centre of the rectangle in floating point.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            f64::from(self.x) + f64::from(self.w) / 2.0,
+            f64::from(self.y) + f64::from(self.h) / 2.0,
+        )
+    }
+
+    /// Overlapping rectangle, or `None` when disjoint or either is empty.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::new(x0, y0, x1 - x0, y1 - y0))
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both rectangles.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Intersection-over-union score in `[0, 1]`, the detection-accuracy
+    /// metric the paper uses for face detection and pose estimation.
+    pub fn iou(&self, other: &Rect) -> f64 {
+        let inter = self.intersection(other).map_or(0, |r| r.area());
+        let union = self.area() + other.area() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Clamps the rectangle to fit inside a `width x height` frame.
+    ///
+    /// Returns an empty rectangle positioned at the clamped origin when
+    /// there is no overlap with the frame.
+    pub fn clamped(&self, width: u32, height: u32) -> Rect {
+        let x = self.x.min(width);
+        let y = self.y.min(height);
+        let w = self.right().min(width).saturating_sub(x);
+        let h = self.bottom().min(height).saturating_sub(y);
+        Rect::new(x, y, w, h)
+    }
+
+    /// Grows the rectangle by `margin` pixels on every side, saturating
+    /// at zero on the top-left. Used by policies to add feature margin.
+    pub fn inflated(&self, margin: u32) -> Rect {
+        let x = self.x.saturating_sub(margin);
+        let y = self.y.saturating_sub(margin);
+        // Width grows by the left margin actually available plus the full
+        // right margin (the right edge only saturates at the frame clamp).
+        Rect::new(
+            x,
+            y,
+            self.w.saturating_add(self.x - x).saturating_add(margin),
+            self.h.saturating_add(self.y - y).saturating_add(margin),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{} @ ({}, {})]", self.w, self.h, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_respects_half_open_edges() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert!(r.contains(2, 3));
+        assert!(r.contains(5, 7));
+        assert!(!r.contains(6, 3));
+        assert!(!r.contains(2, 8));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(4, 0, 4, 4);
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn intersection_is_commutative() {
+        let a = Rect::new(1, 1, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(10, 10, 2, 2);
+        let u = a.union(&b);
+        assert!(u.contains(0, 0));
+        assert!(u.contains(11, 11));
+    }
+
+    #[test]
+    fn iou_of_identical_is_one() {
+        let a = Rect::new(3, 3, 7, 9);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_of_disjoint_is_zero() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(100, 100, 4, 4);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn clamped_truncates_to_frame() {
+        let r = Rect::new(10, 10, 100, 100);
+        let c = r.clamped(50, 40);
+        assert_eq!(c, Rect::new(10, 10, 40, 30));
+    }
+
+    #[test]
+    fn clamped_outside_frame_is_empty() {
+        let r = Rect::new(100, 100, 5, 5);
+        assert!(r.clamped(50, 50).is_empty());
+    }
+
+    #[test]
+    fn centered_clamps_negative_origin() {
+        let r = Rect::centered(1, 1, 10, 10);
+        assert_eq!((r.x, r.y), (0, 0));
+    }
+
+    #[test]
+    fn inflated_grows_both_sides() {
+        let r = Rect::new(10, 10, 4, 4).inflated(2);
+        assert_eq!(r, Rect::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn inflated_saturates_at_origin() {
+        let r = Rect::new(1, 0, 4, 4).inflated(3);
+        assert_eq!((r.x, r.y), (0, 0));
+        // one pixel of left margin was available, three requested.
+        assert_eq!(r.w, 4 + 1 + 3);
+        assert_eq!(r.h, 4 + 3);
+    }
+
+    #[test]
+    fn size_area_and_empty() {
+        assert_eq!(Size::new(3, 4).area(), 12);
+        assert!(Size::new(0, 4).is_empty());
+        assert!(!Size::new(1, 1).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Size::new(3, 4).to_string(), "3x4");
+        assert_eq!(Rect::new(1, 2, 3, 4).to_string(), "[3x4 @ (1, 2)]");
+    }
+}

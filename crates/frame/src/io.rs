@@ -1,0 +1,160 @@
+//! Minimal Netpbm image I/O (PGM for gray, PPM for RGB) so examples and
+//! the appendix-figure binary can dump real images without an external
+//! codec dependency.
+
+use crate::{FrameError, GrayFrame, Plane, Result, RgbFrame};
+use std::io::{Read, Write};
+
+/// Writes a gray frame as binary PGM (P5).
+///
+/// Pass `&mut` of anything implementing [`Write`] (a `File`, a
+/// `Vec<u8>`, …).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer as
+/// [`FrameError::InvalidDimensions`]-free [`std::io::Error`] — see
+/// [`write_pgm`]'s signature; dimension-zero frames are rejected.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::{write_pgm, read_pgm, Plane};
+///
+/// let frame = Plane::from_fn(4, 3, |x, y| (x * 10 + y) as u8);
+/// let mut buf = Vec::new();
+/// write_pgm(&frame, &mut buf).unwrap();
+/// let back = read_pgm(&mut buf.as_slice()).unwrap();
+/// assert_eq!(back, frame);
+/// ```
+pub fn write_pgm<W: Write>(frame: &GrayFrame, writer: &mut W) -> std::io::Result<()> {
+    writeln!(writer, "P5\n{} {}\n255", frame.width(), frame.height())?;
+    writer.write_all(frame.as_slice())
+}
+
+/// Writes an RGB frame as binary PPM (P6).
+pub fn write_ppm<W: Write>(frame: &RgbFrame, writer: &mut W) -> std::io::Result<()> {
+    writeln!(writer, "P6\n{} {}\n255", frame.width(), frame.height())?;
+    writer.write_all(frame.as_slice())
+}
+
+/// Reads a binary PGM (P5) image.
+///
+/// # Errors
+///
+/// Returns [`FrameError::BufferSizeMismatch`] on truncated pixel data
+/// and [`FrameError::InvalidDimensions`] on a malformed header.
+pub fn read_pgm<R: Read>(reader: &mut R) -> Result<GrayFrame> {
+    let mut data = Vec::new();
+    reader
+        .read_to_end(&mut data)
+        .map_err(|_| FrameError::InvalidDimensions { width: 0, height: 0 })?;
+    let (width, height, offset) = parse_netpbm_header(&data, b"P5")?;
+    let expected = width as usize * height as usize;
+    let pixels = data
+        .get(offset..offset + expected)
+        .ok_or(FrameError::BufferSizeMismatch {
+            expected,
+            actual: data.len().saturating_sub(offset),
+        })?;
+    Plane::from_vec(width, height, pixels.to_vec())
+}
+
+/// Parses a `P5`/`P6` header, returning `(width, height, pixel_offset)`.
+fn parse_netpbm_header(data: &[u8], magic: &[u8]) -> Result<(u32, u32, usize)> {
+    let bad = || FrameError::InvalidDimensions { width: 0, height: 0 };
+    if data.len() < 2 || &data[..2] != magic {
+        return Err(bad());
+    }
+    // Tokenize: magic, width, height, maxval, then a single whitespace
+    // byte before the pixels. Comments (#...) are skipped.
+    let mut pos = 2usize;
+    let mut fields = Vec::with_capacity(3);
+    while fields.len() < 3 {
+        // Skip whitespace and comments.
+        loop {
+            match data.get(pos) {
+                Some(b) if b.is_ascii_whitespace() => pos += 1,
+                Some(b'#') => {
+                    while data.get(pos).is_some_and(|&b| b != b'\n') {
+                        pos += 1;
+                    }
+                }
+                Some(_) => break,
+                None => return Err(bad()),
+            }
+        }
+        let start = pos;
+        while data.get(pos).is_some_and(|b| b.is_ascii_digit()) {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(bad());
+        }
+        let text = std::str::from_utf8(&data[start..pos]).map_err(|_| bad())?;
+        fields.push(text.parse::<u32>().map_err(|_| bad())?);
+    }
+    // Exactly one whitespace byte separates the header from pixels.
+    if !data.get(pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        return Err(bad());
+    }
+    pos += 1;
+    let (width, height, maxval) = (fields[0], fields[1], fields[2]);
+    if width == 0 || height == 0 || maxval != 255 {
+        return Err(FrameError::InvalidDimensions { width, height });
+    }
+    Ok((width, height, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip() {
+        let frame = Plane::from_fn(7, 5, |x, y| (x * 37 + y * 11) as u8);
+        let mut buf = Vec::new();
+        write_pgm(&frame, &mut buf).unwrap();
+        assert_eq!(read_pgm(&mut buf.as_slice()).unwrap(), frame);
+    }
+
+    #[test]
+    fn pgm_header_format() {
+        let frame: GrayFrame = Plane::new(3, 2);
+        let mut buf = Vec::new();
+        write_pgm(&frame, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(buf.len(), b"P5\n3 2\n255\n".len() + 6);
+    }
+
+    #[test]
+    fn ppm_writes_interleaved_rgb() {
+        let frame = RgbFrame::from_fn(2, 1, |x, _| [x as u8, 10, 20]);
+        let mut buf = Vec::new();
+        write_ppm(&frame, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n2 1\n255\n"));
+        assert_eq!(&buf[buf.len() - 6..], &[0, 10, 20, 1, 10, 20]);
+    }
+
+    #[test]
+    fn read_rejects_truncated_data() {
+        let mut buf = Vec::new();
+        write_pgm(&Plane::from_fn(4, 4, |_, _| 9u8), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_pgm(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_bad_magic() {
+        assert!(read_pgm(&mut &b"P6\n2 2\n255\n0000"[..]).is_err());
+        assert!(read_pgm(&mut &b"hello"[..]).is_err());
+    }
+
+    #[test]
+    fn read_skips_comments() {
+        let data = b"P5\n# a comment\n2 1\n# another\n255\n\x07\x09";
+        let frame = read_pgm(&mut &data[..]).unwrap();
+        assert_eq!(frame.get(0, 0), Some(7));
+        assert_eq!(frame.get(1, 0), Some(9));
+    }
+}

@@ -1,0 +1,40 @@
+//! Pixel, plane, and geometry primitives shared by the rhythmic pixel
+//! regions system.
+//!
+//! This crate is the lowest layer of the workspace: it defines the
+//! [`Plane`] container used for every raster image in the pipeline
+//! (Bayer raw frames, ISP output, decoded frames), the [`Rect`] /
+//! [`Point`] / [`Size`] geometry vocabulary used by region labels, and
+//! the [`PixelFormat`] descriptions used for traffic accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use rpr_frame::{GrayFrame, Rect};
+//!
+//! let mut frame = GrayFrame::new(64, 48);
+//! frame.fill_rect(Rect::new(10, 10, 8, 8), 200);
+//! assert_eq!(frame.get(12, 12), Some(200));
+//! assert_eq!(frame.get(64, 0), None);
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod format;
+mod geometry;
+mod io;
+mod plane;
+mod resize;
+mod rgb;
+
+pub use error::FrameError;
+pub use format::PixelFormat;
+pub use geometry::{Point, Rect, Size};
+pub use io::{read_pgm, write_pgm, write_ppm};
+pub use plane::{GrayFrame, Plane};
+pub use resize::{downscale_box, upscale_nearest};
+pub use rgb::RgbFrame;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FrameError>;

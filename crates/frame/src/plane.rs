@@ -1,0 +1,341 @@
+use crate::{FrameError, Rect, Result, Size};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major 2-D array of pixels.
+///
+/// `Plane` is the backing store for every raster image in the pipeline:
+/// Bayer raw data off the sensor, ISP output channels, decoded frames
+/// handed to vision algorithms. Rows are contiguous with no padding, so
+/// `data[y * width + x]` addresses pixel `(x, y)` — the same raster-scan
+/// addressing the paper's encoder and decoder preserve.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+///
+/// let mut p: Plane<u8> = Plane::new(4, 3);
+/// p.set(2, 1, 9);
+/// assert_eq!(p.get(2, 1), Some(9));
+/// assert_eq!(p.row(1), &[0, 0, 9, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plane<T> {
+    width: u32,
+    height: u32,
+    data: Vec<T>,
+}
+
+/// An 8-bit luminance frame, the working format of the vision stack.
+pub type GrayFrame = Plane<u8>;
+
+impl<T: Copy + Default> Plane<T> {
+    /// Creates a plane of `width x height` default-valued pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` overflows `usize`.
+    pub fn new(width: u32, height: u32) -> Self {
+        let len = (width as usize)
+            .checked_mul(height as usize)
+            .expect("plane dimensions overflow");
+        Plane { width, height, data: vec![T::default(); len] }
+    }
+
+    /// Creates a plane from an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BufferSizeMismatch`] when `data.len()` is not
+    /// `width * height`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<T>) -> Result<Self> {
+        let expected = width as usize * height as usize;
+        if data.len() != expected {
+            return Err(FrameError::BufferSizeMismatch { expected, actual: data.len() });
+        }
+        Ok(Plane { width, height, data })
+    }
+
+    /// Builds a plane by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> T) -> Self {
+        let mut data = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Plane { width, height, data }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Width and height as a [`Size`].
+    pub fn size(&self) -> Size {
+        Size::new(self.width, self.height)
+    }
+
+    /// Total number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns true when the plane holds no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The pixel at `(x, y)`, or `None` outside the frame.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Option<T> {
+        if x < self.width && y < self.height {
+            Some(self.data[y as usize * self.width as usize + x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The pixel at `(x, y)` with coordinates clamped to the frame edge.
+    ///
+    /// Convenient for window-based filters near borders. Returns the
+    /// default value for an empty plane.
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> T {
+        if self.is_empty() {
+            return T::default();
+        }
+        let cx = x.clamp(0, i64::from(self.width) - 1) as usize;
+        let cy = y.clamp(0, i64::from(self.height) - 1) as usize;
+        self.data[cy * self.width as usize + cx]
+    }
+
+    /// Sets the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, value: T) {
+        if x < self.width && y < self.height {
+            self.data[y as usize * self.width as usize + x as usize] = value;
+        }
+    }
+
+    /// Borrows row `y` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y >= height`.
+    pub fn row(&self, y: u32) -> &[T] {
+        assert!(y < self.height, "row {y} out of bounds (height {})", self.height);
+        let start = y as usize * self.width as usize;
+        &self.data[start..start + self.width as usize]
+    }
+
+    /// Mutably borrows row `y` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y >= height`.
+    pub fn row_mut(&mut self, y: u32) -> &mut [T] {
+        assert!(y < self.height, "row {y} out of bounds (height {})", self.height);
+        let start = y as usize * self.width as usize;
+        &mut self.data[start..start + self.width as usize]
+    }
+
+    /// The whole backing buffer in raster order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer in raster order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the plane, returning the raster-order buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Fills every pixel inside `rect` (clamped to the frame) with `value`.
+    pub fn fill_rect(&mut self, rect: Rect, value: T) {
+        let r = rect.clamped(self.width, self.height);
+        for y in r.y..r.bottom() {
+            let row = self.row_mut(y);
+            for px in &mut row[r.x as usize..r.right() as usize] {
+                *px = value;
+            }
+        }
+    }
+
+    /// Copies the pixels inside `rect` (clamped) into a new plane.
+    pub fn crop(&self, rect: Rect) -> Plane<T> {
+        let r = rect.clamped(self.width, self.height);
+        let mut out = Plane::new(r.w, r.h);
+        for y in 0..r.h {
+            let src = &self.row(r.y + y)[r.x as usize..(r.x + r.w) as usize];
+            out.row_mut(y).copy_from_slice(src);
+        }
+        out
+    }
+}
+
+impl GrayFrame {
+    /// Bilinearly samples the frame at a fractional coordinate.
+    ///
+    /// Coordinates are clamped to the frame edge, so any finite input is
+    /// valid. Returns 0 for an empty frame.
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> u8 {
+        if self.is_empty() {
+            return 0;
+        }
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let x0 = x0 as i64;
+        let y0 = y0 as i64;
+        let p00 = f64::from(self.get_clamped(x0, y0));
+        let p10 = f64::from(self.get_clamped(x0 + 1, y0));
+        let p01 = f64::from(self.get_clamped(x0, y0 + 1));
+        let p11 = f64::from(self.get_clamped(x0 + 1, y0 + 1));
+        let top = p00 * (1.0 - fx) + p10 * fx;
+        let bot = p01 * (1.0 - fx) + p11 * fx;
+        (top * (1.0 - fy) + bot * fy).round().clamp(0.0, 255.0) as u8
+    }
+
+    /// Mean pixel intensity, 0.0 for an empty frame.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.data.iter().map(|&p| u64::from(p)).sum();
+        sum as f64 / self.data.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio against a reference frame in dB.
+    ///
+    /// Returns `f64::INFINITY` for identical frames and `None` when the
+    /// dimensions differ.
+    pub fn psnr(&self, reference: &GrayFrame) -> Option<f64> {
+        if self.size() != reference.size() || self.is_empty() {
+            return None;
+        }
+        let mse: f64 = self
+            .data
+            .iter()
+            .zip(reference.data.iter())
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64;
+        if mse == 0.0 {
+            Some(f64::INFINITY)
+        } else {
+            Some(10.0 * (255.0_f64 * 255.0 / mse).log10())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let p: GrayFrame = Plane::new(3, 2);
+        assert_eq!(p.as_slice(), &[0; 6]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Plane::from_vec(2, 2, vec![1u8, 2, 3, 4]).is_ok());
+        let err = Plane::from_vec(2, 2, vec![1u8, 2, 3]).unwrap_err();
+        assert_eq!(err, FrameError::BufferSizeMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn from_fn_raster_order() {
+        let p = Plane::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut p: GrayFrame = Plane::new(4, 4);
+        p.set(3, 3, 42);
+        assert_eq!(p.get(3, 3), Some(42));
+        assert_eq!(p.get(4, 3), None);
+        p.set(4, 4, 1); // silently ignored
+        assert_eq!(p.as_slice().iter().filter(|&&v| v != 0).count(), 1);
+    }
+
+    #[test]
+    fn get_clamped_replicates_edges() {
+        let p = Plane::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        assert_eq!(p.get_clamped(-5, -5), 0);
+        assert_eq!(p.get_clamped(10, 10), 3);
+    }
+
+    #[test]
+    fn get_clamped_empty_plane_is_default() {
+        let p: GrayFrame = Plane::new(0, 0);
+        assert_eq!(p.get_clamped(3, 3), 0);
+    }
+
+    #[test]
+    fn fill_rect_clamps() {
+        let mut p: GrayFrame = Plane::new(4, 4);
+        p.fill_rect(Rect::new(2, 2, 10, 10), 7);
+        assert_eq!(p.get(2, 2), Some(7));
+        assert_eq!(p.get(3, 3), Some(7));
+        assert_eq!(p.get(1, 1), Some(0));
+    }
+
+    #[test]
+    fn crop_extracts_subimage() {
+        let p = Plane::from_fn(4, 4, |x, y| (y * 4 + x) as u8);
+        let c = p.crop(Rect::new(1, 1, 2, 2));
+        assert_eq!(c.as_slice(), &[5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let p = Plane::from_fn(2, 1, |x, _| if x == 0 { 0 } else { 100 });
+        assert_eq!(p.sample_bilinear(0.5, 0.0), 50);
+        assert_eq!(p.sample_bilinear(0.0, 0.0), 0);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let p = Plane::from_fn(8, 8, |x, y| (x * y) as u8);
+        assert_eq!(p.psnr(&p), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn psnr_differs_when_noisy() {
+        let a = Plane::from_fn(8, 8, |_, _| 100);
+        let b = Plane::from_fn(8, 8, |_, _| 110);
+        let psnr = a.psnr(&b).unwrap();
+        assert!(psnr > 20.0 && psnr < 40.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn psnr_size_mismatch_is_none() {
+        let a: GrayFrame = Plane::new(2, 2);
+        let b: GrayFrame = Plane::new(3, 2);
+        assert_eq!(a.psnr(&b), None);
+    }
+
+    #[test]
+    fn mean_of_uniform_frame() {
+        let p = Plane::from_fn(4, 4, |_, _| 9u8);
+        assert!((p.mean() - 9.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Whole-frame resampling used by the frame-based baselines.
+//!
+//! The paper's low-resolution baseline (FCL) downscales the entire frame
+//! (e.g. 4K → 480p for V-SLAM); [`downscale_box`] implements the
+//! corresponding box filter, and [`upscale_nearest`] maps detections in
+//! the small frame back to full-resolution coordinates.
+
+use crate::{GrayFrame, Plane};
+
+/// Downscales a frame by integer factor `factor` with a box (average)
+/// filter. Trailing rows/columns that do not fill a full box are dropped,
+/// matching typical sensor binning behaviour.
+///
+/// # Panics
+///
+/// Panics when `factor == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::{downscale_box, Plane};
+///
+/// let f = Plane::from_fn(4, 4, |x, _| if x < 2 { 0 } else { 100 });
+/// let small = downscale_box(&f, 2);
+/// assert_eq!(small.width(), 2);
+/// assert_eq!(small.get(0, 0), Some(0));
+/// assert_eq!(small.get(1, 0), Some(100));
+/// ```
+pub fn downscale_box(frame: &GrayFrame, factor: u32) -> GrayFrame {
+    assert!(factor > 0, "downscale factor must be nonzero");
+    if factor == 1 {
+        return frame.clone();
+    }
+    let out_w = frame.width() / factor;
+    let out_h = frame.height() / factor;
+    let mut out = Plane::new(out_w, out_h);
+    let area = u64::from(factor) * u64::from(factor);
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let mut sum: u64 = 0;
+            for dy in 0..factor {
+                let row = frame.row(oy * factor + dy);
+                for dx in 0..factor {
+                    sum += u64::from(row[(ox * factor + dx) as usize]);
+                }
+            }
+            out.set(ox, oy, ((sum + area / 2) / area) as u8);
+        }
+    }
+    out
+}
+
+/// Upscales a frame by integer factor `factor` with nearest-neighbour
+/// replication.
+///
+/// # Panics
+///
+/// Panics when `factor == 0`.
+pub fn upscale_nearest(frame: &GrayFrame, factor: u32) -> GrayFrame {
+    assert!(factor > 0, "upscale factor must be nonzero");
+    if factor == 1 {
+        return frame.clone();
+    }
+    Plane::from_fn(frame.width() * factor, frame.height() * factor, |x, y| {
+        frame.get(x / factor, y / factor).unwrap_or(0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downscale_by_one_is_identity() {
+        let f = Plane::from_fn(5, 5, |x, y| (x + y) as u8);
+        assert_eq!(downscale_box(&f, 1), f);
+    }
+
+    #[test]
+    fn downscale_averages_boxes() {
+        let f = Plane::from_fn(2, 2, |x, y| (100 * (x + y)) as u8);
+        let s = downscale_box(&f, 2);
+        assert_eq!(s.get(0, 0), Some(100)); // (0 + 100 + 100 + 200) / 4
+    }
+
+    #[test]
+    fn downscale_drops_partial_boxes() {
+        let f: GrayFrame = Plane::new(5, 5);
+        let s = downscale_box(&f, 2);
+        assert_eq!((s.width(), s.height()), (2, 2));
+    }
+
+    #[test]
+    fn upscale_replicates() {
+        let f = Plane::from_fn(2, 1, |x, _| (x * 50) as u8);
+        let u = upscale_nearest(&f, 2);
+        assert_eq!(u.width(), 4);
+        assert_eq!(u.get(1, 1), Some(0));
+        assert_eq!(u.get(2, 0), Some(50));
+    }
+
+    #[test]
+    fn down_then_up_preserves_flat_regions() {
+        let f = Plane::from_fn(8, 8, |x, _| if x < 4 { 10 } else { 200 });
+        let round = upscale_nearest(&downscale_box(&f, 2), 2);
+        assert_eq!(round.get(0, 0), Some(10));
+        assert_eq!(round.get(7, 7), Some(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_factor_panics() {
+        let f: GrayFrame = Plane::new(2, 2);
+        let _ = downscale_box(&f, 0);
+    }
+}

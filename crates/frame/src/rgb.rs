@@ -1,0 +1,156 @@
+use crate::{FrameError, GrayFrame, Plane, Result, Size};
+use serde::{Deserialize, Serialize};
+
+/// A 24-bit interleaved RGB frame.
+///
+/// The synthetic scene renderer produces RGB; the sensor model mosaics it
+/// into Bayer raw data, and the ISP demosaics back. Vision algorithms
+/// work on the luminance plane produced by [`RgbFrame::to_gray`].
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::RgbFrame;
+///
+/// let mut f = RgbFrame::new(2, 2);
+/// f.set(0, 0, [255, 0, 0]);
+/// assert_eq!(f.get(0, 0), Some([255, 0, 0]));
+/// let gray = f.to_gray();
+/// assert_eq!(gray.get(0, 0), Some(76)); // 0.299 * 255
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RgbFrame {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl RgbFrame {
+    /// Creates a black RGB frame of `width x height`.
+    pub fn new(width: u32, height: u32) -> Self {
+        RgbFrame { width, height, data: vec![0; width as usize * height as usize * 3] }
+    }
+
+    /// Wraps an interleaved RGB buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BufferSizeMismatch`] when `data.len()` is not
+    /// `width * height * 3`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<u8>) -> Result<Self> {
+        let expected = width as usize * height as usize * 3;
+        if data.len() != expected {
+            return Err(FrameError::BufferSizeMismatch { expected, actual: data.len() });
+        }
+        Ok(RgbFrame { width, height, data })
+    }
+
+    /// Builds a frame by evaluating `f(x, y) -> [r, g, b]` per pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> [u8; 3]) -> Self {
+        let mut data = Vec::with_capacity(width as usize * height as usize * 3);
+        for y in 0..height {
+            for x in 0..width {
+                data.extend_from_slice(&f(x, y));
+            }
+        }
+        RgbFrame { width, height, data }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Width and height as a [`Size`].
+    pub fn size(&self) -> Size {
+        Size::new(self.width, self.height)
+    }
+
+    /// The `[r, g, b]` triple at `(x, y)`, or `None` outside the frame.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Option<[u8; 3]> {
+        if x < self.width && y < self.height {
+            let i = (y as usize * self.width as usize + x as usize) * 3;
+            Some([self.data[i], self.data[i + 1], self.data[i + 2]])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            let i = (y as usize * self.width as usize + x as usize) * 3;
+            self.data[i..i + 3].copy_from_slice(&rgb);
+        }
+    }
+
+    /// The interleaved backing buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Converts to luminance with the BT.601 weights
+    /// (`0.299 R + 0.587 G + 0.114 B`).
+    pub fn to_gray(&self) -> GrayFrame {
+        let mut out = Plane::new(self.width, self.height);
+        let dst = out.as_mut_slice();
+        for (i, px) in self.data.chunks_exact(3).enumerate() {
+            let y = 0.299 * f64::from(px[0]) + 0.587 * f64::from(px[1]) + 0.114 * f64::from(px[2]);
+            dst[i] = y.round().clamp(0.0, 255.0) as u8;
+        }
+        out
+    }
+
+    /// Builds an RGB frame by replicating a gray frame into all channels.
+    pub fn from_gray(gray: &GrayFrame) -> Self {
+        RgbFrame::from_fn(gray.width(), gray.height(), |x, y| {
+            let v = gray.get(x, y).unwrap_or(0);
+            [v, v, v]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let f = RgbFrame::new(2, 2);
+        assert_eq!(f.get(1, 1), Some([0, 0, 0]));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(RgbFrame::from_vec(1, 1, vec![1, 2, 3]).is_ok());
+        assert!(RgbFrame::from_vec(1, 1, vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut f = RgbFrame::new(3, 3);
+        f.set(2, 1, [9, 8, 7]);
+        assert_eq!(f.get(2, 1), Some([9, 8, 7]));
+        assert_eq!(f.get(3, 1), None);
+    }
+
+    #[test]
+    fn to_gray_uses_bt601() {
+        let f = RgbFrame::from_fn(1, 1, |_, _| [0, 255, 0]);
+        assert_eq!(f.to_gray().get(0, 0), Some(150)); // 0.587 * 255 ≈ 150
+    }
+
+    #[test]
+    fn gray_roundtrip_preserves_values() {
+        let gray = Plane::from_fn(4, 4, |x, y| (x * 16 + y) as u8);
+        let rgb = RgbFrame::from_gray(&gray);
+        assert_eq!(rgb.to_gray(), gray);
+    }
+}

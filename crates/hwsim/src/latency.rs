@@ -1,0 +1,186 @@
+use rpr_core::{SubRequest, SubRequestKind};
+use serde::{Deserialize, Serialize};
+
+/// Latency model of the hardware decoder's request path (paper §6.3:
+/// the decoder "will add a few clock cycles of delay when returning the
+/// response … on the order of a few 10s of ns", negligible against
+/// frame compute times of tens of milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecoderLatencyModel {
+    /// Programmable-logic clock, Hz.
+    pub clock_hz: f64,
+    /// Fixed pipeline depth of the PMMU path (out-of-frame check,
+    /// scratchpad lookup, transaction analysis, translation), cycles.
+    pub pmmu_pipeline_cycles: u32,
+    /// Extra cycles when a sub-request targets a history frame (a
+    /// different base address / scratchpad bank).
+    pub history_penalty_cycles: u32,
+    /// Extra cycles for an interpolation resolution in the FIFO
+    /// sampling unit.
+    pub interpolate_penalty_cycles: u32,
+}
+
+impl DecoderLatencyModel {
+    /// The paper's configuration at a 300 MHz programmable-logic clock.
+    pub fn paper_config() -> Self {
+        DecoderLatencyModel {
+            clock_hz: 300.0e6,
+            pmmu_pipeline_cycles: 5,
+            history_penalty_cycles: 2,
+            interpolate_penalty_cycles: 1,
+        }
+    }
+
+    /// Added cycles for one translated sub-request.
+    pub fn sub_request_cycles(&self, sub: &SubRequest) -> u32 {
+        let penalty = match sub.kind {
+            SubRequestKind::CurrentFrame { .. } | SubRequestKind::Black => 0,
+            SubRequestKind::Interpolate => self.interpolate_penalty_cycles,
+            SubRequestKind::HistoryFrame { .. } => self.history_penalty_cycles,
+            SubRequestKind::HistoryInterpolate { .. } => {
+                self.history_penalty_cycles + self.interpolate_penalty_cycles
+            }
+        };
+        self.pmmu_pipeline_cycles + penalty
+    }
+
+    /// Added latency for one sub-request, in nanoseconds.
+    pub fn sub_request_ns(&self, sub: &SubRequest) -> f64 {
+        f64::from(self.sub_request_cycles(sub)) / self.clock_hz * 1.0e9
+    }
+
+    /// Added latency of a whole pipelined transaction: the pipeline
+    /// fills once, then streams one sub-request per cycle.
+    pub fn transaction_ns(&self, subs: &[SubRequest]) -> f64 {
+        if subs.is_empty() {
+            return 0.0;
+        }
+        let fill = f64::from(self.sub_request_cycles(&subs[0]));
+        let stream = (subs.len() - 1) as f64;
+        (fill + stream) / self.clock_hz * 1.0e9
+    }
+}
+
+impl Default for DecoderLatencyModel {
+    fn default() -> Self {
+        DecoderLatencyModel::paper_config()
+    }
+}
+
+/// Runtime model of the alternative *software* decoder (paper §5.1,
+/// §6.3): decode time is linear in the number of regional pixels, "a
+/// few ms of CPU time for a 1080p frame where 30 % of the pixels are
+/// regional".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwDecoderModel {
+    /// Seconds of CPU time per regional pixel.
+    pub s_per_regional_px: f64,
+    /// Fixed per-frame overhead in seconds (metadata parse, buffer
+    /// setup).
+    pub fixed_s: f64,
+}
+
+impl SwDecoderModel {
+    /// Calibration matching the paper's Cortex-A53-class measurement:
+    /// 1080p at 30 % regional ≈ 3 ms.
+    pub fn paper_config() -> Self {
+        SwDecoderModel { s_per_regional_px: 4.5e-9, fixed_s: 0.2e-3 }
+    }
+
+    /// Predicted decode time in milliseconds.
+    pub fn decode_time_ms(&self, regional_pixels: u64) -> f64 {
+        (self.fixed_s + self.s_per_regional_px * regional_pixels as f64) * 1.0e3
+    }
+
+    /// Whether a frame decodes within a 30 fps real-time budget.
+    pub fn is_realtime_30fps(&self, regional_pixels: u64) -> bool {
+        self.decode_time_ms(regional_pixels) < 1000.0 / 30.0
+    }
+}
+
+impl Default for SwDecoderModel {
+    fn default() -> Self {
+        SwDecoderModel::paper_config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(kind: SubRequestKind) -> SubRequest {
+        SubRequest { x: 0, y: 0, kind }
+    }
+
+    #[test]
+    fn single_request_is_tens_of_ns() {
+        let m = DecoderLatencyModel::paper_config();
+        let ns = m.sub_request_ns(&sub(SubRequestKind::CurrentFrame { offset: 0 }));
+        assert!((5.0..100.0).contains(&ns), "latency {ns} ns");
+    }
+
+    #[test]
+    fn history_requests_cost_more() {
+        let m = DecoderLatencyModel::paper_config();
+        let current = m.sub_request_cycles(&sub(SubRequestKind::CurrentFrame { offset: 0 }));
+        let history = m.sub_request_cycles(&sub(SubRequestKind::HistoryFrame {
+            frames_back: 2,
+            offset: 0,
+        }));
+        let hist_interp =
+            m.sub_request_cycles(&sub(SubRequestKind::HistoryInterpolate { frames_back: 1 }));
+        assert!(history > current);
+        assert!(hist_interp > history);
+    }
+
+    #[test]
+    fn pipelining_amortizes_fill() {
+        let m = DecoderLatencyModel::paper_config();
+        let subs: Vec<SubRequest> =
+            (0..64).map(|_| sub(SubRequestKind::CurrentFrame { offset: 0 })).collect();
+        let burst = m.transaction_ns(&subs);
+        let serial: f64 = subs.iter().map(|s| m.sub_request_ns(s)).sum();
+        assert!(burst < serial / 2.0, "burst {burst} vs serial {serial}");
+    }
+
+    #[test]
+    fn latency_negligible_vs_frame_compute() {
+        // §6.3: 10s of ns against 10s of ms of vision compute.
+        let m = DecoderLatencyModel::paper_config();
+        let ns = m.sub_request_ns(&sub(SubRequestKind::HistoryInterpolate { frames_back: 3 }));
+        let frame_compute_ns = 20.0e6; // 20 ms
+        assert!(ns / frame_compute_ns < 1e-4);
+    }
+
+    #[test]
+    fn empty_transaction_is_free() {
+        assert_eq!(DecoderLatencyModel::paper_config().transaction_ns(&[]), 0.0);
+    }
+
+    #[test]
+    fn sw_decoder_matches_paper_calibration() {
+        let m = SwDecoderModel::paper_config();
+        // 1080p, 30 % regional.
+        let regional = (1920.0_f64 * 1080.0 * 0.3) as u64;
+        let ms = m.decode_time_ms(regional);
+        assert!((1.0..6.0).contains(&ms), "decode {ms} ms");
+        assert!(m.is_realtime_30fps(regional));
+    }
+
+    #[test]
+    fn sw_decoder_scales_linearly() {
+        let m = SwDecoderModel::paper_config();
+        let t1 = m.decode_time_ms(100_000) - m.fixed_s * 1e3;
+        let t2 = m.decode_time_ms(200_000) - m.fixed_s * 1e3;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_4k_software_decode_is_not_realtime() {
+        // The software decoder is for moderate regional fractions; a
+        // fully regional 4K frame blows the 30 fps budget, motivating
+        // the hardware decoder.
+        let m = SwDecoderModel::paper_config();
+        assert!(!m.is_realtime_30fps(3840 * 2160));
+    }
+}

@@ -1,0 +1,33 @@
+//! Micro-architectural models of the rhythmic pixel encoder and
+//! decoder hardware: FPGA resource estimation, power estimation, and
+//! pipeline cycle simulation.
+//!
+//! The paper reports these numbers from Vivado post-layout runs on a
+//! ZCU102 (Table 5, §6.3); with no FPGA toolchain available, this crate
+//! derives them *structurally* from the two comparison-engine designs:
+//!
+//! * the **parallel** design instantiates one comparator lane per
+//!   region, so LUT/FF cost grows linearly with region count and the
+//!   region-priority network's routing congestion eventually makes the
+//!   design unsynthesizable (the paper's "No Synth" at 1600 regions);
+//! * the **hybrid** design keeps the region list in BRAM and shortlists
+//!   per row, so its logic footprint is constant in the region count.
+//!
+//! [`EncoderPipelineModel`] replays a frame through the streaming
+//! encoder and checks the 2 pixels/clock throughput contract;
+//! [`DecoderLatencyModel`] prices the PMMU's added read latency;
+//! [`PowerModel`] turns resources and activity into milliwatts.
+
+#![deny(missing_docs)]
+
+mod latency;
+mod pipeline;
+mod power;
+mod resources;
+mod scratchpad;
+
+pub use latency::{DecoderLatencyModel, SwDecoderModel};
+pub use pipeline::{EncoderPipelineModel, PipelineReport};
+pub use power::{PowerEstimate, PowerModel};
+pub use resources::{DesignKind, ResourceEstimate, ResourceEstimator, SynthesisOutcome};
+pub use scratchpad::{MetadataScratchpad, ScratchpadStats};

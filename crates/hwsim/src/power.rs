@@ -1,0 +1,145 @@
+use crate::{DesignKind, ResourceEstimate, ResourceEstimator};
+use serde::{Deserialize, Serialize};
+
+/// A power estimate for one hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Dynamic power in milliwatts at the modeled activity.
+    pub dynamic_mw: f64,
+    /// Static (leakage) power in milliwatts.
+    pub static_mw: f64,
+}
+
+impl PowerEstimate {
+    /// Total power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.static_mw
+    }
+}
+
+/// Activity-scaled resource-proportional power model (substitute for
+/// the Vivado power analysis the paper uses, §5.3.1).
+///
+/// Dynamic power is proportional to toggled logic: LUTs, FFs, and BRAM
+/// accesses, scaled by an activity factor. The encoder streams every
+/// pixel at 2 px/clock (activity ≈ 1); the decoder only toggles on
+/// pixel transactions (activity ≪ 1), which is why the paper measures
+/// it under 1 mW.
+///
+/// # Example
+///
+/// ```
+/// use rpr_hwsim::{DesignKind, PowerModel};
+///
+/// let model = PowerModel::zcu102();
+/// let enc = model.encoder_power(DesignKind::HybridEncoder { regions: 1600 });
+/// assert!(enc.total_mw() < 65.0); // the paper reports 45 mW
+/// let dec = model.decoder_power(1920, 0.02);
+/// assert!(dec.total_mw() < 1.0); // "< 1 mW"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// mW per actively toggling LUT.
+    pub mw_per_lut: f64,
+    /// mW per actively toggling FF.
+    pub mw_per_ff: f64,
+    /// mW per active BRAM.
+    pub mw_per_bram: f64,
+    /// Leakage floor per block, mW.
+    pub static_mw: f64,
+    resources: ResourceEstimator,
+}
+
+impl PowerModel {
+    /// Calibration reproducing the paper's §6.3 numbers (45 mW hybrid
+    /// encoder at 1600 regions, < 1 mW decoder).
+    pub fn zcu102() -> Self {
+        PowerModel {
+            mw_per_lut: 0.025,
+            mw_per_ff: 0.005,
+            mw_per_bram: 1.5,
+            static_mw: 0.1,
+            resources: ResourceEstimator::zcu102(),
+        }
+    }
+
+    /// Power of a resource estimate at a given toggle-activity factor.
+    pub fn power_of(&self, r: &ResourceEstimate, activity: f64) -> PowerEstimate {
+        let dynamic = activity
+            * (self.mw_per_lut * f64::from(r.luts)
+                + self.mw_per_ff * f64::from(r.ffs)
+                + self.mw_per_bram * f64::from(r.brams));
+        PowerEstimate { dynamic_mw: dynamic, static_mw: self.static_mw }
+    }
+
+    /// Encoder power at full streaming activity.
+    pub fn encoder_power(&self, design: DesignKind) -> PowerEstimate {
+        self.power_of(&self.resources.estimate(design), 1.0)
+    }
+
+    /// Decoder power at the given transaction activity factor
+    /// (fraction of cycles carrying a pixel transaction).
+    pub fn decoder_power(&self, width: u32, activity: f64) -> PowerEstimate {
+        self.power_of(&self.resources.estimate(DesignKind::Decoder { width }), activity)
+    }
+
+    /// Share of a typical mobile ISP chip's power (the paper compares
+    /// the 45 mW encoder against a 650 mW ISP).
+    pub fn fraction_of_isp(&self, power: &PowerEstimate) -> f64 {
+        power.total_mw() / 650.0
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::zcu102()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_encoder_is_about_45mw() {
+        let p = PowerModel::zcu102().encoder_power(DesignKind::HybridEncoder { regions: 1600 });
+        assert!(
+            (35.0..55.0).contains(&p.total_mw()),
+            "hybrid encoder {} mW",
+            p.total_mw()
+        );
+    }
+
+    #[test]
+    fn encoder_is_under_7_percent_of_isp_power() {
+        // §6.3: "less than 7 % of standard mobile ISP chip power (650 mW)".
+        let m = PowerModel::zcu102();
+        let p = m.encoder_power(DesignKind::HybridEncoder { regions: 1600 });
+        assert!(m.fraction_of_isp(&p) < 0.07 * 1.25, "fraction {}", m.fraction_of_isp(&p));
+    }
+
+    #[test]
+    fn decoder_is_under_1mw() {
+        let p = PowerModel::zcu102().decoder_power(1920, 0.02);
+        assert!(p.total_mw() < 1.0, "decoder {} mW", p.total_mw());
+    }
+
+    #[test]
+    fn parallel_encoder_power_explodes_with_regions() {
+        let m = PowerModel::zcu102();
+        let p100 = m.encoder_power(DesignKind::ParallelEncoder { regions: 100 });
+        let p400 = m.encoder_power(DesignKind::ParallelEncoder { regions: 400 });
+        assert!(p400.total_mw() > 2.5 * p100.total_mw());
+        let hybrid = m.encoder_power(DesignKind::HybridEncoder { regions: 400 });
+        assert!(p400.total_mw() > 5.0 * hybrid.total_mw());
+    }
+
+    #[test]
+    fn zero_activity_leaves_only_leakage() {
+        let m = PowerModel::zcu102();
+        let r = ResourceEstimator::zcu102().estimate(DesignKind::Decoder { width: 1920 });
+        let p = m.power_of(&r, 0.0);
+        assert_eq!(p.dynamic_mw, 0.0);
+        assert_eq!(p.total_mw(), m.static_mw);
+    }
+}

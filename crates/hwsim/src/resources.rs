@@ -1,0 +1,282 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which hardware unit (and comparison-engine organization) to estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// Encoder with one comparator lane per region (strawman).
+    ParallelEncoder {
+        /// Number of simultaneously supported regions.
+        regions: u32,
+    },
+    /// Encoder with BRAM-resident region list and per-row shortlisting
+    /// (the paper's design).
+    HybridEncoder {
+        /// Number of simultaneously supported regions (capacity).
+        regions: u32,
+    },
+    /// The rhythmic pixel decoder — mask-driven, so region-agnostic.
+    Decoder {
+        /// Decoded frame width in pixels (sizes the metadata scratchpad).
+        width: u32,
+    },
+}
+
+/// Whether the design fits and routes on the modeled device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SynthesisOutcome {
+    /// Synthesizes and meets timing.
+    Ok,
+    /// Fails synthesis/placement (the paper's "No Synth" entries).
+    NoSynth,
+}
+
+impl fmt::Display for SynthesisOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisOutcome::Ok => f.write_str("OK"),
+            SynthesisOutcome::NoSynth => f.write_str("No Synth"),
+        }
+    }
+}
+
+/// Estimated FPGA resource utilization of one design point — a row of
+/// the paper's Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// 18 Kb block RAMs.
+    pub brams: u32,
+    /// Synthesis verdict.
+    pub outcome: SynthesisOutcome,
+}
+
+/// Structural resource estimator for the encoder/decoder designs.
+///
+/// Per-lane costs are calibrated against the paper's Table 5 post-layout
+/// numbers; the point is not the absolute LUT counts but the *shape*:
+/// parallel grows linearly and stops synthesizing, hybrid and the
+/// decoder are flat in the region count.
+///
+/// # Example
+///
+/// ```
+/// use rpr_hwsim::{DesignKind, ResourceEstimator, SynthesisOutcome};
+///
+/// let est = ResourceEstimator::zcu102();
+/// let p400 = est.estimate(DesignKind::ParallelEncoder { regions: 400 });
+/// let h400 = est.estimate(DesignKind::HybridEncoder { regions: 400 });
+/// assert!(p400.luts > 10 * h400.luts);
+///
+/// let p1600 = est.estimate(DesignKind::ParallelEncoder { regions: 1600 });
+/// assert_eq!(p1600.outcome, SynthesisOutcome::NoSynth);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimator {
+    /// LUTs per parallel comparator lane (x/y range compares, stride
+    /// modulus, skip counter, priority-mux slice).
+    pub luts_per_lane: f64,
+    /// FFs per parallel comparator lane (region registers + pipeline
+    /// staging).
+    pub ffs_per_lane: f64,
+    /// Fixed LUTs shared by any encoder (sequencer, sampler, counters,
+    /// AXI plumbing).
+    pub encoder_base_luts: u32,
+    /// Fixed FFs shared by any encoder.
+    pub encoder_base_ffs: u32,
+    /// BRAMs for the encoder's line/FIFO buffers.
+    pub encoder_buffer_brams: u32,
+    /// Hybrid shortlist engine LUTs (constant: the shortlist width is
+    /// fixed by the design, not the region count).
+    pub hybrid_engine_luts: u32,
+    /// Hybrid shortlist engine FFs.
+    pub hybrid_engine_ffs: u32,
+    /// Region capacity the hybrid's BRAM list is provisioned for.
+    pub hybrid_capacity_regions: u32,
+    /// Largest parallel priority network that still routes on the
+    /// device; beyond this the design fails synthesis.
+    pub max_parallel_lanes: u32,
+    /// Decoder PMMU + FIFO sampling unit LUTs.
+    pub decoder_luts: u32,
+    /// Decoder FFs.
+    pub decoder_ffs: u32,
+}
+
+impl ResourceEstimator {
+    /// Calibration matching the paper's ZCU102 Table 5 within a few
+    /// percent.
+    pub fn zcu102() -> Self {
+        ResourceEstimator {
+            luts_per_lane: 38.7,
+            ffs_per_lane: 49.2,
+            encoder_base_luts: 774,
+            encoder_base_ffs: 1018,
+            encoder_buffer_brams: 6,
+            hybrid_engine_luts: 948,
+            hybrid_engine_ffs: 1189,
+            hybrid_capacity_regions: 1600,
+            max_parallel_lanes: 1024,
+            decoder_luts: 699,
+            decoder_ffs: 1082,
+        }
+    }
+
+    /// Estimates one design point.
+    pub fn estimate(&self, design: DesignKind) -> ResourceEstimate {
+        match design {
+            DesignKind::ParallelEncoder { regions } => {
+                let luts = self.encoder_base_luts
+                    + (self.luts_per_lane * f64::from(regions)).round() as u32;
+                let ffs = self.encoder_base_ffs
+                    + (self.ffs_per_lane * f64::from(regions)).round() as u32;
+                let outcome = if regions > self.max_parallel_lanes {
+                    SynthesisOutcome::NoSynth
+                } else {
+                    SynthesisOutcome::Ok
+                };
+                ResourceEstimate { luts, ffs, brams: self.encoder_buffer_brams, outcome }
+            }
+            DesignKind::HybridEncoder { regions } => {
+                // The region list lives in BRAM sized for the provisioned
+                // capacity (6 x u32 per region), so asking for fewer
+                // regions changes nothing — the paper's flat rows.
+                let capacity = regions.max(self.hybrid_capacity_regions);
+                let list_bytes = u64::from(capacity) * 24;
+                let list_brams = list_bytes.div_ceil(4608) as u32; // 36 Kb BRAM halves
+                ResourceEstimate {
+                    luts: self.hybrid_engine_luts,
+                    ffs: self.hybrid_engine_ffs,
+                    brams: list_brams + 2, // + metadata/line buffers
+                    outcome: SynthesisOutcome::Ok,
+                }
+            }
+            DesignKind::Decoder { width } => {
+                // Metadata scratchpad: one EncMask row (2 b/px) for each
+                // of the 4 history frames, plus offset staging.
+                ResourceEstimate {
+                    luts: self.decoder_luts,
+                    ffs: self.decoder_ffs,
+                    brams: 2 * width.div_ceil(1920),
+                    outcome: SynthesisOutcome::Ok,
+                }
+            }
+        }
+    }
+
+    /// The paper's Table 5 sweep: parallel and hybrid at the given
+    /// region counts, as `(design, estimate)` rows.
+    pub fn table5_sweep(&self, region_counts: &[u32]) -> Vec<(DesignKind, ResourceEstimate)> {
+        let mut rows = Vec::new();
+        for &n in region_counts {
+            let d = DesignKind::ParallelEncoder { regions: n };
+            rows.push((d, self.estimate(d)));
+        }
+        for &n in region_counts {
+            let d = DesignKind::HybridEncoder { regions: n };
+            rows.push((d, self.estimate(d)));
+        }
+        rows
+    }
+}
+
+impl Default for ResourceEstimator {
+    fn default() -> Self {
+        ResourceEstimator::zcu102()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> ResourceEstimator {
+        ResourceEstimator::zcu102()
+    }
+
+    /// Paper Table 5, parallel rows, within 5 %.
+    #[test]
+    fn parallel_matches_table5() {
+        let cases = [(100u32, 4644u32, 5935u32), (200, 8635, 10935), (400, 16251, 20685)];
+        for (n, luts, ffs) in cases {
+            let r = est().estimate(DesignKind::ParallelEncoder { regions: n });
+            let lut_err = (f64::from(r.luts) - f64::from(luts)).abs() / f64::from(luts);
+            let ff_err = (f64::from(r.ffs) - f64::from(ffs)).abs() / f64::from(ffs);
+            assert!(lut_err < 0.05, "n={n}: luts {} vs {luts}", r.luts);
+            assert!(ff_err < 0.05, "n={n}: ffs {} vs {ffs}", r.ffs);
+            assert_eq!(r.brams, 6);
+            assert_eq!(r.outcome, SynthesisOutcome::Ok);
+        }
+    }
+
+    /// Paper Table 5: parallel at 1600 regions does not synthesize.
+    #[test]
+    fn parallel_1600_fails_synthesis() {
+        let r = est().estimate(DesignKind::ParallelEncoder { regions: 1600 });
+        assert_eq!(r.outcome, SynthesisOutcome::NoSynth);
+    }
+
+    /// Paper Table 5, hybrid rows: ~950 LUTs / ~1190 FFs / 11 BRAMs,
+    /// flat across 100–1600 regions.
+    #[test]
+    fn hybrid_is_flat_and_matches_table5() {
+        let mut prev: Option<ResourceEstimate> = None;
+        for n in [100u32, 200, 400, 1600] {
+            let r = est().estimate(DesignKind::HybridEncoder { regions: n });
+            assert!((900..1000).contains(&r.luts), "luts {}", r.luts);
+            assert!((1150..1250).contains(&r.ffs), "ffs {}", r.ffs);
+            assert_eq!(r.brams, 11);
+            assert_eq!(r.outcome, SynthesisOutcome::Ok);
+            if let Some(p) = prev {
+                assert_eq!(p, r, "hybrid must be flat in region count");
+            }
+            prev = Some(r);
+        }
+    }
+
+    /// §6.3: decoder needs 699 LUTs, 1082 FFs, 2 BRAMs for 1080p,
+    /// regardless of region count.
+    #[test]
+    fn decoder_matches_section63() {
+        let r = est().estimate(DesignKind::Decoder { width: 1920 });
+        assert_eq!(r.luts, 699);
+        assert_eq!(r.ffs, 1082);
+        assert_eq!(r.brams, 2);
+    }
+
+    #[test]
+    fn decoder_bram_scales_with_width_only() {
+        let hd = est().estimate(DesignKind::Decoder { width: 1920 });
+        let uhd = est().estimate(DesignKind::Decoder { width: 3840 });
+        assert_eq!(uhd.brams, 2 * hd.brams);
+        assert_eq!(uhd.luts, hd.luts);
+    }
+
+    #[test]
+    fn hybrid_beats_parallel_beyond_trivial_sizes() {
+        for n in [100u32, 400, 1000] {
+            let p = est().estimate(DesignKind::ParallelEncoder { regions: n });
+            let h = est().estimate(DesignKind::HybridEncoder { regions: n });
+            assert!(p.luts > h.luts, "n={n}");
+        }
+    }
+
+    #[test]
+    fn table5_sweep_has_all_rows() {
+        let rows = est().table5_sweep(&[100, 200, 400, 1600]);
+        assert_eq!(rows.len(), 8);
+        let no_synth = rows
+            .iter()
+            .filter(|(_, r)| r.outcome == SynthesisOutcome::NoSynth)
+            .count();
+        assert_eq!(no_synth, 1);
+    }
+
+    #[test]
+    fn outcome_display_matches_paper_wording() {
+        assert_eq!(SynthesisOutcome::NoSynth.to_string(), "No Synth");
+        assert_eq!(SynthesisOutcome::Ok.to_string(), "OK");
+    }
+}

@@ -1,0 +1,205 @@
+//! The decoder's metadata scratchpad (paper Fig. 6): an on-chip buffer
+//! holding the per-row offsets and EncMask lines "pertaining to the
+//! transaction for the four most recent encoded frames".
+//!
+//! The model is an LRU cache of `(frame_tag, row)` metadata lines:
+//! pixel transactions touching resident lines are scratchpad hits;
+//! misses fetch the line from DRAM (costed in bytes and cycles). Row
+//! locality of real vision access patterns (raster reads, block reads)
+//! makes the hit rate high, which is why the paper's decoder needs only
+//! two BRAMs.
+
+use rpr_core::{SubRequest, SubRequestKind};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Hit/miss counters for the scratchpad.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScratchpadStats {
+    /// Line accesses that found the line resident.
+    pub hits: u64,
+    /// Line accesses that had to fetch from DRAM.
+    pub misses: u64,
+    /// Metadata bytes fetched from DRAM on misses.
+    pub bytes_fetched: u64,
+}
+
+impl ScratchpadStats {
+    /// Hit rate in `[0, 1]` (1.0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU cache of metadata lines, keyed by `(frame_tag, row)`.
+///
+/// # Example
+///
+/// ```
+/// use rpr_hwsim::MetadataScratchpad;
+///
+/// let mut sp = MetadataScratchpad::new(8, 480); // 8 lines, 480 B each
+/// sp.access(0, 10);
+/// sp.access(0, 10);
+/// sp.access(0, 11);
+/// assert_eq!(sp.stats().hits, 1);
+/// assert_eq!(sp.stats().misses, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetadataScratchpad {
+    capacity_lines: usize,
+    line_bytes: u32,
+    resident: VecDeque<(u8, u32)>,
+    stats: ScratchpadStats,
+}
+
+impl MetadataScratchpad {
+    /// Creates a scratchpad holding `capacity_lines` metadata lines of
+    /// `line_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity_lines == 0`.
+    pub fn new(capacity_lines: usize, line_bytes: u32) -> Self {
+        assert!(capacity_lines > 0, "scratchpad needs at least one line");
+        MetadataScratchpad {
+            capacity_lines,
+            line_bytes,
+            resident: VecDeque::new(),
+            stats: ScratchpadStats::default(),
+        }
+    }
+
+    /// Sizes a scratchpad for a frame width: the EncMask line
+    /// (2 bits/px) plus the 4-byte row offset, with capacity for a few
+    /// lines of each of the 4 history frames — the configuration behind
+    /// the paper's 2-BRAM decoder at 1080p.
+    pub fn for_width(width: u32) -> Self {
+        Self::new(16, width.div_ceil(4) + 4)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ScratchpadStats {
+        &self.stats
+    }
+
+    /// Bytes of on-chip storage the configuration requires.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_lines as u64 * u64::from(self.line_bytes)
+    }
+
+    /// Touches the metadata line for `row` of history frame
+    /// `frame_tag`, returning true on hit.
+    pub fn access(&mut self, frame_tag: u8, row: u32) -> bool {
+        let key = (frame_tag, row);
+        if let Some(pos) = self.resident.iter().position(|&k| k == key) {
+            // Move to MRU.
+            self.resident.remove(pos);
+            self.resident.push_back(key);
+            self.stats.hits += 1;
+            true
+        } else {
+            if self.resident.len() == self.capacity_lines {
+                self.resident.pop_front();
+            }
+            self.resident.push_back(key);
+            self.stats.misses += 1;
+            self.stats.bytes_fetched += u64::from(self.line_bytes);
+            false
+        }
+    }
+
+    /// Replays the metadata accesses of a translated transaction: every
+    /// sub-request touches its row's line in the frame that serves it
+    /// (history interpolations touch the history frame's line).
+    pub fn access_transaction(&mut self, subs: &[SubRequest]) {
+        for sub in subs {
+            let tag = match sub.kind {
+                SubRequestKind::CurrentFrame { .. }
+                | SubRequestKind::Interpolate
+                | SubRequestKind::Black => 0,
+                SubRequestKind::HistoryFrame { frames_back, .. } => frames_back,
+                SubRequestKind::HistoryInterpolate { frames_back } => frames_back,
+            };
+            self.access(tag, sub.y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{
+        PixelMmu, PixelRequest, RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder,
+    };
+    use rpr_frame::Plane;
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut sp = MetadataScratchpad::new(2, 100);
+        sp.access(0, 1);
+        sp.access(0, 2);
+        sp.access(0, 3); // evicts row 1
+        assert!(!sp.access(0, 1)); // miss again
+        assert_eq!(sp.stats().misses, 4);
+        assert_eq!(sp.stats().bytes_fetched, 400);
+    }
+
+    #[test]
+    fn mru_touch_protects_hot_lines() {
+        let mut sp = MetadataScratchpad::new(2, 100);
+        sp.access(0, 1);
+        sp.access(0, 2);
+        sp.access(0, 1); // refresh row 1
+        sp.access(0, 3); // evicts row 2, not row 1
+        assert!(sp.access(0, 1));
+    }
+
+    #[test]
+    fn tags_distinguish_history_frames() {
+        let mut sp = MetadataScratchpad::new(4, 100);
+        sp.access(0, 5);
+        assert!(!sp.access(1, 5), "same row of another frame is a different line");
+        assert!(sp.access(0, 5));
+    }
+
+    #[test]
+    fn raster_reads_hit_after_the_first_pixel_of_each_row() {
+        // A full-row transaction touches one metadata line per frame:
+        // width-1 hits after the first miss.
+        let frame = Plane::from_fn(32, 16, |x, y| (x + y) as u8);
+        let regions = RegionList::new(32, 16, vec![RegionLabel::new(0, 0, 32, 16, 1, 1)]).unwrap();
+        let mut enc = RhythmicEncoder::new(32, 16);
+        let mut dec = SoftwareDecoder::new(32, 16);
+        dec.decode(&enc.encode(&frame, 0, &regions));
+        let mut mmu = PixelMmu::new(32, 16);
+        let mut sp = MetadataScratchpad::for_width(32);
+        for y in 0..16 {
+            let subs = mmu.analyze(dec.history(), PixelRequest::row(y, 32)).unwrap();
+            sp.access_transaction(&subs);
+        }
+        assert_eq!(sp.stats().misses, 16);
+        assert_eq!(sp.stats().hits, 16 * 31);
+        assert!(sp.stats().hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn capacity_for_1080p_fits_two_brams() {
+        let sp = MetadataScratchpad::for_width(1920);
+        // 2 x 18 Kb BRAMs = 4.5 KiB... the paper's decoder holds the
+        // active lines, not whole masks: 16 lines x 484 B ≈ 7.7 KB is
+        // the right order (2 x 36 Kb BRAM halves).
+        assert!(sp.capacity_bytes() < 9216, "capacity {} B", sp.capacity_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_capacity_panics() {
+        let _ = MetadataScratchpad::new(0, 128);
+    }
+}

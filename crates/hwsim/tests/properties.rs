@@ -1,0 +1,94 @@
+//! Property tests for the hardware models: structural invariants that
+//! must hold at every design point.
+
+use proptest::prelude::*;
+use rpr_hwsim::{
+    DesignKind, EncoderPipelineModel, MetadataScratchpad, PowerModel, ResourceEstimator,
+    SynthesisOutcome,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel-encoder resources grow monotonically with region count;
+    /// hybrid resources never change.
+    #[test]
+    fn resource_monotonicity(a in 1u32..2000, b in 1u32..2000) {
+        let est = ResourceEstimator::zcu102();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let p_lo = est.estimate(DesignKind::ParallelEncoder { regions: lo });
+        let p_hi = est.estimate(DesignKind::ParallelEncoder { regions: hi });
+        prop_assert!(p_lo.luts <= p_hi.luts);
+        prop_assert!(p_lo.ffs <= p_hi.ffs);
+        // Hybrid is flat up to its provisioned capacity (1600 regions);
+        // beyond that only the BRAM region list grows, never the logic.
+        let h_lo = est.estimate(DesignKind::HybridEncoder { regions: lo });
+        let h_hi = est.estimate(DesignKind::HybridEncoder { regions: hi });
+        if hi <= est.hybrid_capacity_regions {
+            prop_assert_eq!(h_lo, h_hi);
+        } else {
+            prop_assert_eq!(h_lo.luts, h_hi.luts);
+            prop_assert_eq!(h_lo.ffs, h_hi.ffs);
+            prop_assert!(h_lo.brams <= h_hi.brams);
+        }
+    }
+
+    /// Synthesis feasibility is a threshold: once a parallel design
+    /// fails, every larger one fails too.
+    #[test]
+    fn no_synth_is_monotone(n in 1u32..4000) {
+        let est = ResourceEstimator::zcu102();
+        let here = est.estimate(DesignKind::ParallelEncoder { regions: n }).outcome;
+        let bigger = est.estimate(DesignKind::ParallelEncoder { regions: n + 1 }).outcome;
+        if here == SynthesisOutcome::NoSynth {
+            prop_assert_eq!(bigger, SynthesisOutcome::NoSynth);
+        }
+    }
+
+    /// Power is monotone in activity and never below leakage.
+    #[test]
+    fn power_monotone_in_activity(a in 0.0f64..1.0, b in 0.0f64..1.0, n in 1u32..1600) {
+        let model = PowerModel::zcu102();
+        let est = ResourceEstimator::zcu102();
+        let r = est.estimate(DesignKind::HybridEncoder { regions: n });
+        let (lo, hi) = (a.min(b), a.max(b));
+        let p_lo = model.power_of(&r, lo);
+        let p_hi = model.power_of(&r, hi);
+        prop_assert!(p_lo.total_mw() <= p_hi.total_mw() + 1e-12);
+        prop_assert!(p_lo.total_mw() >= model.static_mw);
+    }
+
+    /// The pipeline model's cycle count is at least the ideal
+    /// pixels/ppc floor, and the effective throughput never exceeds the
+    /// configured rate.
+    #[test]
+    fn pipeline_bounds(w in 8u32..128, h in 8u32..64) {
+        use rpr_core::RegionList;
+        use rpr_frame::Plane;
+        let model = EncoderPipelineModel::paper_config();
+        let frame = Plane::from_fn(w, h, |x, y| (x + y) as u8);
+        let report = model.simulate(&frame, 0, &RegionList::full_frame(w, h));
+        let floor = u64::from(w).div_ceil(2) * u64::from(h);
+        prop_assert!(report.cycles >= floor);
+        prop_assert!(report.effective_ppc <= 2.0 + 1e-9);
+    }
+
+    /// Scratchpad accounting: hits + misses equals accesses, fetched
+    /// bytes equal misses x line size, and a repeat of the same access
+    /// stream entirely hits when it fits.
+    #[test]
+    fn scratchpad_accounting(rows in proptest::collection::vec(0u32..8, 1..32)) {
+        let mut sp = MetadataScratchpad::new(8, 128);
+        for &r in &rows {
+            sp.access(0, r);
+        }
+        let s = *sp.stats();
+        prop_assert_eq!(s.hits + s.misses, rows.len() as u64);
+        prop_assert_eq!(s.bytes_fetched, s.misses * 128);
+        // All 8 possible lines fit in the 8-line scratchpad: a second
+        // pass is all hits.
+        for &r in &rows {
+            prop_assert!(sp.access(0, r));
+        }
+    }
+}

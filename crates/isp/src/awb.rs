@@ -1,0 +1,99 @@
+//! Gray-world auto white balance — the "image improvement" class of
+//! ISP operation the paper's pipeline performs before the encoder
+//! (§2: "performing image improvement operations, e.g., white
+//! balance").
+
+use crate::ColorMatrix;
+use rpr_frame::RgbFrame;
+
+/// Per-channel gains estimated by an AWB pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AwbGains {
+    /// Red gain.
+    pub r: f64,
+    /// Green gain (reference channel, usually 1.0).
+    pub g: f64,
+    /// Blue gain.
+    pub b: f64,
+}
+
+impl AwbGains {
+    /// Converts the gains into a diagonal [`ColorMatrix`].
+    pub fn to_matrix(self) -> ColorMatrix {
+        ColorMatrix::white_balance(self.r, self.g, self.b)
+    }
+}
+
+/// Estimates gray-world white-balance gains: scale each channel so its
+/// mean matches the green channel's mean. Gains are clamped to
+/// `[0.25, 4.0]` so pathological frames (all-black, single-colour test
+/// charts) cannot produce wild corrections.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::RgbFrame;
+/// use rpr_isp::estimate_gray_world;
+///
+/// // A scene under a red-tinted illuminant.
+/// let frame = RgbFrame::from_fn(16, 16, |_, _| [180, 120, 60]);
+/// let gains = estimate_gray_world(&frame);
+/// assert!(gains.r < 1.0); // red is too hot: attenuate
+/// assert!(gains.b > 1.0); // blue is starved: boost
+/// let balanced = gains.to_matrix().apply([180, 120, 60]);
+/// assert!((i32::from(balanced[0]) - i32::from(balanced[2])).abs() <= 2);
+/// ```
+pub fn estimate_gray_world(frame: &RgbFrame) -> AwbGains {
+    let mut sums = [0.0f64; 3];
+    let pixels = (frame.width() as usize * frame.height() as usize).max(1) as f64;
+    for y in 0..frame.height() {
+        for x in 0..frame.width() {
+            let px = frame.get(x, y).expect("in bounds");
+            for c in 0..3 {
+                sums[c] += f64::from(px[c]);
+            }
+        }
+    }
+    let means = [sums[0] / pixels, sums[1] / pixels, sums[2] / pixels];
+    let clamp = |g: f64| g.clamp(0.25, 4.0);
+    let reference = means[1].max(1.0);
+    AwbGains {
+        r: clamp(reference / means[0].max(1.0)),
+        g: 1.0,
+        b: clamp(reference / means[2].max(1.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_scene_needs_no_correction() {
+        let frame = RgbFrame::from_fn(8, 8, |x, _| [x as u8 * 20, x as u8 * 20, x as u8 * 20]);
+        let g = estimate_gray_world(&frame);
+        assert!((g.r - 1.0).abs() < 1e-9);
+        assert!((g.b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tinted_scene_is_neutralized() {
+        let frame = RgbFrame::from_fn(8, 8, |_, _| [200, 100, 50]);
+        let g = estimate_gray_world(&frame);
+        let out = g.to_matrix().apply([200, 100, 50]);
+        assert!((i32::from(out[0]) - 100).abs() <= 1);
+        assert!((i32::from(out[2]) - 100).abs() <= 1);
+    }
+
+    #[test]
+    fn gains_are_clamped_on_pathological_input() {
+        let black = RgbFrame::new(4, 4);
+        let g = estimate_gray_world(&black);
+        assert!(g.r <= 4.0 && g.b <= 4.0 && g.r >= 0.25);
+        let pure_red = RgbFrame::from_fn(4, 4, |_, _| [255, 0, 0]);
+        let g = estimate_gray_world(&pure_red);
+        assert_eq!(g.r, 0.25); // clamped: 1/255 would be absurd
+        // Blue and green are both empty; the floor keeps the gain sane.
+        assert!((1.0..=4.0).contains(&g.b));
+    }
+}

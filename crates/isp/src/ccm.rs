@@ -1,0 +1,115 @@
+use rpr_frame::RgbFrame;
+use serde::{Deserialize, Serialize};
+
+/// A 3x3 colour-correction matrix applied after demosaic, mapping
+/// sensor RGB into display RGB (white balance and cross-talk
+/// compensation folded together, as in typical streaming ISP IP).
+///
+/// # Example
+///
+/// ```
+/// use rpr_isp::ColorMatrix;
+///
+/// let identity = ColorMatrix::identity();
+/// assert_eq!(identity.apply([10, 20, 30]), [10, 20, 30]);
+///
+/// let wb = ColorMatrix::white_balance(2.0, 1.0, 1.0);
+/// assert_eq!(wb.apply([10, 20, 30]), [20, 20, 30]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColorMatrix {
+    /// Row-major 3x3 coefficients.
+    pub m: [[f64; 3]; 3],
+}
+
+impl ColorMatrix {
+    /// The identity matrix (no correction).
+    pub fn identity() -> Self {
+        ColorMatrix { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// A diagonal white-balance matrix with per-channel gains.
+    pub fn white_balance(r_gain: f64, g_gain: f64, b_gain: f64) -> Self {
+        ColorMatrix {
+            m: [[r_gain, 0.0, 0.0], [0.0, g_gain, 0.0], [0.0, 0.0, b_gain]],
+        }
+    }
+
+    /// A mild cross-talk correction typical of small-pixel mobile
+    /// sensors: boosts the diagonal and subtracts neighbours, rows
+    /// normalized to 1 so grays stay gray.
+    pub fn typical_mobile() -> Self {
+        ColorMatrix {
+            m: [
+                [1.3, -0.2, -0.1],
+                [-0.15, 1.35, -0.2],
+                [-0.05, -0.25, 1.3],
+            ],
+        }
+    }
+
+    /// Applies the matrix to one pixel, clamping to `[0, 255]`.
+    pub fn apply(&self, rgb: [u8; 3]) -> [u8; 3] {
+        let v = [f64::from(rgb[0]), f64::from(rgb[1]), f64::from(rgb[2])];
+        let mut out = [0u8; 3];
+        for (c, row) in self.m.iter().enumerate() {
+            let sum = row[0] * v[0] + row[1] * v[1] + row[2] * v[2];
+            out[c] = sum.round().clamp(0.0, 255.0) as u8;
+        }
+        out
+    }
+
+    /// Applies the matrix to a whole frame.
+    pub fn apply_rgb(&self, frame: &RgbFrame) -> RgbFrame {
+        RgbFrame::from_fn(frame.width(), frame.height(), |x, y| {
+            self.apply(frame.get(x, y).expect("in bounds"))
+        })
+    }
+}
+
+impl Default for ColorMatrix {
+    fn default() -> Self {
+        ColorMatrix::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_preserves_pixels() {
+        let m = ColorMatrix::identity();
+        assert_eq!(m.apply([1, 2, 3]), [1, 2, 3]);
+        assert_eq!(m.apply([255, 0, 128]), [255, 0, 128]);
+    }
+
+    #[test]
+    fn white_balance_scales_channels() {
+        let m = ColorMatrix::white_balance(1.5, 1.0, 0.5);
+        assert_eq!(m.apply([100, 100, 100]), [150, 100, 50]);
+    }
+
+    #[test]
+    fn output_saturates() {
+        let m = ColorMatrix::white_balance(10.0, 1.0, 1.0);
+        assert_eq!(m.apply([200, 0, 0])[0], 255);
+    }
+
+    #[test]
+    fn typical_mobile_preserves_gray() {
+        let m = ColorMatrix::typical_mobile();
+        let out = m.apply([128, 128, 128]);
+        for c in out {
+            assert!((i32::from(c) - 128).abs() <= 1, "gray shifted: {out:?}");
+        }
+    }
+
+    #[test]
+    fn apply_rgb_covers_frame() {
+        let frame = RgbFrame::from_fn(3, 3, |x, _| [x as u8 * 50, 0, 0]);
+        let out = ColorMatrix::white_balance(2.0, 1.0, 1.0).apply_rgb(&frame);
+        assert_eq!(out.get(1, 0).unwrap()[0], 100);
+        assert_eq!(out.get(2, 0).unwrap()[0], 200);
+    }
+}

@@ -1,0 +1,120 @@
+use rpr_frame::RgbFrame;
+use std::fmt;
+
+/// A 256-entry gamma-correction lookup table, the way streaming ISP
+/// hardware implements the transfer curve.
+///
+/// # Example
+///
+/// ```
+/// use rpr_isp::GammaLut;
+///
+/// let lut = GammaLut::new(2.2);
+/// assert_eq!(lut.apply(0), 0);
+/// assert_eq!(lut.apply(255), 255);
+/// assert!(lut.apply(64) > 64); // gamma > 1 brightens shadows
+/// ```
+#[derive(Clone)]
+pub struct GammaLut {
+    gamma: f64,
+    table: [u8; 256],
+}
+
+impl GammaLut {
+    /// Builds the LUT for `out = 255 * (in / 255)^(1 / gamma)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not strictly positive.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        let mut table = [0u8; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let normalized = i as f64 / 255.0;
+            *entry = (normalized.powf(1.0 / gamma) * 255.0).round() as u8;
+        }
+        GammaLut { gamma, table }
+    }
+
+    /// The identity curve (`gamma = 1`).
+    pub fn identity() -> Self {
+        GammaLut::new(1.0)
+    }
+
+    /// The configured gamma exponent.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Corrects one sample.
+    #[inline]
+    pub fn apply(&self, value: u8) -> u8 {
+        self.table[value as usize]
+    }
+
+    /// Corrects a whole RGB frame.
+    pub fn apply_rgb(&self, frame: &RgbFrame) -> RgbFrame {
+        RgbFrame::from_fn(frame.width(), frame.height(), |x, y| {
+            let [r, g, b] = frame.get(x, y).expect("in bounds");
+            [self.apply(r), self.apply(g), self.apply(b)]
+        })
+    }
+}
+
+impl fmt::Debug for GammaLut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GammaLut").field("gamma", &self.gamma).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let lut = GammaLut::identity();
+        for v in 0..=255u8 {
+            assert_eq!(lut.apply(v), v);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_fixed() {
+        for gamma in [0.5, 1.0, 2.2, 3.0] {
+            let lut = GammaLut::new(gamma);
+            assert_eq!(lut.apply(0), 0);
+            assert_eq!(lut.apply(255), 255);
+        }
+    }
+
+    #[test]
+    fn monotonic_nondecreasing() {
+        let lut = GammaLut::new(2.2);
+        for v in 1..=255u8 {
+            assert!(lut.apply(v) >= lut.apply(v - 1));
+        }
+    }
+
+    #[test]
+    fn gamma_above_one_brightens_midtones() {
+        let lut = GammaLut::new(2.2);
+        assert!(lut.apply(128) > 128);
+        let inv = GammaLut::new(0.45);
+        assert!(inv.apply(128) < 128);
+    }
+
+    #[test]
+    fn apply_rgb_hits_every_channel() {
+        let frame = RgbFrame::from_fn(2, 2, |_, _| [10, 100, 200]);
+        let out = GammaLut::new(2.2).apply_rgb(&frame);
+        let [r, g, b] = out.get(0, 0).unwrap();
+        assert!(r > 10 && g > 100 && b >= 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gamma_panics() {
+        let _ = GammaLut::new(0.0);
+    }
+}

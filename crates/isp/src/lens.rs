@@ -1,0 +1,106 @@
+//! Lens-shading (vignetting) correction — the radial gain map a mobile
+//! ISP applies to undo the lens's brightness falloff toward the frame
+//! corners.
+
+use rpr_frame::{GrayFrame, Plane};
+
+/// A radial lens-shading model: the sensor observes
+/// `I(r) = I0 * (1 - falloff * (r / r_max)^2)` and the corrector
+/// multiplies by the inverse gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LensShading {
+    /// Brightness loss at the frame corner, in `[0, 0.9]`
+    /// (0.3 = corners 30 % darker than the centre).
+    pub falloff: f64,
+}
+
+impl LensShading {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `falloff` is outside `[0, 0.9]`.
+    pub fn new(falloff: f64) -> Self {
+        assert!((0.0..=0.9).contains(&falloff), "falloff must be within [0, 0.9]");
+        LensShading { falloff }
+    }
+
+    /// The attenuation the lens applies at `(x, y)` of a `w x h` frame,
+    /// in `(0, 1]`.
+    pub fn attenuation(&self, x: u32, y: u32, w: u32, h: u32) -> f64 {
+        let cx = f64::from(w) / 2.0;
+        let cy = f64::from(h) / 2.0;
+        let dx = f64::from(x) + 0.5 - cx;
+        let dy = f64::from(y) + 0.5 - cy;
+        let r2_max = cx * cx + cy * cy;
+        1.0 - self.falloff * (dx * dx + dy * dy) / r2_max.max(1.0)
+    }
+
+    /// Applies the vignetting to a clean frame (sensor simulation side).
+    pub fn apply(&self, frame: &GrayFrame) -> GrayFrame {
+        Plane::from_fn(frame.width(), frame.height(), |x, y| {
+            let v = f64::from(frame.get(x, y).expect("in bounds"));
+            (v * self.attenuation(x, y, frame.width(), frame.height()))
+                .round()
+                .clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// Corrects a vignetted frame (ISP side): multiplies by the inverse
+    /// attenuation, saturating at 255.
+    pub fn correct(&self, frame: &GrayFrame) -> GrayFrame {
+        Plane::from_fn(frame.width(), frame.height(), |x, y| {
+            let v = f64::from(frame.get(x, y).expect("in bounds"));
+            (v / self.attenuation(x, y, frame.width(), frame.height()).max(0.1))
+                .round()
+                .clamp(0.0, 255.0) as u8
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_is_unattenuated() {
+        let lens = LensShading::new(0.4);
+        let a = lens.attenuation(32, 24, 64, 48);
+        assert!(a > 0.99, "centre attenuation {a}");
+    }
+
+    #[test]
+    fn corners_lose_the_configured_fraction() {
+        let lens = LensShading::new(0.4);
+        let a = lens.attenuation(0, 0, 64, 48);
+        assert!((a - 0.6).abs() < 0.03, "corner attenuation {a}");
+    }
+
+    #[test]
+    fn apply_then_correct_roundtrips_within_rounding() {
+        let lens = LensShading::new(0.3);
+        let frame = Plane::from_fn(32, 32, |x, y| (60 + x * 3 + y) as u8);
+        let round = lens.correct(&lens.apply(&frame));
+        for y in 0..32 {
+            for x in 0..32 {
+                let a = i32::from(frame.get(x, y).unwrap());
+                let b = i32::from(round.get(x, y).unwrap());
+                assert!((a - b).abs() <= 2, "({x},{y}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_falloff_is_identity() {
+        let lens = LensShading::new(0.0);
+        let frame = Plane::from_fn(16, 16, |x, y| (x * y) as u8);
+        assert_eq!(lens.apply(&frame), frame);
+        assert_eq!(lens.correct(&frame), frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "falloff")]
+    fn excessive_falloff_panics() {
+        let _ = LensShading::new(0.95);
+    }
+}

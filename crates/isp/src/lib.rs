@@ -1,0 +1,43 @@
+//! Image signal processor model (substitute for the Xilinx reVISION ISP
+//! blocks the paper builds on, §5.1).
+//!
+//! The pipeline mirrors the paper's Table 2 ISP: Bayer demosaic, gamma
+//! correction, colour correction, and colour-space conversion, all
+//! processing at 2 pixels per clock — the throughput constraint the
+//! rhythmic encoder has to keep up with. Each stage is usable on its
+//! own; [`IspPipeline`] chains them and accounts cycles and line-buffer
+//! usage.
+//!
+//! # Example
+//!
+//! ```
+//! use rpr_frame::RgbFrame;
+//! use rpr_isp::{IspConfig, IspPipeline};
+//! use rpr_sensor::{ImageSensor, SensorConfig};
+//!
+//! let sensor = ImageSensor::new(SensorConfig::noiseless(16, 16));
+//! let scene = RgbFrame::from_fn(16, 16, |x, _| [x as u8 * 10, 128, 30]);
+//! let raw = sensor.capture(&scene, 0);
+//!
+//! let isp = IspPipeline::new(IspConfig::default());
+//! let out = isp.process(&raw);
+//! assert_eq!(out.rgb.width(), 16);
+//! ```
+
+#![deny(missing_docs)]
+
+mod awb;
+mod ccm;
+mod demosaic;
+mod gamma;
+mod lens;
+mod pipeline;
+mod yuv;
+
+pub use awb::{estimate_gray_world, AwbGains};
+pub use ccm::ColorMatrix;
+pub use demosaic::demosaic_bilinear;
+pub use gamma::GammaLut;
+pub use lens::LensShading;
+pub use pipeline::{IspConfig, IspOutput, IspPipeline, IspStats};
+pub use yuv::{pack_uyvy, rgb_to_ycbcr, unpack_uyvy, ycbcr_to_rgb};

@@ -1,0 +1,213 @@
+use crate::{demosaic_bilinear, ColorMatrix, GammaLut};
+use rpr_frame::{GrayFrame, RgbFrame};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the modeled ISP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IspConfig {
+    /// Gamma exponent of the transfer curve (1.0 = identity).
+    pub gamma: f64,
+    /// Colour-correction matrix.
+    pub ccm: ColorMatrix,
+    /// Pixels processed per clock cycle (the paper's blocks run at 2).
+    pub pixels_per_clock: u32,
+    /// ISP clock in Hz (ZU9EG programmable-logic class).
+    pub clock_hz: f64,
+}
+
+impl Default for IspConfig {
+    fn default() -> Self {
+        IspConfig {
+            gamma: 2.2,
+            ccm: ColorMatrix::identity(),
+            pixels_per_clock: 2,
+            clock_hz: 300.0e6,
+        }
+    }
+}
+
+/// Per-frame ISP processing record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IspStats {
+    /// Frames processed.
+    pub frames: u64,
+    /// Pixels processed.
+    pub pixels: u64,
+    /// Clock cycles consumed at the configured pixels/clock.
+    pub cycles: u64,
+    /// Line-buffer rows the stage chain requires (demosaic needs a
+    /// 3-row window → 2 stored lines).
+    pub line_buffer_rows: u32,
+}
+
+/// Output of one ISP pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspOutput {
+    /// Colour-corrected, gamma-encoded RGB.
+    pub rgb: RgbFrame,
+    /// BT.601 luminance of `rgb` — what the (grayscale) vision pipeline
+    /// and the rhythmic encoder consume.
+    pub luma: GrayFrame,
+}
+
+/// The modeled ISP: demosaic → CCM → gamma → luma extraction, with
+/// cycle accounting at the configured pixels/clock rate.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_isp::{IspConfig, IspPipeline};
+///
+/// let isp = IspPipeline::new(IspConfig::default());
+/// let raw = Plane::from_fn(8, 8, |_, _| 120u8);
+/// let out = isp.process(&raw);
+/// assert_eq!(out.luma.width(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IspPipeline {
+    config: IspConfig,
+    gamma: GammaLut,
+    stats: std::cell::Cell<IspStats>,
+}
+
+impl IspPipeline {
+    /// Creates the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pixels_per_clock` is zero or `gamma` is not
+    /// positive.
+    pub fn new(config: IspConfig) -> Self {
+        assert!(config.pixels_per_clock > 0, "pixels per clock must be >= 1");
+        IspPipeline {
+            config,
+            gamma: GammaLut::new(config.gamma),
+            stats: std::cell::Cell::new(IspStats {
+                line_buffer_rows: 2,
+                ..IspStats::default()
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IspConfig {
+        &self.config
+    }
+
+    /// Accumulated processing statistics.
+    pub fn stats(&self) -> IspStats {
+        self.stats.get()
+    }
+
+    /// Processes one Bayer raw frame into RGB + luma.
+    pub fn process(&self, raw: &GrayFrame) -> IspOutput {
+        let rgb = demosaic_bilinear(raw);
+        let corrected = self.config.ccm.apply_rgb(&rgb);
+        let rgb = self.gamma.apply_rgb(&corrected);
+        let luma = rgb.to_gray();
+
+        let pixels = u64::from(raw.width()) * u64::from(raw.height());
+        let mut s = self.stats.get();
+        s.frames += 1;
+        s.pixels += pixels;
+        s.cycles += pixels.div_ceil(u64::from(self.config.pixels_per_clock));
+        self.stats.set(s);
+
+        IspOutput { rgb, luma }
+    }
+
+    /// Seconds of ISP time one `width x height` frame costs at the
+    /// configured clock — used to check the pipeline sustains the
+    /// sensor's frame rate.
+    pub fn frame_time_s(&self, width: u32, height: u32) -> f64 {
+        let cycles = (u64::from(width) * u64::from(height))
+            .div_ceil(u64::from(self.config.pixels_per_clock));
+        cycles as f64 / self.config.clock_hz
+    }
+
+    /// Maximum frame rate the ISP sustains for `width x height`.
+    pub fn max_fps(&self, width: u32, height: u32) -> f64 {
+        1.0 / self.frame_time_s(width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+    use rpr_sensor::{ImageSensor, SensorConfig};
+
+    #[test]
+    fn flat_field_survives_pipeline() {
+        let isp = IspPipeline::new(IspConfig { gamma: 1.0, ..IspConfig::default() });
+        let raw = Plane::from_fn(16, 16, |_, _| 90u8);
+        let out = isp.process(&raw);
+        assert_eq!(out.rgb.get(8, 8), Some([90, 90, 90]));
+        assert_eq!(out.luma.get(8, 8), Some(90));
+    }
+
+    #[test]
+    fn gamma_is_applied() {
+        let flat = IspPipeline::new(IspConfig { gamma: 1.0, ..IspConfig::default() });
+        let curved = IspPipeline::new(IspConfig { gamma: 2.2, ..IspConfig::default() });
+        let raw = Plane::from_fn(8, 8, |_, _| 60u8);
+        let a = flat.process(&raw).luma.get(4, 4).unwrap();
+        let b = curved.process(&raw).luma.get(4, 4).unwrap();
+        assert!(b > a, "gamma 2.2 must brighten 60: {a} vs {b}");
+    }
+
+    #[test]
+    fn cycle_accounting_at_two_ppc() {
+        let isp = IspPipeline::new(IspConfig::default());
+        let raw: GrayFrame = Plane::new(64, 32);
+        isp.process(&raw);
+        let s = isp.stats();
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.pixels, 64 * 32);
+        assert_eq!(s.cycles, 64 * 32 / 2);
+        assert_eq!(s.line_buffer_rows, 2);
+    }
+
+    #[test]
+    fn pipeline_sustains_4k60_at_two_ppc() {
+        // The reVISION pipeline delivers 4K60 pass-through (paper §5.1).
+        let isp = IspPipeline::new(IspConfig::default());
+        assert!(isp.max_fps(3840, 2160) >= 60.0);
+    }
+
+    #[test]
+    fn one_ppc_halves_throughput() {
+        let two = IspPipeline::new(IspConfig::default());
+        let one =
+            IspPipeline::new(IspConfig { pixels_per_clock: 1, ..IspConfig::default() });
+        let r = two.max_fps(1920, 1080) / one.max_fps(1920, 1080);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_sensor_to_luma_preserves_structure() {
+        // A bright square on dark background must still be a bright
+        // square after sensor + ISP.
+        let sensor = ImageSensor::new(SensorConfig::noiseless(32, 32));
+        let scene = rpr_frame::RgbFrame::from_fn(32, 32, |x, y| {
+            if (8..24).contains(&x) && (8..24).contains(&y) {
+                [220, 220, 220]
+            } else {
+                [30, 30, 30]
+            }
+        });
+        let raw = sensor.capture(&scene, 0);
+        let isp = IspPipeline::new(IspConfig::default());
+        let out = isp.process(&raw);
+        let inside = f64::from(out.luma.get(16, 16).unwrap());
+        let outside = f64::from(out.luma.get(2, 2).unwrap());
+        assert!(inside - outside > 60.0, "lost contrast: {inside} vs {outside}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pixels per clock")]
+    fn zero_ppc_panics() {
+        let _ = IspPipeline::new(IspConfig { pixels_per_clock: 0, ..IspConfig::default() });
+    }
+}

@@ -1,0 +1,169 @@
+//! Colour-space conversion (paper §2: the ISP performs "format
+//! changes, e.g., YUV conversion") — BT.601 RGB↔YCbCr and the packed
+//! YUV 4:2:2 (UYVY) wire format video pipelines move around.
+//!
+//! The luminance plane produced here is what the (grayscale) vision
+//! stack and the rhythmic encoder consume; the packed 4:2:2 form backs
+//! the 2-bytes-per-pixel accounting of
+//! [`rpr_frame::PixelFormat::Yuv422`].
+
+use rpr_frame::{GrayFrame, Plane, RgbFrame};
+
+/// Converts one RGB pixel to full-range BT.601 YCbCr.
+pub fn rgb_to_ycbcr(rgb: [u8; 3]) -> [u8; 3] {
+    let r = f64::from(rgb[0]);
+    let g = f64::from(rgb[1]);
+    let b = f64::from(rgb[2]);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    [clamp(y), clamp(cb), clamp(cr)]
+}
+
+/// Converts one full-range BT.601 YCbCr pixel back to RGB.
+pub fn ycbcr_to_rgb(ycbcr: [u8; 3]) -> [u8; 3] {
+    let y = f64::from(ycbcr[0]);
+    let cb = f64::from(ycbcr[1]) - 128.0;
+    let cr = f64::from(ycbcr[2]) - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136 * cb - 0.714_136 * cr;
+    let b = y + 1.772 * cb;
+    [clamp(r), clamp(g), clamp(b)]
+}
+
+fn clamp(v: f64) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Packs an RGB frame into UYVY 4:2:2: two horizontal neighbours share
+/// one averaged Cb/Cr pair, `[U, Y0, V, Y1]` per pixel pair — exactly
+/// 2 bytes per pixel.
+///
+/// # Panics
+///
+/// Panics when the frame width is odd (4:2:2 packs pixel pairs).
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::RgbFrame;
+/// use rpr_isp::{pack_uyvy, unpack_uyvy};
+///
+/// let frame = RgbFrame::from_fn(4, 2, |x, _| [x as u8 * 60, 128, 30]);
+/// let packed = pack_uyvy(&frame);
+/// assert_eq!(packed.len(), 4 * 2 * 2); // 2 bytes/px
+/// let (luma, rgb) = unpack_uyvy(&packed, 4, 2);
+/// assert_eq!(luma.width(), 4);
+/// assert_eq!(rgb.width(), 4);
+/// ```
+pub fn pack_uyvy(frame: &RgbFrame) -> Vec<u8> {
+    assert!(frame.width().is_multiple_of(2), "UYVY requires even width");
+    let mut out = Vec::with_capacity(frame.width() as usize * frame.height() as usize * 2);
+    for y in 0..frame.height() {
+        for x in (0..frame.width()).step_by(2) {
+            let a = rgb_to_ycbcr(frame.get(x, y).expect("in bounds"));
+            let b = rgb_to_ycbcr(frame.get(x + 1, y).expect("in bounds"));
+            let cb = ((u16::from(a[1]) + u16::from(b[1])) / 2) as u8;
+            let cr = ((u16::from(a[2]) + u16::from(b[2])) / 2) as u8;
+            out.extend_from_slice(&[cb, a[0], cr, b[0]]);
+        }
+    }
+    out
+}
+
+/// Unpacks UYVY 4:2:2 into the luminance plane and an RGB
+/// reconstruction.
+///
+/// # Panics
+///
+/// Panics when `data.len() != width * height * 2` or `width` is odd.
+pub fn unpack_uyvy(data: &[u8], width: u32, height: u32) -> (GrayFrame, RgbFrame) {
+    assert!(width.is_multiple_of(2), "UYVY requires even width");
+    assert_eq!(data.len(), width as usize * height as usize * 2, "packed size mismatch");
+    let mut luma: GrayFrame = Plane::new(width, height);
+    let mut rgb = RgbFrame::new(width, height);
+    let mut i = 0;
+    for y in 0..height {
+        for x in (0..width).step_by(2) {
+            let (cb, y0, cr, y1) = (data[i], data[i + 1], data[i + 2], data[i + 3]);
+            i += 4;
+            luma.set(x, y, y0);
+            luma.set(x + 1, y, y1);
+            rgb.set(x, y, ycbcr_to_rgb([y0, cb, cr]));
+            rgb.set(x + 1, y, ycbcr_to_rgb([y1, cb, cr]));
+        }
+    }
+    (luma, rgb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ycbcr_roundtrip_is_near_lossless() {
+        for rgb in [[0u8, 0, 0], [255, 255, 255], [200, 30, 90], [12, 250, 128]] {
+            let back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+            for c in 0..3 {
+                assert!(
+                    (i32::from(back[c]) - i32::from(rgb[c])).abs() <= 2,
+                    "{rgb:?} -> {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gray_pixels_have_neutral_chroma() {
+        let [_, cb, cr] = rgb_to_ycbcr([120, 120, 120]);
+        assert_eq!((cb, cr), (128, 128));
+    }
+
+    #[test]
+    fn luma_matches_bt601_weights() {
+        let [y, _, _] = rgb_to_ycbcr([0, 255, 0]);
+        assert_eq!(y, 150); // 0.587 * 255
+    }
+
+    #[test]
+    fn uyvy_is_two_bytes_per_pixel() {
+        let frame = RgbFrame::new(8, 4);
+        assert_eq!(pack_uyvy(&frame).len(), 8 * 4 * 2);
+    }
+
+    #[test]
+    fn uyvy_roundtrip_preserves_luma_exactly() {
+        let frame = RgbFrame::from_fn(16, 8, |x, y| [(x * 16) as u8, (y * 30) as u8, 77]);
+        let packed = pack_uyvy(&frame);
+        let (luma, _) = unpack_uyvy(&packed, 16, 8);
+        for y in 0..8 {
+            for x in 0..16 {
+                let expected = rgb_to_ycbcr(frame.get(x, y).unwrap())[0];
+                assert_eq!(luma.get(x, y), Some(expected), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn uyvy_roundtrip_rgb_is_close_on_smooth_content() {
+        // Chroma subsampling loses little on horizontally smooth colour.
+        let frame = RgbFrame::from_fn(16, 8, |_, y| [200, (40 + y * 10) as u8, 90]);
+        let packed = pack_uyvy(&frame);
+        let (_, back) = unpack_uyvy(&packed, 16, 8);
+        for y in 0..8 {
+            for x in 0..16 {
+                let a = frame.get(x, y).unwrap();
+                let b = back.get(x, y).unwrap();
+                for c in 0..3 {
+                    assert!((i32::from(a[c]) - i32::from(b[c])).abs() <= 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even width")]
+    fn odd_width_panics() {
+        let _ = pack_uyvy(&RgbFrame::new(3, 2));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the ISP stages.
+
+use proptest::prelude::*;
+use rpr_frame::{Plane, RgbFrame};
+use rpr_isp::{
+    demosaic_bilinear, estimate_gray_world, pack_uyvy, rgb_to_ycbcr, unpack_uyvy,
+    ycbcr_to_rgb, ColorMatrix, GammaLut, IspConfig, IspPipeline, LensShading,
+};
+use rpr_sensor::{ImageSensor, SensorConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat colour fields survive the whole sensor+demosaic path in the
+    /// interior (Bayer sampling of a constant field is lossless).
+    #[test]
+    fn flat_fields_roundtrip(r in 0u8..=255, g in 0u8..=255, b in 0u8..=255) {
+        let sensor = ImageSensor::new(SensorConfig::noiseless(12, 12));
+        let scene = RgbFrame::from_fn(12, 12, |_, _| [r, g, b]);
+        let rgb = demosaic_bilinear(&sensor.capture(&scene, 0));
+        for y in 2..10 {
+            for x in 2..10 {
+                prop_assert_eq!(rgb.get(x, y), Some([r, g, b]));
+            }
+        }
+    }
+
+    /// Gamma LUTs are monotone with fixed endpoints for any exponent.
+    #[test]
+    fn gamma_monotone(gamma in 0.2f64..5.0) {
+        let lut = GammaLut::new(gamma);
+        prop_assert_eq!(lut.apply(0), 0);
+        prop_assert_eq!(lut.apply(255), 255);
+        for v in 1..=255u8 {
+            prop_assert!(lut.apply(v) >= lut.apply(v - 1));
+        }
+    }
+
+    /// Colour matrices distribute over scaling: M(k * px) ≈ k * M(px)
+    /// while unsaturated.
+    #[test]
+    fn ccm_is_linear(r in 0u8..60, g in 0u8..60, b in 0u8..60) {
+        let m = ColorMatrix::typical_mobile();
+        let single = m.apply([r, g, b]);
+        let double = m.apply([r * 2, g * 2, b * 2]);
+        for c in 0..3 {
+            prop_assert!((i32::from(double[c]) - 2 * i32::from(single[c])).abs() <= 2);
+        }
+    }
+
+    /// YCbCr conversion round-trips within rounding error for any pixel.
+    #[test]
+    fn ycbcr_roundtrip(r in 0u8..=255, g in 0u8..=255, b in 0u8..=255) {
+        let back = ycbcr_to_rgb(rgb_to_ycbcr([r, g, b]));
+        prop_assert!((i32::from(back[0]) - i32::from(r)).abs() <= 2);
+        prop_assert!((i32::from(back[1]) - i32::from(g)).abs() <= 2);
+        prop_assert!((i32::from(back[2]) - i32::from(b)).abs() <= 2);
+    }
+
+    /// UYVY packing preserves luma for every pixel of any even-width
+    /// frame.
+    #[test]
+    fn uyvy_luma_exact(w2 in 1u32..12, h in 1u32..12, seed in 0u32..100) {
+        let w = w2 * 2;
+        let frame = RgbFrame::from_fn(w, h, |x, y| {
+            [
+                (x.wrapping_mul(37) ^ seed) as u8,
+                (y.wrapping_mul(53) ^ seed) as u8,
+                (x ^ y) as u8,
+            ]
+        });
+        let (luma, _) = unpack_uyvy(&pack_uyvy(&frame), w, h);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(luma.get(x, y), Some(rgb_to_ycbcr(frame.get(x, y).unwrap())[0]));
+            }
+        }
+    }
+
+    /// AWB gains always normalize a uniformly tinted scene back to
+    /// gray (within clamping range).
+    #[test]
+    fn awb_neutralizes_tints(r in 40u8..=220, g in 40u8..=220, b in 40u8..=220) {
+        // Stay inside the gain clamp range [0.25, 4.0].
+        prop_assume!(f64::from(g) / f64::from(r.min(b)) < 3.9);
+        prop_assume!(f64::from(g) / f64::from(r.max(b)) > 0.26);
+        let frame = RgbFrame::from_fn(8, 8, |_, _| [r, g, b]);
+        let gains = estimate_gray_world(&frame);
+        let out = gains.to_matrix().apply([r, g, b]);
+        // All channels land on the green mean.
+        prop_assert!((i32::from(out[0]) - i32::from(g)).abs() <= 2, "{out:?}");
+        prop_assert!((i32::from(out[2]) - i32::from(g)).abs() <= 2, "{out:?}");
+    }
+
+    /// Lens shading: apply-then-correct is near-identity away from the
+    /// clamp region, for any legal falloff.
+    #[test]
+    fn lens_roundtrip(falloff in 0.0f64..0.6) {
+        let lens = LensShading::new(falloff);
+        let frame = Plane::from_fn(24, 24, |x, y| (40 + x * 4 + y * 2) as u8);
+        let round = lens.correct(&lens.apply(&frame));
+        for y in 0..24 {
+            for x in 0..24 {
+                let a = i32::from(frame.get(x, y).unwrap());
+                let b = i32::from(round.get(x, y).unwrap());
+                prop_assert!((a - b).abs() <= 2, "({x},{y}): {a} vs {b}");
+            }
+        }
+    }
+
+    /// The pipeline's cycle accounting is exact for any geometry and
+    /// pixels-per-clock rate.
+    #[test]
+    fn cycle_accounting(w in 1u32..64, h in 1u32..64, ppc in 1u32..5) {
+        let isp = IspPipeline::new(IspConfig { pixels_per_clock: ppc, ..IspConfig::default() });
+        let raw: rpr_frame::GrayFrame = Plane::new(w, h);
+        isp.process(&raw);
+        let expected = (u64::from(w) * u64::from(h)).div_ceil(u64::from(ppc));
+        prop_assert_eq!(isp.stats().cycles, expected);
+    }
+}

@@ -1,0 +1,169 @@
+use rpr_core::EncodedFrame;
+use rpr_frame::PixelFormat;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One sample of the resident framebuffer footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintSample {
+    /// Frame index at which the sample was taken.
+    pub frame_idx: u64,
+    /// Resident bytes after that frame was admitted.
+    pub bytes: u64,
+}
+
+/// Tracks the DRAM bytes held by the encoded-frame buffers over time —
+/// the memory-footprint axis of Fig. 8 ("we measure the size of encoded
+/// frame buffers over time", §5.3.1).
+///
+/// The pool retains a sliding window of frames (default 4, matching the
+/// decoder's history scratchpad) and records the footprint after each
+/// admission.
+///
+/// # Example
+///
+/// ```
+/// use rpr_memsim::FramebufferPool;
+///
+/// let mut pool = FramebufferPool::new(4);
+/// pool.admit_raw(0, 1000);
+/// pool.admit_raw(1, 1000);
+/// assert_eq!(pool.current_bytes(), 2000);
+/// assert_eq!(pool.peak_bytes(), 2000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FramebufferPool {
+    window: usize,
+    resident: VecDeque<(u64, u64)>,
+    samples: Vec<FootprintSample>,
+    peak: u64,
+}
+
+impl FramebufferPool {
+    /// Creates a pool holding at most `window` frames at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must hold at least one frame");
+        FramebufferPool {
+            window,
+            resident: VecDeque::new(),
+            samples: Vec::new(),
+            peak: 0,
+        }
+    }
+
+    /// Admits an encoded frame: payload scaled by `format` plus
+    /// metadata bytes. Evicts the oldest frame beyond the window.
+    pub fn admit_encoded(&mut self, frame: &EncodedFrame, format: PixelFormat) {
+        let bytes = (frame.pixel_count() * format.bytes_per_pixel()
+            + frame.metadata_bytes()) as u64;
+        self.admit_raw(frame.frame_idx(), bytes);
+    }
+
+    /// Admits a frame of `bytes` (raw baseline frames).
+    pub fn admit_raw(&mut self, frame_idx: u64, bytes: u64) {
+        self.resident.push_back((frame_idx, bytes));
+        while self.resident.len() > self.window {
+            self.resident.pop_front();
+        }
+        let current = self.current_bytes();
+        self.peak = self.peak.max(current);
+        self.samples.push(FootprintSample { frame_idx, bytes: current });
+    }
+
+    /// Bytes currently resident.
+    pub fn current_bytes(&self) -> u64 {
+        self.resident.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Largest footprint ever observed.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Mean footprint across all samples (the paper reports "the average
+    /// frame buffer size reduces by roughly 50 %").
+    pub fn mean_bytes(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|s| s.bytes as f64).sum::<f64>()
+                / self.samples.len() as f64
+        }
+    }
+
+    /// The footprint time series.
+    pub fn samples(&self) -> &[FootprintSample] {
+        &self.samples
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident_frames(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{RegionLabel, RegionList, RhythmicEncoder};
+    use rpr_frame::Plane;
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut pool = FramebufferPool::new(2);
+        pool.admit_raw(0, 100);
+        pool.admit_raw(1, 200);
+        pool.admit_raw(2, 300);
+        assert_eq!(pool.resident_frames(), 2);
+        assert_eq!(pool.current_bytes(), 500);
+        assert_eq!(pool.peak_bytes(), 500);
+    }
+
+    #[test]
+    fn peak_survives_shrinking() {
+        let mut pool = FramebufferPool::new(2);
+        pool.admit_raw(0, 1000);
+        pool.admit_raw(1, 1000);
+        pool.admit_raw(2, 10);
+        pool.admit_raw(3, 10);
+        assert_eq!(pool.current_bytes(), 20);
+        assert_eq!(pool.peak_bytes(), 2000);
+    }
+
+    #[test]
+    fn mean_covers_all_samples() {
+        let mut pool = FramebufferPool::new(4);
+        pool.admit_raw(0, 100); // resident 100
+        pool.admit_raw(1, 300); // resident 400
+        assert!((pool.mean_bytes() - 250.0).abs() < 1e-9);
+        assert_eq!(pool.samples().len(), 2);
+    }
+
+    #[test]
+    fn encoded_admission_counts_metadata() {
+        let frame = Plane::from_fn(16, 16, |x, _| x as u8);
+        let regions =
+            RegionList::new(16, 16, vec![RegionLabel::new(0, 0, 8, 8, 1, 1)]).unwrap();
+        let enc = RhythmicEncoder::new(16, 16).encode(&frame, 0, &regions);
+        let mut pool = FramebufferPool::new(4);
+        pool.admit_encoded(&enc, PixelFormat::Gray8);
+        assert_eq!(pool.current_bytes(), (64 + enc.metadata_bytes()) as u64);
+    }
+
+    #[test]
+    fn empty_pool_is_zero() {
+        let pool = FramebufferPool::new(4);
+        assert_eq!(pool.current_bytes(), 0);
+        assert_eq!(pool.mean_bytes(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = FramebufferPool::new(0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Encoder-placement analysis (paper §4.1.2 and §7 "Rhythmic Pixel
+//! Camera").
+//!
+//! The paper integrates the encoder at the ISP output, so the MIPI CSI
+//! link still carries every raw pixel; §7 proposes moving the encoder
+//! into the camera module to cut CSI traffic too. This module prices
+//! both placements with the Table 6 interface energies.
+
+use crate::EnergyModel;
+use serde::{Deserialize, Serialize};
+
+/// Where the rhythmic encoder sits in the capture chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncoderPlacement {
+    /// At the ISP output inside the SoC (the paper's implementation):
+    /// full frames cross CSI, only encoded pixels cross DDR.
+    PostIsp,
+    /// Inside the camera module, before MIPI (§7): encoded pixels and
+    /// metadata cross both CSI and DDR.
+    InSensor,
+}
+
+/// Per-frame interface traffic for one placement, in pixel-equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementTraffic {
+    /// Pixels (equivalents) moved over the CSI link, sensor → SoC.
+    pub csi_px: u64,
+    /// Pixels (equivalents) written over the DDR interface.
+    pub ddr_write_px: u64,
+}
+
+/// Prices encoder placements for a frame of `frame_px` pixels whose
+/// encoded form keeps `kept_px` pixels plus `metadata_px`
+/// pixel-equivalents of EncMask/offset data.
+///
+/// # Example
+///
+/// ```
+/// use rpr_memsim::{placement_traffic, EncoderPlacement};
+///
+/// let post = placement_traffic(EncoderPlacement::PostIsp, 1_000_000, 300_000, 80_000);
+/// let in_sensor = placement_traffic(EncoderPlacement::InSensor, 1_000_000, 300_000, 80_000);
+/// assert_eq!(post.csi_px, 1_000_000);
+/// assert_eq!(in_sensor.csi_px, 380_000);
+/// assert_eq!(post.ddr_write_px, in_sensor.ddr_write_px);
+/// ```
+pub fn placement_traffic(
+    placement: EncoderPlacement,
+    frame_px: u64,
+    kept_px: u64,
+    metadata_px: u64,
+) -> PlacementTraffic {
+    let encoded = kept_px + metadata_px;
+    match placement {
+        EncoderPlacement::PostIsp => PlacementTraffic { csi_px: frame_px, ddr_write_px: encoded },
+        EncoderPlacement::InSensor => {
+            PlacementTraffic { csi_px: encoded, ddr_write_px: encoded }
+        }
+    }
+}
+
+/// Interface energy of one frame under a placement (CSI + DDR write
+/// path), in millijoules.
+pub fn placement_energy_mj(model: &EnergyModel, traffic: &PlacementTraffic) -> f64 {
+    (model.csi_pj * traffic.csi_px as f64
+        + model.write_path_pj() * traffic.ddr_write_px as f64)
+        / 1.0e9
+}
+
+/// The §7 headline: energy saved per frame by moving the encoder into
+/// the sensor, in millijoules.
+pub fn in_sensor_saving_mj(
+    model: &EnergyModel,
+    frame_px: u64,
+    kept_px: u64,
+    metadata_px: u64,
+) -> f64 {
+    let post = placement_traffic(EncoderPlacement::PostIsp, frame_px, kept_px, metadata_px);
+    let in_s = placement_traffic(EncoderPlacement::InSensor, frame_px, kept_px, metadata_px);
+    placement_energy_mj(model, &post) - placement_energy_mj(model, &in_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAME: u64 = 3840 * 2160;
+
+    #[test]
+    fn post_isp_moves_full_frame_over_csi() {
+        let t = placement_traffic(EncoderPlacement::PostIsp, FRAME, FRAME / 3, FRAME / 12);
+        assert_eq!(t.csi_px, FRAME);
+        assert_eq!(t.ddr_write_px, FRAME / 3 + FRAME / 12);
+    }
+
+    #[test]
+    fn in_sensor_cuts_csi_to_encoded_size() {
+        let t = placement_traffic(EncoderPlacement::InSensor, FRAME, FRAME / 3, FRAME / 12);
+        assert_eq!(t.csi_px, FRAME / 3 + FRAME / 12);
+        assert_eq!(t.ddr_write_px, t.csi_px);
+    }
+
+    #[test]
+    fn in_sensor_saving_matches_csi_energy_of_discarded_pixels() {
+        let model = EnergyModel::paper_defaults();
+        let kept = FRAME / 3;
+        let meta = FRAME / 12;
+        let saving = in_sensor_saving_mj(&model, FRAME, kept, meta);
+        let expected = model.csi_pj * (FRAME - kept - meta) as f64 / 1.0e9;
+        assert!((saving - expected).abs() < 1e-9);
+        // ~4.8 mJ/frame at 1 nJ/px CSI for a 4K frame keeping ~42 %.
+        assert!(saving > 3.0 && saving < 8.0, "saving {saving}");
+    }
+
+    #[test]
+    fn full_capture_has_no_placement_advantage() {
+        let model = EnergyModel::paper_defaults();
+        let saving = in_sensor_saving_mj(&model, FRAME, FRAME, 0);
+        assert_eq!(saving, 0.0);
+    }
+}

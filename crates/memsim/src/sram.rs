@@ -1,0 +1,175 @@
+//! DRAM-less computing analysis (paper §7): "The paradigm of rhythmic
+//! pixel regions significantly reduces the average size of the frame
+//! buffer. This presents an opportunity to store frame buffers in the
+//! local SoC memory when not dealing with full frame captures."
+//!
+//! [`DramlessAnalysis`] evaluates a run's per-frame encoded sizes
+//! against an on-chip SRAM budget: frames that fit stay on-chip and
+//! their DRAM traffic disappears; full captures (and anything else over
+//! budget) spill to DRAM as before.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating one SRAM budget against a frame-size series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramlessReport {
+    /// SRAM budget evaluated, bytes.
+    pub sram_bytes: u64,
+    /// Fraction of frames that fit on-chip.
+    pub fit_fraction: f64,
+    /// Bytes that stayed on-chip (DRAM write+read avoided twice over).
+    pub bytes_on_chip: u64,
+    /// Bytes that still spilled to DRAM.
+    pub bytes_to_dram: u64,
+}
+
+impl DramlessReport {
+    /// Fraction of total frame bytes kept away from DRAM.
+    pub fn traffic_avoided_fraction(&self) -> f64 {
+        let total = self.bytes_on_chip + self.bytes_to_dram;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_on_chip as f64 / total as f64
+        }
+    }
+}
+
+/// Evaluates SRAM budgets against per-frame buffer sizes.
+///
+/// # Example
+///
+/// ```
+/// use rpr_memsim::DramlessAnalysis;
+///
+/// // A 10-frame cycle: one 100 KB full capture, nine 20 KB regional frames.
+/// let mut sizes = vec![100_000u64];
+/// sizes.extend(std::iter::repeat(20_000).take(9));
+/// let report = DramlessAnalysis::new(&sizes).evaluate(32_000);
+/// assert!((report.fit_fraction - 0.9).abs() < 1e-12);
+/// assert!(report.traffic_avoided_fraction() > 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramlessAnalysis {
+    frame_bytes: Vec<u64>,
+}
+
+impl DramlessAnalysis {
+    /// Creates an analysis over per-frame buffer sizes (payload +
+    /// metadata bytes per frame).
+    pub fn new(frame_bytes: &[u64]) -> Self {
+        DramlessAnalysis { frame_bytes: frame_bytes.to_vec() }
+    }
+
+    /// Evaluates a single SRAM budget.
+    pub fn evaluate(&self, sram_bytes: u64) -> DramlessReport {
+        let mut on_chip = 0u64;
+        let mut to_dram = 0u64;
+        let mut fits = 0usize;
+        for &b in &self.frame_bytes {
+            if b <= sram_bytes {
+                on_chip += b;
+                fits += 1;
+            } else {
+                to_dram += b;
+            }
+        }
+        DramlessReport {
+            sram_bytes,
+            fit_fraction: if self.frame_bytes.is_empty() {
+                0.0
+            } else {
+                fits as f64 / self.frame_bytes.len() as f64
+            },
+            bytes_on_chip: on_chip,
+            bytes_to_dram: to_dram,
+        }
+    }
+
+    /// The smallest budget that keeps `fraction` of frames on-chip —
+    /// the sizing question an SoC architect asks.
+    pub fn budget_for_fit_fraction(&self, fraction: f64) -> Option<u64> {
+        if self.frame_bytes.is_empty() {
+            return None;
+        }
+        let mut sorted = self.frame_bytes.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, sorted.len())
+            - 1;
+        Some(sorted[idx])
+    }
+
+    /// Sweeps several budgets at once.
+    pub fn sweep(&self, budgets: &[u64]) -> Vec<DramlessReport> {
+        budgets.iter().map(|&b| self.evaluate(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_sizes() -> Vec<u64> {
+        // RP10-like: full capture 90 KB, regional frames ~18-30 KB.
+        let mut v = Vec::new();
+        for c in 0..3 {
+            v.push(90_000);
+            for i in 0..9u64 {
+                v.push(18_000 + i * 1000 + c * 500);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn regional_frames_fit_modest_sram() {
+        let a = DramlessAnalysis::new(&cycle_sizes());
+        let r = a.evaluate(32_000);
+        assert!((r.fit_fraction - 0.9).abs() < 1e-12);
+        assert!(r.traffic_avoided_fraction() > 0.6);
+    }
+
+    #[test]
+    fn zero_budget_spills_everything() {
+        let a = DramlessAnalysis::new(&cycle_sizes());
+        let r = a.evaluate(0);
+        assert_eq!(r.fit_fraction, 0.0);
+        assert_eq!(r.bytes_on_chip, 0);
+    }
+
+    #[test]
+    fn huge_budget_keeps_everything() {
+        let a = DramlessAnalysis::new(&cycle_sizes());
+        let r = a.evaluate(10_000_000);
+        assert_eq!(r.fit_fraction, 1.0);
+        assert_eq!(r.bytes_to_dram, 0);
+        assert_eq!(r.traffic_avoided_fraction(), 1.0);
+    }
+
+    #[test]
+    fn budget_for_fraction_is_tight() {
+        let a = DramlessAnalysis::new(&cycle_sizes());
+        let b90 = a.budget_for_fit_fraction(0.9).unwrap();
+        let r = a.evaluate(b90);
+        assert!(r.fit_fraction >= 0.9, "fit {}", r.fit_fraction);
+        // One byte less must drop below the target.
+        let r_less = a.evaluate(b90 - 1);
+        assert!(r_less.fit_fraction < r.fit_fraction);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let a = DramlessAnalysis::new(&cycle_sizes());
+        let reports = a.sweep(&[10_000, 30_000, 100_000]);
+        assert!(reports[0].fit_fraction <= reports[1].fit_fraction);
+        assert!(reports[1].fit_fraction <= reports[2].fit_fraction);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let a = DramlessAnalysis::new(&[]);
+        assert_eq!(a.evaluate(1000).fit_fraction, 0.0);
+        assert!(a.budget_for_fit_fraction(0.9).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A planar camera pose: the world coordinates of the view centre and
+/// an in-plane rotation.
+///
+/// The synthetic SLAM benchmark is a camera translating and rotating
+/// over a large textured plane (a top-down "planar SLAM" abstraction of
+/// the paper's indoor sequences); the pose triple `(x, y, theta)` is the
+/// exact ground truth the trajectory-error metrics compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CameraPose {
+    /// World x of the view centre.
+    pub x: f64,
+    /// World y of the view centre.
+    pub y: f64,
+    /// In-plane rotation in radians (counter-clockwise).
+    pub theta: f64,
+}
+
+impl CameraPose {
+    /// Creates a pose.
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        CameraPose { x, y, theta }
+    }
+
+    /// Maps a view-space offset (relative to the view centre) into
+    /// world coordinates under this pose.
+    pub fn view_to_world(&self, vx: f64, vy: f64) -> (f64, f64) {
+        let (s, c) = self.theta.sin_cos();
+        (self.x + c * vx - s * vy, self.y + s * vx + c * vy)
+    }
+
+    /// The relative pose taking `self` to `other`, expressed in
+    /// `self`'s frame: the transform a visual-odometry front end
+    /// estimates between consecutive frames.
+    pub fn delta_to(&self, other: &CameraPose) -> CameraPose {
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        let (s, c) = (-self.theta).sin_cos();
+        CameraPose {
+            x: c * dx - s * dy,
+            y: s * dx + c * dy,
+            theta: normalize_angle(other.theta - self.theta),
+        }
+    }
+
+    /// Composes this pose with a relative pose expressed in this pose's
+    /// frame (the inverse of [`CameraPose::delta_to`]).
+    pub fn compose(&self, delta: &CameraPose) -> CameraPose {
+        let (s, c) = self.theta.sin_cos();
+        CameraPose {
+            x: self.x + c * delta.x - s * delta.y,
+            y: self.y + s * delta.x + c * delta.y,
+            theta: normalize_angle(self.theta + delta.theta),
+        }
+    }
+
+    /// Euclidean distance between two poses' positions.
+    pub fn distance(&self, other: &CameraPose) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for CameraPose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2}, {:.4} rad)", self.x, self.y, self.theta)
+    }
+}
+
+/// Wraps an angle into `(-pi, pi]`.
+pub(crate) fn normalize_angle(theta: f64) -> f64 {
+    let mut t = theta % (2.0 * std::f64::consts::PI);
+    if t > std::f64::consts::PI {
+        t -= 2.0 * std::f64::consts::PI;
+    } else if t <= -std::f64::consts::PI {
+        t += 2.0 * std::f64::consts::PI;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn view_to_world_identity_at_zero_rotation() {
+        let p = CameraPose::new(100.0, 50.0, 0.0);
+        assert_eq!(p.view_to_world(3.0, 4.0), (103.0, 54.0));
+    }
+
+    #[test]
+    fn view_to_world_rotates() {
+        let p = CameraPose::new(0.0, 0.0, FRAC_PI_2);
+        let (wx, wy) = p.view_to_world(1.0, 0.0);
+        assert!((wx - 0.0).abs() < 1e-12);
+        assert!((wy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_then_compose_roundtrips() {
+        let a = CameraPose::new(10.0, 20.0, 0.3);
+        let b = CameraPose::new(12.0, 19.0, 0.7);
+        let d = a.delta_to(&b);
+        let back = a.compose(&d);
+        assert!(back.distance(&b) < 1e-9);
+        assert!((normalize_angle(back.theta - b.theta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_normalization_wraps() {
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.5), 0.5);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = CameraPose::new(0.0, 0.0, 0.0);
+        let b = CameraPose::new(3.0, 4.0, 1.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

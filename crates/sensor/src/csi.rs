@@ -1,0 +1,197 @@
+//! MIPI CSI-2 link model (the sensor-to-SoC interface of paper §2 and
+//! the "Rhythmic Pixel Camera" future direction of §7).
+//!
+//! CSI-2 moves each video line as a *long packet* — a 4-byte header
+//! (data ID, 16-bit word count, ECC), the payload, and a 2-byte CRC
+//! footer — bracketed by 4-byte frame-start/frame-end short packets,
+//! with the byte stream distributed over 1–4 serial lanes. The model
+//! computes per-frame byte counts and sustainable frame rates, which
+//! the placement analysis in `rpr-memsim` uses to price moving the
+//! encoder inside the camera module.
+
+use serde::{Deserialize, Serialize};
+
+/// CSI-2 link configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsiLinkConfig {
+    /// Number of data lanes (1–4 in CSI-2 v1.x).
+    pub lanes: u32,
+    /// Per-lane line rate in gigabits per second.
+    pub gbps_per_lane: f64,
+}
+
+impl Default for CsiLinkConfig {
+    fn default() -> Self {
+        // A 4-lane, 1.5 Gbps/lane link — IMX274-class.
+        CsiLinkConfig { lanes: 4, gbps_per_lane: 1.5 }
+    }
+}
+
+/// Byte accounting for one frame on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsiFrameTraffic {
+    /// Pixel payload bytes.
+    pub payload_bytes: u64,
+    /// Packet header/footer/short-packet protocol bytes.
+    pub protocol_bytes: u64,
+}
+
+impl CsiFrameTraffic {
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.payload_bytes + self.protocol_bytes
+    }
+
+    /// Protocol overhead as a fraction of the payload.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            0.0
+        } else {
+            self.protocol_bytes as f64 / self.payload_bytes as f64
+        }
+    }
+}
+
+/// The CSI-2 link model.
+///
+/// # Example
+///
+/// ```
+/// use rpr_sensor::{CsiLink, CsiLinkConfig};
+///
+/// let link = CsiLink::new(CsiLinkConfig::default());
+/// let t = link.frame_traffic(1920, 1080, 1);
+/// assert!(t.overhead_fraction() < 0.01); // long lines amortize headers
+/// assert!(link.max_fps(3840, 2160, 1) > 60.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsiLink {
+    config: CsiLinkConfig,
+}
+
+/// Long-packet header bytes (data ID + word count + ECC).
+const LONG_PACKET_HEADER: u64 = 4;
+/// Long-packet footer bytes (CRC-16).
+const LONG_PACKET_FOOTER: u64 = 2;
+/// Short packet bytes (frame start / frame end).
+const SHORT_PACKET: u64 = 4;
+
+impl CsiLink {
+    /// Creates a link model.
+    pub fn new(config: CsiLinkConfig) -> Self {
+        CsiLink { config }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> CsiLinkConfig {
+        self.config
+    }
+
+    /// Aggregate link bandwidth in bytes per second.
+    pub fn bandwidth_bytes_s(&self) -> f64 {
+        f64::from(self.config.lanes) * self.config.gbps_per_lane * 1.0e9 / 8.0
+    }
+
+    /// Bytes one raster frame occupies on the wire: one long packet per
+    /// line plus the frame-start/end short packets.
+    pub fn frame_traffic(&self, width: u32, height: u32, bytes_per_pixel: u32) -> CsiFrameTraffic {
+        let payload = u64::from(width) * u64::from(height) * u64::from(bytes_per_pixel);
+        let protocol = u64::from(height) * (LONG_PACKET_HEADER + LONG_PACKET_FOOTER)
+            + 2 * SHORT_PACKET;
+        CsiFrameTraffic { payload_bytes: payload, protocol_bytes: protocol }
+    }
+
+    /// Bytes an *encoded* frame occupies when the rhythmic encoder sits
+    /// inside the camera (§7 "Rhythmic Pixel Camera"): one long packet
+    /// per non-empty line of encoded pixels, plus a metadata packet
+    /// stream. Empty lines cost nothing on the wire.
+    pub fn encoded_frame_traffic(
+        &self,
+        line_payload_bytes: &[u64],
+        metadata_bytes: u64,
+    ) -> CsiFrameTraffic {
+        let payload: u64 = line_payload_bytes.iter().sum::<u64>() + metadata_bytes;
+        let nonempty_lines = line_payload_bytes.iter().filter(|&&b| b > 0).count() as u64;
+        // Metadata ships as extra long packets of up to 4 KiB.
+        let metadata_packets = metadata_bytes.div_ceil(4096);
+        let protocol = (nonempty_lines + metadata_packets)
+            * (LONG_PACKET_HEADER + LONG_PACKET_FOOTER)
+            + 2 * SHORT_PACKET;
+        CsiFrameTraffic { payload_bytes: payload, protocol_bytes: protocol }
+    }
+
+    /// Seconds one frame needs on the wire.
+    pub fn frame_time_s(&self, traffic: &CsiFrameTraffic) -> f64 {
+        traffic.total_bytes() as f64 / self.bandwidth_bytes_s()
+    }
+
+    /// Maximum frame rate for a raster frame of the given geometry.
+    pub fn max_fps(&self, width: u32, height: u32, bytes_per_pixel: u32) -> f64 {
+        1.0 / self.frame_time_s(&self.frame_traffic(width, height, bytes_per_pixel))
+    }
+
+    /// Link utilization in `[0, 1]` at a target frame rate.
+    pub fn utilization(&self, traffic: &CsiFrameTraffic, fps: f64) -> f64 {
+        self.frame_time_s(traffic) * fps
+    }
+}
+
+impl Default for CsiLink {
+    fn default() -> Self {
+        CsiLink::new(CsiLinkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_frame_accounting() {
+        let link = CsiLink::default();
+        let t = link.frame_traffic(640, 480, 1);
+        assert_eq!(t.payload_bytes, 640 * 480);
+        assert_eq!(t.protocol_bytes, 480 * 6 + 8);
+        assert!(t.overhead_fraction() < 0.01);
+    }
+
+    #[test]
+    fn link_supports_4k60_rgb() {
+        let link = CsiLink::default();
+        // 4 x 1.5 Gbps = 750 MB/s; 4K RGB888 at 60 fps = ~1.5 GB/s is
+        // too much, but Bayer RAW8 (1 B/px) fits comfortably.
+        assert!(link.max_fps(3840, 2160, 1) > 60.0);
+        assert!(link.max_fps(3840, 2160, 3) < 60.0);
+    }
+
+    #[test]
+    fn encoded_frames_skip_empty_lines() {
+        let link = CsiLink::default();
+        let full = link.frame_traffic(640, 480, 1);
+        // Only 100 of 480 lines carry pixels.
+        let lines: Vec<u64> = (0..480).map(|i| if i < 100 { 640 } else { 0 }).collect();
+        let encoded = link.encoded_frame_traffic(&lines, 0);
+        assert_eq!(encoded.payload_bytes, 100 * 640);
+        assert!(encoded.protocol_bytes < full.protocol_bytes);
+        assert!(encoded.total_bytes() < full.total_bytes() / 4);
+    }
+
+    #[test]
+    fn metadata_ships_in_4k_packets() {
+        let link = CsiLink::default();
+        let t = link.encoded_frame_traffic(&[], 10_000);
+        assert_eq!(t.payload_bytes, 10_000);
+        // ceil(10000 / 4096) = 3 metadata packets + frame start/end.
+        assert_eq!(t.protocol_bytes, 3 * 6 + 8);
+    }
+
+    #[test]
+    fn utilization_scales_with_fps() {
+        let link = CsiLink::default();
+        let t = link.frame_traffic(1920, 1080, 1);
+        let u30 = link.utilization(&t, 30.0);
+        let u60 = link.utilization(&t, 60.0);
+        assert!((u60 / u30 - 2.0).abs() < 1e-9);
+        assert!(u30 < 0.1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic visual front end: procedurally generated scenes, a
+//! Bayer-pattern image sensor model, and raster-scan pixel streaming.
+//!
+//! This crate substitutes for the hardware the paper evaluates with — a
+//! Sony IMX274 camera streaming over MIPI CSI-2 — while preserving the
+//! property the rhythmic pixel encoder actually depends on: pixels
+//! arrive as a dense raster scan, row by row, left to right. Scenes are
+//! deterministic functions of a seed and a frame index, so every
+//! experiment has exact ground truth (camera poses, sprite bounding
+//! boxes) for the accuracy metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use rpr_sensor::{CameraPose, TextureWorld};
+//!
+//! let world = TextureWorld::generate(512, 512, 42);
+//! let view = world.render_view(&CameraPose::new(256.0, 256.0, 0.1), 64, 48);
+//! assert_eq!(view.width(), 64);
+//! ```
+
+#![deny(missing_docs)]
+
+mod camera;
+mod csi;
+mod noise;
+mod sensor;
+mod sprite;
+mod stream;
+mod trajectory;
+mod world;
+
+pub use camera::CameraPose;
+pub use csi::{CsiFrameTraffic, CsiLink, CsiLinkConfig};
+pub use noise::ValueNoise;
+pub use sensor::{ImageSensor, SensorConfig, SensorTiming};
+pub use sprite::{MotionPath, Sprite, SpriteShape};
+pub use stream::{PixelEvent, RasterScanStream};
+pub use trajectory::Trajectory;
+pub use world::TextureWorld;

@@ -1,0 +1,131 @@
+//! Deterministic lattice value noise used to texture synthetic worlds.
+
+/// Seeded, deterministic multi-octave value noise.
+///
+/// Values are produced by hashing integer lattice points and bilinearly
+/// interpolating between them; summing octaves gives the natural-looking
+/// texture richness the feature detectors need. The same
+/// `(seed, x, y)` always yields the same value on every platform.
+///
+/// # Example
+///
+/// ```
+/// use rpr_sensor::ValueNoise;
+///
+/// let n = ValueNoise::new(7);
+/// let a = n.fbm(10.5, 3.25, 4, 0.02);
+/// let b = n.fbm(10.5, 3.25, 4, 0.02);
+/// assert_eq!(a, b);
+/// assert!((0.0..=1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field from a seed.
+    pub fn new(seed: u64) -> Self {
+        ValueNoise { seed }
+    }
+
+    /// Hash of an integer lattice point into `[0, 1)`.
+    fn lattice(&self, x: i64, y: i64) -> f64 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut z = self
+            .seed
+            .wrapping_add((x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Smoothly interpolated noise at a continuous coordinate, in
+    /// `[0, 1)`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        // Smoothstep fade for C1 continuity.
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let (x0, y0) = (x0 as i64, y0 as i64);
+        let v00 = self.lattice(x0, y0);
+        let v10 = self.lattice(x0 + 1, y0);
+        let v01 = self.lattice(x0, y0 + 1);
+        let v11 = self.lattice(x0 + 1, y0 + 1);
+        let top = v00 + (v10 - v00) * sx;
+        let bot = v01 + (v11 - v01) * sx;
+        top + (bot - top) * sy
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of [`sample`] at
+    /// doubling frequency and halving amplitude, normalized to `[0, 1]`.
+    ///
+    /// [`sample`]: ValueNoise::sample
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32, base_frequency: f64) -> f64 {
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut frequency = base_frequency;
+        let mut norm = 0.0;
+        for octave in 0..octaves.max(1) {
+            let shifted = ValueNoise::new(self.seed.wrapping_add(u64::from(octave) * 0x5851));
+            total += amplitude * shifted.sample(x * frequency, y * frequency);
+            norm += amplitude;
+            amplitude *= 0.5;
+            frequency *= 2.0;
+        }
+        (total / norm).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let n = ValueNoise::new(123);
+        assert_eq!(n.sample(4.7, 9.1), n.sample(4.7, 9.1));
+        assert_eq!(n.fbm(4.7, 9.1, 5, 0.1), n.fbm(4.7, 9.1, 5, 0.1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1).sample(3.5, 3.5);
+        let b = ValueNoise::new(2).sample(3.5, 3.5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn range_is_unit_interval() {
+        let n = ValueNoise::new(99);
+        for i in 0..200 {
+            let v = n.fbm(i as f64 * 0.37, i as f64 * 0.73, 4, 0.05);
+            assert!((0.0..=1.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let n = ValueNoise::new(5);
+        let a = n.sample(10.0, 10.0);
+        let b = n.sample(10.001, 10.0);
+        assert!((a - b).abs() < 0.01, "discontinuity: {a} vs {b}");
+    }
+
+    #[test]
+    fn texture_has_contrast() {
+        // The noise must actually vary, or the vision stack has nothing
+        // to detect.
+        let n = ValueNoise::new(11);
+        let values: Vec<f64> =
+            (0..100).map(|i| n.fbm(i as f64 * 1.7, i as f64 * 0.9, 4, 0.05)).collect();
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.3, "flat texture: {min}..{max}");
+    }
+}

@@ -1,0 +1,239 @@
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rpr_frame::{GrayFrame, Plane, RgbFrame};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the modeled image sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Output width in pixels.
+    pub width: u32,
+    /// Output height in pixels.
+    pub height: u32,
+    /// Standard deviation of additive Gaussian read noise (DN).
+    pub read_noise_sigma: f64,
+    /// Per-capture seed mix so noise differs frame to frame but stays
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl SensorConfig {
+    /// A clean, noise-free sensor (useful for exactness tests).
+    pub fn noiseless(width: u32, height: u32) -> Self {
+        SensorConfig { width, height, read_noise_sigma: 0.0, seed: 0 }
+    }
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig { width: 640, height: 480, read_noise_sigma: 1.5, seed: 0 }
+    }
+}
+
+/// Timing model of the raster-scan read-out (pixel clock plus blanking),
+/// standing in for the MIPI CSI-2 link budget of the paper's IMX274.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorTiming {
+    /// Pixel clock in Hz.
+    pub pixel_clock_hz: f64,
+    /// Horizontal blanking interval, in pixel clocks per row.
+    pub hblank_px: u32,
+    /// Vertical blanking interval, in row times per frame.
+    pub vblank_rows: u32,
+}
+
+impl Default for SensorTiming {
+    fn default() -> Self {
+        // 4K60-class sensor: ~600 Mpx/s keeps 3840x2160x60 with blanking.
+        SensorTiming { pixel_clock_hz: 600.0e6, hblank_px: 128, vblank_rows: 24 }
+    }
+}
+
+impl SensorTiming {
+    /// Read-out time of one row of `width` active pixels, in seconds.
+    pub fn row_time_s(&self, width: u32) -> f64 {
+        f64::from(width + self.hblank_px) / self.pixel_clock_hz
+    }
+
+    /// Read-out time of one `width x height` frame, in seconds.
+    pub fn frame_time_s(&self, width: u32, height: u32) -> f64 {
+        self.row_time_s(width) * f64::from(height + self.vblank_rows)
+    }
+
+    /// Maximum sustainable frame rate for a `width x height` frame.
+    pub fn max_fps(&self, width: u32, height: u32) -> f64 {
+        1.0 / self.frame_time_s(width, height)
+    }
+}
+
+/// A Bayer-pattern (RGGB) image sensor model.
+///
+/// Captures an RGB scene rendering into single-channel raw data by
+/// sampling the colour-filter array, adds seeded Gaussian read noise,
+/// and exposes the raster-scan ordering the downstream pipeline
+/// consumes. The paper's encoder sits *after* the ISP, so the raw frame
+/// normally flows through `rpr-isp` before encoding.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::RgbFrame;
+/// use rpr_sensor::{ImageSensor, SensorConfig};
+///
+/// let sensor = ImageSensor::new(SensorConfig::noiseless(4, 4));
+/// let scene = RgbFrame::from_fn(4, 4, |_, _| [200, 100, 50]);
+/// let raw = sensor.capture(&scene, 0);
+/// assert_eq!(raw.get(0, 0), Some(200)); // R site
+/// assert_eq!(raw.get(1, 0), Some(100)); // G site
+/// assert_eq!(raw.get(1, 1), Some(50));  // B site
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImageSensor {
+    config: SensorConfig,
+    timing: SensorTiming,
+}
+
+impl ImageSensor {
+    /// Creates a sensor with default timing.
+    pub fn new(config: SensorConfig) -> Self {
+        ImageSensor { config, timing: SensorTiming::default() }
+    }
+
+    /// Creates a sensor with explicit timing.
+    pub fn with_timing(config: SensorConfig, timing: SensorTiming) -> Self {
+        ImageSensor { config, timing }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// The read-out timing model.
+    pub fn timing(&self) -> &SensorTiming {
+        &self.timing
+    }
+
+    /// Which colour the RGGB filter passes at `(x, y)`:
+    /// 0 = R, 1 = G, 2 = B.
+    #[inline]
+    pub fn cfa_channel(x: u32, y: u32) -> usize {
+        match (y % 2, x % 2) {
+            (0, 0) => 0,
+            (0, 1) | (1, 0) => 1,
+            _ => 2,
+        }
+    }
+
+    /// Captures `scene` into Bayer raw data for frame `frame_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scene size differs from the sensor resolution.
+    pub fn capture(&self, scene: &RgbFrame, frame_idx: u64) -> GrayFrame {
+        assert_eq!(
+            (scene.width(), scene.height()),
+            (self.config.width, self.config.height),
+            "scene does not match sensor resolution"
+        );
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.config.seed ^ frame_idx.wrapping_mul(0x9E37));
+        let sigma = self.config.read_noise_sigma;
+        Plane::from_fn(self.config.width, self.config.height, |x, y| {
+            let px = scene.get(x, y).expect("in-bounds");
+            let v = f64::from(px[Self::cfa_channel(x, y)]);
+            let noisy = if sigma > 0.0 {
+                v + gaussian(&mut rng) * sigma
+            } else {
+                v
+            };
+            noisy.round().clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// Bytes this frame moves over the sensor interface (CSI): 1 byte
+    /// per raw pixel in the 8-bit model.
+    pub fn csi_bytes_per_frame(&self) -> usize {
+        self.config.width as usize * self.config.height as usize
+    }
+}
+
+/// Box–Muller standard normal deviate.
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfa_pattern_is_rggb() {
+        assert_eq!(ImageSensor::cfa_channel(0, 0), 0);
+        assert_eq!(ImageSensor::cfa_channel(1, 0), 1);
+        assert_eq!(ImageSensor::cfa_channel(0, 1), 1);
+        assert_eq!(ImageSensor::cfa_channel(1, 1), 2);
+        assert_eq!(ImageSensor::cfa_channel(2, 2), 0);
+    }
+
+    #[test]
+    fn noiseless_capture_samples_cfa_exactly() {
+        let sensor = ImageSensor::new(SensorConfig::noiseless(4, 4));
+        let scene = RgbFrame::from_fn(4, 4, |_, _| [10, 20, 30]);
+        let raw = sensor.capture(&scene, 0);
+        assert_eq!(raw.get(0, 0), Some(10));
+        assert_eq!(raw.get(1, 0), Some(20));
+        assert_eq!(raw.get(0, 1), Some(20));
+        assert_eq!(raw.get(1, 1), Some(30));
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_frame_index() {
+        let cfg = SensorConfig { width: 8, height: 8, read_noise_sigma: 3.0, seed: 5 };
+        let sensor = ImageSensor::new(cfg);
+        let scene = RgbFrame::from_fn(8, 8, |_, _| [128, 128, 128]);
+        assert_eq!(sensor.capture(&scene, 2), sensor.capture(&scene, 2));
+        assert_ne!(sensor.capture(&scene, 2), sensor.capture(&scene, 3));
+    }
+
+    #[test]
+    fn noise_magnitude_is_plausible() {
+        let cfg = SensorConfig { width: 32, height: 32, read_noise_sigma: 2.0, seed: 1 };
+        let sensor = ImageSensor::new(cfg);
+        let scene = RgbFrame::from_fn(32, 32, |_, _| [128, 128, 128]);
+        let raw = sensor.capture(&scene, 0);
+        let mean = raw.mean();
+        assert!((mean - 128.0).abs() < 1.0, "mean {mean}");
+        let max_dev = raw
+            .as_slice()
+            .iter()
+            .map(|&v| (f64::from(v) - 128.0).abs())
+            .fold(0.0, f64::max);
+        assert!(max_dev > 0.5 && max_dev < 20.0, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn timing_supports_4k60() {
+        let t = SensorTiming::default();
+        let fps = t.max_fps(3840, 2160);
+        assert!(fps >= 60.0, "4K max fps {fps}");
+    }
+
+    #[test]
+    fn timing_row_and_frame_relate() {
+        let t = SensorTiming::default();
+        let row = t.row_time_s(1920);
+        let frame = t.frame_time_s(1920, 1080);
+        assert!((frame / row - f64::from(1080 + t.vblank_rows)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn capture_rejects_size_mismatch() {
+        let sensor = ImageSensor::new(SensorConfig::noiseless(4, 4));
+        let scene = RgbFrame::new(8, 8);
+        sensor.capture(&scene, 0);
+    }
+}

@@ -1,0 +1,297 @@
+use rpr_frame::{GrayFrame, Rect};
+use serde::{Deserialize, Serialize};
+
+/// How a sprite moves across the scene over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MotionPath {
+    /// Stationary at `(x, y)`.
+    Fixed {
+        /// Centre x.
+        x: f64,
+        /// Centre y.
+        y: f64,
+    },
+    /// Constant velocity with elastic bounce inside `(0..w, 0..h)`.
+    Bounce {
+        /// Start x.
+        x0: f64,
+        /// Start y.
+        y0: f64,
+        /// Velocity x in px/frame.
+        vx: f64,
+        /// Velocity y in px/frame.
+        vy: f64,
+        /// Bounce-box width.
+        w: f64,
+        /// Bounce-box height.
+        h: f64,
+    },
+    /// Sinusoidal sway around a centre, like a person shifting weight.
+    Sway {
+        /// Centre x.
+        cx: f64,
+        /// Centre y.
+        cy: f64,
+        /// Horizontal amplitude.
+        ax: f64,
+        /// Vertical amplitude.
+        ay: f64,
+        /// Angular speed in radians/frame.
+        omega: f64,
+    },
+    /// Constant velocity without bounce — sprites that enter and leave
+    /// the scene (the paper's face-detection sequences have faces walking
+    /// through a choke point).
+    Linear {
+        /// Start x.
+        x0: f64,
+        /// Start y.
+        y0: f64,
+        /// Velocity x in px/frame.
+        vx: f64,
+        /// Velocity y in px/frame.
+        vy: f64,
+    },
+}
+
+impl MotionPath {
+    /// Centre position at `frame_idx`.
+    pub fn position(&self, frame_idx: u64) -> (f64, f64) {
+        let t = frame_idx as f64;
+        match *self {
+            MotionPath::Fixed { x, y } => (x, y),
+            MotionPath::Linear { x0, y0, vx, vy } => (x0 + vx * t, y0 + vy * t),
+            MotionPath::Sway { cx, cy, ax, ay, omega } => {
+                ((omega * t).sin() * ax + cx, (omega * t * 0.7).cos() * ay + cy)
+            }
+            MotionPath::Bounce { x0, y0, vx, vy, w, h } => {
+                (reflect(x0 + vx * t, w), reflect(y0 + vy * t, h))
+            }
+        }
+    }
+
+    /// Instantaneous speed (px/frame) at `frame_idx`, measured over one
+    /// frame step — what a policy uses as the displacement proxy.
+    pub fn speed(&self, frame_idx: u64) -> f64 {
+        let (x0, y0) = self.position(frame_idx);
+        let (x1, y1) = self.position(frame_idx + 1);
+        ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt()
+    }
+}
+
+/// Triangle-wave reflection of `v` into `[0, limit]`.
+fn reflect(v: f64, limit: f64) -> f64 {
+    if limit <= 0.0 {
+        return 0.0;
+    }
+    let period = 2.0 * limit;
+    let m = v.rem_euclid(period);
+    if m <= limit {
+        m
+    } else {
+        period - m
+    }
+}
+
+/// The visual appearance of a sprite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpriteShape {
+    /// A face: bright ellipse with dark eyes and mouth — enough
+    /// structure for the synthetic face detector's template.
+    Face,
+    /// A filled bright disc (pose-estimation joints).
+    Disc,
+    /// A textured rectangle (generic tracked object).
+    TexturedRect,
+}
+
+/// A moving foreground object composited onto rendered frames, with an
+/// exact ground-truth bounding box per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sprite {
+    /// Appearance.
+    pub shape: SpriteShape,
+    /// Width of the sprite's bounding box.
+    pub w: u32,
+    /// Height of the sprite's bounding box.
+    pub h: u32,
+    /// Motion model.
+    pub path: MotionPath,
+}
+
+impl Sprite {
+    /// Creates a sprite.
+    pub fn new(shape: SpriteShape, w: u32, h: u32, path: MotionPath) -> Self {
+        Sprite { shape, w, h, path }
+    }
+
+    /// Ground-truth bounding box at `frame_idx`, or `None` when fully
+    /// outside a `frame_w x frame_h` frame.
+    pub fn bbox(&self, frame_idx: u64, frame_w: u32, frame_h: u32) -> Option<Rect> {
+        let (cx, cy) = self.path.position(frame_idx);
+        let x0 = cx - f64::from(self.w) / 2.0;
+        let y0 = cy - f64::from(self.h) / 2.0;
+        let x1 = x0 + f64::from(self.w);
+        let y1 = y0 + f64::from(self.h);
+        if x1 <= 0.0 || y1 <= 0.0 || x0 >= f64::from(frame_w) || y0 >= f64::from(frame_h) {
+            return None;
+        }
+        let cx0 = x0.max(0.0) as u32;
+        let cy0 = y0.max(0.0) as u32;
+        let cx1 = (x1.min(f64::from(frame_w))).ceil() as u32;
+        let cy1 = (y1.min(f64::from(frame_h))).ceil() as u32;
+        if cx1 > cx0 && cy1 > cy0 {
+            Some(Rect::new(cx0, cy0, cx1 - cx0, cy1 - cy0))
+        } else {
+            None
+        }
+    }
+
+    /// Draws the sprite into `frame` at its `frame_idx` position.
+    pub fn draw(&self, frame: &mut GrayFrame, frame_idx: u64) {
+        let (cx, cy) = self.path.position(frame_idx);
+        let hw = f64::from(self.w) / 2.0;
+        let hh = f64::from(self.h) / 2.0;
+        let x_lo = (cx - hw).floor().max(0.0) as i64;
+        let y_lo = (cy - hh).floor().max(0.0) as i64;
+        let x_hi = ((cx + hw).ceil() as i64).min(i64::from(frame.width()));
+        let y_hi = ((cy + hh).ceil() as i64).min(i64::from(frame.height()));
+        for y in y_lo.max(0)..y_hi.max(0) {
+            for x in x_lo.max(0)..x_hi.max(0) {
+                // Normalized sprite-local coordinates in [-1, 1].
+                let nx = (x as f64 - cx) / hw.max(1.0);
+                let ny = (y as f64 - cy) / hh.max(1.0);
+                if let Some(v) = self.shade(nx, ny) {
+                    frame.set(x as u32, y as u32, v);
+                }
+            }
+        }
+    }
+
+    /// Pixel value at normalized sprite coordinates, `None` outside the
+    /// sprite's silhouette.
+    fn shade(&self, nx: f64, ny: f64) -> Option<u8> {
+        match self.shape {
+            SpriteShape::Disc => {
+                if nx * nx + ny * ny <= 1.0 {
+                    Some(240)
+                } else {
+                    None
+                }
+            }
+            SpriteShape::Face => {
+                if nx * nx + ny * ny > 1.0 {
+                    return None;
+                }
+                // Eyes: small dark discs — fine structure that only
+                // survives at adequate spatial resolution.
+                let eye = |ex: f64| ((nx - ex).powi(2) + (ny + 0.35).powi(2)) < 0.016;
+                if eye(-0.38) || eye(0.38) {
+                    return Some(25);
+                }
+                // Mouth: thin dark horizontal bar.
+                if ny > 0.42 && ny < 0.52 && nx.abs() < 0.40 {
+                    return Some(40);
+                }
+                // Skin with slight radial shading.
+                let r = (nx * nx + ny * ny).sqrt();
+                Some((215.0 - 40.0 * r) as u8)
+            }
+            SpriteShape::TexturedRect => {
+                if nx.abs() > 1.0 || ny.abs() > 1.0 {
+                    return None;
+                }
+                // 4x4 checker texture for corner features.
+                let cell = (((nx + 1.0) * 2.0) as i64 + ((ny + 1.0) * 2.0) as i64) % 2;
+                Some(if cell == 0 { 230 } else { 35 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    #[test]
+    fn fixed_path_does_not_move() {
+        let p = MotionPath::Fixed { x: 5.0, y: 6.0 };
+        assert_eq!(p.position(0), p.position(100));
+        assert_eq!(p.speed(3), 0.0);
+    }
+
+    #[test]
+    fn linear_path_moves_at_velocity() {
+        let p = MotionPath::Linear { x0: 0.0, y0: 0.0, vx: 3.0, vy: 4.0 };
+        assert_eq!(p.position(2), (6.0, 8.0));
+        assert!((p.speed(0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounce_stays_in_box() {
+        let p = MotionPath::Bounce { x0: 10.0, y0: 10.0, vx: 7.3, vy: -4.1, w: 100.0, h: 80.0 };
+        for t in 0..500 {
+            let (x, y) = p.position(t);
+            assert!((0.0..=100.0).contains(&x), "x={x} at t={t}");
+            assert!((0.0..=80.0).contains(&y), "y={y} at t={t}");
+        }
+    }
+
+    #[test]
+    fn sway_oscillates_around_center() {
+        let p = MotionPath::Sway { cx: 50.0, cy: 60.0, ax: 10.0, ay: 5.0, omega: 0.3 };
+        for t in 0..100 {
+            let (x, y) = p.position(t);
+            assert!((40.0..=60.0).contains(&x));
+            assert!((55.0..=65.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bbox_is_none_when_offscreen() {
+        let s = Sprite::new(
+            SpriteShape::Disc,
+            20,
+            20,
+            MotionPath::Fixed { x: -100.0, y: -100.0 },
+        );
+        assert_eq!(s.bbox(0, 640, 480), None);
+    }
+
+    #[test]
+    fn bbox_clamps_at_edges() {
+        let s = Sprite::new(SpriteShape::Disc, 20, 20, MotionPath::Fixed { x: 0.0, y: 0.0 });
+        let b = s.bbox(0, 640, 480).unwrap();
+        assert_eq!((b.x, b.y), (0, 0));
+        assert!(b.w <= 10 && b.h <= 10);
+    }
+
+    #[test]
+    fn draw_changes_pixels_inside_bbox_only() {
+        let mut frame: GrayFrame = Plane::new(64, 64);
+        let s = Sprite::new(SpriteShape::Disc, 16, 16, MotionPath::Fixed { x: 32.0, y: 32.0 });
+        s.draw(&mut frame, 0);
+        assert_eq!(frame.get(32, 32), Some(240));
+        assert_eq!(frame.get(0, 0), Some(0));
+        let bbox = s.bbox(0, 64, 64).unwrap();
+        for y in 0..64 {
+            for x in 0..64 {
+                if frame.get(x, y) != Some(0) {
+                    assert!(bbox.contains(x, y), "pixel ({x},{y}) outside bbox");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn face_has_internal_structure() {
+        let mut frame: GrayFrame = Plane::new(64, 64);
+        let s = Sprite::new(SpriteShape::Face, 32, 40, MotionPath::Fixed { x: 32.0, y: 32.0 });
+        s.draw(&mut frame, 0);
+        let values: std::collections::HashSet<u8> =
+            frame.as_slice().iter().copied().collect();
+        // Background + eyes + mouth + shaded skin.
+        assert!(values.len() > 4, "face too flat: {} distinct values", values.len());
+    }
+}

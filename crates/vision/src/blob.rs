@@ -1,0 +1,195 @@
+use rpr_frame::{GrayFrame, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A connected component of above-threshold pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Blob {
+    /// Tight bounding box.
+    pub bbox: Rect,
+    /// Number of member pixels.
+    pub area: u64,
+    /// Centroid x.
+    pub cx: f64,
+    /// Centroid y.
+    pub cy: f64,
+    /// Mean intensity of member pixels.
+    pub mean_intensity: f64,
+}
+
+/// Finds connected components of pixels `>= threshold` (4-connectivity)
+/// with at least `min_area` pixels, sorted by descending area.
+///
+/// The synthetic pose and face workloads render their targets as bright
+/// structures on darker backgrounds, so blob detection is the
+/// sufficient-statistics detector — and, crucially for the evaluation,
+/// it degrades gracefully when the rhythmic encoder blanks non-regional
+/// pixels (missing pixels go black, shrinking or splitting blobs, which
+/// is exactly the accuracy-loss mechanism the paper measures).
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::{Plane, Rect};
+/// use rpr_vision::detect_blobs;
+///
+/// let mut frame = Plane::new(64, 64);
+/// frame.fill_rect(Rect::new(10, 12, 8, 6), 255u8);
+/// let blobs = detect_blobs(&frame, 128, 4);
+/// assert_eq!(blobs.len(), 1);
+/// assert_eq!(blobs[0].bbox, Rect::new(10, 12, 8, 6));
+/// assert_eq!(blobs[0].area, 48);
+/// ```
+pub fn detect_blobs(frame: &GrayFrame, threshold: u8, min_area: u64) -> Vec<Blob> {
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
+    if w == 0 || h == 0 {
+        return Vec::new();
+    }
+    let data = frame.as_slice();
+    let mut visited = vec![false; w * h];
+    let mut blobs = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+
+    for start in 0..w * h {
+        if visited[start] || data[start] < threshold {
+            continue;
+        }
+        // Flood fill.
+        let mut min_x = usize::MAX;
+        let mut min_y = usize::MAX;
+        let mut max_x = 0usize;
+        let mut max_y = 0usize;
+        let mut area = 0u64;
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        let mut sum_v = 0.0;
+        stack.push(start);
+        visited[start] = true;
+        while let Some(i) = stack.pop() {
+            let x = i % w;
+            let y = i / w;
+            area += 1;
+            sum_x += x as f64;
+            sum_y += y as f64;
+            sum_v += f64::from(data[i]);
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+            // 4-neighbours.
+            if x > 0 && !visited[i - 1] && data[i - 1] >= threshold {
+                visited[i - 1] = true;
+                stack.push(i - 1);
+            }
+            if x + 1 < w && !visited[i + 1] && data[i + 1] >= threshold {
+                visited[i + 1] = true;
+                stack.push(i + 1);
+            }
+            if y > 0 && !visited[i - w] && data[i - w] >= threshold {
+                visited[i - w] = true;
+                stack.push(i - w);
+            }
+            if y + 1 < h && !visited[i + w] && data[i + w] >= threshold {
+                visited[i + w] = true;
+                stack.push(i + w);
+            }
+        }
+        if area >= min_area {
+            blobs.push(Blob {
+                bbox: Rect::new(
+                    min_x as u32,
+                    min_y as u32,
+                    (max_x - min_x + 1) as u32,
+                    (max_y - min_y + 1) as u32,
+                ),
+                area,
+                cx: sum_x / area as f64,
+                cy: sum_y / area as f64,
+                mean_intensity: sum_v / area as f64,
+            });
+        }
+    }
+    blobs.sort_by_key(|b| std::cmp::Reverse(b.area));
+    blobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    #[test]
+    fn finds_multiple_separate_blobs() {
+        let mut frame: GrayFrame = Plane::new(64, 64);
+        frame.fill_rect(Rect::new(5, 5, 10, 10), 200);
+        frame.fill_rect(Rect::new(40, 40, 4, 4), 220);
+        let blobs = detect_blobs(&frame, 128, 1);
+        assert_eq!(blobs.len(), 2);
+        // Sorted by area descending.
+        assert_eq!(blobs[0].area, 100);
+        assert_eq!(blobs[1].area, 16);
+    }
+
+    #[test]
+    fn touching_regions_merge() {
+        let mut frame: GrayFrame = Plane::new(32, 32);
+        frame.fill_rect(Rect::new(0, 0, 8, 8), 200);
+        frame.fill_rect(Rect::new(8, 0, 8, 8), 200); // shares an edge? (8..16)
+        let blobs = detect_blobs(&frame, 128, 1);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].bbox, Rect::new(0, 0, 16, 8));
+    }
+
+    #[test]
+    fn diagonal_only_contact_stays_separate() {
+        let mut frame: GrayFrame = Plane::new(16, 16);
+        frame.set(4, 4, 200);
+        frame.set(5, 5, 200);
+        let blobs = detect_blobs(&frame, 128, 1);
+        assert_eq!(blobs.len(), 2, "4-connectivity must not merge diagonals");
+    }
+
+    #[test]
+    fn min_area_filters_specks() {
+        let mut frame: GrayFrame = Plane::new(32, 32);
+        frame.set(1, 1, 255);
+        frame.fill_rect(Rect::new(10, 10, 5, 5), 255);
+        let blobs = detect_blobs(&frame, 128, 4);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 25);
+    }
+
+    #[test]
+    fn centroid_is_geometric_center() {
+        let mut frame: GrayFrame = Plane::new(32, 32);
+        frame.fill_rect(Rect::new(10, 20, 5, 3), 255);
+        let blobs = detect_blobs(&frame, 128, 1);
+        assert!((blobs[0].cx - 12.0).abs() < 1e-9);
+        assert!((blobs[0].cy - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let mut frame: GrayFrame = Plane::new(8, 8);
+        frame.set(3, 3, 128);
+        assert_eq!(detect_blobs(&frame, 128, 1).len(), 1);
+        assert_eq!(detect_blobs(&frame, 129, 1).len(), 0);
+    }
+
+    #[test]
+    fn empty_and_dark_frames_yield_nothing() {
+        let dark: GrayFrame = Plane::new(16, 16);
+        assert!(detect_blobs(&dark, 1, 1).is_empty());
+        let empty: GrayFrame = Plane::new(0, 0);
+        assert!(detect_blobs(&empty, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn full_frame_blob() {
+        let bright = Plane::from_fn(16, 16, |_, _| 255u8);
+        let blobs = detect_blobs(&bright, 1, 1);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 256);
+        assert_eq!(blobs[0].bbox, Rect::new(0, 0, 16, 16));
+    }
+}

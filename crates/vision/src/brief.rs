@@ -1,0 +1,203 @@
+//! Steered BRIEF binary descriptors (the descriptor half of ORB).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rpr_frame::GrayFrame;
+use serde::{Deserialize, Serialize};
+
+/// Descriptor length in bytes (256 bits).
+pub const DESCRIPTOR_BYTES: usize = 32;
+
+/// A 256-bit binary descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Descriptor(pub [u8; DESCRIPTOR_BYTES]);
+
+impl Descriptor {
+    /// Hamming distance to another descriptor (0–256).
+    #[inline]
+    pub fn hamming(&self, other: &Descriptor) -> u32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+/// The fixed comparison-pair pattern of a BRIEF descriptor: 256 pixel
+/// pairs drawn from a Gaussian inside a 31x31 patch (seeded and
+/// deterministic, so descriptors are comparable across frames and
+/// runs). At description time the pattern is rotated by the keypoint
+/// orientation (steered BRIEF).
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_vision::BriefPattern;
+///
+/// let pattern = BriefPattern::standard();
+/// let frame = Plane::from_fn(64, 64, |x, y| (x * 3 + y * 7) as u8);
+/// let a = pattern.describe(&frame, 32.0, 32.0, 0.0);
+/// let b = pattern.describe(&frame, 32.0, 32.0, 0.0);
+/// assert_eq!(a.hamming(&b), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BriefPattern {
+    /// 256 pairs of patch-relative offsets.
+    pairs: Vec<((f64, f64), (f64, f64))>,
+}
+
+impl BriefPattern {
+    /// The canonical pattern (seed 0xB51EF), 256 Gaussian pairs in a
+    /// 31x31 patch.
+    pub fn standard() -> Self {
+        Self::with_seed(0xB51EF)
+    }
+
+    /// A pattern from an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sigma = 31.0 / 5.0;
+        let gauss = move |rng: &mut ChaCha8Rng| -> f64 {
+            // Box-Muller, clamped to the patch.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (g * sigma).clamp(-15.0, 15.0)
+        };
+        let pairs = (0..DESCRIPTOR_BYTES * 8)
+            .map(|_| {
+                (
+                    (gauss(&mut rng), gauss(&mut rng)),
+                    (gauss(&mut rng), gauss(&mut rng)),
+                )
+            })
+            .collect();
+        BriefPattern { pairs }
+    }
+
+    /// Computes the descriptor of the patch centred at `(cx, cy)`,
+    /// rotated by `angle` radians. Samples outside the frame clamp to
+    /// its edge.
+    pub fn describe(&self, frame: &GrayFrame, cx: f64, cy: f64, angle: f64) -> Descriptor {
+        let (s, c) = angle.sin_cos();
+        let mut bytes = [0u8; DESCRIPTOR_BYTES];
+        for (i, &((ax, ay), (bx, by))) in self.pairs.iter().enumerate() {
+            let (rax, ray) = (c * ax - s * ay, s * ax + c * ay);
+            let (rbx, rby) = (c * bx - s * by, s * bx + c * by);
+            let va = frame.get_clamped((cx + rax).round() as i64, (cy + ray).round() as i64);
+            let vb = frame.get_clamped((cx + rbx).round() as i64, (cy + rby).round() as i64);
+            if va < vb {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        Descriptor(bytes)
+    }
+}
+
+/// Intensity-centroid orientation of the patch around `(cx, cy)` with
+/// radius `r` (Rosin's moment method, the orientation ORB assigns to
+/// FAST corners).
+pub fn intensity_centroid_angle(frame: &GrayFrame, cx: f64, cy: f64, r: i64) -> f64 {
+    let mut m10 = 0.0;
+    let mut m01 = 0.0;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy > r * r {
+                continue;
+            }
+            let v = f64::from(frame.get_clamped(cx as i64 + dx, cy as i64 + dy));
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    m01.atan2(m10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    #[test]
+    fn hamming_distance_basics() {
+        let zero = Descriptor([0u8; 32]);
+        let ones = Descriptor([0xFF; 32]);
+        assert_eq!(zero.hamming(&zero), 0);
+        assert_eq!(zero.hamming(&ones), 256);
+        let mut one_bit = [0u8; 32];
+        one_bit[7] = 0b0001_0000;
+        assert_eq!(zero.hamming(&Descriptor(one_bit)), 1);
+    }
+
+    #[test]
+    fn pattern_is_deterministic() {
+        let frame = Plane::from_fn(64, 64, |x, y| ((x * 5) ^ (y * 3)) as u8);
+        let a = BriefPattern::standard().describe(&frame, 30.0, 30.0, 0.3);
+        let b = BriefPattern::standard().describe(&frame, 30.0, 30.0, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_patches_have_distant_descriptors() {
+        let frame = Plane::from_fn(128, 64, |x, y| {
+            (x.wrapping_mul(37) ^ y.wrapping_mul(101)) as u8
+        });
+        let p = BriefPattern::standard();
+        let a = p.describe(&frame, 30.0, 30.0, 0.0);
+        let b = p.describe(&frame, 90.0, 30.0, 0.0);
+        assert!(a.hamming(&b) > 60, "distance {}", a.hamming(&b));
+    }
+
+    #[test]
+    fn same_patch_translated_identically_matches() {
+        // The same texture rendered at two offsets must produce nearly
+        // identical descriptors at corresponding centres.
+        let tex = |x: u32, y: u32| ((x % 16).wrapping_mul(13) ^ (y % 16).wrapping_mul(29)) as u8;
+        let frame_a = Plane::from_fn(64, 64, tex);
+        let frame_b = Plane::from_fn(64, 64, |x, y| tex(x + 16, y));
+        let p = BriefPattern::standard();
+        let a = p.describe(&frame_a, 40.0, 32.0, 0.0);
+        let b = p.describe(&frame_b, 24.0, 32.0, 0.0);
+        assert!(a.hamming(&b) <= 8, "distance {}", a.hamming(&b));
+    }
+
+    #[test]
+    fn orientation_points_toward_bright_side() {
+        // Bright half-plane to the right: centroid angle ≈ 0.
+        let frame = Plane::from_fn(64, 64, |x, _| if x > 32 { 200 } else { 20 });
+        let angle = intensity_centroid_angle(&frame, 32.0, 32.0, 10);
+        assert!(angle.abs() < 0.2, "angle {angle}");
+        // Bright side below: angle ≈ pi/2.
+        let frame = Plane::from_fn(64, 64, |_, y| if y > 32 { 200 } else { 20 });
+        let angle = intensity_centroid_angle(&frame, 32.0, 32.0, 10);
+        assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 0.2, "angle {angle}");
+    }
+
+    #[test]
+    fn steering_compensates_rotation_roughly() {
+        // A radial pattern rotated 90° described with the rotated angle
+        // should match the original better than with angle 0.
+        let tex = |x: i64, y: i64| {
+            let dx = x - 32;
+            let dy = y - 32;
+            (((dx * 3 + dy * 7).rem_euclid(32)) * 8) as u8
+        };
+        let frame = Plane::from_fn(64, 64, |x, y| tex(i64::from(x), i64::from(y)));
+        // Rotate the image by 90° around the centre: (x,y) <- (y, 64-x).
+        let rotated = Plane::from_fn(64, 64, |x, y| {
+            tex(i64::from(y), 63 - i64::from(x))
+        });
+        let p = BriefPattern::standard();
+        let original = p.describe(&frame, 32.0, 32.0, 0.0);
+        let steered = p.describe(&rotated, 32.0, 32.0, std::f64::consts::FRAC_PI_2);
+        let unsteered = p.describe(&rotated, 32.0, 32.0, 0.0);
+        assert!(
+            original.hamming(&steered) < original.hamming(&unsteered),
+            "steered {} vs unsteered {}",
+            original.hamming(&steered),
+            original.hamming(&unsteered)
+        );
+    }
+}

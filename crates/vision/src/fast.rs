@@ -1,0 +1,270 @@
+//! FAST-9/16 corner detection (Rosten & Drummond's segment test).
+
+use rpr_frame::GrayFrame;
+use serde::{Deserialize, Serialize};
+
+/// The 16 Bresenham-circle offsets of radius 3, clockwise from 12
+/// o'clock — the standard FAST sampling ring.
+const CIRCLE: [(i64, i64); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Number of contiguous ring pixels that must agree (FAST-9).
+const ARC: usize = 9;
+
+/// FAST detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastConfig {
+    /// Intensity threshold `t`: ring pixels must be brighter than
+    /// `p + t` or darker than `p - t`.
+    pub threshold: u8,
+    /// Apply 3x3 non-maximum suppression on the corner score.
+    pub non_max_suppression: bool,
+}
+
+impl Default for FastConfig {
+    fn default() -> Self {
+        FastConfig { threshold: 20, non_max_suppression: true }
+    }
+}
+
+/// A raw FAST corner: position (in the detected frame's coordinates)
+/// plus score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastCorner {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+    /// Corner strength: sum of absolute threshold exceedances over the
+    /// best contiguous arc.
+    pub score: f64,
+}
+
+/// Detects FAST-9 corners.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_vision::{detect_fast, FastConfig};
+///
+/// // A bright square corner on dark background.
+/// let frame = Plane::from_fn(32, 32, |x, y| if x >= 16 && y >= 16 { 200 } else { 20 });
+/// let corners = detect_fast(&frame, &FastConfig::default());
+/// assert!(corners.iter().any(|c| {
+///     (i64::from(c.x) - 16).abs() <= 2 && (i64::from(c.y) - 16).abs() <= 2
+/// }));
+/// ```
+pub fn detect_fast(frame: &GrayFrame, config: &FastConfig) -> Vec<FastCorner> {
+    let w = frame.width();
+    let h = frame.height();
+    if w < 7 || h < 7 {
+        return Vec::new();
+    }
+    let t = i32::from(config.threshold);
+    let mut scores = vec![0f64; w as usize * h as usize];
+    let mut corners = Vec::new();
+
+    for y in 3..h - 3 {
+        for x in 3..w - 3 {
+            let p = i32::from(frame.get(x, y).expect("in bounds"));
+            // Quick reject using the 4 compass points: FAST-9 requires
+            // at least 2 of {N, E, S, W} to exceed the threshold.
+            let n = i32::from(frame.get(x, y - 3).expect("in bounds"));
+            let s = i32::from(frame.get(x, y + 3).expect("in bounds"));
+            let e = i32::from(frame.get(x + 3, y).expect("in bounds"));
+            let wv = i32::from(frame.get(x - 3, y).expect("in bounds"));
+            let brighter =
+                [n, e, s, wv].iter().filter(|&&v| v >= p + t).count();
+            let darker = [n, e, s, wv].iter().filter(|&&v| v <= p - t).count();
+            if brighter < 2 && darker < 2 {
+                continue;
+            }
+
+            let ring: Vec<i32> = CIRCLE
+                .iter()
+                .map(|&(dx, dy)| {
+                    i32::from(
+                        frame
+                            .get((i64::from(x) + dx) as u32, (i64::from(y) + dy) as u32)
+                            .expect("ring in bounds"),
+                    )
+                })
+                .collect();
+
+            if let Some(score) = segment_score(p, &ring, t) {
+                scores[(y * w + x) as usize] = score;
+                corners.push(FastCorner { x, y, score });
+            }
+        }
+    }
+
+    if !config.non_max_suppression {
+        return corners;
+    }
+    corners
+        .into_iter()
+        .filter(|c| {
+            let mut is_max = true;
+            'outer: for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nx = i64::from(c.x) + dx;
+                    let ny = i64::from(c.y) + dy;
+                    if nx < 0 || ny < 0 || nx >= i64::from(w) || ny >= i64::from(h) {
+                        continue;
+                    }
+                    let neighbour = scores[(ny as u32 * w + nx as u32) as usize];
+                    // Strict inequality on one side keeps exactly one of
+                    // two equal-scoring neighbours.
+                    if neighbour > c.score
+                        || (neighbour == c.score && (dy < 0 || (dy == 0 && dx < 0)))
+                    {
+                        is_max = false;
+                        break 'outer;
+                    }
+                }
+            }
+            is_max
+        })
+        .collect()
+}
+
+/// Returns the corner score when a contiguous arc of at least [`ARC`]
+/// ring pixels is uniformly brighter or darker than the centre by `t`.
+fn segment_score(p: i32, ring: &[i32], t: i32) -> Option<f64> {
+    debug_assert_eq!(ring.len(), 16);
+    let mut best: Option<f64> = None;
+    for polarity in [1i32, -1] {
+        // Walk the doubled ring looking for a long-enough run.
+        let mut run = 0usize;
+        let mut run_sum = 0i64;
+        let mut best_here: Option<f64> = None;
+        for i in 0..32 {
+            let v = ring[i % 16];
+            let excess = polarity * (v - p) - t;
+            if excess >= 0 {
+                run += 1;
+                run_sum += i64::from(excess) + i64::from(t);
+                if run >= ARC {
+                    let score = run_sum as f64 / run as f64 * (run as f64).sqrt();
+                    best_here = Some(best_here.map_or(score, |b: f64| b.max(score)));
+                }
+                if run == 32 {
+                    break; // fully uniform ring; avoid double counting
+                }
+            } else {
+                run = 0;
+                run_sum = 0;
+            }
+        }
+        if let Some(s) = best_here {
+            best = Some(best.map_or(s, |b: f64| b.max(s)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    fn corner_frame() -> GrayFrame {
+        Plane::from_fn(32, 32, |x, y| if x >= 16 && y >= 16 { 220 } else { 20 })
+    }
+
+    #[test]
+    fn detects_square_corner() {
+        let corners = detect_fast(&corner_frame(), &FastConfig::default());
+        assert!(!corners.is_empty());
+        let best = corners.iter().max_by(|a, b| a.score.total_cmp(&b.score)).unwrap();
+        assert!((i64::from(best.x) - 16).abs() <= 2, "x={}", best.x);
+        assert!((i64::from(best.y) - 16).abs() <= 2, "y={}", best.y);
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let flat = Plane::from_fn(32, 32, |_, _| 128u8);
+        assert!(detect_fast(&flat, &FastConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn straight_edge_is_not_a_corner() {
+        // A vertical step edge: no 9-contiguous arc is uniformly on one
+        // side, so FAST-9 must reject the edge interior.
+        let edge = Plane::from_fn(32, 32, |x, _| if x >= 16 { 220 } else { 20 });
+        let corners = detect_fast(&edge, &FastConfig::default());
+        assert!(
+            corners.is_empty(),
+            "edge detected as corners: {:?}",
+            corners.iter().take(3).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dark_corner_on_bright_background_detected() {
+        let frame = Plane::from_fn(32, 32, |x, y| if x >= 16 && y >= 16 { 20 } else { 220 });
+        let corners = detect_fast(&frame, &FastConfig::default());
+        assert!(!corners.is_empty());
+    }
+
+    #[test]
+    fn threshold_gates_weak_corners() {
+        let weak = Plane::from_fn(32, 32, |x, y| if x >= 16 && y >= 16 { 140 } else { 120 });
+        let strict = FastConfig { threshold: 40, non_max_suppression: true };
+        assert!(detect_fast(&weak, &strict).is_empty());
+        let lenient = FastConfig { threshold: 10, non_max_suppression: true };
+        assert!(!detect_fast(&weak, &lenient).is_empty());
+    }
+
+    #[test]
+    fn nms_reduces_corner_count() {
+        let frame = corner_frame();
+        let with = detect_fast(&frame, &FastConfig::default());
+        let without =
+            detect_fast(&frame, &FastConfig { non_max_suppression: false, ..Default::default() });
+        assert!(with.len() <= without.len());
+        assert!(!with.is_empty());
+    }
+
+    #[test]
+    fn tiny_frames_are_safe() {
+        let tiny: GrayFrame = Plane::new(5, 5);
+        assert!(detect_fast(&tiny, &FastConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn square_grid_yields_many_corners() {
+        // Isolated bright squares: each contributes L-corners. (An ideal
+        // checkerboard's X-junctions are correctly NOT FAST-9 corners —
+        // no 9-contiguous arc exists there.)
+        let frame = Plane::from_fn(64, 64, |x, y| {
+            if x % 16 < 8 && y % 16 < 8 {
+                210
+            } else {
+                30
+            }
+        });
+        let corners = detect_fast(&frame, &FastConfig::default());
+        assert!(corners.len() >= 20, "only {} corners", corners.len());
+    }
+}

@@ -1,0 +1,55 @@
+use serde::{Deserialize, Serialize};
+
+/// A detected interest point, carrying the attributes the paper's
+/// region policies consume: position, `size` (diameter of the
+/// meaningful neighbourhood), `octave` (pyramid level), orientation,
+/// and detector response.
+///
+/// Mirrors OpenCV's `cv::KeyPoint`, which §4.3.1 cites for the `size`
+/// and `octave` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyPoint {
+    /// x in full-resolution (level 0) coordinates.
+    pub x: f64,
+    /// y in full-resolution (level 0) coordinates.
+    pub y: f64,
+    /// Diameter of the descriptor neighbourhood at full resolution.
+    pub size: f64,
+    /// Pyramid octave the point was detected in.
+    pub octave: u32,
+    /// Orientation angle in radians (intensity centroid).
+    pub angle: f64,
+    /// Detector response (corner strength).
+    pub response: f64,
+}
+
+impl KeyPoint {
+    /// Creates a keypoint at `(x, y)` with default attributes.
+    pub fn new(x: f64, y: f64) -> Self {
+        KeyPoint { x, y, size: 31.0, octave: 0, angle: 0.0, response: 0.0 }
+    }
+
+    /// Euclidean distance to another keypoint.
+    pub fn distance(&self, other: &KeyPoint) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_orb_patch() {
+        let k = KeyPoint::new(3.0, 4.0);
+        assert_eq!(k.size, 31.0);
+        assert_eq!(k.octave, 0);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = KeyPoint::new(0.0, 0.0);
+        let b = KeyPoint::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of a k-means clustering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster centre coordinates.
+    pub centers: Vec<(f64, f64)>,
+    /// Cluster index assigned to each input point.
+    pub assignments: Vec<usize>,
+}
+
+/// Lloyd's k-means over 2-D points with k-means++-style seeding.
+///
+/// The paper uses k-means to emulate commercial multi-ROI cameras:
+/// "For workloads that use more regions, we combine smaller regions
+/// into 16 larger regions through k-means clustering" (§5.3). Empty
+/// clusters are re-seeded to the farthest point from its centre.
+///
+/// Returns `None` when `k == 0` or there are no points.
+///
+/// # Example
+///
+/// ```
+/// use rpr_vision::kmeans;
+///
+/// let mut pts = vec![(0.0, 0.0), (1.0, 1.0), (0.5, 0.0)];
+/// pts.extend([(100.0, 100.0), (101.0, 99.0)]);
+/// let result = kmeans(&pts, 2, 20, 7).unwrap();
+/// assert_eq!(result.centers.len(), 2);
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[3]);
+/// ```
+pub fn kmeans(points: &[(f64, f64)], k: usize, iterations: u32, seed: u64) -> Option<KMeansResult> {
+    if k == 0 || points.is_empty() {
+        return None;
+    }
+    let k = k.min(points.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centers: Vec<(f64, f64)> = vec![points[rng.gen_range(0..points.len())]];
+    while centers.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|&p| {
+                centers
+                    .iter()
+                    .map(|&c| dist2(p, c))
+                    .fold(f64::MAX, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // All points coincide with existing centres.
+            centers.push(points[rng.gen_range(0..points.len())]);
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centers.push(points[chosen]);
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..iterations.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (i, &p) in points.iter().enumerate() {
+            let best = (0..centers.len())
+                .min_by(|&a, &b| dist2(p, centers[a]).total_cmp(&dist2(p, centers[b])))
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); centers.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let s = &mut sums[assignments[i]];
+            s.0 += p.0;
+            s.1 += p.1;
+            s.2 += 1;
+        }
+        for (c, s) in centers.iter_mut().zip(sums.iter()) {
+            if s.2 > 0 {
+                *c = (s.0 / s.2 as f64, s.1 / s.2 as f64);
+            }
+        }
+        // Re-seed empty clusters to the globally farthest point.
+        for (ci, s) in sums.iter().enumerate() {
+            if s.2 == 0 {
+                if let Some((fi, _)) = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, &a), (_, &b)| {
+                        dist2(a, centers[assignments[0]])
+                            .total_cmp(&dist2(b, centers[assignments[0]]))
+                    })
+                {
+                    centers[ci] = points[fi];
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(KMeansResult { centers, assignments })
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<(f64, f64)> {
+        let mut pts: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64 % 5.0, i as f64 / 5.0)).collect();
+        pts.extend((0..20).map(|i| (200.0 + i as f64 % 5.0, 300.0 + i as f64 / 5.0)));
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let r = kmeans(&two_blobs(), 2, 30, 1).unwrap();
+        let first = r.assignments[0];
+        assert!(r.assignments[..20].iter().all(|&a| a == first));
+        assert!(r.assignments[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn centers_are_blob_means() {
+        let r = kmeans(&two_blobs(), 2, 30, 2).unwrap();
+        let near_origin = r
+            .centers
+            .iter()
+            .any(|&(x, y)| (x - 2.0).abs() < 1.0 && (y - 1.9).abs() < 1.5);
+        assert!(near_origin, "centers {:?}", r.centers);
+    }
+
+    #[test]
+    fn k_larger_than_points_clamps() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0)];
+        let r = kmeans(&pts, 16, 10, 3).unwrap();
+        assert_eq!(r.centers.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 3, 25, 5).unwrap();
+        let b = kmeans(&pts, 3, 25, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(kmeans(&[], 2, 10, 0).is_none());
+        assert!(kmeans(&[(1.0, 1.0)], 0, 10, 0).is_none());
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let pts = vec![(5.0, 5.0); 10];
+        let r = kmeans(&pts, 3, 10, 1).unwrap();
+        assert_eq!(r.assignments.len(), 10);
+    }
+
+    #[test]
+    fn every_point_gets_nearest_center() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 30, 9).unwrap();
+        for (i, &p) in pts.iter().enumerate() {
+            let assigned = dist2(p, r.centers[r.assignments[i]]);
+            for &c in &r.centers {
+                assert!(assigned <= dist2(p, c) + 1e-9);
+            }
+        }
+    }
+}

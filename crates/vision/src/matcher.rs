@@ -1,0 +1,158 @@
+use crate::OrbFeature;
+use serde::{Deserialize, Serialize};
+
+/// One descriptor correspondence between two feature sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DescriptorMatch {
+    /// Index into the query (first) feature set.
+    pub query: usize,
+    /// Index into the train (second) feature set.
+    pub train: usize,
+    /// Hamming distance of the matched pair.
+    pub distance: u32,
+}
+
+/// Brute-force Hamming matching with Lowe's ratio test and symmetric
+/// cross-checking — the standard ORB matching recipe.
+///
+/// A pair `(q, t)` is kept when `t` is `q`'s best neighbour, the best
+/// distance is at most `max_distance`, the best/second-best ratio is
+/// below `ratio`, and `q` is also `t`'s best neighbour (cross check).
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_vision::{match_descriptors, OrbDetector};
+///
+/// let frame = Plane::from_fn(96, 96, |x, y| {
+///     if ((x / 12) + (y / 12)) % 2 == 0 { 210 } else { 30 }
+/// });
+/// let feats = OrbDetector::default().detect(&frame);
+/// let matches = match_descriptors(&feats, &feats, 64, 0.9);
+/// // Repetitive texture: the ratio test drops ambiguous features, but
+/// // every surviving self-match is exact.
+/// assert!(!matches.is_empty());
+/// assert!(matches.iter().all(|m| m.query == m.train && m.distance == 0));
+/// ```
+pub fn match_descriptors(
+    query: &[OrbFeature],
+    train: &[OrbFeature],
+    max_distance: u32,
+    ratio: f64,
+) -> Vec<DescriptorMatch> {
+    if query.is_empty() || train.is_empty() {
+        return Vec::new();
+    }
+
+    // Forward pass with ratio test.
+    let mut forward: Vec<Option<(usize, u32)>> = Vec::with_capacity(query.len());
+    for q in query {
+        let mut best: Option<(usize, u32)> = None;
+        let mut second: u32 = u32::MAX;
+        for (j, t) in train.iter().enumerate() {
+            let d = q.descriptor.hamming(&t.descriptor);
+            match best {
+                Some((_, bd)) if d < bd => {
+                    second = bd;
+                    best = Some((j, d));
+                }
+                Some((_, bd)) => {
+                    if d < second && d >= bd {
+                        second = d;
+                    }
+                }
+                None => best = Some((j, d)),
+            }
+        }
+        forward.push(best.filter(|&(_, d)| {
+            d <= max_distance
+                && (second == u32::MAX || f64::from(d) < ratio * f64::from(second))
+        }));
+    }
+
+    // Reverse best per train feature (no ratio needed for cross check).
+    let mut reverse_best: Vec<(usize, u32)> = vec![(usize::MAX, u32::MAX); train.len()];
+    for (i, q) in query.iter().enumerate() {
+        for (j, t) in train.iter().enumerate() {
+            let d = q.descriptor.hamming(&t.descriptor);
+            if d < reverse_best[j].1 {
+                reverse_best[j] = (i, d);
+            }
+        }
+    }
+
+    forward
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, m)| {
+            m.and_then(|(j, d)| {
+                (reverse_best[j].0 == i).then_some(DescriptorMatch {
+                    query: i,
+                    train: j,
+                    distance: d,
+                })
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Descriptor, KeyPoint};
+
+    fn feat(bits: &[usize]) -> OrbFeature {
+        let mut bytes = [0u8; 32];
+        for &b in bits {
+            bytes[b / 8] |= 1 << (b % 8);
+        }
+        OrbFeature { keypoint: KeyPoint::new(0.0, 0.0), descriptor: Descriptor(bytes) }
+    }
+
+    #[test]
+    fn exact_matches_found() {
+        let a = vec![feat(&[1, 2, 3]), feat(&[100, 101])];
+        let b = vec![feat(&[100, 101]), feat(&[1, 2, 3])];
+        let m = match_descriptors(&a, &b, 64, 0.8);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().any(|x| x.query == 0 && x.train == 1 && x.distance == 0));
+        assert!(m.iter().any(|x| x.query == 1 && x.train == 0 && x.distance == 0));
+    }
+
+    #[test]
+    fn max_distance_rejects_far_pairs() {
+        let a = vec![feat(&(0..60).collect::<Vec<_>>())];
+        let b = vec![feat(&(100..160).collect::<Vec<_>>())];
+        // 120 differing bits > 64.
+        assert!(match_descriptors(&a, &b, 64, 0.9).is_empty());
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous() {
+        // Query equally close to two train descriptors.
+        let q = vec![feat(&[0])];
+        let t = vec![feat(&[0, 1]), feat(&[0, 2])];
+        assert!(match_descriptors(&q, &t, 64, 0.8).is_empty());
+        // With a permissive ratio it survives.
+        let m = match_descriptors(&q, &t, 64, 1.1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn cross_check_rejects_one_sided() {
+        // Two queries both closest to train 0; only the closer one keeps
+        // the match.
+        let q = vec![feat(&[0]), feat(&[0, 1])];
+        let t = vec![feat(&[0])];
+        let m = match_descriptors(&q, &t, 64, 1.1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].query, 0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(match_descriptors(&[], &[feat(&[0])], 64, 0.8).is_empty());
+        assert!(match_descriptors(&[feat(&[0])], &[], 64, 0.8).is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+//! Task-accuracy metrics: absolute trajectory error and relative pose
+//! error for visual SLAM (paper §3.4, §5.3.1), and IoU-based mean
+//! average precision for detection workloads.
+
+use crate::Rigid2d;
+use rpr_frame::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A planar pose estimate `(x, y, theta)` in world units.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose2d {
+    /// Position x.
+    pub x: f64,
+    /// Position y.
+    pub y: f64,
+    /// Heading in radians.
+    pub theta: f64,
+}
+
+impl Pose2d {
+    /// Creates a pose.
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Pose2d { x, y, theta }
+    }
+}
+
+/// Finds the rigid transform that best aligns the estimated trajectory
+/// onto the ground truth (Horn/Procrustes without scale) — the standard
+/// pre-alignment step of the absolute-trajectory-error metric.
+///
+/// Returns `None` when the trajectories differ in length or have fewer
+/// than two poses.
+pub fn align_rigid_2d(estimated: &[Pose2d], ground_truth: &[Pose2d]) -> Option<Rigid2d> {
+    if estimated.len() != ground_truth.len() || estimated.len() < 2 {
+        return None;
+    }
+    let n = estimated.len() as f64;
+    let (mut ax, mut ay, mut bx, mut by) = (0.0, 0.0, 0.0, 0.0);
+    for (e, g) in estimated.iter().zip(ground_truth) {
+        ax += e.x;
+        ay += e.y;
+        bx += g.x;
+        by += g.y;
+    }
+    let (ax, ay, bx, by) = (ax / n, ay / n, bx / n, by / n);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (e, g) in estimated.iter().zip(ground_truth) {
+        let (px, py) = (e.x - ax, e.y - ay);
+        let (qx, qy) = (g.x - bx, g.y - by);
+        sxx += px * qx + py * qy;
+        sxy += px * qy - py * qx;
+    }
+    let theta = if sxx == 0.0 && sxy == 0.0 { 0.0 } else { sxy.atan2(sxx) };
+    let (s, c) = theta.sin_cos();
+    Some(Rigid2d { theta, tx: bx - (c * ax - s * ay), ty: by - (s * ax + c * ay) })
+}
+
+/// Absolute trajectory error: RMSE of position differences after rigid
+/// alignment, in the trajectories' world units. The paper's headline
+/// V-SLAM accuracy metric ("43 ± 1.5 mm to 51 ± 0.9 mm").
+///
+/// Returns `None` when alignment is impossible.
+///
+/// # Example
+///
+/// ```
+/// use rpr_vision::{ate_rmse, Pose2d};
+///
+/// let gt: Vec<Pose2d> = (0..10).map(|i| Pose2d::new(i as f64, 0.0, 0.0)).collect();
+/// // Same trajectory expressed in a rotated/shifted frame: ATE ≈ 0.
+/// let est: Vec<Pose2d> =
+///     (0..10).map(|i| Pose2d::new(100.0, i as f64, 1.0)).collect();
+/// assert!(ate_rmse(&est, &gt).unwrap() < 1e-9);
+/// ```
+pub fn ate_rmse(estimated: &[Pose2d], ground_truth: &[Pose2d]) -> Option<f64> {
+    let align = align_rigid_2d(estimated, ground_truth)?;
+    let mut sum2 = 0.0;
+    for (e, g) in estimated.iter().zip(ground_truth) {
+        let p = align.apply((e.x, e.y));
+        sum2 += (p.0 - g.x).powi(2) + (p.1 - g.y).powi(2);
+    }
+    Some((sum2 / estimated.len() as f64).sqrt())
+}
+
+/// Relative pose error over a fixed frame interval: RMSE of per-step
+/// translational drift (world units) and rotational drift (radians).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RpeSummary {
+    /// Translational RMSE per interval.
+    pub translational_rmse: f64,
+    /// Rotational RMSE per interval, radians.
+    pub rotational_rmse: f64,
+    /// Number of intervals evaluated.
+    pub intervals: usize,
+}
+
+/// Computes the relative pose error with step `delta` frames.
+///
+/// Returns `None` when the trajectories are shorter than `delta + 1`
+/// poses or differ in length, or `delta == 0`.
+pub fn relative_pose_error(
+    estimated: &[Pose2d],
+    ground_truth: &[Pose2d],
+    delta: usize,
+) -> Option<RpeSummary> {
+    if delta == 0
+        || estimated.len() != ground_truth.len()
+        || estimated.len() <= delta
+    {
+        return None;
+    }
+    let rel = |a: &Pose2d, b: &Pose2d| -> (f64, f64, f64) {
+        // Relative motion expressed in a's frame.
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        let (s, c) = (-a.theta).sin_cos();
+        (c * dx - s * dy, s * dx + c * dy, wrap_angle(b.theta - a.theta))
+    };
+    let mut t2 = 0.0;
+    let mut r2 = 0.0;
+    let n = estimated.len() - delta;
+    for i in 0..n {
+        let (ex, ey, et) = rel(&estimated[i], &estimated[i + delta]);
+        let (gx, gy, gt) = rel(&ground_truth[i], &ground_truth[i + delta]);
+        t2 += (ex - gx).powi(2) + (ey - gy).powi(2);
+        r2 += wrap_angle(et - gt).powi(2);
+    }
+    Some(RpeSummary {
+        translational_rmse: (t2 / n as f64).sqrt(),
+        rotational_rmse: (r2 / n as f64).sqrt(),
+        intervals: n,
+    })
+}
+
+fn wrap_angle(t: f64) -> f64 {
+    let mut a = t % (2.0 * std::f64::consts::PI);
+    if a > std::f64::consts::PI {
+        a -= 2.0 * std::f64::consts::PI;
+    } else if a <= -std::f64::consts::PI {
+        a += 2.0 * std::f64::consts::PI;
+    }
+    a
+}
+
+/// Average precision for one frame, using the paper's simplified
+/// definition (§5.3.1): detections with IoU ≥ `iou_threshold` against
+/// an unmatched ground-truth box are true positives, every other
+/// detection is a false positive, and the score is `TP / (TP + FP)`.
+/// Each ground-truth box can match at most one detection (greedy, by
+/// descending detection confidence).
+///
+/// Returns 1.0 when there are neither detections nor ground truths
+/// (nothing to get wrong), and 0.0 when there are detections but no
+/// ground truths, or ground truths but no detections.
+pub fn average_precision(
+    detections: &[(Rect, f64)],
+    ground_truths: &[Rect],
+    iou_threshold: f64,
+) -> f64 {
+    if detections.is_empty() && ground_truths.is_empty() {
+        return 1.0;
+    }
+    if detections.is_empty() || ground_truths.is_empty() {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| detections[b].1.total_cmp(&detections[a].1));
+    let mut matched = vec![false; ground_truths.len()];
+    let mut tp = 0usize;
+    for &i in &order {
+        let (rect, _) = &detections[i];
+        let best = ground_truths
+            .iter()
+            .enumerate()
+            .filter(|(gi, _)| !matched[*gi])
+            .map(|(gi, g)| (gi, rect.iou(g)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((gi, iou)) = best {
+            if iou >= iou_threshold {
+                matched[gi] = true;
+                tp += 1;
+            }
+        }
+    }
+    tp as f64 / detections.len() as f64
+}
+
+/// One frame's evaluation inputs: scored detections plus ground truth.
+pub type DetectionFrame = (Vec<(Rect, f64)>, Vec<Rect>);
+
+/// Mean of [`average_precision`] over a sequence of frames — the mAP
+/// the paper reports for pose estimation and face detection (Fig. 9).
+pub fn mean_average_precision(frames: &[DetectionFrame], iou_threshold: f64) -> f64 {
+    if frames.is_empty() {
+        return 0.0;
+    }
+    frames
+        .iter()
+        .map(|(dets, gts)| average_precision(dets, gts, iou_threshold))
+        .sum::<f64>()
+        / frames.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_traj(n: usize) -> Vec<Pose2d> {
+        (0..n).map(|i| Pose2d::new(i as f64 * 2.0, (i as f64 * 0.5).sin(), 0.1)).collect()
+    }
+
+    #[test]
+    fn ate_zero_for_identical() {
+        let t = line_traj(20);
+        assert!(ate_rmse(&t, &t).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn ate_invariant_to_rigid_offset() {
+        let gt = line_traj(20);
+        let offset = Rigid2d { theta: 0.8, tx: -30.0, ty: 12.0 };
+        let est: Vec<Pose2d> = gt
+            .iter()
+            .map(|p| {
+                let q = offset.apply((p.x, p.y));
+                Pose2d::new(q.0, q.1, p.theta + 0.8)
+            })
+            .collect();
+        assert!(ate_rmse(&est, &gt).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn ate_measures_real_error() {
+        let gt = line_traj(20);
+        let est: Vec<Pose2d> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Pose2d::new(p.x, p.y + if i % 2 == 0 { 1.0 } else { -1.0 }, p.theta))
+            .collect();
+        let ate = ate_rmse(&est, &gt).unwrap();
+        assert!((ate - 1.0).abs() < 0.05, "ate {ate}");
+    }
+
+    #[test]
+    fn ate_requires_equal_lengths() {
+        assert!(ate_rmse(&line_traj(5), &line_traj(6)).is_none());
+        assert!(ate_rmse(&line_traj(1), &line_traj(1)).is_none());
+    }
+
+    #[test]
+    fn rpe_zero_for_identical() {
+        let t = line_traj(30);
+        let r = relative_pose_error(&t, &t, 1).unwrap();
+        assert!(r.translational_rmse < 1e-12);
+        assert!(r.rotational_rmse < 1e-12);
+        assert_eq!(r.intervals, 29);
+    }
+
+    #[test]
+    fn rpe_catches_drift() {
+        let gt = line_traj(30);
+        // Estimated trajectory drifts +0.1 in x per step.
+        let est: Vec<Pose2d> = gt
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Pose2d::new(p.x + 0.1 * i as f64, p.y, p.theta))
+            .collect();
+        let r = relative_pose_error(&est, &gt, 1).unwrap();
+        assert!((r.translational_rmse - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpe_rotational_component() {
+        let gt: Vec<Pose2d> = (0..10).map(|i| Pose2d::new(i as f64, 0.0, 0.0)).collect();
+        let est: Vec<Pose2d> =
+            (0..10).map(|i| Pose2d::new(i as f64, 0.0, 0.02 * i as f64)).collect();
+        let r = relative_pose_error(&est, &gt, 1).unwrap();
+        assert!((r.rotational_rmse - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpe_invalid_inputs() {
+        let t = line_traj(5);
+        assert!(relative_pose_error(&t, &t, 0).is_none());
+        assert!(relative_pose_error(&t, &t, 5).is_none());
+    }
+
+    #[test]
+    fn ap_perfect_detections() {
+        let gts = vec![Rect::new(10, 10, 20, 20), Rect::new(50, 50, 10, 10)];
+        let dets: Vec<(Rect, f64)> = gts.iter().map(|&g| (g, 0.9)).collect();
+        assert_eq!(average_precision(&dets, &gts, 0.5), 1.0);
+    }
+
+    #[test]
+    fn ap_counts_false_positives() {
+        let gts = vec![Rect::new(10, 10, 20, 20)];
+        let dets = vec![
+            (Rect::new(10, 10, 20, 20), 0.9),
+            (Rect::new(200, 200, 20, 20), 0.8),
+        ];
+        assert_eq!(average_precision(&dets, &gts, 0.5), 0.5);
+    }
+
+    #[test]
+    fn ap_one_detection_per_ground_truth() {
+        let gts = vec![Rect::new(10, 10, 20, 20)];
+        let dets = vec![
+            (Rect::new(10, 10, 20, 20), 0.9),
+            (Rect::new(11, 10, 20, 20), 0.8), // duplicate
+        ];
+        assert_eq!(average_precision(&dets, &gts, 0.5), 0.5);
+    }
+
+    #[test]
+    fn ap_respects_iou_threshold() {
+        let gts = vec![Rect::new(0, 0, 10, 10)];
+        let dets = vec![(Rect::new(5, 0, 10, 10), 0.9)]; // IoU = 1/3
+        assert_eq!(average_precision(&dets, &gts, 0.5), 0.0);
+        assert_eq!(average_precision(&dets, &gts, 0.3), 1.0);
+    }
+
+    #[test]
+    fn ap_edge_cases() {
+        assert_eq!(average_precision(&[], &[], 0.5), 1.0);
+        assert_eq!(average_precision(&[], &[Rect::new(0, 0, 5, 5)], 0.5), 0.0);
+        assert_eq!(average_precision(&[(Rect::new(0, 0, 5, 5), 0.9)], &[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn map_averages_over_frames() {
+        let good = (
+            vec![(Rect::new(0, 0, 10, 10), 0.9)],
+            vec![Rect::new(0, 0, 10, 10)],
+        );
+        let bad = (vec![(Rect::new(50, 50, 10, 10), 0.9)], vec![Rect::new(0, 0, 10, 10)]);
+        let map = mean_average_precision(&[good, bad], 0.5);
+        assert!((map - 0.5).abs() < 1e-12);
+    }
+}

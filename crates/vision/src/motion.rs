@@ -1,0 +1,274 @@
+//! Block-based motion estimation — the motion-vector substrate for
+//! Euphrates-style region policies (paper §4.3.1: policy makers "can
+//! write … sophisticated motion-vector based techniques, such as those
+//! found in Euphrates or EVA²").
+//!
+//! Motion is estimated per block with a three-step logarithmic search
+//! minimizing the sum of absolute differences, the classic codec/ISP
+//! algorithm whose vectors Euphrates reuses.
+
+use rpr_frame::{GrayFrame, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Motion of one block between two frames.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionVector {
+    /// The block's footprint in the current frame.
+    pub block: Rect,
+    /// Horizontal displacement (px) from the previous frame.
+    pub dx: i32,
+    /// Vertical displacement (px) from the previous frame.
+    pub dy: i32,
+    /// Sum of absolute differences at the best match (lower = more
+    /// confident).
+    pub sad: u64,
+}
+
+impl MotionVector {
+    /// Displacement magnitude in pixels.
+    pub fn magnitude(&self) -> f64 {
+        f64::from(self.dx * self.dx + self.dy * self.dy).sqrt()
+    }
+}
+
+/// Sum of absolute differences between a block of `cur` anchored at
+/// `(bx, by)` and the same-size block of `prev` at `(bx+dx, by+dy)`,
+/// clamped at frame edges.
+fn block_sad(
+    prev: &GrayFrame,
+    cur: &GrayFrame,
+    bx: u32,
+    by: u32,
+    size: u32,
+    dx: i32,
+    dy: i32,
+) -> u64 {
+    let mut sad = 0u64;
+    for y in 0..size {
+        for x in 0..size {
+            let c = i64::from(cur.get_clamped(i64::from(bx + x), i64::from(by + y)));
+            let p = i64::from(prev.get_clamped(
+                i64::from(bx + x) + i64::from(dx),
+                i64::from(by + y) + i64::from(dy),
+            ));
+            sad += c.abs_diff(p);
+        }
+    }
+    sad
+}
+
+/// Estimates per-block motion from `prev` to `cur` with a three-step
+/// search of the given radius.
+///
+/// # Panics
+///
+/// Panics when `block_size == 0` or the frames' sizes differ.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_vision::estimate_block_motion;
+///
+/// // A bright bar shifts right by 4 px between frames.
+/// let prev = Plane::from_fn(64, 32, |x, _| if (20..28).contains(&x) { 220 } else { 20 });
+/// let cur = Plane::from_fn(64, 32, |x, _| if (24..32).contains(&x) { 220 } else { 20 });
+/// let mvs = estimate_block_motion(&prev, &cur, 16, 8);
+/// let moving = mvs.iter().find(|m| m.block.contains(24, 8)).unwrap();
+/// assert_eq!((moving.dx, moving.dy), (-4, 0)); // content came from 4 px left
+/// ```
+pub fn estimate_block_motion(
+    prev: &GrayFrame,
+    cur: &GrayFrame,
+    block_size: u32,
+    search_radius: u32,
+) -> Vec<MotionVector> {
+    assert!(block_size > 0, "block size must be nonzero");
+    assert_eq!(
+        (prev.width(), prev.height()),
+        (cur.width(), cur.height()),
+        "frame sizes must match"
+    );
+    let mut vectors = Vec::new();
+    let mut by = 0;
+    while by < cur.height() {
+        let mut bx = 0;
+        while bx < cur.width() {
+            let size = block_size
+                .min(cur.width() - bx)
+                .min(cur.height() - by);
+            // Three-step search: start with a big stride, refine around
+            // the best candidate.
+            let mut best = (0i32, 0i32, block_sad(prev, cur, bx, by, size, 0, 0));
+            let mut step = (search_radius.max(1) as i32 + 1) / 2;
+            while step >= 1 {
+                let centre = (best.0, best.1);
+                for dy in [-step, 0, step] {
+                    for dx in [-step, 0, step] {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let cand = (centre.0 + dx, centre.1 + dy);
+                        if cand.0.unsigned_abs() > search_radius
+                            || cand.1.unsigned_abs() > search_radius
+                        {
+                            continue;
+                        }
+                        let sad = block_sad(prev, cur, bx, by, size, cand.0, cand.1);
+                        // Ties prefer the smaller displacement (zero-MV
+                        // bias, as real codecs do).
+                        let better = sad < best.2
+                            || (sad == best.2
+                                && cand.0 * cand.0 + cand.1 * cand.1
+                                    < best.0 * best.0 + best.1 * best.1);
+                        if better {
+                            best = (cand.0, cand.1, sad);
+                        }
+                    }
+                }
+                step /= 2;
+            }
+            vectors.push(MotionVector {
+                block: Rect::new(bx, by, size, size),
+                dx: best.0,
+                dy: best.1,
+                sad: best.2,
+            });
+            bx += block_size;
+        }
+        by += block_size;
+    }
+    vectors
+}
+
+/// Extracts regions of coherent motion: moving blocks (magnitude ≥
+/// `min_magnitude`) merged with their moving 8-neighbours into bounding
+/// boxes, each paired with the cluster's mean displacement — ready to
+/// feed a region policy as `(Rect, displacement)` detections.
+pub fn moving_regions(vectors: &[MotionVector], min_magnitude: f64) -> Vec<(Rect, f64)> {
+    let moving: Vec<&MotionVector> =
+        vectors.iter().filter(|v| v.magnitude() >= min_magnitude).collect();
+    if moving.is_empty() {
+        return Vec::new();
+    }
+    // Union-find over blocks that touch.
+    let mut parent: Vec<usize> = (0..moving.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    #[allow(clippy::needless_range_loop)] // pairwise union-find over indices
+    for i in 0..moving.len() {
+        for j in i + 1..moving.len() {
+            let a = moving[i].block;
+            let b = moving[j].block;
+            let touch = a.x <= b.right()
+                && b.x <= a.right()
+                && a.y <= b.bottom()
+                && b.y <= a.bottom();
+            if touch {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut clusters: std::collections::HashMap<usize, (Rect, f64, usize)> =
+        std::collections::HashMap::new();
+    for (i, mv) in moving.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let entry = clusters.entry(root).or_insert((mv.block, 0.0, 0));
+        entry.0 = entry.0.union(&mv.block);
+        entry.1 += mv.magnitude();
+        entry.2 += 1;
+    }
+    let mut out: Vec<(Rect, f64)> = clusters
+        .into_values()
+        .map(|(rect, total, n)| (rect, total / n as f64))
+        .collect();
+    out.sort_by_key(|(r, _)| (r.y, r.x));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    fn moving_square(offset: u32) -> GrayFrame {
+        Plane::from_fn(96, 64, |x, y| {
+            if (offset..offset + 16).contains(&x) && (24..40).contains(&y) {
+                230
+            } else {
+                30
+            }
+        })
+    }
+
+    #[test]
+    fn static_scene_has_zero_motion() {
+        let f = moving_square(30);
+        let mvs = estimate_block_motion(&f, &f, 16, 8);
+        assert!(mvs.iter().all(|m| m.dx == 0 && m.dy == 0 && m.sad == 0));
+    }
+
+    #[test]
+    fn translation_is_recovered() {
+        let prev = moving_square(24);
+        let cur = moving_square(30);
+        let mvs = estimate_block_motion(&prev, &cur, 16, 8);
+        let on_object: Vec<&MotionVector> =
+            mvs.iter().filter(|m| m.block.contains(32, 32)).collect();
+        assert!(!on_object.is_empty());
+        // Content moved +6 px right: the best previous-frame match sits
+        // 6 px to the left.
+        assert!(on_object.iter().any(|m| m.dx == -6 && m.dy == 0),
+            "vectors: {:?}", on_object);
+    }
+
+    #[test]
+    fn background_blocks_stay_still_while_object_moves() {
+        let prev = moving_square(24);
+        let cur = moving_square(30);
+        let mvs = estimate_block_motion(&prev, &cur, 16, 8);
+        let corner = mvs.iter().find(|m| m.block.contains(88, 8)).unwrap();
+        assert_eq!((corner.dx, corner.dy), (0, 0));
+    }
+
+    #[test]
+    fn moving_regions_cluster_the_object() {
+        let prev = moving_square(24);
+        let cur = moving_square(30);
+        let mvs = estimate_block_motion(&prev, &cur, 16, 8);
+        let regions = moving_regions(&mvs, 2.0);
+        assert!(!regions.is_empty());
+        // Some cluster covers the object and reports ~6 px displacement.
+        let hit = regions.iter().find(|(r, _)| r.contains(32, 32)).expect("object cluster");
+        assert!(hit.1 >= 3.0, "displacement {}", hit.1);
+    }
+
+    #[test]
+    fn no_motion_no_regions() {
+        let f = moving_square(30);
+        let mvs = estimate_block_motion(&f, &f, 16, 8);
+        assert!(moving_regions(&mvs, 1.0).is_empty());
+    }
+
+    #[test]
+    fn covers_non_multiple_dimensions() {
+        let prev: GrayFrame = Plane::new(50, 30);
+        let cur: GrayFrame = Plane::new(50, 30);
+        let mvs = estimate_block_motion(&prev, &cur, 16, 4);
+        let covered: u64 = mvs.iter().map(|m| m.block.area()).sum();
+        // Edge blocks shrink (square, min(remaining w, remaining h));
+        // full coverage is not required, but the grid must tile the
+        // frame origin-to-edge in both axes.
+        assert!(covered > 0);
+        assert!(mvs.iter().any(|m| m.block.right() >= 48));
+        assert!(mvs.iter().any(|m| m.block.bottom() >= 30));
+    }
+}

@@ -1,0 +1,198 @@
+use crate::brief::intensity_centroid_angle;
+use crate::{detect_fast, BriefPattern, Descriptor, FastConfig, ImagePyramid, KeyPoint};
+use serde::{Deserialize, Serialize};
+
+/// ORB detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbConfig {
+    /// Maximum features to return per frame (the paper cites ~1500 for
+    /// a 1080p ORB-SLAM configuration).
+    pub n_features: usize,
+    /// Pyramid levels.
+    pub n_levels: u32,
+    /// Pyramid scale factor between levels.
+    pub scale_factor: f64,
+    /// FAST threshold.
+    pub fast_threshold: u8,
+    /// Radius of the orientation moment patch.
+    pub orientation_radius: i64,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            n_features: 500,
+            n_levels: 4,
+            scale_factor: 1.25,
+            fast_threshold: 20,
+            orientation_radius: 7,
+        }
+    }
+}
+
+/// A keypoint plus its binary descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrbFeature {
+    /// The keypoint (position in full-resolution coordinates, size,
+    /// octave, angle, response).
+    pub keypoint: KeyPoint,
+    /// The steered BRIEF descriptor.
+    pub descriptor: Descriptor,
+}
+
+/// Oriented-FAST + steered-BRIEF feature detector — the from-scratch
+/// stand-in for the ORB front end of ORB-SLAM2 (paper §3.4).
+///
+/// Detection runs FAST-9 with non-maximum suppression on every pyramid
+/// level, keeps the strongest `n_features` responses overall, assigns
+/// each an intensity-centroid orientation, and describes it with a
+/// rotation-steered 256-bit BRIEF descriptor.
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_vision::OrbDetector;
+///
+/// let frame = Plane::from_fn(96, 96, |x, y| {
+///     if ((x / 12) + (y / 12)) % 2 == 0 { 210 } else { 30 }
+/// });
+/// let features = OrbDetector::default().detect(&frame);
+/// assert!(features.len() >= 10);
+/// // Every feature carries the attributes policies need.
+/// assert!(features.iter().all(|f| f.keypoint.size > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrbDetector {
+    config: OrbConfig,
+    pattern: BriefPattern,
+}
+
+impl OrbDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: OrbConfig) -> Self {
+        OrbDetector { config, pattern: BriefPattern::standard() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OrbConfig {
+        &self.config
+    }
+
+    /// Detects and describes features in `frame`.
+    pub fn detect(&self, frame: &rpr_frame::GrayFrame) -> Vec<OrbFeature> {
+        let pyramid = ImagePyramid::build(frame, self.config.n_levels, self.config.scale_factor);
+        let fast_cfg =
+            FastConfig { threshold: self.config.fast_threshold, non_max_suppression: true };
+
+        let mut features: Vec<OrbFeature> = Vec::new();
+        for level in 0..pyramid.levels() {
+            let img = pyramid.level(level);
+            let scale = pyramid.scale_of(level);
+            for corner in detect_fast(img, &fast_cfg) {
+                let cx = f64::from(corner.x);
+                let cy = f64::from(corner.y);
+                let angle =
+                    intensity_centroid_angle(img, cx, cy, self.config.orientation_radius);
+                let descriptor = self.pattern.describe(img, cx, cy, angle);
+                features.push(OrbFeature {
+                    keypoint: KeyPoint {
+                        x: cx * scale,
+                        y: cy * scale,
+                        size: 31.0 * scale,
+                        octave: level as u32,
+                        angle,
+                        response: corner.score,
+                    },
+                    descriptor,
+                });
+            }
+        }
+
+        // Keep the strongest N overall (responses are comparable across
+        // levels since the score is threshold-exceedance based).
+        features.sort_by(|a, b| b.keypoint.response.total_cmp(&a.keypoint.response));
+        features.truncate(self.config.n_features);
+        features
+    }
+}
+
+impl Default for OrbDetector {
+    fn default() -> Self {
+        OrbDetector::new(OrbConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Plane;
+
+    fn checkers(w: u32, h: u32, cell: u32) -> rpr_frame::GrayFrame {
+        Plane::from_fn(w, h, |x, y| if ((x / cell) + (y / cell)).is_multiple_of(2) { 210 } else { 30 })
+    }
+
+    #[test]
+    fn detects_features_on_texture() {
+        let f = OrbDetector::default().detect(&checkers(128, 128, 16));
+        assert!(f.len() > 20, "{} features", f.len());
+    }
+
+    #[test]
+    fn flat_frame_has_no_features() {
+        let flat = Plane::from_fn(128, 128, |_, _| 100u8);
+        assert!(OrbDetector::default().detect(&flat).is_empty());
+    }
+
+    #[test]
+    fn n_features_caps_output() {
+        let config = OrbConfig { n_features: 10, ..OrbConfig::default() };
+        let f = OrbDetector::new(config).detect(&checkers(128, 128, 8));
+        assert_eq!(f.len(), 10);
+    }
+
+    #[test]
+    fn truncation_keeps_strongest() {
+        let frame = checkers(128, 128, 16);
+        let all = OrbDetector::new(OrbConfig { n_features: 10_000, ..Default::default() })
+            .detect(&frame);
+        let top = OrbDetector::new(OrbConfig { n_features: 5, ..Default::default() })
+            .detect(&frame);
+        let min_top =
+            top.iter().map(|f| f.keypoint.response).fold(f64::MAX, f64::min);
+        let stronger = all.iter().filter(|f| f.keypoint.response > min_top).count();
+        assert!(stronger <= 5, "{stronger} features stronger than kept minimum");
+    }
+
+    #[test]
+    fn multi_level_features_have_octaves_and_scaled_size() {
+        let f = OrbDetector::default().detect(&checkers(160, 160, 20));
+        let octaves: std::collections::HashSet<u32> =
+            f.iter().map(|x| x.keypoint.octave).collect();
+        assert!(octaves.len() >= 2, "octaves {octaves:?}");
+        for feat in &f {
+            let expected = 31.0 * 1.25f64.powi(feat.keypoint.octave as i32);
+            assert!((feat.keypoint.size - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coordinates_are_full_resolution() {
+        let f = OrbDetector::default().detect(&checkers(128, 128, 16));
+        for feat in &f {
+            assert!(feat.keypoint.x < 128.0 && feat.keypoint.y < 128.0);
+        }
+    }
+
+    #[test]
+    fn same_frame_detects_identically() {
+        let frame = checkers(96, 96, 12);
+        let d = OrbDetector::default();
+        let a = d.detect(&frame);
+        let b = d.detect(&frame);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.descriptor, y.descriptor);
+        }
+    }
+}

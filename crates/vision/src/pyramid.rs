@@ -1,0 +1,145 @@
+use rpr_frame::{GrayFrame, Plane};
+
+/// Bilinearly resizes a frame to `out_w x out_h`.
+///
+/// # Panics
+///
+/// Panics when either output dimension is zero.
+pub fn resize_bilinear(src: &GrayFrame, out_w: u32, out_h: u32) -> GrayFrame {
+    assert!(out_w > 0 && out_h > 0, "output dimensions must be nonzero");
+    let sx = f64::from(src.width()) / f64::from(out_w);
+    let sy = f64::from(src.height()) / f64::from(out_h);
+    Plane::from_fn(out_w, out_h, |x, y| {
+        src.sample_bilinear((f64::from(x) + 0.5) * sx - 0.5, (f64::from(y) + 0.5) * sy - 0.5)
+    })
+}
+
+/// A multi-scale image pyramid with a constant scale factor between
+/// levels, as used by ORB (the paper derives each feature's *octave*
+/// attribute — and from it the region stride — from the pyramid level
+/// it was detected in).
+///
+/// # Example
+///
+/// ```
+/// use rpr_frame::Plane;
+/// use rpr_vision::ImagePyramid;
+///
+/// let frame = Plane::from_fn(100, 80, |x, y| (x + y) as u8);
+/// let pyr = ImagePyramid::build(&frame, 4, 1.25);
+/// assert_eq!(pyr.levels(), 4);
+/// assert_eq!(pyr.level(0).width(), 100);
+/// assert!(pyr.level(3).width() < 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImagePyramid {
+    levels: Vec<GrayFrame>,
+    scale_factor: f64,
+}
+
+impl ImagePyramid {
+    /// Builds `n_levels` levels, each smaller than the previous by
+    /// `scale_factor`. Levels that would shrink below 16 px on a side
+    /// are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_levels == 0` or `scale_factor <= 1.0`.
+    pub fn build(base: &GrayFrame, n_levels: u32, scale_factor: f64) -> Self {
+        assert!(n_levels > 0, "pyramid needs at least one level");
+        assert!(scale_factor > 1.0, "scale factor must exceed 1.0");
+        let mut levels = vec![base.clone()];
+        for l in 1..n_levels {
+            let s = scale_factor.powi(l as i32);
+            let w = (f64::from(base.width()) / s).round() as u32;
+            let h = (f64::from(base.height()) / s).round() as u32;
+            if w < 16 || h < 16 {
+                break;
+            }
+            levels.push(resize_bilinear(base, w, h));
+        }
+        ImagePyramid { levels, scale_factor }
+    }
+
+    /// Number of levels actually built.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The frame at pyramid level `l` (0 = full resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l >= levels()`.
+    pub fn level(&self, l: usize) -> &GrayFrame {
+        &self.levels[l]
+    }
+
+    /// The configured inter-level scale factor.
+    pub fn scale_factor(&self) -> f64 {
+        self.scale_factor
+    }
+
+    /// Multiplier mapping level-`l` coordinates up to level-0
+    /// coordinates.
+    pub fn scale_of(&self, l: usize) -> f64 {
+        self.scale_factor.powi(l as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_identity() {
+        let f = Plane::from_fn(16, 16, |x, y| (x * y) as u8);
+        let r = resize_bilinear(&f, 16, 16);
+        // Identity resize must be (nearly) exact.
+        for y in 0..16 {
+            for x in 0..16 {
+                let a = i32::from(f.get(x, y).unwrap());
+                let b = i32::from(r.get(x, y).unwrap());
+                assert!((a - b).abs() <= 1, "({x},{y}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_preserves_mean() {
+        let f = Plane::from_fn(64, 64, |x, _| if x < 32 { 0 } else { 200 });
+        let r = resize_bilinear(&f, 32, 32);
+        assert!((r.mean() - f.mean()).abs() < 6.0, "{} vs {}", r.mean(), f.mean());
+    }
+
+    #[test]
+    fn pyramid_shrinks_by_scale_factor() {
+        let f = Plane::from_fn(128, 128, |x, y| (x ^ y) as u8);
+        let pyr = ImagePyramid::build(&f, 4, 1.25);
+        assert_eq!(pyr.levels(), 4);
+        assert_eq!(pyr.level(1).width(), 102); // 128 / 1.25
+        assert_eq!(pyr.level(2).width(), 82);
+    }
+
+    #[test]
+    fn pyramid_stops_before_tiny_levels() {
+        let f = Plane::from_fn(32, 32, |x, _| x as u8);
+        let pyr = ImagePyramid::build(&f, 10, 2.0);
+        assert!(pyr.levels() <= 2);
+    }
+
+    #[test]
+    fn scale_of_is_powers_of_factor() {
+        let f = Plane::from_fn(256, 256, |x, _| x as u8);
+        let pyr = ImagePyramid::build(&f, 3, 1.5);
+        assert!((pyr.scale_of(0) - 1.0).abs() < 1e-12);
+        assert!((pyr.scale_of(2) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn unit_scale_factor_panics() {
+        let f: GrayFrame = Plane::new(32, 32);
+        let _ = ImagePyramid::build(&f, 2, 1.0);
+    }
+}

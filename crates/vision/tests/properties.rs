@@ -1,0 +1,122 @@
+//! Property tests for the vision stack's metric and estimator
+//! invariants.
+
+use proptest::prelude::*;
+use rpr_frame::Rect;
+use rpr_vision::{
+    align_rigid_2d, ate_rmse, average_precision, estimate_rigid_motion, kmeans, Pose2d,
+    Rigid2d,
+};
+
+fn trajectory_strategy() -> impl Strategy<Value = Vec<Pose2d>> {
+    proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0, -3.0f64..3.0), 3..24)
+        .prop_map(|v| v.into_iter().map(|(x, y, t)| Pose2d::new(x, y, t)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ATE of a trajectory against itself is zero; against any rigidly
+    /// transformed copy it is (numerically) zero as well.
+    #[test]
+    fn ate_rigid_invariance(traj in trajectory_strategy(),
+                            theta in -3.0f64..3.0, tx in -100.0f64..100.0, ty in -100.0f64..100.0) {
+        prop_assume!(traj.len() >= 2);
+        // Degenerate all-identical trajectories have unobservable
+        // rotation; skip them.
+        let first = traj[0];
+        let spread = traj
+            .iter()
+            .any(|p| (p.x - first.x).abs() > 1e-6 || (p.y - first.y).abs() > 1e-6);
+        prop_assume!(spread);
+        let t = Rigid2d { theta, tx, ty };
+        let moved: Vec<Pose2d> = traj
+            .iter()
+            .map(|p| {
+                let q = t.apply((p.x, p.y));
+                Pose2d::new(q.0, q.1, p.theta + theta)
+            })
+            .collect();
+        let ate = ate_rmse(&moved, &traj).unwrap();
+        prop_assert!(ate < 1e-6, "ate {ate}");
+    }
+
+    /// The alignment returned by align_rigid_2d never increases the
+    /// RMSE relative to the identity alignment.
+    #[test]
+    fn alignment_is_no_worse_than_identity(a in trajectory_strategy(), b in trajectory_strategy()) {
+        let n = a.len().min(b.len());
+        prop_assume!(n >= 2);
+        let (a, b) = (&a[..n], &b[..n]);
+        let aligned = align_rigid_2d(a, b).unwrap();
+        let rmse_aligned: f64 = {
+            let s: f64 = a.iter().zip(b).map(|(p, g)| {
+                let q = aligned.apply((p.x, p.y));
+                (q.0 - g.x).powi(2) + (q.1 - g.y).powi(2)
+            }).sum();
+            (s / n as f64).sqrt()
+        };
+        let rmse_identity: f64 = {
+            let s: f64 = a.iter().zip(b).map(|(p, g)| {
+                (p.x - g.x).powi(2) + (p.y - g.y).powi(2)
+            }).sum();
+            (s / n as f64).sqrt()
+        };
+        prop_assert!(rmse_aligned <= rmse_identity + 1e-9);
+    }
+
+    /// RANSAC on outlier-free correspondences recovers the generating
+    /// transform.
+    #[test]
+    fn ransac_recovers_clean_transforms(
+        theta in -1.5f64..1.5, tx in -50.0f64..50.0, ty in -50.0f64..50.0, seed in 0u64..100,
+    ) {
+        let truth = Rigid2d { theta, tx, ty };
+        let pairs: Vec<_> = (0..24)
+            .map(|i| {
+                let p = ((i as f64 * 7.1) % 90.0, (i as f64 * 13.3) % 70.0);
+                (p, truth.apply(p))
+            })
+            .collect();
+        let (est, inliers) = estimate_rigid_motion(&pairs, 100, 0.5, seed).expect("fit");
+        prop_assert_eq!(inliers.len(), 24);
+        prop_assert!((est.theta - theta).abs() < 1e-6);
+        prop_assert!((est.tx - tx).abs() < 1e-6);
+    }
+
+    /// Average precision is bounded, and adding a pure false positive
+    /// never raises it.
+    #[test]
+    fn ap_bounds_and_fp_monotonicity(
+        n_gt in 1usize..6, n_det in 0usize..6, iou_t in 0.1f64..0.9,
+    ) {
+        let gts: Vec<Rect> = (0..n_gt).map(|i| Rect::new(i as u32 * 40, 0, 20, 20)).collect();
+        let dets: Vec<(Rect, f64)> =
+            (0..n_det).map(|i| (Rect::new(i as u32 * 40, 0, 20, 20), 1.0 - i as f64 * 0.1)).collect();
+        let ap = average_precision(&dets, &gts, iou_t);
+        prop_assert!((0.0..=1.0).contains(&ap));
+        let mut with_fp = dets.clone();
+        with_fp.push((Rect::new(5000, 5000, 10, 10), 0.05));
+        let ap_fp = average_precision(&with_fp, &gts, iou_t);
+        prop_assert!(ap_fp <= ap + 1e-12);
+    }
+
+    /// k-means assignments always index valid centres and every point
+    /// is assigned to its nearest centre.
+    #[test]
+    fn kmeans_assignment_optimality(
+        pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40),
+        k in 1usize..6, seed in 0u64..20,
+    ) {
+        let result = kmeans(&pts, k, 25, seed).expect("non-empty input");
+        prop_assert_eq!(result.assignments.len(), pts.len());
+        for (i, &a) in result.assignments.iter().enumerate() {
+            prop_assert!(a < result.centers.len());
+            let d = |c: (f64, f64)| (pts[i].0 - c.0).powi(2) + (pts[i].1 - c.1).powi(2);
+            let assigned = d(result.centers[a]);
+            for &c in &result.centers {
+                prop_assert!(assigned <= d(c) + 1e-9);
+            }
+        }
+    }
+}

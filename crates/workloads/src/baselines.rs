@@ -1,0 +1,99 @@
+//! The evaluation baselines of paper §5.3.
+
+use crate::H264Quality;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A capture/processing strategy to evaluate a workload under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Baseline {
+    /// Frame-based computing at full (high) resolution — the paper's
+    /// FCH.
+    Fch,
+    /// Frame-based computing at low resolution: the whole frame is
+    /// downscaled by `factor` before storage (the paper's FCL, e.g.
+    /// 4K → 480p).
+    Fcl {
+        /// Integer downscale factor.
+        factor: u32,
+    },
+    /// Rhythmic pixel regions with the cycle-length policy (the paper's
+    /// RP5 / RP10 / RP15).
+    Rp {
+        /// Frames between consecutive full captures.
+        cycle_length: u64,
+    },
+    /// Off-the-shelf multi-ROI camera emulation: at most `max_regions`
+    /// rectangular read-outs (k-means clustered from the policy's
+    /// regions), full resolution, no stride/skip, per-region grouped
+    /// storage (§5.3: commercial parts support ≤ 16 regions).
+    MultiRoi {
+        /// Maximum simultaneous ROIs the camera supports.
+        max_regions: usize,
+        /// Full-capture period used for (re)acquisition, matching the
+        /// RP cycle structure.
+        cycle_length: u64,
+    },
+    /// H.264 compression of full frames (model codec).
+    H264 {
+        /// Quantization quality of the model codec.
+        quality: H264Quality,
+    },
+}
+
+impl Baseline {
+    /// The paper's standard comparison set for a workload:
+    /// FCH, FCL, RP5, RP10, RP15, Multi-ROI, H.264 (Figs. 8–9).
+    pub fn paper_set(fcl_factor: u32) -> Vec<Baseline> {
+        vec![
+            Baseline::Fch,
+            Baseline::Fcl { factor: fcl_factor },
+            Baseline::Rp { cycle_length: 5 },
+            Baseline::Rp { cycle_length: 10 },
+            Baseline::Rp { cycle_length: 15 },
+            Baseline::MultiRoi { max_regions: 16, cycle_length: 10 },
+            Baseline::H264 { quality: H264Quality::Medium },
+        ]
+    }
+
+    /// The display label used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Baseline::Fch => "FCH".into(),
+            Baseline::Fcl { .. } => "FCL".into(),
+            Baseline::Rp { cycle_length } => format!("RP{cycle_length}"),
+            Baseline::MultiRoi { .. } => "Multi-ROI".into(),
+            Baseline::H264 { .. } => "H.264".into(),
+        }
+    }
+
+    /// True for the rhythmic-pixel-region configurations.
+    pub fn is_rhythmic(&self) -> bool {
+        matches!(self, Baseline::Rp { .. })
+    }
+}
+
+impl fmt::Display for Baseline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_figure_legend() {
+        let set = Baseline::paper_set(4);
+        let labels: Vec<String> = set.iter().map(Baseline::label).collect();
+        assert_eq!(labels, vec!["FCH", "FCL", "RP5", "RP10", "RP15", "Multi-ROI", "H.264"]);
+    }
+
+    #[test]
+    fn rhythmic_predicate() {
+        assert!(Baseline::Rp { cycle_length: 10 }.is_rhythmic());
+        assert!(!Baseline::Fch.is_rhythmic());
+        assert!(!Baseline::MultiRoi { max_regions: 16, cycle_length: 10 }.is_rhythmic());
+    }
+}

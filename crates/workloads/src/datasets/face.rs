@@ -1,0 +1,177 @@
+use super::VideoDataset;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rpr_frame::{GrayFrame, Plane, Rect};
+use rpr_sensor::{MotionPath, Sprite, SpriteShape, ValueNoise};
+
+/// The face-detection benchmark: bright synthetic faces walking through
+/// a choke-point scene, entering and leaving the frame — the stand-in
+/// for the ChokePoint dataset (§5.3). Ground truth is the exact set of
+/// face bounding boxes per frame.
+///
+/// # Example
+///
+/// ```
+/// use rpr_workloads::datasets::{FaceDataset, VideoDataset};
+///
+/// let ds = FaceDataset::new(192, 144, 20, 4, 11);
+/// assert_eq!(ds.len(), 20);
+/// // Ground truth may contain 0..=4 faces depending on who is on screen.
+/// assert!(ds.gt_bboxes(10).len() <= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaceDataset {
+    name: String,
+    width: u32,
+    height: u32,
+    frames: usize,
+    seed: u64,
+    faces: Vec<Sprite>,
+}
+
+impl FaceDataset {
+    /// Creates a sequence with `n_faces` faces crossing the scene.
+    pub fn new(width: u32, height: u32, frames: usize, n_faces: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let faces = (0..n_faces)
+            .map(|i| {
+                let size = rng.gen_range(height / 5..height / 3).max(12);
+                // Staggered positions across the walkway: the first
+                // faces are already on screen, later ones walk in and
+                // everyone eventually walks out (the choke-point flow).
+                let from_left = i % 2 == 0;
+                let speed = rng.gen_range(0.8..2.5);
+                let vx = if from_left { speed } else { -speed };
+                let lane = 0.15 + 0.7 * (i as f64 / n_faces.max(1) as f64);
+                let x0 = if from_left {
+                    f64::from(width) * (1.0 - lane)
+                } else {
+                    f64::from(width) * lane
+                };
+                let y0 = rng.gen_range(f64::from(height) * 0.25..f64::from(height) * 0.75);
+                let vy = rng.gen_range(-0.2..0.2);
+                Sprite::new(
+                    SpriteShape::Face,
+                    size,
+                    size + size / 4,
+                    MotionPath::Linear { x0, y0, vx, vy },
+                )
+            })
+            .collect();
+        FaceDataset {
+            name: format!("face-seq{seed}"),
+            width,
+            height,
+            frames,
+            seed,
+            faces,
+        }
+    }
+
+    /// Ground-truth face boxes visible in frame `idx`. Boxes clipped to
+    /// less than 30 % visibility are excluded (the face is "not in the
+    /// scene yet" for accuracy purposes).
+    pub fn gt_bboxes(&self, idx: usize) -> Vec<Rect> {
+        self.faces
+            .iter()
+            .filter_map(|f| {
+                let b = f.bbox(idx as u64, self.width, self.height)?;
+                let full = u64::from(f.w) * u64::from(f.h);
+                (b.area() * 10 >= full * 3).then_some(b)
+            })
+            .collect()
+    }
+
+    /// The face sprites (for composing examples).
+    pub fn sprites(&self) -> &[Sprite] {
+        &self.faces
+    }
+}
+
+impl VideoDataset for FaceDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn len(&self) -> usize {
+        self.frames
+    }
+
+    fn frame(&self, idx: usize) -> GrayFrame {
+        let noise = ValueNoise::new(self.seed ^ 0xFACE);
+        let mut frame: GrayFrame = Plane::from_fn(self.width, self.height, |x, y| {
+            (15.0 + noise.fbm(f64::from(x), f64::from(y), 3, 0.02) * 80.0) as u8
+        });
+        for face in &self.faces {
+            face.draw(&mut frame, idx as u64);
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_vision::detect_blobs;
+
+    #[test]
+    fn deterministic() {
+        let a = FaceDataset::new(160, 120, 10, 3, 2);
+        let b = FaceDataset::new(160, 120, 10, 3, 2);
+        assert_eq!(a.frame(5), b.frame(5));
+        assert_eq!(a.gt_bboxes(5), b.gt_bboxes(5));
+    }
+
+    #[test]
+    fn faces_enter_and_leave() {
+        let ds = FaceDataset::new(160, 120, 300, 4, 3);
+        let counts: Vec<usize> = (0..300).step_by(10).map(|i| ds.gt_bboxes(i).len()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "face count never changes: {counts:?}");
+        assert!(*max >= 1);
+    }
+
+    #[test]
+    fn visible_faces_are_detectable_blobs() {
+        let ds = FaceDataset::new(192, 144, 120, 3, 4);
+        // Find a frame with at least one fully visible face.
+        let idx = (0..120)
+            .find(|&i| {
+                ds.gt_bboxes(i)
+                    .iter()
+                    .any(|b| b.x > 8 && b.right() < 184)
+            })
+            .expect("some face fully visible at some point");
+        let frame = ds.frame(idx);
+        let blobs = detect_blobs(&frame, 150, 20);
+        let gts = ds.gt_bboxes(idx);
+        let matched = gts.iter().any(|g| blobs.iter().any(|b| b.bbox.iou(g) > 0.4));
+        assert!(matched, "no blob matches a face at frame {idx}");
+    }
+
+    #[test]
+    fn background_stays_dim() {
+        let ds = FaceDataset::new(128, 96, 5, 0, 5); // zero faces
+        let frame = ds.frame(0);
+        assert!(frame.as_slice().iter().all(|&v| v < 150));
+    }
+
+    #[test]
+    fn mostly_offscreen_faces_excluded_from_gt() {
+        let ds = FaceDataset::new(160, 120, 400, 2, 6);
+        for idx in 0..400 {
+            for b in ds.gt_bboxes(idx) {
+                assert!(b.area() >= 25, "sliver gt at frame {idx}: {b}");
+            }
+        }
+    }
+}

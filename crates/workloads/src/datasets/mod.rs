@@ -1,0 +1,36 @@
+//! Procedurally generated benchmark videos with exact ground truth —
+//! the substitutes for the paper's TUM / in-house 4K / PoseTrack 2017 /
+//! ChokePoint datasets (§5.3).
+//!
+//! Every dataset is a deterministic function of its seed: the same
+//! configuration always produces the same frames and the same ground
+//! truth, so accuracy comparisons across baselines are exact.
+
+mod face;
+mod pose;
+mod slam;
+
+pub use face::FaceDataset;
+pub use pose::{PoseDataset, Skeleton};
+pub use slam::SlamDataset;
+
+use rpr_frame::GrayFrame;
+
+/// A finite, deterministically renderable video.
+pub trait VideoDataset {
+    /// Human-readable benchmark name.
+    fn name(&self) -> &str;
+    /// Frame width in pixels.
+    fn width(&self) -> u32;
+    /// Frame height in pixels.
+    fn height(&self) -> u32;
+    /// Number of frames.
+    fn len(&self) -> usize;
+    /// Returns true for a zero-length dataset.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Renders frame `idx` (the clean, full-resolution sensor+ISP
+    /// output the pipeline then processes).
+    fn frame(&self, idx: usize) -> GrayFrame;
+}

@@ -1,0 +1,240 @@
+use super::VideoDataset;
+use rpr_frame::{GrayFrame, Plane, Rect};
+use rpr_sensor::ValueNoise;
+
+/// Joint labels of the synthetic skeleton, head to ankles.
+const JOINTS: usize = 13;
+
+/// A posed skeleton: 13 joints in image coordinates
+/// (head, neck, 2 shoulders, 2 elbows, 2 wrists, 2 hips, 2 knees,
+/// 2 ankles — head and neck share the top slots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skeleton {
+    /// Joint positions `(x, y)` in image coordinates.
+    pub joints: [(f64, f64); JOINTS],
+}
+
+impl Skeleton {
+    /// Bones as index pairs into [`Skeleton::joints`].
+    pub const BONES: [(usize, usize); 12] = [
+        (0, 1),   // head - neck
+        (1, 2),   // neck - left shoulder
+        (1, 3),   // neck - right shoulder
+        (2, 4),   // left shoulder - elbow
+        (3, 5),   // right shoulder - elbow
+        (4, 6),   // left elbow - wrist
+        (5, 7),   // right elbow - wrist
+        (1, 8),   // neck - left hip
+        (1, 9),   // neck - right hip
+        (8, 10),  // left hip - knee
+        (9, 11),  // right hip - knee
+        (10, 12), // left knee - ankle
+    ];
+
+    /// Tight bounding box around all joints, padded by `margin`,
+    /// clamped to a `w x h` frame.
+    pub fn bbox(&self, margin: f64, w: u32, h: u32) -> Rect {
+        let min_x = self.joints.iter().map(|j| j.0).fold(f64::MAX, f64::min) - margin;
+        let max_x = self.joints.iter().map(|j| j.0).fold(f64::MIN, f64::max) + margin;
+        let min_y = self.joints.iter().map(|j| j.1).fold(f64::MAX, f64::min) - margin;
+        let max_y = self.joints.iter().map(|j| j.1).fold(f64::MIN, f64::max) + margin;
+        let x0 = min_x.max(0.0) as u32;
+        let y0 = min_y.max(0.0) as u32;
+        let x1 = (max_x.min(f64::from(w))).max(0.0) as u32;
+        let y1 = (max_y.min(f64::from(h))).max(0.0) as u32;
+        Rect::new(x0, y0, x1.saturating_sub(x0).max(1), y1.saturating_sub(y0).max(1))
+    }
+}
+
+/// The human-pose benchmark: an articulated stick figure walking across
+/// a mildly textured background — the stand-in for PoseTrack 2017
+/// (§5.3). Ground truth is the exact skeleton per frame.
+///
+/// # Example
+///
+/// ```
+/// use rpr_workloads::datasets::{PoseDataset, VideoDataset};
+///
+/// let ds = PoseDataset::new(192, 144, 8, 3);
+/// let skel = ds.gt_skeleton(0);
+/// let bbox = skel.bbox(6.0, 192, 144);
+/// assert!(bbox.w > 10 && bbox.h > 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoseDataset {
+    name: String,
+    width: u32,
+    height: u32,
+    frames: usize,
+    seed: u64,
+}
+
+impl PoseDataset {
+    /// Creates a sequence.
+    pub fn new(width: u32, height: u32, frames: usize, seed: u64) -> Self {
+        PoseDataset { name: format!("pose-seq{seed}"), width, height, frames, seed }
+    }
+
+    /// Ground-truth skeleton of frame `idx`.
+    pub fn gt_skeleton(&self, idx: usize) -> Skeleton {
+        let t = idx as f64;
+        let w = f64::from(self.width);
+        let h = f64::from(self.height);
+        // Body scale relative to the frame.
+        let s = h / 4.0;
+        // Walk across the frame and back (triangle wave), with gait sway.
+        let period = 3.0 * w;
+        let raw = (t * 1.5 + (self.seed % 97) as f64).rem_euclid(period);
+        let cx = if raw < period / 2.0 { raw } else { period - raw } / (period / 2.0)
+            * (w * 0.6)
+            + w * 0.2;
+        let cy = h * 0.45 + (t * 0.21).sin() * h * 0.02;
+        let phase = t * 0.35;
+
+        let swing = phase.sin();
+        let counter = -swing;
+        let mut joints = [(0.0, 0.0); JOINTS];
+        joints[0] = (cx, cy - s * 1.25); // head
+        joints[1] = (cx, cy - s * 0.9); // neck
+        joints[2] = (cx - s * 0.35, cy - s * 0.85); // L shoulder
+        joints[3] = (cx + s * 0.35, cy - s * 0.85); // R shoulder
+        joints[4] = (cx - s * 0.45 + swing * s * 0.2, cy - s * 0.4); // L elbow
+        joints[5] = (cx + s * 0.45 + counter * s * 0.2, cy - s * 0.4); // R elbow
+        joints[6] = (cx - s * 0.5 + swing * s * 0.4, cy + s * 0.05); // L wrist
+        joints[7] = (cx + s * 0.5 + counter * s * 0.4, cy + s * 0.05); // R wrist
+        joints[8] = (cx - s * 0.2, cy); // L hip
+        joints[9] = (cx + s * 0.2, cy); // R hip
+        joints[10] = (cx - s * 0.22 + swing * s * 0.3, cy + s * 0.55); // L knee
+        joints[11] = (cx + s * 0.22 + counter * s * 0.3, cy + s * 0.55); // R knee
+        joints[12] = (cx - s * 0.24 + swing * s * 0.55, cy + s * 1.1); // L ankle
+        Skeleton { joints }
+    }
+
+    /// Ground-truth person bounding box of frame `idx`.
+    pub fn gt_bbox(&self, idx: usize) -> Rect {
+        self.gt_skeleton(idx).bbox(8.0, self.width, self.height)
+    }
+}
+
+/// Draws a bright thick line segment.
+fn draw_limb(frame: &mut GrayFrame, p0: (f64, f64), p1: (f64, f64), half_w: f64, value: u8) {
+    let x_lo = (p0.0.min(p1.0) - half_w).floor().max(0.0) as u32;
+    let x_hi = ((p0.0.max(p1.0) + half_w).ceil() as u32).min(frame.width());
+    let y_lo = (p0.1.min(p1.1) - half_w).floor().max(0.0) as u32;
+    let y_hi = ((p0.1.max(p1.1) + half_w).ceil() as u32).min(frame.height());
+    let dx = p1.0 - p0.0;
+    let dy = p1.1 - p0.1;
+    let len2 = dx * dx + dy * dy;
+    for y in y_lo..y_hi {
+        for x in x_lo..x_hi {
+            let px = f64::from(x) - p0.0;
+            let py = f64::from(y) - p0.1;
+            let u = if len2 == 0.0 { 0.0 } else { ((px * dx + py * dy) / len2).clamp(0.0, 1.0) };
+            let ex = px - u * dx;
+            let ey = py - u * dy;
+            if ex * ex + ey * ey <= half_w * half_w {
+                frame.set(x, y, value);
+            }
+        }
+    }
+}
+
+impl VideoDataset for PoseDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn len(&self) -> usize {
+        self.frames
+    }
+
+    fn frame(&self, idx: usize) -> GrayFrame {
+        // Dim textured background (kept below the blob threshold).
+        let noise = ValueNoise::new(self.seed);
+        let mut frame: GrayFrame =
+            Plane::from_fn(self.width, self.height, |x, y| {
+                (20.0 + noise.fbm(f64::from(x), f64::from(y), 3, 0.03) * 70.0) as u8
+            });
+        let skel = self.gt_skeleton(idx);
+        let s = f64::from(self.height) / 4.0;
+        // Thin limbs: crisp at native resolution, washed out by
+        // downscaling — the resolution sensitivity a pose network has.
+        for &(a, b) in &Skeleton::BONES {
+            draw_limb(&mut frame, skel.joints[a], skel.joints[b], (s * 0.045).max(1.2), 230);
+        }
+        // Head disc.
+        let head = skel.joints[0];
+        draw_limb(&mut frame, head, head, s * 0.18, 230);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_vision::detect_blobs;
+
+    #[test]
+    fn skeleton_is_deterministic() {
+        let ds = PoseDataset::new(160, 120, 10, 5);
+        assert_eq!(ds.gt_skeleton(4), ds.gt_skeleton(4));
+        assert_eq!(ds.frame(4), ds.frame(4));
+    }
+
+    #[test]
+    fn person_moves_over_time() {
+        let ds = PoseDataset::new(160, 120, 60, 5);
+        let a = ds.gt_bbox(0);
+        let b = ds.gt_bbox(30);
+        assert_ne!((a.x, a.y), (b.x, b.y));
+    }
+
+    #[test]
+    fn person_is_one_bright_blob_matching_gt_bbox() {
+        let ds = PoseDataset::new(192, 144, 5, 6);
+        let frame = ds.frame(2);
+        let blobs = detect_blobs(&frame, 160, 30);
+        assert!(!blobs.is_empty());
+        let iou = blobs[0].bbox.iou(&ds.gt_bbox(2));
+        assert!(iou > 0.5, "blob/gt IoU {iou}");
+    }
+
+    #[test]
+    fn background_stays_below_threshold() {
+        let ds = PoseDataset::new(128, 96, 3, 7);
+        let frame = ds.frame(0);
+        let gt = ds.gt_bbox(0);
+        for y in 0..96 {
+            for x in 0..128 {
+                if !gt.contains(x, y) {
+                    assert!(frame.get(x, y).unwrap() < 160, "bright background at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_clamped_to_frame() {
+        let ds = PoseDataset::new(96, 96, 200, 8);
+        for idx in (0..200).step_by(17) {
+            let b = ds.gt_bbox(idx);
+            assert!(b.right() <= 96 && b.bottom() <= 96, "frame {idx}: {b}");
+        }
+    }
+
+    #[test]
+    fn gait_animates_joints() {
+        let ds = PoseDataset::new(160, 120, 30, 9);
+        let w0 = ds.gt_skeleton(0).joints[6];
+        let w5 = ds.gt_skeleton(5).joints[6];
+        assert!((w0.0 - w5.0).abs() + (w0.1 - w5.1).abs() > 1.0, "wrist frozen");
+    }
+}

@@ -1,0 +1,156 @@
+use super::VideoDataset;
+use rpr_frame::GrayFrame;
+use rpr_sensor::{CameraPose, TextureWorld, Trajectory};
+use rpr_vision::Pose2d;
+
+/// The visual-SLAM benchmark: a camera translating and rotating over a
+/// large, corner-rich textured plane, with exact ground-truth poses.
+///
+/// This is the planar stand-in for the paper's TUM and in-house 4K
+/// indoor sequences: visual odometry must track hundreds of ORB
+/// features frame to frame, and the trajectory-error metrics compare
+/// the estimate against the generator's own camera path.
+/// `mm_per_px` converts image-plane units into millimetres so ATE is
+/// reported in the paper's units.
+///
+/// # Example
+///
+/// ```
+/// use rpr_workloads::datasets::{SlamDataset, VideoDataset};
+///
+/// let ds = SlamDataset::new(160, 120, 10, 42);
+/// assert_eq!(ds.len(), 10);
+/// let f0 = ds.frame(0);
+/// assert_eq!(f0.width(), 160);
+/// // Deterministic: re-rendering gives identical pixels.
+/// assert_eq!(ds.frame(3), ds.frame(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlamDataset {
+    name: String,
+    world: TextureWorld,
+    trajectory: Trajectory,
+    width: u32,
+    height: u32,
+    /// Millimetres represented by one pixel of camera motion.
+    pub mm_per_px: f64,
+}
+
+impl SlamDataset {
+    /// World size relative to the view, fixed so the camera always has
+    /// texture under it.
+    fn world_dims(width: u32, height: u32) -> (u32, u32) {
+        (width * 4, height * 4)
+    }
+
+    /// Creates a `width x height`, `frames`-long sequence from `seed`.
+    pub fn new(width: u32, height: u32, frames: usize, seed: u64) -> Self {
+        let (ww, wh) = Self::world_dims(width, height);
+        let world = TextureWorld::generate(ww, wh, seed);
+        // Margin: half the view diagonal so rotations never sample
+        // outside the world.
+        let margin = ((width * width + height * height) as f64).sqrt() as u32 / 2 + 8;
+        let trajectory = Trajectory::generate(ww, wh, frames, margin, seed ^ 0x51A8);
+        SlamDataset {
+            name: format!("slam-seq{seed}"),
+            world,
+            trajectory,
+            width,
+            height,
+            mm_per_px: 2.0,
+        }
+    }
+
+    /// Ground-truth camera pose of frame `idx`.
+    pub fn gt_pose(&self, idx: usize) -> CameraPose {
+        self.trajectory.pose(idx)
+    }
+
+    /// Ground-truth trajectory as metric poses (positions in mm).
+    pub fn gt_trajectory_mm(&self) -> Vec<Pose2d> {
+        self.trajectory
+            .poses()
+            .iter()
+            .map(|p| Pose2d::new(p.x * self.mm_per_px, p.y * self.mm_per_px, p.theta))
+            .collect()
+    }
+
+    /// The underlying world (for rendering composites in examples).
+    pub fn world(&self) -> &TextureWorld {
+        &self.world
+    }
+}
+
+impl VideoDataset for SlamDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn len(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    fn frame(&self, idx: usize) -> GrayFrame {
+        self.world
+            .render_view_gray(&self.trajectory.pose(idx), self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_vision::{match_descriptors, OrbDetector};
+
+    #[test]
+    fn frames_are_deterministic_and_sized() {
+        let ds = SlamDataset::new(128, 96, 5, 7);
+        assert_eq!(ds.frame(2), ds.frame(2));
+        assert_eq!(ds.frame(0).width(), 128);
+        assert_eq!(ds.frame(0).height(), 96);
+    }
+
+    #[test]
+    fn consecutive_frames_differ_but_overlap() {
+        let ds = SlamDataset::new(128, 96, 20, 8);
+        let a = ds.frame(5);
+        let b = ds.frame(6);
+        assert_ne!(a, b, "camera must move");
+        // The motion is small: most content is shared, so PSNR between
+        // consecutive frames stays moderate-to-high.
+        let psnr = a.psnr(&b).unwrap();
+        assert!(psnr > 10.0, "frames jumped too far: psnr {psnr}");
+    }
+
+    #[test]
+    fn frames_are_feature_rich() {
+        let ds = SlamDataset::new(192, 144, 3, 9);
+        let feats = OrbDetector::default().detect(&ds.frame(0));
+        assert!(feats.len() >= 30, "only {} features", feats.len());
+    }
+
+    #[test]
+    fn consecutive_frames_are_matchable() {
+        let ds = SlamDataset::new(192, 144, 5, 10);
+        let orb = OrbDetector::default();
+        let a = orb.detect(&ds.frame(0));
+        let b = orb.detect(&ds.frame(1));
+        let matches = match_descriptors(&a, &b, 64, 0.8);
+        assert!(matches.len() >= 10, "only {} matches", matches.len());
+    }
+
+    #[test]
+    fn gt_trajectory_converts_units() {
+        let ds = SlamDataset::new(96, 96, 4, 11);
+        let mm = ds.gt_trajectory_mm();
+        assert_eq!(mm.len(), 4);
+        assert!((mm[0].x - ds.gt_pose(0).x * 2.0).abs() < 1e-12);
+    }
+}

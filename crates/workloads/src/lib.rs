@@ -1,0 +1,37 @@
+//! The paper's evaluation workloads, baselines, and experiment runner.
+//!
+//! Three vision tasks (paper Table 3) run over procedurally generated
+//! benchmark videos with exact ground truth:
+//!
+//! * **Visual SLAM** — ORB-style visual odometry over a textured world,
+//!   measured by absolute trajectory error and relative pose error;
+//! * **Human pose estimation** — skeleton tracking, measured by
+//!   IoU-based mean average precision;
+//! * **Face detection** — face tracking through a choke-point scene,
+//!   measured by mAP.
+//!
+//! Each task runs under the paper's baselines (§5.3): frame-based
+//! computing at high (`FCH`) and low (`FCL`) resolution, rhythmic pixel
+//! regions at cycle lengths 5/10/15 (`RPx`), a ≤16-region multi-ROI
+//! camera emulation, and an H.264 compression model. The
+//! [`runner`] module glues datasets, policies, the encoder/decoder, and
+//! the memory simulator into per-baseline experiment results; those
+//! results are what the `rpr-bench` binaries print as the paper's
+//! tables and figures.
+
+#![deny(missing_docs)]
+
+pub mod baselines;
+pub mod datasets;
+pub mod h264;
+pub mod progression;
+pub mod runner;
+pub mod stats;
+pub mod tasks;
+
+pub use baselines::Baseline;
+pub use datasets::{FaceDataset, PoseDataset, SlamDataset};
+pub use h264::{H264Model, H264Quality};
+pub use progression::progression_series;
+pub use runner::{ExperimentResult, Measurements, Pipeline, PipelineConfig, PolicyKind};
+pub use stats::{RegionStats, RegionStatsCollector};

@@ -1,0 +1,82 @@
+//! Per-frame captured-pixel progression — the data behind the paper's
+//! appendix Figs. 10–15, which show one full cycle of a workload with
+//! the percentage of pixels stored under each frame (100 % on full
+//! captures, ~20–45 % in between).
+
+/// Extracts one representative cycle of captured-pixel fractions from a
+/// run's per-frame series: the window of `cycle_length + 1` frames
+/// starting at the first full capture at or after `skip_warmup` frames
+/// (so the policy has features to work with), inclusive of the next
+/// full capture — exactly the "Frame 1 (100 %) … Frame 7 (100 %)" strip
+/// the paper prints.
+///
+/// Returns `None` when the series is too short.
+///
+/// # Example
+///
+/// ```
+/// use rpr_workloads::progression_series;
+///
+/// let fractions = vec![1.0, 0.4, 0.3, 1.0, 0.35, 0.28, 1.0, 0.4];
+/// let cycle = progression_series(&fractions, 3, 1).unwrap();
+/// assert_eq!(cycle, vec![1.0, 0.35, 0.28, 1.0]);
+/// ```
+pub fn progression_series(
+    fractions: &[f64],
+    cycle_length: u64,
+    skip_warmup: usize,
+) -> Option<Vec<f64>> {
+    let cl = cycle_length as usize;
+    if cl == 0 || fractions.len() < cl + 1 {
+        return None;
+    }
+    // Full captures land on multiples of the cycle length.
+    let mut start = skip_warmup.div_ceil(cl) * cl;
+    if start + cl >= fractions.len() {
+        start = (fractions.len() - cl - 1) / cl * cl;
+    }
+    let window = &fractions[start..=start + cl];
+    Some(window.to_vec())
+}
+
+/// Formats a progression window the way the paper captions frames:
+/// `"100% 37% 31% 34% 100%"`.
+pub fn format_progression(window: &[f64]) -> String {
+    window
+        .iter()
+        .map(|f| format!("{:.0}%", f * 100.0))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_cycle_after_warmup() {
+        let fr = vec![1.0, 0.5, 0.4, 1.0, 0.3, 0.2, 1.0];
+        let w = progression_series(&fr, 3, 2).unwrap();
+        assert_eq!(w, vec![1.0, 0.3, 0.2, 1.0]);
+    }
+
+    #[test]
+    fn clamps_to_available_frames() {
+        let fr = vec![1.0, 0.5, 0.4, 1.0, 0.3];
+        // Warmup beyond the last full cycle: fall back to the last
+        // complete window.
+        let w = progression_series(&fr, 3, 10).unwrap();
+        assert_eq!(w, vec![1.0, 0.5, 0.4, 1.0]);
+    }
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(progression_series(&[1.0, 0.4], 5, 0).is_none());
+        assert!(progression_series(&[1.0], 0, 0).is_none());
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(format_progression(&[1.0, 0.37, 0.31]), "100% 37% 31%");
+    }
+}

@@ -1,0 +1,146 @@
+//! Region-label statistics — the observed workload characterization of
+//! paper Table 4 (average number of regions, region size range, stride
+//! range, and temporal rate range).
+
+use rpr_core::RegionList;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated region statistics over the regional (non-full-capture)
+/// frames of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// Average number of regions per regional frame.
+    pub avg_regions: f64,
+    /// Smallest region edge observed `(w, h)`.
+    pub min_size: (u32, u32),
+    /// Largest region edge observed `(w, h)`.
+    pub max_size: (u32, u32),
+    /// Smallest stride observed.
+    pub min_stride: u32,
+    /// Largest stride observed.
+    pub max_stride: u32,
+    /// Fastest sampling interval observed, in milliseconds at the run's
+    /// frame rate (= skip_min / fps).
+    pub min_rate_ms: f64,
+    /// Slowest sampling interval observed, in milliseconds.
+    pub max_rate_ms: f64,
+    /// Regional frames observed.
+    pub frames: u64,
+}
+
+/// Accumulates the Table 4 statistics while a workload runs.
+#[derive(Debug, Clone)]
+pub struct RegionStatsCollector {
+    fps: f64,
+    region_counts: Vec<usize>,
+    min_size: (u32, u32),
+    max_size: (u32, u32),
+    min_stride: u32,
+    max_stride: u32,
+    min_skip: u32,
+    max_skip: u32,
+}
+
+impl RegionStatsCollector {
+    /// Creates a collector for a run at `fps`.
+    pub fn new(fps: f64) -> Self {
+        RegionStatsCollector {
+            fps,
+            region_counts: Vec::new(),
+            min_size: (u32::MAX, u32::MAX),
+            max_size: (0, 0),
+            min_stride: u32::MAX,
+            max_stride: 0,
+            min_skip: u32::MAX,
+            max_skip: 0,
+        }
+    }
+
+    /// Records a planned region list. `is_full_capture` frames are
+    /// excluded (Table 4 characterizes the feature-guided regions, not
+    /// the periodic full scans).
+    pub fn observe(&mut self, regions: &RegionList, is_full_capture: bool) {
+        if is_full_capture {
+            return;
+        }
+        self.region_counts.push(regions.len());
+        for r in regions {
+            self.min_size = (self.min_size.0.min(r.w), self.min_size.1.min(r.h));
+            self.max_size = (self.max_size.0.max(r.w), self.max_size.1.max(r.h));
+            self.min_stride = self.min_stride.min(r.stride);
+            self.max_stride = self.max_stride.max(r.stride);
+            self.min_skip = self.min_skip.min(r.skip);
+            self.max_skip = self.max_skip.max(r.skip);
+        }
+    }
+
+    /// Finalizes the statistics; `None` when no regional frame carried
+    /// any region.
+    pub fn finish(&self) -> Option<RegionStats> {
+        if self.region_counts.is_empty() || self.max_stride == 0 {
+            return None;
+        }
+        let avg = self.region_counts.iter().sum::<usize>() as f64
+            / self.region_counts.len() as f64;
+        let frame_ms = 1000.0 / self.fps;
+        Some(RegionStats {
+            avg_regions: avg,
+            min_size: self.min_size,
+            max_size: self.max_size,
+            min_stride: self.min_stride,
+            max_stride: self.max_stride,
+            min_rate_ms: f64::from(self.min_skip) * frame_ms,
+            max_rate_ms: f64::from(self.max_skip) * frame_ms,
+            frames: self.region_counts.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::RegionLabel;
+
+    fn list(labels: Vec<RegionLabel>) -> RegionList {
+        RegionList::new_lossy(640, 480, labels)
+    }
+
+    #[test]
+    fn collects_ranges() {
+        let mut c = RegionStatsCollector::new(30.0);
+        c.observe(
+            &list(vec![
+                RegionLabel::new(0, 0, 70, 70, 1, 1),
+                RegionLabel::new(100, 100, 230, 230, 4, 3),
+            ]),
+            false,
+        );
+        c.observe(&list(vec![RegionLabel::new(0, 0, 90, 80, 2, 2)]), false);
+        let s = c.finish().unwrap();
+        assert_eq!(s.frames, 2);
+        assert!((s.avg_regions - 1.5).abs() < 1e-12);
+        assert_eq!(s.min_size, (70, 70));
+        assert_eq!(s.max_size, (230, 230));
+        assert_eq!(s.min_stride, 1);
+        assert_eq!(s.max_stride, 4);
+        // 30 fps: skip 1 → 33.3 ms, skip 3 → 100 ms — Table 4's rates.
+        assert!((s.min_rate_ms - 33.33).abs() < 0.1);
+        assert!((s.max_rate_ms - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn full_captures_excluded() {
+        let mut c = RegionStatsCollector::new(30.0);
+        c.observe(&RegionList::full_frame(640, 480), true);
+        assert!(c.finish().is_none());
+        c.observe(&list(vec![RegionLabel::new(0, 0, 50, 50, 1, 1)]), false);
+        let s = c.finish().unwrap();
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.max_size, (50, 50));
+    }
+
+    #[test]
+    fn empty_collector_is_none() {
+        assert!(RegionStatsCollector::new(30.0).finish().is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! The face-detection workload (paper §5.3): faces tracked through a
+//! choke-point scene, measured by IoU mAP, with regions planned from
+//! face trajectories ("we use face trajectory for face detection …
+//! for determining the regions", §5.3.2).
+
+use super::detection_displacements;
+use crate::datasets::{FaceDataset, VideoDataset};
+use crate::runner::{Measurements, Pipeline, PipelineConfig};
+use crate::Baseline;
+use rpr_frame::Rect;
+use rpr_vision::{detect_blobs, mean_average_precision};
+use serde::{Deserialize, Serialize};
+
+/// Result of one face-detection run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaceOutcome {
+    /// IoU-0.5 mean average precision over all frames.
+    pub map: f64,
+    /// Per-frame average precision.
+    pub per_frame_ap: Vec<f64>,
+    /// Memory-side measurements.
+    pub measurements: Measurements,
+}
+
+/// Runs the face workload on `dataset` under `baseline`.
+pub fn run_face(dataset: &FaceDataset, baseline: Baseline) -> FaceOutcome {
+    run_face_with(dataset, PipelineConfig::new(dataset.width(), dataset.height(), baseline))
+}
+
+/// Runs the face workload with an explicit pipeline configuration.
+pub fn run_face_with(dataset: &FaceDataset, cfg: PipelineConfig) -> FaceOutcome {
+    let mut pipeline = Pipeline::new(cfg);
+    let frame_area = u64::from(dataset.width()) * u64::from(dataset.height());
+    let mut policy_detections: Vec<(Rect, f64)> = Vec::new();
+    let mut prev_boxes: Vec<Rect> = Vec::new();
+    let mut frames_eval = Vec::new();
+
+    for t in 0..dataset.len() {
+        let raw = dataset.frame(t);
+        let processed = pipeline.process_frame(&raw, Vec::new(), policy_detections.clone());
+
+        // Faces: bright blobs of face-like area and aspect ratio, with
+        // resolved facial structure. A real face detector keys on the
+        // dark eye/mouth pattern; blur or downscaling erases it, which
+        // is the paper's FCL accuracy-loss mechanism.
+        let detections: Vec<(Rect, f64)> = detect_blobs(&processed, 150, frame_area / 900)
+            .into_iter()
+            .filter(|b| {
+                let aspect = f64::from(b.bbox.h) / f64::from(b.bbox.w.max(1));
+                b.area < frame_area / 6
+                    && (0.6..=2.2).contains(&aspect)
+                    && eye_mouth_fraction(&processed, &b.bbox) >= 0.025
+            })
+            .map(|b| (b.bbox, b.area as f64))
+            .collect();
+        let gts = dataset.gt_bboxes(t);
+        frames_eval.push((detections.clone(), gts));
+
+        let boxes: Vec<Rect> = detections.iter().map(|(r, _)| *r).collect();
+        policy_detections = detection_displacements(&boxes, &prev_boxes, 8.0);
+        prev_boxes = boxes;
+    }
+
+    let map = mean_average_precision(&frames_eval, 0.5);
+    let per_frame_ap = frames_eval
+        .iter()
+        .map(|(d, g)| rpr_vision::average_precision(d, g, 0.5))
+        .collect();
+    FaceOutcome { map, per_frame_ap, measurements: pipeline.finish() }
+}
+
+/// Fraction of dark (eye/mouth) pixels inside the inscribed ellipse of
+/// a candidate box — the facial-structure proxy. Pixels outside the
+/// ellipse (background corners) are excluded.
+fn eye_mouth_fraction(frame: &rpr_frame::GrayFrame, bbox: &Rect) -> f64 {
+    let (cx, cy) = bbox.center();
+    let hw = f64::from(bbox.w) / 2.0;
+    let hh = f64::from(bbox.h) / 2.0;
+    let mut dark = 0u64;
+    let mut total = 0u64;
+    for y in bbox.y..bbox.bottom().min(frame.height()) {
+        for x in bbox.x..bbox.right().min(frame.width()) {
+            let nx = (f64::from(x) - cx) / hw.max(1.0);
+            let ny = (f64::from(y) - cy) / hh.max(1.0);
+            if nx * nx + ny * ny > 0.8 {
+                continue;
+            }
+            total += 1;
+            if frame.get(x, y).unwrap_or(255) < 80 {
+                dark += 1;
+            }
+        }
+    }
+    dark as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> FaceDataset {
+        FaceDataset::new(192, 144, 24, 3, 21)
+    }
+
+    #[test]
+    fn fch_detects_faces_well() {
+        let out = run_face(&dataset(), Baseline::Fch);
+        assert!(out.map > 0.6, "FCH mAP {}", out.map);
+    }
+
+    #[test]
+    fn rp_reduces_traffic_with_bounded_loss() {
+        let ds = dataset();
+        let fch = run_face(&ds, Baseline::Fch);
+        let rp = run_face(&ds, Baseline::Rp { cycle_length: 5 });
+        assert!(
+            rp.measurements.traffic.write_bytes < fch.measurements.traffic.write_bytes
+        );
+        assert!(rp.map > fch.map * 0.5, "RP mAP {} vs FCH {}", rp.map, fch.map);
+    }
+
+    #[test]
+    fn higher_cycle_length_discards_more() {
+        let ds = FaceDataset::new(192, 144, 31, 3, 22);
+        let rp5 = run_face(&ds, Baseline::Rp { cycle_length: 5 });
+        let rp15 = run_face(&ds, Baseline::Rp { cycle_length: 15 });
+        assert!(
+            rp15.measurements.traffic.write_bytes < rp5.measurements.traffic.write_bytes,
+            "RP15 {} vs RP5 {}",
+            rp15.measurements.traffic.write_bytes,
+            rp5.measurements.traffic.write_bytes
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! The human-pose-estimation workload (paper §5.3): person tracking by
+//! bright-skeleton blob detection, measured by IoU mAP, with regions
+//! planned from the tracked person box ("skeletal pose joints for
+//! determining the regions", §5.3.2).
+
+use super::detection_displacements;
+use crate::datasets::{PoseDataset, VideoDataset};
+use crate::runner::{Measurements, Pipeline, PipelineConfig};
+use crate::Baseline;
+use rpr_frame::Rect;
+use rpr_vision::{detect_blobs, mean_average_precision};
+use serde::{Deserialize, Serialize};
+
+/// Result of one pose-estimation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoseOutcome {
+    /// IoU-0.5 mean average precision over all frames, in `[0, 1]`.
+    pub map: f64,
+    /// Per-frame average precision.
+    pub per_frame_ap: Vec<f64>,
+    /// Memory-side measurements.
+    pub measurements: Measurements,
+}
+
+/// Runs the pose workload on `dataset` under `baseline`.
+pub fn run_pose(dataset: &PoseDataset, baseline: Baseline) -> PoseOutcome {
+    run_pose_with(dataset, PipelineConfig::new(dataset.width(), dataset.height(), baseline))
+}
+
+/// Runs the pose workload with an explicit pipeline configuration.
+pub fn run_pose_with(dataset: &PoseDataset, cfg: PipelineConfig) -> PoseOutcome {
+    let mut pipeline = Pipeline::new(cfg);
+    let min_area = u64::from(dataset.width()) * u64::from(dataset.height()) / 600;
+    let mut policy_detections: Vec<(Rect, f64)> = Vec::new();
+    let mut prev_boxes: Vec<Rect> = Vec::new();
+    let mut frames_eval = Vec::new();
+
+    for t in 0..dataset.len() {
+        let raw = dataset.frame(t);
+        let processed = pipeline.process_frame(&raw, Vec::new(), policy_detections.clone());
+
+        // The person is the single dominant bright blob — but a
+        // detection only counts when the skeleton is actually
+        // *resolved*: a real pose network needs crisp limb pixels, so
+        // we gate on the fraction of near-full-brightness pixels in the
+        // box (box-filter downscaling and blur wash these out, which is
+        // how FCL loses accuracy in the paper).
+        let blobs = detect_blobs(&processed, 150, min_area.max(8));
+        let detections: Vec<(Rect, f64)> = blobs
+            .first()
+            .filter(|b| crisp_fraction(&processed, &b.bbox) >= 0.08)
+            .map(|b| (b.bbox, b.area as f64))
+            .into_iter()
+            .collect();
+        let gts = vec![dataset.gt_bbox(t)];
+        frames_eval.push((detections.clone(), gts));
+
+        let boxes: Vec<Rect> = detections.iter().map(|(r, _)| *r).collect();
+        // Articulated limbs move ~2x faster than the body centroid the
+        // box tracker measures; scale the proxy so swinging wrists and
+        // ankles are still sampled at an adequate temporal rate.
+        policy_detections = detection_displacements(&boxes, &prev_boxes, 8.0)
+            .into_iter()
+            .map(|(r, d)| (r, d * 2.0))
+            .collect();
+        prev_boxes = boxes;
+    }
+
+    let map = mean_average_precision(&frames_eval, 0.5);
+    let per_frame_ap = frames_eval
+        .iter()
+        .map(|(d, g)| rpr_vision::average_precision(d, g, 0.5))
+        .collect();
+    PoseOutcome { map, per_frame_ap, measurements: pipeline.finish() }
+}
+
+/// Fraction of pixels in `bbox` at near-full skeleton brightness
+/// (≥ 210 of the renderer's 230) — the limb-resolution proxy.
+fn crisp_fraction(frame: &rpr_frame::GrayFrame, bbox: &Rect) -> f64 {
+    let mut crisp = 0u64;
+    for y in bbox.y..bbox.bottom().min(frame.height()) {
+        for x in bbox.x..bbox.right().min(frame.width()) {
+            if frame.get(x, y).unwrap_or(0) >= 210 {
+                crisp += 1;
+            }
+        }
+    }
+    crisp as f64 / bbox.area().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> PoseDataset {
+        PoseDataset::new(192, 144, 20, 5)
+    }
+
+    #[test]
+    fn fch_map_is_high() {
+        let out = run_pose(&dataset(), Baseline::Fch);
+        assert!(out.map > 0.8, "FCH mAP {}", out.map);
+        assert_eq!(out.per_frame_ap.len(), 20);
+    }
+
+    #[test]
+    fn rp_trades_little_accuracy_for_traffic() {
+        let ds = dataset();
+        let fch = run_pose(&ds, Baseline::Fch);
+        let rp = run_pose(&ds, Baseline::Rp { cycle_length: 5 });
+        assert!(
+            rp.measurements.traffic.write_bytes < fch.measurements.traffic.write_bytes
+        );
+        assert!(rp.map > fch.map * 0.6, "RP mAP {} vs FCH {}", rp.map, fch.map);
+    }
+
+    #[test]
+    fn fcl_hurts_map() {
+        let ds = dataset();
+        let fch = run_pose(&ds, Baseline::Fch);
+        let fcl = run_pose(&ds, Baseline::Fcl { factor: 4 });
+        assert!(fcl.map <= fch.map + 1e-9, "FCL {} vs FCH {}", fcl.map, fch.map);
+    }
+}

@@ -1,0 +1,63 @@
+//! A fitness-coach scenario: human pose tracking where the articulated
+//! person region needs dense, fast sampling but the static room does
+//! not. Shows the per-region stride/skip adaptation the paper derives
+//! from region size and motion (§5.3.2).
+//!
+//! Run with: `cargo run --release --example pose_fitness`
+
+use rhythmic_pixel_regions::workloads::datasets::VideoDataset;
+use rhythmic_pixel_regions::workloads::tasks::run_pose;
+use rhythmic_pixel_regions::workloads::{Baseline, PoseDataset};
+
+fn main() {
+    let dataset = PoseDataset::new(320, 240, 61, 11);
+    println!(
+        "fitness scene: {} frames of {}x{}, one articulated skeleton\n",
+        dataset.len(),
+        dataset.width(),
+        dataset.height()
+    );
+
+    println!(
+        "{:<10} {:>8} {:>13} {:>13} {:>9}",
+        "baseline", "mAP (%)", "traffic MB/s", "footprint MB", "px kept"
+    );
+    for baseline in [
+        Baseline::Fch,
+        Baseline::Fcl { factor: 3 },
+        Baseline::Rp { cycle_length: 10 },
+        Baseline::MultiRoi { max_regions: 16, cycle_length: 10 },
+    ] {
+        let out = run_pose(&dataset, baseline);
+        println!(
+            "{:<10} {:>8.1} {:>13.2} {:>13.3} {:>8.0}%",
+            baseline.label(),
+            out.map * 100.0,
+            out.measurements.traffic.throughput_mb_s,
+            out.measurements.mean_footprint_bytes / 1e6,
+            out.measurements.mean_captured_fraction() * 100.0
+        );
+    }
+
+    let rp = run_pose(&dataset, Baseline::Rp { cycle_length: 10 });
+    if let Some(stats) = rp.measurements.region_stats {
+        println!(
+            "\nRP10 person regions: avg {:.1}/frame, {}x{}..{}x{}, stride {}..{}, \
+             sampled every {:.0}..{:.0} ms",
+            stats.avg_regions,
+            stats.min_size.0,
+            stats.min_size.1,
+            stats.max_size.0,
+            stats.max_size.1,
+            stats.min_stride,
+            stats.max_stride,
+            stats.min_rate_ms,
+            stats.max_rate_ms
+        );
+    }
+    println!(
+        "\nDownscaling the whole frame (FCL) destroys the thin-limb detail the\n\
+         pose estimator needs; rhythmic regions keep the person crisp while\n\
+         the static room is dropped — the paper's Table 1 trade-off."
+    );
+}

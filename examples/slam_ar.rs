@@ -1,0 +1,62 @@
+//! The paper's motivating AR scenario: visual SLAM tracking a camera
+//! over a textured environment, comparing frame-based capture against
+//! rhythmic pixel regions end to end — accuracy, traffic, footprint,
+//! and energy.
+//!
+//! Run with: `cargo run --release --example slam_ar`
+
+use rhythmic_pixel_regions::memsim::{EnergyModel, FrameActivity};
+use rhythmic_pixel_regions::workloads::datasets::VideoDataset;
+use rhythmic_pixel_regions::workloads::tasks::run_slam;
+use rhythmic_pixel_regions::workloads::{Baseline, SlamDataset};
+
+fn main() {
+    let dataset = SlamDataset::new(320, 240, 61, 42);
+    println!(
+        "dataset: {} frames of {}x{}, ground-truth camera trajectory (mm units)\n",
+        dataset.len(),
+        dataset.width(),
+        dataset.height()
+    );
+
+    let energy = EnergyModel::paper_defaults();
+    let bpp = 3u64; // RGB888 accounting
+    println!(
+        "{:<10} {:>9} {:>12} {:>13} {:>11} {:>12}",
+        "baseline", "ATE (mm)", "traffic MB/s", "footprint MB", "px kept", "energy mJ/fr"
+    );
+    for baseline in [
+        Baseline::Fch,
+        Baseline::Fcl { factor: 4 },
+        Baseline::Rp { cycle_length: 5 },
+        Baseline::Rp { cycle_length: 10 },
+        Baseline::Rp { cycle_length: 15 },
+    ] {
+        let out = run_slam(&dataset, baseline);
+        let m = &out.measurements;
+        let px = u64::from(dataset.width()) * u64::from(dataset.height());
+        let frames = m.captured_fractions.len() as u64;
+        let activity = FrameActivity {
+            sensed_px: px,
+            csi_px: px,
+            dram_written_px: m.traffic.write_bytes / bpp / frames.max(1),
+            dram_read_px: m.traffic.read_bytes / bpp / frames.max(1),
+            macs: 0,
+        };
+        println!(
+            "{:<10} {:>9.2} {:>12.2} {:>13.3} {:>10.0}% {:>12.2}",
+            baseline.label(),
+            out.ate_mm,
+            m.traffic.throughput_mb_s,
+            m.mean_footprint_bytes / 1e6,
+            m.mean_captured_fraction() * 100.0,
+            energy.frame_energy(&activity).total_mj(),
+        );
+    }
+
+    println!(
+        "\nThe rhythmic configurations keep the AR-relevant feature regions at\n\
+         full detail while discarding the rest — near-FCH trajectory accuracy\n\
+         at a fraction of the pixel memory traffic (paper Figs. 8-9)."
+    );
+}

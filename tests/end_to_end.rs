@@ -1,0 +1,166 @@
+//! Cross-crate integration: the full capture chain from synthetic
+//! scene through sensor, ISP, rhythmic encoder, DRAM model, and
+//! decoder, plus the hardware-model consistency checks.
+
+use rhythmic_pixel_regions::core::{
+    PixelStatus, RegionLabel, RegionList, RhythmicEncoder, RuntimeService, SoftwareDecoder,
+    StreamingEncoder,
+};
+use rhythmic_pixel_regions::frame::PixelFormat;
+use rhythmic_pixel_regions::hwsim::EncoderPipelineModel;
+use rhythmic_pixel_regions::isp::{IspConfig, IspPipeline};
+use rhythmic_pixel_regions::memsim::{DmaWriter, DramConfig, FramebufferPool, TrafficRecorder};
+use rhythmic_pixel_regions::sensor::{
+    CameraPose, ImageSensor, RasterScanStream, SensorConfig, TextureWorld,
+};
+
+const W: u32 = 96;
+const H: u32 = 64;
+
+fn capture_luma(t: u64) -> rhythmic_pixel_regions::frame::GrayFrame {
+    let world = TextureWorld::generate(512, 512, 11);
+    let pose = CameraPose::new(200.0 + t as f64 * 2.0, 220.0, 0.05 * t as f64);
+    let scene = world.render_view(&pose, W, H);
+    let sensor = ImageSensor::new(SensorConfig::noiseless(W, H));
+    let raw = sensor.capture(&scene, t);
+    IspPipeline::new(IspConfig::default()).process(&raw).luma
+}
+
+#[test]
+fn sensor_to_decoder_roundtrip_preserves_regional_pixels() {
+    let luma = capture_luma(0);
+    let regions = RegionList::new(
+        W,
+        H,
+        vec![
+            RegionLabel::new(10, 10, 30, 30, 1, 1),
+            RegionLabel::new(50, 20, 24, 24, 2, 1),
+        ],
+    )
+    .unwrap();
+    let mut enc = RhythmicEncoder::new(W, H);
+    let encoded = enc.encode(&luma, 0, &regions);
+    let mut dec = SoftwareDecoder::new(W, H);
+    let decoded = dec.decode(&encoded);
+
+    // Every full-resolution regional pixel survives the whole chain.
+    for y in 10..40 {
+        for x in 10..40 {
+            assert_eq!(decoded.get(x, y), luma.get(x, y), "({x},{y})");
+        }
+    }
+    // The strided region's anchors survive exactly.
+    for y in (20..44).step_by(2) {
+        for x in (50..74).step_by(2) {
+            assert_eq!(decoded.get(x, y), luma.get(x, y), "anchor ({x},{y})");
+        }
+    }
+    // Outside all regions: black.
+    assert_eq!(decoded.get(0, 60), Some(0));
+}
+
+#[test]
+fn raster_stream_drives_streaming_encoder_like_batch() {
+    let luma = capture_luma(1);
+    let regions =
+        RegionList::new(W, H, vec![RegionLabel::new(5, 5, 40, 40, 3, 2)]).unwrap();
+    let mut batch = RhythmicEncoder::new(W, H);
+    let expected = batch.encode(&luma, 3, &regions);
+
+    let mut streaming = StreamingEncoder::begin(W, H, 3, regions);
+    for event in RasterScanStream::new(&luma) {
+        streaming.push(event.value);
+    }
+    assert_eq!(streaming.finish(), expected);
+}
+
+#[test]
+fn dma_and_traffic_accounting_agree_with_encoder() {
+    let luma = capture_luma(2);
+    let regions = RegionList::new(
+        W,
+        H,
+        vec![RegionLabel::new(8, 8, 48, 32, 1, 1), RegionLabel::new(60, 40, 20, 20, 2, 1)],
+    )
+    .unwrap();
+    let mut enc = RhythmicEncoder::new(W, H);
+    let encoded = enc.encode(&luma, 0, &regions);
+
+    // Line-DMA writes exactly the payload bytes, sequentially.
+    let mut dma = DmaWriter::new(DramConfig::default(), 0);
+    for y in 0..H {
+        let span = encoded.metadata().row_offsets.row_span(y);
+        dma.push(span.len() as u64);
+        dma.end_line();
+    }
+    assert_eq!(dma.dram_stats().bytes_written, encoded.pixel_count() as u64);
+
+    // The traffic recorder sees payload + metadata.
+    let mut traffic = TrafficRecorder::new(30.0);
+    traffic.record_encoded_write(&encoded, PixelFormat::Gray8);
+    let s = traffic.summary();
+    assert_eq!(
+        s.write_bytes,
+        (encoded.payload_bytes() + encoded.metadata_bytes()) as u64
+    );
+
+    // The framebuffer pool admits the same footprint.
+    let mut pool = FramebufferPool::new(4);
+    pool.admit_encoded(&encoded, PixelFormat::Gray8);
+    assert_eq!(pool.current_bytes(), encoded.total_bytes() as u64);
+}
+
+#[test]
+fn hw_pipeline_model_consumes_real_schedules() {
+    let luma = capture_luma(3);
+    let regions = RegionList::new_lossy(
+        W,
+        H,
+        (0..24)
+            .map(|i| RegionLabel::new((i * 13) % (W - 8), (i * 17) % (H - 8), 8, 8, 1, 1))
+            .collect(),
+    );
+    let model = EncoderPipelineModel::paper_config();
+    let report = model.simulate(&luma, 0, &regions);
+    assert_eq!(report.pixels, u64::from(W) * u64::from(H));
+    assert!(report.meets_target, "24 scattered regions must not stall the encoder");
+    assert!(model.fps(&report) > 30.0);
+}
+
+#[test]
+fn runtime_service_runs_the_full_chain_across_threads() {
+    let service = RuntimeService::spawn(W, H);
+    service
+        .set_region_labels(vec![RegionLabel::new(4, 4, 32, 32, 1, 1)])
+        .unwrap();
+    let mut dec = SoftwareDecoder::new(W, H);
+    for t in 0..3 {
+        let luma = capture_luma(t);
+        let encoded = service.encode_frame(luma.clone()).unwrap();
+        assert_eq!(encoded.frame_idx(), t);
+        let decoded = dec.decode(&encoded);
+        assert_eq!(decoded.get(10, 10), luma.get(10, 10));
+    }
+    assert_eq!(service.stats().frames_encoded, 3);
+    service.shutdown();
+}
+
+#[test]
+fn temporal_skip_through_full_chain_shows_stale_content() {
+    let regions =
+        RegionList::new(W, H, vec![RegionLabel::new(0, 0, W, H, 1, 2)]).unwrap();
+    let mut enc = RhythmicEncoder::new(W, H);
+    let mut dec = SoftwareDecoder::new(W, H);
+
+    let f0 = capture_luma(10);
+    let d0 = dec.decode(&enc.encode(&f0, 0, &regions));
+    assert_eq!(d0, f0);
+
+    let f1 = capture_luma(11); // camera moved
+    let d1 = dec.decode(&enc.encode(&f1, 1, &regions));
+    assert_eq!(d1, f0, "skipped frame must replay the previous capture");
+    assert_eq!(
+        enc.stats().status_counts[PixelStatus::Skipped.bits() as usize],
+        u64::from(W) * u64::from(H)
+    );
+}

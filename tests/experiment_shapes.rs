@@ -1,0 +1,155 @@
+//! Paper-shape regression tests: small-scale versions of the
+//! evaluation must keep the qualitative relationships the paper
+//! reports (who wins, in which direction, with which monotonicity).
+
+use rhythmic_pixel_regions::workloads::tasks::{run_face, run_pose, run_slam};
+use rhythmic_pixel_regions::workloads::{Baseline, FaceDataset, PoseDataset, SlamDataset};
+
+fn slam_ds() -> SlamDataset {
+    SlamDataset::new(192, 144, 21, 501)
+}
+
+#[test]
+fn rp_reduces_slam_traffic_within_papers_band() {
+    // Abstract: "43 - 64% reduction in interface traffic".
+    let ds = slam_ds();
+    let fch = run_slam(&ds, Baseline::Fch);
+    let rp10 = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    let reduction = 1.0
+        - rp10.measurements.traffic.throughput_mb_s
+            / fch.measurements.traffic.throughput_mb_s;
+    assert!(
+        (0.30..=0.80).contains(&reduction),
+        "RP10 traffic reduction {reduction:.2} outside the plausible band"
+    );
+}
+
+#[test]
+fn traffic_decreases_monotonically_with_cycle_length() {
+    // §6.2: "memory traffic decreases by 5-10% with every 5 step
+    // increase in cycle length".
+    let ds = SlamDataset::new(192, 144, 31, 502);
+    let t5 = run_slam(&ds, Baseline::Rp { cycle_length: 5 })
+        .measurements
+        .traffic
+        .throughput_mb_s;
+    let t10 = run_slam(&ds, Baseline::Rp { cycle_length: 10 })
+        .measurements
+        .traffic
+        .throughput_mb_s;
+    let t15 = run_slam(&ds, Baseline::Rp { cycle_length: 15 })
+        .measurements
+        .traffic
+        .throughput_mb_s;
+    assert!(t5 > t10 && t10 > t15, "t5={t5:.2} t10={t10:.2} t15={t15:.2}");
+}
+
+#[test]
+fn footprint_roughly_halves_under_rp() {
+    // §6.2: "the average frame buffer size reduces by roughly 50%".
+    let ds = slam_ds();
+    let fch = run_slam(&ds, Baseline::Fch);
+    let rp10 = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    let ratio =
+        rp10.measurements.mean_footprint_bytes / fch.measurements.mean_footprint_bytes;
+    assert!((0.2..=0.8).contains(&ratio), "footprint ratio {ratio:.2}");
+}
+
+#[test]
+fn multiroi_costs_more_than_rp_on_slam() {
+    // §6.2: multi-ROI throughput "substantially higher for visual SLAM"
+    // because hundreds of fine regions merge into 16 coarse boxes.
+    let ds = slam_ds();
+    let rp = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    let roi = run_slam(&ds, Baseline::MultiRoi { max_regions: 16, cycle_length: 10 });
+    assert!(
+        roi.measurements.traffic.throughput_mb_s
+            > 1.5 * rp.measurements.traffic.throughput_mb_s,
+        "multi-ROI {:.2} vs RP {:.2}",
+        roi.measurements.traffic.throughput_mb_s,
+        rp.measurements.traffic.throughput_mb_s
+    );
+}
+
+#[test]
+fn h264_generates_the_most_traffic() {
+    // §6.2: "video compression generates a substantially higher amount
+    // of memory traffic since it operates on multiple frames".
+    let ds = slam_ds();
+    let fch = run_slam(&ds, Baseline::Fch);
+    let h264 = run_slam(&ds, Baseline::H264 { quality: rhythmic_pixel_regions::workloads::H264Quality::Medium });
+    let rp = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    assert!(
+        h264.measurements.traffic.throughput_mb_s
+            > fch.measurements.traffic.throughput_mb_s
+    );
+    assert!(
+        h264.measurements.traffic.throughput_mb_s
+            > 2.0 * rp.measurements.traffic.throughput_mb_s
+    );
+}
+
+#[test]
+fn slam_accuracy_ordering_fch_beats_rp_beats_fcl() {
+    let ds = SlamDataset::new(192, 144, 26, 503);
+    let fch = run_slam(&ds, Baseline::Fch);
+    let rp10 = run_slam(&ds, Baseline::Rp { cycle_length: 10 });
+    let fcl = run_slam(&ds, Baseline::Fcl { factor: 4 });
+    // RP tracks FCH closely (within a small multiple on this synthetic
+    // scene); FCL is clearly worse than FCH.
+    assert!(rp10.ate_mm < fcl.ate_mm, "RP {} vs FCL {}", rp10.ate_mm, fcl.ate_mm);
+    assert!(fcl.ate_mm > 1.5 * fch.ate_mm, "FCL {} vs FCH {}", fcl.ate_mm, fch.ate_mm);
+}
+
+#[test]
+fn detection_tasks_keep_accuracy_under_rp_but_not_fcl() {
+    let pose_ds = PoseDataset::new(192, 144, 21, 504);
+    let pose_fch = run_pose(&pose_ds, Baseline::Fch);
+    let pose_rp = run_pose(&pose_ds, Baseline::Rp { cycle_length: 10 });
+    let pose_fcl = run_pose(&pose_ds, Baseline::Fcl { factor: 4 });
+    assert!(pose_rp.map >= pose_fch.map - 0.25, "pose RP {}", pose_rp.map);
+    assert!(pose_fcl.map < pose_fch.map - 0.3, "pose FCL {}", pose_fcl.map);
+
+    let face_ds = FaceDataset::new(192, 144, 21, 3, 505);
+    let face_fch = run_face(&face_ds, Baseline::Fch);
+    let face_rp = run_face(&face_ds, Baseline::Rp { cycle_length: 10 });
+    let face_fcl = run_face(&face_ds, Baseline::Fcl { factor: 4 });
+    assert!(face_rp.map >= face_fch.map - 0.25, "face RP {}", face_rp.map);
+    assert!(face_fcl.map <= face_fch.map, "face FCL {}", face_fcl.map);
+}
+
+#[test]
+fn captured_fraction_is_full_on_cycle_boundaries_only() {
+    let ds = SlamDataset::new(160, 120, 16, 506);
+    let rp = run_slam(&ds, Baseline::Rp { cycle_length: 5 });
+    let fr = &rp.measurements.captured_fractions;
+    assert_eq!(fr.len(), 16);
+    for (i, &f) in fr.iter().enumerate() {
+        if i % 5 == 0 {
+            assert!((f - 1.0).abs() < 1e-12, "frame {i} should be a full capture");
+        } else {
+            assert!(f < 1.0, "frame {i} should be partial (got {f})");
+        }
+    }
+}
+
+#[test]
+fn experiment_results_serialize_to_json() {
+    use rhythmic_pixel_regions::workloads::ExperimentResult;
+    use std::collections::BTreeMap;
+    let ds = SlamDataset::new(128, 96, 11, 507);
+    let out = run_slam(&ds, Baseline::Rp { cycle_length: 5 });
+    let mut acc = BTreeMap::new();
+    acc.insert("ate_mm".to_string(), out.ate_mm);
+    let row = ExperimentResult::new(
+        "visual-slam",
+        "slam-507",
+        Baseline::Rp { cycle_length: 5 },
+        acc,
+        out.measurements,
+    );
+    let json = serde_json::to_string(&row).expect("serializable");
+    assert!(json.contains("\"baseline\":\"RP5\""));
+    let back: ExperimentResult = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(back.baseline, "RP5");
+}

@@ -1,0 +1,141 @@
+//! Cross-crate property tests: invariants that must hold for any
+//! region configuration across the whole capture pipeline.
+
+use proptest::prelude::*;
+use rhythmic_pixel_regions::core::{
+    Feature, RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder,
+};
+use rhythmic_pixel_regions::frame::{GrayFrame, Plane, Rect};
+use rhythmic_pixel_regions::hwsim::EncoderPipelineModel;
+use rhythmic_pixel_regions::workloads::{Baseline, Pipeline, PipelineConfig};
+
+fn frame(w: u32, h: u32, seed: u32) -> GrayFrame {
+    Plane::from_fn(w, h, |x, y| {
+        (x.wrapping_mul(23) ^ y.wrapping_mul(41) ^ seed.wrapping_mul(7)) as u8
+    })
+}
+
+fn labels_strategy(w: u32, h: u32) -> impl Strategy<Value = Vec<RegionLabel>> {
+    let region = (0..w, 0..h, 1u32..32, 1u32..32, 1u32..5, 1u32..4)
+        .prop_map(|(x, y, rw, rh, st, sk)| RegionLabel::new(x, y, rw, rh, st, sk));
+    proptest::collection::vec(region, 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Traffic, footprint, and fraction accounting are mutually
+    /// consistent for arbitrary rhythmic configurations.
+    #[test]
+    fn pipeline_accounting_is_consistent(
+        labels in labels_strategy(48, 40),
+        cycle in 1u64..8,
+        frames in 1usize..8,
+    ) {
+        let mut pipeline = Pipeline::new(PipelineConfig::new(
+            48, 40, Baseline::Rp { cycle_length: cycle },
+        ));
+        let features: Vec<Feature> = labels
+            .iter()
+            .map(|r| {
+                Feature::new(f64::from(r.x), f64::from(r.y), f64::from(r.w.max(1)))
+                    .with_displacement(f64::from(r.skip))
+            })
+            .collect();
+        for t in 0..frames {
+            let _ = pipeline.process_frame(&frame(48, 40, t as u32), features.clone(), vec![]);
+        }
+        let m = pipeline.finish();
+        prop_assert_eq!(m.captured_fractions.len(), frames);
+        for &f in &m.captured_fractions {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        // Write traffic always includes the per-frame metadata floor.
+        let meta_floor = (48 * 40 / 4 + 40 * 4) as u64 * frames as u64;
+        prop_assert!(m.traffic.write_bytes >= meta_floor);
+        // Reads mirror writes in this symmetric consumer model.
+        prop_assert_eq!(m.traffic.read_bytes, m.traffic.write_bytes);
+        prop_assert!(m.peak_footprint_bytes as f64 >= m.mean_footprint_bytes);
+    }
+
+    /// The decoded frame is always bit-exact with the original inside
+    /// full-resolution, every-frame regions — through the entire
+    /// pipeline, on every frame.
+    #[test]
+    fn dense_regions_are_always_exact(
+        x in 0u32..30, y in 0u32..22, w in 4u32..16, h in 4u32..16,
+        frames in 1usize..6,
+    ) {
+        let regions = RegionList::new_lossy(48, 40, vec![RegionLabel::new(x, y, w, h, 1, 1)]);
+        prop_assume!(!regions.is_empty());
+        let clamped = regions.labels()[0];
+        let mut enc = RhythmicEncoder::new(48, 40);
+        let mut dec = SoftwareDecoder::new(48, 40);
+        for t in 0..frames {
+            let f = frame(48, 40, t as u32 * 13);
+            let decoded = dec.decode(&enc.encode(&f, t as u64, &regions));
+            for yy in clamped.y..clamped.bottom() {
+                for xx in clamped.x..clamped.right() {
+                    prop_assert_eq!(decoded.get(xx, yy), f.get(xx, yy));
+                }
+            }
+        }
+    }
+
+    /// The cycle model never reports more than the configured
+    /// pixels-per-clock and never loses pixels.
+    #[test]
+    fn pipeline_model_is_sane(labels in labels_strategy(64, 48)) {
+        let regions = RegionList::new_lossy(64, 48, labels);
+        let model = EncoderPipelineModel::paper_config();
+        let report = model.simulate(&frame(64, 48, 5), 0, &regions);
+        prop_assert_eq!(report.pixels, 64 * 48);
+        prop_assert!(report.effective_ppc <= f64::from(model.pixels_per_clock) + 1e-9);
+        prop_assert!(report.cycles >= report.pixels / u64::from(model.pixels_per_clock));
+    }
+
+    /// Multi-ROI clustering respects the camera's region limit for any
+    /// feature population.
+    #[test]
+    fn multiroi_respects_region_cap(n_features in 0usize..60) {
+        let mut pipeline = Pipeline::new(PipelineConfig::new(
+            64, 48, Baseline::MultiRoi { max_regions: 4, cycle_length: 100 },
+        ));
+        let features: Vec<Feature> = (0..n_features)
+            .map(|i| Feature::new(
+                ((i * 29) % 60) as f64,
+                ((i * 37) % 44) as f64,
+                6.0,
+            ))
+            .collect();
+        // Frame 1 is a regional frame (frame 0 would be the full scan).
+        let _ = pipeline.process_frame(&frame(64, 48, 0), features.clone(), vec![]);
+        let out = pipeline.process_frame(&frame(64, 48, 1), features, vec![]);
+        // Decoded output only shows pixels inside at most 4 boxes; we
+        // can't see the boxes directly, but the non-black pixel count
+        // must be <= 4 * the largest possible clamped box area.
+        let lit = out.as_slice().iter().filter(|&&v| v != 0).count();
+        prop_assert!(lit <= 64 * 48, "lit {lit}");
+    }
+
+    /// Detection boxes fed back as policy input never crash the
+    /// pipeline, whatever their geometry.
+    #[test]
+    fn arbitrary_detections_are_safe(
+        bx in 0u32..64, by in 0u32..48, bw in 0u32..80, bh in 0u32..60,
+        disp in 0.0f64..20.0,
+    ) {
+        let mut pipeline = Pipeline::new(PipelineConfig::new(
+            64, 48, Baseline::Rp { cycle_length: 3 },
+        ));
+        for t in 0..4u32 {
+            let _ = pipeline.process_frame(
+                &frame(64, 48, t),
+                vec![],
+                vec![(Rect::new(bx, by, bw, bh), disp)],
+            );
+        }
+        let m = pipeline.finish();
+        prop_assert_eq!(m.captured_fractions.len(), 4);
+    }
+}
