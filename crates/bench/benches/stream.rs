@@ -1,0 +1,75 @@
+//! Staged-executor benches: single-stream overhead vs the synchronous
+//! pipeline, and multi-camera scaling 1 → 8 streams on the shared
+//! worker pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpr_stream::{StreamConfig, StreamManager};
+use rpr_workloads::tasks::run_pose_with;
+use rpr_workloads::{pose_spec, run_pose_staged, Baseline, PipelineConfig, PoseDataset};
+use std::time::Duration;
+
+const W: u32 = 160;
+const H: u32 = 120;
+const FRAMES: usize = 12;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::new(W, H, Baseline::Rp { cycle_length: 5 })
+}
+
+fn bench_single_stream(c: &mut Criterion) {
+    let ds = PoseDataset::new(W, H, FRAMES, 7000);
+    let mut group = c.benchmark_group("stream/single");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+        .throughput(Throughput::Elements(FRAMES as u64));
+    group.bench_function("synchronous", |b| {
+        b.iter(|| run_pose_with(&ds, cfg()));
+    });
+    group.bench_function("staged", |b| {
+        b.iter(|| run_pose_staged(&ds, cfg(), StreamConfig::blocking()));
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream/scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    for streams in [1usize, 2, 4, 8] {
+        let datasets: Vec<PoseDataset> =
+            (0..streams).map(|i| PoseDataset::new(W, H, FRAMES, 7000 + i as u64)).collect();
+        group.throughput(Throughput::Elements((FRAMES * streams) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("pool", streams),
+            &datasets,
+            |b, datasets| {
+                b.iter(|| {
+                    let specs = datasets
+                        .iter()
+                        .map(|ds| pose_spec(ds, cfg(), StreamConfig::blocking()))
+                        .collect();
+                    StreamManager::default().run_all(specs)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential", streams),
+            &datasets,
+            |b, datasets| {
+                b.iter(|| {
+                    for ds in datasets {
+                        criterion::black_box(run_pose_with(ds, cfg()));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_stream, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! rpr-stream: staged multi-camera pipeline executor.
+//!
+//! This crate turns the synchronous capture pipeline (sensor → ISP →
+//! rhythmic encoder → memory traffic → decoder → vision task) into a
+//! staged, multi-threaded *stream*: one worker per stage, bounded
+//! queues between stages, and an explicit backpressure policy on the
+//! sensor-side queue. A [`StreamManager`] multiplexes N such camera
+//! streams over a shared worker pool — the system shape the paper's
+//! multi-camera evaluation implies but the synchronous runner cannot
+//! express.
+//!
+//! Determinism contract: under [`BackpressureMode::Block`] a stream's
+//! outputs are bit-identical to running its stages in a synchronous
+//! loop, because the task→capture feedback edge keeps the two stages
+//! in lock-step (frame *t* is encoded only after frame *t−1*'s task
+//! feedback arrived). `rpr-workloads` relies on this to route its
+//! experiments through the executor without changing any published
+//! number.
+//!
+//! Module map:
+//! - [`queue`] — bounded [`StageQueue`] and the three
+//!   [`BackpressureMode`]s (block / drop-oldest / degrade).
+//! - [`stage`] — the [`FrameSource`] / [`CaptureStage`] / [`TaskStage`]
+//!   contracts and the [`Feedback`] edge.
+//! - [`executor`] — [`run_stream`], one stream on three stage workers.
+//! - [`manager`] — [`StreamManager`], N streams on a worker pool.
+//! - [`telemetry`] — queue depths, per-stage latency histograms, fps;
+//!   serde-JSON exportable.
+
+#![deny(missing_docs)]
+
+pub mod executor;
+pub mod manager;
+pub mod queue;
+pub mod stage;
+pub mod telemetry;
+
+pub use executor::{run_stream, StreamResult};
+pub use manager::{StreamManager, StreamSpec};
+pub use queue::{BackpressureMode, QueueTelemetry, StageQueue};
+pub use stage::{CaptureStage, Feedback, FrameSource, StreamConfig, TaskStage};
+pub use telemetry::{LatencyHistogram, StageTelemetry, StreamTelemetry, LATENCY_BUCKETS_US};

@@ -1,0 +1,293 @@
+//! Bounded inter-stage queues with explicit backpressure policy.
+//!
+//! Every edge of the stage graph is a [`StageQueue`]: a
+//! mutex-and-condvar ring with a hard capacity. What happens when a
+//! producer outruns its consumer is the queue's *backpressure mode* —
+//! the central design decision of a multi-camera capture service,
+//! because it chooses between latency (block), freshness (drop the
+//! oldest frame), and graceful quality loss (keep the frame but flag
+//! pressure so the capture stage lowers its rhythm).
+
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What a full queue does to its producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackpressureMode {
+    /// Block the producer until the consumer frees a slot. Lossless
+    /// and deterministic — the mode under which the staged executor
+    /// reproduces the synchronous pipeline bit for bit.
+    #[default]
+    Block,
+    /// Evict the oldest queued frame to admit the new one. Keeps the
+    /// stream fresh (lowest capture-to-task latency) at the cost of
+    /// dropped frames, counted in [`QueueTelemetry::dropped`].
+    DropOldest,
+    /// Block, but raise a pressure flag the consumer can read. The
+    /// capture stage responds by degrading to a lower rhythm (fewer
+    /// regional pixels per frame) until pressure clears.
+    Degrade,
+}
+
+impl BackpressureMode {
+    /// Parses the CLI spelling (`block`, `drop-oldest`, `degrade`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "block" => Some(BackpressureMode::Block),
+            "drop-oldest" | "drop_oldest" | "dropoldest" => Some(BackpressureMode::DropOldest),
+            "degrade" => Some(BackpressureMode::Degrade),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackpressureMode::Block => "block",
+            BackpressureMode::DropOldest => "drop-oldest",
+            BackpressureMode::Degrade => "degrade",
+        }
+    }
+}
+
+/// Counters a [`StageQueue`] accumulates over its lifetime; the queue
+/// half of the telemetry export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueTelemetry {
+    /// Name of the edge this queue implements (e.g. `"raw"`).
+    pub name: String,
+    /// Configured capacity in frames.
+    pub capacity: usize,
+    /// Backpressure mode the queue ran under.
+    pub mode: BackpressureMode,
+    /// Frames accepted (including ones later evicted).
+    pub pushed: u64,
+    /// Frames handed to the consumer.
+    pub popped: u64,
+    /// Frames evicted under [`BackpressureMode::DropOldest`].
+    pub dropped: u64,
+    /// Times a producer found the queue full.
+    pub full_events: u64,
+    /// Deepest the queue ever got.
+    pub max_depth: usize,
+    /// Sum of observed depths at push time (divide by `pushed` for the
+    /// mean producer-side depth).
+    pub depth_sum: u64,
+}
+
+impl QueueTelemetry {
+    /// Mean queue depth observed at push time.
+    pub fn mean_depth(&self) -> f64 {
+        if self.pushed == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.pushed as f64
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    pressure: bool,
+    stats: QueueTelemetry,
+}
+
+/// A bounded MPSC queue connecting two pipeline stages.
+pub struct StageQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    mode: BackpressureMode,
+}
+
+impl<T> StageQueue<T> {
+    /// Creates a queue holding at most `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (a rendezvous queue cannot host
+    /// drop-oldest semantics).
+    pub fn new(name: &str, capacity: usize, mode: BackpressureMode) -> Self {
+        assert!(capacity > 0, "stage queue capacity must be at least 1");
+        StageQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                pressure: false,
+                stats: QueueTelemetry {
+                    name: name.to_string(),
+                    capacity,
+                    mode,
+                    ..QueueTelemetry::default()
+                },
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            mode,
+        }
+    }
+
+    /// Offers one frame to the queue, applying the backpressure mode
+    /// when full. Returns `false` when the queue was closed and the
+    /// frame could not be delivered.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.state.lock();
+        if st.items.len() >= self.capacity {
+            st.stats.full_events += 1;
+            match self.mode {
+                BackpressureMode::Block => {
+                    while st.items.len() >= self.capacity && !st.closed {
+                        self.not_full.wait(&mut st);
+                    }
+                }
+                BackpressureMode::DropOldest => {
+                    st.items.pop_front();
+                    st.stats.dropped += 1;
+                }
+                BackpressureMode::Degrade => {
+                    st.pressure = true;
+                    while st.items.len() >= self.capacity && !st.closed {
+                        self.not_full.wait(&mut st);
+                    }
+                }
+            }
+        }
+        if st.closed {
+            return false;
+        }
+        st.stats.depth_sum += st.items.len() as u64;
+        st.items.push_back(item);
+        st.stats.pushed += 1;
+        let depth = st.items.len();
+        if depth > st.stats.max_depth {
+            st.stats.max_depth = depth;
+        }
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Takes the next frame, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                st.stats.popped += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Reads and clears the degrade-pressure flag (set when a producer
+    /// hit a full queue under [`BackpressureMode::Degrade`]).
+    pub fn take_pressure(&self) -> bool {
+        let mut st = self.state.lock();
+        std::mem::take(&mut st.pressure)
+    }
+
+    /// Marks the stream finished: producers stop delivering, consumers
+    /// drain what is queued and then see `None`.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn telemetry(&self) -> QueueTelemetry {
+        self.state.lock().stats.clone()
+    }
+}
+
+impl<T> std::fmt::Debug for StageQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("StageQueue")
+            .field("name", &st.stats.name)
+            .field("depth", &st.items.len())
+            .field("capacity", &self.capacity)
+            .field("mode", &self.mode)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let q = StageQueue::new("raw", 4, BackpressureMode::Block);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        let t = q.telemetry();
+        assert_eq!((t.pushed, t.popped, t.dropped), (2, 2, 0));
+        assert_eq!(t.max_depth, 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = StageQueue::new("raw", 4, BackpressureMode::Block);
+        q.push(7);
+        q.close();
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+        assert!(!q.push(8), "closed queue refuses frames");
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let q = StageQueue::new("raw", 2, BackpressureMode::DropOldest);
+        q.push(1);
+        q.push(2);
+        q.push(3); // evicts 1
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        let t = q.telemetry();
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.full_events, 1);
+    }
+
+    #[test]
+    fn degrade_sets_pressure_flag() {
+        let q = Arc::new(StageQueue::new("raw", 1, BackpressureMode::Degrade));
+        q.push(1);
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(2));
+        // Give the producer time to hit the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(h.join().unwrap());
+        assert!(q.take_pressure(), "pressure flag raised while blocked");
+        assert!(!q.take_pressure(), "flag clears after read");
+    }
+
+    #[test]
+    fn blocked_producer_resumes() {
+        let q = Arc::new(StageQueue::new("raw", 1, BackpressureMode::Block));
+        q.push(1);
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(2));
+        assert_eq!(q.pop(), Some(1));
+        h.join().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.telemetry().dropped, 0);
+    }
+}

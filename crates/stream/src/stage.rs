@@ -1,0 +1,125 @@
+//! The stage contracts of the capture pipeline.
+//!
+//! A stream is three workers — source, capture, task — connected by
+//! bounded queues, plus a feedback edge running backwards from the
+//! task to the capture stage (the paper's §4.3 application loop: what
+//! the task extracted from frame *t−1* decides the region labels of
+//! frame *t*):
+//!
+//! ```text
+//!   source ──raw──▶ capture ──proc──▶ task
+//!                      ▲                │
+//!                      └───feedback─────┘
+//! ```
+//!
+//! The feedback edge makes the capture and task stages lock-step (the
+//! capture stage waits for frame t−1's feedback before encoding frame
+//! t), which is exactly what keeps the staged executor's output
+//! bit-identical to the synchronous pipeline. Throughput scaling
+//! therefore comes from running *many streams* concurrently, not from
+//! racing ahead within one stream — matching a real multi-camera
+//! system, where each sensor's feedback loop is causally serial.
+
+use crate::queue::BackpressureMode;
+use rpr_core::Feature;
+use rpr_frame::Rect;
+
+/// What the task stage feeds back to the capture stage: the features
+/// and scored detections extracted from the last processed frame,
+/// which the region policy turns into the next frame's region labels.
+#[derive(Debug, Clone, Default)]
+pub struct Feedback {
+    /// Tracked features (SLAM-style workloads).
+    pub features: Vec<Feature>,
+    /// Detection boxes with displacement estimates (detector-style
+    /// workloads).
+    pub detections: Vec<(Rect, f64)>,
+}
+
+impl Feedback {
+    /// Feedback carrying no regions — what the capture stage uses for
+    /// the first frame and when degrading under queue pressure.
+    pub fn empty() -> Self {
+        Feedback::default()
+    }
+}
+
+/// Stage 1: produces raw sensor/ISP frames in capture order.
+pub trait FrameSource: Send {
+    /// The raw frame type.
+    type Frame: Send;
+
+    /// The next frame, or `None` at end of stream.
+    fn next_frame(&mut self) -> Option<Self::Frame>;
+}
+
+/// Stage 2: the capture path (region policy, rhythmic encoder, memory
+/// traffic accounting, decoder) squeezed between the sensor and the
+/// task.
+pub trait CaptureStage: Send {
+    /// Raw frame type consumed.
+    type Frame: Send;
+    /// Processed (decoded) frame type emitted to the task.
+    type Output: Send;
+    /// What `finish` returns (e.g. traffic measurements).
+    type Summary: Send;
+
+    /// Processes one raw frame under the regions implied by
+    /// `feedback`. When `degraded` is true the stage should fall back
+    /// to a lower rhythm (the executor raises it when the downstream
+    /// queue signalled pressure in [`BackpressureMode::Degrade`]).
+    fn process(&mut self, frame: Self::Frame, feedback: &Feedback, degraded: bool)
+        -> Self::Output;
+
+    /// Consumes the stage, returning its run summary.
+    fn finish(self) -> Self::Summary;
+}
+
+/// Stage 3: the vision task. Consumes processed frames, returns the
+/// feedback that will shape the *next* frame's capture.
+pub trait TaskStage: Send {
+    /// Processed frame type consumed.
+    type Input: Send;
+    /// What `finish` returns (e.g. accuracy metrics).
+    type Output: Send;
+
+    /// Consumes one processed frame (with its source index) and
+    /// returns the feedback for the next frame.
+    fn consume(&mut self, frame_idx: u64, input: Self::Input) -> Feedback;
+
+    /// Consumes the stage, returning the task's final output.
+    fn finish(self) -> Self::Output;
+}
+
+/// Queue sizing and backpressure configuration of one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Capacity of the source→capture queue.
+    pub raw_capacity: usize,
+    /// Capacity of the capture→task queue.
+    pub proc_capacity: usize,
+    /// Backpressure mode of the source→capture queue. The
+    /// capture→task queue always blocks: dropping *processed* frames
+    /// would break the task↔capture feedback lock-step and with it
+    /// the determinism guarantee.
+    pub backpressure: BackpressureMode,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { raw_capacity: 4, proc_capacity: 2, backpressure: BackpressureMode::Block }
+    }
+}
+
+impl StreamConfig {
+    /// A blocking (lossless, deterministic) configuration.
+    pub fn blocking() -> Self {
+        StreamConfig::default()
+    }
+
+    /// Same queues under a different backpressure mode.
+    pub fn with_backpressure(mut self, mode: BackpressureMode) -> Self {
+        self.backpressure = mode;
+        self
+    }
+}

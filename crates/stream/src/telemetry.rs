@@ -1,0 +1,210 @@
+//! Per-stream telemetry: stage latency histograms, queue counters, and
+//! end-to-end throughput, exportable as serde JSON.
+//!
+//! The JSON schema (documented in `DESIGN.md`) is stable:
+//!
+//! ```json
+//! {
+//!   "stream_id": 0,
+//!   "frames_in": 120, "frames_out": 118, "frames_dropped": 2,
+//!   "wall_time_s": 1.9, "end_to_end_fps": 62.1,
+//!   "queues": [ {"name": "raw", "capacity": 4, "mode": "Block", ...} ],
+//!   "stages": [ {"name": "capture", "latency": {"count": 118, ...}} ]
+//! }
+//! ```
+
+use crate::queue::QueueTelemetry;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Upper bucket bounds for stage-latency histograms, in microseconds.
+/// The final bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 11] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+
+/// A fixed-bucket latency histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Sample count.
+    pub count: u64,
+    /// Total time across all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Fastest sample, nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+    /// One count per bucket of [`LATENCY_BUCKETS_US`] plus a final
+    /// overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: vec![0; LATENCY_BUCKETS_US.len() + 1],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one stage execution.
+    pub fn record(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let us = ns / 1_000;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        if self.count == 1 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1e9
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min_ns = other.min_ns;
+        } else {
+            self.min_ns = self.min_ns.min(other.min_ns);
+        }
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+/// Telemetry for one stage worker of one stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTelemetry {
+    /// Stage name (`"source"`, `"capture"`, `"task"`).
+    pub name: String,
+    /// Frames this stage completed.
+    pub frames: u64,
+    /// Per-frame processing latency.
+    pub latency: LatencyHistogram,
+    /// Frames processed in degraded (lower-rhythm) mode; only the
+    /// capture stage ever reports a non-zero value.
+    pub degraded_frames: u64,
+}
+
+impl StageTelemetry {
+    /// An empty record for a named stage.
+    pub fn new(name: &str) -> Self {
+        StageTelemetry {
+            name: name.to_string(),
+            frames: 0,
+            latency: LatencyHistogram::new(),
+            degraded_frames: 0,
+        }
+    }
+}
+
+/// The complete telemetry of one camera stream's run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamTelemetry {
+    /// Which stream this is (index into the manager's spec list).
+    pub stream_id: usize,
+    /// Frames the source produced.
+    pub frames_in: u64,
+    /// Frames that reached the task stage.
+    pub frames_out: u64,
+    /// Frames evicted by drop-oldest queues.
+    pub frames_dropped: u64,
+    /// Wall-clock duration of the stream's run, seconds.
+    pub wall_time_s: f64,
+    /// `frames_out / wall_time_s`.
+    pub end_to_end_fps: f64,
+    /// One entry per inter-stage queue.
+    pub queues: Vec<QueueTelemetry>,
+    /// One entry per stage worker.
+    pub stages: Vec<StageTelemetry>,
+}
+
+impl StreamTelemetry {
+    /// Aggregate fps across a set of streams (sum of per-stream fps).
+    pub fn aggregate_fps(streams: &[StreamTelemetry]) -> f64 {
+        streams.iter().map(|s| s.end_to_end_fps).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(40)); // bucket 0 (<= 50us)
+        h.record(Duration::from_micros(90)); // bucket 1 (<= 100us)
+        h.record(Duration::from_millis(200)); // overflow bucket
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(*h.buckets.last().unwrap(), 1);
+        assert_eq!(h.min_ns, 40_000);
+        assert_eq!(h.max_ns, 200_000_000);
+        assert!(h.mean_s() > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(400));
+        b.record(Duration::from_micros(600));
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min_ns, 10_000);
+        assert_eq!(a.max_ns, 600_000);
+    }
+
+    #[test]
+    fn telemetry_serializes_to_json() {
+        let t = StreamTelemetry {
+            stream_id: 3,
+            frames_in: 10,
+            frames_out: 9,
+            frames_dropped: 1,
+            wall_time_s: 0.5,
+            end_to_end_fps: 18.0,
+            queues: vec![],
+            stages: vec![StageTelemetry::new("capture")],
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"stream_id\":3"));
+        assert!(json.contains("\"capture\""));
+        let back: StreamTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -26,6 +26,7 @@ pub mod datasets;
 pub mod h264;
 pub mod progression;
 pub mod runner;
+pub mod staged;
 pub mod stats;
 pub mod tasks;
 
@@ -34,4 +35,9 @@ pub use datasets::{FaceDataset, PoseDataset, SlamDataset};
 pub use h264::{H264Model, H264Quality};
 pub use progression::progression_series;
 pub use runner::{ExperimentResult, Measurements, Pipeline, PipelineConfig, PolicyKind};
+pub use staged::{
+    face_outcome, face_spec, pose_outcome, pose_spec, run_face_staged, run_pose_staged,
+    run_slam_staged, slam_outcome, slam_spec, DatasetSource, FaceSpec, FaceTask, PipelineCapture,
+    PoseSpec, PoseTask, SlamSpec, SlamTask, SlamTrack,
+};
 pub use stats::{RegionStats, RegionStatsCollector};

@@ -127,7 +127,7 @@ pub struct Pipeline {
     traffic: TrafficRecorder,
     pool: FramebufferPool,
     h264: Option<H264Model>,
-    policy: Box<dyn Policy>,
+    policy: Box<dyn Policy + Send>,
     stats: RegionStatsCollector,
     fractions: Vec<f64>,
     frame_idx: u64,
@@ -160,7 +160,7 @@ impl Pipeline {
         };
         let window = if matches!(cfg.baseline, Baseline::H264 { .. }) { 3 } else { 4 };
         let feature_policy = FeaturePolicy::with_params(cfg.policy_params);
-        let policy: Box<dyn Policy> = match cfg.policy_kind {
+        let policy: Box<dyn Policy + Send> = match cfg.policy_kind {
             PolicyKind::CycleFeature | PolicyKind::CycleMotion => {
                 Box::new(CycleLengthPolicy::new(cycle, feature_policy))
             }

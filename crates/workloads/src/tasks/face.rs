@@ -22,9 +22,16 @@ pub struct FaceOutcome {
     pub measurements: Measurements,
 }
 
-/// Runs the face workload on `dataset` under `baseline`.
+/// Runs the face workload on `dataset` under `baseline`, as a 1-stream
+/// instance of the staged executor (bit-identical to the synchronous
+/// [`run_face_with`] reference under blocking backpressure).
 pub fn run_face(dataset: &FaceDataset, baseline: Baseline) -> FaceOutcome {
-    run_face_with(dataset, PipelineConfig::new(dataset.width(), dataset.height(), baseline))
+    crate::staged::run_face_staged(
+        dataset,
+        PipelineConfig::new(dataset.width(), dataset.height(), baseline),
+        rpr_stream::StreamConfig::blocking(),
+    )
+    .0
 }
 
 /// Runs the face workload with an explicit pipeline configuration.
@@ -72,7 +79,7 @@ pub fn run_face_with(dataset: &FaceDataset, cfg: PipelineConfig) -> FaceOutcome 
 /// Fraction of dark (eye/mouth) pixels inside the inscribed ellipse of
 /// a candidate box — the facial-structure proxy. Pixels outside the
 /// ellipse (background corners) are excluded.
-fn eye_mouth_fraction(frame: &rpr_frame::GrayFrame, bbox: &Rect) -> f64 {
+pub(crate) fn eye_mouth_fraction(frame: &rpr_frame::GrayFrame, bbox: &Rect) -> f64 {
     let (cx, cy) = bbox.center();
     let hw = f64::from(bbox.w) / 2.0;
     let hh = f64::from(bbox.h) / 2.0;

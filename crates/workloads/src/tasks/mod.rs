@@ -1,9 +1,9 @@
 //! The paper's three vision tasks (Table 3), each runnable under any
 //! [`crate::Baseline`].
 
-mod face;
-mod pose;
-mod slam;
+pub(crate) mod face;
+pub(crate) mod pose;
+pub(crate) mod slam;
 
 pub use face::{run_face, run_face_with, FaceOutcome};
 pub use pose::{run_pose, run_pose_with, PoseOutcome};

@@ -22,9 +22,16 @@ pub struct PoseOutcome {
     pub measurements: Measurements,
 }
 
-/// Runs the pose workload on `dataset` under `baseline`.
+/// Runs the pose workload on `dataset` under `baseline`, as a 1-stream
+/// instance of the staged executor (bit-identical to the synchronous
+/// [`run_pose_with`] reference under blocking backpressure).
 pub fn run_pose(dataset: &PoseDataset, baseline: Baseline) -> PoseOutcome {
-    run_pose_with(dataset, PipelineConfig::new(dataset.width(), dataset.height(), baseline))
+    crate::staged::run_pose_staged(
+        dataset,
+        PipelineConfig::new(dataset.width(), dataset.height(), baseline),
+        rpr_stream::StreamConfig::blocking(),
+    )
+    .0
 }
 
 /// Runs the pose workload with an explicit pipeline configuration.
@@ -76,7 +83,7 @@ pub fn run_pose_with(dataset: &PoseDataset, cfg: PipelineConfig) -> PoseOutcome 
 
 /// Fraction of pixels in `bbox` at near-full skeleton brightness
 /// (≥ 210 of the renderer's 230) — the limb-resolution proxy.
-fn crisp_fraction(frame: &rpr_frame::GrayFrame, bbox: &Rect) -> f64 {
+pub(crate) fn crisp_fraction(frame: &rpr_frame::GrayFrame, bbox: &Rect) -> f64 {
     let mut crisp = 0u64;
     for y in bbox.y..bbox.bottom().min(frame.height()) {
         for x in bbox.x..bbox.right().min(frame.width()) {

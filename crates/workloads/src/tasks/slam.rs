@@ -33,9 +33,16 @@ pub struct SlamOutcome {
     pub measurements: Measurements,
 }
 
-/// Runs visual odometry on `dataset` under `baseline`.
+/// Runs visual odometry on `dataset` under `baseline`, as a 1-stream
+/// instance of the staged executor (bit-identical to the synchronous
+/// [`run_slam_with`] reference under blocking backpressure).
 pub fn run_slam(dataset: &SlamDataset, baseline: Baseline) -> SlamOutcome {
-    run_slam_with(dataset, PipelineConfig::new(dataset.width(), dataset.height(), baseline))
+    crate::staged::run_slam_staged(
+        dataset,
+        PipelineConfig::new(dataset.width(), dataset.height(), baseline),
+        rpr_stream::StreamConfig::blocking(),
+    )
+    .0
 }
 
 /// Runs visual odometry with an explicit pipeline configuration.
@@ -145,7 +152,7 @@ pub fn run_slam_with(dataset: &SlamDataset, cfg: PipelineConfig) -> SlamOutcome 
     }
 }
 
-fn wrap_angle(t: f64) -> f64 {
+pub(crate) fn wrap_angle(t: f64) -> f64 {
     let mut a = t % (2.0 * std::f64::consts::PI);
     if a > std::f64::consts::PI {
         a -= 2.0 * std::f64::consts::PI;

@@ -18,7 +18,9 @@
 //!   blocks;
 //! * [`vision`] — FAST/ORB features, matching, RANSAC, blobs, metrics;
 //! * [`workloads`] — the three evaluation workloads, baselines, and
-//!   the experiment runner.
+//!   the experiment runner;
+//! * [`stream`] — the staged multi-camera executor: per-stage workers,
+//!   bounded queues with backpressure, and per-stage telemetry.
 //!
 //! # Quick start
 //!
@@ -47,5 +49,6 @@ pub use rpr_hwsim as hwsim;
 pub use rpr_isp as isp;
 pub use rpr_memsim as memsim;
 pub use rpr_sensor as sensor;
+pub use rpr_stream as stream;
 pub use rpr_vision as vision;
 pub use rpr_workloads as workloads;

@@ -1,0 +1,84 @@
+//! Property tests for the staged executor's determinism contract: under
+//! blocking backpressure, a 1-stream staged run is byte-identical
+//! (compared through serialized JSON) to the synchronous reference loop
+//! for any dataset seed and baseline.
+
+use proptest::prelude::*;
+use rhythmic_pixel_regions::stream::StreamConfig;
+use rhythmic_pixel_regions::workloads::tasks::{run_face_with, run_pose_with, run_slam_with};
+use rhythmic_pixel_regions::workloads::{
+    run_face_staged, run_pose_staged, run_slam_staged, Baseline, FaceDataset, PipelineConfig,
+    PoseDataset, SlamDataset,
+};
+
+const W: u32 = 96;
+const H: u32 = 72;
+
+fn baseline_strategy() -> impl Strategy<Value = Baseline> {
+    (0u8..5, 1u64..8).prop_map(|(kind, cycle)| match kind {
+        0 => Baseline::Fch,
+        1 => Baseline::Fcl { factor: 2 },
+        2 => Baseline::MultiRoi { max_regions: 4, cycle_length: cycle },
+        3 => Baseline::H264 { quality: rhythmic_pixel_regions::workloads::H264Quality::Medium },
+        _ => Baseline::Rp { cycle_length: cycle },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Staged == synchronous for the pose workload.
+    #[test]
+    fn staged_pose_equals_synchronous(
+        baseline in baseline_strategy(),
+        seed in 0u64..1000,
+        frames in 4usize..9,
+    ) {
+        let ds = PoseDataset::new(W, H, frames, seed);
+        let cfg = PipelineConfig::new(W, H, baseline);
+        let sync = run_pose_with(&ds, cfg);
+        let (staged, telemetry) = run_pose_staged(&ds, cfg, StreamConfig::blocking());
+        prop_assert_eq!(
+            serde_json::to_string(&staged).unwrap(),
+            serde_json::to_string(&sync).unwrap()
+        );
+        prop_assert_eq!(telemetry.frames_out, frames as u64);
+        prop_assert_eq!(telemetry.frames_dropped, 0);
+    }
+
+    /// Staged == synchronous for the face workload.
+    #[test]
+    fn staged_face_equals_synchronous(
+        baseline in baseline_strategy(),
+        seed in 0u64..1000,
+        frames in 4usize..9,
+    ) {
+        let ds = FaceDataset::new(W, H, frames, 2, seed);
+        let cfg = PipelineConfig::new(W, H, baseline);
+        let sync = run_face_with(&ds, cfg);
+        let (staged, _) = run_face_staged(&ds, cfg, StreamConfig::blocking());
+        prop_assert_eq!(
+            serde_json::to_string(&staged).unwrap(),
+            serde_json::to_string(&sync).unwrap()
+        );
+    }
+
+    /// Staged == synchronous for the SLAM workload (the deepest state:
+    /// ORB features, RANSAC seeding, and the estimated trajectory all
+    /// must line up frame for frame).
+    #[test]
+    fn staged_slam_equals_synchronous(
+        baseline in baseline_strategy(),
+        seed in 0u64..1000,
+        frames in 4usize..9,
+    ) {
+        let ds = SlamDataset::new(W, H, frames, seed);
+        let cfg = PipelineConfig::new(W, H, baseline);
+        let sync = run_slam_with(&ds, cfg);
+        let (staged, _) = run_slam_staged(&ds, cfg, StreamConfig::blocking());
+        prop_assert_eq!(
+            serde_json::to_string(&staged).unwrap(),
+            serde_json::to_string(&sync).unwrap()
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline drop-in subset of `crossbeam`: the [`channel`] module with
+//! `bounded`/`unbounded` constructors, built on `std::sync::mpsc`.
+//!
+//! The subset is MPSC (senders clone, one receiver), which matches
+//! every use in this workspace. Semantics mirror crossbeam's: a
+//! `bounded(n)` sender blocks once `n` messages are queued, and `recv`
+//! errors only after every sender is dropped and the queue is drained.
+
+#![deny(missing_docs)]
+
+/// Multi-producer channels with optional capacity bounds.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone;
+    /// carries the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone
+    /// and the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty but senders remain.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Clonable; dropping the last
+    /// sender disconnects the channel.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { tx: self.tx.clone() }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message when the receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+                Tx::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when every sender is gone and the
+        /// queue is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a queued message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] once every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+            self.rx.recv_timeout(timeout).map_err(|_| RecvError)
+        }
+
+        /// Iterates over messages until the channel disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.rx.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.rx.into_iter()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` queued messages;
+    /// senders block while it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { tx: Tx::Bounded(tx) }, Receiver { rx })
+    }
+
+    /// Creates a channel with unlimited queueing.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx: Tx::Unbounded(tx) }, Receiver { rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        let (tx2, rx2) = channel::unbounded::<u8>();
+        drop(rx2);
+        assert_eq!(tx2.send(9), Err(channel::SendError(9)));
+    }
+
+    #[test]
+    fn clones_feed_one_receiver() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(7).unwrap());
+        tx.send(3).unwrap();
+        h.join().unwrap();
+        let mut got: Vec<i32> = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [3, 7]);
+    }
+
+    #[test]
+    fn bounded_sender_blocks_until_drained() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        // The second send can only complete after this recv.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+}

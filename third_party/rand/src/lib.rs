@@ -1,0 +1,283 @@
+//! Offline drop-in subset of `rand` 0.8.
+//!
+//! Provides the trait surface this workspace uses — [`RngCore`],
+//! [`SeedableRng`], and [`Rng`] with `gen_range`/`gen_bool` — without
+//! touching the unreachable registry. Sampling follows the standard
+//! constructions (53-bit mantissa floats, widening-multiply integer
+//! ranges), so streams are statistically equivalent to upstream even
+//! though they are not bit-identical to it. All experiment numbers in
+//! this repo are produced and regression-tested against *these*
+//! generators, which keeps every dataset deterministic.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same
+    /// construction upstream rand uses) and builds the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the seed-expansion generator (public so sibling crates
+/// can reuse it for lightweight seeding).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from an arbitrary state word.
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        sample_unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type (`f64` in
+    /// `[0, 1)`, full-width integers, fair `bool`).
+    #[allow(clippy::misnamed_getters)]
+    fn r#gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `[0, 1)` double from the high 53 bits of a random word.
+fn sample_unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable uniformly over their whole domain via `gen()`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        sample_unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $via as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+                   i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64);
+
+/// Types with a uniform sampler over arbitrary sub-ranges. Mirrors
+/// upstream rand's trait of the same name; having a *single* generic
+/// [`SampleRange`] impl keyed on this trait is what lets unsuffixed
+/// literals like `0.3..1.0` infer their element type.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws a value in `[low, high)` (or `[low, high]` when
+    /// `inclusive`) from `rng`. Callers guarantee non-emptiness.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R, low: $t, high: $t, inclusive: bool,
+            ) -> $t {
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                // Widening multiply maps a 64-bit word onto [0, span).
+                let offset = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R, low: $t, high: $t, inclusive: bool,
+            ) -> $t {
+                let unit = sample_unit_f64(rng.next_u64());
+                let v = (low as f64 + (high as f64 - low as f64) * unit) as $t;
+                // Guard the open upper bound against rounding.
+                if !inclusive && v >= high { low } else { v }
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range called with empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// Commonly used generators (upstream `rand::rngs`).
+pub mod rngs {
+    pub use crate::SplitMix64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let f = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let i = rng.gen_range(-9i32..=9);
+            assert!((-9..=9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SplitMix64::new(11);
+        let mean =
+            (0..4000).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / 4000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(13);
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 4000.0 - 0.25).abs() < 0.05);
+    }
+}
