@@ -160,6 +160,24 @@ impl EncMask {
         self.packed.len()
     }
 
+    /// The raw packed status bytes, 4 pixels per byte in raster order —
+    /// the exact bytes the encoder DMAs to DRAM. Integrity digests and
+    /// DRAM fault models operate on this representation.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Reassembles a mask from raw packed bytes (e.g. read back from a
+    /// possibly-corrupted DRAM model). Returns `None` when `packed` is
+    /// not exactly the byte length a `width x height` mask occupies.
+    pub fn from_raw_bytes(width: u32, height: u32, packed: Vec<u8>) -> Option<Self> {
+        let pixels = width as usize * height as usize;
+        if packed.len() != pixels.div_ceil(4) {
+            return None;
+        }
+        Some(EncMask { width, height, packed })
+    }
+
     /// Iterates the statuses of row `y` from left to right.
     ///
     /// # Panics

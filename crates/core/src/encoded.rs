@@ -2,6 +2,21 @@ use crate::{FrameMetadata, PixelStatus};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+/// 64-bit FNV-1a, the digest sealing an encoded frame's contents. Kept
+/// dependency-free and byte-order independent so the hardware DMA
+/// engine could compute it incrementally while streaming the frame out.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// One encoded frame: the tightly packed regional (`R`) pixels in
 /// original raster-scan order, plus the metadata needed to decode them
 /// (paper §3.2–3.3).
@@ -22,13 +37,19 @@ pub struct EncodedFrame {
     pixels: Bytes,
     /// Per-row offsets and EncMask.
     metadata: FrameMetadata,
+    /// FNV-1a digest over geometry, frame index, payload, and metadata,
+    /// written at assembly time. [`EncodedFrame::validate`] recomputes
+    /// it to catch content corruption (payload bit rot, mask bit flips,
+    /// stale metadata) that the structural checks cannot see.
+    integrity: u64,
 }
 
 impl EncodedFrame {
-    /// Assembles an encoded frame. The constructor does not check
-    /// consistency (so corrupted frames can be modeled); use
-    /// [`EncodedFrame::validate`] to verify integrity before trusting
-    /// the contents.
+    /// Assembles an encoded frame, sealing its current contents with an
+    /// integrity digest. The constructor does not check structural
+    /// consistency (so inconsistently assembled frames can be modeled);
+    /// use [`EncodedFrame::validate`] to verify integrity before
+    /// trusting the contents.
     pub fn new(
         width: u32,
         height: u32,
@@ -36,7 +57,52 @@ impl EncodedFrame {
         pixels: Vec<u8>,
         metadata: FrameMetadata,
     ) -> Self {
-        EncodedFrame { width, height, frame_idx, pixels: Bytes::from(pixels), metadata }
+        let mut frame = EncodedFrame {
+            width,
+            height,
+            frame_idx,
+            pixels: Bytes::from(pixels),
+            metadata,
+            integrity: 0,
+        };
+        frame.integrity = frame.compute_integrity();
+        frame
+    }
+
+    /// Reassembles a frame from raw parts *without* recomputing the
+    /// digest — the shape a frame has after its bytes sat in (possibly
+    /// faulty) DRAM: the digest still describes what was written, while
+    /// the contents may have rotted. This is the constructor fault
+    /// injectors use; [`EncodedFrame::validate`] detects the mismatch.
+    pub fn from_raw_parts(
+        width: u32,
+        height: u32,
+        frame_idx: u64,
+        pixels: Vec<u8>,
+        metadata: FrameMetadata,
+        integrity: u64,
+    ) -> Self {
+        EncodedFrame { width, height, frame_idx, pixels: Bytes::from(pixels), metadata, integrity }
+    }
+
+    /// The digest stored when the frame was assembled.
+    pub fn integrity(&self) -> u64 {
+        self.integrity
+    }
+
+    /// Recomputes the integrity digest from the frame's current
+    /// contents. Equal to [`EncodedFrame::integrity`] exactly when the
+    /// frame is bit-identical to what [`EncodedFrame::new`] sealed.
+    pub fn compute_integrity(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, &self.width.to_le_bytes());
+        h = fnv1a(h, &self.height.to_le_bytes());
+        h = fnv1a(h, &self.frame_idx.to_le_bytes());
+        h = fnv1a(h, &self.pixels);
+        h = fnv1a(h, self.metadata.mask.as_bytes());
+        for &off in self.metadata.row_offsets.as_slice() {
+            h = fnv1a(h, &off.to_le_bytes());
+        }
+        h
     }
 
     /// Original (decoded-space) frame width.
@@ -102,8 +168,15 @@ impl EncodedFrame {
     }
 
     /// Integrity check for a frame read back from (possibly corrupted)
-    /// storage: the mask geometry, the per-row offset totals, and the
-    /// payload length must all agree.
+    /// storage. Structural checks first — the mask geometry, the offset
+    /// table's shape (row count, monotonicity, totals), and the payload
+    /// length must all agree — then the content digest, which catches
+    /// corruption the structure cannot see (payload bit rot, mask
+    /// status flips that preserve per-row counts, stale frame indices).
+    ///
+    /// A frame that passes `validate` decodes without panicking: every
+    /// row span is a forward range inside the payload holding exactly
+    /// as many pixels as the mask marks `R` on that row.
     ///
     /// # Errors
     ///
@@ -122,6 +195,22 @@ impl EncodedFrame {
                 self.height
             )));
         }
+        if self.metadata.row_offsets.rows() != self.height {
+            return Err(corrupt(format!(
+                "offset table covers {} rows but frame has {}",
+                self.metadata.row_offsets.rows(),
+                self.height
+            )));
+        }
+        if !self.metadata.row_offsets.is_monotonic() {
+            return Err(corrupt("row offsets are not monotonically non-decreasing".into()));
+        }
+        if self.metadata.row_offsets.as_slice()[0] != 0 {
+            return Err(corrupt(format!(
+                "offset table starts at {} instead of 0",
+                self.metadata.row_offsets.as_slice()[0]
+            )));
+        }
         if self.metadata.row_offsets.total() as usize != self.pixels.len() {
             return Err(corrupt(format!(
                 "offsets claim {} pixels but payload holds {}",
@@ -131,6 +220,13 @@ impl EncodedFrame {
         }
         if !self.metadata.is_consistent() {
             return Err(corrupt("per-row offsets disagree with the EncMask".into()));
+        }
+        let computed = self.compute_integrity();
+        if computed != self.integrity {
+            return Err(corrupt(format!(
+                "integrity digest mismatch: stored {:#018x}, contents hash to {computed:#018x}",
+                self.integrity
+            )));
         }
         Ok(())
     }
@@ -196,5 +292,114 @@ mod tests {
     #[test]
     fn frame_idx_is_preserved() {
         assert_eq!(tiny_encoded().frame_idx(), 7);
+    }
+
+    #[test]
+    fn fresh_frames_validate_clean() {
+        assert!(tiny_encoded().validate().is_ok());
+    }
+
+    /// Rebuilds `f` with one field replaced, carrying the original
+    /// digest — the testkit injectors' corruption model.
+    fn reassemble(
+        f: &EncodedFrame,
+        pixels: Vec<u8>,
+        metadata: FrameMetadata,
+        frame_idx: u64,
+    ) -> EncodedFrame {
+        EncodedFrame::from_raw_parts(
+            f.width(),
+            f.height(),
+            frame_idx,
+            pixels,
+            metadata,
+            f.integrity(),
+        )
+    }
+
+    #[test]
+    fn payload_bit_flip_is_detected() {
+        let f = tiny_encoded();
+        let mut pixels = f.pixels().to_vec();
+        pixels[1] ^= 0x40;
+        let bad = reassemble(&f, pixels, f.metadata().clone(), f.frame_idx());
+        assert!(matches!(bad.validate(), Err(crate::CoreError::CorruptEncodedFrame { .. })));
+    }
+
+    #[test]
+    fn stale_frame_idx_is_detected() {
+        let f = tiny_encoded();
+        let bad = reassemble(&f, f.pixels().to_vec(), f.metadata().clone(), 6);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn payload_truncation_is_detected() {
+        let f = tiny_encoded();
+        let bad =
+            reassemble(&f, f.pixels()[..2].to_vec(), f.metadata().clone(), f.frame_idx());
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn mask_flip_preserving_row_counts_is_detected() {
+        // St -> Sk keeps every per-row R count identical; only the
+        // digest can see it.
+        let f = tiny_encoded();
+        let mut meta = f.metadata().clone();
+        assert_eq!(meta.mask.get(2, 1), PixelStatus::Strided);
+        meta.mask.set(2, 1, PixelStatus::Skipped);
+        let bad = reassemble(&f, f.pixels().to_vec(), meta, f.frame_idx());
+        assert!(meta_err_mentions(&bad, "digest"));
+    }
+
+    #[test]
+    fn truncated_offset_table_is_detected() {
+        let f = tiny_encoded();
+        let mut meta = f.metadata().clone();
+        meta.row_offsets = crate::RowOffsets::from_row_counts(&[3]);
+        let bad = reassemble(&f, f.pixels().to_vec(), meta, f.frame_idx());
+        assert!(meta_err_mentions(&bad, "rows"));
+    }
+
+    #[test]
+    fn non_monotonic_offsets_are_detected() {
+        // Crafted so span lengths still match the mask's R counts (row 0
+        // holds 2 R, row 1 holds 1 R) while a span runs backwards; the
+        // old validate() accepted shapes like this and decode panicked.
+        let f = tiny_encoded();
+        let mut meta = f.metadata().clone();
+        meta.row_offsets = crate::RowOffsets::from_raw_offsets(vec![0, 4, 3]);
+        let bad = reassemble(&f, f.pixels().to_vec(), meta, f.frame_idx());
+        assert!(meta_err_mentions(&bad, "monotonic"));
+    }
+
+    #[test]
+    fn shifted_offset_base_is_detected() {
+        // First entry non-zero with a consistent-looking tail: without
+        // the leading-zero check the decoder would read the wrong span.
+        let f = tiny_encoded();
+        let mut meta = f.metadata().clone();
+        meta.row_offsets = crate::RowOffsets::from_raw_offsets(vec![1, 3, 3]);
+        let bad = reassemble(&f, f.pixels().to_vec(), meta, f.frame_idx());
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_clean_frames() {
+        let f = tiny_encoded();
+        let copy = reassemble(&f, f.pixels().to_vec(), f.metadata().clone(), f.frame_idx());
+        assert_eq!(copy, f);
+        assert!(copy.validate().is_ok());
+    }
+
+    fn meta_err_mentions(frame: &EncodedFrame, needle: &str) -> bool {
+        match frame.validate() {
+            Err(crate::CoreError::CorruptEncodedFrame { reason }) => {
+                assert!(reason.contains(needle), "reason {reason:?} missing {needle:?}");
+                true
+            }
+            other => panic!("expected CorruptEncodedFrame, got {other:?}"),
+        }
     }
 }

@@ -69,6 +69,30 @@ impl RowOffsets {
         *self.offsets.last().expect("offsets always non-empty")
     }
 
+    /// The raw cumulative offset entries (length = rows + 1, first
+    /// entry 0 for tables built by [`RowOffsets::from_row_counts`]).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Reassembles a table from raw cumulative entries — the shape a
+    /// corrupted or tampered table read back from DRAM can have. No
+    /// monotonicity or leading-zero invariant is enforced (that is
+    /// [`crate::EncodedFrame::validate`]'s job); an empty vector is
+    /// normalized to the canonical empty table `[0]`.
+    pub fn from_raw_offsets(mut offsets: Vec<u32>) -> Self {
+        if offsets.is_empty() {
+            offsets.push(0);
+        }
+        RowOffsets { offsets }
+    }
+
+    /// True when the cumulative entries never decrease — the invariant
+    /// that keeps every [`RowOffsets::row_span`] a forward range.
+    pub fn is_monotonic(&self) -> bool {
+        self.offsets.windows(2).all(|w| w[0] <= w[1])
+    }
+
     /// Byte size of the table in DRAM (4 bytes per row, matching the
     /// paper's metadata accounting; the sentinel entry is an
     /// implementation convenience and is not charged).

@@ -1,0 +1,144 @@
+//! Boundary tests for the decoder's frame history and the PMMU's
+//! temporal-skip resolution: eviction exactly at [`HISTORY_DEPTH`],
+//! `frames_back >= len` lookups, and skip resolution against a history
+//! shallower than the skip distance (the startup transient).
+
+use rpr_core::{
+    FrameHistory, PixelMmu, PixelRequest, RegionLabel, RegionList,
+    RhythmicEncoder, SoftwareDecoder, SubRequestKind, TransactionAnalyzer, HISTORY_DEPTH,
+};
+use rpr_testkit::{gen_frame, TestRng};
+
+const W: u32 = 12;
+const H: u32 = 10;
+
+fn encode_full(idx: u64, rng: &mut TestRng) -> rpr_core::EncodedFrame {
+    let frame = gen_frame(rng, W, H);
+    RhythmicEncoder::new(W, H).encode(&frame, idx, &RegionList::full_frame(W, H))
+}
+
+/// A region set whose pixels are all temporally skipped on odd frames.
+fn skip2_regions() -> RegionList {
+    RegionList::new(W, H, vec![RegionLabel::new(0, 0, W, H, 1, 2)]).unwrap()
+}
+
+#[test]
+fn history_evicts_exactly_at_depth() {
+    let mut rng = TestRng::new(1);
+    let mut history = FrameHistory::new();
+    assert!(history.is_empty());
+    for idx in 0..HISTORY_DEPTH as u64 {
+        history.push(encode_full(idx, &mut rng));
+        assert_eq!(history.len(), idx as usize + 1, "fills up to depth");
+    }
+    // One more evicts the oldest, never exceeding the depth.
+    history.push(encode_full(HISTORY_DEPTH as u64, &mut rng));
+    assert_eq!(history.len(), HISTORY_DEPTH);
+    assert_eq!(history.current().unwrap().frame_idx(), HISTORY_DEPTH as u64);
+    assert_eq!(
+        history.get(HISTORY_DEPTH - 1).unwrap().frame_idx(),
+        1,
+        "frame 0 was evicted"
+    );
+}
+
+#[test]
+fn get_beyond_len_is_none() {
+    let mut rng = TestRng::new(2);
+    let mut history = FrameHistory::new();
+    assert!(history.get(0).is_none(), "empty history has no current");
+    history.push(encode_full(0, &mut rng));
+    history.push(encode_full(1, &mut rng));
+    assert!(history.get(1).is_some());
+    assert!(history.get(2).is_none(), "frames_back == len");
+    assert!(history.get(HISTORY_DEPTH).is_none(), "frames_back == depth");
+    assert!(history.get(usize::MAX).is_none());
+}
+
+#[test]
+fn skip_resolution_with_shallow_history_is_black() {
+    // Only the off-phase frame (idx 1, all pixels Sk) is in history: the
+    // analyzer walks back, finds nothing, and must fall to Black rather
+    // than index past the end.
+    let mut rng = TestRng::new(3);
+    let frame = gen_frame(&mut rng, W, H);
+    let encoded = RhythmicEncoder::new(W, H).encode(&frame, 1, &skip2_regions());
+    assert_eq!(encoded.pixel_count(), 0, "off-phase frame stores nothing");
+    let mut history = FrameHistory::new();
+    history.push(encoded);
+
+    let mut analyzer = TransactionAnalyzer::new();
+    for y in 0..H {
+        for x in 0..W {
+            let sub = analyzer.translate_pixel(&history, x, y);
+            assert_eq!(sub.kind, SubRequestKind::Black, "({x},{y})");
+        }
+    }
+    assert_eq!(analyzer.stats().black, u64::from(W * H));
+    assert_eq!(analyzer.stats().inter_frame, 0);
+}
+
+#[test]
+fn skip_resolution_finds_data_exactly_one_frame_back() {
+    let mut rng = TestRng::new(4);
+    let mut enc = RhythmicEncoder::new(W, H);
+    let regions = skip2_regions();
+    let on_phase = enc.encode(&gen_frame(&mut rng, W, H), 0, &regions);
+    let off_phase = enc.encode(&gen_frame(&mut rng, W, H), 1, &regions);
+    assert!(off_phase.pixel_count() == 0);
+
+    let mut history = FrameHistory::new();
+    history.push(on_phase.clone());
+    history.push(off_phase);
+
+    let mut analyzer = TransactionAnalyzer::new();
+    let sub = analyzer.translate_pixel(&history, 3, 2);
+    match sub.kind {
+        SubRequestKind::HistoryFrame { frames_back, offset } => {
+            assert_eq!(frames_back, 1);
+            assert_eq!(
+                history.get(1).unwrap().pixels().get(offset as usize).copied(),
+                on_phase.fetch_regional(3, 2),
+                "offset lands on the on-phase pixel"
+            );
+        }
+        other => panic!("expected HistoryFrame, got {other:?}"),
+    }
+}
+
+#[test]
+fn decoder_startup_serves_black_then_history() {
+    let mut rng = TestRng::new(5);
+    let regions = skip2_regions();
+    let mut enc = RhythmicEncoder::new(W, H);
+    let mut dec = SoftwareDecoder::new(W, H);
+
+    // Decode the off-phase frame first: no history, everything black.
+    let off_first = enc.encode(&gen_frame(&mut rng, W, H), 1, &regions);
+    let d = dec.decode(&off_first);
+    assert!(d.as_slice().iter().all(|&v| v == 0), "startup skip is black");
+
+    // Now an on-phase frame, then off-phase: skip serves the on-phase
+    // content.
+    let src = gen_frame(&mut rng, W, H);
+    dec.decode(&enc.encode(&src, 2, &regions));
+    let d = dec.decode(&enc.encode(&gen_frame(&mut rng, W, H), 3, &regions));
+    assert_eq!(d.get(5, 5), src.get(5, 5), "skip serves previous decode");
+}
+
+#[test]
+fn mmu_rejects_out_of_frame_and_empty_history() {
+    let mut rng = TestRng::new(6);
+    let mut mmu = PixelMmu::new(W, H);
+    let empty = FrameHistory::new();
+    assert!(
+        mmu.analyze(&empty, PixelRequest::single(0, 0)).is_err(),
+        "empty history is an error, not a panic"
+    );
+    let mut history = FrameHistory::new();
+    history.push(encode_full(0, &mut rng));
+    assert!(mmu.analyze(&history, PixelRequest::single(W, 0)).is_err());
+    assert!(mmu.analyze(&history, PixelRequest::single(0, H)).is_err());
+    assert!(mmu.analyze(&history, PixelRequest { x: W - 1, y: H - 1, len: 2 }).is_err());
+    assert!(mmu.analyze(&history, PixelRequest::single(W - 1, H - 1)).is_ok());
+}

@@ -1,0 +1,125 @@
+//! Property tests for the RegionLabel → EncMask → encode → decode
+//! round trip, driven by the rpr-testkit generators: over seeded
+//! overlapping, degenerate, and frame-spanning region sets, every `R`
+//! pixel must survive the round trip exactly (the representation's
+//! defining guarantee, paper §3.2), in both reconstruction modes, and
+//! every freshly encoded frame must validate.
+
+use rpr_core::{
+    PixelStatus, ReconstructionMode, RegionList, RhythmicEncoder, SoftwareDecoder,
+};
+use rpr_testkit::{gen_frame, gen_region_list, TestRng};
+
+const CASES: u64 = 150;
+
+/// Drawn geometry per case: small enough to keep the sweep fast, large
+/// enough for multi-region overlap.
+fn geometry(rng: &mut TestRng) -> (u32, u32) {
+    (rng.range_u32(6, 36), rng.range_u32(6, 28))
+}
+
+#[test]
+fn r_pixels_roundtrip_exactly_in_both_modes() {
+    for seed in 0..CASES {
+        let mut rng = TestRng::new(seed);
+        let (w, h) = geometry(&mut rng);
+        let frame = gen_frame(&mut rng, w, h);
+        let regions = gen_region_list(&mut rng, w, h, 6);
+        let encoded = RhythmicEncoder::new(w, h).encode(&frame, seed, &regions);
+        let mask = &encoded.metadata().mask;
+        for mode in [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate] {
+            let mut dec = SoftwareDecoder::with_mode(w, h, mode);
+            let decoded = dec.decode(&encoded);
+            for y in 0..h {
+                for x in 0..w {
+                    if mask.get(x, y) == PixelStatus::Regional {
+                        assert_eq!(
+                            decoded.get(x, y),
+                            frame.get(x, y),
+                            "seed {seed} {mode:?} R pixel ({x},{y})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fresh_frames_always_validate() {
+    for seed in 0..CASES {
+        let mut rng = TestRng::new(seed ^ 0xA5A5);
+        let (w, h) = geometry(&mut rng);
+        let frame = gen_frame(&mut rng, w, h);
+        let regions = gen_region_list(&mut rng, w, h, 6);
+        let encoded = RhythmicEncoder::new(w, h).encode(&frame, seed, &regions);
+        encoded
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: fresh frame failed validate: {e}"));
+    }
+}
+
+#[test]
+fn mask_marks_exactly_the_labeled_r_pixels() {
+    for seed in 0..CASES {
+        let mut rng = TestRng::new(seed ^ 0x0F0F);
+        let (w, h) = geometry(&mut rng);
+        let regions = gen_region_list(&mut rng, w, h, 6);
+        let frame = gen_frame(&mut rng, w, h);
+        let encoded = RhythmicEncoder::new(w, h).encode(&frame, 0, &regions);
+        let mask = &encoded.metadata().mask;
+        for y in 0..h {
+            for x in 0..w {
+                // A pixel is R exactly when some label keeps it on its
+                // stride grid and is temporally sampled on this frame
+                // (frame 0: every region samples). Priority R > St > Sk
+                // means one keeping label suffices.
+                let expected = regions
+                    .labels()
+                    .iter()
+                    .any(|r| r.keeps_pixel(x, y) && r.is_sampled_on(0));
+                let is_r = mask.get(x, y) == PixelStatus::Regional;
+                assert_eq!(
+                    is_r, expected,
+                    "seed {seed}: mask/label disagreement at ({x},{y})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_length_matches_mask_r_count() {
+    for seed in 0..CASES {
+        let mut rng = TestRng::new(seed ^ 0x1234);
+        let (w, h) = geometry(&mut rng);
+        let frame = gen_frame(&mut rng, w, h);
+        let regions = gen_region_list(&mut rng, w, h, 6);
+        let encoded = RhythmicEncoder::new(w, h).encode(&frame, 0, &regions);
+        assert_eq!(
+            encoded.pixel_count() as u64,
+            encoded.metadata().mask.regional_total(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            encoded.metadata().row_offsets.total() as usize,
+            encoded.pixel_count(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn empty_region_lists_produce_empty_frames_that_validate() {
+    let mut rng = TestRng::new(77);
+    for _ in 0..20 {
+        let (w, h) = geometry(&mut rng);
+        let frame = gen_frame(&mut rng, w, h);
+        let regions = RegionList::new_lossy(w, h, vec![]);
+        let encoded = RhythmicEncoder::new(w, h).encode(&frame, 0, &regions);
+        assert_eq!(encoded.pixel_count(), 0);
+        assert!(encoded.validate().is_ok());
+        let decoded = SoftwareDecoder::new(w, h).decode(&encoded);
+        assert!(decoded.as_slice().iter().all(|&v| v == 0), "all black");
+    }
+}

@@ -1,0 +1,151 @@
+//! Golden-vector regression tests for the ISP stages: bilinear
+//! demosaic, gamma LUT, colour-correction matrix, YUV conversion, and
+//! the assembled demosaic→CCM→gamma→luma pipeline.
+//!
+//! The expected values are the outputs of the implementation as
+//! specified — fixed-point BT.601 luma weights, LUT-quantized gamma,
+//! clamped 4.8 fixed-point CCM — captured on a deterministic synthetic
+//! Bayer field. Any numeric drift in an ISP stage (changed rounding,
+//! reordered clamps, new coefficients) fails here with the exact pixel
+//! that moved, which matters because the encoder consumes the luma
+//! plane and silent drift would shift every downstream accuracy
+//! number.
+
+use rpr_frame::{GrayFrame, Plane};
+use rpr_isp::{
+    demosaic_bilinear, pack_uyvy, rgb_to_ycbcr, unpack_uyvy, ycbcr_to_rgb, ColorMatrix,
+    GammaLut, IspConfig, IspPipeline,
+};
+
+/// The deterministic Bayer test field used by every golden vector.
+fn bayer(w: u32, h: u32) -> GrayFrame {
+    Plane::from_fn(w, h, |x, y| ((x * 31 + y * 57 + 13) % 256) as u8)
+}
+
+#[test]
+fn demosaic_bilinear_matches_golden() {
+    const GOLDEN: [[u8; 3]; 24] = [
+        [13, 35, 57], [44, 44, 73], [75, 89, 104], [106, 106, 135], [137, 151, 166],
+        [153, 168, 197], [70, 70, 86], [101, 101, 101], [132, 132, 132], [163, 163, 163],
+        [194, 194, 194], [146, 153, 225], [127, 135, 143], [158, 158, 158], [189, 189, 125],
+        [220, 220, 92], [251, 123, 123], [139, 26, 154], [156, 184, 200], [187, 201, 215],
+        [218, 246, 118], [185, 135, 21], [152, 52, 52], [103, 61, 83],
+    ];
+    let rgb = demosaic_bilinear(&bayer(6, 4));
+    for y in 0..4u32 {
+        for x in 0..6u32 {
+            assert_eq!(
+                rgb.get(x, y),
+                Some(GOLDEN[(y * 6 + x) as usize]),
+                "demosaic drifted at ({x},{y})"
+            );
+        }
+    }
+}
+
+#[test]
+fn gamma_lut_2_2_matches_golden() {
+    const INPUT: [u8; 15] = [0, 1, 2, 5, 10, 25, 50, 64, 100, 128, 180, 200, 225, 254, 255];
+    const GOLDEN: [u8; 15] =
+        [0, 21, 28, 43, 59, 89, 122, 136, 167, 186, 218, 228, 241, 255, 255];
+    let lut = GammaLut::new(2.2);
+    for (i, &p) in INPUT.iter().enumerate() {
+        assert_eq!(lut.apply(p), GOLDEN[i], "gamma(2.2) drifted at input {p}");
+    }
+    // The identity curve must stay exactly the identity.
+    let id = GammaLut::identity();
+    for v in [0u8, 1, 127, 128, 254, 255] {
+        assert_eq!(id.apply(v), v);
+    }
+}
+
+const TRIPLES: [[u8; 3]; 8] = [
+    [0, 0, 0], [255, 255, 255], [255, 0, 0], [0, 255, 0], [0, 0, 255],
+    [100, 150, 200], [13, 57, 31], [200, 100, 50],
+];
+
+#[test]
+fn typical_mobile_ccm_matches_golden() {
+    const GOLDEN: [[u8; 3]; 8] = [
+        [0, 0, 0], [255, 255, 255], [255, 0, 0], [0, 255, 0], [0, 0, 255],
+        [80, 148, 218], [2, 69, 25], [235, 95, 30],
+    ];
+    let ccm = ColorMatrix::typical_mobile();
+    for (i, &t) in TRIPLES.iter().enumerate() {
+        assert_eq!(ccm.apply(t), GOLDEN[i], "typical_mobile CCM drifted on {t:?}");
+    }
+}
+
+#[test]
+fn white_balance_ccm_matches_golden() {
+    const GOLDEN: [[u8; 3]; 8] = [
+        [0, 0, 0], [255, 255, 191], [255, 0, 0], [0, 255, 0], [0, 0, 191],
+        [150, 150, 150], [20, 57, 23], [255, 100, 38],
+    ];
+    let wb = ColorMatrix::white_balance(1.5, 1.0, 0.75);
+    for (i, &t) in TRIPLES.iter().enumerate() {
+        assert_eq!(wb.apply(t), GOLDEN[i], "white_balance(1.5,1.0,0.75) drifted on {t:?}");
+    }
+    // Identity matrix is exactly the identity on every triple.
+    let id = ColorMatrix::identity();
+    for &t in &TRIPLES {
+        assert_eq!(id.apply(t), t);
+    }
+}
+
+#[test]
+fn bt601_ycbcr_matches_golden() {
+    const GOLDEN: [[u8; 3]; 8] = [
+        [0, 128, 128], [255, 128, 128], [76, 85, 255], [150, 44, 21], [29, 255, 107],
+        [141, 161, 99], [41, 122, 108], [124, 86, 182],
+    ];
+    for (i, &t) in TRIPLES.iter().enumerate() {
+        let ycbcr = rgb_to_ycbcr(t);
+        assert_eq!(ycbcr, GOLDEN[i], "rgb_to_ycbcr drifted on {t:?}");
+        // Round trip stays within BT.601 quantization error.
+        let back = ycbcr_to_rgb(ycbcr);
+        for c in 0..3 {
+            let err = (i16::from(back[c]) - i16::from(t[c])).abs();
+            assert!(err <= 3, "ycbcr round trip error {err} on {t:?} channel {c}");
+        }
+    }
+}
+
+#[test]
+fn uyvy_packing_matches_golden() {
+    const GOLDEN: [u8; 48] = [
+        143, 31, 120, 47, 140, 87, 123, 109, 141, 149, 119, 167, 132, 72, 127, 101,
+        128, 132, 128, 163, 146, 194, 123, 159, 130, 134, 125, 158, 80, 182, 135, 205,
+        139, 161, 183, 74, 139, 177, 116, 198, 66, 223, 143, 137, 121, 82, 162, 76,
+    ];
+    let rgb = demosaic_bilinear(&bayer(6, 4));
+    let packed = pack_uyvy(&rgb);
+    assert_eq!(packed.len(), 48, "UYVY is 2 bytes per pixel");
+    assert_eq!(packed[..], GOLDEN[..], "UYVY packing drifted");
+    // Unpack returns the packed luma exactly (chroma is subsampled).
+    let (luma, _) = unpack_uyvy(&packed, 6, 4);
+    for y in 0..4u32 {
+        for x in 0..6u32 {
+            let [r, g, b] = rgb.get(x, y).unwrap();
+            let expect = rgb_to_ycbcr([r, g, b])[0];
+            assert_eq!(luma.get(x, y), Some(expect), "luma ({x},{y})");
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_luma_matches_golden() {
+    const GOLDEN: [u8; 48] = [
+        79, 105, 147, 164, 194, 207, 204, 238, 134, 160, 183, 204, 222, 165, 82, 156,
+        184, 201, 219, 233, 192, 89, 118, 146, 217, 196, 212, 185, 137, 158, 170, 185,
+        191, 86, 148, 141, 167, 189, 208, 220, 122, 134, 156, 172, 200, 213, 232, 168,
+    ];
+    let pipe = IspPipeline::new(IspConfig {
+        gamma: 2.0,
+        ccm: ColorMatrix::typical_mobile(),
+        ..Default::default()
+    });
+    let out = pipe.process(&bayer(8, 6));
+    assert_eq!(out.luma.as_slice(), &GOLDEN[..], "demosaic→CCM→gamma→luma drifted");
+    assert_eq!((out.rgb.width(), out.rgb.height()), (8, 6));
+}

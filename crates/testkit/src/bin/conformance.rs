@@ -1,0 +1,76 @@
+//! The conformance gate CI runs: a fixed seed corpus through the full
+//! differential + fault-injection harness, JSON report on stdout,
+//! non-zero exit on any violation.
+//!
+//! Usage: `conformance [base_seed] [n_cases]` — defaults reproduce the
+//! CI corpus exactly. Rerun a single failing seed with
+//! `conformance <seed> 1`.
+
+use std::env;
+use std::process::ExitCode;
+
+/// Base seed of the CI corpus. Fixed so every CI run and every local
+/// repro sees the same cases; see TESTING.md before changing it.
+const DEFAULT_BASE_SEED: u64 = 0x5252_2021; // "RR 2021"
+/// Number of cases in the CI corpus.
+const DEFAULT_CASES: u64 = 2000;
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let base_seed = match args.next() {
+        Some(s) => match parse_u64(&s) {
+            Some(v) => v,
+            None => return usage(&s),
+        },
+        None => DEFAULT_BASE_SEED,
+    };
+    let n_cases = match args.next() {
+        Some(s) => match parse_u64(&s) {
+            Some(v) => v,
+            None => return usage(&s),
+        },
+        None => DEFAULT_CASES,
+    };
+
+    let report = rpr_testkit::run_corpus(base_seed, n_cases);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("report serialization failed: {e:?}"),
+    }
+
+    if report.passed() {
+        eprintln!(
+            "conformance: {} cases passed ({} clean frames, {} faults detected, {} harmless, {} skipped)",
+            report.cases,
+            report.clean_frames_ok,
+            report.faults_detected,
+            report.faults_harmless,
+            report.faults_skipped,
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "conformance: {} of {} cases FAILED; reproduce with `cargo run --release -p rpr-testkit --bin conformance -- <seed> 1`",
+            report.failing_seeds.len(),
+            report.cases,
+        );
+        for seed in &report.failing_seeds {
+            eprintln!("  failing seed: {seed}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn usage(bad: &str) -> ExitCode {
+    eprintln!("conformance: invalid argument `{bad}`");
+    eprintln!("usage: conformance [base_seed] [n_cases]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,346 @@
+//! The differential conformance runner.
+//!
+//! One *case* is a seeded capture sequence pushed through the whole
+//! encode→DRAM→decode path three ways at once:
+//!
+//! 1. **Differential decode** — every clean encoded frame is decoded by
+//!    the production [`SoftwareDecoder`] in both
+//!    [`ReconstructionMode`]s and checked byte-for-byte against the
+//!    naive [`ReferenceDecoder`], with every `R` pixel additionally
+//!    checked against the source frame (the representation's exactness
+//!    guarantee, paper §3.2).
+//! 2. **Fault injection** — every applicable [`FaultKind`] is injected
+//!    into each encoded frame, and the production path must classify
+//!    it: *detected* (a typed `CorruptEncodedFrame`/`GeometryMismatch`
+//!    error from `try_decode`) or *harmless* (byte-identical decode).
+//!    A panic or a silently different decode is a conformance
+//!    violation.
+//! 3. **Lossy DRAM** — frames round-trip a [`LossyDram`] with seeded
+//!    bit rot; corrupted read-backs must be rejected, clean read-backs
+//!    must decode identically.
+//!
+//! Reports serialize to JSON so CI can archive them; any violation
+//! carries the case seed, which reproduces the whole case offline.
+
+use crate::{gen_capture_sequence, LossyDram, ReadOutcome, ReferenceDecoder, TestRng, ALL_FAULTS};
+use rpr_core::{ReconstructionMode, RhythmicEncoder, SoftwareDecoder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const MODES: [ReconstructionMode; 2] =
+    [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate];
+
+fn mode_name(mode: ReconstructionMode) -> &'static str {
+    match mode {
+        ReconstructionMode::BlockNearest => "block-nearest",
+        ReconstructionMode::FifoReplicate => "fifo-replicate",
+    }
+}
+
+/// Outcome counters and violations for one seeded case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseReport {
+    /// The seed that reproduces this case end to end.
+    pub seed: u64,
+    /// Frame width drawn for the case.
+    pub width: u32,
+    /// Frame height drawn for the case.
+    pub height: u32,
+    /// Number of frames in the capture sequence.
+    pub frames: usize,
+    /// Clean frames whose production decode matched the reference in
+    /// both modes.
+    pub clean_frames_ok: u64,
+    /// Faults classified as detected.
+    pub faults_detected: u64,
+    /// Faults classified as harmless (byte-identical decode).
+    pub faults_harmless: u64,
+    /// Fault draws skipped because the frame could not host them.
+    pub faults_skipped: u64,
+    /// Lossy-DRAM read-backs exercised.
+    pub dram_reads: u64,
+    /// Per-fault-kind counts of classified (detected or harmless)
+    /// injections.
+    pub fault_counts: BTreeMap<String, u64>,
+    /// Human-readable descriptions of every conformance violation.
+    pub violations: Vec<String>,
+}
+
+impl CaseReport {
+    /// True when the case produced no violations.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregated outcome of a whole seed corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases with no violations.
+    pub cases_passed: u64,
+    /// Clean frames checked against the reference (both modes).
+    pub clean_frames_ok: u64,
+    /// Total faults classified as detected.
+    pub faults_detected: u64,
+    /// Total faults classified as harmless.
+    pub faults_harmless: u64,
+    /// Total fault draws skipped as inapplicable.
+    pub faults_skipped: u64,
+    /// Lossy-DRAM read-backs exercised.
+    pub dram_reads: u64,
+    /// Per-fault-kind counts of detected + harmless classifications.
+    pub fault_counts: BTreeMap<String, u64>,
+    /// Seeds of failing cases (rerun with `run_case(seed)`).
+    pub failing_seeds: Vec<u64>,
+    /// First violations encountered, capped to keep reports readable.
+    pub violations: Vec<String>,
+}
+
+impl CorpusReport {
+    /// True when every case passed.
+    pub fn passed(&self) -> bool {
+        self.failing_seeds.is_empty()
+    }
+}
+
+/// Runs one seeded conformance case. Geometry, content, regions,
+/// policies, and fault draws are all derived from `seed`.
+pub fn run_case(seed: u64) -> CaseReport {
+    let mut rng = TestRng::new(seed);
+    let width = rng.range_u32(8, 40);
+    let height = rng.range_u32(8, 32);
+    let n_frames = rng.range_usize(1, 5);
+    let seq = gen_capture_sequence(&mut rng, width, height, n_frames);
+
+    let mut report = CaseReport {
+        seed,
+        width,
+        height,
+        frames: n_frames,
+        clean_frames_ok: 0,
+        faults_detected: 0,
+        faults_harmless: 0,
+        faults_skipped: 0,
+        dram_reads: 0,
+        fault_counts: BTreeMap::new(),
+        violations: Vec::new(),
+    };
+
+    let mut encoder = RhythmicEncoder::new(width, height);
+    let mut production: Vec<SoftwareDecoder> =
+        MODES.iter().map(|&m| SoftwareDecoder::with_mode(width, height, m)).collect();
+    let mut reference: Vec<ReferenceDecoder> =
+        MODES.iter().map(|&m| ReferenceDecoder::new(width, height, m)).collect();
+    let mut dram = LossyDram::new(rng.next_u64(), 1, 2);
+    let mut fault_rng = rng.fork();
+
+    for (idx, (frame, regions)) in seq.frames.iter().zip(&seq.regions).enumerate() {
+        let encoded = encoder.encode(frame, idx as u64, regions);
+
+        // A freshly encoded frame must always validate.
+        if let Err(e) = encoded.validate() {
+            report
+                .violations
+                .push(format!("seed {seed} frame {idx}: fresh frame failed validate: {e}"));
+            continue;
+        }
+
+        // Snapshot decoder states *before* this frame so fault decodes
+        // replay from the exact same history the clean decode saw.
+        let snapshots: Vec<SoftwareDecoder> = production.to_vec();
+
+        // Differential decode, both modes.
+        let mut clean_outputs = Vec::with_capacity(MODES.len());
+        let mut frame_ok = true;
+        for (m, mode) in MODES.iter().enumerate() {
+            let out = match production[m].try_decode(&encoded) {
+                Ok(out) => out,
+                Err(e) => {
+                    report.violations.push(format!(
+                        "seed {seed} frame {idx} {}: clean decode rejected: {e}",
+                        mode_name(*mode)
+                    ));
+                    frame_ok = false;
+                    clean_outputs.push(None);
+                    continue;
+                }
+            };
+            let expect = reference[m].decode(&encoded);
+            if out != expect {
+                report.violations.push(format!(
+                    "seed {seed} frame {idx} {}: production decode differs from reference",
+                    mode_name(*mode)
+                ));
+                frame_ok = false;
+            }
+            // Exactness: every R pixel must equal the source.
+            let mask = &encoded.metadata().mask;
+            'exact: for y in 0..height {
+                for x in 0..width {
+                    if mask.get(x, y) == rpr_core::PixelStatus::Regional
+                        && out.get(x, y) != frame.get(x, y)
+                    {
+                        report.violations.push(format!(
+                            "seed {seed} frame {idx} {}: R pixel ({x},{y}) not exact",
+                            mode_name(*mode)
+                        ));
+                        frame_ok = false;
+                        break 'exact;
+                    }
+                }
+            }
+            clean_outputs.push(Some(out));
+        }
+        if frame_ok {
+            report.clean_frames_ok += 1;
+        }
+
+        // Fault injection against the BlockNearest snapshot (the mode
+        // with the richest reconstruction recurrence).
+        let Some(clean_out) = clean_outputs[0].clone() else { continue };
+        for kind in ALL_FAULTS {
+            let mut krng = fault_rng.fork();
+            let Some(faulty) = kind.inject(&encoded, &mut krng) else {
+                report.faults_skipped += 1;
+                continue;
+            };
+            let mut dec = snapshots[0].clone();
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| dec.try_decode(&faulty)));
+            match outcome {
+                Err(_) => report.violations.push(format!(
+                    "seed {seed} frame {idx} fault {}: decoder panicked",
+                    kind.name()
+                )),
+                Ok(Err(_)) => {
+                    report.faults_detected += 1;
+                    *report.fault_counts.entry(kind.name().to_string()).or_insert(0) += 1;
+                }
+                Ok(Ok(out)) => {
+                    if out == clean_out {
+                        report.faults_harmless += 1;
+                        *report.fault_counts.entry(kind.name().to_string()).or_insert(0) += 1;
+                    } else {
+                        report.violations.push(format!(
+                            "seed {seed} frame {idx} fault {}: silent wrong decode",
+                            kind.name()
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Lossy DRAM round trip.
+        let slot = dram.store(&encoded);
+        let (back, outcome) = dram.read_back(slot);
+        report.dram_reads += 1;
+        let mut dec = snapshots[0].clone();
+        match (outcome, catch_unwind(AssertUnwindSafe(|| dec.try_decode(&back)))) {
+            (_, Err(_)) => report.violations.push(format!(
+                "seed {seed} frame {idx}: decoder panicked on DRAM read-back"
+            )),
+            (ReadOutcome::Clean, Ok(Ok(out))) => {
+                if Some(&out) != clean_outputs[0].as_ref() {
+                    report.violations.push(format!(
+                        "seed {seed} frame {idx}: clean DRAM read-back decoded differently"
+                    ));
+                }
+            }
+            (ReadOutcome::Clean, Ok(Err(e))) => report.violations.push(format!(
+                "seed {seed} frame {idx}: clean DRAM read-back rejected: {e}"
+            )),
+            (ReadOutcome::Corrupted { .. }, Ok(Err(_))) => { /* detected, as required */ }
+            (ReadOutcome::Corrupted { bits_flipped }, Ok(Ok(_))) => {
+                report.violations.push(format!(
+                    "seed {seed} frame {idx}: {bits_flipped}-bit DRAM rot decoded silently"
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Runs `n_cases` seeded cases starting at `base_seed` and aggregates
+/// the outcome. Violation text is capped at 20 entries; failing seeds
+/// are always all recorded.
+pub fn run_corpus(base_seed: u64, n_cases: u64) -> CorpusReport {
+    let mut corpus = CorpusReport {
+        cases: n_cases,
+        cases_passed: 0,
+        clean_frames_ok: 0,
+        faults_detected: 0,
+        faults_harmless: 0,
+        faults_skipped: 0,
+        dram_reads: 0,
+        fault_counts: BTreeMap::new(),
+        failing_seeds: Vec::new(),
+        violations: Vec::new(),
+    };
+    for kind in ALL_FAULTS {
+        corpus.fault_counts.insert(kind.name().to_string(), 0);
+    }
+    for i in 0..n_cases {
+        let seed = base_seed.wrapping_add(i);
+        let case = run_case(seed);
+        corpus.clean_frames_ok += case.clean_frames_ok;
+        corpus.faults_detected += case.faults_detected;
+        corpus.faults_harmless += case.faults_harmless;
+        corpus.faults_skipped += case.faults_skipped;
+        corpus.dram_reads += case.dram_reads;
+        for (name, n) in &case.fault_counts {
+            *corpus.fault_counts.entry(name.clone()).or_insert(0) += n;
+        }
+        if case.passed() {
+            corpus.cases_passed += 1;
+        } else {
+            corpus.failing_seeds.push(seed);
+            for v in &case.violations {
+                if corpus.violations.len() < 20 {
+                    corpus.violations.push(v.clone());
+                }
+            }
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_case_passes() {
+        let report = run_case(0x1CE);
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert!(report.clean_frames_ok > 0);
+    }
+
+    #[test]
+    fn small_corpus_is_clean_and_classifies_faults() {
+        let corpus = run_corpus(1000, 25);
+        assert!(corpus.passed(), "violations: {:#?}", corpus.violations);
+        assert_eq!(corpus.cases_passed, 25);
+        assert!(corpus.faults_detected > 0, "corpus must exercise detections");
+        assert!(corpus.dram_reads > 0);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let corpus = run_corpus(42, 3);
+        let json = serde_json::to_string(&corpus).expect("serialize");
+        assert!(json.contains("\"cases\""));
+        assert!(json.contains("payload-bit-flip"));
+    }
+
+    #[test]
+    fn case_reports_are_deterministic() {
+        let a = run_case(7);
+        let b = run_case(7);
+        assert_eq!(a.faults_detected, b.faults_detected);
+        assert_eq!(a.faults_harmless, b.faults_harmless);
+        assert_eq!(a.clean_frames_ok, b.clean_frames_ok);
+    }
+}

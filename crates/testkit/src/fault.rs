@@ -1,0 +1,280 @@
+//! Typed fault injectors over [`EncodedFrame`].
+//!
+//! Each [`FaultKind`] models one concrete corruption class an encoded
+//! frame can suffer between the encoder's DMA write and the decoder's
+//! read-back: DRAM bit rot in the payload, a truncated or reordered
+//! offset table, a mask/payload disagreement, a stale frame index, or a
+//! geometry mismatch. Injection goes through
+//! [`EncodedFrame::from_raw_parts`] carrying the *original* frame's
+//! integrity digest — exactly the state of a frame whose digest was
+//! written while the data was still good and whose bytes rotted
+//! afterwards.
+//!
+//! [`FaultKind::inject`] returns `None` when the frame cannot host the
+//! fault (e.g. a payload bit flip on an empty payload) or when the
+//! mutation would be the identity (flipping a mask entry to the status
+//! it already has); the conformance runner skips those draws instead of
+//! counting a no-op as a "fault".
+
+use crate::TestRng;
+use rpr_core::{EncMask, EncodedFrame, FrameMetadata, PixelStatus, RowOffsets};
+
+/// Every corruption class the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip one bit of one payload byte (DRAM bit rot in pixel data).
+    PayloadBitFlip,
+    /// Drop trailing payload bytes (torn DMA write).
+    PayloadTruncate,
+    /// Append garbage payload bytes (over-long DMA write).
+    PayloadExtend,
+    /// Drop trailing offset-table entries (torn metadata write).
+    OffsetTruncate,
+    /// Swap two interior offset entries, breaking monotonicity.
+    OffsetShuffle,
+    /// Add a constant to every offset entry, shifting the payload base.
+    OffsetShiftBase,
+    /// Flip one mask entry's status (mask bit rot). May or may not
+    /// change the per-row `R` count depending on the statuses involved.
+    MaskStatusFlip,
+    /// Rewrite the stored frame index (stale metadata slot reused).
+    StaleFrameIdx,
+    /// Corrupt the stored width/height (wrong-slot metadata fetch).
+    GeometryMismatch,
+    /// Flip one bit of one raw mask byte (DRAM bit rot in metadata).
+    MaskBitFlip,
+}
+
+/// All fault kinds, for corpus iteration.
+pub const ALL_FAULTS: [FaultKind; 10] = [
+    FaultKind::PayloadBitFlip,
+    FaultKind::PayloadTruncate,
+    FaultKind::PayloadExtend,
+    FaultKind::OffsetTruncate,
+    FaultKind::OffsetShuffle,
+    FaultKind::OffsetShiftBase,
+    FaultKind::MaskStatusFlip,
+    FaultKind::StaleFrameIdx,
+    FaultKind::GeometryMismatch,
+    FaultKind::MaskBitFlip,
+];
+
+impl FaultKind {
+    /// Short stable name for reports and seed-corpus bookkeeping.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::PayloadBitFlip => "payload-bit-flip",
+            FaultKind::PayloadTruncate => "payload-truncate",
+            FaultKind::PayloadExtend => "payload-extend",
+            FaultKind::OffsetTruncate => "offset-truncate",
+            FaultKind::OffsetShuffle => "offset-shuffle",
+            FaultKind::OffsetShiftBase => "offset-shift-base",
+            FaultKind::MaskStatusFlip => "mask-status-flip",
+            FaultKind::StaleFrameIdx => "stale-frame-idx",
+            FaultKind::GeometryMismatch => "geometry-mismatch",
+            FaultKind::MaskBitFlip => "mask-bit-flip",
+        }
+    }
+
+    /// Injects this fault into a copy of `frame`, drawing positions and
+    /// values from `rng`. Returns `None` when the frame cannot host the
+    /// fault or the drawn mutation is the identity.
+    pub fn inject(self, frame: &EncodedFrame, rng: &mut TestRng) -> Option<EncodedFrame> {
+        let meta = frame.metadata();
+        let pixels = frame.pixels().to_vec();
+        let offsets = meta.row_offsets.as_slice().to_vec();
+        let rebuild = |pixels: Vec<u8>, metadata: FrameMetadata| {
+            EncodedFrame::from_raw_parts(
+                frame.width(),
+                frame.height(),
+                frame.frame_idx(),
+                pixels,
+                metadata,
+                frame.integrity(),
+            )
+        };
+        match self {
+            FaultKind::PayloadBitFlip => {
+                let mut pixels = pixels;
+                if pixels.is_empty() {
+                    return None;
+                }
+                let i = rng.range_usize(0, pixels.len() - 1);
+                pixels[i] ^= 1 << rng.range_u32(0, 7);
+                Some(rebuild(pixels, meta.clone()))
+            }
+            FaultKind::PayloadTruncate => {
+                let mut pixels = pixels;
+                if pixels.is_empty() {
+                    return None;
+                }
+                let keep = rng.range_usize(0, pixels.len() - 1);
+                pixels.truncate(keep);
+                Some(rebuild(pixels, meta.clone()))
+            }
+            FaultKind::PayloadExtend => {
+                let mut pixels = pixels;
+                let extra = rng.range_usize(1, 16);
+                for _ in 0..extra {
+                    pixels.push(rng.next_u8());
+                }
+                Some(rebuild(pixels, meta.clone()))
+            }
+            FaultKind::OffsetTruncate => {
+                if offsets.len() <= 1 {
+                    return None;
+                }
+                let keep = rng.range_usize(1, offsets.len() - 1);
+                let metadata = FrameMetadata {
+                    row_offsets: RowOffsets::from_raw_offsets(offsets[..keep].to_vec()),
+                    mask: meta.mask.clone(),
+                };
+                Some(rebuild(pixels, metadata))
+            }
+            FaultKind::OffsetShuffle => {
+                let mut offsets = offsets;
+                if offsets.len() < 2 {
+                    return None;
+                }
+                let i = rng.range_usize(0, offsets.len() - 2);
+                let j = rng.range_usize(i + 1, offsets.len() - 1);
+                if offsets[i] == offsets[j] {
+                    return None; // identity swap
+                }
+                offsets.swap(i, j);
+                let metadata = FrameMetadata {
+                    row_offsets: RowOffsets::from_raw_offsets(offsets),
+                    mask: meta.mask.clone(),
+                };
+                Some(rebuild(pixels, metadata))
+            }
+            FaultKind::OffsetShiftBase => {
+                let delta = rng.range_u32(1, 8);
+                let shifted: Vec<u32> =
+                    offsets.iter().map(|&o| o.saturating_add(delta)).collect();
+                let metadata = FrameMetadata {
+                    row_offsets: RowOffsets::from_raw_offsets(shifted),
+                    mask: meta.mask.clone(),
+                };
+                Some(rebuild(pixels, metadata))
+            }
+            FaultKind::MaskStatusFlip => {
+                if frame.width() == 0 || frame.height() == 0 {
+                    return None;
+                }
+                let mut mask = meta.mask.clone();
+                let x = rng.range_u32(0, frame.width() - 1);
+                let y = rng.range_u32(0, frame.height() - 1);
+                let old = mask.get(x, y);
+                let new = PixelStatus::from_bits(
+                    (old.bits() + rng.range_u32(1, 3) as u8) & 0b11,
+                );
+                mask.set(x, y, new);
+                let metadata =
+                    FrameMetadata { row_offsets: meta.row_offsets.clone(), mask };
+                Some(rebuild(pixels, metadata))
+            }
+            FaultKind::StaleFrameIdx => {
+                let stale = frame.frame_idx().wrapping_add(u64::from(rng.range_u32(1, 100)));
+                Some(EncodedFrame::from_raw_parts(
+                    frame.width(),
+                    frame.height(),
+                    stale,
+                    pixels,
+                    meta.clone(),
+                    frame.integrity(),
+                ))
+            }
+            FaultKind::GeometryMismatch => {
+                let (mut w, mut h) = (frame.width(), frame.height());
+                if rng.chance(1, 2) {
+                    w = w.wrapping_add(rng.range_u32(1, 8));
+                } else {
+                    h = h.wrapping_add(rng.range_u32(1, 8));
+                }
+                Some(EncodedFrame::from_raw_parts(
+                    w,
+                    h,
+                    frame.frame_idx(),
+                    pixels,
+                    meta.clone(),
+                    frame.integrity(),
+                ))
+            }
+            FaultKind::MaskBitFlip => {
+                let mut bytes = meta.mask.as_bytes().to_vec();
+                if bytes.is_empty() {
+                    return None;
+                }
+                let i = rng.range_usize(0, bytes.len() - 1);
+                bytes[i] ^= 1 << rng.range_u32(0, 7);
+                let mask =
+                    EncMask::from_raw_bytes(frame.width(), frame.height(), bytes)?;
+                let metadata =
+                    FrameMetadata { row_offsets: meta.row_offsets.clone(), mask };
+                Some(rebuild(pixels, metadata))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{RegionLabel, RegionList, RhythmicEncoder};
+    use rpr_frame::Plane;
+
+    fn sample_frame() -> EncodedFrame {
+        let frame = Plane::from_fn(16, 12, |x, y| (x * 7 + y * 3) as u8);
+        let regions = RegionList::new(
+            16,
+            12,
+            vec![RegionLabel::new(2, 1, 8, 6, 2, 1), RegionLabel::new(0, 8, 16, 4, 1, 2)],
+        )
+        .unwrap();
+        RhythmicEncoder::new(16, 12).encode(&frame, 3, &regions)
+    }
+
+    #[test]
+    fn every_fault_kind_injects_on_a_typical_frame() {
+        let frame = sample_frame();
+        assert!(frame.validate().is_ok());
+        for kind in ALL_FAULTS {
+            let mut rng = TestRng::new(0xFA);
+            let injected = (0..20).find_map(|_| kind.inject(&frame, &mut rng));
+            let faulty = injected.unwrap_or_else(|| panic!("{} never applied", kind.name()));
+            assert_ne!(&faulty, &frame, "{} must change the frame", kind.name());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let frame = sample_frame();
+        for kind in ALL_FAULTS {
+            let a = kind.inject(&frame, &mut TestRng::new(77));
+            let b = kind.inject(&frame, &mut TestRng::new(77));
+            assert_eq!(a, b, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn payload_faults_skip_empty_payloads() {
+        // No regions at all -> empty payload.
+        let frame = Plane::from_fn(8, 8, |_, _| 0u8);
+        let regions = RegionList::new_lossy(8, 8, vec![]);
+        let encoded = RhythmicEncoder::new(8, 8).encode(&frame, 0, &regions);
+        assert_eq!(encoded.pixel_count(), 0);
+        let mut rng = TestRng::new(1);
+        assert!(FaultKind::PayloadBitFlip.inject(&encoded, &mut rng).is_none());
+        assert!(FaultKind::PayloadTruncate.inject(&encoded, &mut rng).is_none());
+    }
+
+    #[test]
+    fn injected_frames_carry_the_original_digest() {
+        let frame = sample_frame();
+        let mut rng = TestRng::new(9);
+        let faulty = FaultKind::PayloadBitFlip.inject(&frame, &mut rng).unwrap();
+        assert_eq!(faulty.integrity(), frame.integrity());
+        assert_ne!(faulty.compute_integrity(), faulty.integrity());
+    }
+}

@@ -1,0 +1,267 @@
+//! Seeded generators for frames, region-label sets, policies, and whole
+//! capture sequences.
+//!
+//! Every generator draws from a [`TestRng`], so a single `u64` seed
+//! reproduces the exact inputs of any failing case. The region
+//! generator deliberately produces the shapes the encoder's validation
+//! has to cope with: overlapping rectangles, degenerate 1-pixel and
+//! 1-row slivers, and frame-spanning labels that reach past the sensor
+//! edge and must be clamped.
+
+use crate::TestRng;
+use rpr_core::{
+    CycleLengthPolicy, FullFramePolicy, Policy, RegionLabel, RegionList, StaticPolicy,
+};
+use rpr_frame::{GrayFrame, Plane};
+
+/// The pixel patterns the frame generator draws from. Gradients and
+/// checkers give every pixel a position-dependent value (so a shifted
+/// read is guaranteed to differ), noise exercises full byte entropy,
+/// and flat frames probe the all-equal edge case where many corruption
+/// classes are value-invisible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramePattern {
+    /// `x*a + y*b + c` wrapping gradient.
+    Gradient,
+    /// Per-pixel hash noise.
+    Noise,
+    /// One constant value everywhere.
+    Flat,
+    /// Two-tone blocks.
+    Checker,
+}
+
+const PATTERNS: [FramePattern; 4] = [
+    FramePattern::Gradient,
+    FramePattern::Noise,
+    FramePattern::Flat,
+    FramePattern::Checker,
+];
+
+/// Generates a `width x height` frame with a seeded pattern.
+pub fn gen_frame(rng: &mut TestRng, width: u32, height: u32) -> GrayFrame {
+    let pattern = *rng.pick(&PATTERNS);
+    gen_frame_with(rng, width, height, pattern)
+}
+
+/// Generates a frame with an explicit pattern.
+pub fn gen_frame_with(
+    rng: &mut TestRng,
+    width: u32,
+    height: u32,
+    pattern: FramePattern,
+) -> GrayFrame {
+    match pattern {
+        FramePattern::Gradient => {
+            let (a, b, c) =
+                (rng.range_u32(1, 13), rng.range_u32(1, 13), rng.range_u32(0, 255));
+            Plane::from_fn(width, height, |x, y| (x * a + y * b + c) as u8)
+        }
+        FramePattern::Noise => {
+            let mut px = rng.fork();
+            Plane::from_fn(width, height, |_, _| px.next_u8())
+        }
+        FramePattern::Flat => {
+            let v = rng.next_u8();
+            Plane::from_fn(width, height, |_, _| v)
+        }
+        FramePattern::Checker => {
+            let cell = rng.range_u32(1, 8);
+            let (lo, hi) = (rng.next_u8(), rng.next_u8());
+            Plane::from_fn(width, height, |x, y| {
+                if (x / cell + y / cell).is_multiple_of(2) {
+                    lo
+                } else {
+                    hi
+                }
+            })
+        }
+    }
+}
+
+/// Generates one region label for a `width x height` frame.
+///
+/// Roughly one in four labels is *degenerate* (1-pixel, 1-row, or
+/// 1-column) and one in four is *frame-spanning* (extends past the
+/// frame edge, so [`RegionList`] must clamp it). Strides span 1–4 and
+/// skips 1–3, the ranges the paper observes (§3.1).
+pub fn gen_region(rng: &mut TestRng, width: u32, height: u32) -> RegionLabel {
+    let stride = rng.range_u32(1, 4);
+    let skip = rng.range_u32(1, 3);
+    let shape = rng.range_u32(0, 3);
+    let (x, y, w, h) = match shape {
+        // Degenerate slivers.
+        0 => match rng.range_u32(0, 2) {
+            0 => (rng.range_u32(0, width - 1), rng.range_u32(0, height - 1), 1, 1),
+            1 => (0, rng.range_u32(0, height - 1), width, 1),
+            _ => (rng.range_u32(0, width - 1), 0, 1, height),
+        },
+        // Frame-spanning: origin inside, extent past the edge.
+        1 => (
+            rng.range_u32(0, width - 1),
+            rng.range_u32(0, height - 1),
+            rng.range_u32(1, 2 * width),
+            rng.range_u32(1, 2 * height),
+        ),
+        // Ordinary interior rectangles (these overlap each other freely).
+        _ => {
+            let x = rng.range_u32(0, width - 1);
+            let y = rng.range_u32(0, height - 1);
+            let w = rng.range_u32(1, width - x);
+            let h = rng.range_u32(1, height - y);
+            (x, y, w, h)
+        }
+    };
+    RegionLabel::new(x, y, w, h, stride, skip)
+}
+
+/// Generates a validated region list of up to `max_regions` labels
+/// (possibly empty — the everything-discarded case).
+pub fn gen_region_list(
+    rng: &mut TestRng,
+    width: u32,
+    height: u32,
+    max_regions: usize,
+) -> RegionList {
+    let n = rng.range_usize(0, max_regions);
+    let labels: Vec<RegionLabel> =
+        (0..n).map(|_| gen_region(rng, width, height)).collect();
+    RegionList::new_lossy(width, height, labels)
+}
+
+/// Generates a region-selection policy: full-frame, a static random
+/// label set, or a cycle-length wrapper around a static set.
+pub fn gen_policy(
+    rng: &mut TestRng,
+    width: u32,
+    height: u32,
+) -> Box<dyn Policy + Send> {
+    match rng.range_u32(0, 2) {
+        0 => Box::new(FullFramePolicy),
+        1 => {
+            let list = gen_region_list(rng, width, height, 4);
+            Box::new(StaticPolicy::new(list.labels().to_vec()))
+        }
+        _ => {
+            let list = gen_region_list(rng, width, height, 4);
+            let cycle = u64::from(rng.range_u32(2, 8));
+            Box::new(CycleLengthPolicy::new(cycle, StaticPolicy::new(list.labels().to_vec())))
+        }
+    }
+}
+
+/// A complete seeded capture sequence: the frames a sensor produced and
+/// the region list active on each, ready to feed the encoder.
+#[derive(Debug, Clone)]
+pub struct CaptureSequence {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Source frames in capture order.
+    pub frames: Vec<GrayFrame>,
+    /// The region list the policy selected for each frame.
+    pub regions: Vec<RegionList>,
+}
+
+/// Generates a capture sequence of `n_frames` for a `width x height`
+/// sensor. Half the sequences keep one static region set (the paper's
+/// "labels persist across frames"), the rest re-plan every frame.
+pub fn gen_capture_sequence(
+    rng: &mut TestRng,
+    width: u32,
+    height: u32,
+    n_frames: usize,
+) -> CaptureSequence {
+    let static_regions = rng.chance(1, 2);
+    let first = gen_region_list(rng, width, height, 5);
+    let mut frames = Vec::with_capacity(n_frames);
+    let mut regions = Vec::with_capacity(n_frames);
+    for _ in 0..n_frames {
+        frames.push(gen_frame(rng, width, height));
+        regions.push(if static_regions {
+            first.clone()
+        } else {
+            gen_region_list(rng, width, height, 5)
+        });
+    }
+    CaptureSequence { width, height, frames, regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_reproducible() {
+        let a = gen_frame(&mut TestRng::new(9), 16, 12);
+        let b = gen_frame(&mut TestRng::new(9), 16, 12);
+        assert_eq!(a, b);
+        assert_eq!((a.width(), a.height()), (16, 12));
+    }
+
+    #[test]
+    fn regions_stay_within_parameter_ranges() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let r = gen_region(&mut rng, 32, 24);
+            assert!(r.w >= 1 && r.h >= 1);
+            assert!((1..=4).contains(&r.stride));
+            assert!((1..=3).contains(&r.skip));
+            assert!(r.x < 32 && r.y < 24, "origin inside frame: {r}");
+        }
+    }
+
+    #[test]
+    fn generated_lists_always_validate() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let list = gen_region_list(&mut rng, 20, 20, 6);
+            // new_lossy clamped everything; re-validating must succeed.
+            assert!(RegionList::new(20, 20, list.labels().to_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn degenerate_and_spanning_shapes_appear() {
+        let mut rng = TestRng::new(3);
+        let mut slivers = 0;
+        let mut clamped = 0;
+        for _ in 0..300 {
+            let r = gen_region(&mut rng, 16, 16);
+            if r.w == 1 || r.h == 1 {
+                slivers += 1;
+            }
+            if r.right() > 16 || r.bottom() > 16 {
+                clamped += 1;
+            }
+        }
+        assert!(slivers > 20, "slivers {slivers}");
+        assert!(clamped > 20, "clamped {clamped}");
+    }
+
+    #[test]
+    fn capture_sequences_are_reproducible() {
+        let a = gen_capture_sequence(&mut TestRng::new(4), 16, 16, 3);
+        let b = gen_capture_sequence(&mut TestRng::new(4), 16, 16, 3);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.regions.len(), 3);
+        for (fa, fb) in a.regions.iter().zip(&b.regions) {
+            assert_eq!(fa.labels(), fb.labels());
+        }
+    }
+
+    #[test]
+    fn policies_plan_valid_lists() {
+        use rpr_core::PolicyContext;
+        let mut rng = TestRng::new(5);
+        for _ in 0..20 {
+            let mut policy = gen_policy(&mut rng, 24, 18);
+            for idx in 0..4 {
+                let ctx = PolicyContext { frame_idx: idx, width: 24, height: 18, ..Default::default() };
+                let list = policy.plan(&ctx);
+                assert_eq!((list.width(), list.height()), (24, 18));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic fault-injection and differential conformance harness
+//! for the rhythmic-pixel encode→DRAM→decode path.
+//!
+//! The paper's hardware contract is sharp: the encoded representation
+//! stores every `R` pixel exactly, the metadata is sufficient to decode
+//! it, and anything else is reconstruction policy. This crate turns
+//! that contract into an executable oracle with three layers:
+//!
+//! * **Generators** ([`gen_frame`], [`gen_region`],
+//!   [`gen_capture_sequence`], …) — seeded, dependency-free producers
+//!   of frames, overlapping/degenerate/frame-spanning region labels,
+//!   policies, and whole capture sequences. One `u64` seed reproduces
+//!   any case bit-for-bit.
+//! * **Fault injectors** ([`FaultKind`], [`LossyDram`]) — typed
+//!   corruption models over [`rpr_core::EncodedFrame`]: payload bit
+//!   rot, torn offset tables, mask/payload disagreement, stale frame
+//!   indices, geometry mismatches, and a lossy-DRAM wrapper charging
+//!   the real memsim models.
+//! * **Conformance** ([`ReferenceDecoder`], [`run_case`],
+//!   [`run_corpus`]) — a naive per-pixel reference decoder checked
+//!   byte-for-byte against both production
+//!   [`rpr_core::ReconstructionMode`]s, plus the invariant checker:
+//!   every injected fault is *detected* or *harmless*, never a panic
+//!   and never silently wrong pixels.
+//!
+//! The `conformance` binary runs a fixed seed corpus and emits a JSON
+//! report; CI gates on its exit status. See `TESTING.md` at the repo
+//! root for the seed-corpus conventions and how to reproduce a failing
+//! seed.
+
+#![deny(missing_docs)]
+
+mod conformance;
+mod fault;
+mod gen;
+mod lossy;
+mod reference;
+mod rng;
+
+pub use conformance::{run_case, run_corpus, CaseReport, CorpusReport};
+pub use fault::{FaultKind, ALL_FAULTS};
+pub use gen::{
+    gen_capture_sequence, gen_frame, gen_frame_with, gen_policy, gen_region,
+    gen_region_list, CaptureSequence, FramePattern,
+};
+pub use lossy::{LossyDram, ReadOutcome};
+pub use reference::ReferenceDecoder;
+pub use rng::TestRng;

@@ -1,0 +1,222 @@
+//! A lossy DRAM wrapper around the memsim framebuffer path.
+//!
+//! [`LossyDram`] models the full store→read-back life of an encoded
+//! frame: every write charges the burst-level [`DramModel`] and the
+//! [`FramebufferPool`] exactly like the production path, and every
+//! read-back passes through a seeded bit-rot process that flips bits
+//! anywhere in the frame's DRAM image — payload, packed EncMask, or
+//! offset table — with a configurable probability. The conformance
+//! runner drives decode attempts through this wrapper to prove that a
+//! frame surviving DRAM unscathed decodes identically and a frame that
+//! rotted is *rejected*, never silently mis-decoded.
+
+use crate::TestRng;
+use rpr_core::{EncMask, EncodedFrame, FrameMetadata, RowOffsets};
+use rpr_frame::PixelFormat;
+use rpr_memsim::{DramConfig, DramModel, DramStats, FramebufferPool};
+
+/// What the bit-rot process did to one read-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The frame came back bit-identical.
+    Clean,
+    /// At least one bit flipped; the returned frame is corrupted.
+    Corrupted {
+        /// Number of bits flipped across the frame's DRAM image.
+        bits_flipped: u32,
+    },
+}
+
+/// A seeded lossy DRAM holding encoded frames.
+#[derive(Debug, Clone)]
+pub struct LossyDram {
+    dram: DramModel,
+    pool: FramebufferPool,
+    frames: Vec<EncodedFrame>,
+    rng: TestRng,
+    /// Probability, as `(num, den)`, that a read-back suffers at least
+    /// one bit flip.
+    rot_chance: (u64, u64),
+    next_addr: u64,
+    reads_corrupted: u64,
+}
+
+impl LossyDram {
+    /// Creates a lossy DRAM. `rot_num / rot_den` is the per-read
+    /// probability of corruption; `(0, 1)` models perfect DRAM.
+    pub fn new(seed: u64, rot_num: u64, rot_den: u64) -> Self {
+        assert!(rot_den > 0, "rot denominator must be positive");
+        LossyDram {
+            dram: DramModel::new(DramConfig::default()),
+            pool: FramebufferPool::new(4),
+            frames: Vec::new(),
+            rng: TestRng::new(seed),
+            rot_chance: (rot_num, rot_den),
+            next_addr: 0,
+            reads_corrupted: 0,
+        }
+    }
+
+    /// A DRAM that never corrupts (the control arm).
+    pub fn pristine(seed: u64) -> Self {
+        LossyDram::new(seed, 0, 1)
+    }
+
+    /// Stores a frame, charging the DRAM model for the sequential DMA
+    /// write and admitting it to the framebuffer pool. Returns the slot
+    /// index for [`LossyDram::read_back`].
+    pub fn store(&mut self, frame: &EncodedFrame) -> usize {
+        let bytes = frame.total_bytes() as u64;
+        self.dram.write_sequential(self.next_addr, bytes);
+        self.next_addr += bytes;
+        self.pool.admit_encoded(frame, PixelFormat::Gray8);
+        self.frames.push(frame.clone());
+        self.frames.len() - 1
+    }
+
+    /// Reads a stored frame back, charging the sequential read and
+    /// applying the seeded bit-rot process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` was never returned by [`LossyDram::store`].
+    pub fn read_back(&mut self, slot: usize) -> (EncodedFrame, ReadOutcome) {
+        let frame = self.frames[slot].clone();
+        self.dram.read_sequential(0, frame.total_bytes() as u64);
+        let (num, den) = self.rot_chance;
+        if !self.rng.chance(num, den) {
+            return (frame, ReadOutcome::Clean);
+        }
+
+        // Lay the frame's DRAM image out as payload ++ mask ++ offsets
+        // and flip 1–4 bits at uniform positions.
+        let meta = frame.metadata();
+        let mut payload = frame.pixels().to_vec();
+        let mut mask_bytes = meta.mask.as_bytes().to_vec();
+        let mut offsets = meta.row_offsets.as_slice().to_vec();
+        let image_bits =
+            8 * (payload.len() + mask_bytes.len() + 4 * offsets.len());
+        if image_bits == 0 {
+            return (frame, ReadOutcome::Clean);
+        }
+        let bits_flipped = self.rng.range_u32(1, 4).min(image_bits as u32);
+        let mut hit = Vec::with_capacity(bits_flipped as usize);
+        while hit.len() < bits_flipped as usize {
+            let bit = self.rng.range_usize(0, image_bits - 1);
+            if hit.contains(&bit) {
+                continue; // distinct positions: flips never cancel out
+            }
+            hit.push(bit);
+            let (byte, shift) = (bit / 8, bit % 8);
+            if byte < payload.len() {
+                payload[byte] ^= 1 << shift;
+            } else if byte < payload.len() + mask_bytes.len() {
+                mask_bytes[byte - payload.len()] ^= 1 << shift;
+            } else {
+                let word = (byte - payload.len() - mask_bytes.len()) / 4;
+                let word_shift = 8 * ((byte - payload.len() - mask_bytes.len()) % 4) + shift;
+                offsets[word] ^= 1 << word_shift;
+            }
+        }
+        self.reads_corrupted += 1;
+        let mask = EncMask::from_raw_bytes(frame.width(), frame.height(), mask_bytes)
+            .expect("mask byte length unchanged by bit flips");
+        let metadata =
+            FrameMetadata { row_offsets: RowOffsets::from_raw_offsets(offsets), mask };
+        let rotted = EncodedFrame::from_raw_parts(
+            frame.width(),
+            frame.height(),
+            frame.frame_idx(),
+            payload,
+            metadata,
+            frame.integrity(),
+        );
+        (rotted, ReadOutcome::Corrupted { bits_flipped })
+    }
+
+    /// Number of stored frames.
+    pub fn stored_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of read-backs that came back corrupted.
+    pub fn reads_corrupted(&self) -> u64 {
+        self.reads_corrupted
+    }
+
+    /// The underlying DRAM access counters.
+    pub fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    /// The framebuffer pool tracking resident bytes.
+    pub fn pool(&self) -> &FramebufferPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{RegionList, RhythmicEncoder};
+    use rpr_frame::Plane;
+
+    fn encoded(idx: u64) -> EncodedFrame {
+        let frame = Plane::from_fn(16, 12, |x, y| (x + y * 3) as u8);
+        RhythmicEncoder::new(16, 12).encode(&frame, idx, &RegionList::full_frame(16, 12))
+    }
+
+    #[test]
+    fn pristine_roundtrip_is_identical() {
+        let mut dram = LossyDram::pristine(1);
+        let frame = encoded(0);
+        let slot = dram.store(&frame);
+        let (back, outcome) = dram.read_back(slot);
+        assert_eq!(outcome, ReadOutcome::Clean);
+        assert_eq!(back, frame);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn charges_dram_and_pool() {
+        let mut dram = LossyDram::pristine(2);
+        let frame = encoded(0);
+        let slot = dram.store(&frame);
+        dram.read_back(slot);
+        assert_eq!(dram.dram_stats().bytes_written, frame.total_bytes() as u64);
+        assert_eq!(dram.dram_stats().bytes_read, frame.total_bytes() as u64);
+        assert!(dram.pool().current_bytes() > 0);
+    }
+
+    #[test]
+    fn always_rot_corrupts_and_validate_catches_it() {
+        let mut dram = LossyDram::new(3, 1, 1); // rot every read
+        let frame = encoded(0);
+        let slot = dram.store(&frame);
+        let mut corrupted_reads = 0;
+        for _ in 0..50 {
+            let (back, outcome) = dram.read_back(slot);
+            if let ReadOutcome::Corrupted { bits_flipped } = outcome {
+                corrupted_reads += 1;
+                assert!(bits_flipped >= 1);
+                assert!(
+                    back.validate().is_err(),
+                    "rotted frame must fail validation"
+                );
+            }
+        }
+        assert_eq!(corrupted_reads, 50);
+        assert_eq!(dram.reads_corrupted(), 50);
+    }
+
+    #[test]
+    fn rot_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut dram = LossyDram::new(seed, 1, 2);
+            let slot = dram.store(&encoded(0));
+            (0..10).map(|_| dram.read_back(slot).0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,241 @@
+//! A naive reference decoder for differential conformance testing.
+//!
+//! [`ReferenceDecoder`] reimplements both [`ReconstructionMode`]s from
+//! the spec (paper §4.2) with the most transparent data structures
+//! available: the packed-payload index of each `R` pixel comes from one
+//! independent raster count over the EncMask (never from the per-row
+//! offset table, so the production decoder's offset arithmetic is
+//! cross-checked), and the nearest-anchor recurrence runs over explicit
+//! whole-frame distance arrays instead of the production decoder's
+//! rolling two-row window. Any divergence between the two
+//! implementations on a validated frame is a conformance bug in one of
+//! them.
+
+use rpr_core::{EncodedFrame, PixelStatus, ReconstructionMode};
+use rpr_frame::{GrayFrame, Plane};
+
+/// The transparent per-pixel reference decoder. Holds its own
+/// last-decoded frame so temporally skipped (`Sk`) pixels resolve the
+/// same way the production decoder resolves them.
+#[derive(Debug, Clone)]
+pub struct ReferenceDecoder {
+    width: u32,
+    height: u32,
+    mode: ReconstructionMode,
+    last_decoded: Option<GrayFrame>,
+}
+
+impl ReferenceDecoder {
+    /// Creates a reference decoder for `width x height` frames.
+    pub fn new(width: u32, height: u32, mode: ReconstructionMode) -> Self {
+        ReferenceDecoder { width, height, mode, last_decoded: None }
+    }
+
+    /// The mode this decoder reconstructs `St` pixels with.
+    pub fn mode(&self) -> ReconstructionMode {
+        self.mode
+    }
+
+    /// Forgets decode history (scene cut).
+    pub fn reset(&mut self) {
+        self.last_decoded = None;
+    }
+
+    /// Decodes one frame, updating the internal history.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry mismatch or on a structurally inconsistent
+    /// frame — callers validate first; the conformance runner only
+    /// hands this decoder frames the production `validate()` accepted.
+    pub fn decode(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        assert_eq!(
+            (encoded.width(), encoded.height()),
+            (self.width, self.height),
+            "reference decoder geometry mismatch"
+        );
+        let r_index = index_regional_pixels(encoded);
+        let out = match self.mode {
+            ReconstructionMode::BlockNearest => self.decode_block_nearest(encoded, &r_index),
+            ReconstructionMode::FifoReplicate => self.decode_fifo(encoded, &r_index),
+        };
+        self.last_decoded = Some(out.clone());
+        out
+    }
+
+    fn decode_block_nearest(
+        &self,
+        encoded: &EncodedFrame,
+        r_index: &[Vec<Option<usize>>],
+    ) -> GrayFrame {
+        let mask = &encoded.metadata().mask;
+        let payload = encoded.pixels();
+        let (w, h) = (self.width as usize, self.height as usize);
+        let mut out: GrayFrame = Plane::new(self.width, self.height);
+        // dist[y][x]: chamfer distance from (x, y) to the sample that
+        // produced its value; u32::MAX means "no data" (black fill).
+        let mut dist = vec![vec![u32::MAX; w]; h];
+
+        for y in 0..h {
+            // Last R pixel seen so far in this row, as (x, value).
+            let mut last_r: Option<(usize, u8)> = None;
+            for x in 0..w {
+                let (value, d) = match mask.get(x as u32, y as u32) {
+                    PixelStatus::Regional => {
+                        let idx = r_index[y][x].expect("mask says R, index must exist");
+                        let v = payload[idx];
+                        last_r = Some((x, v));
+                        (v, 0)
+                    }
+                    PixelStatus::Strided => {
+                        let left = last_r.map(|(xr, v)| ((x - xr) as u32, v));
+                        let above = (y > 0 && dist[y - 1][x] != u32::MAX).then(|| {
+                            (dist[y - 1][x] + 1, out.get(x as u32, y as u32 - 1).unwrap())
+                        });
+                        match (left, above) {
+                            // On a tie the left candidate wins, matching
+                            // the production decoder.
+                            (Some((dl, vl)), Some((da, _))) if dl <= da => (vl, dl),
+                            (_, Some((da, va))) => (va, da),
+                            (Some((dl, vl)), None) => (vl, dl),
+                            (None, None) => (0, u32::MAX),
+                        }
+                    }
+                    PixelStatus::Skipped => match &self.last_decoded {
+                        Some(prev) => (prev.get(x as u32, y as u32).unwrap_or(0), 0),
+                        None => (0, u32::MAX),
+                    },
+                    PixelStatus::NonRegional => (0, u32::MAX),
+                };
+                out.set(x as u32, y as u32, value);
+                dist[y][x] = d;
+            }
+        }
+        out
+    }
+
+    fn decode_fifo(
+        &self,
+        encoded: &EncodedFrame,
+        r_index: &[Vec<Option<usize>>],
+    ) -> GrayFrame {
+        let mask = &encoded.metadata().mask;
+        let payload = encoded.pixels();
+        let mut out: GrayFrame = Plane::new(self.width, self.height);
+        let mut last_emitted = 0u8;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let value = match mask.get(x, y) {
+                    PixelStatus::Regional => {
+                        payload[r_index[y as usize][x as usize].expect("R pixel indexed")]
+                    }
+                    PixelStatus::Strided => last_emitted,
+                    PixelStatus::Skipped => self
+                        .last_decoded
+                        .as_ref()
+                        .and_then(|prev| prev.get(x, y))
+                        .unwrap_or(0),
+                    PixelStatus::NonRegional => 0,
+                };
+                last_emitted = value;
+                out.set(x, y, value);
+            }
+        }
+        out
+    }
+}
+
+/// Computes each `R` pixel's index into the packed payload by counting
+/// `R` entries in raster order over the EncMask — the defining property
+/// of the representation (paper §3.2), independent of the offset table.
+fn index_regional_pixels(encoded: &EncodedFrame) -> Vec<Vec<Option<usize>>> {
+    let mask = &encoded.metadata().mask;
+    let mut table = vec![vec![None; encoded.width() as usize]; encoded.height() as usize];
+    let mut next = 0usize;
+    for y in 0..encoded.height() {
+        for x in 0..encoded.width() {
+            if mask.get(x, y) == PixelStatus::Regional {
+                table[y as usize][x as usize] = Some(next);
+                next += 1;
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{RegionLabel, RegionList, RhythmicEncoder, SoftwareDecoder};
+    use rpr_frame::Plane;
+
+    fn gradient(w: u32, h: u32) -> GrayFrame {
+        Plane::from_fn(w, h, |x, y| (x * 5 + y * 11) as u8)
+    }
+
+    #[test]
+    fn matches_production_on_full_frame() {
+        let frame = gradient(16, 12);
+        let encoded =
+            RhythmicEncoder::new(16, 12).encode(&frame, 0, &RegionList::full_frame(16, 12));
+        for mode in [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate] {
+            let mut reference = ReferenceDecoder::new(16, 12, mode);
+            let mut production = SoftwareDecoder::with_mode(16, 12, mode);
+            assert_eq!(reference.decode(&encoded), production.decode(&encoded), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn matches_production_on_mixed_statuses() {
+        let frames = [gradient(20, 16), Plane::from_fn(20, 16, |x, y| (x * y) as u8)];
+        let regions = RegionList::new(
+            20,
+            16,
+            vec![
+                RegionLabel::new(1, 1, 9, 7, 2, 1),
+                RegionLabel::new(6, 4, 10, 10, 1, 2),
+                RegionLabel::new(0, 14, 20, 2, 3, 1),
+            ],
+        )
+        .unwrap();
+        for mode in [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate] {
+            let mut enc = RhythmicEncoder::new(20, 16);
+            let mut reference = ReferenceDecoder::new(20, 16, mode);
+            let mut production = SoftwareDecoder::with_mode(20, 16, mode);
+            for (idx, frame) in frames.iter().enumerate() {
+                let encoded = enc.encode(frame, idx as u64, &regions);
+                assert_eq!(
+                    reference.decode(&encoded),
+                    production.decode(&encoded),
+                    "{mode:?} frame {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r_index_agrees_with_offset_table() {
+        let frame = gradient(16, 16);
+        let regions = RegionList::new(
+            16,
+            16,
+            vec![RegionLabel::new(2, 3, 9, 7, 1, 1), RegionLabel::new(0, 12, 16, 4, 2, 1)],
+        )
+        .unwrap();
+        let encoded = RhythmicEncoder::new(16, 16).encode(&frame, 0, &regions);
+        let table = index_regional_pixels(&encoded);
+        for y in 0..16u32 {
+            for x in 0..16u32 {
+                if let Some(idx) = table[y as usize][x as usize] {
+                    // fetch_regional goes through row_offsets; the raster
+                    // count must land on the same payload byte.
+                    assert_eq!(
+                        encoded.fetch_regional(x, y),
+                        encoded.pixels().get(idx).copied(),
+                        "({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+}
