@@ -1,0 +1,72 @@
+//! Wire-format benches: frame-blob serialize/parse under each mask
+//! codec, whole-container write/read round-trips, and the zero-copy
+//! view path against the owned-decode path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpr_core::{EncodedFrame, RhythmicEncoder};
+use rpr_testkit::{gen_capture_sequence, TestRng};
+use rpr_wire::{encode_frame, read_all, write_container, ContainerReader, MaskCodec};
+use std::time::Duration;
+
+const W: u32 = 160;
+const H: u32 = 120;
+const FRAMES: usize = 8;
+
+fn sample_frames() -> Vec<EncodedFrame> {
+    let mut rng = TestRng::new(0x3152_2021);
+    let seq = gen_capture_sequence(&mut rng, W, H, FRAMES);
+    let mut encoder = RhythmicEncoder::new(W, H);
+    seq.frames
+        .iter()
+        .zip(&seq.regions)
+        .enumerate()
+        .map(|(idx, (frame, regions))| encoder.encode(frame, idx as u64, regions))
+        .collect()
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let frames = sample_frames();
+    let container = write_container(&frames).expect("fresh frames serialize");
+
+    let mut group = c.benchmark_group("wire_roundtrip");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+        .throughput(Throughput::Elements(FRAMES as u64));
+
+    for (codec, name) in [(MaskCodec::Auto, "auto"), (MaskCodec::Raw, "raw"), (MaskCodec::Rle, "rle")]
+    {
+        group.bench_with_input(BenchmarkId::new("encode_blob", name), &codec, |b, &codec| {
+            let mut blob = Vec::new();
+            b.iter(|| {
+                for f in &frames {
+                    blob.clear();
+                    encode_frame(f, codec, &mut blob).expect("valid frame");
+                    criterion::black_box(blob.len());
+                }
+            });
+        });
+    }
+
+    group.bench_function("container_write", |b| {
+        b.iter(|| write_container(criterion::black_box(&frames)).expect("serialize"));
+    });
+    group.bench_function("container_read_owned", |b| {
+        b.iter(|| read_all(criterion::black_box(&container)).expect("parse"));
+    });
+    group.bench_function("container_view_zero_copy", |b| {
+        b.iter(|| {
+            let reader = ContainerReader::open(&container).expect("open");
+            let mut payload_bytes = 0usize;
+            for i in 0..reader.len() {
+                payload_bytes += reader.view(i).expect("view").payload().len();
+            }
+            criterion::black_box(payload_bytes)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_roundtrip);
+criterion_main!(benches);

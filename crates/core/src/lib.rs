@@ -57,7 +57,7 @@ pub use encoder::{
     ComparisonEngine, EncoderConfig, EncoderStats, EngineKind, RhythmicEncoder, RoiSelector,
     Sequencer, StreamingEncoder,
 };
-pub use decoder::{FrameHistory, ReconstructionMode, SoftwareDecoder, HISTORY_DEPTH};
+pub use decoder::{DecoderStats, FrameHistory, ReconstructionMode, SoftwareDecoder, HISTORY_DEPTH};
 pub use error::CoreError;
 pub use kalman::{KalmanPolicy, KalmanTracker2d};
 pub use labelsearch::{LabelSearchDecoder, LabelSearchStats};

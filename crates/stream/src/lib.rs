@@ -26,6 +26,9 @@
 //! - [`manager`] — [`StreamManager`], N streams on a worker pool.
 //! - [`telemetry`] — queue depths, per-stage latency histograms, fps;
 //!   serde-JSON exportable.
+//! - [`wire`] — spill/replay stages bridging streams to the `.rpr`
+//!   container format: [`EncodeCapture`] → [`WireSink`] records,
+//!   [`WireSource`] → [`DecodeCapture`] replays.
 
 #![deny(missing_docs)]
 
@@ -34,9 +37,11 @@ pub mod manager;
 pub mod queue;
 pub mod stage;
 pub mod telemetry;
+pub mod wire;
 
 pub use executor::{run_stream, StreamResult};
 pub use manager::{StreamManager, StreamSpec};
 pub use queue::{BackpressureMode, QueueTelemetry, StageQueue};
 pub use stage::{CaptureStage, Feedback, FrameSource, StreamConfig, TaskStage};
+pub use wire::{DecodeCapture, DecodeSummary, EncodeCapture, WireSink, WireSource};
 pub use telemetry::{LatencyHistogram, StageTelemetry, StreamTelemetry, LATENCY_BUCKETS_US};

@@ -1,11 +1,14 @@
-//! The conformance gate CI runs: a fixed seed corpus through the full
-//! differential + fault-injection harness, JSON report on stdout,
-//! non-zero exit on any violation.
+//! The conformance gate CI runs: two fixed seed corpora — the
+//! encode→DRAM→decode harness and the `.rpr` container harness —
+//! emitted as one combined JSON report on stdout, non-zero exit on any
+//! violation in either.
 //!
 //! Usage: `conformance [base_seed] [n_cases]` — defaults reproduce the
-//! CI corpus exactly. Rerun a single failing seed with
+//! CI corpora exactly (both corpora share the seed range so one seed
+//! reproduces both halves of a case). Rerun a single failing seed with
 //! `conformance <seed> 1`.
 
+use serde::Serialize;
 use std::env;
 use std::process::ExitCode;
 
@@ -14,6 +17,13 @@ use std::process::ExitCode;
 const DEFAULT_BASE_SEED: u64 = 0x5252_2021; // "RR 2021"
 /// Number of cases in the CI corpus.
 const DEFAULT_CASES: u64 = 2000;
+
+/// The combined report CI archives: both corpora side by side.
+#[derive(Serialize)]
+struct CombinedReport {
+    encode_decode: rpr_testkit::CorpusReport,
+    container: rpr_testkit::WireCorpusReport,
+}
 
 fn main() -> ExitCode {
     let mut args = env::args().skip(1);
@@ -32,30 +42,43 @@ fn main() -> ExitCode {
         None => DEFAULT_CASES,
     };
 
-    let report = rpr_testkit::run_corpus(base_seed, n_cases);
+    let report = CombinedReport {
+        encode_decode: rpr_testkit::run_corpus(base_seed, n_cases),
+        container: rpr_testkit::run_wire_corpus(base_seed, n_cases),
+    };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => println!("{json}"),
         Err(e) => eprintln!("report serialization failed: {e:?}"),
     }
 
-    if report.passed() {
+    let ed = &report.encode_decode;
+    let ct = &report.container;
+    if ed.passed() && ct.passed() {
         eprintln!(
             "conformance: {} cases passed ({} clean frames, {} faults detected, {} harmless, {} skipped)",
-            report.cases,
-            report.clean_frames_ok,
-            report.faults_detected,
-            report.faults_harmless,
-            report.faults_skipped,
+            ed.cases, ed.clean_frames_ok, ed.faults_detected, ed.faults_harmless, ed.faults_skipped,
+        );
+        eprintln!(
+            "wire conformance: {} cases passed ({} frames round-tripped, {} blob round-trips, {} faults detected, {} harmless, {} skipped)",
+            ct.cases,
+            ct.container_frames_ok,
+            ct.blob_roundtrips,
+            ct.faults_detected,
+            ct.faults_harmless,
+            ct.faults_skipped,
         );
         ExitCode::SUCCESS
     } else {
+        let failing = ed.failing_seeds.len() + ct.failing_seeds.len();
         eprintln!(
-            "conformance: {} of {} cases FAILED; reproduce with `cargo run --release -p rpr-testkit --bin conformance -- <seed> 1`",
-            report.failing_seeds.len(),
-            report.cases,
+            "conformance: {failing} of {} case runs FAILED; reproduce with `cargo run --release -p rpr-testkit --bin conformance -- <seed> 1`",
+            ed.cases + ct.cases,
         );
-        for seed in &report.failing_seeds {
-            eprintln!("  failing seed: {seed}");
+        for seed in &ed.failing_seeds {
+            eprintln!("  failing seed (encode-decode): {seed}");
+        }
+        for seed in &ct.failing_seeds {
+            eprintln!("  failing seed (container): {seed}");
         }
         ExitCode::FAILURE
     }

@@ -1,0 +1,214 @@
+//! Bounded fuzz smoke over the `.rpr` parser: seeded random byte
+//! mutations (flips, truncations, splices, duplications, extensions)
+//! of valid containers, each pushed through both read paths under
+//! `catch_unwind`. The contract under test is narrow and absolute:
+//! *no input may panic the parser* — every malformation must surface
+//! as a typed `WireError` (or parse cleanly when the mutation happens
+//! to be benign).
+//!
+//! Usage: `wire_fuzz [base_seed] [iterations]` — defaults reproduce
+//! the CI smoke run. JSON summary on stdout, non-zero exit on any
+//! panic; a failing iteration's seed reproduces the exact mutated
+//! byte string.
+
+use rpr_core::RhythmicEncoder;
+use rpr_testkit::{gen_capture_sequence, TestRng};
+use rpr_wire::{write_container, ContainerReader};
+use serde::Serialize;
+use std::env;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+/// Base seed of the CI smoke run.
+const DEFAULT_BASE_SEED: u64 = 0xF0_2021;
+/// Mutated inputs per run — bounded so the job stays in smoke-test
+/// territory (a few seconds) rather than a fuzz farm.
+const DEFAULT_ITERATIONS: u64 = 25_000;
+/// Distinct base containers the mutations draw from.
+const BASE_CONTAINERS: u64 = 8;
+
+#[derive(Serialize)]
+struct FuzzReport {
+    base_seed: u64,
+    iterations: u64,
+    base_containers: usize,
+    /// Mutated inputs the indexed read path rejected with a typed error.
+    open_rejected: u64,
+    /// Mutated inputs the indexed read path still parsed fully.
+    open_clean: u64,
+    /// Mutated inputs the sequential scan path rejected.
+    scan_rejected: u64,
+    /// Mutated inputs the sequential scan path still parsed.
+    scan_clean: u64,
+    /// Panics observed (the failure condition).
+    panics: u64,
+    /// Seeds of panicking iterations.
+    panic_seeds: Vec<u64>,
+}
+
+fn build_base_containers(base_seed: u64) -> Vec<Vec<u8>> {
+    (0..BASE_CONTAINERS)
+        .map(|i| {
+            let mut rng = TestRng::new(base_seed.wrapping_add(i));
+            let width = rng.range_u32(8, 40);
+            let height = rng.range_u32(8, 32);
+            let n_frames = rng.range_usize(1, 5);
+            let seq = gen_capture_sequence(&mut rng, width, height, n_frames);
+            let mut encoder = RhythmicEncoder::new(width, height);
+            let frames: Vec<_> = seq
+                .frames
+                .iter()
+                .zip(&seq.regions)
+                .enumerate()
+                .map(|(idx, (frame, regions))| encoder.encode(frame, idx as u64, regions))
+                .collect();
+            write_container(&frames).expect("fresh frames must serialize")
+        })
+        .collect()
+}
+
+/// One seeded mutation of a base container: flips, a truncation, a
+/// garbage splice, an internal duplication, or a garbage extension.
+fn mutate(base: &[u8], rng: &mut TestRng) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    match rng.range_u32(0, 4) {
+        0 => {
+            // 1..=8 random bit flips.
+            for _ in 0..rng.range_usize(1, 8) {
+                let i = rng.range_usize(0, bytes.len() - 1);
+                bytes[i] ^= 1 << rng.range_u32(0, 7);
+            }
+        }
+        1 => {
+            bytes.truncate(rng.range_usize(0, bytes.len() - 1));
+        }
+        2 => {
+            // Overwrite a random range with random bytes.
+            let start = rng.range_usize(0, bytes.len() - 1);
+            let len = rng.range_usize(1, (bytes.len() - start).min(32));
+            for b in &mut bytes[start..start + len] {
+                *b = rng.next_u8();
+            }
+        }
+        3 => {
+            // Copy one random range over another (chunk smearing).
+            let len = rng.range_usize(1, bytes.len().min(32));
+            let src = rng.range_usize(0, bytes.len() - len);
+            let dst = rng.range_usize(0, bytes.len() - len);
+            bytes.copy_within(src..src + len, dst);
+        }
+        _ => {
+            // Append garbage past the trailer.
+            for _ in 0..rng.range_usize(1, 24) {
+                bytes.push(rng.next_u8());
+            }
+        }
+    }
+    bytes
+}
+
+/// Exercises both read paths end to end. The return values are
+/// (open_ok, scan_ok); a panic propagates to the caller's
+/// `catch_unwind`.
+fn exercise(bytes: &[u8]) -> (bool, bool) {
+    let open_ok = match ContainerReader::open(bytes) {
+        Ok(reader) => (0..reader.len()).all(|i| reader.frame(i).is_ok()),
+        Err(_) => false,
+    };
+    let scan_ok = match ContainerReader::scan(bytes) {
+        Ok(reader) => (0..reader.len()).all(|i| reader.frame(i).is_ok()),
+        Err(_) => false,
+    };
+    (open_ok, scan_ok)
+}
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    let base_seed = match args.next() {
+        Some(s) => match parse_u64(&s) {
+            Some(v) => v,
+            None => return usage(&s),
+        },
+        None => DEFAULT_BASE_SEED,
+    };
+    let iterations = match args.next() {
+        Some(s) => match parse_u64(&s) {
+            Some(v) => v,
+            None => return usage(&s),
+        },
+        None => DEFAULT_ITERATIONS,
+    };
+
+    let bases = build_base_containers(base_seed);
+    let mut report = FuzzReport {
+        base_seed,
+        iterations,
+        base_containers: bases.len(),
+        open_rejected: 0,
+        open_clean: 0,
+        scan_rejected: 0,
+        scan_clean: 0,
+        panics: 0,
+        panic_seeds: Vec::new(),
+    };
+
+    for i in 0..iterations {
+        let seed = base_seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::new(seed);
+        let base = &bases[rng.range_usize(0, bases.len() - 1)];
+        let mutated = mutate(base, &mut rng);
+        match catch_unwind(AssertUnwindSafe(|| exercise(&mutated))) {
+            Ok((open_ok, scan_ok)) => {
+                if open_ok {
+                    report.open_clean += 1;
+                } else {
+                    report.open_rejected += 1;
+                }
+                if scan_ok {
+                    report.scan_clean += 1;
+                } else {
+                    report.scan_rejected += 1;
+                }
+            }
+            Err(_) => {
+                report.panics += 1;
+                if report.panic_seeds.len() < 50 {
+                    report.panic_seeds.push(seed);
+                }
+            }
+        }
+    }
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("report serialization failed: {e:?}"),
+    }
+
+    if report.panics == 0 {
+        eprintln!(
+            "wire_fuzz: {} mutated inputs, 0 panics ({} rejected / {} clean on the indexed path)",
+            report.iterations, report.open_rejected, report.open_clean,
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "wire_fuzz: {} PANICS in {} inputs; first seeds: {:?}",
+            report.panics, report.iterations, report.panic_seeds,
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn usage(bad: &str) -> ExitCode {
+    eprintln!("wire_fuzz: invalid argument `{bad}`");
+    eprintln!("usage: wire_fuzz [base_seed] [iterations]");
+    ExitCode::FAILURE
+}

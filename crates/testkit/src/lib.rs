@@ -22,11 +22,18 @@
 //!   [`rpr_core::ReconstructionMode`]s, plus the invariant checker:
 //!   every injected fault is *detected* or *harmless*, never a panic
 //!   and never silently wrong pixels.
+//! * **Wire conformance** ([`WireFaultKind`], [`run_wire_case`],
+//!   [`run_wire_corpus`]) — the same discipline one layer down, over
+//!   serialized `.rpr` container *bytes*: byte-identical round-trips
+//!   through `rpr-wire`, scan recovery of unfinished files, and typed
+//!   container faults (truncation, CRC rot, forged checksums, stale
+//!   index entries) that must never panic the parser.
 //!
-//! The `conformance` binary runs a fixed seed corpus and emits a JSON
-//! report; CI gates on its exit status. See `TESTING.md` at the repo
-//! root for the seed-corpus conventions and how to reproduce a failing
-//! seed.
+//! The `conformance` binary runs both fixed seed corpora and emits a
+//! combined JSON report; CI gates on its exit status. The `wire_fuzz`
+//! binary adds a bounded random-mutation sweep over container bytes.
+//! See `TESTING.md` at the repo root for the seed-corpus conventions
+//! and how to reproduce a failing seed.
 
 #![deny(missing_docs)]
 
@@ -36,6 +43,8 @@ mod gen;
 mod lossy;
 mod reference;
 mod rng;
+mod wireconf;
+mod wirefault;
 
 pub use conformance::{run_case, run_corpus, CaseReport, CorpusReport};
 pub use fault::{FaultKind, ALL_FAULTS};
@@ -46,3 +55,5 @@ pub use gen::{
 pub use lossy::{LossyDram, ReadOutcome};
 pub use reference::ReferenceDecoder;
 pub use rng::TestRng;
+pub use wireconf::{run_wire_case, run_wire_corpus, WireCaseReport, WireCorpusReport};
+pub use wirefault::{WireFaultKind, ALL_WIRE_FAULTS};

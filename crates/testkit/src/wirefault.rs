@@ -1,0 +1,280 @@
+//! Typed fault injectors over serialized `.rpr` containers.
+//!
+//! Where [`crate::FaultKind`] corrupts an in-memory
+//! [`rpr_core::EncodedFrame`], each [`WireFaultKind`] corrupts the
+//! *bytes* of a finished container — one mutation aimed at one of the
+//! wire format's three defence layers (chunk CRC, structural parse,
+//! frame digest). The layered kinds
+//! ([`WireFaultKind::FrameBodyFlipCrcFixed`],
+//! [`WireFaultKind::CorruptRleRun`],
+//! [`WireFaultKind::StaleIndexEntry`]) deliberately *repair* the
+//! transport CRC after mutating, so only the deeper layer can catch
+//! them — exactly the forged-checksum scenario the digest exists for.
+//!
+//! [`WireFaultKind::inject`] returns `None` when the container cannot
+//! host the fault (e.g. no RLE-coded frame for a run corruption, or
+//! fewer than two distinct frames for a stale index entry); the
+//! conformance runner skips those draws rather than counting a no-op.
+
+use crate::TestRng;
+use rpr_wire::varint::{read_varint, write_varint};
+use rpr_wire::{
+    list_chunks, parse_entries, rewrite_chunk_crc, RawChunk, CHUNK_FRAME, CHUNK_INDEX, HEADER_LEN,
+    TRAILER_LEN,
+};
+
+/// Byte offset of the `mask_encoding` discriminant inside a frame
+/// blob (after width, height, frame_idx, and the integrity digest).
+const MASK_ENCODING_OFFSET: usize = 24;
+
+/// Every container-level corruption class the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireFaultKind {
+    /// Drop trailing bytes (torn write / partial download). Caught by
+    /// the trailer or header truncation checks.
+    TruncateTail,
+    /// Flip one bit of the 8-byte file magic. Caught by `BadMagic`.
+    HeaderMagicFlip,
+    /// Flip one bit of a chunk's *stored* CRC field. Caught by the
+    /// chunk checksum comparison.
+    ChunkCrcFlip,
+    /// Flip one bit of a chunk payload without fixing the CRC (plain
+    /// transport bit rot). Caught by the chunk checksum.
+    ChunkPayloadFlip,
+    /// Flip one bit of a chunk header's declared payload length,
+    /// desynchronizing the chunk framing. Caught by truncation, CRC,
+    /// or index cross-checks.
+    ChunkLenCorrupt,
+    /// Flip one bit inside an RLE-coded mask *and repair the chunk
+    /// CRC*, so only the deep parser (`BadRle`) or the frame digest
+    /// can catch it. `None` when no frame chose RLE coding.
+    CorruptRleRun,
+    /// Flip one bit anywhere in a frame blob *and repair the chunk
+    /// CRC* — the forged-checksum scenario. Caught by the structural
+    /// parse or the frame integrity digest.
+    FrameBodyFlipCrcFixed,
+    /// Swap which chunks two index entries point at while keeping
+    /// their claimed `frame_idx` values *and repair the index CRC* — a
+    /// stale index whose checksums are all valid. Caught by the
+    /// `frame_idx` cross-check against the blob.
+    StaleIndexEntry,
+    /// Flip one bit of the fixed trailer. Caught by the trailer magic
+    /// or checksum; `ContainerReader::scan` still recovers the frames.
+    TrailerCorrupt,
+}
+
+/// All container fault kinds, for corpus iteration.
+pub const ALL_WIRE_FAULTS: [WireFaultKind; 9] = [
+    WireFaultKind::TruncateTail,
+    WireFaultKind::HeaderMagicFlip,
+    WireFaultKind::ChunkCrcFlip,
+    WireFaultKind::ChunkPayloadFlip,
+    WireFaultKind::ChunkLenCorrupt,
+    WireFaultKind::CorruptRleRun,
+    WireFaultKind::FrameBodyFlipCrcFixed,
+    WireFaultKind::StaleIndexEntry,
+    WireFaultKind::TrailerCorrupt,
+];
+
+impl WireFaultKind {
+    /// Short stable name for reports and seed-corpus bookkeeping.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFaultKind::TruncateTail => "truncate-tail",
+            WireFaultKind::HeaderMagicFlip => "header-magic-flip",
+            WireFaultKind::ChunkCrcFlip => "chunk-crc-flip",
+            WireFaultKind::ChunkPayloadFlip => "chunk-payload-flip",
+            WireFaultKind::ChunkLenCorrupt => "chunk-len-corrupt",
+            WireFaultKind::CorruptRleRun => "corrupt-rle-run",
+            WireFaultKind::FrameBodyFlipCrcFixed => "frame-body-flip-crc-fixed",
+            WireFaultKind::StaleIndexEntry => "stale-index-entry",
+            WireFaultKind::TrailerCorrupt => "trailer-corrupt",
+        }
+    }
+
+    /// Injects this fault into a copy of `container` (a finished
+    /// `.rpr` byte image), drawing positions from `rng`. Returns
+    /// `None` when the container cannot host the fault.
+    pub fn inject(self, container: &[u8], rng: &mut TestRng) -> Option<Vec<u8>> {
+        if container.len() < HEADER_LEN + TRAILER_LEN {
+            return None;
+        }
+        let chunks = list_chunks(container).ok()?;
+        let mut out = container.to_vec();
+        match self {
+            WireFaultKind::TruncateTail => {
+                let keep = rng.range_usize(0, container.len() - 1);
+                out.truncate(keep);
+                Some(out)
+            }
+            WireFaultKind::HeaderMagicFlip => {
+                flip_bit(&mut out, rng.range_usize(0, 7), rng);
+                Some(out)
+            }
+            WireFaultKind::ChunkCrcFlip => {
+                let c = rng.pick(&chunks);
+                flip_bit(&mut out, c.offset + 5 + rng.range_usize(0, 3), rng);
+                Some(out)
+            }
+            WireFaultKind::ChunkPayloadFlip => {
+                let hosts: Vec<&RawChunk> =
+                    chunks.iter().filter(|c| !c.payload.is_empty()).collect();
+                if hosts.is_empty() {
+                    return None;
+                }
+                let c = rng.pick(&hosts);
+                flip_bit(&mut out, rng.range_usize(c.payload.start, c.payload.end - 1), rng);
+                Some(out)
+            }
+            WireFaultKind::ChunkLenCorrupt => {
+                let c = rng.pick(&chunks);
+                flip_bit(&mut out, c.offset + 1 + rng.range_usize(0, 3), rng);
+                Some(out)
+            }
+            WireFaultKind::CorruptRleRun => {
+                let hosts: Vec<&RawChunk> = chunks
+                    .iter()
+                    .filter(|c| {
+                        c.kind == CHUNK_FRAME
+                            && c.payload.len() > MASK_ENCODING_OFFSET
+                            && container[c.payload.start + MASK_ENCODING_OFFSET] == 1
+                    })
+                    .collect();
+                if hosts.is_empty() {
+                    return None;
+                }
+                let c = rng.pick(&hosts);
+                let blob = &container[c.payload.clone()];
+                let mut pos = MASK_ENCODING_OFFSET + 1;
+                let mask_len = read_varint(blob, &mut pos, "rle mask length").ok()? as usize;
+                if mask_len == 0 || pos + mask_len > blob.len() {
+                    return None;
+                }
+                let target = c.payload.start + pos + rng.range_usize(0, mask_len - 1);
+                flip_bit(&mut out, target, rng);
+                rewrite_chunk_crc(&mut out, c.offset).ok()?;
+                Some(out)
+            }
+            WireFaultKind::FrameBodyFlipCrcFixed => {
+                let hosts: Vec<&RawChunk> =
+                    chunks.iter().filter(|c| c.kind == CHUNK_FRAME).collect();
+                if hosts.is_empty() {
+                    return None;
+                }
+                let c = rng.pick(&hosts);
+                flip_bit(&mut out, rng.range_usize(c.payload.start, c.payload.end - 1), rng);
+                rewrite_chunk_crc(&mut out, c.offset).ok()?;
+                Some(out)
+            }
+            WireFaultKind::StaleIndexEntry => {
+                let index = chunks.iter().find(|c| c.kind == CHUNK_INDEX)?;
+                let mut entries = parse_entries(&container[index.payload.clone()]).ok()?;
+                // Pick two entries whose claimed frame_idx differ, so
+                // the swap is detectable (and not a silent reorder).
+                let i = (0..entries.len())
+                    .find(|&i| entries[(i + 1)..].iter().any(|e| e.frame_idx != entries[i].frame_idx))?;
+                let j = ((i + 1)..entries.len())
+                    .find(|&j| entries[j].frame_idx != entries[i].frame_idx)?;
+                // Swap where the entries point (offset + length) while
+                // keeping their claimed frame indices: each entry now
+                // names a frame its chunk does not hold.
+                let (eo, el) = (entries[i].offset, entries[i].len);
+                entries[i].offset = entries[j].offset;
+                entries[i].len = entries[j].len;
+                entries[j].offset = eo;
+                entries[j].len = el;
+                let mut payload = Vec::with_capacity(index.payload.len());
+                write_varint(&mut payload, entries.len() as u64);
+                for e in &entries {
+                    write_varint(&mut payload, e.frame_idx);
+                    write_varint(&mut payload, e.offset);
+                    write_varint(&mut payload, u64::from(e.len));
+                }
+                // A permutation of the same varint values re-encodes to
+                // the same total length, so the trailer's declared
+                // index size stays truthful.
+                if payload.len() != index.payload.len() {
+                    return None;
+                }
+                out[index.payload.clone()].copy_from_slice(&payload);
+                rewrite_chunk_crc(&mut out, index.offset).ok()?;
+                Some(out)
+            }
+            WireFaultKind::TrailerCorrupt => {
+                let base = container.len() - TRAILER_LEN;
+                flip_bit(&mut out, base + rng.range_usize(0, TRAILER_LEN - 1), rng);
+                Some(out)
+            }
+        }
+    }
+}
+
+fn flip_bit(bytes: &mut [u8], i: usize, rng: &mut TestRng) {
+    bytes[i] ^= 1 << rng.range_u32(0, 7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen_capture_sequence;
+    use rpr_core::RhythmicEncoder;
+    use rpr_wire::write_container;
+
+    fn sample_container() -> Vec<u8> {
+        let mut rng = TestRng::new(0xC0FF);
+        let (w, h) = (24, 16);
+        let seq = gen_capture_sequence(&mut rng, w, h, 4);
+        let mut encoder = RhythmicEncoder::new(w, h);
+        let frames: Vec<_> = seq
+            .frames
+            .iter()
+            .zip(&seq.regions)
+            .enumerate()
+            .map(|(i, (f, r))| encoder.encode(f, i as u64, r))
+            .collect();
+        write_container(&frames).unwrap()
+    }
+
+    #[test]
+    fn every_wire_fault_kind_injects_on_a_typical_container() {
+        let container = sample_container();
+        for kind in ALL_WIRE_FAULTS {
+            let mut rng = TestRng::new(0xFA);
+            let injected = (0..20).find_map(|_| kind.inject(&container, &mut rng));
+            let faulty = injected.unwrap_or_else(|| panic!("{} never applied", kind.name()));
+            assert_ne!(faulty, container, "{} must change the bytes", kind.name());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let container = sample_container();
+        for kind in ALL_WIRE_FAULTS {
+            let a = kind.inject(&container, &mut TestRng::new(77));
+            let b = kind.inject(&container, &mut TestRng::new(77));
+            assert_eq!(a, b, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn stale_index_needs_two_distinct_frames() {
+        let mut rng = TestRng::new(3);
+        let seq = gen_capture_sequence(&mut rng, 16, 12, 1);
+        let frame = RhythmicEncoder::new(16, 12).encode(&seq.frames[0], 0, &seq.regions[0]);
+        let container = write_container(std::slice::from_ref(&frame)).unwrap();
+        let mut rng = TestRng::new(4);
+        assert!(WireFaultKind::StaleIndexEntry.inject(&container, &mut rng).is_none());
+    }
+
+    #[test]
+    fn crc_fixed_faults_pass_the_transport_layer() {
+        // The whole point of the layered kinds: after injection the
+        // chunk CRC is *valid*, so listing chunks still succeeds and
+        // detection must come from a deeper layer.
+        let container = sample_container();
+        let mut rng = TestRng::new(0xBEEF);
+        let faulty = WireFaultKind::FrameBodyFlipCrcFixed.inject(&container, &mut rng).unwrap();
+        assert!(list_chunks(&faulty).is_ok());
+        assert!(rpr_wire::read_all(&faulty).is_err(), "deep layer must still catch it");
+    }
+}

@@ -1,0 +1,83 @@
+//! CRC32 (IEEE 802.3, polynomial `0xEDB88320`), the per-chunk checksum
+//! of the `.rpr` container.
+//!
+//! Dependency-free and table-driven; the table is built at compile
+//! time. CRC32 (rather than the frame-level FNV digest) guards the
+//! *transport* layer: it is the checksum DMA engines and NICs already
+//! compute in hardware, so a real deployment gets it for free, and its
+//! error model (burst errors from torn writes and truncated transfers)
+//! matches what a file or socket can do to a chunk.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `bytes` (init `0xFFFF_FFFF`, final XOR, reflected — the
+/// standard zlib/PNG/Ethernet convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming update: feed `state` through more bytes. Start from
+/// `0xFFFF_FFFF` and XOR the final state with `0xFFFF_FFFF` to match
+/// [`crc32`].
+pub fn update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // The canonical check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"rhythmic pixel regions";
+        let split = crc32(data);
+        let mut state = 0xFFFF_FFFFu32;
+        state = update(state, &data[..7]);
+        state = update(state, &data[7..]);
+        assert_eq!(state ^ 0xFFFF_FFFF, split);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        let clean = crc32(&data);
+        for i in 0..64 {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at byte {i} bit {bit}");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Run-length coding of the 2-bit EncMask.
+//!
+//! The EncMask is the dominant metadata cost (2 bits for every pixel of
+//! the original frame, ~506 KB at 1080p) and is extremely runny in
+//! practice: region interiors are solid `R`/`St`/`Sk` spans and the
+//! background is one giant `N` run per row gap. The wire format
+//! therefore codes the mask as a sequence of runs in raster order, one
+//! varint per run:
+//!
+//! ```text
+//! run := varint( run_len << 2 | status_bits )     run_len >= 1
+//! ```
+//!
+//! Runs up to 31 pixels fit in one byte. The decoder requires the run
+//! lengths to sum to exactly `width * height`; anything else is a
+//! typed [`WireError::BadRle`]. Degenerate masks (e.g. per-pixel
+//! checkerboards) can inflate past the raw packed size, which is why
+//! the frame codec measures both and keeps whichever is smaller
+//! ([`crate::MaskCodec::Auto`]).
+
+use crate::varint::{read_varint, write_varint};
+use crate::{Result, WireError};
+
+/// Iterates the 2-bit entries of a packed mask (4 per byte, entry `i`
+/// in bits `2*(i%4)` — the [`rpr_core::EncMask`] layout).
+#[inline]
+fn packed_get(packed: &[u8], i: usize) -> u8 {
+    (packed[i / 4] >> ((i % 4) * 2)) & 0b11
+}
+
+/// RLE-compresses `pixels` 2-bit entries of `packed` into `out`.
+/// Returns the number of bytes appended.
+pub fn compress(packed: &[u8], pixels: usize, out: &mut Vec<u8>) -> usize {
+    let mut written = 0;
+    let mut i = 0;
+    while i < pixels {
+        let status = packed_get(packed, i);
+        let mut run = 1usize;
+        while i + run < pixels && packed_get(packed, i + run) == status {
+            run += 1;
+        }
+        written += write_varint(out, (run as u64) << 2 | u64::from(status));
+        i += run;
+    }
+    written
+}
+
+/// Size in bytes [`compress`] would produce, without allocating.
+pub fn compressed_len(packed: &[u8], pixels: usize) -> usize {
+    let mut len = 0;
+    let mut i = 0;
+    while i < pixels {
+        let status = packed_get(packed, i);
+        let mut run = 1usize;
+        while i + run < pixels && packed_get(packed, i + run) == status {
+            run += 1;
+        }
+        len += crate::varint::varint_len((run as u64) << 2 | u64::from(status));
+        i += run;
+    }
+    len
+}
+
+/// Inflates an RLE stream back into packed 2-bit form.
+///
+/// `buf` must hold exactly the runs for `pixels` entries — trailing
+/// bytes, zero-length runs, and run totals under or over `pixels` are
+/// all rejected. The returned buffer is `pixels.div_ceil(4)` bytes
+/// with unused high bits zero (the canonical [`rpr_core::EncMask`]
+/// layout).
+///
+/// # Errors
+///
+/// [`WireError::BadRle`] or [`WireError::BadVarint`] describing the
+/// first defect found.
+pub fn inflate(buf: &[u8], pixels: usize) -> Result<Vec<u8>> {
+    let mut packed = vec![0u8; pixels.div_ceil(4)];
+    let mut pos = 0usize;
+    let mut filled = 0usize;
+    while pos < buf.len() {
+        let v = read_varint(buf, &mut pos, "rle run")?;
+        let status = (v & 0b11) as u8;
+        let run = v >> 2;
+        if run == 0 {
+            return Err(WireError::BadRle { reason: "zero-length run".into() });
+        }
+        let run = usize::try_from(run)
+            .map_err(|_| WireError::BadRle { reason: "run length overflows usize".into() })?;
+        let end = filled.checked_add(run).filter(|&e| e <= pixels).ok_or_else(|| {
+            WireError::BadRle {
+                reason: format!("runs overrun the mask: {filled} + {run} > {pixels}"),
+            }
+        })?;
+        if status != 0 {
+            for i in filled..end {
+                packed[i / 4] |= status << ((i % 4) * 2);
+            }
+        }
+        filled = end;
+    }
+    if filled != pixels {
+        return Err(WireError::BadRle {
+            reason: format!("runs cover {filled} of {pixels} pixels"),
+        });
+    }
+    Ok(packed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{EncMask, PixelStatus};
+
+    fn mask_with_regions() -> EncMask {
+        let mut m = EncMask::new(32, 8);
+        for y in 2..6 {
+            for x in 4..20 {
+                m.set(x, y, if y < 4 { PixelStatus::Regional } else { PixelStatus::Strided });
+            }
+        }
+        m
+    }
+
+    fn roundtrip(mask: &EncMask) {
+        let pixels = mask.width() as usize * mask.height() as usize;
+        let mut rle = Vec::new();
+        let n = compress(mask.as_bytes(), pixels, &mut rle);
+        assert_eq!(n, rle.len());
+        assert_eq!(n, compressed_len(mask.as_bytes(), pixels));
+        let back = inflate(&rle, pixels).unwrap();
+        assert_eq!(back, mask.as_bytes(), "packed bytes must round-trip exactly");
+    }
+
+    #[test]
+    fn region_masks_roundtrip_and_shrink() {
+        let mask = mask_with_regions();
+        roundtrip(&mask);
+        let pixels = 32 * 8;
+        assert!(
+            compressed_len(mask.as_bytes(), pixels) < mask.size_bytes(),
+            "runny masks must compress below 2 bits/px"
+        );
+    }
+
+    #[test]
+    fn uniform_mask_is_tiny() {
+        let mask = EncMask::new(1920, 4);
+        let pixels = 1920 * 4;
+        // One all-N run: one varint of (7680 << 2).
+        assert_eq!(compressed_len(mask.as_bytes(), pixels), 3);
+        roundtrip(&mask);
+    }
+
+    #[test]
+    fn worst_case_checkerboard_roundtrips() {
+        let mut mask = EncMask::new(17, 3); // non-multiple-of-4 tail
+        for y in 0..3 {
+            for x in 0..17 {
+                if (x + y) % 2 == 0 {
+                    mask.set(x, y, PixelStatus::Regional);
+                }
+            }
+        }
+        roundtrip(&mask);
+    }
+
+    #[test]
+    fn empty_mask_roundtrips() {
+        let back = inflate(&[], 0).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn short_and_long_totals_are_rejected() {
+        let mut rle = Vec::new();
+        compress(EncMask::new(8, 1).as_bytes(), 8, &mut rle);
+        assert!(matches!(inflate(&rle, 9), Err(WireError::BadRle { .. })));
+        assert!(matches!(inflate(&rle, 7), Err(WireError::BadRle { .. })));
+    }
+
+    #[test]
+    fn zero_run_is_rejected() {
+        let mut rle = Vec::new();
+        write_varint(&mut rle, 0b11); // run_len 0, status R
+        assert!(matches!(inflate(&rle, 4), Err(WireError::BadRle { .. })));
+    }
+
+    #[test]
+    fn truncated_varint_is_rejected() {
+        let rle = [0x80u8]; // continuation bit, no next byte
+        assert!(matches!(inflate(&rle, 4), Err(WireError::BadVarint { .. })));
+    }
+}

@@ -25,6 +25,7 @@ pub mod baselines;
 pub mod datasets;
 pub mod h264;
 pub mod progression;
+pub mod replay;
 pub mod runner;
 pub mod staged;
 pub mod stats;
@@ -34,7 +35,11 @@ pub use baselines::Baseline;
 pub use datasets::{FaceDataset, PoseDataset, SlamDataset};
 pub use h264::{H264Model, H264Quality};
 pub use progression::progression_series;
-pub use runner::{ExperimentResult, Measurements, Pipeline, PipelineConfig, PolicyKind};
+pub use replay::{
+    record_face, record_pose, record_slam, replay_task_inputs, replay_task_inputs_with_mode,
+    replay_through_task, Recorder,
+};
+pub use runner::{EncodedTap, ExperimentResult, Measurements, Pipeline, PipelineConfig, PolicyKind};
 pub use staged::{
     face_outcome, face_spec, pose_outcome, pose_spec, run_face_staged, run_pose_staged,
     run_slam_staged, slam_outcome, slam_spec, DatasetSource, FaceSpec, FaceTask, PipelineCapture,

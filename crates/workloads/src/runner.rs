@@ -5,7 +5,7 @@
 
 use crate::{Baseline, H264Model, RegionStats, RegionStatsCollector};
 use rpr_core::{
-    AdaptiveCyclePolicy, CycleLengthPolicy, EncoderStats, Feature, FeaturePolicy,
+    AdaptiveCyclePolicy, CycleLengthPolicy, EncodedFrame, EncoderStats, Feature, FeaturePolicy,
     FeaturePolicyParams, KalmanPolicy, Policy, PolicyContext, RegionLabel, RegionList,
     RegionRuntime, SoftwareDecoder,
 };
@@ -117,6 +117,10 @@ impl Measurements {
     }
 }
 
+/// An observer of the encoded frames the rhythmic capture path
+/// produces — what [`Pipeline::set_encoded_tap`] installs.
+pub type EncodedTap = Box<dyn FnMut(&EncodedFrame) + Send>;
+
 /// The per-baseline frame pipeline. Tasks push raw frames in (together
 /// with the features/detections their policy planning needs) and get
 /// the frame their algorithm will actually see back.
@@ -134,6 +138,10 @@ pub struct Pipeline {
     /// The two most recent decoded frames (newest last), kept for the
     /// motion-vector policy.
     decoded_history: Vec<GrayFrame>,
+    /// Observer invoked with every encoded frame the rhythmic path
+    /// produces (the record half of wire record/replay). `None` costs
+    /// nothing; the rhythmic branch is the only caller.
+    encoded_tap: Option<EncodedTap>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -182,8 +190,17 @@ impl Pipeline {
             fractions: Vec::new(),
             frame_idx: 0,
             decoded_history: Vec::new(),
+            encoded_tap: None,
             cfg,
         }
+    }
+
+    /// Installs an observer for every [`EncodedFrame`] the rhythmic
+    /// (`Rp`) capture path produces, in frame order — the hook wire
+    /// recording attaches to. Frame-based baselines never encode, so
+    /// the tap never fires for them.
+    pub fn set_encoded_tap(&mut self, tap: EncodedTap) {
+        self.encoded_tap = Some(tap);
     }
 
     /// The configured baseline.
@@ -258,6 +275,9 @@ impl Pipeline {
                         == RegionLabel::full_frame(self.cfg.width, self.cfg.height);
                 self.stats.observe(planned, is_full);
                 let encoded = self.runtime.encode_frame(raw);
+                if let Some(tap) = self.encoded_tap.as_mut() {
+                    tap(&encoded);
+                }
                 self.traffic.record_encoded_read(&encoded, self.cfg.format);
                 self.traffic.record_encoded_write(&encoded, self.cfg.format);
                 self.pool.admit_encoded(&encoded, self.cfg.format);

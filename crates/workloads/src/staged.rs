@@ -72,6 +72,12 @@ impl PipelineCapture {
     pub fn new(cfg: PipelineConfig) -> Self {
         PipelineCapture { pipeline: Pipeline::new(cfg) }
     }
+
+    /// Wraps an existing pipeline — e.g. one with a recording tap
+    /// installed ([`Pipeline::set_encoded_tap`]).
+    pub fn from_pipeline(pipeline: Pipeline) -> Self {
+        PipelineCapture { pipeline }
+    }
 }
 
 impl CaptureStage for PipelineCapture {

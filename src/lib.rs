@@ -20,7 +20,11 @@
 //! * [`workloads`] — the three evaluation workloads, baselines, and
 //!   the experiment runner;
 //! * [`stream`] — the staged multi-camera executor: per-stage workers,
-//!   bounded queues with backpressure, and per-stage telemetry.
+//!   bounded queues with backpressure, and per-stage telemetry;
+//! * [`wire`] — the `.rpr` wire format: a canonical little-endian
+//!   bitstream for encoded frames and a chunked, CRC-guarded container
+//!   with an O(1)-seek index, powering record/replay of capture
+//!   streams.
 //!
 //! # Quick start
 //!
@@ -51,4 +55,5 @@ pub use rpr_memsim as memsim;
 pub use rpr_sensor as sensor;
 pub use rpr_stream as stream;
 pub use rpr_vision as vision;
+pub use rpr_wire as wire;
 pub use rpr_workloads as workloads;

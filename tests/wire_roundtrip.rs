@@ -1,0 +1,147 @@
+//! Property tests for the `.rpr` wire format over the seeded testkit
+//! corpus: serialize → parse → decode must be byte-identical to the
+//! in-memory path for both reconstruction modes, under every mask
+//! codec, and no mutation of the container bytes may panic the parser.
+
+use proptest::prelude::*;
+use rhythmic_pixel_regions::core::{
+    EncodedFrame, ReconstructionMode, RhythmicEncoder, SoftwareDecoder,
+};
+use rhythmic_pixel_regions::frame::GrayFrame;
+use rhythmic_pixel_regions::wire::{
+    encode_frame, read_all, write_container, ContainerReader, EncodedFrameView, MaskCodec,
+};
+use rpr_testkit::{gen_capture_sequence, TestRng, ALL_WIRE_FAULTS};
+
+const MODES: [ReconstructionMode; 2] =
+    [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate];
+
+/// Encodes one seeded testkit capture sequence — the same generator
+/// population the conformance corpus uses.
+fn encoded_sequence(seed: u64, width: u32, height: u32, n_frames: usize) -> Vec<EncodedFrame> {
+    let mut rng = TestRng::new(seed);
+    let seq = gen_capture_sequence(&mut rng, width, height, n_frames);
+    let mut encoder = RhythmicEncoder::new(width, height);
+    seq.frames
+        .iter()
+        .zip(&seq.regions)
+        .enumerate()
+        .map(|(idx, (frame, regions))| encoder.encode(frame, idx as u64, regions))
+        .collect()
+}
+
+fn decode_all(
+    frames: &[EncodedFrame],
+    width: u32,
+    height: u32,
+    mode: ReconstructionMode,
+) -> Vec<GrayFrame> {
+    let mut decoder = SoftwareDecoder::with_mode(width, height, mode);
+    frames.iter().map(|f| decoder.try_decode(f).expect("valid frame decodes")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline contract: a sequence that round-trips the container
+    /// comes back equal as `EncodedFrame`s, and decoding the replayed
+    /// frames reproduces the in-memory decode byte-for-byte in both
+    /// reconstruction modes.
+    #[test]
+    fn container_replay_matches_in_memory_decode(
+        seed in 0u64..u64::MAX,
+        width in 8u32..48,
+        height in 8u32..40,
+        n_frames in 1usize..6,
+    ) {
+        let frames = encoded_sequence(seed, width, height, n_frames);
+        let bytes = write_container(&frames).expect("fresh frames serialize");
+        let back = read_all(&bytes).expect("fresh container parses");
+        prop_assert_eq!(&back, &frames);
+        for mode in MODES {
+            prop_assert_eq!(
+                decode_all(&back, width, height, mode),
+                decode_all(&frames, width, height, mode),
+                "mode {:?} diverged after the wire round-trip", mode
+            );
+        }
+    }
+
+    /// Every codec round-trips every frame blob exactly, and
+    /// re-encoding the parsed frame reproduces the same bytes — the
+    /// encoding is canonical, so archives are stable fixtures.
+    #[test]
+    fn blob_encoding_is_canonical_under_every_codec(
+        seed in 0u64..u64::MAX,
+        width in 8u32..48,
+        height in 8u32..40,
+    ) {
+        let frames = encoded_sequence(seed, width, height, 2);
+        for frame in &frames {
+            for codec in [MaskCodec::Auto, MaskCodec::Raw, MaskCodec::Rle] {
+                let mut blob = Vec::new();
+                encode_frame(frame, codec, &mut blob).expect("valid frame encodes");
+                let view = EncodedFrameView::parse(&blob).expect("blob parses");
+                let back = view.to_validated_frame().expect("blob validates");
+                prop_assert_eq!(&back, frame);
+                let mut again = Vec::new();
+                encode_frame(&back, codec, &mut again).expect("re-encode");
+                prop_assert_eq!(&again, &blob, "codec {:?} is not canonical", codec);
+            }
+        }
+    }
+
+    /// Typed container faults never panic the indexed read path and
+    /// never produce silently different frames: every injection is
+    /// detected (a typed `WireError`) or harmless (identical frames).
+    #[test]
+    fn injected_container_faults_are_detected_or_harmless(
+        seed in 0u64..u64::MAX,
+        width in 8u32..40,
+        height in 8u32..32,
+        n_frames in 1usize..5,
+    ) {
+        let frames = encoded_sequence(seed, width, height, n_frames);
+        let bytes = write_container(&frames).expect("fresh frames serialize");
+        for kind in ALL_WIRE_FAULTS {
+            let mut rng = TestRng::new(seed ^ 0x0D15_EA5E).fork();
+            let Some(faulty) = kind.inject(&bytes, &mut rng) else { continue };
+            match read_all(&faulty) {
+                Err(_) => {} // detected, as required
+                Ok(back) => prop_assert_eq!(
+                    &back, &frames,
+                    "fault {} silently altered the frames", kind.name()
+                ),
+            }
+        }
+    }
+
+    /// Truncating a container at any point yields a typed error (or,
+    /// at full length, the original frames) — never a panic, never
+    /// garbage frames.
+    #[test]
+    fn truncation_at_any_length_is_safe(
+        seed in 0u64..u64::MAX,
+        cut in 0.0f64..1.0,
+    ) {
+        let frames = encoded_sequence(seed, 16, 12, 2);
+        let bytes = write_container(&frames).expect("fresh frames serialize");
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        match read_all(&bytes[..keep]) {
+            Err(_) => {} // typed rejection
+            Ok(back) => prop_assert_eq!(&back, &frames),
+        }
+        // The sequential recovery path holds the same bar and must
+        // only ever salvage frames that really were written.
+        if let Ok(reader) = ContainerReader::scan(&bytes[..keep]) {
+            for i in 0..reader.len() {
+                if let Ok(frame) = reader.frame(i) {
+                    prop_assert!(
+                        frames.contains(&frame),
+                        "scan salvaged a frame that never existed"
+                    );
+                }
+            }
+        }
+    }
+}
