@@ -104,11 +104,40 @@ fn bench_full_frame(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let frame = frame();
+    let regions = scattered_regions(100);
+    let mut group = c.benchmark_group("encoder/tracing_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+        .throughput(Throughput::Elements(u64::from(W) * u64::from(H)));
+    rpr_trace::disable();
+    group.bench_function("disabled", |b| {
+        let mut enc = RhythmicEncoder::new(W, H);
+        b.iter(|| enc.encode(&frame, 1, &regions));
+    });
+    rpr_trace::enable();
+    group.bench_function("enabled", |b| {
+        let mut enc = RhythmicEncoder::new(W, H);
+        b.iter(|| {
+            let out = enc.encode(&frame, 1, &regions);
+            rpr_trace::drain();
+            out
+        });
+    });
+    rpr_trace::disable();
+    rpr_trace::drain();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_region_scaling,
     bench_run_length_ablation,
     bench_streaming_interface,
-    bench_full_frame
+    bench_full_frame,
+    bench_tracing_overhead
 );
 criterion_main!(benches);

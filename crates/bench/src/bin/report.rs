@@ -1,0 +1,185 @@
+//! `rpr-report` — run, render, and diff [`RunReport`]s.
+//!
+//! ```text
+//! rpr-report run --task slam [--baseline rp10] [--out report.json]
+//!                [--trace trace.json] [--json]
+//! rpr-report render report.json
+//! rpr-report diff base.json new.json [--threshold PCT] [--dram PCT]
+//!                [--energy PCT] [--latency PCT] [--accuracy PCT]
+//!                [--ignore-latency] [--json]
+//! ```
+//!
+//! `run` executes one workload (at `RPR_SCALE`) with tracing enabled
+//! and emits the unified report; `--trace` additionally writes a Chrome
+//! trace-event file loadable in Perfetto. `diff` compares two reports
+//! and exits non-zero when any metric worsened beyond its threshold —
+//! the CI regression gate.
+
+use rpr_bench::report::{parse_baseline, run_workload_report, ReportTask};
+use rpr_bench::Scale;
+use rpr_trace::{chrome_trace_json, diff_reports, DiffThresholds, RunReport};
+use rpr_workloads::Baseline;
+use std::process::ExitCode;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage:\n  rpr-report run --task face|pose|slam [--baseline SPEC] \
+         [--out FILE] [--trace FILE] [--json]\n  rpr-report render FILE\n  \
+         rpr-report diff BASE NEW [--threshold PCT] [--dram PCT] [--energy PCT] \
+         [--latency PCT] [--accuracy PCT] [--ignore-latency] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn read_report(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: invalid RunReport: {e:?}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut task: Option<ReportTask> = None;
+    let mut baseline: Baseline = Baseline::Rp { cycle_length: 10 };
+    let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--task" => match it.next().map(|s| ReportTask::parse(s)) {
+                Some(Some(t)) => task = Some(t),
+                _ => return usage("--task needs face|pose|slam"),
+            },
+            "--baseline" => match it.next().map(|s| parse_baseline(s)) {
+                Some(Some(b)) => baseline = b,
+                _ => return usage("--baseline needs fch|fcl<k>|rp<n>|multiroi<k>"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage("--out needs a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p.clone()),
+                None => return usage("--trace needs a path"),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    let Some(task) = task else { return usage("run requires --task") };
+
+    let scale = Scale::from_env();
+    let run = run_workload_report(task, baseline, &scale);
+    let report_json =
+        serde_json::to_string_pretty(&run.report).expect("report serializes");
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &report_json) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote report to {path}");
+    }
+    if let Some(path) = &trace {
+        if let Err(e) = std::fs::write(path, chrome_trace_json(&run.events)) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote Chrome trace ({} events) to {path}", run.events.len());
+    }
+    if json {
+        println!("{report_json}");
+    } else {
+        print!("{}", run.report.render_text());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_render(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage("render takes exactly one file") };
+    match read_report(path) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut files: Vec<&String> = Vec::new();
+    let mut th = DiffThresholds::default();
+    let mut json = false;
+    let mut it = args.iter();
+    let parse_pct = |v: Option<&String>| v.and_then(|s| s.parse::<f64>().ok());
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match parse_pct(it.next()) {
+                Some(p) => {
+                    th.dram_pct = p;
+                    th.energy_pct = p;
+                    th.latency_pct = p;
+                    th.accuracy_pct = p;
+                }
+                None => return usage("--threshold needs a percentage"),
+            },
+            "--dram" => match parse_pct(it.next()) {
+                Some(p) => th.dram_pct = p,
+                None => return usage("--dram needs a percentage"),
+            },
+            "--energy" => match parse_pct(it.next()) {
+                Some(p) => th.energy_pct = p,
+                None => return usage("--energy needs a percentage"),
+            },
+            "--latency" => match parse_pct(it.next()) {
+                Some(p) => th.latency_pct = p,
+                None => return usage("--latency needs a percentage"),
+            },
+            "--accuracy" => match parse_pct(it.next()) {
+                Some(p) => th.accuracy_pct = p,
+                None => return usage("--accuracy needs a percentage"),
+            },
+            "--ignore-latency" => th.check_latency = false,
+            "--json" => json = true,
+            other if !other.starts_with('-') => files.push(arg),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    let [base_path, new_path] = files[..] else {
+        return usage("diff takes exactly two report files");
+    };
+    let (base, new) = match (read_report(base_path), read_report(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = diff_reports(&base, &new, &th);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&diff).expect("diff serializes"));
+    } else {
+        print!("{}", diff.render_text());
+    }
+    if diff.regressed() {
+        eprintln!("regression detected ({base_path} -> {new_path})");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "run" => cmd_run(rest),
+            "render" => cmd_render(rest),
+            "diff" => cmd_diff(rest),
+            other => usage(&format!("unknown command {other}")),
+        },
+        None => usage("missing command"),
+    }
+}

@@ -11,6 +11,8 @@
 
 #![deny(missing_docs)]
 
+pub mod report;
+
 use rpr_workloads::{FaceDataset, PoseDataset, SlamDataset};
 
 /// Sequence dimensions for one experiment scale.

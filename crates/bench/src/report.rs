@@ -1,0 +1,344 @@
+//! RunReport assembly: the glue between the per-layer telemetry
+//! producers (`rpr-workloads`, `rpr-stream`, `rpr-memsim`, `rpr-hwsim`)
+//! and the unified [`RunReport`] schema in `rpr-trace`.
+//!
+//! `rpr-trace` sits at the bottom of the dependency graph and cannot
+//! name the producers' types, so the conversions live here, above
+//! everything. The `rpr-report` binary is the CLI front end.
+
+use rpr_hwsim::{DesignKind, PowerModel};
+use rpr_memsim::{EnergyModel, FrameActivity};
+use rpr_stream::{StreamConfig, StreamTelemetry};
+use rpr_trace::{
+    EnergySection, HwSection, MemorySection, MetricsRegistry, RegionSection, RunReport,
+    StageSection, StreamSection, TraceEvent,
+};
+use rpr_workloads::stats::RegionStats;
+use rpr_workloads::{
+    run_face_staged, run_pose_staged, run_slam_staged, Baseline, H264Quality, Measurements,
+    PipelineConfig,
+};
+
+use crate::Scale;
+
+/// Which workload a report run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportTask {
+    /// Multi-face detection.
+    Face,
+    /// Pose (single-subject) estimation.
+    Pose,
+    /// Visual SLAM / odometry.
+    Slam,
+}
+
+impl ReportTask {
+    /// Parses a task name (`face`, `pose`, `slam`).
+    pub fn parse(s: &str) -> Option<ReportTask> {
+        match s {
+            "face" => Some(ReportTask::Face),
+            "pose" => Some(ReportTask::Pose),
+            "slam" => Some(ReportTask::Slam),
+            _ => None,
+        }
+    }
+
+    /// The task's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportTask::Face => "face",
+            ReportTask::Pose => "pose",
+            ReportTask::Slam => "slam",
+        }
+    }
+}
+
+/// Parses a baseline spec: `fch`, `fcl<factor>`, `rp<cycle>`, or
+/// `multiroi<max>` (e.g. `rp10`, `fcl4`, `multiroi16`).
+pub fn parse_baseline(s: &str) -> Option<Baseline> {
+    if s == "fch" {
+        return Some(Baseline::Fch);
+    }
+    if let Some(rest) = s.strip_prefix("fcl") {
+        return rest.parse().ok().map(|factor| Baseline::Fcl { factor });
+    }
+    if let Some(rest) = s.strip_prefix("rp") {
+        return rest.parse().ok().map(|cycle_length| Baseline::Rp { cycle_length });
+    }
+    if let Some(rest) = s.strip_prefix("multiroi") {
+        return rest
+            .parse()
+            .ok()
+            .map(|max_regions| Baseline::MultiRoi { max_regions, cycle_length: 10 });
+    }
+    match s {
+        "h264" | "h264med" => Some(Baseline::H264 { quality: H264Quality::Medium }),
+        "h264low" => Some(Baseline::H264 { quality: H264Quality::Low }),
+        "h264high" => Some(Baseline::H264 { quality: H264Quality::High }),
+        _ => None,
+    }
+}
+
+/// Renders a baseline back into its spec string.
+pub fn baseline_spec(b: Baseline) -> String {
+    match b {
+        Baseline::Fch => "fch".to_string(),
+        Baseline::Fcl { factor } => format!("fcl{factor}"),
+        Baseline::Rp { cycle_length } => format!("rp{cycle_length}"),
+        Baseline::MultiRoi { max_regions, .. } => format!("multiroi{max_regions}"),
+        Baseline::H264 { quality } => match quality {
+            H264Quality::Medium => "h264med".to_string(),
+            H264Quality::Low => "h264low".to_string(),
+            H264Quality::High => "h264high".to_string(),
+        },
+    }
+}
+
+/// Converts stream telemetry into its report section, estimating stage
+/// percentiles from the latency histograms.
+pub fn stream_section(t: &StreamTelemetry) -> StreamSection {
+    StreamSection {
+        stream_id: t.stream_id as u64,
+        frames_in: t.frames_in,
+        frames_out: t.frames_out,
+        frames_dropped: t.frames_dropped,
+        wall_time_s: t.wall_time_s,
+        end_to_end_fps: t.end_to_end_fps,
+        stages: t
+            .stages
+            .iter()
+            .map(|s| StageSection {
+                name: s.name.clone(),
+                frames: s.frames,
+                degraded_frames: s.degraded_frames,
+                mean_latency_us: s.latency.mean_s() * 1e6,
+                p50_us: s.latency.p50_us(),
+                p90_us: s.latency.p90_us(),
+                p99_us: s.latency.p99_us(),
+            })
+            .collect(),
+    }
+}
+
+/// Converts workload measurements into the memory section.
+pub fn memory_section(m: &Measurements) -> MemorySection {
+    MemorySection {
+        write_bytes: m.traffic.write_bytes,
+        read_bytes: m.traffic.read_bytes,
+        metadata_bytes: m.traffic.metadata_bytes,
+        bytes_per_frame: m.traffic.bytes_per_frame,
+        throughput_mb_s: m.traffic.throughput_mb_s,
+        mean_footprint_bytes: m.mean_footprint_bytes,
+        peak_footprint_bytes: m.peak_footprint_bytes,
+        mean_captured_fraction: m.mean_captured_fraction(),
+    }
+}
+
+/// Converts region statistics into their report section.
+pub fn region_section(r: &RegionStats) -> RegionSection {
+    RegionSection {
+        avg_regions: r.avg_regions,
+        min_size: r.min_size,
+        max_size: r.max_size,
+        min_stride: r.min_stride,
+        max_stride: r.max_stride,
+        min_rate_ms: r.min_rate_ms,
+        max_rate_ms: r.max_rate_ms,
+        frames: r.frames,
+    }
+}
+
+/// Derives the energy section by replaying the run's measured DRAM
+/// traffic through the paper-constant [`EnergyModel`].
+pub fn energy_section(
+    model: &EnergyModel,
+    cfg: &PipelineConfig,
+    m: &Measurements,
+    frames: u64,
+) -> EnergySection {
+    let bpp = cfg.format.bytes_per_pixel() as u64;
+    let full_px = u64::from(cfg.width) * u64::from(cfg.height);
+    let frames_nz = frames.max(1);
+    // Mean per-frame activity: the sensor scans and streams every pixel
+    // (the encoder sits behind the ISP); DRAM moves what was measured.
+    let activity = FrameActivity {
+        sensed_px: full_px,
+        csi_px: full_px,
+        dram_written_px: m.traffic.write_bytes / bpp.max(1) / frames_nz,
+        dram_read_px: m.traffic.read_bytes / bpp.max(1) / frames_nz,
+        macs: 0,
+    };
+    let per_frame = model.frame_energy(&activity);
+    let n = frames as f64;
+    EnergySection {
+        sensing_pj: per_frame.sensing_pj * n,
+        interface_pj: per_frame.interface_pj * n,
+        dram_pj: per_frame.dram_pj * n,
+        compute_pj: per_frame.compute_pj * n,
+        total_mj: per_frame.total_mj() * n,
+        mj_per_frame: per_frame.total_mj(),
+        power_mw: model.power_mw(&activity, cfg.fps),
+    }
+}
+
+/// Derives the hardware section from the encoder work counters and the
+/// ZCU102-calibrated power model.
+pub fn hw_section(cfg: &PipelineConfig, m: &Measurements) -> HwSection {
+    let power = PowerModel::zcu102();
+    let (keep, cmp) = m
+        .encoder
+        .as_ref()
+        .map(|e| (e.keep_ratio(), e.comparisons_per_pixel()))
+        .unwrap_or((1.0, 0.0));
+    HwSection {
+        encoder_mw: power.encoder_power(DesignKind::HybridEncoder { regions: 1600 }).total_mw(),
+        decoder_mw: power.decoder_power(cfg.width, keep).total_mw(),
+        comparisons_per_pixel: cmp,
+        keep_ratio: keep,
+    }
+}
+
+/// Everything one instrumented workload run produced: the unified
+/// report plus the raw trace events (for Chrome-trace export).
+#[derive(Debug, Clone)]
+pub struct ReportRun {
+    /// The assembled report.
+    pub report: RunReport,
+    /// The trace events drained from the run.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Runs one workload with tracing on and assembles its [`RunReport`].
+///
+/// Uses sequence 0 of `scale`'s dataset, the staged executor in
+/// blocking mode, and the default pipeline configuration for
+/// `baseline`.
+pub fn run_workload_report(task: ReportTask, baseline: Baseline, scale: &Scale) -> ReportRun {
+    let cfg = PipelineConfig::new(scale.width, scale.height, baseline);
+    let stream_cfg = StreamConfig::blocking();
+
+    let _ = rpr_trace::drain(); // discard events from earlier runs
+    rpr_trace::enable();
+    let (accuracy, measurements, telemetry): (Vec<(&str, f64)>, Measurements, StreamTelemetry) =
+        match task {
+            ReportTask::Face => {
+                let ds = scale.face(0);
+                let (out, tel) = run_face_staged(&ds, cfg, stream_cfg);
+                (vec![("map", out.map)], out.measurements, tel)
+            }
+            ReportTask::Pose => {
+                let ds = scale.pose(0);
+                let (out, tel) = run_pose_staged(&ds, cfg, stream_cfg);
+                (vec![("map", out.map)], out.measurements, tel)
+            }
+            ReportTask::Slam => {
+                let ds = scale.slam(0);
+                let (out, tel) = run_slam_staged(&ds, cfg, stream_cfg);
+                (
+                    vec![
+                        ("ate_mm", out.ate_mm),
+                        ("rpe_translational_mm", out.rpe_translational_mm),
+                        ("rpe_rotational_deg", out.rpe_rotational_deg),
+                        ("tracking_failures", f64::from(out.tracking_failures)),
+                    ],
+                    out.measurements,
+                    tel,
+                )
+            }
+        };
+    rpr_trace::disable();
+    let events = rpr_trace::drain();
+
+    let model = EnergyModel::paper_defaults();
+    let frames = telemetry.frames_out;
+    let mut reg =
+        MetricsRegistry::new(task.name(), &format!("synthetic-{}x{}x{}", scale.width, scale.height, scale.frames), &baseline_spec(baseline));
+    reg.set_run_shape(frames, cfg.fps);
+    for (name, value) in accuracy {
+        reg.set_accuracy(name, value);
+    }
+    reg.set_memory(memory_section(&measurements))
+        .set_energy(energy_section(&model, &cfg, &measurements, frames))
+        .set_hw(hw_section(&cfg, &measurements))
+        .add_stream(stream_section(&telemetry))
+        .set_region_stats(measurements.region_stats.as_ref().map(region_section))
+        .ingest_label_pixels(
+            &events,
+            cfg.format.bytes_per_pixel() as u64,
+            model.write_path_pj() + model.read_path_pj(),
+            measurements.traffic.write_bytes + measurements.traffic.read_bytes,
+        );
+    ReportRun { report: reg.finish(), events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global: tests that run workloads under
+    // tracing must not interleave.
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn baseline_specs_round_trip() {
+        for spec in ["fch", "fcl4", "rp5", "rp10", "multiroi16"] {
+            let b = parse_baseline(spec).unwrap();
+            assert_eq!(baseline_spec(b), spec);
+        }
+        assert!(parse_baseline("rpx").is_none());
+        assert!(parse_baseline("").is_none());
+    }
+
+    #[test]
+    fn report_run_produces_attribution_and_valid_trace() {
+        let _gate = serialized();
+        let scale = Scale { width: 96, height: 72, frames: 8, sequences: 1 };
+        let run = run_workload_report(
+            ReportTask::Face,
+            Baseline::Rp { cycle_length: 4 },
+            &scale,
+        );
+        let r = &run.report;
+        assert_eq!(r.task, "face");
+        assert_eq!(r.baseline, "rp4");
+        assert_eq!(r.frames, 8);
+        assert!(r.memory.write_bytes > 0);
+        assert!(r.energy.total_mj > 0.0);
+        assert!(r.hw.encoder_mw > 0.0);
+        assert_eq!(r.streams.len(), 1);
+        assert_eq!(r.streams[0].stages.len(), 3);
+        assert!(
+            !r.labels.is_empty(),
+            "a traced rhythmic run must attribute pixels to labels"
+        );
+        let attributed: u64 = r.labels.iter().map(|l| l.dram_bytes).sum();
+        assert!(attributed + r.unattributed_bytes >= r.memory.write_bytes);
+        // The trace must contain spans from every instrumented layer
+        // and parse back as Chrome trace JSON.
+        for name in [
+            rpr_trace::names::ENCODE,
+            rpr_trace::names::STAGE_TASK,
+            rpr_trace::names::PIPELINE_FRAME,
+            rpr_trace::names::DRAM_WRITE_BYTES,
+        ] {
+            assert!(run.events.iter().any(|e| e.name == name), "missing {name}");
+        }
+        let json = rpr_trace::chrome_trace_json(&run.events);
+        let back = serde_json::from_str::<serde_json::Value>(&json).unwrap();
+        assert!(back.as_map().unwrap().iter().any(|(k, _)| k == "traceEvents"));
+    }
+
+    #[test]
+    fn fch_report_has_no_labels_but_full_capture() {
+        let _gate = serialized();
+        let scale = Scale { width: 96, height: 72, frames: 6, sequences: 1 };
+        let run = run_workload_report(ReportTask::Pose, Baseline::Fch, &scale);
+        assert!(run.report.labels.is_empty());
+        assert!(run.report.region_stats.is_none());
+        assert_eq!(run.report.hw.keep_ratio, 1.0);
+        assert!((run.report.memory.mean_captured_fraction - 1.0).abs() < 1e-9);
+    }
+}

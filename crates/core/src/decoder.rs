@@ -215,6 +215,8 @@ impl SoftwareDecoder {
             (self.width, self.height),
             "encoded frame geometry mismatch"
         );
+        let _span = rpr_trace::span(rpr_trace::names::DECODE, "core")
+            .with_frame(encoded.frame_idx());
         let out = match self.mode {
             ReconstructionMode::BlockNearest => self.decode_block_nearest(encoded),
             ReconstructionMode::FifoReplicate => self.decode_fifo(encoded),

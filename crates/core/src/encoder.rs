@@ -361,6 +361,16 @@ impl RhythmicEncoder {
         let labels = regions.labels();
         let all_regions = labels.len() as u64;
 
+        // Per-region-label attribution is recorded only while tracing is
+        // on; when it is off the single gate check here is the whole cost.
+        let tracing = rpr_trace::is_enabled();
+        let _span = if tracing {
+            Some(rpr_trace::span(rpr_trace::names::ENCODE, "core").with_frame(frame_idx))
+        } else {
+            None
+        };
+        let mut label_px: Vec<u64> = if tracing { vec![0; labels.len()] } else { Vec::new() };
+
         for y in 0..self.height {
             let shortlist: Vec<usize> = selector.advance_to_row(regions, y).to_vec();
             self.stats.rows_total += 1;
@@ -416,6 +426,24 @@ impl RhythmicEncoder {
                 }
             }
 
+            // Attribute stored pixels to the first shortlist label that
+            // samples them (the label whose `R` won the priority merge).
+            if tracing {
+                for (x, &status) in row_status.iter().enumerate() {
+                    if status != PixelStatus::Regional {
+                        continue;
+                    }
+                    for &i in &shortlist {
+                        if ComparisonEngine::classify_one(&labels[i], x as u32, y, frame_idx)
+                            == PixelStatus::Regional
+                        {
+                            label_px[i] += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+
             // Sampler + counter: emit R pixels, the row count, the mask.
             let src = frame.row(y);
             let mut count = 0u32;
@@ -431,6 +459,23 @@ impl RhythmicEncoder {
             }
             self.stats.pixels_in += u64::from(self.width);
             row_counts.push(count);
+        }
+
+        if tracing {
+            for (i, &px) in label_px.iter().enumerate() {
+                if px > 0 {
+                    let r = &labels[i];
+                    rpr_trace::counter_for_region(
+                        rpr_trace::names::ENCODER_LABEL_PX,
+                        "core",
+                        frame_idx,
+                        i as u32,
+                        r.stride,
+                        r.skip,
+                        px as f64,
+                    );
+                }
+            }
         }
 
         let metadata =
@@ -791,6 +836,43 @@ mod tests {
         assert_eq!(enc.stats().pixels_out, 32);
         enc.reset_stats();
         assert_eq!(enc.stats().frames, 0);
+    }
+
+    #[test]
+    fn tracing_attributes_pixels_to_labels() {
+        // Distinctive stride/skip values so concurrent tests that also
+        // encode (the trace sink is process-global) cannot collide.
+        let frame = gradient(20, 20);
+        let regions = RegionList::new(
+            20,
+            20,
+            vec![
+                RegionLabel::new(0, 0, 10, 10, 5, 1), // 4 px/frame
+                RegionLabel::new(0, 12, 20, 5, 1, 7), // sampled on frame 0 only
+            ],
+        )
+        .unwrap();
+        let mut enc = RhythmicEncoder::new(20, 20);
+        rpr_trace::enable();
+        enc.encode(&frame, 0, &regions);
+        enc.encode(&frame, 1, &regions);
+        rpr_trace::disable();
+        let events: Vec<_> = rpr_trace::drain()
+            .into_iter()
+            .filter(|e| {
+                e.name == rpr_trace::names::ENCODER_LABEL_PX
+                    && (e.provenance.stride == Some(5) || e.provenance.skip == Some(7))
+            })
+            .collect();
+        let dense: Vec<_> =
+            events.iter().filter(|e| e.provenance.stride == Some(5)).collect();
+        assert_eq!(dense.len(), 2, "strided label sampled on both frames");
+        assert!(dense.iter().all(|e| e.value == 4.0), "10x10 stride-5 keeps 2x2");
+        let skipped: Vec<_> =
+            events.iter().filter(|e| e.provenance.skip == Some(7)).collect();
+        assert_eq!(skipped.len(), 1, "skip-7 label captures only frame 0");
+        assert_eq!(skipped[0].value, 100.0);
+        assert_eq!(skipped[0].provenance.label_id, Some(1));
     }
 
     #[test]

@@ -79,7 +79,14 @@ impl EnergyModel {
 
     /// Average power in milliwatts for a stream of identical frames at
     /// `fps`.
+    ///
+    /// A non-finite or non-positive rate (e.g. derived from a
+    /// zero-wall-time run) yields 0.0 rather than propagating
+    /// `inf`/`NaN` into reports.
     pub fn power_mw(&self, activity: &FrameActivity, fps: f64) -> f64 {
+        if !fps.is_finite() || fps <= 0.0 {
+            return 0.0;
+        }
         self.frame_energy(activity).total_mj() * fps
     }
 
@@ -222,5 +229,18 @@ mod tests {
         let p30 = m.power_mw(&a, 30.0);
         let p60 = m.power_mw(&a, 60.0);
         assert!((p60 / p30 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_guards_degenerate_rates() {
+        // A zero-wall-time run yields fps = 0 (or inf when computed
+        // unguarded); neither may poison the power estimate.
+        let m = EnergyModel::paper_defaults();
+        let a = full_frame_activity();
+        assert_eq!(m.power_mw(&a, 0.0), 0.0);
+        assert_eq!(m.power_mw(&a, -30.0), 0.0);
+        assert_eq!(m.power_mw(&a, f64::INFINITY), 0.0);
+        assert_eq!(m.power_mw(&a, f64::NAN), 0.0);
+        assert!(m.power_mw(&a, 30.0).is_finite());
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::queue::{BackpressureMode, StageQueue};
 use crate::stage::{CaptureStage, Feedback, FrameSource, StreamConfig, TaskStage};
-use crate::telemetry::{StageTelemetry, StreamTelemetry};
+use crate::telemetry::{frames_per_second, StageTelemetry, StreamTelemetry};
 use std::time::Instant;
 
 /// Everything one stream's run produced.
@@ -56,6 +56,8 @@ where
             let mut stats = StageTelemetry::new("source");
             let mut idx = 0u64;
             loop {
+                let _span = rpr_trace::span(rpr_trace::names::STAGE_SOURCE, "stream")
+                    .with_frame(idx);
                 let t0 = Instant::now();
                 let Some(frame) = source.next_frame() else { break };
                 stats.latency.record(t0.elapsed());
@@ -86,9 +88,12 @@ where
                 if degraded {
                     stats.degraded_frames += 1;
                 }
+                let span = rpr_trace::span(rpr_trace::names::STAGE_CAPTURE, "stream")
+                    .with_frame(idx);
                 let t0 = Instant::now();
                 let out = capture.process(frame, &feedback, degraded);
                 stats.latency.record(t0.elapsed());
+                drop(span);
                 stats.frames += 1;
                 if !proc_q.push((idx, out)) {
                     break;
@@ -102,9 +107,12 @@ where
         let task_worker = scope.spawn(|| {
             let mut stats = StageTelemetry::new("task");
             while let Some((idx, input)) = proc_q.pop() {
+                let span = rpr_trace::span(rpr_trace::names::STAGE_TASK, "stream")
+                    .with_frame(idx);
                 let t0 = Instant::now();
                 let fb = task.consume(idx, input);
                 stats.latency.record(t0.elapsed());
+                drop(span);
                 stats.frames += 1;
                 fb_q.push(fb);
             }
@@ -130,7 +138,7 @@ where
         frames_out,
         frames_dropped,
         wall_time_s: wall,
-        end_to_end_fps: if wall > 0.0 { frames_out as f64 / wall } else { 0.0 },
+        end_to_end_fps: frames_per_second(frames_out, wall),
         queues,
         stages: stage_stats,
     };

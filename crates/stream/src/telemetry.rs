@@ -84,6 +84,59 @@ impl LatencyHistogram {
         }
     }
 
+    /// Estimated latency at percentile `p` (0–100), in microseconds.
+    ///
+    /// The value is linearly interpolated inside the bucket containing
+    /// the target rank, using the bucket's bounds (the overflow bucket
+    /// is bounded by the exact recorded maximum). The estimate is
+    /// clamped to the exact observed `[min, max]`, so single-sample and
+    /// boundary cases return real samples rather than bucket edges.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let min_us = self.min_ns as f64 / 1e3;
+        let max_us = self.max_ns as f64 / 1e3;
+        let target = p / 100.0 * self.count as f64;
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cum as f64;
+            cum += n;
+            if cum as f64 >= target {
+                let lo = if idx == 0 { 0.0 } else { LATENCY_BUCKETS_US[idx - 1] as f64 };
+                let hi = if idx < LATENCY_BUCKETS_US.len() {
+                    LATENCY_BUCKETS_US[idx] as f64
+                } else {
+                    // Overflow bucket: bounded by the recorded maximum.
+                    max_us.max(lo)
+                };
+                let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+                return (lo + frac * (hi - lo)).clamp(min_us, max_us);
+            }
+        }
+        max_us
+    }
+
+    /// Median latency estimate in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.percentile_us(50.0)
+    }
+
+    /// 90th-percentile latency estimate in microseconds.
+    pub fn p90_us(&self) -> f64 {
+        self.percentile_us(90.0)
+    }
+
+    /// 99th-percentile latency estimate in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.percentile_us(99.0)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         if other.count == 0 {
@@ -157,6 +210,17 @@ impl StreamTelemetry {
     }
 }
 
+/// Throughput in frames per second, guarded against zero or negative
+/// wall time (returns 0.0 instead of `inf`/`NaN`). Every
+/// `frames / wall_time` division in the stack routes through here.
+pub fn frames_per_second(frames: u64, wall_time_s: f64) -> f64 {
+    if wall_time_s > 0.0 {
+        frames as f64 / wall_time_s
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +251,75 @@ mod tests {
         assert_eq!(a.count, 3);
         assert_eq!(a.min_ns, 10_000);
         assert_eq!(a.max_ns, 600_000);
+    }
+
+    #[test]
+    fn percentiles_empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50_us(), 0.0);
+        assert_eq!(h.p99_us(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_single_sample_returns_that_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(75));
+        // Interpolation inside the (50, 100] bucket is clamped to the
+        // exact observed min/max, which coincide.
+        assert_eq!(h.p50_us(), 75.0);
+        assert_eq!(h.p90_us(), 75.0);
+        assert_eq!(h.p99_us(), 75.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_boundary_buckets() {
+        let mut h = LatencyHistogram::new();
+        // 100 samples spread across the first bucket (<= 50 us).
+        for i in 0..100u64 {
+            h.record(Duration::from_nanos(i * 500 + 1));
+        }
+        let p50 = h.p50_us();
+        let p90 = h.p90_us();
+        // Bucket 0 spans 0..50 us: rank interpolation lands mid-bucket.
+        assert!((20.0..=30.0).contains(&p50), "p50 {p50}");
+        assert!((40.0..=50.0).contains(&p90), "p90 {p90}");
+        assert!(p50 <= p90);
+        assert!(p90 <= h.max_ns as f64 / 1e3);
+    }
+
+    #[test]
+    fn percentiles_overflow_bucket_is_bounded_by_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(10)); // bucket 0
+        h.record(Duration::from_millis(150)); // overflow (> 100 ms)
+        h.record(Duration::from_millis(250)); // overflow
+        let p99 = h.p99_us();
+        assert!(p99 > 100_000.0, "p99 {p99} must land in the overflow bucket");
+        assert!(p99 <= 250_000.0, "p99 {p99} must not exceed the recorded max");
+        assert_eq!(h.percentile_us(100.0), 250_000.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 60, 200, 800, 3_000, 40_000, 90_000, 200_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let mut last = 0.0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile_us(p);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn frames_per_second_guards_zero_wall_time() {
+        assert_eq!(frames_per_second(100, 0.0), 0.0);
+        assert_eq!(frames_per_second(100, -1.0), 0.0);
+        assert_eq!(frames_per_second(0, 0.0), 0.0);
+        assert_eq!(frames_per_second(60, 2.0), 30.0);
+        assert!(frames_per_second(u64::MAX, 0.0).is_finite());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Schema drift guard: the `StreamTelemetry` JSON example documented in
+//! DESIGN.md ("Telemetry schema") must have exactly the field structure
+//! the code serializes today. If either side changes, this test names
+//! the missing/extra paths so the doc and the code move together.
+
+use rpr_stream::{
+    BackpressureMode, LatencyHistogram, QueueTelemetry, StageTelemetry, StreamTelemetry,
+};
+use serde_json::Value;
+use std::time::Duration;
+
+/// Collects every map-key path in a JSON value (`.queues[].name` style).
+/// Array shape is taken from the first element.
+fn key_paths(v: &Value, prefix: &str, out: &mut Vec<String>) {
+    match v {
+        Value::Map(entries) => {
+            for (k, child) in entries {
+                let path = format!("{prefix}.{k}");
+                out.push(path.clone());
+                key_paths(child, &path, out);
+            }
+        }
+        Value::Seq(items) => {
+            if let Some(first) = items.first() {
+                key_paths(first, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn sorted_paths(v: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    key_paths(v, "", &mut out);
+    out.sort();
+    out
+}
+
+/// The JSON block under DESIGN.md's "### Telemetry schema" heading.
+fn documented_schema() -> Value {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+        .expect("DESIGN.md readable");
+    let section = design
+        .split("### Telemetry schema")
+        .nth(1)
+        .expect("DESIGN.md has a 'Telemetry schema' section");
+    let block = section
+        .split("```json")
+        .nth(1)
+        .and_then(|rest| rest.split("```").next())
+        .expect("Telemetry schema section has a ```json block");
+    serde_json::from_str(block).expect("documented schema block is valid JSON")
+}
+
+/// A fully-populated real telemetry value (every Vec non-empty so the
+/// element schemas are visible).
+fn live_telemetry() -> StreamTelemetry {
+    let mut latency = LatencyHistogram::new();
+    latency.record(Duration::from_micros(120));
+    let mut stage = StageTelemetry::new("capture");
+    stage.frames = 1;
+    stage.latency = latency;
+    StreamTelemetry {
+        stream_id: 0,
+        frames_in: 1,
+        frames_out: 1,
+        frames_dropped: 0,
+        wall_time_s: 0.1,
+        end_to_end_fps: 10.0,
+        queues: vec![QueueTelemetry {
+            name: "raw".to_string(),
+            capacity: 4,
+            mode: BackpressureMode::Block,
+            pushed: 1,
+            popped: 1,
+            dropped: 0,
+            full_events: 0,
+            max_depth: 1,
+            depth_sum: 1,
+        }],
+        stages: vec![stage],
+    }
+}
+
+#[test]
+fn documented_telemetry_schema_matches_serialization() {
+    let documented = sorted_paths(&documented_schema());
+    let actual = sorted_paths(&serde_json::to_value(&live_telemetry()).unwrap());
+    let missing_from_doc: Vec<_> =
+        actual.iter().filter(|p| !documented.contains(p)).collect();
+    let stale_in_doc: Vec<_> =
+        documented.iter().filter(|p| !actual.contains(p)).collect();
+    assert!(
+        missing_from_doc.is_empty() && stale_in_doc.is_empty(),
+        "StreamTelemetry schema drift.\n  serialized but undocumented: {missing_from_doc:?}\n  \
+         documented but no longer serialized: {stale_in_doc:?}\n  \
+         update DESIGN.md '### Telemetry schema' to match the code."
+    );
+}
+
+#[test]
+fn documented_schema_block_is_nonempty() {
+    let paths = sorted_paths(&documented_schema());
+    assert!(paths.contains(&".stream_id".to_string()), "{paths:?}");
+    assert!(paths.contains(&".stages[].latency.buckets".to_string()), "{paths:?}");
+}

@@ -1,0 +1,223 @@
+//! [`MetricsRegistry`]: the builder that gathers per-layer metrics into
+//! one [`RunReport`].
+//!
+//! The registry deliberately knows nothing about the producing crates —
+//! `rpr-stream`, `rpr-memsim`, `rpr-hwsim`, and `rpr-workloads` all
+//! depend on this crate, so the conversion glue from their telemetry
+//! types into the section structs lives above them (in `rpr-bench`).
+
+use crate::report::{
+    EnergySection, HwSection, LabelAttribution, MemorySection, RegionSection, RunReport,
+    StreamSection, REPORT_SCHEMA_VERSION,
+};
+use crate::sink::{EventKind, TraceEvent};
+use crate::names;
+use std::collections::BTreeMap;
+
+/// Accumulates sections and produces a [`RunReport`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    report: RunReport,
+}
+
+impl MetricsRegistry {
+    /// Starts a registry for one run.
+    pub fn new(task: &str, dataset: &str, baseline: &str) -> Self {
+        MetricsRegistry {
+            report: RunReport {
+                schema_version: REPORT_SCHEMA_VERSION,
+                task: task.to_string(),
+                dataset: dataset.to_string(),
+                baseline: baseline.to_string(),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Sets the frame count and nominal frame rate.
+    pub fn set_run_shape(&mut self, frames: u64, fps: f64) -> &mut Self {
+        self.report.frames = frames;
+        self.report.fps = fps;
+        self
+    }
+
+    /// Records one named accuracy metric.
+    pub fn set_accuracy(&mut self, name: &str, value: f64) -> &mut Self {
+        self.report.accuracy.insert(name.to_string(), value);
+        self
+    }
+
+    /// Sets the memory-traffic section.
+    pub fn set_memory(&mut self, memory: MemorySection) -> &mut Self {
+        self.report.memory = memory;
+        self
+    }
+
+    /// Sets the energy section.
+    pub fn set_energy(&mut self, energy: EnergySection) -> &mut Self {
+        self.report.energy = energy;
+        self
+    }
+
+    /// Sets the hardware-model section.
+    pub fn set_hw(&mut self, hw: HwSection) -> &mut Self {
+        self.report.hw = hw;
+        self
+    }
+
+    /// Appends one staged-executor stream.
+    pub fn add_stream(&mut self, stream: StreamSection) -> &mut Self {
+        self.report.streams.push(stream);
+        self
+    }
+
+    /// Sets the region-statistics section.
+    pub fn set_region_stats(&mut self, region: Option<RegionSection>) -> &mut Self {
+        self.report.region_stats = region;
+        self
+    }
+
+    /// Attributes DRAM traffic and energy to region labels from drained
+    /// trace events.
+    ///
+    /// Every [`names::ENCODER_LABEL_PX`] counter contributes its pixel
+    /// count to the `(label_id, stride, skip)` bucket; pixels convert to
+    /// bytes via `bytes_per_pixel` (doubled: DRAM write then read back
+    /// by the consumer) and to energy via `pj_per_pixel` (the caller
+    /// derives it from its `EnergyModel`, typically write-path +
+    /// read-path pJ per pixel). `total_traffic_bytes` — the run's whole
+    /// `write + read` traffic — determines the unattributed remainder
+    /// (metadata, raw-baseline frames).
+    pub fn ingest_label_pixels(
+        &mut self,
+        events: &[TraceEvent],
+        bytes_per_pixel: u64,
+        pj_per_pixel: f64,
+        total_traffic_bytes: u64,
+    ) -> &mut Self {
+        #[derive(Default)]
+        struct Acc {
+            frames: BTreeMap<u64, ()>,
+            pixels: u64,
+        }
+        let mut buckets: BTreeMap<(u32, u32, u32), Acc> = BTreeMap::new();
+        for e in events {
+            if e.kind != EventKind::Counter || e.name != names::ENCODER_LABEL_PX {
+                continue;
+            }
+            let (Some(label_id), Some(stride), Some(skip)) =
+                (e.provenance.label_id, e.provenance.stride, e.provenance.skip)
+            else {
+                continue;
+            };
+            let acc = buckets.entry((label_id, stride, skip)).or_default();
+            acc.pixels += e.value as u64;
+            if let Some(frame) = e.provenance.frame_idx {
+                acc.frames.insert(frame, ());
+            }
+        }
+        let mut labels: Vec<LabelAttribution> = buckets
+            .into_iter()
+            .map(|((label_id, stride, skip), acc)| LabelAttribution {
+                label_id,
+                stride,
+                skip,
+                frames: acc.frames.len() as u64,
+                pixels: acc.pixels,
+                dram_bytes: acc.pixels * bytes_per_pixel * 2,
+                energy_pj: acc.pixels as f64 * pj_per_pixel,
+            })
+            .collect();
+        labels.sort_by_key(|l| std::cmp::Reverse(l.dram_bytes));
+        let attributed: u64 = labels.iter().map(|l| l.dram_bytes).sum();
+        self.report.unattributed_bytes = total_traffic_bytes.saturating_sub(attributed);
+        self.report.labels = labels;
+        self
+    }
+
+    /// Finalizes and returns the report.
+    pub fn finish(self) -> RunReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{EventKind, Provenance, TraceEvent};
+
+    fn label_px(frame: u64, label: u32, stride: u32, skip: u32, px: f64) -> TraceEvent {
+        TraceEvent {
+            name: names::ENCODER_LABEL_PX,
+            cat: "core",
+            kind: EventKind::Counter,
+            tid: 0,
+            ts_ns: frame,
+            dur_ns: 0,
+            value: px,
+            provenance: Provenance {
+                frame_idx: Some(frame),
+                label_id: Some(label),
+                stride: Some(stride),
+                skip: Some(skip),
+            },
+        }
+    }
+
+    #[test]
+    fn registry_assembles_a_versioned_report() {
+        let mut reg = MetricsRegistry::new("slam", "quick", "rpr");
+        reg.set_run_shape(92, 30.0).set_accuracy("ate_px", 1.5);
+        let report = reg.finish();
+        assert_eq!(report.schema_version, REPORT_SCHEMA_VERSION);
+        assert_eq!(report.task, "slam");
+        assert_eq!(report.frames, 92);
+        assert_eq!(report.accuracy.get("ate_px"), Some(&1.5));
+    }
+
+    #[test]
+    fn label_ingestion_aggregates_by_shape_and_counts_frames_once() {
+        let events = vec![
+            label_px(0, 0, 2, 1, 100.0),
+            label_px(1, 0, 2, 1, 60.0),
+            label_px(1, 1, 4, 3, 40.0),
+            // Not a label counter: ignored.
+            TraceEvent {
+                name: names::DRAM_WRITE_BYTES,
+                cat: "memsim",
+                kind: EventKind::Counter,
+                tid: 0,
+                ts_ns: 0,
+                dur_ns: 0,
+                value: 999.0,
+                provenance: Provenance::default(),
+            },
+        ];
+        let mut reg = MetricsRegistry::new("face", "quick", "rpr");
+        // 3 bytes/px RGB888, write+read doubling; 2.5 pJ/px.
+        reg.ingest_label_pixels(&events, 3, 2.5, 2000);
+        let report = reg.finish();
+        assert_eq!(report.labels.len(), 2);
+        let l0 = report.labels.iter().find(|l| l.label_id == 0).unwrap();
+        assert_eq!(l0.pixels, 160);
+        assert_eq!(l0.frames, 2);
+        assert_eq!(l0.dram_bytes, 160 * 3 * 2);
+        assert!((l0.energy_pj - 400.0).abs() < 1e-9);
+        let l1 = report.labels.iter().find(|l| l.label_id == 1).unwrap();
+        assert_eq!(l1.stride, 4);
+        assert_eq!(l1.skip, 3);
+        assert_eq!(l1.dram_bytes, 40 * 3 * 2);
+        // 2000 total - (960 + 240) attributed.
+        assert_eq!(report.unattributed_bytes, 800);
+        // Sorted by descending traffic.
+        assert!(report.labels[0].dram_bytes >= report.labels[1].dram_bytes);
+    }
+
+    #[test]
+    fn attribution_never_underflows_total() {
+        let events = vec![label_px(0, 0, 1, 1, 1000.0)];
+        let mut reg = MetricsRegistry::new("face", "quick", "rpr");
+        reg.ingest_label_pixels(&events, 3, 1.0, 100);
+        assert_eq!(reg.finish().unattributed_bytes, 0);
+    }
+}

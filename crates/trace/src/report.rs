@@ -1,0 +1,601 @@
+//! The `RunReport` schema — one serde document describing a whole run —
+//! plus threshold-gated diffing between two reports.
+//!
+//! # Schema stability
+//!
+//! [`REPORT_SCHEMA_VERSION`] is bumped whenever a field is renamed,
+//! removed, or changes meaning; adding fields is backward compatible
+//! (readers must ignore unknown fields). The JSON layout is documented
+//! in `DESIGN.md` ("RunReport schema") and locked by tests in
+//! `rpr-bench`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version of the `RunReport` JSON layout produced by this build.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// DRAM/frame-memory traffic for the run (from `rpr-memsim`
+/// `TrafficSummary` plus footprint and capture statistics).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemorySection {
+    /// Total bytes written to the modeled DRAM.
+    pub write_bytes: u64,
+    /// Total bytes read back from the modeled DRAM.
+    pub read_bytes: u64,
+    /// Metadata (mask/region-table) bytes, counted inside the totals.
+    pub metadata_bytes: u64,
+    /// Mean `(write + read)` bytes per frame.
+    pub bytes_per_frame: f64,
+    /// Sustained traffic at the run's frame rate, in MB/s.
+    pub throughput_mb_s: f64,
+    /// Mean per-frame encoded footprint in bytes.
+    pub mean_footprint_bytes: f64,
+    /// Largest per-frame encoded footprint in bytes.
+    pub peak_footprint_bytes: u64,
+    /// Mean fraction of sensor pixels captured (0..=1).
+    pub mean_captured_fraction: f64,
+}
+
+/// Energy totals for the run (from `rpr-memsim`'s `EnergyModel`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergySection {
+    /// Sensing (pixel-array readout) energy in pJ.
+    pub sensing_pj: f64,
+    /// Sensor-interface (CSI + DDR link) energy in pJ.
+    pub interface_pj: f64,
+    /// DRAM array energy in pJ.
+    pub dram_pj: f64,
+    /// Downstream compute (MAC) energy in pJ.
+    pub compute_pj: f64,
+    /// Total energy over the run in mJ.
+    pub total_mj: f64,
+    /// Mean energy per frame in mJ.
+    pub mj_per_frame: f64,
+    /// Average power at the run's frame rate, in mW (0 when the frame
+    /// rate is unknown or zero).
+    pub power_mw: f64,
+}
+
+/// Hardware-model estimates (from `rpr-hwsim`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HwSection {
+    /// Estimated encoder power in mW.
+    pub encoder_mw: f64,
+    /// Estimated decoder power in mW.
+    pub decoder_mw: f64,
+    /// Mean mask comparisons per pixel in the encoder.
+    pub comparisons_per_pixel: f64,
+    /// Fraction of pixels kept by the encoder (0..=1).
+    pub keep_ratio: f64,
+}
+
+/// Per-stage latency summary for one staged-pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageSection {
+    /// Stage name (`source`, `capture`, `task`).
+    pub name: String,
+    /// Frames processed by the stage.
+    pub frames: u64,
+    /// Frames processed in a degraded mode.
+    pub degraded_frames: u64,
+    /// Mean stage latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Median (p50) stage latency in microseconds, bucket-interpolated.
+    pub p50_us: f64,
+    /// p90 stage latency in microseconds, bucket-interpolated.
+    pub p90_us: f64,
+    /// p99 stage latency in microseconds, bucket-interpolated.
+    pub p99_us: f64,
+}
+
+/// One stream of the staged executor (from `rpr-stream` telemetry).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamSection {
+    /// Stream identifier.
+    pub stream_id: u64,
+    /// Frames produced by the source.
+    pub frames_in: u64,
+    /// Frames fully processed by the final stage.
+    pub frames_out: u64,
+    /// Frames dropped at full queues.
+    pub frames_dropped: u64,
+    /// Wall-clock run time in seconds.
+    pub wall_time_s: f64,
+    /// End-to-end throughput in frames per second (0 for zero-length runs).
+    pub end_to_end_fps: f64,
+    /// Per-stage latency summaries.
+    pub stages: Vec<StageSection>,
+}
+
+/// Region-label population statistics (from `rpr-workloads`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionSection {
+    /// Average number of regions per regional frame.
+    pub avg_regions: f64,
+    /// Smallest region edge observed, `(w, h)`.
+    pub min_size: (u32, u32),
+    /// Largest region edge observed, `(w, h)`.
+    pub max_size: (u32, u32),
+    /// Smallest spatial stride observed.
+    pub min_stride: u32,
+    /// Largest spatial stride observed.
+    pub max_stride: u32,
+    /// Fastest sampling interval observed in ms (skip × frame time).
+    pub min_rate_ms: f64,
+    /// Slowest sampling interval observed in ms.
+    pub max_rate_ms: f64,
+    /// Regional frames observed.
+    pub frames: u64,
+}
+
+/// DRAM-traffic and energy attribution for one region-label shape,
+/// aggregated over the run from `encoder.label_px` trace counters.
+///
+/// Labels are keyed by `(label_id, stride, skip)`: the slot index in the
+/// frame's region list plus the rhythmic parameters. Runs whose label
+/// lists are stable frame-to-frame (all bundled workloads) therefore get
+/// one row per logical region.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LabelAttribution {
+    /// Region-list slot index.
+    pub label_id: u32,
+    /// Spatial stride of the label.
+    pub stride: u32,
+    /// Temporal skip of the label.
+    pub skip: u32,
+    /// Frames on which this label captured at least one pixel.
+    pub frames: u64,
+    /// Total pixels captured (stored) for this label.
+    pub pixels: u64,
+    /// DRAM bytes attributed to this label (pixel write + read traffic).
+    pub dram_bytes: u64,
+    /// DRAM + interface energy attributed to this label, in pJ.
+    pub energy_pj: f64,
+}
+
+/// One run of one workload, fully described: the unified document the
+/// `rpr-report` CLI renders and diffs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Layout version ([`REPORT_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Workload name (`face`, `pose`, `slam`, ...).
+    pub task: String,
+    /// Dataset / scale description.
+    pub dataset: String,
+    /// Capture baseline (`rpr`, `full-capture`, ...).
+    pub baseline: String,
+    /// Frames processed end to end.
+    pub frames: u64,
+    /// Nominal sensor frame rate used for rate-derived metrics.
+    pub fps: f64,
+    /// Task-specific accuracy metrics (IoU, PCK, ATE, ... by name).
+    pub accuracy: BTreeMap<String, f64>,
+    /// Memory-traffic section.
+    pub memory: MemorySection,
+    /// Energy section.
+    pub energy: EnergySection,
+    /// Hardware-model section.
+    pub hw: HwSection,
+    /// Staged-executor streams (empty for single-threaded runs).
+    pub streams: Vec<StreamSection>,
+    /// Region statistics (absent when the run never produced regions).
+    pub region_stats: Option<RegionSection>,
+    /// Per-region-label DRAM/energy attribution (empty when tracing was
+    /// off during the run).
+    pub labels: Vec<LabelAttribution>,
+    /// Traffic bytes not attributable to any label (masks, region
+    /// tables, raw-baseline frames).
+    pub unattributed_bytes: u64,
+}
+
+impl RunReport {
+    /// Renders the report as a human-readable text block.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            format!(
+                "RunReport v{} — task={} dataset={} baseline={}",
+                self.schema_version, self.task, self.dataset, self.baseline
+            ),
+        );
+        push(&mut out, format!("frames: {}  fps: {:.1}", self.frames, self.fps));
+        if !self.accuracy.is_empty() {
+            push(&mut out, "accuracy:".to_string());
+            for (k, v) in &self.accuracy {
+                push(&mut out, format!("  {k}: {v:.4}"));
+            }
+        }
+        let m = &self.memory;
+        push(&mut out, "memory:".to_string());
+        push(
+            &mut out,
+            format!(
+                "  write {} B  read {} B  metadata {} B  ({:.1} B/frame, {:.2} MB/s)",
+                m.write_bytes, m.read_bytes, m.metadata_bytes, m.bytes_per_frame, m.throughput_mb_s
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  footprint mean {:.1} B  peak {} B  captured fraction {:.3}",
+                m.mean_footprint_bytes, m.peak_footprint_bytes, m.mean_captured_fraction
+            ),
+        );
+        let e = &self.energy;
+        push(&mut out, "energy:".to_string());
+        push(
+            &mut out,
+            format!(
+                "  sensing {:.0} pJ  interface {:.0} pJ  dram {:.0} pJ  compute {:.0} pJ",
+                e.sensing_pj, e.interface_pj, e.dram_pj, e.compute_pj
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  total {:.3} mJ  ({:.4} mJ/frame, {:.2} mW @ {:.0} fps)",
+                e.total_mj, e.mj_per_frame, e.power_mw, self.fps
+            ),
+        );
+        let h = &self.hw;
+        push(
+            &mut out,
+            format!(
+                "hw: encoder {:.2} mW  decoder {:.2} mW  cmp/px {:.2}  keep {:.3}",
+                h.encoder_mw, h.decoder_mw, h.comparisons_per_pixel, h.keep_ratio
+            ),
+        );
+        for s in &self.streams {
+            push(
+                &mut out,
+                format!(
+                    "stream {}: in {} out {} dropped {}  {:.1} fps over {:.2} s",
+                    s.stream_id, s.frames_in, s.frames_out, s.frames_dropped, s.end_to_end_fps,
+                    s.wall_time_s
+                ),
+            );
+            for st in &s.stages {
+                push(
+                    &mut out,
+                    format!(
+                        "  stage {}: {} frames ({} degraded)  mean {:.0} µs  p50 {:.0}  p90 {:.0}  p99 {:.0}",
+                        st.name, st.frames, st.degraded_frames, st.mean_latency_us, st.p50_us,
+                        st.p90_us, st.p99_us
+                    ),
+                );
+            }
+        }
+        if let Some(r) = &self.region_stats {
+            push(
+                &mut out,
+                format!(
+                    "regions: avg {:.2}/frame  size {}x{}..{}x{}  stride {}..{}  rate {:.1}..{:.1} ms over {} frames",
+                    r.avg_regions, r.min_size.0, r.min_size.1, r.max_size.0, r.max_size.1,
+                    r.min_stride, r.max_stride, r.min_rate_ms, r.max_rate_ms, r.frames
+                ),
+            );
+        }
+        if !self.labels.is_empty() {
+            push(
+                &mut out,
+                "label attribution (label/stride/skip, frames, px, DRAM bytes, energy pJ):"
+                    .to_string(),
+            );
+            for l in &self.labels {
+                push(
+                    &mut out,
+                    format!(
+                        "  L{} s{} k{}: {} frames  {} px  {} B  {:.0} pJ",
+                        l.label_id, l.stride, l.skip, l.frames, l.pixels, l.dram_bytes, l.energy_pj
+                    ),
+                );
+            }
+            push(&mut out, format!("  unattributed: {} B", self.unattributed_bytes));
+        }
+        out
+    }
+}
+
+/// Regression thresholds for [`diff_reports`], in percent of the
+/// baseline value. A metric regresses when it *worsens* by more than
+/// its threshold (traffic/energy/latency up, throughput/accuracy down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// Allowed DRAM-traffic growth (`write+read` bytes), percent.
+    pub dram_pct: f64,
+    /// Allowed energy growth (total mJ), percent.
+    pub energy_pct: f64,
+    /// Allowed stage-latency growth (per-stage p90), percent.
+    pub latency_pct: f64,
+    /// Allowed accuracy drop, percent.
+    pub accuracy_pct: f64,
+    /// Whether wall-clock-derived metrics (latency, fps) are compared at
+    /// all. Off when the two reports come from different machines.
+    pub check_latency: bool,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            dram_pct: 5.0,
+            energy_pct: 5.0,
+            latency_pct: 5.0,
+            accuracy_pct: 5.0,
+            check_latency: true,
+        }
+    }
+}
+
+/// One compared metric in a [`ReportDiff`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Metric name, e.g. `memory.write_bytes`.
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed change in percent of the baseline (0 when the baseline is
+    /// 0 and the candidate is too; 100 when growing from a 0 baseline).
+    pub pct_change: f64,
+    /// Threshold applied to this metric, percent.
+    pub threshold_pct: f64,
+    /// Whether the change is a regression beyond the threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of [`diff_reports`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// Every compared metric, regressions first.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl ReportDiff {
+    /// Whether any compared metric regressed beyond its threshold.
+    pub fn regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Renders the comparison as a text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let flag = if d.regressed { "REGRESSED" } else { "ok" };
+            out.push_str(&format!(
+                "{:<32} {:>14.3} -> {:>14.3}  {:>+8.2}% (limit {:.1}%)  {}\n",
+                d.name, d.base, d.new, d.pct_change, d.threshold_pct, flag
+            ));
+        }
+        out
+    }
+}
+
+fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Direction in which a metric worsens.
+#[derive(Clone, Copy)]
+enum Worse {
+    Up,
+    Down,
+}
+
+fn delta(name: String, base: f64, new: f64, threshold_pct: f64, worse: Worse) -> MetricDelta {
+    let pct = pct_change(base, new);
+    let regressed = match worse {
+        Worse::Up => pct > threshold_pct,
+        Worse::Down => -pct > threshold_pct,
+    };
+    MetricDelta { name, base, new, pct_change: pct, threshold_pct, regressed }
+}
+
+/// Compares a candidate report against a baseline, flagging metrics that
+/// worsened beyond the [`DiffThresholds`].
+pub fn diff_reports(base: &RunReport, new: &RunReport, th: &DiffThresholds) -> ReportDiff {
+    let mut deltas = vec![
+        delta(
+            "memory.total_bytes".into(),
+            (base.memory.write_bytes + base.memory.read_bytes) as f64,
+            (new.memory.write_bytes + new.memory.read_bytes) as f64,
+            th.dram_pct,
+            Worse::Up,
+        ),
+        delta(
+            "memory.write_bytes".into(),
+            base.memory.write_bytes as f64,
+            new.memory.write_bytes as f64,
+            th.dram_pct,
+            Worse::Up,
+        ),
+        delta(
+            "memory.read_bytes".into(),
+            base.memory.read_bytes as f64,
+            new.memory.read_bytes as f64,
+            th.dram_pct,
+            Worse::Up,
+        ),
+        delta(
+            "memory.bytes_per_frame".into(),
+            base.memory.bytes_per_frame,
+            new.memory.bytes_per_frame,
+            th.dram_pct,
+            Worse::Up,
+        ),
+        delta(
+            "energy.total_mj".into(),
+            base.energy.total_mj,
+            new.energy.total_mj,
+            th.energy_pct,
+            Worse::Up,
+        ),
+    ];
+    for (name, base_v) in &base.accuracy {
+        if let Some(new_v) = new.accuracy.get(name) {
+            deltas.push(delta(
+                format!("accuracy.{name}"),
+                *base_v,
+                *new_v,
+                th.accuracy_pct,
+                Worse::Down,
+            ));
+        }
+    }
+    if th.check_latency {
+        for (bs, ns) in base.streams.iter().zip(new.streams.iter()) {
+            deltas.push(delta(
+                format!("stream{}.end_to_end_fps", bs.stream_id),
+                bs.end_to_end_fps,
+                ns.end_to_end_fps,
+                th.latency_pct,
+                Worse::Down,
+            ));
+            for (bst, nst) in bs.stages.iter().zip(ns.stages.iter()) {
+                deltas.push(delta(
+                    format!("stream{}.stage.{}.p90_us", bs.stream_id, bst.name),
+                    bst.p90_us,
+                    nst.p90_us,
+                    th.latency_pct,
+                    Worse::Up,
+                ));
+            }
+        }
+    }
+    deltas.sort_by_key(|d| !d.regressed as u8);
+    ReportDiff { deltas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut accuracy = BTreeMap::new();
+        accuracy.insert("iou".to_string(), 0.8);
+        RunReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            task: "face".into(),
+            dataset: "quick-256x192".into(),
+            baseline: "rpr".into(),
+            frames: 46,
+            fps: 30.0,
+            accuracy,
+            memory: MemorySection {
+                write_bytes: 1000,
+                read_bytes: 900,
+                metadata_bytes: 64,
+                bytes_per_frame: 41.3,
+                throughput_mb_s: 1.2,
+                mean_footprint_bytes: 20.0,
+                peak_footprint_bytes: 64,
+                mean_captured_fraction: 0.4,
+            },
+            energy: EnergySection { total_mj: 10.0, ..Default::default() },
+            streams: vec![StreamSection {
+                stream_id: 0,
+                frames_out: 46,
+                end_to_end_fps: 100.0,
+                stages: vec![StageSection {
+                    name: "task".into(),
+                    frames: 46,
+                    p90_us: 500.0,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            }],
+            labels: vec![LabelAttribution {
+                label_id: 0,
+                stride: 2,
+                skip: 1,
+                frames: 46,
+                pixels: 400,
+                dram_bytes: 2400,
+                energy_pj: 1680.0,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn identical_reports_do_not_regress() {
+        let report = sample_report();
+        let diff = diff_reports(&report, &report, &DiffThresholds::default());
+        assert!(!diff.regressed(), "{}", diff.render_text());
+        assert!(!diff.deltas.is_empty());
+    }
+
+    #[test]
+    fn traffic_growth_beyond_threshold_regresses() {
+        let base = sample_report();
+        let mut new = base.clone();
+        new.memory.write_bytes = 1200; // +20% writes, > 5% total growth
+        let diff = diff_reports(&base, &new, &DiffThresholds::default());
+        assert!(diff.regressed());
+        let d = diff.deltas.iter().find(|d| d.name == "memory.write_bytes").unwrap();
+        assert!(d.regressed);
+        assert!((d.pct_change - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_drop_regresses_and_rise_does_not() {
+        let base = sample_report();
+        let mut worse = base.clone();
+        worse.accuracy.insert("iou".to_string(), 0.7);
+        assert!(diff_reports(&base, &worse, &DiffThresholds::default()).regressed());
+        let mut better = base.clone();
+        better.accuracy.insert("iou".to_string(), 0.9);
+        assert!(!diff_reports(&base, &better, &DiffThresholds::default()).regressed());
+    }
+
+    #[test]
+    fn latency_checks_can_be_disabled() {
+        let base = sample_report();
+        let mut new = base.clone();
+        new.streams[0].stages[0].p90_us = 5_000.0;
+        new.streams[0].end_to_end_fps = 10.0;
+        let th = DiffThresholds { check_latency: false, ..Default::default() };
+        assert!(!diff_reports(&base, &new, &th).regressed());
+        assert!(diff_reports(&base, &new, &DiffThresholds::default()).regressed());
+    }
+
+    #[test]
+    fn zero_baseline_changes_are_flagged_as_full_growth() {
+        assert_eq!(pct_change(0.0, 0.0), 0.0);
+        assert_eq!(pct_change(0.0, 5.0), 100.0);
+    }
+
+    #[test]
+    fn render_text_mentions_key_sections() {
+        let text = sample_report().render_text();
+        assert!(text.contains("RunReport v1"));
+        assert!(text.contains("memory:"));
+        assert!(text.contains("energy:"));
+        assert!(text.contains("label attribution"));
+        assert!(text.contains("L0 s2 k1"));
+    }
+}

@@ -1,0 +1,355 @@
+//! The recording side: a global on/off gate, per-thread event buffers,
+//! and the span/counter emission API.
+//!
+//! Design constraints (the encoder hot path runs per pixel, the stage
+//! workers per frame):
+//!
+//! * **Disabled is (nearly) free.** Every emission point first does one
+//!   `Relaxed` atomic load and branches out. No allocation, no clock
+//!   read, no lock.
+//! * **Enabled is allocation-conscious.** Events are plain `Copy`-ish
+//!   structs with `&'static str` names pushed onto a per-thread
+//!   `Vec` guarded by a mutex that only that thread ever locks during
+//!   recording (the collector locks it once at [`drain`] time), so the
+//!   fast path is an uncontended lock + vector push.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed duration (`ts_ns` .. `ts_ns + dur_ns`).
+    Span,
+    /// A sampled numeric value at `ts_ns`.
+    Counter,
+    /// A zero-duration marker.
+    Instant,
+}
+
+/// Optional per-frame / per-region-label provenance carried by events —
+/// the rhythmic-pixel coordinates (label id within the frame's region
+/// list, spatial stride, temporal skip) that make attribution possible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Frame index within the run.
+    pub frame_idx: Option<u64>,
+    /// Region-label slot index within that frame's `RegionList`.
+    pub label_id: Option<u32>,
+    /// The label's spatial stride.
+    pub stride: Option<u32>,
+    /// The label's temporal skip.
+    pub skip: Option<u32>,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (a canonical constant from [`crate::names`] or any
+    /// static string).
+    pub name: &'static str,
+    /// Category (typically the emitting crate/layer).
+    pub cat: &'static str,
+    /// Span, counter, or instant.
+    pub kind: EventKind,
+    /// Recording thread (small dense ids assigned per thread).
+    pub tid: u64,
+    /// Nanoseconds since [`enable`] first initialized the trace epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 for counters/instants).
+    pub dur_ns: u64,
+    /// Counter value (0.0 for spans/instants).
+    pub value: f64,
+    /// Frame/region provenance.
+    pub provenance: Provenance,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+type SharedBuffer = Arc<Mutex<Vec<TraceEvent>>>;
+
+fn registry() -> &'static Mutex<Vec<SharedBuffer>> {
+    static REGISTRY: OnceLock<Mutex<Vec<SharedBuffer>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: OnceLock<(u64, SharedBuffer)> = const { OnceLock::new() };
+}
+
+fn with_local<R>(f: impl FnOnce(u64, &SharedBuffer) -> R) -> R {
+    LOCAL.with(|cell| {
+        let (tid, buf) = cell.get_or_init(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let buf: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+            registry().lock().expect("trace registry poisoned").push(Arc::clone(&buf));
+            (tid, buf)
+        });
+        f(*tid, buf)
+    })
+}
+
+/// Turns recording on (and fixes the trace epoch on first use).
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns recording off. Already-buffered events stay until [`drain`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether recording is currently on — the one check every
+/// instrumentation point pays when tracing is disabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Collects (and clears) every thread's buffered events, ordered by
+/// timestamp.
+pub fn drain() -> Vec<TraceEvent> {
+    let mut all = Vec::new();
+    for buf in registry().lock().expect("trace registry poisoned").iter() {
+        all.append(&mut buf.lock().expect("trace buffer poisoned"));
+    }
+    all.sort_by_key(|e| e.ts_ns);
+    all
+}
+
+#[inline]
+fn record(event: TraceEvent) {
+    with_local(|_, buf| buf.lock().expect("trace buffer poisoned").push(event));
+}
+
+/// Records a counter sample.
+#[inline]
+pub fn counter(name: &'static str, cat: &'static str, value: f64) {
+    counter_with(name, cat, value, Provenance::default());
+}
+
+/// Records a counter sample attributed to a frame.
+#[inline]
+pub fn counter_for_frame(name: &'static str, cat: &'static str, frame_idx: u64, value: f64) {
+    counter_with(name, cat, value, Provenance { frame_idx: Some(frame_idx), ..Default::default() });
+}
+
+/// Records a counter sample with full region-label provenance.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn counter_for_region(
+    name: &'static str,
+    cat: &'static str,
+    frame_idx: u64,
+    label_id: u32,
+    stride: u32,
+    skip: u32,
+    value: f64,
+) {
+    counter_with(
+        name,
+        cat,
+        value,
+        Provenance {
+            frame_idx: Some(frame_idx),
+            label_id: Some(label_id),
+            stride: Some(stride),
+            skip: Some(skip),
+        },
+    )
+}
+
+#[inline]
+fn counter_with(name: &'static str, cat: &'static str, value: f64, provenance: Provenance) {
+    if !is_enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name,
+        cat,
+        kind: EventKind::Counter,
+        tid: with_local(|tid, _| tid),
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        value,
+        provenance,
+    });
+}
+
+/// Records a zero-duration marker.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str) {
+    if !is_enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name,
+        cat,
+        kind: EventKind::Instant,
+        tid: with_local(|tid, _| tid),
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        value: 0.0,
+        provenance: Provenance::default(),
+    });
+}
+
+/// A RAII span: records one [`EventKind::Span`] event on drop, covering
+/// the guard's lifetime. When tracing was disabled at creation the
+/// guard is inert (no clock read, nothing recorded on drop).
+#[must_use = "a span records its duration when dropped"]
+#[derive(Debug)]
+pub struct Span {
+    live: Option<SpanMeta>,
+}
+
+#[derive(Debug)]
+struct SpanMeta {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    provenance: Provenance,
+}
+
+/// Opens a span. Attach provenance with [`Span::with_frame`] /
+/// [`Span::with_region`].
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    if !is_enabled() {
+        return Span { live: None };
+    }
+    Span {
+        live: Some(SpanMeta { name, cat, start_ns: now_ns(), provenance: Provenance::default() }),
+    }
+}
+
+impl Span {
+    /// Attributes the span to a frame.
+    #[inline]
+    pub fn with_frame(mut self, frame_idx: u64) -> Self {
+        if let Some(meta) = self.live.as_mut() {
+            meta.provenance.frame_idx = Some(frame_idx);
+        }
+        self
+    }
+
+    /// Attributes the span to a region label.
+    #[inline]
+    pub fn with_region(mut self, label_id: u32, stride: u32, skip: u32) -> Self {
+        if let Some(meta) = self.live.as_mut() {
+            meta.provenance.label_id = Some(label_id);
+            meta.provenance.stride = Some(stride);
+            meta.provenance.skip = Some(skip);
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(meta) = self.live.take() else { return };
+        let end = now_ns();
+        record(TraceEvent {
+            name: meta.name,
+            cat: meta.cat,
+            kind: EventKind::Span,
+            tid: with_local(|tid, _| tid),
+            ts_ns: meta.start_ns,
+            dur_ns: end.saturating_sub(meta.start_ns),
+            value: 0.0,
+            provenance: meta.provenance,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tests share the process-global sink, so they run under one
+    // lock to avoid draining each other's events.
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _gate = serialized();
+        disable();
+        let _ = drain();
+        {
+            let _s = span("s", "t").with_frame(3);
+            counter("c", "t", 1.0);
+            instant("i", "t");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn span_records_duration_and_provenance() {
+        let _gate = serialized();
+        let _ = drain();
+        enable();
+        {
+            let _s = span("work", "test").with_frame(7).with_region(2, 4, 3);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "work");
+        assert_eq!(e.kind, EventKind::Span);
+        assert!(e.dur_ns >= 500_000, "dur {}", e.dur_ns);
+        assert_eq!(e.provenance.frame_idx, Some(7));
+        assert_eq!(e.provenance.label_id, Some(2));
+        assert_eq!(e.provenance.stride, Some(4));
+        assert_eq!(e.provenance.skip, Some(3));
+    }
+
+    #[test]
+    fn counters_capture_values_across_threads() {
+        let _gate = serialized();
+        let _ = drain();
+        enable();
+        counter_for_region("px", "test", 0, 1, 2, 2, 64.0);
+        std::thread::scope(|s| {
+            s.spawn(|| counter_for_frame("px2", "test", 5, 9.0));
+        });
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        let px = events.iter().find(|e| e.name == "px").unwrap();
+        assert_eq!(px.value, 64.0);
+        let px2 = events.iter().find(|e| e.name == "px2").unwrap();
+        assert_eq!(px2.provenance.frame_idx, Some(5));
+        assert_ne!(px.tid, px2.tid, "threads get distinct tids");
+    }
+
+    #[test]
+    fn drain_clears_and_sorts() {
+        let _gate = serialized();
+        let _ = drain();
+        enable();
+        counter("a", "t", 1.0);
+        counter("b", "t", 2.0);
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+        assert!(drain().is_empty(), "drain clears the buffers");
+    }
+}

@@ -230,6 +230,8 @@ impl Pipeline {
         features: Vec<Feature>,
         detections: Vec<(Rect, f64)>,
     ) -> GrayFrame {
+        let _span = rpr_trace::span(rpr_trace::names::PIPELINE_FRAME, "workloads")
+            .with_frame(self.frame_idx);
         let bpp = self.cfg.format.bytes_per_pixel() as u64;
         let frame_bytes = u64::from(self.cfg.width) * u64::from(self.cfg.height) * bpp;
         let out = match self.cfg.baseline {

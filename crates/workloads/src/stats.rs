@@ -82,7 +82,13 @@ impl RegionStatsCollector {
         }
         let avg = self.region_counts.iter().sum::<usize>() as f64
             / self.region_counts.len() as f64;
-        let frame_ms = 1000.0 / self.fps;
+        // A degenerate (zero/negative/non-finite) frame rate must not
+        // leak inf/NaN rates into serialized reports.
+        let frame_ms = if self.fps.is_finite() && self.fps > 0.0 {
+            1000.0 / self.fps
+        } else {
+            0.0
+        };
         Some(RegionStats {
             avg_regions: avg,
             min_size: self.min_size,
@@ -142,5 +148,41 @@ mod tests {
     #[test]
     fn empty_collector_is_none() {
         assert!(RegionStatsCollector::new(30.0).finish().is_none());
+    }
+
+    #[test]
+    fn zero_regional_frames_with_full_captures_only_is_none() {
+        let mut c = RegionStatsCollector::new(30.0);
+        for _ in 0..5 {
+            c.observe(&RegionList::full_frame(640, 480), true);
+        }
+        assert!(c.finish().is_none());
+    }
+
+    #[test]
+    fn single_frame_run_produces_finite_stats() {
+        let mut c = RegionStatsCollector::new(30.0);
+        c.observe(&list(vec![RegionLabel::new(0, 0, 50, 50, 2, 3)]), false);
+        let s = c.finish().unwrap();
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.avg_regions, 1.0);
+        assert_eq!((s.min_stride, s.max_stride), (2, 2));
+        assert!(s.min_rate_ms.is_finite() && s.max_rate_ms.is_finite());
+        assert_eq!(s.min_rate_ms, s.max_rate_ms);
+    }
+
+    #[test]
+    fn degenerate_fps_never_serializes_nan_or_inf() {
+        for fps in [0.0, -30.0, f64::NAN, f64::INFINITY] {
+            let mut c = RegionStatsCollector::new(fps);
+            c.observe(&list(vec![RegionLabel::new(0, 0, 50, 50, 1, 2)]), false);
+            let s = c.finish().unwrap();
+            assert!(s.min_rate_ms.is_finite(), "fps {fps}: min {}", s.min_rate_ms);
+            assert!(s.max_rate_ms.is_finite(), "fps {fps}: max {}", s.max_rate_ms);
+            let json = serde_json::to_string(&s).unwrap();
+            assert!(!json.contains("null"), "fps {fps}: {json}");
+            let back: RegionStats = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
     }
 }
