@@ -1,0 +1,16 @@
+//! Known-bad fixture for RPR005 (atomic-ordering). This file is
+//! pinned to {Relaxed, Release} by the self-test policy, mirroring the
+//! trace gate's documented set: SeqCst is banned outright, and Acquire
+//! violates the pin.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static GATE: AtomicBool = AtomicBool::new(false);
+
+fn enable() {
+    GATE.store(true, Ordering::SeqCst);
+}
+
+fn is_enabled() -> bool {
+    GATE.load(Ordering::Acquire)
+}

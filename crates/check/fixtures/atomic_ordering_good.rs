@@ -1,0 +1,21 @@
+//! Known-good fixture for RPR005 (atomic-ordering): exactly the
+//! documented gate protocol — Release on the enable store, Relaxed on
+//! the hot-path load — and `cmp::Ordering` stays untouched by the
+//! lint.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static GATE: AtomicBool = AtomicBool::new(false);
+
+fn enable() {
+    GATE.store(true, Ordering::Release);
+}
+
+fn is_enabled() -> bool {
+    GATE.load(Ordering::Relaxed)
+}
+
+fn compare(a: u32, b: u32) -> CmpOrdering {
+    a.cmp(&b)
+}

@@ -1,0 +1,21 @@
+//! Known-bad fixture for RPR001 (panic-surface). Every construct here
+//! must produce a blocking finding; if none fires, the lint is dead.
+
+fn parse_header(buf: &[u8]) -> u32 {
+    // Indexing an untrusted buffer: panics on short input.
+    let first = buf[0];
+    // Slicing panics the same way.
+    let head = &buf[0..4];
+    // unwrap/expect on fallible conversions.
+    let word: [u8; 4] = head.try_into().unwrap();
+    let n = u32::from_le_bytes(word);
+    let m: u32 = std::str::from_utf8(buf).expect("utf8").len() as u32;
+    if first == 0 {
+        panic!("zero marker");
+    }
+    if n > m {
+        unreachable!("checked above");
+    }
+    assert!(n != 7, "asserts also panic in release");
+    n
+}

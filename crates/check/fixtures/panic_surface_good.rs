@@ -1,0 +1,30 @@
+//! Known-good fixture for RPR001 (panic-surface): the same shapes as
+//! the bad twin, written panic-free (or carrying a justified waiver),
+//! plus test code where panicking is legitimate.
+
+#[derive(Debug)]
+enum ParseError {
+    Truncated,
+}
+
+fn parse_header(buf: &[u8]) -> Result<u32, ParseError> {
+    let head = buf.get(0..4).ok_or(ParseError::Truncated)?;
+    let word: [u8; 4] = head.try_into().map_err(|_| ParseError::Truncated)?;
+    let n = u32::from_le_bytes(word);
+    // rpr-check: allow(panic-surface): index bounded by the get(0..4) guard above
+    let first = buf[0];
+    Ok(n + u32::from(first))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asserts_are_fine_in_tests() {
+        let buf = [1u8, 0, 0, 0];
+        assert_eq!(parse_header(&buf).unwrap(), 2);
+        let short: &[u8] = &buf[..2];
+        assert!(parse_header(short).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture for RPR003 (raw-clock): wall-clock reads outside
+//! a clock/bench module make simulated time impossible to inject.
+
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u128 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_nanos()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn work() {}

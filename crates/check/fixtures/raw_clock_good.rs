@@ -1,0 +1,22 @@
+//! Known-good fixture for RPR003 (raw-clock): durations flow in from
+//! the caller (ultimately a clock module on the policy allowlist), so
+//! nothing here reads the wall clock.
+
+use std::time::Duration;
+
+fn accumulate(samples: &[Duration]) -> Duration {
+    samples.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let t = Instant::now();
+        let total = accumulate(&[t.elapsed()]);
+        assert!(total.as_nanos() < u128::MAX);
+    }
+}

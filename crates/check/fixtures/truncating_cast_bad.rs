@@ -1,0 +1,18 @@
+//! Known-bad fixture for RPR002 (truncating-cast): narrowing `as`
+//! casts in offset arithmetic, each silently wrapping out-of-range
+//! values.
+
+fn row_offset(declared: u64, base: u64) -> u32 {
+    // A 5 GiB declared offset wraps to garbage here.
+    let off = declared as u32;
+    off + base as u32
+}
+
+fn entry_count(len: u64) -> usize {
+    // Truncates on 32-bit targets.
+    len as usize
+}
+
+fn small(v: u16) -> u8 {
+    v as u8
+}

@@ -1,0 +1,24 @@
+//! Known-good fixture for RPR002 (truncating-cast): the overflow edge
+//! is a typed error, widening casts stay exempt, and a provably
+//! bounded cast carries its waiver.
+
+#[derive(Debug)]
+enum OffsetError {
+    Overflow(u64),
+}
+
+fn row_offset(declared: u64) -> Result<u32, OffsetError> {
+    u32::try_from(declared).map_err(|_| OffsetError::Overflow(declared))
+}
+
+fn widen(v: u32) -> u64 {
+    // Widening casts never truncate and are not flagged.
+    v as u64
+}
+
+fn bounded(len: u64, cap: u64) -> u64 {
+    let clamped = len.min(cap);
+    // rpr-check: allow(truncating-cast): clamped to cap (< 2^32) on the line above
+    let as_index = clamped as usize;
+    as_index as u64
+}

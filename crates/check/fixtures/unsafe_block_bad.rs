@@ -1,0 +1,7 @@
+//! Known-bad fixture for RPR004 (unsafe-block): this workspace is
+//! 100% safe Rust; any `unsafe` outside the allowlist is a finding.
+
+fn transmute_len(v: &[u8]) -> usize {
+    let p = v.as_ptr();
+    unsafe { p.add(v.len()).offset_from(p) as usize }
+}

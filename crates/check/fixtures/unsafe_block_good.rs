@@ -1,0 +1,6 @@
+//! Known-good fixture for RPR004 (unsafe-block): the same computation
+//! in safe Rust.
+
+fn safe_len(v: &[u8]) -> u64 {
+    v.len() as u64
+}

@@ -1,0 +1,369 @@
+//! A minimal Rust lexer: just enough token structure for the project
+//! lints, with zero dependencies.
+//!
+//! The workspace vendors its third-party crates offline and carries no
+//! `syn`, so rpr-check walks a token stream instead of an AST. The
+//! lexer's contract is narrow but load-bearing: **nothing inside a
+//! comment, string, char literal, or doc comment may ever surface as a
+//! code token** — otherwise a string like `"call .unwrap() here"`
+//! would trip the panic-surface lint. Comments are lexed too (the
+//! waiver syntax lives in them), tagged with whether they stand alone
+//! on their line.
+
+/// One significant token of a Rust source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// Numeric literal (value irrelevant to every lint).
+    Num,
+    /// String / byte-string / raw-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`), distinguished from char literals.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A comment (line or block), carrying the text the waiver scanner
+/// inspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` framing.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True when nothing but whitespace precedes the comment on its
+    /// line — such a comment's waivers also cover the next line.
+    pub standalone: bool,
+}
+
+/// Lexer output: the significant tokens and every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Unterminated constructs (string running to EOF)
+/// are tolerated: the lexer consumes to EOF rather than erroring, so a
+/// half-written file still lints.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_has_code = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..j].iter().collect(),
+                    line,
+                    standalone: !line_has_code,
+                });
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let standalone = !line_has_code;
+                let mut depth = 1;
+                let mut j = i + 2;
+                let text_start = j;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text_end = j.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    text: b[text_start..text_end].iter().collect(),
+                    line: start_line,
+                    standalone,
+                });
+                line_has_code = false;
+                i = j;
+            }
+            '"' => {
+                i = consume_string(&b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Str, line });
+                line_has_code = true;
+            }
+            'r' | 'b' | 'c' if is_string_prefix(&b, i) => {
+                let start_line = line;
+                i = consume_prefixed_string(&b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Str, line: start_line });
+                line_has_code = true;
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident
+                // chars NOT followed by a closing `'`.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let is_lifetime = j > i + 1 && b.get(j) != Some(&'\'');
+                if is_lifetime {
+                    out.toks.push(Tok { kind: TokKind::Lifetime, line });
+                    i = j;
+                } else {
+                    i = consume_char_literal(&b, i, &mut line);
+                    out.toks.push(Tok { kind: TokKind::Char, line });
+                }
+                line_has_code = true;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = b[i..j].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Ident(ident), line });
+                line_has_code = true;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                // Numbers may embed `_`, type suffixes, hex chars, and
+                // exponents; over-consuming alphanumerics is safe here.
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                    // A `..` range after a number is punctuation.
+                    if b[j] == '.' && b.get(j + 1) == Some(&'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Num, line });
+                line_has_code = true;
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok { kind: TokKind::Punct(c), line });
+                line_has_code = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts a string with a prefix: `r"`, `r#`,
+/// `b"`, `br"`, `b'`… (only the forms that begin string-ish literals).
+fn is_string_prefix(b: &[char], i: usize) -> bool {
+    match b[i] {
+        'r' => matches!(b.get(i + 1), Some('"') | Some('#')),
+        'b' | 'c' => match b.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => matches!(b.get(i + 2), Some('"') | Some('#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Consumes a plain `"…"` string starting at `i` (the quote). Returns
+/// the index past the closing quote.
+fn consume_string(b: &[char], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a `'…'` char literal starting at `i`. Returns the index
+/// past the closing quote.
+fn consume_char_literal(b: &[char], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a prefixed string (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+/// `b'…'`, `c"…"`) starting at the prefix. Returns the index past it.
+fn consume_prefixed_string(b: &[char], i: usize, line: &mut usize) -> usize {
+    let mut j = i;
+    // Skip the alphabetic prefix (r, b, c, br, cr).
+    while j < b.len() && b[j].is_alphabetic() {
+        j += 1;
+    }
+    // Byte char literal b'x'.
+    if b.get(j) == Some(&'\'') {
+        return consume_char_literal(b, j, line);
+    }
+    // Raw hashes.
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&'"') {
+        return j; // Not actually a string; treat prefix as consumed.
+    }
+    j += 1;
+    if hashes == 0 && !raw_prefix(b, i) {
+        // Ordinary escaped string with a b/c prefix.
+        loop {
+            match b.get(j) {
+                None => return j,
+                Some('\\') => j += 2,
+                Some('\n') => {
+                    *line += 1;
+                    j += 1;
+                }
+                Some('"') => return j + 1,
+                _ => j += 1,
+            }
+        }
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    loop {
+        match b.get(j) {
+            None => return j,
+            Some('\n') => {
+                *line += 1;
+                j += 1;
+            }
+            Some('"') => {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(k) == Some(&'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// True when the literal starting at `i` carries an `r` (raw) prefix.
+fn raw_prefix(b: &[char], i: usize) -> bool {
+    b[i] == 'r' || (matches!(b[i], 'b' | 'c') && b.get(i + 1) == Some(&'r'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "call .unwrap() here"; // unwrap in comment
+            /* unwrap */ let b = r#"unwrap"#;
+        "##;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap in comment"));
+        assert!(!lexed.comments[0].standalone);
+        assert!(lexed.comments[1].standalone);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* outer /* inner */ still outer */ fn main() {}";
+        assert_eq!(idents(src), vec!["fn", "main"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_strings() {
+        let src = "let s = \"line\none\";\nlet t = 2;";
+        let lexed = lex(src);
+        let t = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("t".into()))
+            .unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"unwrap\"b"; let x = 1;"#;
+        assert_eq!(idents(src), vec!["let", "s", "let", "x"]);
+    }
+
+    #[test]
+    fn byte_and_raw_strings_consume_correctly() {
+        let src = r###"let a = b"unwrap"; let b = br#"expect"#; let c = b'x';"###;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b", "let", "c"]);
+    }
+}

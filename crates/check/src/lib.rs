@@ -1,0 +1,187 @@
+//! # rpr-check — the workspace static-analysis gate
+//!
+//! Project-specific invariant lints the stock toolchain cannot
+//! express, run as `cargo run -p rpr-check -- --workspace` and as a
+//! blocking CI job:
+//!
+//! | ID     | name            | invariant                                              |
+//! |--------|-----------------|--------------------------------------------------------|
+//! | RPR001 | panic-surface   | no unwrap/expect/panicking macros/indexing in the parse & decode surfaces |
+//! | RPR002 | truncating-cast | no unguarded narrowing `as` casts in bitstream/offset arithmetic |
+//! | RPR003 | raw-clock       | no raw `Instant::now`/`SystemTime::now` outside clock/bench modules |
+//! | RPR004 | unsafe-block    | no `unsafe` outside the policy allowlist               |
+//! | RPR005 | atomic-ordering | orderings pinned to the documented policy, no stray SeqCst |
+//!
+//! The lint scopes, allowlists, and dynamic-analysis coverage pins
+//! live in `ci/check_policy.toml` ([`policy`]). Violations that are
+//! correct by construction carry inline waivers:
+//!
+//! ```text
+//! // rpr-check: allow(<lint-name>): <justification>
+//! ```
+//!
+//! The workspace vendors dependencies offline (no `syn`), so the
+//! analysis walks a token stream from the self-contained [`lexer`]
+//! rather than an AST; every lint is pinned live by the known-bad /
+//! known-good fixture pairs under `fixtures/` ([`selftest`]).
+
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod report;
+pub mod selftest;
+pub mod walk;
+
+pub use lints::{check_file, lint_by_name, Finding, LintInfo, LINTS};
+pub use policy::{Policy, PolicyError, Value};
+pub use report::{render_json, render_lints, render_text, summarize};
+
+use std::path::Path;
+
+/// Runs the full workspace scan: loads files, applies every lint,
+/// returns all findings (waived included) plus the scanned-file count.
+///
+/// # Errors
+///
+/// Returns the first I/O failure while walking or reading sources.
+pub fn check_workspace(root: &Path, policy: &Policy) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = walk::collect_rust_files(root, policy)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(check_file(rel, &src, policy));
+    }
+    Ok((findings, files.len()))
+}
+
+/// Renders the pinned dynamic-analysis coverage for `tool`
+/// (`dynamic.<tool>` in the policy) as `cargo test` argument lines,
+/// one per required invocation. `tests` entries are `crate/target`
+/// pairs refining the `crates` list; `extra_tests` name workspace-root
+/// integration-test targets. Returns `None` when the policy pins
+/// nothing for `tool` — CI treats that as a configuration error, so a
+/// tool cannot silently drop out of the matrix.
+pub fn dynamic_plan(policy: &Policy, tool: &str) -> Option<String> {
+    let crates = policy.str_array(&format!("dynamic.{tool}.crates"));
+    let tests = policy.str_array(&format!("dynamic.{tool}.tests"));
+    let extra = policy.str_array(&format!("dynamic.{tool}.extra_tests"));
+    if crates.is_empty() && tests.is_empty() && extra.is_empty() {
+        return None;
+    }
+    let mut lines = Vec::new();
+    if tests.is_empty() {
+        for c in &crates {
+            lines.push(format!("-p {c}"));
+        }
+    } else {
+        for t in &tests {
+            match t.split_once('/') {
+                Some((krate, target)) => lines.push(format!("-p {krate} --test {target}")),
+                None => lines.push(format!("--test {t}")),
+            }
+        }
+    }
+    for t in &extra {
+        lines.push(format!("--test {t}"));
+    }
+    Some(lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workspace itself must pass its own gate: this makes plain
+    /// `cargo test -q` catch a violation even before the CI lint job
+    /// runs the binary.
+    #[test]
+    fn workspace_is_clean_under_the_committed_policy() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/check sits two levels below the repo root");
+        let policy_text = std::fs::read_to_string(root.join("ci/check_policy.toml"))
+            .expect("ci/check_policy.toml exists");
+        let policy = Policy::parse(&policy_text).expect("committed policy parses");
+        let (findings, scanned) = check_workspace(root, &policy).expect("workspace scan");
+        assert!(scanned > 50, "scan must cover the workspace, saw {scanned} files");
+        let blocking: Vec<_> = findings.iter().filter(|f| !f.waived).collect();
+        assert!(
+            blocking.is_empty(),
+            "workspace has unwaived findings:\n{}",
+            render_text(&findings, scanned)
+        );
+    }
+
+    fn committed_policy() -> Policy {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/check sits two levels below the repo root");
+        let text = std::fs::read_to_string(root.join("ci/check_policy.toml"))
+            .expect("ci/check_policy.toml exists");
+        Policy::parse(&text).expect("committed policy parses")
+    }
+
+    /// Coverage may only be ratcheted UP: every entry below is the
+    /// floor the committed policy must keep. Widening a list is fine;
+    /// removing any pinned crate, test, or lint scope fails this test
+    /// (and therefore plain `cargo test -q` and CI).
+    #[test]
+    fn policy_ratchet_coverage_never_shrinks() {
+        let policy = committed_policy();
+        let floor: &[(&str, &[&str])] = &[
+            ("lints.panic_surface.include", &[
+                "crates/wire/src/",
+                "crates/core/src/decoder.rs",
+                "crates/testkit/src/wirefault.rs",
+                "crates/testkit/src/fault.rs",
+            ]),
+            ("lints.truncating_cast.include", &[
+                "crates/wire/src/",
+                "crates/core/src/decoder.rs",
+            ]),
+            ("dynamic.miri.crates", &["rpr-wire"]),
+            ("dynamic.miri.extra_tests", &["panic_freedom"]),
+            ("dynamic.asan.crates", &["rpr-wire", "rpr-core"]),
+            ("dynamic.lsan.crates", &["rpr-wire", "rpr-core"]),
+            ("dynamic.tsan.crates", &["rpr-stream", "rpr-trace"]),
+            ("dynamic.loom.crates", &["rpr-stream", "rpr-trace"]),
+            ("dynamic.loom.tests", &["rpr-stream/loom_queue", "rpr-trace/loom_gate"]),
+        ];
+        for (path, required) in floor {
+            let got = policy.str_array(path);
+            for r in *required {
+                assert!(
+                    got.iter().any(|g| g == r),
+                    "policy ratchet: `{path}` lost pinned entry `{r}` (has {got:?})"
+                );
+            }
+        }
+        // The unsafe allowlist ratchets the other way: it must stay
+        // empty until someone adds Miri coverage for the new block.
+        assert!(
+            policy.str_array("lints.unsafe_block.allow").is_empty()
+                || !policy.str_array("dynamic.miri.crates").is_empty(),
+            "unsafe allowlist entries require Miri coverage"
+        );
+    }
+
+    /// Every tool in the nightly matrix must resolve to a non-empty
+    /// plan, and the plan lines must be well-formed cargo-test args.
+    #[test]
+    fn dynamic_plans_resolve_for_every_pinned_tool() {
+        let policy = committed_policy();
+        for tool in ["miri", "asan", "lsan", "tsan", "loom"] {
+            let plan = dynamic_plan(&policy, tool)
+                .unwrap_or_else(|| panic!("no dynamic coverage pinned for `{tool}`"));
+            for line in plan.lines() {
+                assert!(
+                    line.starts_with("-p ") || line.starts_with("--test "),
+                    "malformed plan line for {tool}: `{line}`"
+                );
+            }
+        }
+        assert_eq!(dynamic_plan(&committed_policy(), "no-such-tool"), None);
+    }
+}

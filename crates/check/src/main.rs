@@ -1,0 +1,173 @@
+//! The `rpr-check` CLI.
+//!
+//! ```text
+//! rpr-check --workspace [--root DIR] [--policy FILE] [--json]
+//! rpr-check --self-test [--fixtures DIR]
+//! rpr-check --dynamic-plan TOOL [--root DIR] [--policy FILE]
+//! rpr-check --list
+//! ```
+//!
+//! `--dynamic-plan` prints the policy-pinned coverage for one nightly
+//! tool (miri/asan/lsan/tsan/loom) as `cargo test` argument lines, one
+//! per required invocation — CI loops over them, so the matrix always
+//! runs exactly what `ci/check_policy.toml` pins.
+//!
+//! Exit codes: 0 = gate passed, 1 = blocking findings (or a dead lint
+//! under `--self-test`), 2 = usage/configuration error.
+
+use rpr_check::{
+    check_workspace, dynamic_plan, render_json, render_lints, render_text, selftest, Policy,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    self_test: bool,
+    list: bool,
+    json: bool,
+    root: PathBuf,
+    policy: PathBuf,
+    fixtures: Option<PathBuf>,
+    dynamic_plan: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: rpr-check (--workspace | --self-test | --dynamic-plan TOOL | --list) \
+     [--root DIR] [--policy FILE] [--fixtures DIR] [--json]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        self_test: false,
+        list: false,
+        json: false,
+        root: PathBuf::from("."),
+        policy: PathBuf::from("ci/check_policy.toml"),
+        fixtures: None,
+        dynamic_plan: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--self-test" => args.self_test = true,
+            "--list" => args.list = true,
+            "--json" => args.json = true,
+            "--root" => args.root = next_path(&mut it, "--root")?,
+            "--policy" => args.policy = next_path(&mut it, "--policy")?,
+            "--fixtures" => args.fixtures = Some(next_path(&mut it, "--fixtures")?),
+            "--dynamic-plan" => {
+                args.dynamic_plan = Some(
+                    it.next().ok_or_else(|| format!("--dynamic-plan needs a tool\n{}", usage()))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if !(args.workspace || args.self_test || args.list || args.dynamic_plan.is_some()) {
+        return Err(format!("pick a mode\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next().map(PathBuf::from).ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+}
+
+fn load_policy(args: &Args) -> Result<Policy, String> {
+    let policy_path =
+        if args.policy.is_absolute() { args.policy.clone() } else { args.root.join(&args.policy) };
+    let text = std::fs::read_to_string(&policy_path)
+        .map_err(|e| format!("cannot read policy {}: {e}", policy_path.display()))?;
+    Policy::parse(&text).map_err(|e| format!("{}: {e}", policy_path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rpr-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        print!("{}", render_lints());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+
+    if args.self_test {
+        let fixtures = args
+            .fixtures
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures"));
+        match selftest::run(&fixtures) {
+            Ok(failures) if failures.is_empty() => {
+                println!("rpr-check: self-test passed — every lint fires on its bad fixture");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("rpr-check self-test: {f}");
+                }
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("rpr-check self-test: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(tool) = &args.dynamic_plan {
+        let policy = match load_policy(&args) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("rpr-check: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match dynamic_plan(&policy, tool) {
+            Some(plan) => println!("{plan}"),
+            None => {
+                eprintln!("rpr-check: no dynamic coverage pinned for `{tool}` — add a [dynamic.{tool}] table to the policy");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if args.workspace {
+        let policy = match load_policy(&args) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("rpr-check: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_workspace(&args.root, &policy) {
+            Ok((findings, scanned)) => {
+                if args.json {
+                    println!("{}", render_json(&findings, scanned));
+                } else {
+                    print!("{}", render_text(&findings, scanned));
+                }
+                if findings.iter().any(|f| !f.waived) {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("rpr-check: workspace scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

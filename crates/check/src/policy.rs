@@ -1,0 +1,360 @@
+//! The check policy: which files each lint covers, which files are
+//! allowlisted, and which crates/tests each dynamic-analysis tool must
+//! run over (`ci/check_policy.toml`).
+//!
+//! The workspace vendors dependencies offline and carries no TOML
+//! crate, so this module includes a parser for the small TOML subset
+//! the policy file uses: `[dotted.table]` headers, `key = "string"`,
+//! `key = ["array", "of", "strings"]`, `key = true/false`, integers,
+//! and `#` comments. Anything outside that subset is a hard error —
+//! a policy file that silently half-parses would be a gate that
+//! silently stops gating.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed policy value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An array of quoted strings.
+    StrArray(Vec<String>),
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+}
+
+/// Policy-file failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError {
+    /// 1-based line of the defect (0 for file-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// The parsed policy: a flat map from dotted key path (table header +
+/// key) to value, plus typed accessors for the sections rpr-check and
+/// the policy-ratchet tests read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Policy {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Policy {
+    /// Parses policy text.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError`] naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, PolicyError> {
+        let mut entries = BTreeMap::new();
+        let mut table = String::new();
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut idx = 0usize;
+        while idx < raw_lines.len() {
+            let line_no = idx + 1;
+            let mut line = strip_comment(raw_lines[idx]).trim().to_string();
+            idx += 1;
+            // Multi-line arrays: keep appending lines until the bracket
+            // closes (quotes respected by strip_comment's caller-side
+            // balance check below).
+            while line.contains('=')
+                && open_brackets(&line) > 0
+                && idx < raw_lines.len()
+            {
+                line.push(' ');
+                line.push_str(strip_comment(raw_lines[idx]).trim());
+                idx += 1;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or_else(|| PolicyError {
+                    line: line_no,
+                    reason: "table header missing closing ]".into(),
+                })?;
+                table = parse_header(header, line_no)?;
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| PolicyError {
+                line: line_no,
+                reason: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = parse_key(key.trim(), line_no)?;
+            let value = parse_value(value.trim(), line_no)?;
+            let full = if table.is_empty() { key } else { format!("{table}.{key}") };
+            if entries.insert(full.clone(), value).is_some() {
+                return Err(PolicyError {
+                    line: line_no,
+                    reason: format!("duplicate key `{full}`"),
+                });
+            }
+        }
+        Ok(Policy { entries })
+    }
+
+    /// Raw lookup by dotted path.
+    pub fn get(&self, path: &str) -> Option<&Value> {
+        self.entries.get(path)
+    }
+
+    /// A string-array value, or empty when absent.
+    pub fn str_array(&self, path: &str) -> Vec<String> {
+        match self.entries.get(path) {
+            Some(Value::StrArray(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// All dotted paths under a prefix (e.g. every pinned-ordering
+    /// file under `lints.atomic_ordering.pinned.`).
+    pub fn keys_under(&self, prefix: &str) -> Vec<String> {
+        self.entries
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Net count of `[` minus `]` outside quoted strings — positive while
+/// a multi-line array is still open.
+fn open_brackets(line: &str) -> i32 {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses a table header body: dotted segments, each bare or quoted.
+fn parse_header(header: &str, line_no: usize) -> Result<String, PolicyError> {
+    let mut out = Vec::new();
+    let mut rest = header.trim();
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix('"') {
+            let end = r.find('"').ok_or_else(|| PolicyError {
+                line: line_no,
+                reason: "unterminated quoted table segment".into(),
+            })?;
+            out.push(r[..end].to_string());
+            rest = r[end + 1..].trim_start().strip_prefix('.').unwrap_or(&r[end + 1..]).trim_start();
+            if rest.starts_with('.') {
+                rest = rest[1..].trim_start();
+            }
+        } else {
+            let end = rest.find('.').unwrap_or(rest.len());
+            let seg = rest[..end].trim();
+            if seg.is_empty() {
+                return Err(PolicyError {
+                    line: line_no,
+                    reason: "empty table segment".into(),
+                });
+            }
+            out.push(seg.to_string());
+            rest = if end == rest.len() { "" } else { rest[end + 1..].trim_start() };
+        }
+    }
+    Ok(out.join("."))
+}
+
+/// Parses a key: bare or quoted.
+fn parse_key(key: &str, line_no: usize) -> Result<String, PolicyError> {
+    if let Some(r) = key.strip_prefix('"') {
+        let inner = r.strip_suffix('"').ok_or_else(|| PolicyError {
+            line: line_no,
+            reason: "unterminated quoted key".into(),
+        })?;
+        return Ok(inner.to_string());
+    }
+    if key.is_empty() || !key.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+        return Err(PolicyError { line: line_no, reason: format!("invalid key `{key}`") });
+    }
+    Ok(key.to_string())
+}
+
+/// Parses a value: string, string array, bool, or integer.
+fn parse_value(v: &str, line_no: usize) -> Result<Value, PolicyError> {
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = v.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| PolicyError {
+            line: line_no,
+            reason: "array must open and close on one line".into(),
+        })?;
+        let mut items = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, line_no)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(PolicyError {
+                        line: line_no,
+                        reason: format!("arrays may hold only strings, got `{part}`"),
+                    })
+                }
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(inner) = v.strip_prefix('"') {
+        let inner = inner.strip_suffix('"').ok_or_else(|| PolicyError {
+            line: line_no,
+            reason: "unterminated string value".into(),
+        })?;
+        if inner.contains('"') {
+            return Err(PolicyError {
+                line: line_no,
+                reason: "embedded quotes are outside the supported TOML subset".into(),
+            });
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Ok(n) = v.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(PolicyError { line: line_no, reason: format!("unsupported value `{v}`") })
+}
+
+/// Splits array contents on commas outside quotes.
+fn split_array(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let p = Policy::parse(
+            r#"
+            # top comment
+            version = 1
+            [lints.panic_surface]
+            include = ["crates/wire/src/", "crates/core/src/decoder.rs"] # trailing
+            [lints.atomic_ordering.pinned."crates/trace/src/gate.rs"]
+            allowed = ["Relaxed", "Release"]
+            blocking = true
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.get("version"), Some(&Value::Int(1)));
+        assert_eq!(
+            p.str_array("lints.panic_surface.include"),
+            vec!["crates/wire/src/", "crates/core/src/decoder.rs"]
+        );
+        assert_eq!(
+            p.str_array("lints.atomic_ordering.pinned.crates/trace/src/gate.rs.allowed"),
+            vec!["Relaxed", "Release"]
+        );
+        assert_eq!(
+            p.get("lints.atomic_ordering.pinned.crates/trace/src/gate.rs.blocking"),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let p = Policy::parse(
+            "[lints.panic_surface]\ninclude = [\n    \"a/\", # dir\n    \"b.rs\",\n]\nafter = 1\n",
+        )
+        .unwrap();
+        assert_eq!(p.str_array("lints.panic_surface.include"), vec!["a/", "b.rs"]);
+        assert_eq!(p.get("lints.panic_surface.after"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn malformed_lines_are_hard_errors() {
+        for bad in [
+            "key",
+            "[unclosed",
+            "a = [\"x\"",
+            "a = \"unterminated",
+            "a = {inline = 1}",
+            "k k = 1",
+        ] {
+            assert!(Policy::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert!(Policy::parse("a = 1\na = 2").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let p = Policy::parse("a = \"x#y\"").unwrap();
+        assert_eq!(p.get("a"), Some(&Value::Str("x#y".into())));
+    }
+
+    #[test]
+    fn keys_under_lists_pinned_files() {
+        let p = Policy::parse(
+            "[lints.atomic_ordering.pinned.\"a.rs\"]\nallowed = [\"Relaxed\"]\n",
+        )
+        .unwrap();
+        let keys = p.keys_under("lints.atomic_ordering.pinned.");
+        assert_eq!(keys, vec!["lints.atomic_ordering.pinned.a.rs.allowed"]);
+    }
+}

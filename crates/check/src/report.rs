@@ -1,0 +1,92 @@
+//! Finding output: human text for terminals, JSON for CI tooling.
+
+use crate::lints::{Finding, LINTS};
+use serde::Serialize;
+
+/// The machine-readable report envelope (`--json`). Owns its findings
+/// — the vendored serde_derive subset does not handle borrowed
+/// structs, and report rendering is far off any hot path.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Report schema version.
+    pub version: u32,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Every finding, waived ones included.
+    pub findings: Vec<Finding>,
+    /// Roll-up counters.
+    pub summary: Summary,
+}
+
+/// Counters for the gate decision.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Total findings, including waived.
+    pub total: usize,
+    /// Findings covered by a justified waiver.
+    pub waived: usize,
+    /// Findings that fail the gate.
+    pub unwaived: usize,
+}
+
+/// Computes the summary counters.
+pub fn summarize(findings: &[Finding]) -> Summary {
+    let waived = findings.iter().filter(|f| f.waived).count();
+    Summary { total: findings.len(), waived, unwaived: findings.len() - waived }
+}
+
+/// Renders the human-readable report.
+pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let status = if f.waived { "waived" } else { "FAIL" };
+        out.push_str(&format!(
+            "{status:>6} {} [{} {}] {}:{}: {}\n",
+            if f.waived { " " } else { "✗" },
+            f.id,
+            f.lint,
+            f.file,
+            f.line,
+            f.message
+        ));
+        if let Some(reason) = &f.waiver_reason {
+            out.push_str(&format!("        waiver: {reason}\n"));
+        } else {
+            out.push_str(&format!("        hint: {}\n", f.hint));
+        }
+    }
+    let s = summarize(findings);
+    out.push_str(&format!(
+        "rpr-check: {} files scanned, {} findings ({} waived, {} blocking)\n",
+        files_scanned, s.total, s.waived, s.unwaived
+    ));
+    if s.unwaived == 0 {
+        out.push_str("rpr-check: gate PASSED\n");
+    } else {
+        out.push_str("rpr-check: gate FAILED — fix the findings above or add a justified waiver\n");
+    }
+    out
+}
+
+/// Renders the `--json` report.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let report = Report {
+        version: 1,
+        files_scanned,
+        findings: findings.to_vec(),
+        summary: summarize(findings),
+    };
+    serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+        format!("{{\"error\": \"report serialization failed: {e}\"}}")
+    })
+}
+
+/// Renders the lint catalog (`--list`).
+pub fn render_lints() -> String {
+    let mut out = String::from("rpr-check lints:\n");
+    for l in LINTS {
+        out.push_str(&format!("  {}  {:<16} {}\n", l.id, l.name, l.description));
+    }
+    out.push_str("\nwaiver syntax: // rpr-check: allow(<lint-name>): <justification>\n");
+    out
+}

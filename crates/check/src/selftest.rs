@@ -1,0 +1,94 @@
+//! Lint self-test: every lint must fire on its known-bad fixture and
+//! stay quiet on its known-good twin.
+//!
+//! A lint that silently stops firing is worse than no lint — the gate
+//! keeps reporting green while the invariant rots. The fixtures under
+//! `crates/check/fixtures/` pin each lint's behaviour: `<lint>_bad.rs`
+//! must produce at least one *unwaived* finding with the right ID, and
+//! `<lint>_good.rs` must produce none (it exercises the same constructs
+//! guarded, allowed, or waived — so the waiver machinery is covered
+//! too). `rpr-check --self-test` runs in CI next to the workspace scan.
+
+use crate::lints::{check_file, LINTS};
+use crate::policy::Policy;
+use std::path::Path;
+
+/// The policy the fixtures are checked under: every scoped lint is
+/// scoped to the fixture directory, and the atomic-ordering fixtures
+/// are pinned to the documented gate set.
+fn fixture_policy() -> Policy {
+    Policy::parse(
+        r#"
+        [lints.panic_surface]
+        include = ["fixtures/"]
+        [lints.truncating_cast]
+        include = ["fixtures/"]
+        [lints.raw_clock]
+        allow = []
+        [lints.unsafe_block]
+        allow = []
+        [lints.atomic_ordering.pinned."fixtures/atomic_ordering_bad.rs"]
+        allowed = ["Relaxed", "Release"]
+        [lints.atomic_ordering.pinned."fixtures/atomic_ordering_good.rs"]
+        allowed = ["Relaxed", "Release"]
+        "#,
+    )
+    .expect("fixture policy is statically valid")
+}
+
+/// Runs the self-test against `fixtures_dir`. Returns the list of
+/// failures (empty = all lints verified live).
+///
+/// # Errors
+///
+/// Returns an I/O error when a fixture file is missing or unreadable —
+/// a missing fixture is itself a self-test failure mode that must not
+/// pass silently.
+pub fn run(fixtures_dir: &Path) -> std::io::Result<Vec<String>> {
+    let policy = fixture_policy();
+    let mut failures = Vec::new();
+    for lint in LINTS {
+        let snake = lint.name.replace('-', "_");
+        for (suffix, expect_fire) in [("bad", true), ("good", false)] {
+            let file = format!("{snake}_{suffix}.rs");
+            let path = fixtures_dir.join(&file);
+            let src = std::fs::read_to_string(&path).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("fixture {} unreadable: {e}", path.display()),
+                )
+            })?;
+            let rel = format!("fixtures/{file}");
+            let findings = check_file(&rel, &src, &policy);
+            let unwaived_hits =
+                findings.iter().filter(|f| !f.waived && f.id == lint.id).count();
+            let unwaived_any = findings.iter().filter(|f| !f.waived).count();
+            if expect_fire && unwaived_hits == 0 {
+                failures.push(format!(
+                    "{} ({}) did not fire on {rel} — the lint has gone dead",
+                    lint.id, lint.name
+                ));
+            }
+            if !expect_fire && unwaived_any != 0 {
+                let ids: Vec<_> =
+                    findings.iter().filter(|f| !f.waived).map(|f| f.id).collect();
+                failures.push(format!(
+                    "known-good fixture {rel} produced blocking findings: {ids:?}"
+                ));
+            }
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_pass_the_self_test() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let failures = run(&dir).expect("fixtures readable");
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Workspace traversal: finds every `.rs` file the gate covers.
+
+use crate::lints::path_matches;
+use crate::policy::Policy;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned regardless of policy (build output,
+/// vendored third-party subsets, VCS internals). The policy's
+/// `global.exclude` list extends this.
+const HARD_EXCLUDES: &[&str] = &["target/", "third_party/", ".git/"];
+
+/// Collects repo-relative (`/`-separated) paths of all `.rs` files
+/// under `root` that the gate covers.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking.
+pub fn collect_rust_files(root: &Path, policy: &Policy) -> std::io::Result<Vec<String>> {
+    let mut excludes: Vec<String> = HARD_EXCLUDES.iter().map(|s| s.to_string()).collect();
+    excludes.extend(policy.str_array("global.exclude"));
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = relative(root, &path);
+            if excludes.iter().any(|e| path_matches(&rel, e) || rel.starts_with(e.trim_end_matches('/'))) {
+                continue;
+            }
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else if rel.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_excludes_are_always_skipped() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+        let files = collect_rust_files(root, &Policy::default()).unwrap();
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+        assert!(files.iter().all(|f| !f.starts_with("third_party/")));
+        assert!(files.iter().any(|f| f == "crates/wire/src/frame.rs"));
+    }
+}

@@ -22,6 +22,13 @@ use rpr_frame::{GrayFrame, Plane};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// In-frame `u32` coordinate/offset to `usize`, in one place so the
+/// cast is auditable.
+#[inline]
+fn us(v: u32) -> usize {
+    v as usize // rpr-check: allow(truncating-cast): u32 -> usize is lossless on the 32/64-bit targets this crate supports
+}
+
 /// Number of recent encoded frames whose metadata the decoder's
 /// scratchpad holds (paper §4.2.1: "the four most recent encoded
 /// frames").
@@ -210,6 +217,7 @@ impl SoftwareDecoder {
     /// Panics when the encoded frame's geometry does not match the
     /// decoder's.
     pub fn decode(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        // rpr-check: allow(panic-surface): documented panic contract (see doc comment and the should_panic test); try_decode is the fallible entry for untrusted frames
         assert_eq!(
             (encoded.width(), encoded.height()),
             (self.width, self.height),
@@ -232,7 +240,7 @@ impl SoftwareDecoder {
     /// row, else directly above), which for stride grids is exactly the
     /// governing stride anchor.
     fn decode_block_nearest(&mut self, encoded: &EncodedFrame) -> GrayFrame {
-        let w = self.width as usize;
+        let w = us(self.width);
         let meta = encoded.metadata();
         let mut out: GrayFrame = Plane::new(self.width, self.height);
         // Distance (in chamfer steps) from each pixel of the previous row
@@ -242,7 +250,11 @@ impl SoftwareDecoder {
 
         for y in 0..self.height {
             let span = meta.row_offsets.row_span(y);
-            let row_pixels = &encoded.pixels()[span.start as usize..span.end as usize];
+            // A frame whose offsets overrun its payload decodes the
+            // overrun as black instead of panicking; try_decode's
+            // validation is what reports such frames as corrupt.
+            let row_pixels =
+                encoded.pixels().get(us(span.start)..us(span.end)).unwrap_or(&[]);
             let mut next_r = 0usize;
             let mut last_r: Option<(u32, u8)> = None;
             let (prev_row_black, out_row_split) = if y == 0 {
@@ -262,7 +274,7 @@ impl SoftwareDecoder {
                 let status = meta.mask.get(x, y);
                 let (value, dist) = match status {
                     PixelStatus::Regional => {
-                        let v = row_pixels[next_r];
+                        let v = row_pixels.get(next_r).copied().unwrap_or(0);
                         next_r += 1;
                         last_r = Some((x, v));
                         self.stats.regional += 1;
@@ -271,10 +283,16 @@ impl SoftwareDecoder {
                     PixelStatus::Strided => {
                         self.stats.interpolated += 1;
                         let left = last_r.map(|(xr, v)| (x - xr, v));
-                        let above = if !prev_row_black && prev_dist[x as usize] != u32::MAX {
-                            Some((prev_dist[x as usize] + 1, prev_row[x as usize]))
-                        } else {
+                        let above = if prev_row_black {
                             None
+                        } else {
+                            match (
+                                prev_dist.get(us(x)).copied(),
+                                prev_row.get(us(x)).copied(),
+                            ) {
+                                (Some(d), Some(v)) if d != u32::MAX => Some((d + 1, v)),
+                                _ => None,
+                            }
                         };
                         match (left, above) {
                             (Some((dl, vl)), Some((da, va))) => {
@@ -304,7 +322,9 @@ impl SoftwareDecoder {
                     }
                 };
                 out.set(x, y, value);
-                cur_dist[x as usize] = dist;
+                if let Some(slot) = cur_dist.get_mut(us(x)) {
+                    *slot = dist;
+                }
             }
             std::mem::swap(&mut prev_dist, &mut cur_dist);
         }
@@ -319,12 +339,13 @@ impl SoftwareDecoder {
         let mut last_emitted: u8 = 0;
         for y in 0..self.height {
             let span = meta.row_offsets.row_span(y);
-            let row_pixels = &encoded.pixels()[span.start as usize..span.end as usize];
+            let row_pixels =
+                encoded.pixels().get(us(span.start)..us(span.end)).unwrap_or(&[]);
             let mut next_r = 0usize;
             for x in 0..self.width {
                 let value = match meta.mask.get(x, y) {
                     PixelStatus::Regional => {
-                        let v = row_pixels[next_r];
+                        let v = row_pixels.get(next_r).copied().unwrap_or(0);
                         next_r += 1;
                         self.stats.regional += 1;
                         v
@@ -364,7 +385,7 @@ impl SoftwareDecoder {
     /// the decoded framebuffer or when no frame has been pushed yet.
     pub fn read_pixel(&self, mmu: &mut PixelMmu, x: u32, y: u32) -> Result<u8> {
         let subs = mmu.analyze(&self.history, PixelRequest::single(x, y))?;
-        Ok(self.resolve_sub_request(&subs[0]))
+        Ok(subs.first().map(|s| self.resolve_sub_request(s)).unwrap_or(0))
     }
 
     /// Reads a rectangular window through the PMMU request path — the
@@ -384,7 +405,8 @@ impl SoftwareDecoder {
                 PixelRequest { x: rect.x, y: rect.y + row, len: rect.w },
             )?;
             for (i, sub) in subs.iter().enumerate() {
-                out.set(i as u32, row, self.resolve_sub_request(sub));
+                let x = u32::try_from(i).unwrap_or(u32::MAX);
+                out.set(x, row, self.resolve_sub_request(sub));
             }
         }
         Ok(out)
@@ -396,12 +418,12 @@ impl SoftwareDecoder {
             SubRequestKind::CurrentFrame { offset } => self
                 .history
                 .current()
-                .and_then(|f| f.pixels().get(offset as usize).copied())
+                .and_then(|f| f.pixels().get(us(offset)).copied())
                 .unwrap_or(0),
             SubRequestKind::HistoryFrame { frames_back, offset } => self
                 .history
-                .get(frames_back as usize)
-                .and_then(|f| f.pixels().get(offset as usize).copied())
+                .get(usize::from(frames_back))
+                .and_then(|f| f.pixels().get(us(offset)).copied())
                 .unwrap_or(0),
             SubRequestKind::Interpolate => self
                 .history
@@ -410,7 +432,7 @@ impl SoftwareDecoder {
                 .unwrap_or(0),
             SubRequestKind::HistoryInterpolate { frames_back } => self
                 .history
-                .get(frames_back as usize)
+                .get(usize::from(frames_back))
                 .map(|f| resolve_strided(f, sub.x, sub.y))
                 .unwrap_or(0),
             SubRequestKind::Black => 0,

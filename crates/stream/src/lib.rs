@@ -36,6 +36,7 @@ pub mod executor;
 pub mod manager;
 pub mod queue;
 pub mod stage;
+mod sync;
 pub mod telemetry;
 pub mod wire;
 

@@ -8,7 +8,7 @@
 //! oldest frame), and graceful quality loss (keep the frame but flag
 //! pressure so the capture stage lowers its rhythm).
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -141,7 +141,7 @@ impl<T> StageQueue<T> {
             match self.mode {
                 BackpressureMode::Block => {
                     while st.items.len() >= self.capacity && !st.closed {
-                        self.not_full.wait(&mut st);
+                        st = self.not_full.wait(st);
                     }
                 }
                 BackpressureMode::DropOldest => {
@@ -151,7 +151,7 @@ impl<T> StageQueue<T> {
                 BackpressureMode::Degrade => {
                     st.pressure = true;
                     while st.items.len() >= self.capacity && !st.closed {
-                        self.not_full.wait(&mut st);
+                        st = self.not_full.wait(st);
                     }
                 }
             }
@@ -185,7 +185,7 @@ impl<T> StageQueue<T> {
             if st.closed {
                 return None;
             }
-            self.not_empty.wait(&mut st);
+            st = self.not_empty.wait(st);
         }
     }
 

@@ -1,0 +1,101 @@
+//! Swappable synchronization primitives for the queue core.
+//!
+//! Production builds use `parking_lot` (no poisoning, smaller guards);
+//! `--cfg loom` builds swap in loom's model-checked primitives so the
+//! bounded-queue backpressure protocol in [`crate::queue`] can be
+//! explored under adversarial thread interleavings. The shim narrows
+//! both libraries to the one API shape the queue needs — in
+//! particular, [`Condvar::wait`] *consumes and returns* the guard,
+//! which both backends can express — so the queue source is identical
+//! under either cfg.
+
+#[cfg(not(loom))]
+mod imp {
+    /// Guard type of the active backend.
+    pub type MutexGuard<'a, T> = parking_lot::MutexGuard<'a, T>;
+
+    /// Mutex of the active backend (parking_lot: no poisoning).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(parking_lot::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(parking_lot::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock()
+        }
+    }
+
+    /// Condvar of the active backend.
+    #[derive(Debug, Default)]
+    pub struct Condvar(parking_lot::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(parking_lot::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(&mut guard);
+            guard
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(loom)]
+mod imp {
+    use std::sync::PoisonError;
+
+    /// Guard type of the active backend.
+    pub type MutexGuard<'a, T> = loom::sync::MutexGuard<'a, T>;
+
+    /// Mutex of the active backend (loom under `--cfg loom`). Poisoning
+    /// is swallowed: a panicking model iteration already fails the
+    /// test, and the queue's invariants hold at every await point.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(loom::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Condvar of the active backend.
+    #[derive(Debug, Default)]
+    pub struct Condvar(loom::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(loom::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+pub(crate) use imp::{Condvar, Mutex};

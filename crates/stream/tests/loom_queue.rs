@@ -1,0 +1,111 @@
+//! Loom models of the bounded-queue backpressure protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p rpr-stream --test loom_queue`.
+//! Each model asserts an invariant that must hold on *every* explored
+//! interleaving of the producer, consumer, and shutdown threads.
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use rpr_stream::{BackpressureMode, StageQueue};
+
+#[test]
+fn block_mode_is_lossless_and_fifo_under_contention() {
+    loom::model(|| {
+        let q = Arc::new(StageQueue::new("model", 1, BackpressureMode::Block));
+        let producer = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            assert!(producer.push(1));
+            assert!(producer.push(2));
+            assert!(producer.push(3));
+        });
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        h.join().unwrap();
+        let t = q.telemetry();
+        assert_eq!((t.pushed, t.popped, t.dropped), (3, 3, 0));
+    });
+}
+
+#[test]
+fn close_wakes_a_draining_consumer() {
+    loom::model(|| {
+        let q = Arc::new(StageQueue::new("model", 2, BackpressureMode::Block));
+        assert!(q.push(7));
+        let closer = Arc::clone(&q);
+        let h = thread::spawn(move || closer.close());
+        // The queued frame must survive a racing close; after the
+        // drain the consumer must see end-of-stream, not a hang.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn close_unblocks_a_full_queue_producer() {
+    loom::model(|| {
+        let q = Arc::new(StageQueue::new("model", 1, BackpressureMode::Block));
+        assert!(q.push(1));
+        let producer = Arc::clone(&q);
+        let h = thread::spawn(move || producer.push(2));
+        // Nothing ever pops, so the producer can only leave its wait
+        // loop through the close path — and must report non-delivery.
+        q.close();
+        assert!(!h.join().unwrap(), "push into a closed queue must fail");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    });
+}
+
+#[test]
+fn drop_oldest_conserves_frames_across_interleavings() {
+    loom::model(|| {
+        let q = Arc::new(StageQueue::new("model", 1, BackpressureMode::DropOldest));
+        let producer = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            assert!(producer.push(1));
+            assert!(producer.push(2));
+        });
+        let first = q.pop();
+        assert!(first.is_some(), "a producer is running, pop must yield a frame");
+        h.join().unwrap();
+        q.close();
+        let mut drained = 0u64;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        let t = q.telemetry();
+        // Every accepted frame is accounted for: handed to the
+        // consumer or counted as evicted, never silently lost.
+        assert_eq!(t.pushed, 2);
+        assert_eq!(t.popped, 1 + drained);
+        assert_eq!(t.popped + t.dropped, 2);
+    });
+}
+
+#[test]
+fn degrade_pressure_flag_is_raised_exactly_when_blocked() {
+    loom::model(|| {
+        let q = Arc::new(StageQueue::new("model", 1, BackpressureMode::Degrade));
+        assert!(q.push(1));
+        let producer = Arc::clone(&q);
+        let h = thread::spawn(move || producer.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert!(h.join().unwrap());
+        // Whether the producer saw a full queue is schedule-dependent
+        // (the pop can land before its push attempt begins); the
+        // invariant is that the pressure flag tracks that observation
+        // exactly — raised iff the queue was ever found full.
+        let hit_full = q.telemetry().full_events > 0;
+        assert_eq!(
+            q.take_pressure(),
+            hit_full,
+            "pressure flag must match whether the producer found the queue full"
+        );
+        assert!(!q.take_pressure(), "flag reads once then clears");
+        assert_eq!(q.pop(), Some(2));
+    });
+}

@@ -100,7 +100,8 @@ impl FaultKind {
                     return None;
                 }
                 let i = rng.range_usize(0, pixels.len() - 1);
-                pixels[i] ^= 1 << rng.range_u32(0, 7);
+                let bit = 1 << rng.range_u32(0, 7);
+                *pixels.get_mut(i)? ^= bit;
                 Some(rebuild(pixels, meta.clone()))
             }
             FaultKind::PayloadTruncate => {
@@ -126,7 +127,7 @@ impl FaultKind {
                 }
                 let keep = rng.range_usize(1, offsets.len() - 1);
                 let metadata = FrameMetadata {
-                    row_offsets: RowOffsets::from_raw_offsets(offsets[..keep].to_vec()),
+                    row_offsets: RowOffsets::from_raw_offsets(offsets.get(..keep)?.to_vec()),
                     mask: meta.mask.clone(),
                 };
                 Some(rebuild(pixels, metadata))
@@ -138,8 +139,8 @@ impl FaultKind {
                 }
                 let i = rng.range_usize(0, offsets.len() - 2);
                 let j = rng.range_usize(i + 1, offsets.len() - 1);
-                if offsets[i] == offsets[j] {
-                    return None; // identity swap
+                if offsets.get(i) == offsets.get(j) {
+                    return None; // identity swap (or an out-of-range draw)
                 }
                 offsets.swap(i, j);
                 let metadata = FrameMetadata {
@@ -207,7 +208,8 @@ impl FaultKind {
                     return None;
                 }
                 let i = rng.range_usize(0, bytes.len() - 1);
-                bytes[i] ^= 1 << rng.range_u32(0, 7);
+                let bit = 1 << rng.range_u32(0, 7);
+                *bytes.get_mut(i)? ^= bit;
                 let mask =
                     EncMask::from_raw_bytes(frame.width(), frame.height(), bytes)?;
                 let metadata =

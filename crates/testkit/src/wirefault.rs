@@ -137,16 +137,17 @@ impl WireFaultKind {
                     .filter(|c| {
                         c.kind == CHUNK_FRAME
                             && c.payload.len() > MASK_ENCODING_OFFSET
-                            && container[c.payload.start + MASK_ENCODING_OFFSET] == 1
+                            && container.get(c.payload.start + MASK_ENCODING_OFFSET) == Some(&1)
                     })
                     .collect();
                 if hosts.is_empty() {
                     return None;
                 }
                 let c = rng.pick(&hosts);
-                let blob = &container[c.payload.clone()];
+                let blob = container.get(c.payload.clone())?;
                 let mut pos = MASK_ENCODING_OFFSET + 1;
-                let mask_len = read_varint(blob, &mut pos, "rle mask length").ok()? as usize;
+                let mask_len =
+                    usize::try_from(read_varint(blob, &mut pos, "rle mask length").ok()?).ok()?;
                 if mask_len == 0 || pos + mask_len > blob.len() {
                     return None;
                 }
@@ -168,21 +169,32 @@ impl WireFaultKind {
             }
             WireFaultKind::StaleIndexEntry => {
                 let index = chunks.iter().find(|c| c.kind == CHUNK_INDEX)?;
-                let mut entries = parse_entries(&container[index.payload.clone()]).ok()?;
+                let mut entries = parse_entries(container.get(index.payload.clone())?).ok()?;
                 // Pick two entries whose claimed frame_idx differ, so
                 // the swap is detectable (and not a silent reorder).
-                let i = (0..entries.len())
-                    .find(|&i| entries[(i + 1)..].iter().any(|e| e.frame_idx != entries[i].frame_idx))?;
-                let j = ((i + 1)..entries.len())
-                    .find(|&j| entries[j].frame_idx != entries[i].frame_idx)?;
+                let mut pair = None;
+                'outer: for (i, a) in entries.iter().enumerate() {
+                    for (j, b) in entries.iter().enumerate().skip(i + 1) {
+                        if b.frame_idx != a.frame_idx {
+                            pair = Some((i, j));
+                            break 'outer;
+                        }
+                    }
+                }
+                let (i, j) = pair?;
                 // Swap where the entries point (offset + length) while
                 // keeping their claimed frame indices: each entry now
                 // names a frame its chunk does not hold.
-                let (eo, el) = (entries[i].offset, entries[i].len);
-                entries[i].offset = entries[j].offset;
-                entries[i].len = entries[j].len;
-                entries[j].offset = eo;
-                entries[j].len = el;
+                let (a_off, a_len) = entries.get(i).map(|e| (e.offset, e.len))?;
+                let (b_off, b_len) = entries.get(j).map(|e| (e.offset, e.len))?;
+                if let Some(e) = entries.get_mut(i) {
+                    e.offset = b_off;
+                    e.len = b_len;
+                }
+                if let Some(e) = entries.get_mut(j) {
+                    e.offset = a_off;
+                    e.len = a_len;
+                }
                 let mut payload = Vec::with_capacity(index.payload.len());
                 write_varint(&mut payload, entries.len() as u64);
                 for e in &entries {
@@ -196,7 +208,7 @@ impl WireFaultKind {
                 if payload.len() != index.payload.len() {
                     return None;
                 }
-                out[index.payload.clone()].copy_from_slice(&payload);
+                out.get_mut(index.payload.clone())?.copy_from_slice(&payload);
                 rewrite_chunk_crc(&mut out, index.offset).ok()?;
                 Some(out)
             }
@@ -210,7 +222,12 @@ impl WireFaultKind {
 }
 
 fn flip_bit(bytes: &mut [u8], i: usize, rng: &mut TestRng) {
-    bytes[i] ^= 1 << rng.range_u32(0, 7);
+    // Out-of-range draws are silently skipped; every caller picks `i`
+    // inside a chunk range validated by `list_chunks`.
+    let bit = 1 << rng.range_u32(0, 7);
+    if let Some(b) = bytes.get_mut(i) {
+        *b ^= bit;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,120 @@
+//! The two lock-free cores of the trace sink, extracted so loom can
+//! model them in isolation: the global enable gate every
+//! instrumentation point polls, and the dense thread-id assigner.
+//!
+//! # Atomic-ordering policy
+//!
+//! This module (together with [`crate::sink`], which hosts the static
+//! instances) is the only place in the workspace allowed to touch
+//! atomics directly, and it uses exactly two orderings:
+//!
+//! * **`Relaxed` loads** on the hot path ([`EnableGate::is_enabled`],
+//!   [`TidAssigner::assign`]). The gate is a *sampling* decision — an
+//!   emission point racing `enable()` may record or skip one event
+//!   either way, and both outcomes are correct. Paying an acquire
+//!   fence per pixel to tighten that window would be pure cost.
+//! * **`Release` stores** on the cold path ([`EnableGate::enable`] /
+//!   [`EnableGate::disable`]), so a thread that observes the flag
+//!   *through an existing synchronization edge* (thread join, mutex)
+//!   also observes everything the enabling thread wrote before
+//!   flipping it (e.g. the trace epoch).
+//!
+//! `SeqCst` is banned workspace-wide (rpr-check `atomic-ordering`,
+//! pinned to `{Relaxed, Release}` for this file): nothing here needs a
+//! total store order, and `SeqCst` tends to get cargo-culted precisely
+//! into hot paths like this one. The loom model in
+//! `tests/loom_gate.rs` exercises the gate and assigner under
+//! adversarial interleavings.
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The global recording on/off flag. One `Relaxed` load per
+/// instrumentation point when disabled — the entire cost of carrying
+/// tracing in a release build.
+#[derive(Debug)]
+pub struct EnableGate {
+    enabled: AtomicBool,
+}
+
+impl EnableGate {
+    /// Creates a gate in the disabled state.
+    pub const fn new() -> Self {
+        EnableGate { enabled: AtomicBool::new(false) }
+    }
+
+    /// Turns recording on (`Release`: pairs with the synchronization
+    /// edge a reader crosses before trusting buffered state).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Turns recording off.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether recording is on. `Relaxed`: racing a flip may record or
+    /// skip one borderline event, both acceptable by design.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for EnableGate {
+    fn default() -> Self {
+        EnableGate::new()
+    }
+}
+
+/// Hands out small dense thread ids for [`crate::TraceEvent::tid`].
+/// A plain `Relaxed` fetch-add: uniqueness comes from atomicity, and
+/// no other memory is published through the counter.
+#[derive(Debug)]
+pub struct TidAssigner {
+    next: AtomicU64,
+}
+
+impl TidAssigner {
+    /// Creates an assigner starting at tid 0.
+    pub const fn new() -> Self {
+        TidAssigner { next: AtomicU64::new(0) }
+    }
+
+    /// Claims the next unused thread id.
+    pub fn assign(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Default for TidAssigner {
+    fn default() -> Self {
+        TidAssigner::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_flips_and_reads_back() {
+        let gate = EnableGate::new();
+        assert!(!gate.is_enabled());
+        gate.enable();
+        assert!(gate.is_enabled());
+        gate.disable();
+        assert!(!gate.is_enabled());
+    }
+
+    #[test]
+    fn tids_are_dense_and_unique() {
+        let tids = TidAssigner::new();
+        assert_eq!(tids.assign(), 0);
+        assert_eq!(tids.assign(), 1);
+        assert_eq!(tids.assign(), 2);
+    }
+}

@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 
 mod chrome;
+pub mod gate;
 mod registry;
 mod report;
 mod sink;

@@ -13,7 +13,7 @@
 //!   recording (the collector locks it once at [`drain`] time), so the
 //!   fast path is an uncontended lock + vector push.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::gate::{EnableGate, TidAssigner};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -65,8 +65,8 @@ pub struct TraceEvent {
     pub provenance: Provenance,
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static GATE: EnableGate = EnableGate::new();
+static TIDS: TidAssigner = TidAssigner::new();
 
 fn epoch() -> &'static Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -91,7 +91,7 @@ thread_local! {
 fn with_local<R>(f: impl FnOnce(u64, &SharedBuffer) -> R) -> R {
     LOCAL.with(|cell| {
         let (tid, buf) = cell.get_or_init(|| {
-            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let tid = TIDS.assign();
             let buf: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
             registry().lock().expect("trace registry poisoned").push(Arc::clone(&buf));
             (tid, buf)
@@ -103,19 +103,20 @@ fn with_local<R>(f: impl FnOnce(u64, &SharedBuffer) -> R) -> R {
 /// Turns recording on (and fixes the trace epoch on first use).
 pub fn enable() {
     let _ = epoch();
-    ENABLED.store(true, Ordering::Release);
+    GATE.enable();
 }
 
 /// Turns recording off. Already-buffered events stay until [`drain`].
 pub fn disable() {
-    ENABLED.store(false, Ordering::Release);
+    GATE.disable();
 }
 
 /// Whether recording is currently on — the one check every
-/// instrumentation point pays when tracing is disabled.
+/// instrumentation point pays when tracing is disabled. Ordering
+/// rationale lives in [`crate::gate`].
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    GATE.is_enabled()
 }
 
 /// Collects (and clears) every thread's buffered events, ordered by

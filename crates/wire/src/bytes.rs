@@ -1,0 +1,136 @@
+//! Panic-free primitive reads over untrusted byte slices.
+//!
+//! Every accessor returns a typed [`WireError`] instead of panicking:
+//! these helpers are what keep the parse surfaces clean under the
+//! rpr-check `panic-surface` and `truncating-cast` lints without
+//! sprinkling bounds arithmetic through the format code.
+
+use crate::{Result, WireError};
+
+/// Reads a fixed-size little-endian array at `at`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when fewer than `N` bytes remain.
+pub(crate) fn take<const N: usize>(
+    buf: &[u8],
+    at: usize,
+    what: &'static str,
+) -> Result<[u8; N]> {
+    let end = at.checked_add(N).ok_or(WireError::Truncated {
+        what,
+        needed: u64::MAX,
+        available: buf.len() as u64,
+    })?;
+    buf.get(at..end)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(WireError::Truncated { what, needed: end as u64, available: buf.len() as u64 })
+}
+
+/// Reads a `u16` (little-endian) at `at`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when fewer than 2 bytes remain.
+pub(crate) fn le_u16(buf: &[u8], at: usize, what: &'static str) -> Result<u16> {
+    take::<2>(buf, at, what).map(u16::from_le_bytes)
+}
+
+/// Reads a `u32` (little-endian) at `at`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when fewer than 4 bytes remain.
+pub(crate) fn le_u32(buf: &[u8], at: usize, what: &'static str) -> Result<u32> {
+    take::<4>(buf, at, what).map(u32::from_le_bytes)
+}
+
+/// Reads a `u64` (little-endian) at `at`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when fewer than 8 bytes remain.
+pub(crate) fn le_u64(buf: &[u8], at: usize, what: &'static str) -> Result<u64> {
+    take::<8>(buf, at, what).map(u64::from_le_bytes)
+}
+
+/// Reads the single byte at `at`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when `at` is out of bounds.
+pub(crate) fn byte_at(buf: &[u8], at: usize, what: &'static str) -> Result<u8> {
+    buf.get(at).copied().ok_or(WireError::Truncated {
+        what,
+        needed: at as u64 + 1,
+        available: buf.len() as u64,
+    })
+}
+
+/// Borrows `len` bytes starting at `at`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the range runs past the buffer (or
+/// its end overflows `usize`).
+pub(crate) fn slice_at<'a>(
+    buf: &'a [u8],
+    at: usize,
+    len: usize,
+    what: &'static str,
+) -> Result<&'a [u8]> {
+    let end = at.checked_add(len).ok_or(WireError::Truncated {
+        what,
+        needed: u64::MAX,
+        available: buf.len() as u64,
+    })?;
+    buf.get(at..end).ok_or(WireError::Truncated {
+        what,
+        needed: end as u64,
+        available: buf.len() as u64,
+    })
+}
+
+/// Converts a wire-declared `u64` length to `usize` without silent
+/// truncation (relevant on 32-bit hosts, where a forged 2^40 length
+/// must become a typed error, not a wrapped allocation size).
+///
+/// # Errors
+///
+/// [`WireError::LimitExceeded`] when the value does not fit.
+pub(crate) fn usize_from(v: u64, what: &'static str) -> Result<usize> {
+    usize::try_from(v).map_err(|_| WireError::LimitExceeded {
+        what,
+        value: v,
+        limit: usize::MAX as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_match_manual_decoding() {
+        let buf = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        assert_eq!(le_u16(&buf, 0, "t").unwrap(), 0x0201);
+        assert_eq!(le_u32(&buf, 1, "t").unwrap(), 0x05040302);
+        assert_eq!(le_u64(&buf, 1, "t").unwrap(), 0x0908070605040302);
+        assert_eq!(byte_at(&buf, 8, "t").unwrap(), 0x09);
+        assert_eq!(slice_at(&buf, 2, 3, "t").unwrap(), &[0x03, 0x04, 0x05]);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_typed_errors() {
+        let buf = [0u8; 4];
+        assert!(matches!(le_u32(&buf, 1, "t"), Err(WireError::Truncated { .. })));
+        assert!(matches!(le_u64(&buf, 0, "t"), Err(WireError::Truncated { .. })));
+        assert!(matches!(byte_at(&buf, 4, "t"), Err(WireError::Truncated { .. })));
+        assert!(matches!(slice_at(&buf, 3, 2, "t"), Err(WireError::Truncated { .. })));
+        // Range-end overflow must not wrap around to a small index.
+        assert!(matches!(
+            slice_at(&buf, usize::MAX, 2, "t"),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -25,6 +25,7 @@ use std::io::Write;
 use rpr_core::EncodedFrame;
 use serde::{Deserialize, Serialize};
 
+use crate::bytes as raw;
 use crate::crc32::crc32;
 use crate::frame::{encode_frame, EncodedFrameView, MaskCodec};
 use crate::varint::{read_varint, write_varint};
@@ -114,12 +115,12 @@ impl<W: Write> ContainerWriter<W> {
     ///
     /// [`WireError::Io`] when the sink rejects the header.
     pub fn with_codec(mut sink: W, codec: MaskCodec) -> Result<Self> {
-        let mut header = [0u8; HEADER_LEN];
-        header[0..8].copy_from_slice(&FILE_MAGIC);
-        header[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-        header[10..12].copy_from_slice(&0u16.to_le_bytes());
-        let crc = crc32(&header[0..12]);
-        header[12..16].copy_from_slice(&crc.to_le_bytes());
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&FILE_MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
         sink.write_all(&header)?;
         Ok(ContainerWriter {
             sink,
@@ -136,10 +137,10 @@ impl<W: Write> ContainerWriter<W> {
             reason: format!("chunk payload of {} bytes exceeds u32", payload.len()),
         })?;
         let chunk_offset = self.offset;
-        let mut head = [0u8; CHUNK_HEADER_LEN];
-        head[0] = kind;
-        head[1..5].copy_from_slice(&len.to_le_bytes());
-        head[5..9].copy_from_slice(&crc32(payload).to_le_bytes());
+        let mut head = Vec::with_capacity(CHUNK_HEADER_LEN);
+        head.push(kind);
+        head.extend_from_slice(&len.to_le_bytes());
+        head.extend_from_slice(&crc32(payload).to_le_bytes());
         self.sink.write_all(&head)?;
         self.sink.write_all(payload)?;
         self.offset += (CHUNK_HEADER_LEN + payload.len()) as u64;
@@ -160,10 +161,13 @@ impl<W: Write> ContainerWriter<W> {
         let result = self.write_chunk(CHUNK_FRAME, &blob);
         self.scratch = blob;
         let chunk_offset = result?;
+        let len = u32::try_from(frame_stats.encoded_bytes).map_err(|_| WireError::BadChunk {
+            reason: format!("frame blob of {} bytes exceeds u32", frame_stats.encoded_bytes),
+        })?;
         self.entries.push(FrameEntry {
             frame_idx: frame.frame_idx(),
             offset: chunk_offset,
-            len: frame_stats.encoded_bytes as u32,
+            len,
         });
         self.stats.frames += 1;
         self.stats.payload_bytes += frame_stats.payload_bytes as u64;
@@ -193,14 +197,17 @@ impl<W: Write> ContainerWriter<W> {
             write_varint(&mut index, e.offset);
             write_varint(&mut index, u64::from(e.len));
         }
+        let index_len = u32::try_from(index.len()).map_err(|_| WireError::BadChunk {
+            reason: format!("index payload of {} bytes exceeds u32", index.len()),
+        })?;
         let index_offset = self.write_chunk(CHUNK_INDEX, &index)?;
 
-        let mut trailer = [0u8; TRAILER_LEN];
-        trailer[0..8].copy_from_slice(&index_offset.to_le_bytes());
-        trailer[8..12].copy_from_slice(&(index.len() as u32).to_le_bytes());
-        let crc = crc32(&trailer[0..12]);
-        trailer[12..16].copy_from_slice(&crc.to_le_bytes());
-        trailer[16..20].copy_from_slice(&TRAILER_MAGIC);
+        let mut trailer = Vec::with_capacity(TRAILER_LEN);
+        trailer.extend_from_slice(&index_offset.to_le_bytes());
+        trailer.extend_from_slice(&index_len.to_le_bytes());
+        let crc = crc32(&trailer);
+        trailer.extend_from_slice(&crc.to_le_bytes());
+        trailer.extend_from_slice(&TRAILER_MAGIC);
         self.sink.write_all(&trailer)?;
         self.sink.flush()?;
         self.offset += TRAILER_LEN as u64;
@@ -220,15 +227,15 @@ fn check_header(bytes: &[u8]) -> Result<()> {
             available: bytes.len() as u64,
         });
     }
-    if bytes[0..8] != FILE_MAGIC {
+    if raw::slice_at(bytes, 0, 8, "file header magic")? != FILE_MAGIC {
         return Err(WireError::BadMagic { what: "file header" });
     }
-    let stored = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
-    let computed = crc32(&bytes[0..12]);
+    let stored = raw::le_u32(bytes, 12, "file header checksum")?;
+    let computed = crc32(raw::slice_at(bytes, 0, 12, "file header")?);
     if stored != computed {
         return Err(WireError::ChecksumMismatch { what: "file header", stored, computed });
     }
-    let version = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes"));
+    let version = raw::le_u16(bytes, 8, "format version")?;
     if version != FORMAT_VERSION {
         return Err(WireError::UnsupportedVersion { version });
     }
@@ -245,17 +252,17 @@ fn parse_trailer(bytes: &[u8]) -> Result<(u64, u32)> {
             available: bytes.len() as u64,
         });
     }
-    let t = &bytes[bytes.len() - TRAILER_LEN..];
-    if t[16..20] != TRAILER_MAGIC {
+    let t = raw::slice_at(bytes, bytes.len() - TRAILER_LEN, TRAILER_LEN, "container trailer")?;
+    if raw::slice_at(t, 16, 4, "trailer magic")? != TRAILER_MAGIC {
         return Err(WireError::BadMagic { what: "trailer" });
     }
-    let stored = u32::from_le_bytes(t[12..16].try_into().expect("4 bytes"));
-    let computed = crc32(&t[0..12]);
+    let stored = raw::le_u32(t, 12, "trailer checksum")?;
+    let computed = crc32(raw::slice_at(t, 0, 12, "trailer")?);
     if stored != computed {
         return Err(WireError::ChecksumMismatch { what: "trailer", stored, computed });
     }
-    let index_offset = u64::from_le_bytes(t[0..8].try_into().expect("8 bytes"));
-    let index_len = u32::from_le_bytes(t[8..12].try_into().expect("4 bytes"));
+    let index_offset = raw::le_u64(t, 0, "trailer index offset")?;
+    let index_len = raw::le_u32(t, 8, "trailer index length")?;
     Ok((index_offset, index_len))
 }
 
@@ -272,21 +279,21 @@ fn read_chunk(bytes: &[u8], offset: u64) -> Result<(u8, &[u8])> {
             available: bytes.len().saturating_sub(offset) as u64,
         },
     )?;
-    let head = &bytes[offset..end];
-    let kind = head[0];
+    let head = raw::slice_at(bytes, offset, CHUNK_HEADER_LEN, "chunk header")?;
+    let kind = raw::byte_at(head, 0, "chunk kind")?;
     if kind != CHUNK_FRAME && kind != CHUNK_INDEX {
         return Err(WireError::BadChunk { reason: format!("unknown chunk kind {kind:#04x}") });
     }
-    let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes")) as usize;
-    let stored = u32::from_le_bytes(head[5..9].try_into().expect("4 bytes"));
-    let payload_end = end.checked_add(len).filter(|&e| e <= bytes.len()).ok_or(
-        WireError::Truncated {
+    let len = raw::usize_from(u64::from(raw::le_u32(head, 1, "chunk payload length")?), "chunk payload length")?;
+    let stored = raw::le_u32(head, 5, "chunk checksum")?;
+    if end.checked_add(len).filter(|&e| e <= bytes.len()).is_none() {
+        return Err(WireError::Truncated {
             what: "chunk payload",
             needed: len as u64,
             available: (bytes.len() - end) as u64,
-        },
-    )?;
-    let payload = &bytes[end..payload_end];
+        });
+    }
+    let payload = raw::slice_at(bytes, end, len, "chunk payload")?;
     let computed = crc32(payload);
     if stored != computed {
         return Err(WireError::ChecksumMismatch { what: "chunk payload", stored, computed });
@@ -311,7 +318,7 @@ pub fn parse_entries(payload: &[u8]) -> Result<Vec<FrameEntry>> {
             limit: MAX_FRAME_COUNT,
         });
     }
-    let mut entries = Vec::with_capacity(count as usize);
+    let mut entries = Vec::with_capacity(raw::usize_from(count, "index entry count")?);
     for _ in 0..count {
         let frame_idx = read_varint(payload, &mut pos, "index frame_idx")?;
         let offset = read_varint(payload, &mut pos, "index chunk offset")?;
@@ -348,7 +355,8 @@ impl<'a> ContainerReader<'a> {
     pub fn open(bytes: &'a [u8]) -> Result<Self> {
         check_header(bytes)?;
         let (index_offset, index_len) = parse_trailer(bytes)?;
-        let body = &bytes[..bytes.len() - TRAILER_LEN];
+        let body =
+            raw::slice_at(bytes, 0, bytes.len().saturating_sub(TRAILER_LEN), "container body")?;
         let (kind, payload) = read_chunk(body, index_offset)?;
         if kind != CHUNK_INDEX {
             return Err(WireError::BadIndex {
@@ -381,7 +389,7 @@ impl<'a> ContainerReader<'a> {
         check_header(bytes)?;
         let mut entries = Vec::new();
         let mut pos = HEADER_LEN as u64;
-        while (pos as usize) + CHUNK_HEADER_LEN <= bytes.len() {
+        while pos + CHUNK_HEADER_LEN as u64 <= bytes.len() as u64 {
             let (kind, payload) = read_chunk(bytes, pos)?;
             if kind == CHUNK_INDEX {
                 break;
@@ -391,9 +399,11 @@ impl<'a> ContainerReader<'a> {
                     reason: format!("frame chunk payload of {} bytes is too short", payload.len()),
                 });
             }
-            let frame_idx =
-                u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
-            entries.push(FrameEntry { frame_idx, offset: pos, len: payload.len() as u32 });
+            let frame_idx = raw::le_u64(payload, 8, "frame index")?;
+            let len = u32::try_from(payload.len()).map_err(|_| WireError::BadChunk {
+                reason: format!("chunk payload of {} bytes exceeds u32", payload.len()),
+            })?;
+            entries.push(FrameEntry { frame_idx, offset: pos, len });
             pos += (CHUNK_HEADER_LEN + payload.len()) as u64;
         }
         Ok(ContainerReader { bytes, entries })
@@ -522,8 +532,11 @@ pub fn list_chunks(bytes: &[u8]) -> Result<Vec<RawChunk>> {
                 available: (body_end - pos) as u64,
             },
         )?;
-        let kind = bytes[pos];
-        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let kind = raw::byte_at(bytes, pos, "chunk kind")?;
+        let len = raw::usize_from(
+            u64::from(raw::le_u32(bytes, pos + 1, "chunk payload length")?),
+            "chunk payload length",
+        )?;
         let payload_end = end.checked_add(len).filter(|&e| e <= body_end).ok_or(
             WireError::Truncated {
                 what: "chunk payload",
@@ -553,18 +566,16 @@ pub fn rewrite_chunk_crc(bytes: &mut [u8], chunk_offset: usize) -> Result<()> {
             available: bytes.len().saturating_sub(chunk_offset) as u64,
         },
     )?;
-    let len =
-        u32::from_le_bytes(bytes[chunk_offset + 1..chunk_offset + 5].try_into().expect("4 bytes"))
-            as usize;
-    let payload_end = end.checked_add(len).filter(|&e| e <= bytes.len()).ok_or(
-        WireError::Truncated {
-            what: "chunk payload",
-            needed: len as u64,
-            available: (bytes.len() - end) as u64,
-        },
+    let len = raw::usize_from(
+        u64::from(raw::le_u32(&*bytes, chunk_offset + 1, "chunk payload length")?),
+        "chunk payload length",
     )?;
-    let crc = crc32(&bytes[end..payload_end]);
-    bytes[chunk_offset + 5..chunk_offset + 9].copy_from_slice(&crc.to_le_bytes());
+    let crc = crc32(raw::slice_at(&*bytes, end, len, "chunk payload")?);
+    let available = bytes.len().saturating_sub(chunk_offset) as u64;
+    let crc_slot = bytes.get_mut(chunk_offset + 5..chunk_offset + 9).ok_or(
+        WireError::Truncated { what: "chunk header", needed: CHUNK_HEADER_LEN as u64, available },
+    )?;
+    crc_slot.copy_from_slice(&crc.to_le_bytes());
     Ok(())
 }
 

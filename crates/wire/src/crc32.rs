@@ -15,13 +15,13 @@ const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = i as u32; // rpr-check: allow(truncating-cast): i < 256; const fn cannot use try_from
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // rpr-check: allow(panic-surface): i < 256 == table.len(); an OOB here fails const evaluation at compile time
         i += 1;
     }
     table
@@ -41,7 +41,8 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 pub fn update(state: u32, bytes: &[u8]) -> u32 {
     let mut crc = state;
     for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize; // rpr-check: allow(truncating-cast): masked to 8 bits before the cast
+        crc = (crc >> 8) ^ TABLE.get(idx).copied().unwrap_or(0);
     }
     crc
 }

@@ -28,7 +28,7 @@ use std::borrow::Cow;
 use rpr_core::{EncMask, EncodedFrame, FrameMetadata, RowOffsets};
 
 use crate::varint::{read_varint, write_varint};
-use crate::{rle, Result, WireError};
+use crate::{bytes, rle, Result, WireError};
 
 /// Fixed-size prefix of a frame blob, before the varint fields.
 pub const FRAME_HEADER_LEN: usize = 25;
@@ -82,10 +82,13 @@ pub struct FrameEncodeStats {
 /// reproduce canonical tails, so non-canonical masks are stored raw.
 fn tail_is_canonical(packed: &[u8], pixels: usize) -> bool {
     let rem = pixels % 4;
-    if rem == 0 || packed.is_empty() {
+    if rem == 0 {
         return true;
     }
-    packed[packed.len() - 1] >> (rem * 2) == 0
+    match packed.last() {
+        None => true,
+        Some(tail) => tail >> (rem * 2) == 0,
+    }
 }
 
 /// Serializes `frame` as one frame blob appended to `out`.
@@ -113,7 +116,10 @@ pub fn encode_frame(
     out.extend_from_slice(&frame.integrity().to_le_bytes());
 
     let mask = frame.metadata().mask.as_bytes();
-    let pixels = frame.width() as usize * frame.height() as usize;
+    let pixels = bytes::usize_from(
+        u64::from(frame.width()) * u64::from(frame.height()),
+        "frame pixel count",
+    )?;
     let raw_mask_bytes = mask.len();
     let rle_mask_bytes = rle::compressed_len(mask, pixels);
     let rle_ok = tail_is_canonical(mask, pixels);
@@ -135,11 +141,16 @@ pub fn encode_frame(
     };
 
     let offsets = frame.metadata().row_offsets.as_slice();
-    write_varint(out, frame.height() as u64);
-    write_varint(out, u64::from(offsets[0]));
+    write_varint(out, u64::from(frame.height()));
+    let first = offsets.first().copied().ok_or_else(|| WireError::InvalidFrame {
+        reason: "row-offset table is empty".into(),
+    })?;
+    write_varint(out, u64::from(first));
     for w in offsets.windows(2) {
-        // Non-negative by validate()'s monotonicity check.
-        write_varint(out, u64::from(w[1] - w[0]));
+        if let [lo, hi] = w {
+            // Non-negative by validate()'s monotonicity check.
+            write_varint(out, u64::from(hi - lo));
+        }
     }
 
     let payload = frame.pixels();
@@ -194,11 +205,11 @@ impl<'a> EncodedFrameView<'a> {
                 available: buf.len() as u64,
             });
         }
-        let width = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-        let height = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
-        let frame_idx = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
-        let integrity = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
-        let mask_encoding = buf[24];
+        let width = bytes::le_u32(buf, 0, "frame width")?;
+        let height = bytes::le_u32(buf, 4, "frame height")?;
+        let frame_idx = bytes::le_u64(buf, 8, "frame index")?;
+        let integrity = bytes::le_u64(buf, 16, "frame integrity digest")?;
+        let mask_encoding = bytes::byte_at(buf, 24, "mask encoding byte")?;
 
         for (dim, what) in [(width, "frame width"), (height, "frame height")] {
             if dim > MAX_DIMENSION {
@@ -217,7 +228,7 @@ impl<'a> EncodedFrameView<'a> {
                 limit: MAX_PIXELS,
             });
         }
-        let pixels = pixels as usize;
+        let pixels = bytes::usize_from(pixels, "frame pixel count")?;
 
         let mut pos = FRAME_HEADER_LEN;
         let mask_len = read_varint(buf, &mut pos, "mask length")?;
@@ -229,8 +240,8 @@ impl<'a> EncodedFrameView<'a> {
                 available,
             });
         }
-        let mask_len = mask_len as usize;
-        let mask_bytes = &buf[pos..pos + mask_len];
+        let mask_len = bytes::usize_from(mask_len, "mask length")?;
+        let mask_bytes = bytes::slice_at(buf, pos, mask_len, "frame mask")?;
         pos += mask_len;
         let expected_mask = pixels.div_ceil(4);
         let mask: Cow<'a, [u8]> = match mask_encoding {
@@ -258,17 +269,21 @@ impl<'a> EncodedFrameView<'a> {
                 reason: format!("offset table declares {rows} rows, frame has {height}"),
             });
         }
-        let mut row_offsets = Vec::with_capacity(height as usize + 1);
+        let row_count = bytes::usize_from(u64::from(height), "row count")?;
+        let mut row_offsets = Vec::with_capacity(row_count + 1);
         let mut acc = read_varint(buf, &mut pos, "row offset base")?;
-        for _ in 0..=height {
-            if acc > u64::from(u32::MAX) {
-                return Err(WireError::CorruptFrame {
-                    reason: format!("row offset {acc} overflows u32"),
-                });
-            }
-            row_offsets.push(acc as u32);
-            if row_offsets.len() <= height as usize {
-                acc += read_varint(buf, &mut pos, "row offset delta")?;
+        for _ in 0..=row_count {
+            let off = u32::try_from(acc).map_err(|_| WireError::CorruptFrame {
+                reason: format!("row offset {acc} overflows u32"),
+            })?;
+            row_offsets.push(off);
+            if row_offsets.len() <= row_count {
+                // checked_add: a forged delta near u64::MAX must be a
+                // typed error, not a debug-build overflow panic.
+                let delta = read_varint(buf, &mut pos, "row offset delta")?;
+                acc = acc.checked_add(delta).ok_or_else(|| WireError::CorruptFrame {
+                    reason: format!("row offset {acc} + delta {delta} overflows u64"),
+                })?;
             }
         }
 
@@ -288,8 +303,9 @@ impl<'a> EncodedFrameView<'a> {
                 available,
             });
         }
-        let payload = &buf[pos..pos + payload_len as usize];
-        pos += payload_len as usize;
+        let payload_len = bytes::usize_from(payload_len, "payload length")?;
+        let payload = bytes::slice_at(buf, pos, payload_len, "frame payload")?;
+        pos += payload_len;
 
         Ok((
             EncodedFrameView { width, height, frame_idx, integrity, mask, row_offsets, payload },
@@ -361,8 +377,9 @@ impl<'a> EncodedFrameView<'a> {
         if x >= self.width || y >= self.height {
             return None;
         }
-        let i = y as usize * self.width as usize + x as usize;
-        Some((self.mask[i / 4] >> ((i % 4) * 2)) & 0b11)
+        let i =
+            usize::try_from(u64::from(y) * u64::from(self.width) + u64::from(x)).ok()?;
+        Some((self.mask.get(i / 4)? >> ((i % 4) * 2)) & 0b11)
     }
 
     /// Promotes the view to an owned [`EncodedFrame`], copying the
@@ -372,6 +389,7 @@ impl<'a> EncodedFrameView<'a> {
     /// that slipped past the structural parse.
     pub fn to_frame(&self) -> EncodedFrame {
         let mask = EncMask::from_raw_bytes(self.width, self.height, self.mask.to_vec())
+            // rpr-check: allow(panic-surface): parse_prefix checked the mask is exactly width*height 2-bit entries, so from_raw_bytes cannot fail on any view this crate constructs
             .expect("parse sized the mask to width x height");
         let metadata = FrameMetadata {
             row_offsets: RowOffsets::from_raw_offsets(self.row_offsets.clone()),
@@ -560,6 +578,30 @@ mod tests {
         let (buf, _) = encode(&frame, MaskCodec::Auto);
         let back = EncodedFrameView::parse(&buf).unwrap().to_validated_frame().unwrap();
         assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn row_offset_delta_overflowing_u64_is_a_typed_error() {
+        // Regression: `acc += delta` used to overflow-panic in debug
+        // builds when a forged delta varint pushed the accumulator past
+        // u64::MAX. Hand-build the blob: 4x2 frame, raw 2-byte mask,
+        // base offset at u32::MAX, first delta u64::MAX.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.push(0); // raw mask encoding
+        write_varint(&mut buf, 2); // mask_len
+        buf.extend_from_slice(&[0, 0]);
+        write_varint(&mut buf, 2); // rows
+        write_varint(&mut buf, u64::from(u32::MAX)); // offset base
+        write_varint(&mut buf, u64::MAX); // delta: overflows the accumulator
+        write_varint(&mut buf, 0);
+        write_varint(&mut buf, 0); // payload_len
+        let err = EncodedFrameView::parse_prefix(&buf).expect_err("must not panic");
+        assert!(matches!(err, WireError::CorruptFrame { .. }), "{err:?}");
+        assert!(err.to_string().contains("overflow"), "{err}");
     }
 
     #[test]

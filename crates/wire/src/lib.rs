@@ -60,6 +60,7 @@
 
 #![deny(missing_docs)]
 
+mod bytes;
 pub mod container;
 mod crc32;
 mod error;

@@ -25,7 +25,10 @@ use crate::{Result, WireError};
 /// in bits `2*(i%4)` — the [`rpr_core::EncMask`] layout).
 #[inline]
 fn packed_get(packed: &[u8], i: usize) -> u8 {
-    (packed[i / 4] >> ((i % 4) * 2)) & 0b11
+    // Out-of-range entries read as 0 (`N`): compress/compressed_len are
+    // public, so a caller-supplied pixel count larger than the packed
+    // buffer must not panic.
+    (packed.get(i / 4).copied().unwrap_or(0) >> ((i % 4) * 2)) & 0b11
 }
 
 /// RLE-compresses `pixels` 2-bit entries of `packed` into `out`.
@@ -79,7 +82,7 @@ pub fn inflate(buf: &[u8], pixels: usize) -> Result<Vec<u8>> {
     let mut filled = 0usize;
     while pos < buf.len() {
         let v = read_varint(buf, &mut pos, "rle run")?;
-        let status = (v & 0b11) as u8;
+        let status = (v & 0b11) as u8; // rpr-check: allow(truncating-cast): masked to 2 bits before the cast
         let run = v >> 2;
         if run == 0 {
             return Err(WireError::BadRle { reason: "zero-length run".into() });
@@ -93,7 +96,9 @@ pub fn inflate(buf: &[u8], pixels: usize) -> Result<Vec<u8>> {
         })?;
         if status != 0 {
             for i in filled..end {
-                packed[i / 4] |= status << ((i % 4) * 2);
+                if let Some(b) = packed.get_mut(i / 4) {
+                    *b |= status << ((i % 4) * 2);
+                }
             }
         }
         filled = end;

@@ -16,7 +16,7 @@ pub const MAX_VARINT_LEN: usize = 10;
 pub fn write_varint(out: &mut Vec<u8>, mut value: u64) -> usize {
     let mut n = 0;
     loop {
-        let byte = (value & 0x7F) as u8;
+        let byte = (value & 0x7F) as u8; // rpr-check: allow(truncating-cast): masked to the low 7 bits before the cast
         value >>= 7;
         n += 1;
         if value == 0 {
@@ -29,8 +29,8 @@ pub fn write_varint(out: &mut Vec<u8>, mut value: u64) -> usize {
 
 /// Encoded length of `value` without writing it.
 pub fn varint_len(value: u64) -> usize {
-    let bits = 64 - value.leading_zeros() as usize;
-    bits.div_ceil(7).max(1)
+    let bits = u64::BITS - value.leading_zeros();
+    usize::try_from(bits.div_ceil(7).max(1)).unwrap_or(MAX_VARINT_LEN)
 }
 
 /// Decodes a varint from `buf` starting at `*pos`, advancing `*pos`

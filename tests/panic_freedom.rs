@@ -1,0 +1,188 @@
+//! Panic-freedom harness for the untrusted-input surfaces.
+//!
+//! The rpr-check `panic-surface` lint proves the parse/decode paths
+//! contain no panicking *constructs*; this harness attacks the same
+//! surfaces dynamically, wrapping every entry point in `catch_unwind`
+//! and feeding it arbitrary bytes, bit-rotted valid artifacts, and the
+//! typed testkit fault corpus. Any panic that slips past both layers
+//! (e.g. arithmetic overflow in a debug build, a panicking code path
+//! reached through data flow the lint cannot see) fails here with the
+//! offending seed. These tests run in the ordinary `cargo test` tier
+//! and under Miri in the nightly dynamic-analysis matrix
+//! (`ci/check_policy.toml`, `[dynamic.miri] extra_tests`).
+
+use proptest::prelude::*;
+use rhythmic_pixel_regions::core::{
+    EncodedFrame, ReconstructionMode, RhythmicEncoder, SoftwareDecoder,
+};
+use rhythmic_pixel_regions::wire::{
+    encode_frame, list_chunks, read_all, write_container, ContainerReader, EncodedFrameView,
+    MaskCodec,
+};
+use rpr_testkit::{gen_capture_sequence, TestRng, ALL_FAULTS, ALL_WIRE_FAULTS};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Asserts that `f` returns (with any result) instead of panicking.
+fn must_not_panic<T>(what: &str, f: impl FnOnce() -> T) {
+    assert!(
+        catch_unwind(AssertUnwindSafe(f)).is_ok(),
+        "{what} panicked on untrusted input"
+    );
+}
+
+/// Runs every byte-level entry point over `bytes`, decoding whatever
+/// parses — the full trust boundary of the wire layer.
+fn exercise_container_bytes(bytes: &[u8]) {
+    must_not_panic("list_chunks", || {
+        let _ = list_chunks(bytes);
+    });
+    must_not_panic("ContainerReader::open", || {
+        if let Ok(reader) = ContainerReader::open(bytes) {
+            for i in 0..reader.len() {
+                let _ = reader.frame(i);
+            }
+        }
+    });
+    must_not_panic("ContainerReader::scan", || {
+        if let Ok(reader) = ContainerReader::scan(bytes) {
+            for i in 0..reader.len() {
+                let _ = reader.frame(i);
+            }
+        }
+    });
+    must_not_panic("read_all + try_decode", || {
+        if let Ok(frames) = read_all(bytes) {
+            decode_frames(&frames);
+        }
+    });
+}
+
+/// Runs the frame-blob entry point (parse → validate → decode).
+fn exercise_blob_bytes(bytes: &[u8]) {
+    must_not_panic("EncodedFrameView::parse", || {
+        if let Ok(view) = EncodedFrameView::parse(bytes) {
+            if let Ok(frame) = view.to_validated_frame() {
+                decode_frames(std::slice::from_ref(&frame));
+            }
+        }
+    });
+}
+
+/// `try_decode` is the fallible decode entry for untrusted frames; it
+/// must reject, never panic, whatever geometry the frame claims.
+fn decode_frames(frames: &[EncodedFrame]) {
+    for frame in frames {
+        for mode in [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate] {
+            let mut decoder = SoftwareDecoder::with_mode(frame.width(), frame.height(), mode);
+            let _ = decoder.try_decode(frame);
+        }
+    }
+}
+
+/// Encodes one seeded testkit capture sequence.
+fn encoded_sequence(seed: u64, width: u32, height: u32, n_frames: usize) -> Vec<EncodedFrame> {
+    let mut rng = TestRng::new(seed);
+    let seq = gen_capture_sequence(&mut rng, width, height, n_frames);
+    let mut encoder = RhythmicEncoder::new(width, height);
+    seq.frames
+        .iter()
+        .zip(&seq.regions)
+        .enumerate()
+        .map(|(idx, (frame, regions))| encoder.encode(frame, idx as u64, regions))
+        .collect()
+}
+
+/// Flips `flips` random bits of `bytes` in place.
+fn bit_rot(bytes: &mut [u8], flips: usize, rng: &mut TestRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    for _ in 0..flips {
+        let i = rng.range_usize(0, bytes.len() - 1);
+        if let Some(b) = bytes.get_mut(i) {
+            *b ^= 1 << rng.range_u32(0, 7);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pure noise: no byte string of any length may panic a parser.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parsers(
+        bytes in collection::vec(0u8..=255, 0..256),
+    ) {
+        exercise_container_bytes(&bytes);
+        exercise_blob_bytes(&bytes);
+    }
+
+    /// Bit-rotted real containers: structurally plausible input that
+    /// reaches far deeper into the parse tree than noise does.
+    #[test]
+    fn bit_rotted_containers_never_panic(
+        seed in 0u64..u64::MAX,
+        flips in 1usize..12,
+        cut in 0usize..64,
+    ) {
+        let frames = encoded_sequence(seed, 16, 12, 2);
+        let clean = write_container(&frames).expect("fresh frames serialize");
+        let mut rotted = clean.clone();
+        let mut rng = TestRng::new(seed ^ 0xB17_F117);
+        bit_rot(&mut rotted, flips, &mut rng);
+        rotted.truncate(clean.len().saturating_sub(cut));
+        exercise_container_bytes(&rotted);
+    }
+
+    /// Bit-rotted single-frame blobs under every mask codec.
+    #[test]
+    fn bit_rotted_frame_blobs_never_panic(
+        seed in 0u64..u64::MAX,
+        flips in 1usize..8,
+    ) {
+        let frames = encoded_sequence(seed, 12, 10, 1);
+        for frame in &frames {
+            for codec in [MaskCodec::Auto, MaskCodec::Raw, MaskCodec::Rle] {
+                let mut blob = Vec::new();
+                encode_frame(frame, codec, &mut blob).expect("valid frame encodes");
+                let mut rng = TestRng::new(seed ^ 0xB0B);
+                bit_rot(&mut blob, flips, &mut rng);
+                exercise_blob_bytes(&blob);
+            }
+        }
+    }
+
+    /// The typed wire-fault corpus (CRC-forging faults included) runs
+    /// the whole read path without panicking.
+    #[test]
+    fn typed_wire_faults_never_panic(
+        seed in 0u64..u64::MAX,
+    ) {
+        let frames = encoded_sequence(seed, 20, 14, 3);
+        let clean = write_container(&frames).expect("fresh frames serialize");
+        for kind in ALL_WIRE_FAULTS {
+            let mut rng = TestRng::new(seed ^ 0xFA17);
+            if let Some(faulty) = kind.inject(&clean, &mut rng) {
+                exercise_container_bytes(&faulty);
+            }
+        }
+    }
+
+    /// The typed in-memory fault corpus never panics `try_decode`.
+    #[test]
+    fn typed_frame_faults_never_panic_try_decode(
+        seed in 0u64..u64::MAX,
+    ) {
+        let frames = encoded_sequence(seed, 20, 14, 2);
+        for frame in &frames {
+            for kind in ALL_FAULTS {
+                let mut rng = TestRng::new(seed ^ 0xDEC0);
+                if let Some(faulty) = kind.inject(frame, &mut rng) {
+                    must_not_panic("try_decode on faulted frame", || {
+                        decode_frames(std::slice::from_ref(&faulty));
+                    });
+                }
+            }
+        }
+    }
+}

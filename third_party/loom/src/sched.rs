@@ -1,0 +1,43 @@
+//! The perturbation source: a deterministic splitmix-style hash over
+//! (iteration seed, thread identity, per-thread operation counter)
+//! decides, at every synchronization operation, whether to yield the
+//! OS scheduler. Different seeds shift which operations yield, walking
+//! the model through different interleavings across iterations.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static OP_COUNTER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Fixes the perturbation seed for the next model iteration.
+pub(crate) fn set_seed(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Called by every stub synchronization operation: maybe yield, based
+/// on the current seed, the calling thread, and how many operations
+/// this thread has performed.
+pub(crate) fn hint() {
+    let (n, tkey) = OP_COUNTER.with(|c| {
+        let v = c.get().wrapping_add(1);
+        c.set(v);
+        // The thread-local's address distinguishes live threads.
+        (v, c as *const Cell<u64> as u64)
+    });
+    let h = splitmix(SEED.load(Ordering::Relaxed) ^ splitmix(tkey) ^ n.wrapping_mul(0xA24B_AED4_963E_E407));
+    // Yield on ~1 in 4 operations, at seed-dependent positions.
+    if h & 0b11 == 0 {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,181 @@
+//! Synchronization API mirroring `loom::sync` — std primitives with
+//! perturbation points injected around every operation.
+
+pub use std::sync::Arc;
+
+use std::sync::LockResult;
+
+/// Re-exported guard type: the stub's [`Mutex`] is `std`'s underneath.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// `std::sync::Mutex` with scheduling hints around acquisition.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates the mutex. `const` here (unlike real loom) so `static`
+    /// gates build under `--cfg loom`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, with perturbation points before and while
+    /// holding it.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        crate::sched::hint();
+        let guard = self.0.lock();
+        crate::sched::hint();
+        guard
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+}
+
+/// `std::sync::Condvar` with scheduling hints around wait/notify.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates the condvar (`const`, see [`Mutex::new`]).
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified (spurious wakeups possible, as in std).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        crate::sched::hint();
+        let guard = self.0.wait(guard);
+        crate::sched::hint();
+        guard
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        crate::sched::hint();
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        crate::sched::hint();
+        self.0.notify_all();
+    }
+}
+
+/// Atomic types mirroring `loom::sync::atomic`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_wrapper {
+        ($name:ident, $std:ty, $value:ty) => {
+            /// Std-backed atomic with perturbation points around every
+            /// access.
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates the atomic (`const`, unlike real loom, so
+                /// statics build under `--cfg loom`).
+                pub const fn new(value: $value) -> Self {
+                    Self(<$std>::new(value))
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: Ordering) -> $value {
+                    crate::sched::hint();
+                    self.0.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, value: $value, order: Ordering) {
+                    crate::sched::hint();
+                    self.0.store(value, order);
+                    crate::sched::hint();
+                }
+
+                /// Atomic swap.
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    crate::sched::hint();
+                    self.0.swap(value, order)
+                }
+            }
+        };
+    }
+
+    atomic_wrapper!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    impl AtomicU64 {
+        /// Atomic fetch-add (wrapping).
+        pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+            crate::sched::hint();
+            let prev = self.0.fetch_add(value, order);
+            crate::sched::hint();
+            prev
+        }
+    }
+
+    impl AtomicUsize {
+        /// Atomic fetch-add (wrapping).
+        pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+            crate::sched::hint();
+            let prev = self.0.fetch_add(value, order);
+            crate::sched::hint();
+            prev
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicU64, Ordering};
+    use super::*;
+
+    #[test]
+    fn model_runs_every_iteration() {
+        static RUNS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        crate::model(|| {
+            RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(RUNS.load(std::sync::atomic::Ordering::Relaxed), crate::iterations());
+    }
+
+    #[test]
+    fn racing_increments_are_not_lost() {
+        crate::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let a = Arc::clone(&n);
+            let h = crate::thread::spawn(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            h.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_and_condvar_hand_off() {
+        crate::model(|| {
+            let slot = Arc::new((Mutex::new(None), Condvar::new()));
+            let s = Arc::clone(&slot);
+            let h = crate::thread::spawn(move || {
+                let (m, cv) = &*s;
+                *m.lock().unwrap() = Some(42u32);
+                cv.notify_one();
+            });
+            let (m, cv) = &*slot;
+            let mut guard = m.lock().unwrap();
+            while guard.is_none() {
+                guard = cv.wait(guard).unwrap();
+            }
+            assert_eq!(*guard, Some(42));
+            drop(guard);
+            h.join().unwrap();
+        });
+    }
+}

@@ -1,0 +1,24 @@
+//! Thread API mirroring `loom::thread` — pass-through to OS threads
+//! with a perturbation point at spawn.
+
+pub use std::thread::JoinHandle;
+
+/// Spawns an OS thread, yielding the spawner at a seed-dependent point
+/// so the child sometimes runs first.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let handle = std::thread::spawn(move || {
+        crate::sched::hint();
+        f()
+    });
+    crate::sched::hint();
+    handle
+}
+
+/// Explicit scheduling point, as in real loom.
+pub fn yield_now() {
+    std::thread::yield_now();
+}
