@@ -1,0 +1,415 @@
+//! `load_gen` — multi-tenant ingestion load generator for `rpr-serve`.
+//!
+//! Simulates fleets of bursty camera clients streaming `.rpr`
+//! containers at one event-loop server over the in-memory transport,
+//! and reports the serving metrics that matter at fleet scale:
+//! sessions/s, ingest MB/s, accept→deliver latency percentiles, and
+//! per-tenant drop rates under overload.
+//!
+//! ```text
+//! load_gen smoke    [--clients N] [--out FILE]
+//! load_gen bench    [--clients N] [--frames N] [--out FILE]
+//! load_gen overload [--clients N] [--out FILE]
+//! ```
+//!
+//! `smoke` is the CI gate: a fixed 64-client, two-tenant schedule on a
+//! [`ManualClock`], so two runs produce byte-identical `RunReport`s —
+//! diffable against `ci/baseline_serve_smoke.json` with `rpr-report
+//! diff`. `bench` runs ≥1k concurrent clients on the wall clock and
+//! writes `BENCH_serve.json` (together with the `overload` scenario,
+//! which pits a quota-busting tenant against a compliant one and
+//! checks the hog throttles itself).
+
+use rpr_core::{EncMask, EncodedFrame, FrameMetadata, PixelStatus};
+use rpr_serve::{
+    session_script, Clock, ManualClock, ScriptedClient, Server, SystemClock, TenantConfig,
+};
+use rpr_stream::BackpressureMode;
+use rpr_trace::{RunReport, REPORT_SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn frames(n: u64, salt: u64, payload_len: usize) -> Vec<EncodedFrame> {
+    // One payload byte per Regional pixel: size the mask to the payload.
+    let len = payload_len.max(1) as u32;
+    let width = 64u32;
+    let height = len.div_ceil(width);
+    (0..n)
+        .map(|i| {
+            let mut mask = EncMask::new(width, height);
+            for idx in 0..len {
+                mask.set(idx % width, idx / width, PixelStatus::Regional);
+            }
+            let payload = vec![(i + salt) as u8; len as usize];
+            EncodedFrame::new(width, height, i, payload, FrameMetadata::from_mask(mask))
+        })
+        .collect()
+}
+
+/// One planned camera session: which tenant it bills to and at which
+/// step of the drive loop it connects (burst waves).
+struct Plan {
+    tenant: String,
+    start_step: u64,
+    script: Vec<u8>,
+}
+
+/// Everything one drive run produced.
+struct LoadOutcome {
+    steps: u64,
+    wall_s: f64,
+    peak_open_sessions: usize,
+    delivered: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Drives `plans` against `server` until everything drains. Clients
+/// connect at their planned step (bursts), flush under transport
+/// backpressure, and every tenant queue is drained each step, with
+/// accept→pop latency read off the server's own clock.
+fn drive(
+    server: &mut Server,
+    clock: &Arc<dyn Clock>,
+    manual: Option<(&ManualClock, u64)>,
+    mut plans: Vec<Plan>,
+    ring: usize,
+) -> LoadOutcome {
+    plans.sort_by_key(|p| p.start_step);
+    let listener = server.listener();
+    let tenants: Vec<String> = {
+        let mut t: Vec<String> = plans.iter().map(|p| p.tenant.clone()).collect();
+        t.sort();
+        t.dedup();
+        t
+    };
+    let queues: Vec<_> = tenants
+        .iter()
+        .map(|t| server.tenant_queue(t).expect("tenant registered"))
+        .collect();
+
+    let started = std::time::Instant::now();
+    let mut active: Vec<ScriptedClient> = Vec::new();
+    let mut next_plan = 0usize;
+    let mut outcome = LoadOutcome {
+        steps: 0,
+        wall_s: 0.0,
+        peak_open_sessions: 0,
+        delivered: 0,
+        latencies_us: Vec::new(),
+    };
+
+    for step in 0..50_000_000u64 {
+        outcome.steps = step + 1;
+        while next_plan < plans.len() && plans[next_plan].start_step <= step {
+            let plan = &plans[next_plan];
+            active.push(ScriptedClient::connect(&listener, ring, plan.script.clone()));
+            next_plan += 1;
+        }
+        for c in active.iter_mut() {
+            c.flush();
+        }
+        server.step();
+        outcome.peak_open_sessions = outcome.peak_open_sessions.max(server.open_sessions());
+        let now = clock.now_micros();
+        for q in &queues {
+            while let Some(d) = q.try_pop() {
+                outcome.delivered += 1;
+                outcome.latencies_us.push(now.saturating_sub(d.accepted_micros));
+            }
+        }
+        if let Some((m, advance)) = manual {
+            m.advance(advance);
+        }
+        if next_plan >= plans.len()
+            && server.is_idle()
+            && active.iter_mut().all(|c| c.done() || c.rejected())
+        {
+            break;
+        }
+    }
+    server.close_tenant_queues();
+    outcome.wall_s = started.elapsed().as_secs_f64();
+    outcome.latencies_us.sort_unstable();
+    outcome
+}
+
+/// Burst-wave plans: `clients` cameras split round-robin over
+/// `tenants`, connecting in waves of `wave_size` every `wave_gap`
+/// steps, each streaming `n_frames` frames of `payload_len` bytes.
+fn make_plans(
+    clients: u64,
+    tenants: &[&str],
+    n_frames: u64,
+    payload_len: usize,
+    chunk: usize,
+    wave_size: u64,
+    wave_gap: u64,
+) -> Vec<Plan> {
+    (0..clients)
+        .map(|i| {
+            let tenant = tenants[(i % tenants.len() as u64) as usize].to_string();
+            let body = rpr_wire::write_container(&frames(n_frames, i, payload_len))
+                .expect("container writes");
+            let script = session_script(&tenant, i, &body, chunk, true);
+            Plan { tenant, start_step: (i / wave_size.max(1)) * wave_gap, script }
+        })
+        .collect()
+}
+
+fn write_or_print(out: &Option<String>, text: &str) {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text.to_string() + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+}
+
+/// The deterministic CI gate: 64 clients, two tenants (one of them
+/// frame-quota-limited so the throttle path is always exercised), a
+/// manual clock — emits a `RunReport` stable across runs and machines.
+fn smoke(clients: u64, out: Option<String>) {
+    let manual = ManualClock::new();
+    let clock: Arc<dyn Clock> = Arc::new(manual.clone());
+    let mut server = Server::new(Arc::clone(&clock)).with_read_quantum(4096);
+    server.add_tenant(
+        "fleet-a",
+        TenantConfig::unlimited().with_qos(BackpressureMode::Block, 64),
+    );
+    // fleet-b gets a hard frame budget: its cameras collectively send
+    // more than the bucket holds, so quota throttling is part of the
+    // gated baseline, not an untested path.
+    server.add_tenant(
+        "fleet-b",
+        TenantConfig::unlimited()
+            .with_frame_quota(0, 3 * clients / 2)
+            .with_qos(BackpressureMode::Block, 64),
+    );
+
+    let plans = make_plans(clients, &["fleet-a", "fleet-b"], 6, 24, 256, 8, 3);
+    let outcome = drive(&mut server, &clock, Some((&manual, 200)), plans, 1 << 14);
+
+    let sections = server.tenant_sections();
+    let stats = server.stats();
+    let accepted: u64 = sections.iter().map(|s| s.frames_accepted).sum();
+    let delivered: u64 = sections.iter().map(|s| s.frames_delivered).sum();
+
+    let mut accuracy = BTreeMap::new();
+    accuracy.insert("sessions_admitted".to_string(), stats.sessions_clean as f64);
+    accuracy.insert("frames_delivered".to_string(), delivered as f64);
+    accuracy.insert(
+        "delivered_fraction".to_string(),
+        if accepted == 0 { 1.0 } else { delivered as f64 / accepted as f64 },
+    );
+
+    let report = RunReport {
+        schema_version: REPORT_SCHEMA_VERSION,
+        task: "serve_smoke".to_string(),
+        dataset: format!("{clients} cameras x 6 frames, 2 tenants"),
+        baseline: "serve".to_string(),
+        frames: delivered,
+        fps: 0.0,
+        accuracy,
+        tenants: sections,
+        ..RunReport::default()
+    };
+    print!("{}", report.render_text());
+    println!(
+        "smoke: {} steps  {} delivered  peak {} open sessions",
+        outcome.steps, outcome.delivered, outcome.peak_open_sessions
+    );
+    if let Some(path) = out {
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_or_print(&Some(path), &text);
+    }
+}
+
+/// Wall-clock load: `clients` concurrent bursty cameras over four
+/// tenants. Returns the JSON section for `BENCH_serve.json`.
+fn bench_load(clients: u64, n_frames: u64) -> serde_json::Value {
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    // A modest read quantum keeps each session alive across many steps,
+    // so the whole fleet is genuinely concurrent rather than serialized
+    // one session per step.
+    let mut server = Server::new(Arc::clone(&clock)).with_read_quantum(2048);
+    let tenants = ["fleet-a", "fleet-b", "fleet-c", "fleet-d"];
+    for t in tenants {
+        server.add_tenant(t, TenantConfig::unlimited().with_qos(BackpressureMode::Block, 4096));
+    }
+    // Big bursts every step: the fleet is fully connected within a few
+    // steps, long before the first sessions drain.
+    let wave = (clients / 4).max(1);
+    let plans = make_plans(clients, &tenants, n_frames, 4096, 1024, wave, 1);
+    let outcome = drive(&mut server, &clock, None, plans, 1 << 15);
+
+    let sections = server.tenant_sections();
+    let stats = server.stats();
+    let bytes: u64 = sections.iter().map(|s| s.bytes_ingested).sum();
+    let accepted: u64 = sections.iter().map(|s| s.frames_accepted).sum();
+    let dropped: u64 = sections.iter().map(|s| s.frames_dropped).sum();
+    let wall = outcome.wall_s.max(1e-9);
+    println!(
+        "bench: {} clients  peak {} open  {:.0} sessions/s  {:.2} MB/s  p50 {} µs  p99 {} µs  drop {:.4}",
+        clients,
+        outcome.peak_open_sessions,
+        stats.sessions_clean as f64 / wall,
+        bytes as f64 / wall / 1e6,
+        percentile(&outcome.latencies_us, 0.50),
+        percentile(&outcome.latencies_us, 0.99),
+        dropped as f64 / (accepted + dropped).max(1) as f64,
+    );
+    serde_json::json!({
+        "clients": clients,
+        "frames_per_client": n_frames,
+        "steps": outcome.steps,
+        "wall_s": outcome.wall_s,
+        "peak_open_sessions": outcome.peak_open_sessions,
+        "sessions_clean": stats.sessions_clean,
+        "sessions_per_s": stats.sessions_clean as f64 / wall,
+        "frames_delivered": outcome.delivered,
+        "frames_per_s": outcome.delivered as f64 / wall,
+        "ingest_mb_s": bytes as f64 / wall / 1e6,
+        "accept_to_deliver_p50_us": percentile(&outcome.latencies_us, 0.50),
+        "accept_to_deliver_p99_us": percentile(&outcome.latencies_us, 0.99),
+        "drop_rate": dropped as f64 / (accepted + dropped).max(1) as f64,
+    })
+}
+
+/// Overload isolation: a hog tenant blasting past a tight byte quota
+/// into a drop-oldest queue, next to a compliant tenant inside its
+/// budget. The hog must throttle itself; the compliant tenant must see
+/// a ~zero drop rate.
+fn overload(clients: u64) -> serde_json::Value {
+    let manual = ManualClock::new();
+    let clock: Arc<dyn Clock> = Arc::new(manual.clone());
+    let mut server = Server::new(Arc::clone(&clock)).with_read_quantum(4096);
+    server.add_tenant(
+        "hog",
+        TenantConfig::unlimited()
+            // ~one frame's bytes per 10 virtual ms: far below offered.
+            .with_byte_quota(10_000, 2_000)
+            .with_qos(BackpressureMode::DropOldest, 32),
+    );
+    server.add_tenant(
+        "compliant",
+        TenantConfig::unlimited().with_qos(BackpressureMode::Block, 256),
+    );
+
+    let half = clients / 2;
+    let mut plans = make_plans(half, &["hog"], 12, 24, 256, 8, 1);
+    plans.extend(make_plans(half, &["compliant"], 4, 24, 256, 8, 1));
+    let outcome = drive(&mut server, &clock, Some((&manual, 100)), plans, 1 << 14);
+
+    let sections = server.tenant_sections();
+    let hog = sections.iter().find(|s| s.tenant == "hog").expect("hog section");
+    let ok = sections.iter().find(|s| s.tenant == "compliant").expect("compliant section");
+    let hog_offered = hog.frames_accepted + hog.frames_dropped;
+    let hog_drop_rate = hog.frames_dropped as f64 / hog_offered.max(1) as f64;
+    let ok_offered = ok.frames_accepted + ok.frames_dropped;
+    let ok_drop_rate = ok.frames_dropped as f64 / ok_offered.max(1) as f64;
+    let isolated = hog.quota_throttles > 0 && ok_drop_rate == 0.0 && ok.delivered_fraction == 1.0;
+    if !isolated {
+        eprintln!("overload isolation FAILED: hog {hog:?} compliant {ok:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "overload: hog throttled {} times (drop {:.3}), compliant drop {:.3}",
+        hog.quota_throttles, hog_drop_rate, ok_drop_rate,
+    );
+    serde_json::json!({
+        "clients": clients,
+        "steps": outcome.steps,
+        "wall_s": outcome.wall_s,
+        "hog_quota_throttles": hog.quota_throttles,
+        "hog_drop_rate": hog_drop_rate,
+        "hog_delivered_fraction": hog.delivered_fraction,
+        "compliant_drop_rate": ok_drop_rate,
+        "compliant_delivered_fraction": ok.delivered_fraction,
+        "isolated": isolated,
+    })
+}
+
+struct Args {
+    mode: String,
+    clients: Option<u64>,
+    frames: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let mode = it.next().unwrap_or_default();
+    let mut args = Args { mode, clients: None, frames: 4, out: None };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--clients" => {
+                args.clients = Some(value("--clients").parse().unwrap_or_else(|_| {
+                    eprintln!("--clients must be a positive integer");
+                    std::process::exit(2);
+                }));
+            }
+            "--frames" => {
+                args.frames = value("--frames").parse().unwrap_or_else(|_| {
+                    eprintln!("--frames must be a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => args.out = Some(value("--out")),
+            "--help" | "-h" => {
+                println!("load_gen smoke|bench|overload [--clients N] [--frames N] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    match args.mode.as_str() {
+        "smoke" => smoke(args.clients.unwrap_or(64), args.out),
+        "bench" => {
+            let clients = args.clients.unwrap_or(1000);
+            let load = bench_load(clients, args.frames);
+            let over = overload(clients.clamp(16, 256));
+            let record = serde_json::json!({
+                "bench": "serve_load",
+                "load": load,
+                "overload": over,
+            });
+            let text = serde_json::to_string_pretty(&record).expect("record serializes");
+            write_or_print(&args.out, &text);
+        }
+        "overload" => {
+            let record = overload(args.clients.unwrap_or(128));
+            let text = serde_json::to_string_pretty(&record).expect("record serializes");
+            write_or_print(&args.out, &text);
+        }
+        other => {
+            eprintln!("unknown mode {other:?} (want smoke|bench|overload)");
+            std::process::exit(2);
+        }
+    }
+}

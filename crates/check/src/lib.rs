@@ -136,16 +136,20 @@ mod tests {
                 "crates/core/src/decoder.rs",
                 "crates/testkit/src/wirefault.rs",
                 "crates/testkit/src/fault.rs",
+                "crates/testkit/src/servefault.rs",
+                "crates/serve/src/protocol.rs",
+                "crates/serve/src/session.rs",
             ]),
             ("lints.truncating_cast.include", &[
                 "crates/wire/src/",
                 "crates/core/src/decoder.rs",
+                "crates/serve/src/protocol.rs",
             ]),
             ("dynamic.miri.crates", &["rpr-wire"]),
             ("dynamic.miri.extra_tests", &["panic_freedom"]),
-            ("dynamic.asan.crates", &["rpr-wire", "rpr-core"]),
-            ("dynamic.lsan.crates", &["rpr-wire", "rpr-core"]),
-            ("dynamic.tsan.crates", &["rpr-stream", "rpr-trace"]),
+            ("dynamic.asan.crates", &["rpr-wire", "rpr-core", "rpr-serve"]),
+            ("dynamic.lsan.crates", &["rpr-wire", "rpr-core", "rpr-serve"]),
+            ("dynamic.tsan.crates", &["rpr-stream", "rpr-trace", "rpr-serve"]),
             ("dynamic.loom.crates", &["rpr-stream", "rpr-trace"]),
             ("dynamic.loom.tests", &["rpr-stream/loom_queue", "rpr-trace/loom_gate"]),
         ];

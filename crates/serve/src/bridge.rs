@@ -1,0 +1,149 @@
+//! Demultiplexing delivered frames into per-camera pipelines.
+//!
+//! The server delivers one interleaved stream of [`Delivered`] frames
+//! per tenant; pipelines want one ordered stream per *camera*. A
+//! [`TenantBridge`] sits between: a demux thread pops the tenant
+//! queue, routes each frame to its camera's
+//! [`channel_source`](rpr_stream::channel_source) channel, and — on
+//! first sight of a camera — invokes the caller's factory to stand up
+//! a pipeline for it (typically by submitting a
+//! [`run_stream`](rpr_stream::run_stream) job to a
+//! [`StreamPool`](rpr_stream::StreamPool)). When the tenant queue
+//! closes and drains, every camera channel is closed, so pipelines
+//! finish deterministically.
+
+use rpr_core::EncodedFrame;
+use rpr_stream::{channel_source, BackpressureMode, ChannelSource, SourceHandle, StageQueue};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::server::Delivered;
+
+/// Routes one tenant's delivered frames into per-camera channels.
+pub struct TenantBridge {
+    thread: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl TenantBridge {
+    /// Starts the demux thread over `queue` (the tenant's delivery
+    /// queue from [`Server::tenant_queue`](crate::Server::tenant_queue)).
+    /// `on_camera` runs once per newly-seen camera id with the
+    /// pipeline-side [`ChannelSource`]; per-camera channels hold
+    /// `capacity` frames under `mode`.
+    pub fn start<F>(
+        queue: Arc<StageQueue<Delivered>>,
+        capacity: usize,
+        mode: BackpressureMode,
+        mut on_camera: F,
+    ) -> Self
+    where
+        F: FnMut(u64, ChannelSource<EncodedFrame>) + Send + 'static,
+    {
+        let thread = std::thread::Builder::new()
+            .name("rpr-bridge".to_string())
+            .spawn(move || {
+                let mut cameras: BTreeMap<u64, SourceHandle<EncodedFrame>> = BTreeMap::new();
+                let mut routed = 0u64;
+                while let Some(d) = queue.pop() {
+                    let handle = cameras.entry(d.camera_id).or_insert_with(|| {
+                        let (tx, rx) = channel_source(
+                            &format!("camera-{}", d.camera_id),
+                            capacity,
+                            mode,
+                        );
+                        on_camera(d.camera_id, rx);
+                        tx
+                    });
+                    if handle.push(d.frame) {
+                        routed += 1;
+                    }
+                }
+                for handle in cameras.values() {
+                    handle.close();
+                }
+                routed
+            })
+            .expect("spawn bridge thread");
+        TenantBridge { thread: Some(thread) }
+    }
+
+    /// Waits for the tenant queue to close and drain, returning the
+    /// frames routed. (Close the queue via
+    /// [`Server::close_tenant_queues`](crate::Server::close_tenant_queues)
+    /// once ingest is idle.)
+    pub fn join(mut self) -> u64 {
+        self.thread.take().map(|t| t.join().unwrap_or(0)).unwrap_or(0)
+    }
+}
+
+impl Drop for TenantBridge {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use rpr_core::{EncMask, FrameMetadata, PixelStatus};
+
+    fn frame(camera: u64, idx: u64) -> Delivered {
+        let mut mask = EncMask::new(8, 4);
+        mask.set(1, 1, PixelStatus::Regional);
+        Delivered {
+            tenant: Arc::from("acme"),
+            camera_id: camera,
+            session_id: camera,
+            frame: EncodedFrame::new(8, 4, idx, vec![7], FrameMetadata::from_mask(mask)),
+            accepted_micros: 0,
+        }
+    }
+
+    #[test]
+    fn frames_route_to_per_camera_channels_in_order() {
+        let queue = Arc::new(StageQueue::new("tenant-acme", 64, BackpressureMode::Block));
+        type SeenFrames = Vec<(u64, Vec<u64>)>;
+        let seen: Arc<Mutex<SeenFrames>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let collectors = Arc::new(Mutex::new(Vec::new()));
+        let collectors2 = Arc::clone(&collectors);
+
+        let bridge = TenantBridge::start(
+            Arc::clone(&queue),
+            16,
+            BackpressureMode::Block,
+            move |camera, mut source| {
+                seen2.lock().push((camera, Vec::new()));
+                let seen3 = Arc::clone(&seen2);
+                collectors2.lock().push(std::thread::spawn(move || {
+                    use rpr_stream::FrameSource;
+                    while let Some(f) = source.next_frame() {
+                        let mut guard = seen3.lock();
+                        if let Some(slot) = guard.iter_mut().find(|(c, _)| *c == camera) {
+                            slot.1.push(f.frame_idx());
+                        }
+                    }
+                }));
+            },
+        );
+
+        for idx in 0..10u64 {
+            for camera in [1u64, 2] {
+                queue.push(frame(camera, idx));
+            }
+        }
+        queue.close();
+        assert_eq!(bridge.join(), 20);
+        for t in collectors.lock().drain(..) {
+            t.join().expect("collector");
+        }
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 2, "one channel per camera");
+        for (_, idxs) in seen.iter() {
+            assert_eq!(*idxs, (0..10u64).collect::<Vec<_>>(), "per-camera order kept");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Minimal session clients for tests, examples, and load generation.
+//!
+//! A camera client is fundamentally a byte script: hello, then the
+//! container sliced into data messages, then bye. [`ScriptedClient`]
+//! materializes that script once and pushes it through the bounded
+//! transport as fast as the server's reading allows — which makes the
+//! *client* side of backpressure observable: a stalled server shows up
+//! as a client whose [`ScriptedClient::flush`] stops making progress.
+
+use crate::protocol::{encode_bye, encode_data, encode_hello, AdmitCode};
+use crate::transport::{Conn, ConnRead, MemConn, MemListener};
+
+/// Builds the full byte script of one camera session: hello for
+/// `tenant`/`camera_id`, the container in `chunk`-byte data messages,
+/// and (optionally) the closing bye.
+pub fn session_script(
+    tenant: &str,
+    camera_id: u64,
+    container: &[u8],
+    chunk: usize,
+    include_bye: bool,
+) -> Vec<u8> {
+    let chunk = chunk.max(1);
+    let mut script = encode_hello(tenant, camera_id);
+    for piece in container.chunks(chunk) {
+        script.extend_from_slice(&encode_data(piece));
+    }
+    if include_bye {
+        script.extend_from_slice(&encode_bye());
+    }
+    script
+}
+
+/// A camera session driven from a pre-built byte script.
+#[derive(Debug)]
+pub struct ScriptedClient {
+    conn: MemConn,
+    script: Vec<u8>,
+    pos: usize,
+    admit: Option<AdmitCode>,
+    closed_after: bool,
+}
+
+impl ScriptedClient {
+    /// Connects to `listener` (per-direction ring of `ring` bytes) and
+    /// stages `script` for transmission. Nothing is sent until
+    /// [`ScriptedClient::flush`].
+    pub fn connect(listener: &MemListener, ring: usize, script: Vec<u8>) -> Self {
+        ScriptedClient {
+            conn: listener.connect(ring),
+            script,
+            pos: 0,
+            admit: None,
+            closed_after: false,
+        }
+    }
+
+    /// Pushes as much of the remaining script as the transport
+    /// accepts, returning the bytes moved. Closes the connection once
+    /// the script is fully sent (the clean-session signal when the
+    /// script ends in a bye; a mid-stream cut when it does not).
+    pub fn flush(&mut self) -> usize {
+        self.poll_admit();
+        if self.rejected() {
+            return 0;
+        }
+        let remaining = self.script.get(self.pos..).unwrap_or(&[]);
+        if remaining.is_empty() {
+            if !self.closed_after {
+                self.conn.close();
+                self.closed_after = true;
+            }
+            return 0;
+        }
+        let n = self.conn.write_ready(remaining);
+        self.pos += n;
+        if self.pos >= self.script.len() && !self.closed_after {
+            self.conn.close();
+            self.closed_after = true;
+        }
+        n
+    }
+
+    fn poll_admit(&mut self) {
+        if self.admit.is_some() {
+            return;
+        }
+        let mut byte = [0u8; 1];
+        if let ConnRead::Data(1) = self.conn.read_ready(&mut byte) {
+            self.admit = AdmitCode::from_byte(byte[0]);
+        }
+    }
+
+    /// The admission verdict, once the server has replied.
+    pub fn admit_code(&mut self) -> Option<AdmitCode> {
+        self.poll_admit();
+        self.admit
+    }
+
+    /// True once the server replied with anything but
+    /// [`AdmitCode::Accepted`].
+    pub fn rejected(&mut self) -> bool {
+        self.poll_admit();
+        matches!(self.admit, Some(c) if c != AdmitCode::Accepted)
+    }
+
+    /// True once the whole script has been handed to the transport.
+    pub fn done(&self) -> bool {
+        self.pos >= self.script.len()
+    }
+
+    /// Bytes of script not yet accepted by the transport.
+    pub fn remaining(&self) -> usize {
+        self.script.len().saturating_sub(self.pos)
+    }
+}

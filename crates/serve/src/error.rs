@@ -1,0 +1,59 @@
+//! Typed failure modes of the serving layer.
+
+use rpr_wire::WireError;
+use std::fmt;
+
+use crate::protocol::AdmitCode;
+
+/// Everything that can go wrong between a connection arriving and its
+/// frames reaching a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The session framing was malformed (bad hello, unknown message
+    /// kind, forged lengths).
+    Protocol {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// The `.rpr` byte stream inside the session was malformed; carries
+    /// the wire layer's typed error (including
+    /// [`WireError::TruncatedStream`] for torn final chunks).
+    Wire(WireError),
+    /// The server refused the session at admission.
+    Rejected(AdmitCode),
+    /// The underlying transport failed.
+    Io {
+        /// Stringified cause (kept as text so the error stays
+        /// `Clone + PartialEq`).
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Rejected(code) => write!(f, "session rejected: {code:?}"),
+            ServeError::Io { reason } => write!(f, "transport error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io { reason: e.to_string() }
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

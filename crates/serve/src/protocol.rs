@@ -1,0 +1,334 @@
+//! The length-framed session protocol cameras speak to the server.
+//!
+//! A session is one TCP/in-memory connection carrying one `.rpr`
+//! container. The framing is deliberately thin — the container format
+//! already carries CRCs, indexes, and frame structure; the session
+//! layer only adds identity and message boundaries:
+//!
+//! ```text
+//! client → server   HELLO: "RPRS" | version u16 | flags u16
+//!                          | camera_id u64 | tenant_len u16 | tenant
+//! server → client   1 byte AdmitCode (0 = accepted)
+//! client → server   messages: kind u8 | len u32 | payload
+//!                     'D' — len bytes of raw .rpr container stream
+//!                     'B' — bye (len 0): the container is complete
+//! ```
+//!
+//! All integers are little-endian. A session that closes without `B`
+//! is judged by the wire decoder's end-of-stream rules: clean chunk
+//! boundary → scan recovery, mid-structure → typed truncation.
+//!
+//! This module is a parse surface for untrusted network bytes: it is
+//! covered by the rpr-check panic-surface and truncating-cast lints,
+//! so every read is bounds-checked and every malformation maps to a
+//! typed [`ServeError`](crate::ServeError) — never a panic.
+
+use crate::error::{Result, ServeError};
+
+/// Magic opening every session hello.
+pub const HELLO_MAGIC: &[u8; 4] = b"RPRS";
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Fixed-size prefix of the hello (through `tenant_len`).
+pub const HELLO_FIXED_LEN: usize = 18;
+/// Longest accepted tenant name, in bytes.
+pub const MAX_TENANT_LEN: usize = 256;
+/// Per-message header: kind byte plus payload length.
+pub const MSG_HEADER_LEN: usize = 5;
+/// Hard cap on one message's declared payload (1 MiB). Cameras send
+/// the container in read-sized pieces; a forged length above this is
+/// an attack, not a workload.
+pub const MAX_MSG_LEN: u32 = 1 << 20;
+
+/// Message kind: a piece of the `.rpr` container stream.
+pub const MSG_DATA: u8 = b'D';
+/// Message kind: the client finished its container cleanly.
+pub const MSG_BYE: u8 = b'B';
+
+/// The server's one-byte admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AdmitCode {
+    /// Session admitted; stream away.
+    Accepted = 0,
+    /// The hello named a tenant the server does not know.
+    UnknownTenant = 1,
+    /// The tenant is at its concurrent-session limit.
+    SessionLimit = 2,
+    /// The hello was malformed (bad magic/version/tenant).
+    BadHello = 3,
+    /// The server is draining toward shutdown.
+    ShuttingDown = 4,
+}
+
+impl AdmitCode {
+    /// Decodes the wire byte.
+    pub fn from_byte(b: u8) -> Option<AdmitCode> {
+        match b {
+            0 => Some(AdmitCode::Accepted),
+            1 => Some(AdmitCode::UnknownTenant),
+            2 => Some(AdmitCode::SessionLimit),
+            3 => Some(AdmitCode::BadHello),
+            4 => Some(AdmitCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed session hello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the client speaks.
+    pub version: u16,
+    /// Reserved flag bits (must be zero in v1).
+    pub flags: u16,
+    /// Client-chosen camera identifier, unique per tenant.
+    pub camera_id: u64,
+    /// Tenant the session bills to.
+    pub tenant: String,
+}
+
+/// Encodes a hello for `tenant` / `camera_id` (client side).
+pub fn encode_hello(tenant: &str, camera_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HELLO_FIXED_LEN + tenant.len());
+    out.extend_from_slice(HELLO_MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&camera_id.to_le_bytes());
+    let len = u16::try_from(tenant.len().min(MAX_TENANT_LEN)).unwrap_or(u16::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(tenant.as_bytes().get(..usize::from(len)).unwrap_or(b""));
+    out
+}
+
+/// Encodes one data message carrying `payload` container bytes
+/// (client side). Payloads above [`MAX_MSG_LEN`] must be split by the
+/// caller; this truncates defensively rather than panicking.
+pub fn encode_data(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).unwrap_or(MAX_MSG_LEN).min(MAX_MSG_LEN);
+    let take = usize::try_from(len).unwrap_or(0);
+    let mut out = Vec::with_capacity(MSG_HEADER_LEN + take);
+    out.push(MSG_DATA);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload.get(..take).unwrap_or(b""));
+    out
+}
+
+/// Encodes the bye message (client side).
+pub fn encode_bye() -> Vec<u8> {
+    let mut out = Vec::with_capacity(MSG_HEADER_LEN);
+    out.push(MSG_BYE);
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+fn le_u16_at(buf: &[u8], at: usize) -> Option<u16> {
+    buf.get(at..at.checked_add(2)?).and_then(|s| s.try_into().ok()).map(u16::from_le_bytes)
+}
+
+fn le_u32_at(buf: &[u8], at: usize) -> Option<u32> {
+    buf.get(at..at.checked_add(4)?).and_then(|s| s.try_into().ok()).map(u32::from_le_bytes)
+}
+
+fn le_u64_at(buf: &[u8], at: usize) -> Option<u64> {
+    buf.get(at..at.checked_add(8)?).and_then(|s| s.try_into().ok()).map(u64::from_le_bytes)
+}
+
+/// Attempts to parse a hello from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, and
+/// `Ok(Some((hello, consumed)))` once complete.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for a bad magic, unsupported version,
+/// nonzero flags, over-long tenant, or non-UTF-8 tenant bytes.
+pub fn try_parse_hello(buf: &[u8]) -> Result<Option<(Hello, usize)>> {
+    if buf.len() < HELLO_FIXED_LEN {
+        // Reject a wrong magic as soon as the prefix disagrees, so a
+        // port-scanner blob is refused without waiting for 18 bytes.
+        let prefix = buf.len().min(HELLO_MAGIC.len());
+        if buf.get(..prefix) != HELLO_MAGIC.get(..prefix) {
+            return Err(ServeError::Protocol { reason: "bad hello magic".to_string() });
+        }
+        return Ok(None);
+    }
+    if buf.get(..4) != Some(HELLO_MAGIC.as_slice()) {
+        return Err(ServeError::Protocol { reason: "bad hello magic".to_string() });
+    }
+    let version = le_u16_at(buf, 4)
+        .ok_or_else(|| ServeError::Protocol { reason: "hello truncated".to_string() })?;
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::Protocol {
+            reason: format!("unsupported protocol version {version}"),
+        });
+    }
+    let flags = le_u16_at(buf, 6)
+        .ok_or_else(|| ServeError::Protocol { reason: "hello truncated".to_string() })?;
+    if flags != 0 {
+        return Err(ServeError::Protocol { reason: format!("nonzero hello flags {flags:#06x}") });
+    }
+    let camera_id = le_u64_at(buf, 8)
+        .ok_or_else(|| ServeError::Protocol { reason: "hello truncated".to_string() })?;
+    let tenant_len = usize::from(
+        le_u16_at(buf, 16)
+            .ok_or_else(|| ServeError::Protocol { reason: "hello truncated".to_string() })?,
+    );
+    if tenant_len == 0 || tenant_len > MAX_TENANT_LEN {
+        return Err(ServeError::Protocol {
+            reason: format!("tenant length {tenant_len} outside 1..={MAX_TENANT_LEN}"),
+        });
+    }
+    let Some(end) = HELLO_FIXED_LEN.checked_add(tenant_len) else {
+        return Err(ServeError::Protocol { reason: "tenant length overflows".to_string() });
+    };
+    let Some(name) = buf.get(HELLO_FIXED_LEN..end) else {
+        return Ok(None);
+    };
+    let tenant = std::str::from_utf8(name)
+        .map_err(|_| ServeError::Protocol { reason: "tenant name is not UTF-8".to_string() })?
+        .to_string();
+    Ok(Some((Hello { version, flags, camera_id, tenant }, end)))
+}
+
+/// One parsed session message. Data payloads borrow from the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg<'a> {
+    /// A piece of the `.rpr` container stream.
+    Data(&'a [u8]),
+    /// The client declared its container complete.
+    Bye,
+}
+
+/// Attempts to parse one message from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, else the message and
+/// the bytes consumed.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for an unknown kind byte, a declared
+/// length above [`MAX_MSG_LEN`], or a bye carrying a payload.
+pub fn try_parse_msg(buf: &[u8]) -> Result<Option<(Msg<'_>, usize)>> {
+    let Some(&kind) = buf.first() else {
+        return Ok(None);
+    };
+    if kind != MSG_DATA && kind != MSG_BYE {
+        return Err(ServeError::Protocol {
+            reason: format!("unknown message kind {kind:#04x}"),
+        });
+    }
+    let Some(len) = le_u32_at(buf, 1) else {
+        return Ok(None);
+    };
+    if len > MAX_MSG_LEN {
+        return Err(ServeError::Protocol {
+            reason: format!("message length {len} exceeds cap {MAX_MSG_LEN}"),
+        });
+    }
+    if kind == MSG_BYE && len != 0 {
+        return Err(ServeError::Protocol {
+            reason: format!("bye message carries {len} payload bytes"),
+        });
+    }
+    let len_usize = usize::try_from(len).map_err(|_| ServeError::Protocol {
+        reason: format!("message length {len} exceeds address space"),
+    })?;
+    let Some(end) = MSG_HEADER_LEN.checked_add(len_usize) else {
+        return Err(ServeError::Protocol { reason: "message length overflows".to_string() });
+    };
+    let Some(payload) = buf.get(MSG_HEADER_LEN..end) else {
+        return Ok(None);
+    };
+    let msg = if kind == MSG_BYE { Msg::Bye } else { Msg::Data(payload) };
+    Ok(Some((msg, end)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips_at_every_split() {
+        let bytes = encode_hello("acme-fleet", 42);
+        for cut in 0..bytes.len() {
+            let r = try_parse_hello(&bytes[..cut]).unwrap();
+            assert!(r.is_none(), "cut {cut} should need more bytes");
+        }
+        let (hello, used) = try_parse_hello(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(hello.tenant, "acme-fleet");
+        assert_eq!(hello.camera_id, 42);
+        assert_eq!(hello.version, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_early() {
+        assert!(try_parse_hello(b"HTTP").is_err(), "full wrong magic");
+        assert!(try_parse_hello(b"HT").is_err(), "prefix already disagrees");
+        assert!(try_parse_hello(b"RP").unwrap().is_none(), "agreeing prefix waits");
+    }
+
+    #[test]
+    fn bad_hello_fields_are_typed_errors() {
+        let mut v = encode_hello("t", 1);
+        v[4] = 9; // version
+        assert!(try_parse_hello(&v).is_err());
+
+        let mut v = encode_hello("t", 1);
+        v[6] = 1; // flags
+        assert!(try_parse_hello(&v).is_err());
+
+        let mut v = encode_hello("t", 1);
+        v[16] = 0; // tenant_len = 0
+        v[17] = 0;
+        assert!(try_parse_hello(&v).is_err());
+
+        let mut v = encode_hello("t", 1);
+        v.truncate(HELLO_FIXED_LEN);
+        v.push(0xff); // invalid UTF-8 tenant
+        assert!(try_parse_hello(&v).is_err());
+    }
+
+    #[test]
+    fn messages_roundtrip_and_cap() {
+        let data = encode_data(b"hello container");
+        let (msg, used) = try_parse_msg(&data).unwrap().unwrap();
+        assert_eq!(used, data.len());
+        assert_eq!(msg, Msg::Data(b"hello container"));
+
+        let bye = encode_bye();
+        let (msg, used) = try_parse_msg(&bye).unwrap().unwrap();
+        assert_eq!(used, bye.len());
+        assert_eq!(msg, Msg::Bye);
+
+        assert!(try_parse_msg(&data[..3]).unwrap().is_none(), "short header waits");
+        assert!(try_parse_msg(&data[..7]).unwrap().is_none(), "short payload waits");
+
+        let mut forged = vec![MSG_DATA];
+        forged.extend_from_slice(&(MAX_MSG_LEN + 1).to_le_bytes());
+        assert!(try_parse_msg(&forged).is_err(), "length bomb refused before buffering");
+
+        let mut fat_bye = vec![MSG_BYE];
+        fat_bye.extend_from_slice(&4u32.to_le_bytes());
+        fat_bye.extend_from_slice(b"oops");
+        assert!(try_parse_msg(&fat_bye).is_err());
+
+        assert!(try_parse_msg(&[0x7a]).is_err(), "unknown kind");
+        assert!(try_parse_msg(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn admit_codes_roundtrip() {
+        for code in [
+            AdmitCode::Accepted,
+            AdmitCode::UnknownTenant,
+            AdmitCode::SessionLimit,
+            AdmitCode::BadHello,
+            AdmitCode::ShuttingDown,
+        ] {
+            assert_eq!(AdmitCode::from_byte(code as u8), Some(code));
+        }
+        assert_eq!(AdmitCode::from_byte(99), None);
+    }
+}

@@ -1,0 +1,428 @@
+//! One camera session: connection, protocol state, container decoder.
+//!
+//! The session is the server's unit of multiplexing. It owns the
+//! transport endpoint, the unparsed protocol bytes, and the
+//! incremental [`StreamDecoder`] for the container the client is
+//! streaming. The state machine is small and strictly forward:
+//!
+//! ```text
+//! AwaitHello --hello ok, admitted--> Ingest --bye / close--> Closed
+//!      \--hello bad or rejected--> Closed
+//! ```
+//!
+//! Like [`protocol`](crate::protocol), this module parses untrusted
+//! bytes and is covered by the rpr-check panic-surface lint: every
+//! malformation is a typed error carried in
+//! [`Session::take_error`], never a panic.
+
+use rpr_core::EncodedFrame;
+use rpr_wire::StreamDecoder;
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{try_parse_hello, try_parse_msg, AdmitCode, Hello, Msg};
+use crate::transport::{Conn, ConnRead};
+
+/// Where the session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Waiting for (the rest of) the hello.
+    AwaitHello,
+    /// Admitted; streaming container bytes.
+    Ingest,
+    /// Finished — gracefully or not. The slot can be reaped.
+    Closed,
+}
+
+/// Compact the inbox once this many consumed bytes accumulate.
+const INBOX_COMPACT: usize = 64 * 1024;
+
+/// How the session ended, for the server's books.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEnd {
+    /// Bye received (or container finished) and the decoder closed
+    /// cleanly; carries the frames the session delivered.
+    Clean(u64),
+    /// The connection vanished at a chunk boundary before the
+    /// container finished: scan-style recovery of `n` frames.
+    Recovered(u64),
+    /// The session died with a typed error (protocol or wire).
+    Failed(ServeError),
+}
+
+/// One live camera session.
+pub struct Session {
+    /// Server-assigned session id.
+    pub id: u64,
+    conn: Box<dyn Conn>,
+    phase: SessionPhase,
+    inbox: Vec<u8>,
+    inbox_pos: usize,
+    decoder: StreamDecoder,
+    /// Tenant this session billed to (set at admission).
+    pub tenant: Option<String>,
+    /// Camera id from the hello.
+    pub camera_id: u64,
+    bye_seen: bool,
+    peer_gone: bool,
+    container_done: bool,
+    error: Option<ServeError>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("phase", &self.phase)
+            .field("tenant", &self.tenant)
+            .field("camera_id", &self.camera_id)
+            .field("buffered", &(self.inbox.len().saturating_sub(self.inbox_pos)))
+            .finish()
+    }
+}
+
+impl Session {
+    /// Wraps an accepted connection.
+    pub fn new(id: u64, conn: Box<dyn Conn>) -> Self {
+        Session {
+            id,
+            conn,
+            phase: SessionPhase::AwaitHello,
+            inbox: Vec::new(),
+            inbox_pos: 0,
+            decoder: StreamDecoder::new(),
+            tenant: None,
+            camera_id: 0,
+            bye_seen: false,
+            peer_gone: false,
+            container_done: false,
+            error: None,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> SessionPhase {
+        self.phase
+    }
+
+    /// True once the peer can send nothing further: connection gone
+    /// (any unparsed tail is then final — see [`Session::end`]), or
+    /// bye/container-finish with the inbox fully parsed.
+    pub fn input_exhausted(&self) -> bool {
+        self.peer_gone
+            || ((self.bye_seen || self.container_done) && self.inbox_pos >= self.inbox.len())
+    }
+
+    /// The typed error that ended the session, if any.
+    pub fn take_error(&mut self) -> Option<ServeError> {
+        self.error.take()
+    }
+
+    fn unread(&self) -> &[u8] {
+        self.inbox.get(self.inbox_pos..).unwrap_or(&[])
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.inbox_pos = self.inbox_pos.saturating_add(n).min(self.inbox.len());
+        if self.inbox_pos >= INBOX_COMPACT || self.inbox_pos * 2 >= self.inbox.len().max(1) {
+            self.inbox.drain(..self.inbox_pos);
+            self.inbox_pos = 0;
+        }
+    }
+
+    /// Pulls up to `max` ready bytes off the connection into the
+    /// inbox. Returns the bytes read; flips `peer_gone` on EOF.
+    pub fn pump_read(&mut self, max: usize) -> usize {
+        if self.peer_gone || self.phase == SessionPhase::Closed {
+            return 0;
+        }
+        let mut buf = [0u8; 4096];
+        let mut total = 0usize;
+        while total < max {
+            let want = buf.len().min(max - total);
+            let Some(slice) = buf.get_mut(..want) else { break };
+            match self.conn.read_ready(slice) {
+                ConnRead::Data(n) => {
+                    self.inbox.extend_from_slice(slice.get(..n).unwrap_or(&[]));
+                    total += n;
+                    if n < want {
+                        break;
+                    }
+                }
+                ConnRead::Empty => break,
+                ConnRead::Closed => {
+                    self.peer_gone = true;
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    /// Attempts to complete the hello. `Ok(Some(h))` hands the parsed
+    /// hello to the server for the admission decision; the session
+    /// stays in `AwaitHello` until [`Session::admit`] or
+    /// [`Session::reject`] is called.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] for a malformed hello; the caller
+    /// should reply [`AdmitCode::BadHello`] and close.
+    pub fn poll_hello(&mut self) -> Result<Option<Hello>> {
+        if self.phase != SessionPhase::AwaitHello {
+            return Ok(None);
+        }
+        match try_parse_hello(self.unread()) {
+            Ok(Some((hello, used))) => {
+                self.consume(used);
+                Ok(Some(hello))
+            }
+            Ok(None) => {
+                if self.peer_gone {
+                    return Err(ServeError::Protocol {
+                        reason: "connection closed mid-hello".to_string(),
+                    });
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Marks the session admitted under `tenant`, replying
+    /// [`AdmitCode::Accepted`] to the client.
+    pub fn admit(&mut self, hello: &Hello) {
+        self.tenant = Some(hello.tenant.clone());
+        self.camera_id = hello.camera_id;
+        self.phase = SessionPhase::Ingest;
+        let _ = self.conn.write_ready(&[AdmitCode::Accepted as u8]);
+    }
+
+    /// Replies a rejection code and closes the session.
+    pub fn reject(&mut self, code: AdmitCode) {
+        let _ = self.conn.write_ready(&[code as u8]);
+        self.conn.close();
+        self.phase = SessionPhase::Closed;
+        self.error = Some(ServeError::Rejected(code));
+    }
+
+    /// Advances protocol parsing and container decoding, returning the
+    /// next decoded frame if one completed. `Ok(None)` means no
+    /// complete frame is buffered right now.
+    ///
+    /// # Errors
+    ///
+    /// Protocol framing errors and wire-format errors; the session is
+    /// closed and the error is also retained for
+    /// [`Session::take_error`].
+    pub fn poll_frame(&mut self) -> Result<Option<EncodedFrame>> {
+        if self.phase != SessionPhase::Ingest {
+            return Ok(None);
+        }
+        loop {
+            // Drain any frame the decoder already completed.
+            match self.decoder.next_event() {
+                Ok(Some(rpr_wire::StreamEvent::Frame(frame))) => return Ok(Some(frame)),
+                Ok(Some(rpr_wire::StreamEvent::Finished { .. })) => {
+                    self.container_done = true;
+                }
+                Ok(None) => {}
+                Err(e) => return self.fail(e.into()),
+            }
+            // Feed it the next protocol message. (Borrow the inbox
+            // field directly so the decoder — a disjoint field — can
+            // be fed the borrowed payload without a conflict.)
+            let unread = self.inbox.get(self.inbox_pos..).unwrap_or(&[]);
+            match try_parse_msg(unread) {
+                Ok(Some((Msg::Data(payload), used))) => {
+                    if self.bye_seen || self.container_done {
+                        return self.fail(ServeError::Protocol {
+                            reason: "data after end of container".to_string(),
+                        });
+                    }
+                    self.decoder.push(payload);
+                    self.consume(used);
+                }
+                Ok(Some((Msg::Bye, used))) => {
+                    self.consume(used);
+                    self.bye_seen = true;
+                    return Ok(None);
+                }
+                Ok(None) => return Ok(None),
+                Err(e) => return self.fail(e),
+            }
+        }
+    }
+
+    fn fail(&mut self, e: ServeError) -> Result<Option<EncodedFrame>> {
+        self.conn.close();
+        self.phase = SessionPhase::Closed;
+        self.error = Some(e.clone());
+        Err(e)
+    }
+
+    /// Ends the session once its input is exhausted, applying the wire
+    /// layer's end-of-stream judgment: a finished container or a cut
+    /// at a clean chunk boundary is recovered; a torn final chunk (or
+    /// a bye sent mid-structure) is the typed
+    /// [`rpr_wire::WireError::TruncatedStream`].
+    pub fn end(&mut self) -> SessionEnd {
+        self.conn.close();
+        self.phase = SessionPhase::Closed;
+        if let Some(e) = self.error.clone() {
+            return SessionEnd::Failed(e);
+        }
+        // A leftover unparseable tail means the peer vanished inside a
+        // protocol message; that can never recover.
+        let leftover = self.inbox.len().saturating_sub(self.inbox_pos);
+        if leftover > 0 {
+            let e = ServeError::Protocol {
+                reason: format!("connection closed mid-message ({leftover} bytes unparsed)"),
+            };
+            self.error = Some(e.clone());
+            return SessionEnd::Failed(e);
+        }
+        match self.decoder.finish() {
+            Ok(frames) => {
+                if self.decoder.is_finished() || self.bye_seen {
+                    SessionEnd::Clean(frames)
+                } else {
+                    SessionEnd::Recovered(frames)
+                }
+            }
+            Err(e) => {
+                let e = ServeError::Wire(e);
+                self.error = Some(e.clone());
+                SessionEnd::Failed(e)
+            }
+        }
+    }
+
+    /// Frames the decoder has produced so far.
+    pub fn frames_decoded(&self) -> u64 {
+        self.decoder.frames()
+    }
+
+    /// Bytes pushed into the container decoder so far.
+    pub fn container_bytes(&self) -> u64 {
+        self.decoder.bytes_fed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_bye, encode_data, encode_hello};
+    use crate::transport::mem_pair;
+    use rpr_core::{EncMask, FrameMetadata, PixelStatus};
+    use rpr_wire::write_container;
+
+    fn frames(n: u64) -> Vec<EncodedFrame> {
+        (0..n)
+            .map(|i| {
+                let mut mask = EncMask::new(16, 8);
+                mask.set((i % 16) as u32, 2, PixelStatus::Regional);
+                EncodedFrame::new(16, 8, i, vec![i as u8], FrameMetadata::from_mask(mask))
+            })
+            .collect()
+    }
+
+    fn pump_all(session: &mut Session) -> (Vec<EncodedFrame>, Option<ServeError>) {
+        let mut out = Vec::new();
+        loop {
+            session.pump_read(usize::MAX);
+            match session.poll_frame() {
+                Ok(Some(f)) => out.push(f),
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
+            }
+        }
+        (out, None)
+    }
+
+    #[test]
+    fn full_session_lifecycle_delivers_every_frame() {
+        let (mut client, server_end) = mem_pair(1 << 20);
+        let mut session = Session::new(1, Box::new(server_end));
+
+        client.write_ready(&encode_hello("acme", 7));
+        session.pump_read(usize::MAX);
+        let hello = session.poll_hello().unwrap().expect("hello complete");
+        assert_eq!(hello.tenant, "acme");
+        session.admit(&hello);
+        let mut code = [0u8; 1];
+        assert_eq!(client.read_ready(&mut code), ConnRead::Data(1));
+        assert_eq!(AdmitCode::from_byte(code[0]), Some(AdmitCode::Accepted));
+
+        let sent = frames(5);
+        let container = write_container(&sent).unwrap();
+        for piece in container.chunks(100) {
+            client.write_ready(&encode_data(piece));
+        }
+        client.write_ready(&encode_bye());
+
+        let (got, err) = pump_all(&mut session);
+        assert!(err.is_none());
+        assert_eq!(got, sent);
+        assert!(session.input_exhausted());
+        assert_eq!(session.end(), SessionEnd::Clean(5));
+    }
+
+    #[test]
+    fn torn_final_chunk_is_a_typed_failure() {
+        let (mut client, server_end) = mem_pair(1 << 20);
+        let mut session = Session::new(1, Box::new(server_end));
+        client.write_ready(&encode_hello("acme", 7));
+        session.pump_read(usize::MAX);
+        let hello = session.poll_hello().unwrap().unwrap();
+        session.admit(&hello);
+
+        let container = write_container(&frames(3)).unwrap();
+        // Cut mid-way through the container, inside a chunk.
+        let cut = container.len() / 2;
+        client.write_ready(&encode_data(&container[..cut]));
+        client.close();
+
+        let (_, err) = pump_all(&mut session);
+        assert!(err.is_none(), "mid-stream cut only surfaces at end()");
+        assert!(session.input_exhausted());
+        match session.end() {
+            SessionEnd::Failed(ServeError::Wire(
+                rpr_wire::WireError::TruncatedStream { .. },
+            )) => {}
+            other => panic!("expected TruncatedStream, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_after_bye_is_a_protocol_error() {
+        let (mut client, server_end) = mem_pair(1 << 20);
+        let mut session = Session::new(1, Box::new(server_end));
+        client.write_ready(&encode_hello("acme", 7));
+        session.pump_read(usize::MAX);
+        let hello = session.poll_hello().unwrap().unwrap();
+        session.admit(&hello);
+        client.write_ready(&encode_bye());
+        client.write_ready(&encode_data(b"zombie"));
+        let (_, err) = pump_all(&mut session);
+        // First poll sees bye and stops; the zombie data errors next.
+        let err = err.or_else(|| session.poll_frame().err());
+        assert!(
+            matches!(err, Some(ServeError::Protocol { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejection_reaches_the_client() {
+        let (mut client, server_end) = mem_pair(1 << 20);
+        let mut session = Session::new(1, Box::new(server_end));
+        client.write_ready(&encode_hello("ghost", 1));
+        session.pump_read(usize::MAX);
+        let _ = session.poll_hello().unwrap().unwrap();
+        session.reject(AdmitCode::UnknownTenant);
+        let mut code = [0u8; 1];
+        assert_eq!(client.read_ready(&mut code), ConnRead::Data(1));
+        assert_eq!(AdmitCode::from_byte(code[0]), Some(AdmitCode::UnknownTenant));
+        assert_eq!(session.phase(), SessionPhase::Closed);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-tenant policy: admission limits, token-bucket quotas, QoS.
+//!
+//! The server's fairness story is entirely per-tenant: every session
+//! bills its bytes and frames to one tenant, and every policy decision
+//! (admit the session? accept the frame? block, drop, or degrade when
+//! the pipeline lags?) consults that tenant's [`TenantConfig`]. A
+//! misbehaving tenant therefore throttles *itself* — its token buckets
+//! empty, its queue fills, its sessions block — while other tenants'
+//! buckets and queues are untouched.
+
+use rpr_stream::BackpressureMode;
+use rpr_trace::TenantSection;
+
+/// A token bucket: `rate` tokens/second refill toward a `burst` cap.
+///
+/// Refill arithmetic runs in integer microseconds against the injected
+/// [`Clock`](crate::Clock); fractional-token remainders are carried in
+/// the timestamp (the bucket only advances `last` by the time whose
+/// tokens it credited), so slow drips are not rounded away.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: u64,
+    burst: u64,
+    rate: u64,
+    last_micros: u64,
+}
+
+impl TokenBucket {
+    /// A bucket starting full at `burst` tokens, refilling at `rate`
+    /// tokens per second. `rate == 0` never refills; `burst == 0`
+    /// never holds a token (the zero-quota tenant).
+    pub fn new(rate: u64, burst: u64, now_micros: u64) -> Self {
+        TokenBucket { tokens: burst, burst, rate, last_micros: now_micros }
+    }
+
+    fn refill(&mut self, now_micros: u64) {
+        let elapsed = now_micros.saturating_sub(self.last_micros);
+        if elapsed == 0 || self.rate == 0 {
+            self.last_micros = self.last_micros.max(now_micros);
+            return;
+        }
+        let credit = u128::from(self.rate) * u128::from(elapsed) / 1_000_000;
+        let credit64 = u64::try_from(credit).unwrap_or(u64::MAX);
+        self.tokens = self.tokens.saturating_add(credit64).min(self.burst);
+        if self.tokens == self.burst {
+            self.last_micros = now_micros;
+        } else {
+            // Advance only by the microseconds actually converted to
+            // tokens, carrying the fractional remainder.
+            let used = u64::try_from(credit * 1_000_000 / u128::from(self.rate).max(1))
+                .unwrap_or(elapsed);
+            self.last_micros = self.last_micros.saturating_add(used.min(elapsed));
+        }
+    }
+
+    /// Takes `cost` tokens if available at `now_micros`. A burst that
+    /// lands exactly on the remaining balance is admitted (`>=`, not
+    /// `>`), draining the bucket to zero.
+    pub fn try_take(&mut self, cost: u64, now_micros: u64) -> bool {
+        self.refill(now_micros);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `n` tokens to the bucket (used when a composite
+    /// admission decision takes from one bucket, then a sibling bucket
+    /// vetoes — the two must throttle as one decision).
+    pub fn refund(&mut self, n: u64) {
+        self.tokens = self.tokens.saturating_add(n).min(self.burst);
+    }
+
+    /// Tokens currently available (after refilling to `now_micros`).
+    pub fn available(&mut self, now_micros: u64) -> u64 {
+        self.refill(now_micros);
+        self.tokens
+    }
+}
+
+/// Admission, quota, and QoS policy for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Concurrent sessions admitted before [`AdmitCode::SessionLimit`]
+    /// (crate::protocol::AdmitCode::SessionLimit).
+    pub max_sessions: usize,
+    /// Ingest byte quota, bytes/second (payload bytes off the wire).
+    pub byte_rate: u64,
+    /// Byte-bucket burst capacity.
+    pub byte_burst: u64,
+    /// Frame quota, frames/second.
+    pub frame_rate: u64,
+    /// Frame-bucket burst capacity.
+    pub frame_burst: u64,
+    /// What the tenant's delivery queue does when the pipeline lags:
+    /// the per-tenant QoS class. `Block` holds the tenant's own
+    /// sessions, `DropOldest` trades its own frames for freshness,
+    /// `Degrade` blocks and raises a pressure signal the capture side
+    /// can react to. Other tenants are unaffected either way.
+    pub backpressure: BackpressureMode,
+    /// Capacity of the tenant's delivery queue, in frames.
+    pub queue_capacity: usize,
+}
+
+impl TenantConfig {
+    /// A permissive config: many sessions, effectively-unbounded
+    /// quotas, blocking (lossless) QoS.
+    pub fn unlimited() -> Self {
+        TenantConfig {
+            max_sessions: usize::MAX,
+            byte_rate: u64::MAX / 2,
+            byte_burst: u64::MAX / 2,
+            frame_rate: u64::MAX / 2,
+            frame_burst: u64::MAX / 2,
+            backpressure: BackpressureMode::Block,
+            queue_capacity: 1024,
+        }
+    }
+
+    /// Sets the session limit.
+    pub fn with_max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
+        self
+    }
+
+    /// Sets the byte quota (rate per second and burst).
+    pub fn with_byte_quota(mut self, rate: u64, burst: u64) -> Self {
+        self.byte_rate = rate;
+        self.byte_burst = burst;
+        self
+    }
+
+    /// Sets the frame quota (rate per second and burst).
+    pub fn with_frame_quota(mut self, rate: u64, burst: u64) -> Self {
+        self.frame_rate = rate;
+        self.frame_burst = burst;
+        self
+    }
+
+    /// Sets the QoS class and delivery-queue capacity.
+    pub fn with_qos(mut self, mode: BackpressureMode, queue_capacity: usize) -> Self {
+        self.backpressure = mode;
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig::unlimited()
+    }
+}
+
+/// Mutable accounting the server keeps per tenant.
+#[derive(Debug)]
+pub(crate) struct TenantAccounting {
+    pub(crate) sessions_active: usize,
+    pub(crate) byte_bucket: TokenBucket,
+    pub(crate) frame_bucket: TokenBucket,
+    pub(crate) section: TenantSection,
+}
+
+impl TenantAccounting {
+    pub(crate) fn new(name: &str, cfg: &TenantConfig, now_micros: u64) -> Self {
+        TenantAccounting {
+            sessions_active: 0,
+            byte_bucket: TokenBucket::new(cfg.byte_rate, cfg.byte_burst, now_micros),
+            frame_bucket: TokenBucket::new(cfg.frame_rate, cfg.frame_burst, now_micros),
+            section: TenantSection { tenant: name.to_string(), ..TenantSection::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_starts_full_and_drains() {
+        let mut b = TokenBucket::new(10, 5, 0);
+        assert!(b.try_take(5, 0), "burst exactly on the limit is admitted");
+        assert!(!b.try_take(1, 0), "empty bucket refuses");
+    }
+
+    #[test]
+    fn bucket_refills_at_rate() {
+        let mut b = TokenBucket::new(10, 100, 0);
+        assert!(b.try_take(100, 0));
+        // 10 tokens/s → one token per 100_000 µs.
+        assert!(!b.try_take(1, 50_000), "half a token is not a token");
+        assert!(b.try_take(1, 100_000));
+        assert!(b.try_take(4, 600_000), "4 more tokens by 0.6 s (0.1 spent)");
+    }
+
+    #[test]
+    fn fractional_refill_is_not_rounded_away() {
+        let mut b = TokenBucket::new(3, 10, 0);
+        assert!(b.try_take(10, 0));
+        // 3 tokens/s: polling every 100 µs for a second must still
+        // credit 3 tokens, even though each poll credits < 1 token.
+        let mut got = 0u64;
+        for t in 1..=10_000u64 {
+            if b.try_take(1, t * 100) {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 3, "fractional credits accumulate");
+    }
+
+    #[test]
+    fn zero_quota_never_admits() {
+        let mut b = TokenBucket::new(0, 0, 0);
+        assert!(!b.try_take(1, 0));
+        assert!(!b.try_take(1, 10_000_000));
+        assert!(b.try_take(0, 0), "zero-cost take on empty bucket is vacuous");
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(1_000, 50, 0);
+        assert_eq!(b.available(10_000_000), 50, "idle bucket caps at burst");
+    }
+}

@@ -1,0 +1,333 @@
+//! Non-blocking byte transports the event loop multiplexes.
+//!
+//! The server never blocks on I/O: it polls every session's [`Conn`]
+//! for whatever bytes are ready and moves on. Two transports implement
+//! the contract:
+//!
+//! - [`MemConn`] — a pair of bounded in-memory rings. This is the
+//!   load-bearing transport: it costs two `VecDeque`s per session, so
+//!   a single process can host 100k sessions for load generation and
+//!   deterministic tests, and its bounded write side gives *clients*
+//!   real backpressure when the server stops reading.
+//! - [`TcpConn`] — a thin wrapper over a non-blocking
+//!   `std::net::TcpStream` for serving real sockets.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Outcome of a non-blocking read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnRead {
+    /// `n` bytes were copied into the buffer.
+    Data(usize),
+    /// Nothing available right now; the peer is still connected.
+    Empty,
+    /// The peer closed its sending side and everything is drained.
+    Closed,
+}
+
+/// A non-blocking, bidirectional byte pipe.
+pub trait Conn: Send {
+    /// Reads whatever is ready into `buf` without blocking.
+    fn read_ready(&mut self, buf: &mut [u8]) -> ConnRead;
+    /// Writes as much of `bytes` as fits without blocking, returning
+    /// the number accepted (0 when the peer's buffer is full or this
+    /// side already closed).
+    fn write_ready(&mut self, bytes: &[u8]) -> usize;
+    /// Closes this side's *sending* direction (TCP-style half-close):
+    /// the peer drains what was written, then sees
+    /// [`ConnRead::Closed`] — but can still write back, and this side
+    /// can still read. A client may therefore close after its last
+    /// byte and still receive the server's verdict.
+    fn close(&mut self);
+    /// True while this side believes the connection is open.
+    fn is_open(&self) -> bool;
+}
+
+/// One direction of an in-memory connection.
+#[derive(Debug)]
+struct Pipe {
+    buf: Mutex<VecDeque<u8>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct PipeState {
+    a_to_b: Pipe,
+    b_to_a: Pipe,
+    /// Closed flags for side A and side B.
+    closed: Mutex<(bool, bool)>,
+}
+
+/// One endpoint of an in-memory connection pair.
+#[derive(Debug)]
+pub struct MemConn {
+    state: Arc<PipeState>,
+    /// True for the endpoint created first ("A", conventionally the
+    /// client side of [`MemListener::connect`]).
+    is_a: bool,
+}
+
+/// Creates a connected pair of in-memory endpoints whose per-direction
+/// buffers hold `capacity` bytes. The first endpoint is conventionally
+/// the client.
+pub fn mem_pair(capacity: usize) -> (MemConn, MemConn) {
+    let state = Arc::new(PipeState {
+        a_to_b: Pipe { buf: Mutex::new(VecDeque::new()), capacity: capacity.max(1) },
+        b_to_a: Pipe { buf: Mutex::new(VecDeque::new()), capacity: capacity.max(1) },
+        closed: Mutex::new((false, false)),
+    });
+    (MemConn { state: Arc::clone(&state), is_a: true }, MemConn { state, is_a: false })
+}
+
+impl MemConn {
+    fn inbound(&self) -> &Pipe {
+        if self.is_a {
+            &self.state.b_to_a
+        } else {
+            &self.state.a_to_b
+        }
+    }
+
+    fn outbound(&self) -> &Pipe {
+        if self.is_a {
+            &self.state.a_to_b
+        } else {
+            &self.state.b_to_a
+        }
+    }
+
+    fn peer_closed(&self) -> bool {
+        let c = self.state.closed.lock();
+        if self.is_a {
+            c.1
+        } else {
+            c.0
+        }
+    }
+}
+
+impl Conn for MemConn {
+    fn read_ready(&mut self, buf: &mut [u8]) -> ConnRead {
+        let mut q = self.inbound().buf.lock();
+        if q.is_empty() {
+            drop(q);
+            return if self.peer_closed() { ConnRead::Closed } else { ConnRead::Empty };
+        }
+        let n = q.len().min(buf.len());
+        for (slot, b) in buf.iter_mut().zip(q.drain(..n)) {
+            *slot = b;
+        }
+        ConnRead::Data(n)
+    }
+
+    fn write_ready(&mut self, bytes: &[u8]) -> usize {
+        if !self.is_open() {
+            return 0;
+        }
+        let out = self.outbound();
+        let mut q = out.buf.lock();
+        let room = out.capacity.saturating_sub(q.len());
+        let n = room.min(bytes.len());
+        q.extend(bytes.iter().take(n).copied());
+        n
+    }
+
+    fn close(&mut self) {
+        let mut c = self.state.closed.lock();
+        if self.is_a {
+            c.0 = true;
+        } else {
+            c.1 = true;
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        let c = self.state.closed.lock();
+        if self.is_a {
+            !c.0
+        } else {
+            !c.1
+        }
+    }
+}
+
+/// Accept queue for in-memory connections: clients call
+/// [`MemListener::connect`], the server drains [`MemListener::accept`].
+/// Cloning shares the queue.
+#[derive(Debug, Clone, Default)]
+pub struct MemListener {
+    pending: Arc<Mutex<VecDeque<MemConn>>>,
+}
+
+impl MemListener {
+    /// An empty listener.
+    pub fn new() -> Self {
+        MemListener::default()
+    }
+
+    /// Opens a connection, returning the client endpoint; the server
+    /// endpoint waits in the accept queue.
+    pub fn connect(&self, capacity: usize) -> MemConn {
+        let (client, server) = mem_pair(capacity);
+        self.pending.lock().push_back(server);
+        client
+    }
+
+    /// Takes the next pending server endpoint, if any.
+    pub fn accept(&self) -> Option<MemConn> {
+        self.pending.lock().pop_front()
+    }
+
+    /// Connections waiting to be accepted.
+    pub fn backlog(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+/// A non-blocking TCP connection.
+#[derive(Debug)]
+pub struct TcpConn {
+    stream: std::net::TcpStream,
+    open: bool,
+}
+
+impl TcpConn {
+    /// Wraps a stream, switching it to non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `set_nonblocking` failure.
+    pub fn new(stream: std::net::TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(TcpConn { stream, open: true })
+    }
+}
+
+impl Conn for TcpConn {
+    fn read_ready(&mut self, buf: &mut [u8]) -> ConnRead {
+        match self.stream.read(buf) {
+            Ok(0) => ConnRead::Closed,
+            Ok(n) => ConnRead::Data(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => ConnRead::Empty,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ConnRead::Empty,
+            Err(_) => ConnRead::Closed,
+        }
+    }
+
+    fn write_ready(&mut self, bytes: &[u8]) -> usize {
+        match self.stream.write(bytes) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => 0,
+            Err(_) => {
+                self.open = false;
+                0
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.open = false;
+    }
+
+    fn is_open(&self) -> bool {
+        self.open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_pair_moves_bytes_both_ways() {
+        let (mut client, mut server) = mem_pair(64);
+        assert_eq!(client.write_ready(b"ping"), 4);
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read_ready(&mut buf), ConnRead::Data(4));
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(server.write_ready(b"pong!"), 5);
+        assert_eq!(client.read_ready(&mut buf), ConnRead::Data(5));
+        assert_eq!(&buf[..5], b"pong!");
+        assert_eq!(client.read_ready(&mut buf), ConnRead::Empty);
+    }
+
+    #[test]
+    fn bounded_ring_backpressures_the_writer() {
+        let (mut client, mut server) = mem_pair(8);
+        assert_eq!(client.write_ready(b"0123456789"), 8, "only capacity accepted");
+        assert_eq!(client.write_ready(b"x"), 0, "full ring accepts nothing");
+        let mut buf = [0u8; 4];
+        assert_eq!(server.read_ready(&mut buf), ConnRead::Data(4));
+        assert_eq!(client.write_ready(b"x"), 1, "space freed by the reader");
+    }
+
+    #[test]
+    fn close_is_a_half_close() {
+        let (mut client, mut server) = mem_pair(64);
+        client.write_ready(b"tail");
+        client.close();
+        assert!(!client.is_open());
+        assert_eq!(client.write_ready(b"x"), 0, "own sending side is sealed");
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read_ready(&mut buf), ConnRead::Data(4), "drains first");
+        assert_eq!(server.read_ready(&mut buf), ConnRead::Closed);
+        // The reverse direction survives: the server can still answer
+        // and the half-closed client still reads it.
+        assert_eq!(server.write_ready(b"reply"), 5);
+        assert_eq!(client.read_ready(&mut buf), ConnRead::Data(5));
+        assert_eq!(&buf[..5], b"reply");
+    }
+
+    #[test]
+    fn listener_queues_connections_in_order() {
+        let listener = MemListener::new();
+        let mut c1 = listener.connect(32);
+        let _c2 = listener.connect(32);
+        assert_eq!(listener.backlog(), 2);
+        c1.write_ready(b"first");
+        let mut s1 = listener.accept().expect("first pending");
+        let mut buf = [0u8; 8];
+        assert_eq!(s1.read_ready(&mut buf), ConnRead::Data(5));
+        assert!(listener.accept().is_some());
+        assert!(listener.accept().is_none());
+    }
+
+    #[test]
+    fn tcp_conn_roundtrips_nonblocking() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let mut client = TcpConn::new(client).expect("client nonblocking");
+        let mut server = TcpConn::new(server).expect("server nonblocking");
+
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read_ready(&mut buf), ConnRead::Empty, "nothing yet");
+        assert_eq!(client.write_ready(b"hello"), 5);
+        // Give the kernel a moment on slow CI.
+        let mut got = ConnRead::Empty;
+        for _ in 0..100 {
+            got = server.read_ready(&mut buf);
+            if got != ConnRead::Empty {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, ConnRead::Data(5));
+        assert_eq!(&buf[..5], b"hello");
+        client.close();
+        let mut end = ConnRead::Empty;
+        for _ in 0..100 {
+            end = server.read_ready(&mut buf);
+            if end == ConnRead::Closed {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(end, ConnRead::Closed);
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault containment, end to end: every testkit session fault and
+//! every truncating container fault must land as a typed rejection or
+//! session error — never a panic, never a silently-clean session, and
+//! never collateral damage to another tenant.
+
+use rpr_core::{EncMask, EncodedFrame, FrameMetadata, PixelStatus};
+use rpr_serve::{
+    session_script, AdmitCode, ManualClock, ScriptedClient, Server, TenantConfig,
+};
+use rpr_testkit::{SessionFaultKind, TestRng, WireFaultKind, ALL_SESSION_FAULTS};
+use std::sync::Arc;
+
+fn frames(n: u64) -> Vec<EncodedFrame> {
+    (0..n)
+        .map(|i| {
+            let mut mask = EncMask::new(16, 8);
+            mask.set((i % 16) as u32, 2, PixelStatus::Regional);
+            EncodedFrame::new(16, 8, i, vec![i as u8], FrameMetadata::from_mask(mask))
+        })
+        .collect()
+}
+
+fn container(n: u64) -> Vec<u8> {
+    rpr_wire::write_container(&frames(n)).expect("write container")
+}
+
+/// Drives everything to idle, returning frames popped per tenant queue.
+fn drive(server: &mut Server, clients: &mut [ScriptedClient], tenants: &[&str]) -> Vec<u64> {
+    let queues: Vec<_> =
+        tenants.iter().map(|t| server.tenant_queue(t).expect("tenant queue")).collect();
+    let mut popped = vec![0u64; queues.len()];
+    for _ in 0..10_000 {
+        for c in clients.iter_mut() {
+            c.flush();
+        }
+        server.step();
+        for (q, n) in queues.iter().zip(popped.iter_mut()) {
+            while q.try_pop().is_some() {
+                *n += 1;
+            }
+        }
+        if server.is_idle() {
+            break;
+        }
+    }
+    assert!(server.is_idle(), "server failed to reach idle");
+    popped
+}
+
+#[test]
+fn every_session_fault_is_contained_and_isolated() {
+    let body = container(3);
+    for (i, kind) in ALL_SESSION_FAULTS.iter().enumerate() {
+        let mut server = Server::new(Arc::new(ManualClock::new()));
+        server.add_tenant("victim", TenantConfig::unlimited());
+        server.add_tenant("bystander", TenantConfig::unlimited());
+        let listener = server.listener();
+
+        let script = session_script("victim", 1, &body, 64, true);
+        let faulty = kind
+            .inject(&script, &mut TestRng::new(0xBAD + i as u64))
+            .unwrap_or_else(|| panic!("{} must apply to a full script", kind.name()));
+        let bad = ScriptedClient::connect(&listener, 1 << 16, faulty);
+        let good = ScriptedClient::connect(
+            &listener,
+            1 << 16,
+            session_script("bystander", 2, &body, 64, true),
+        );
+
+        let popped = drive(&mut server, &mut [bad, good], &["victim", "bystander"]);
+        let stats = server.stats();
+
+        // The bystander is whole: every frame, a clean session.
+        assert_eq!(popped[1], 3, "{}: bystander lost frames", kind.name());
+        assert_eq!(stats.sessions_clean, 1, "{}: only the bystander is clean", kind.name());
+        // The faulty session ended in a *typed* failure of some class.
+        assert_eq!(
+            stats.sessions_errored + stats.sessions_truncated,
+            1,
+            "{}: faulty session must error, got {stats:?}",
+            kind.name()
+        );
+        let sections = server.tenant_sections();
+        let bystander =
+            sections.iter().find(|s| s.tenant == "bystander").expect("bystander section");
+        assert_eq!(bystander.frames_delivered, 3, "{}", kind.name());
+        assert_eq!(bystander.delivered_fraction, 1.0, "{}", kind.name());
+    }
+}
+
+#[test]
+fn hello_faults_reject_with_bad_hello() {
+    use rpr_serve::{Conn, ConnRead};
+    let body = container(1);
+    for kind in [
+        SessionFaultKind::HelloMagicFlip,
+        SessionFaultKind::HelloBadVersion,
+        SessionFaultKind::HelloEmptyTenant,
+    ] {
+        let mut server = Server::new(Arc::new(ManualClock::new()));
+        server.add_tenant("victim", TenantConfig::unlimited());
+        let listener = server.listener();
+        let faulty = kind
+            .inject(&session_script("victim", 1, &body, 64, true), &mut TestRng::new(7))
+            .expect("fault applies");
+        // Hold the connection open (a ScriptedClient closes after its
+        // script, and a verdict cannot be written to a closed peer):
+        // the client must see the BadHello byte before hanging up.
+        let mut conn = listener.connect(1 << 16);
+        conn.write_ready(&faulty);
+        let mut verdict = None;
+        for _ in 0..100 {
+            server.step();
+            let mut byte = [0u8; 1];
+            if let ConnRead::Data(1) = conn.read_ready(&mut byte) {
+                verdict = AdmitCode::from_byte(byte[0]);
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(AdmitCode::BadHello), "{}", kind.name());
+        assert_eq!(server.tenant_sections()[0].sessions_admitted, 0, "{}", kind.name());
+        assert_eq!(server.stats().sessions_errored, 1, "{}", kind.name());
+    }
+}
+
+/// The satellite regression: a session whose final container chunk is
+/// cut mid-frame must end as the typed `WireError::TruncatedStream`
+/// (counted in `sessions_truncated`), not silent scan recovery and
+/// never a clean session. Truncated containers come from the testkit's
+/// wire-fault injector across a seed sweep; a cut landing on a clean
+/// chunk boundary legitimately recovers instead.
+#[test]
+fn torn_final_chunk_from_wire_faults_is_typed_truncation() {
+    let body = container(4);
+    let mut truncated_seen = 0u64;
+    for seed in 0..48u64 {
+        let Some(cut) = WireFaultKind::TruncateTail.inject(&body, &mut TestRng::new(seed))
+        else {
+            continue;
+        };
+        let mut server = Server::new(Arc::new(ManualClock::new()));
+        server.add_tenant("victim", TenantConfig::unlimited());
+        let listener = server.listener();
+        // No bye: the peer just vanishes after its truncated container,
+        // which is exactly the torn-final-chunk shape.
+        let mut cam = ScriptedClient::connect(
+            &listener,
+            1 << 16,
+            session_script("victim", 1, &cut, 64, false),
+        );
+        let popped = drive(&mut server, std::slice::from_mut(&mut cam), &["victim"]);
+        let stats = server.stats().clone();
+
+        assert_eq!(stats.sessions_clean, 0, "seed {seed}: a cut container is never clean");
+        assert_eq!(
+            stats.sessions_truncated + stats.sessions_recovered + stats.sessions_errored,
+            1,
+            "seed {seed}: exactly one typed ending, got {stats:?}"
+        );
+        // Whatever frames were complete before the cut may flow; no
+        // frame may be fabricated past it.
+        assert!(popped[0] <= 4, "seed {seed}");
+        truncated_seen += stats.sessions_truncated;
+    }
+    assert!(
+        truncated_seen > 0,
+        "the sweep must hit at least one mid-frame cut (typed truncation)"
+    );
+
+    // The clean-boundary counterpart, deterministically: a container
+    // cut right after its 16-byte header is zero complete chunks — the
+    // wire layer's scan recovery, not an error.
+    let mut server = Server::new(Arc::new(ManualClock::new()));
+    server.add_tenant("victim", TenantConfig::unlimited());
+    let listener = server.listener();
+    let cam = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("victim", 1, &body[..16], 64, false),
+    );
+    let popped = drive(&mut server, &mut [cam], &["victim"]);
+    assert_eq!(popped, vec![0]);
+    assert_eq!(server.stats().sessions_recovered, 1, "{:?}", server.stats());
+    assert_eq!(server.stats().sessions_truncated, 0);
+}
+
+/// In-container corruption (CRC rot) arriving over a session is caught
+/// at the chunk and ends the session with a typed wire error while a
+/// concurrent tenant streams on.
+#[test]
+fn corrupt_chunk_over_the_wire_is_a_typed_session_error() {
+    let body = container(3);
+    let rotten = WireFaultKind::ChunkCrcFlip
+        .inject(&body, &mut TestRng::new(3))
+        .expect("crc fault applies");
+    let mut server = Server::new(Arc::new(ManualClock::new()));
+    server.add_tenant("victim", TenantConfig::unlimited());
+    server.add_tenant("bystander", TenantConfig::unlimited());
+    let listener = server.listener();
+    let bad = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("victim", 1, &rotten, 64, true),
+    );
+    let good = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("bystander", 2, &body, 64, true),
+    );
+    let popped = drive(&mut server, &mut [bad, good], &["victim", "bystander"]);
+    assert_eq!(popped[1], 3, "bystander unaffected");
+    assert_eq!(server.stats().sessions_errored, 1, "{:?}", server.stats());
+    assert_eq!(server.stats().sessions_clean, 1);
+}

@@ -1,0 +1,260 @@
+//! Tenant quota and admission edge cases, end to end through the
+//! server: zero-quota tenants, bursts landing exactly on the
+//! token-bucket limit, rapid session churn against the session cap,
+//! and graceful-shutdown drain.
+
+use rpr_core::{EncMask, EncodedFrame, FrameMetadata, PixelStatus};
+use rpr_serve::{
+    session_script, AdmitCode, ManualClock, ScriptedClient, Server, TenantConfig,
+};
+use rpr_stream::BackpressureMode;
+use rpr_trace::TenantSection;
+use std::sync::Arc;
+
+fn frames(n: u64) -> Vec<EncodedFrame> {
+    (0..n)
+        .map(|i| {
+            let mut mask = EncMask::new(16, 8);
+            mask.set((i % 16) as u32, 2, PixelStatus::Regional);
+            EncodedFrame::new(16, 8, i, vec![i as u8], FrameMetadata::from_mask(mask))
+        })
+        .collect()
+}
+
+fn container(n: u64) -> Vec<u8> {
+    rpr_wire::write_container(&frames(n)).expect("write container")
+}
+
+/// Drives clients and server until idle, draining every tenant queue.
+/// Returns frames popped per listed tenant.
+fn drive(server: &mut Server, clients: &mut [ScriptedClient], tenants: &[&str]) -> Vec<u64> {
+    let queues: Vec<_> =
+        tenants.iter().map(|t| server.tenant_queue(t).expect("tenant queue")).collect();
+    let mut popped = vec![0u64; queues.len()];
+    for _ in 0..10_000 {
+        for c in clients.iter_mut() {
+            c.flush();
+        }
+        server.step();
+        for (q, n) in queues.iter().zip(popped.iter_mut()) {
+            while q.try_pop().is_some() {
+                *n += 1;
+            }
+        }
+        if server.is_idle() && clients.iter_mut().all(|c| c.done() || c.rejected()) {
+            break;
+        }
+    }
+    assert!(server.is_idle(), "server failed to drain");
+    popped
+}
+
+fn section<'a>(sections: &'a [TenantSection], tenant: &str) -> &'a TenantSection {
+    sections.iter().find(|s| s.tenant == tenant).expect("tenant section")
+}
+
+#[test]
+fn zero_quota_tenant_is_throttled_not_served() {
+    let mut server = Server::new(Arc::new(ManualClock::new()));
+    server.add_tenant("freeloader", TenantConfig::unlimited().with_frame_quota(0, 0));
+    let listener = server.listener();
+
+    let script = session_script("freeloader", 1, &container(4), 256, true);
+    let mut cam = ScriptedClient::connect(&listener, 1 << 16, script);
+    let popped = drive(&mut server, std::slice::from_mut(&mut cam), &["freeloader"]);
+
+    assert_eq!(popped, vec![0], "no frame may reach the queue");
+    assert_eq!(cam.admit_code(), Some(AdmitCode::Accepted), "session itself is admitted");
+    let sections = server.tenant_sections();
+    let s = section(&sections, "freeloader");
+    assert_eq!(s.frames_accepted, 0);
+    assert_eq!(s.frames_dropped, 4);
+    assert_eq!(s.quota_throttles, 4);
+    assert_eq!(s.delivered_fraction, 1.0, "vacuous: nothing accepted, nothing owed");
+    assert_eq!(server.stats().sessions_clean, 1, "throttling is not a session error");
+}
+
+#[test]
+fn frame_burst_landing_exactly_on_the_limit_is_admitted() {
+    // Burst of 6 frames, no refill: a 6-frame container drains the
+    // bucket to zero with nothing throttled; the next frame is refused.
+    let mut server = Server::new(Arc::new(ManualClock::new()));
+    server.add_tenant("edge", TenantConfig::unlimited().with_frame_quota(0, 6));
+    let listener = server.listener();
+
+    let mut exact =
+        ScriptedClient::connect(&listener, 1 << 16, session_script("edge", 1, &container(6), 256, true));
+    let popped = drive(&mut server, std::slice::from_mut(&mut exact), &["edge"]);
+    assert_eq!(popped, vec![6], "burst exactly on the limit passes whole");
+    {
+        let sections = server.tenant_sections();
+        let s = section(&sections, "edge");
+        assert_eq!(s.frames_accepted, 6);
+        assert_eq!(s.quota_throttles, 0);
+    }
+
+    let mut over =
+        ScriptedClient::connect(&listener, 1 << 16, session_script("edge", 2, &container(1), 256, true));
+    let popped = drive(&mut server, std::slice::from_mut(&mut over), &["edge"]);
+    assert_eq!(popped, vec![0], "the bucket is empty now");
+    let sections = server.tenant_sections();
+    let s = section(&sections, "edge");
+    assert_eq!(s.frames_accepted, 6);
+    assert_eq!(s.quota_throttles, 1);
+}
+
+#[test]
+fn byte_burst_exactly_covering_the_container_admits_every_frame() {
+    let sent = frames(3);
+    let budget: u64 = sent.iter().map(|f| f.total_bytes() as u64).sum();
+    let mut server = Server::new(Arc::new(ManualClock::new()));
+    server.add_tenant("metered", TenantConfig::unlimited().with_byte_quota(0, budget));
+    let listener = server.listener();
+
+    let mut cam = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("metered", 1, &container(3), 128, true),
+    );
+    let popped = drive(&mut server, std::slice::from_mut(&mut cam), &["metered"]);
+    assert_eq!(popped, vec![3]);
+    {
+        let sections = server.tenant_sections();
+        let s = section(&sections, "metered");
+        assert_eq!(s.frames_accepted, 3);
+        assert_eq!(s.bytes_ingested, budget, "the budget was spent to the last byte");
+        assert_eq!(s.quota_throttles, 0);
+    }
+
+    // One more frame: the byte bucket is at zero, and its veto must
+    // refund the frame token it briefly held.
+    let mut over = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("metered", 2, &container(1), 128, true),
+    );
+    let popped = drive(&mut server, std::slice::from_mut(&mut over), &["metered"]);
+    assert_eq!(popped, vec![0]);
+    let sections = server.tenant_sections();
+    let s = section(&sections, "metered");
+    assert_eq!(s.quota_throttles, 1);
+    assert_eq!(s.bytes_ingested, budget, "a throttled frame bills nothing");
+}
+
+#[test]
+fn rapid_session_churn_respects_the_session_limit() {
+    // A small read quantum keeps each session alive across steps —
+    // otherwise a whole session begins and ends inside one step and
+    // the concurrency limit never binds.
+    let mut server = Server::new(Arc::new(ManualClock::new())).with_read_quantum(64);
+    server.add_tenant("solo", TenantConfig::unlimited().with_max_sessions(1));
+    let listener = server.listener();
+    let body = container(2);
+
+    // Sequential churn: each session fully drains before the next
+    // opens, so a limit of one admits all twelve.
+    for cam_id in 0..12u64 {
+        let mut cam = ScriptedClient::connect(
+            &listener,
+            1 << 16,
+            session_script("solo", cam_id, &body, 256, true),
+        );
+        let popped = drive(&mut server, std::slice::from_mut(&mut cam), &["solo"]);
+        assert_eq!(popped, vec![2]);
+        assert_eq!(cam.admit_code(), Some(AdmitCode::Accepted), "churned session {cam_id}");
+    }
+    assert_eq!(server.stats().rejected_session_limit, 0);
+    {
+        let sections = server.tenant_sections();
+        assert_eq!(section(&sections, "solo").sessions_admitted, 12);
+    }
+
+    // Concurrent pair: the second hello lands while the first session
+    // is live, and is refused — then a third opens once the slot frees.
+    let mut first = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("solo", 100, &body, 256, true),
+    );
+    let mut second = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("solo", 101, &body, 256, true),
+    );
+    first.flush();
+    second.flush();
+    server.step();
+    assert_eq!(first.admit_code(), Some(AdmitCode::Accepted));
+    assert_eq!(second.admit_code(), Some(AdmitCode::SessionLimit));
+    let popped = drive(&mut server, &mut [first, second], &["solo"]);
+    assert_eq!(popped, vec![2], "only the admitted session's frames arrive");
+    assert_eq!(server.stats().rejected_session_limit, 1);
+
+    let mut third = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("solo", 102, &body, 256, true),
+    );
+    let popped = drive(&mut server, std::slice::from_mut(&mut third), &["solo"]);
+    assert_eq!(third.admit_code(), Some(AdmitCode::Accepted), "freed slot readmits");
+    assert_eq!(popped, vec![2]);
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_frame() {
+    let mut server = Server::new(Arc::new(ManualClock::new()));
+    // A deliberately tiny queue so frames park under backpressure
+    // mid-drain — the drain must still deliver every accepted frame.
+    server.add_tenant("fleet", TenantConfig::unlimited().with_qos(BackpressureMode::Block, 2));
+    let listener = server.listener();
+    let body = container(5);
+
+    let mut cams: Vec<ScriptedClient> = (0..4u64)
+        .map(|cam_id| {
+            ScriptedClient::connect(
+                &listener,
+                1 << 16,
+                session_script("fleet", cam_id, &body, 128, true),
+            )
+        })
+        .collect();
+
+    // Let the sessions open and stuff the queue without consuming it.
+    for _ in 0..10 {
+        for c in cams.iter_mut() {
+            c.flush();
+        }
+        server.step();
+    }
+    server.begin_shutdown();
+
+    // A latecomer is refused while live sessions keep draining.
+    let mut late = ScriptedClient::connect(
+        &listener,
+        1 << 16,
+        session_script("fleet", 99, &body, 128, true),
+    );
+    for _ in 0..10 {
+        late.flush();
+        server.step();
+        if late.admit_code().is_some() {
+            break;
+        }
+    }
+    assert_eq!(late.admit_code(), Some(AdmitCode::ShuttingDown));
+
+    cams.push(late);
+    let popped = drive(&mut server, &mut cams, &["fleet"]);
+    server.close_tenant_queues();
+
+    assert_eq!(popped, vec![20], "4 sessions x 5 frames, none lost in the drain");
+    let sections = server.tenant_sections();
+    let s = section(&sections, "fleet");
+    assert_eq!(s.frames_accepted, 20);
+    assert_eq!(s.frames_delivered, 20);
+    assert_eq!(s.delivered_fraction, 1.0);
+    assert_eq!(s.sessions_offered, 5, "the refused hello still counts as offered");
+    assert_eq!(s.sessions_admitted, 4);
+    assert_eq!(server.stats().rejected_shutting_down, 1);
+    assert_eq!(server.stats().sessions_clean, 4);
+}

@@ -35,14 +35,16 @@
 pub mod executor;
 pub mod manager;
 pub mod queue;
+pub mod source;
 pub mod stage;
 mod sync;
 pub mod telemetry;
 pub mod wire;
 
 pub use executor::{run_stream, StreamResult};
-pub use manager::{StreamManager, StreamSpec};
-pub use queue::{BackpressureMode, QueueTelemetry, StageQueue};
+pub use manager::{StreamManager, StreamPool, StreamSpec};
+pub use queue::{BackpressureMode, QueueTelemetry, StageQueue, TryPush};
+pub use source::{channel_source, ChannelSource, SourceHandle};
 pub use stage::{CaptureStage, Feedback, FrameSource, StreamConfig, TaskStage};
 pub use wire::{DecodeCapture, DecodeSummary, EncodeCapture, WireSink, WireSource};
 pub use telemetry::{LatencyHistogram, StageTelemetry, StreamTelemetry, LATENCY_BUCKETS_US};

@@ -102,6 +102,88 @@ impl StreamManager {
     }
 }
 
+/// A job the pool runs to completion on one of its worker threads.
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A worker pool accepting stream jobs *dynamically* — the shape an
+/// ingestion server needs, where sessions arrive and depart at runtime
+/// and [`StreamManager::run_all`]'s all-specs-up-front contract cannot
+/// hold. Like the manager, the unit of work is a whole stream (a
+/// closure that typically calls [`run_stream`](crate::run_stream)), so
+/// the pool stays deadlock-free at any size.
+///
+/// Submission is bounded: at most `queue_capacity` jobs wait behind
+/// the running ones, and [`StreamPool::spawn`] blocks past that — the
+/// pool is itself a stage queue and inherits its backpressure story.
+#[derive(Debug)]
+pub struct StreamPool {
+    jobs: std::sync::Arc<crate::queue::StageQueue<PoolJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl StreamPool {
+    /// A pool of `workers` threads (clamped to at least one) admitting
+    /// up to `queue_capacity` queued jobs before `spawn` blocks.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let jobs = std::sync::Arc::new(crate::queue::StageQueue::<PoolJob>::new(
+            "pool-jobs",
+            queue_capacity.max(1),
+            crate::queue::BackpressureMode::Block,
+        ));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let jobs = std::sync::Arc::clone(&jobs);
+                std::thread::Builder::new()
+                    .name(format!("rpr-pool-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = jobs.pop() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        StreamPool { jobs, workers }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued but not yet claimed by a worker.
+    pub fn pending(&self) -> usize {
+        self.jobs.depth()
+    }
+
+    /// Submits one stream job. Blocks while the job queue is full;
+    /// returns `false` if the pool was already shut down (the job is
+    /// dropped unrun).
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        self.jobs.push(Box::new(job))
+    }
+
+    /// Stops accepting jobs, runs everything already queued, and joins
+    /// the workers. Called implicitly on drop; explicit call lets the
+    /// caller sequence shutdown.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.jobs.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for StreamPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +282,47 @@ mod tests {
     fn default_manager_uses_at_least_one_worker() {
         assert!(StreamManager::default().workers() >= 1);
         assert_eq!(StreamManager::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn pool_runs_dynamically_submitted_streams() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let pool = StreamPool::new(3, 16);
+        assert_eq!(pool.workers(), 3);
+        let total = Arc::new(AtomicU64::new(0));
+        for i in 0..20u64 {
+            let total = Arc::clone(&total);
+            assert!(pool.spawn(move || {
+                // A stand-in for run_stream: the pool only promises to
+                // run whole jobs, not to know what a stream is.
+                total.fetch_add(i, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(total.load(Ordering::Relaxed), (0..20u64).sum());
+    }
+
+    #[test]
+    fn pool_shutdown_refuses_new_jobs_but_drains_queued_ones() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let pool = StreamPool::new(1, 32);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let slow = Arc::clone(&ran);
+        pool.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            slow.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 6, "queued jobs drained");
     }
 }

@@ -87,6 +87,29 @@ impl QueueTelemetry {
     }
 }
 
+/// Outcome of a non-blocking [`StageQueue::try_push`].
+///
+/// An event-loop producer (one thread multiplexing thousands of
+/// sessions) can never afford the blocking [`StageQueue::push`]; this
+/// enum tells it exactly what the queue's backpressure mode decided so
+/// it can account the frame correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPush<T> {
+    /// The frame was enqueued; no capacity event occurred.
+    Pushed,
+    /// The frame was enqueued by evicting the oldest queued frame
+    /// ([`BackpressureMode::DropOldest`] on a full queue).
+    Dropped,
+    /// The queue is full and the mode refuses to evict
+    /// ([`BackpressureMode::Block`] / [`BackpressureMode::Degrade`]);
+    /// the frame comes back to the caller to retry after a pop. Under
+    /// `Degrade` the pressure flag has been raised.
+    Full(T),
+    /// The queue was closed; the frame comes back but can never be
+    /// delivered.
+    Closed(T),
+}
+
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -169,6 +192,72 @@ impl<T> StageQueue<T> {
         drop(st);
         self.not_empty.notify_one();
         true
+    }
+
+    /// Offers one frame without ever blocking the caller. The
+    /// backpressure mode still governs a full queue, but where
+    /// [`StageQueue::push`] would park the producer thread, this
+    /// returns [`TryPush::Full`] and leaves the frame with the caller.
+    pub fn try_push(&self, item: T) -> TryPush<T> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return TryPush::Closed(item);
+        }
+        let mut evicted = false;
+        if st.items.len() >= self.capacity {
+            st.stats.full_events += 1;
+            match self.mode {
+                BackpressureMode::Block => return TryPush::Full(item),
+                BackpressureMode::Degrade => {
+                    st.pressure = true;
+                    return TryPush::Full(item);
+                }
+                BackpressureMode::DropOldest => {
+                    st.items.pop_front();
+                    st.stats.dropped += 1;
+                    evicted = true;
+                }
+            }
+        }
+        st.stats.depth_sum += st.items.len() as u64;
+        st.items.push_back(item);
+        st.stats.pushed += 1;
+        let depth = st.items.len();
+        if depth > st.stats.max_depth {
+            st.stats.max_depth = depth;
+        }
+        drop(st);
+        self.not_empty.notify_one();
+        if evicted {
+            TryPush::Dropped
+        } else {
+            TryPush::Pushed
+        }
+    }
+
+    /// Current number of queued frames (racy by nature; intended for
+    /// scheduling heuristics and telemetry, not correctness).
+    pub fn depth(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Takes the next frame without blocking; `None` when empty
+    /// (whether or not the queue is closed — pair with
+    /// [`StageQueue::is_closed`] to distinguish).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        let item = st.items.pop_front();
+        if item.is_some() {
+            st.stats.popped += 1;
+            drop(st);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// True once [`StageQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
     }
 
     /// Takes the next frame, blocking while the queue is empty.
@@ -277,6 +366,31 @@ mod tests {
         assert!(h.join().unwrap());
         assert!(q.take_pressure(), "pressure flag raised while blocked");
         assert!(!q.take_pressure(), "flag clears after read");
+    }
+
+    #[test]
+    fn try_push_never_blocks_and_reports_the_modes() {
+        let q = StageQueue::new("raw", 1, BackpressureMode::Block);
+        assert_eq!(q.try_push(1), TryPush::Pushed);
+        assert_eq!(q.try_push(2), TryPush::Full(2), "block mode refuses, returns frame");
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), None);
+
+        let q = StageQueue::new("raw", 1, BackpressureMode::DropOldest);
+        assert_eq!(q.try_push(1), TryPush::Pushed);
+        assert_eq!(q.try_push(2), TryPush::Dropped);
+        assert_eq!(q.pop(), Some(2), "head was evicted");
+        assert_eq!(q.telemetry().dropped, 1);
+
+        let q = StageQueue::new("raw", 1, BackpressureMode::Degrade);
+        assert_eq!(q.try_push(1), TryPush::Pushed);
+        assert_eq!(q.try_push(2), TryPush::Full(2));
+        assert!(q.take_pressure(), "degrade raises pressure on refusal");
+
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(3), TryPush::Closed(3));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Channel-backed frame sources: the demultiplexing hook for servers.
+//!
+//! Every [`FrameSource`](crate::FrameSource) so far pulls frames from
+//! something the pipeline owns — a sensor model, a `.rpr` container.
+//! An ingestion server inverts that: frames *arrive* (decoded off a
+//! socket by an event loop) and must be handed to a pipeline that is
+//! already running. [`channel_source`] splits one bounded
+//! [`StageQueue`] into that pair of endpoints: a [`SourceHandle`] the
+//! server pushes into and a [`ChannelSource`] the pipeline pulls from,
+//! with the queue's [`BackpressureMode`] arbitrating between them
+//! exactly as it does on every other stage edge.
+
+use crate::queue::{BackpressureMode, QueueTelemetry, StageQueue, TryPush};
+use crate::stage::FrameSource;
+use std::sync::Arc;
+
+/// Producer endpoint of a [`channel_source`] pair. Cloneable; the
+/// channel closes when [`SourceHandle::close`] is called (dropping
+/// handles does *not* close it, so a server can park a handle in a
+/// session table without racing pipeline shutdown).
+#[derive(Debug)]
+pub struct SourceHandle<T> {
+    queue: Arc<StageQueue<T>>,
+}
+
+impl<T> Clone for SourceHandle<T> {
+    fn clone(&self) -> Self {
+        SourceHandle { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> SourceHandle<T> {
+    /// Delivers one frame, blocking under [`BackpressureMode::Block`] /
+    /// [`BackpressureMode::Degrade`] when the pipeline lags. Returns
+    /// `false` once the channel is closed.
+    pub fn push(&self, frame: T) -> bool {
+        self.queue.push(frame)
+    }
+
+    /// Delivers one frame without ever blocking — the form an event
+    /// loop multiplexing many sessions must use. See [`TryPush`] for
+    /// the per-mode outcomes.
+    pub fn try_push(&self, frame: T) -> TryPush<T> {
+        self.queue.try_push(frame)
+    }
+
+    /// Ends the stream: the consuming pipeline drains what is queued,
+    /// then its source reports end-of-stream.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// True once the channel has been closed (by any handle).
+    pub fn is_closed(&self) -> bool {
+        self.queue.is_closed()
+    }
+
+    /// Frames currently queued toward the pipeline.
+    pub fn depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Reads and clears the degrade-pressure flag — the signal a
+    /// server maps back to per-tenant rhythm degradation.
+    pub fn take_pressure(&self) -> bool {
+        self.queue.take_pressure()
+    }
+
+    /// Snapshot of the channel's queue counters.
+    pub fn telemetry(&self) -> QueueTelemetry {
+        self.queue.telemetry()
+    }
+}
+
+/// Consumer endpoint of a [`channel_source`] pair: a
+/// [`FrameSource`](crate::FrameSource) that blocks on the channel until
+/// frames arrive or it closes.
+#[derive(Debug)]
+pub struct ChannelSource<T> {
+    queue: Arc<StageQueue<T>>,
+}
+
+impl<T: Send> FrameSource for ChannelSource<T> {
+    type Frame = T;
+
+    fn next_frame(&mut self) -> Option<T> {
+        self.queue.pop()
+    }
+}
+
+/// Creates a connected ([`SourceHandle`], [`ChannelSource`]) pair over
+/// a bounded queue of `capacity` frames under `mode`.
+pub fn channel_source<T>(
+    name: &str,
+    capacity: usize,
+    mode: BackpressureMode,
+) -> (SourceHandle<T>, ChannelSource<T>) {
+    let queue = Arc::new(StageQueue::new(name, capacity, mode));
+    (SourceHandle { queue: Arc::clone(&queue) }, ChannelSource { queue })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{CaptureStage, Feedback, TaskStage};
+    use crate::{run_stream, StreamConfig};
+
+    #[test]
+    fn pushed_frames_come_out_in_order() {
+        let (tx, mut src) = channel_source::<u32>("ingest", 4, BackpressureMode::Block);
+        assert!(tx.push(1));
+        assert!(tx.push(2));
+        tx.close();
+        assert_eq!(src.next_frame(), Some(1));
+        assert_eq!(src.next_frame(), Some(2));
+        assert_eq!(src.next_frame(), None, "closed and drained");
+        assert!(!tx.push(3), "closed channel refuses frames");
+    }
+
+    #[test]
+    fn handles_are_cloneable_and_share_the_channel() {
+        let (tx, mut src) = channel_source::<u32>("ingest", 4, BackpressureMode::DropOldest);
+        let tx2 = tx.clone();
+        assert_eq!(tx.try_push(1), TryPush::Pushed);
+        assert_eq!(tx2.try_push(2), TryPush::Pushed);
+        assert_eq!(tx.depth(), 2);
+        tx2.close();
+        assert!(tx.is_closed());
+        assert_eq!(src.next_frame(), Some(1));
+        assert_eq!(src.next_frame(), Some(2));
+        assert_eq!(src.next_frame(), None);
+        assert_eq!(tx.telemetry().pushed, 2);
+    }
+
+    struct Id;
+    impl CaptureStage for Id {
+        type Frame = u32;
+        type Output = u32;
+        type Summary = ();
+        fn process(&mut self, frame: u32, _f: &Feedback, _d: bool) -> u32 {
+            frame
+        }
+        fn finish(self) {}
+    }
+
+    struct Sum(u64);
+    impl TaskStage for Sum {
+        type Input = u32;
+        type Output = u64;
+        fn consume(&mut self, _idx: u64, v: u32) -> Feedback {
+            self.0 += u64::from(v);
+            Feedback::empty()
+        }
+        fn finish(self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn drives_a_full_pipeline_fed_from_outside() {
+        let (tx, src) = channel_source::<u32>("ingest", 8, BackpressureMode::Block);
+        let feeder = std::thread::spawn(move || {
+            for v in 0..100u32 {
+                assert!(tx.push(v));
+            }
+            tx.close();
+        });
+        let result = run_stream(0, src, Id, Sum(0), StreamConfig::default());
+        feeder.join().expect("feeder thread");
+        assert_eq!(result.task, (0..100u64).sum::<u64>());
+        assert_eq!(result.telemetry.frames_in, 100);
+    }
+}

@@ -22,6 +22,11 @@
 //!   [`rpr_core::ReconstructionMode`]s, plus the invariant checker:
 //!   every injected fault is *detected* or *harmless*, never a panic
 //!   and never silently wrong pixels.
+//! * **Session faults** ([`SessionFaultKind`]) — one layer further
+//!   out: typed corruption of the byte scripts cameras send an
+//!   `rpr-serve` server (torn hellos, forged message framing,
+//!   truncated final chunks), for exercising admission and
+//!   end-of-stream judgment.
 //! * **Wire conformance** ([`WireFaultKind`], [`run_wire_case`],
 //!   [`run_wire_corpus`]) — the same discipline one layer down, over
 //!   serialized `.rpr` container *bytes*: byte-identical round-trips
@@ -43,6 +48,7 @@ mod gen;
 mod lossy;
 mod reference;
 mod rng;
+mod servefault;
 mod wireconf;
 mod wirefault;
 
@@ -55,5 +61,6 @@ pub use gen::{
 pub use lossy::{LossyDram, ReadOutcome};
 pub use reference::ReferenceDecoder;
 pub use rng::TestRng;
+pub use servefault::{SessionFaultKind, ALL_SESSION_FAULTS};
 pub use wireconf::{run_wire_case, run_wire_corpus, WireCaseReport, WireCorpusReport};
 pub use wirefault::{WireFaultKind, ALL_WIRE_FAULTS};

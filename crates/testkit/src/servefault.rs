@@ -1,0 +1,255 @@
+//! Typed fault injectors over serialized *session* byte scripts.
+//!
+//! The third injection layer: [`crate::FaultKind`] corrupts in-memory
+//! frames, [`crate::WireFaultKind`] corrupts container bytes, and each
+//! [`SessionFaultKind`] corrupts the byte script a camera client sends
+//! an `rpr-serve` server — the hello, the message framing, or where
+//! the script ends. Each fault targets one serving defence: admission
+//! (bad hellos rejected with a typed [`AdmitCode`]
+//! (rpr_serve::AdmitCode)), framing (forged kinds/lengths are typed
+//! protocol errors), and end-of-stream judgment (a script cut
+//! mid-frame must surface as `WireError::TruncatedStream`, never as a
+//! silent clean session).
+//!
+//! [`SessionFaultKind::inject`] returns `None` when the script cannot
+//! host the fault (e.g. no data message to truncate); corpus drivers
+//! skip those draws rather than counting a no-op.
+
+use crate::TestRng;
+use rpr_serve::protocol::{
+    HELLO_FIXED_LEN, HELLO_MAGIC, MAX_MSG_LEN, MSG_BYE, MSG_DATA, MSG_HEADER_LEN,
+};
+
+/// Every session-script corruption class the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionFaultKind {
+    /// Cut the script inside the hello. The server must time the
+    /// session out of `AwaitHello` when the connection closes, not
+    /// admit it.
+    TruncateMidHello,
+    /// Flip one bit of the hello magic. Rejected as `BadHello`.
+    HelloMagicFlip,
+    /// Declare an unsupported protocol version. Rejected as `BadHello`.
+    HelloBadVersion,
+    /// Zero the tenant length (an anonymous hello). Rejected as
+    /// `BadHello`.
+    HelloEmptyTenant,
+    /// Replace a message kind byte with an unknown value. A typed
+    /// protocol error ends the session.
+    UnknownMsgKind,
+    /// Forge a data message's declared length above [`MAX_MSG_LEN`].
+    /// Refused before any payload is buffered.
+    OversizedMsgLen,
+    /// Cut the script inside a data message's payload — the torn
+    /// final chunk. Must end as `WireError::TruncatedStream` (or a
+    /// mid-hello/mid-message protocol error), never a clean session.
+    TruncateMidData,
+    /// Append a data message after the bye. A typed protocol error.
+    DataAfterBye,
+}
+
+/// All session fault kinds, for corpus iteration.
+pub const ALL_SESSION_FAULTS: [SessionFaultKind; 8] = [
+    SessionFaultKind::TruncateMidHello,
+    SessionFaultKind::HelloMagicFlip,
+    SessionFaultKind::HelloBadVersion,
+    SessionFaultKind::HelloEmptyTenant,
+    SessionFaultKind::UnknownMsgKind,
+    SessionFaultKind::OversizedMsgLen,
+    SessionFaultKind::TruncateMidData,
+    SessionFaultKind::DataAfterBye,
+];
+
+/// Walks the message area of a script (after the hello) and returns
+/// the offsets of each message header. Assumes a well-formed input
+/// script (the injector corrupts *from* valid scripts).
+fn message_offsets(script: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let Some(tenant_len) = script
+        .get(HELLO_FIXED_LEN - 2..HELLO_FIXED_LEN)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map(u16::from_le_bytes)
+    else {
+        return offsets;
+    };
+    let mut pos = HELLO_FIXED_LEN + usize::from(tenant_len);
+    while pos + MSG_HEADER_LEN <= script.len() {
+        offsets.push(pos);
+        let Some(len) = script
+            .get(pos + 1..pos + 5)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .map(u32::from_le_bytes)
+        else {
+            break;
+        };
+        pos += MSG_HEADER_LEN + len as usize;
+    }
+    offsets
+}
+
+impl SessionFaultKind {
+    /// Short stable name for reports and corpus bookkeeping.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionFaultKind::TruncateMidHello => "truncate-mid-hello",
+            SessionFaultKind::HelloMagicFlip => "hello-magic-flip",
+            SessionFaultKind::HelloBadVersion => "hello-bad-version",
+            SessionFaultKind::HelloEmptyTenant => "hello-empty-tenant",
+            SessionFaultKind::UnknownMsgKind => "unknown-msg-kind",
+            SessionFaultKind::OversizedMsgLen => "oversized-msg-len",
+            SessionFaultKind::TruncateMidData => "truncate-mid-data",
+            SessionFaultKind::DataAfterBye => "data-after-bye",
+        }
+    }
+
+    /// Applies the fault to a well-formed session `script` (as built
+    /// by `rpr_serve::session_script`), deterministically under `rng`.
+    /// Returns `None` when the script cannot host this fault.
+    pub fn inject(self, script: &[u8], rng: &mut TestRng) -> Option<Vec<u8>> {
+        let mut out = script.to_vec();
+        match self {
+            SessionFaultKind::TruncateMidHello => {
+                if script.len() < HELLO_FIXED_LEN {
+                    return None;
+                }
+                // Keep at least the magic (so the cut is mid-hello,
+                // not an instant bad-magic) and lose at least a byte.
+                let keep = HELLO_MAGIC.len()
+                    + rng.range_usize(0, HELLO_FIXED_LEN - HELLO_MAGIC.len() - 1);
+                out.truncate(keep);
+                Some(out)
+            }
+            SessionFaultKind::HelloMagicFlip => {
+                let i = rng.range_usize(0, HELLO_MAGIC.len() - 1);
+                *out.get_mut(i)? ^= 1u8 << rng.range_u32(0, 7);
+                Some(out)
+            }
+            SessionFaultKind::HelloBadVersion => {
+                *out.get_mut(4)? = 0xfe;
+                *out.get_mut(5)? = 0xff;
+                Some(out)
+            }
+            SessionFaultKind::HelloEmptyTenant => {
+                *out.get_mut(HELLO_FIXED_LEN - 2)? = 0;
+                *out.get_mut(HELLO_FIXED_LEN - 1)? = 0;
+                Some(out)
+            }
+            SessionFaultKind::UnknownMsgKind => {
+                let offsets = message_offsets(script);
+                if offsets.is_empty() {
+                    return None;
+                }
+                let at = *offsets.get(rng.range_usize(0, offsets.len() - 1))?;
+                *out.get_mut(at)? = 0x7a; // neither 'D' nor 'B'
+                Some(out)
+            }
+            SessionFaultKind::OversizedMsgLen => {
+                let data: Vec<usize> = message_offsets(script)
+                    .into_iter()
+                    .filter(|&o| script.get(o) == Some(&MSG_DATA))
+                    .collect();
+                if data.is_empty() {
+                    return None;
+                }
+                let at = *data.get(rng.range_usize(0, data.len() - 1))?;
+                let forged = (MAX_MSG_LEN + 1 + rng.range_u32(0, 1023)).to_le_bytes();
+                out.get_mut(at + 1..at + 5)?.copy_from_slice(&forged);
+                Some(out)
+            }
+            SessionFaultKind::TruncateMidData => {
+                let offsets = message_offsets(script);
+                let data: Vec<usize> = offsets
+                    .iter()
+                    .copied()
+                    .filter(|&o| {
+                        script.get(o) == Some(&MSG_DATA)
+                            && script
+                                .get(o + 1..o + 5)
+                                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                                .map(u32::from_le_bytes)
+                                .unwrap_or(0)
+                                > 1
+                    })
+                    .collect();
+                if data.is_empty() {
+                    return None;
+                }
+                let at = *data.get(rng.range_usize(0, data.len() - 1))?;
+                let len = script
+                    .get(at + 1..at + 5)
+                    .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                    .map(u32::from_le_bytes)? as usize;
+                // Cut strictly inside the payload.
+                let cut = at + MSG_HEADER_LEN + 1 + rng.range_usize(0, len - 2);
+                out.truncate(cut);
+                Some(out)
+            }
+            SessionFaultKind::DataAfterBye => {
+                let offsets = message_offsets(script);
+                offsets.iter().find(|&&o| script.get(o) == Some(&MSG_BYE))?;
+                out.push(MSG_DATA);
+                out.extend_from_slice(&4u32.to_le_bytes());
+                out.extend_from_slice(b"late");
+                Some(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_serve::session_script;
+
+    fn script() -> Vec<u8> {
+        // A hand-rolled pseudo-container payload is fine here: the
+        // injectors only manipulate session framing, not wire bytes.
+        session_script("acme", 3, &[0xAB; 300], 64, true)
+    }
+
+    #[test]
+    fn every_fault_applies_to_a_full_script() {
+        let s = script();
+        for kind in ALL_SESSION_FAULTS {
+            let mut rng = TestRng::new(0x5e55);
+            let injected = kind.inject(&s, &mut rng);
+            assert!(injected.is_some(), "{} found no anchor", kind.name());
+            assert_ne!(injected.unwrap(), s, "{} must change the script", kind.name());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let s = script();
+        for kind in ALL_SESSION_FAULTS {
+            let a = kind.inject(&s, &mut TestRng::new(42));
+            let b = kind.inject(&s, &mut TestRng::new(42));
+            assert_eq!(a, b, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn faults_without_anchors_are_skipped() {
+        // Script with no bye: DataAfterBye cannot apply.
+        let no_bye = session_script("acme", 3, &[1, 2, 3], 64, false);
+        assert!(SessionFaultKind::DataAfterBye
+            .inject(&no_bye, &mut TestRng::new(1))
+            .is_none());
+        // Script with no data messages: data-targeting faults skip.
+        let no_data = session_script("acme", 3, &[], 64, true);
+        assert!(SessionFaultKind::TruncateMidData
+            .inject(&no_data, &mut TestRng::new(1))
+            .is_none());
+        assert!(SessionFaultKind::OversizedMsgLen
+            .inject(&no_data, &mut TestRng::new(1))
+            .is_none());
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut names: Vec<_> = ALL_SESSION_FAULTS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_SESSION_FAULTS.len());
+    }
+}

@@ -48,7 +48,7 @@ pub use chrome::{chrome_trace_json, chrome_trace_value};
 pub use registry::MetricsRegistry;
 pub use report::{
     diff_reports, DiffThresholds, EnergySection, HwSection, LabelAttribution, MemorySection,
-    MetricDelta, RegionSection, ReportDiff, RunReport, StageSection, StreamSection,
+    MetricDelta, RegionSection, ReportDiff, RunReport, StageSection, StreamSection, TenantSection,
     REPORT_SCHEMA_VERSION,
 };
 pub use sink::{

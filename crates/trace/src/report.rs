@@ -154,6 +154,34 @@ pub struct LabelAttribution {
     pub energy_pj: f64,
 }
 
+/// Per-tenant traffic and service-quality accounting for a served run
+/// (from `rpr-serve`). One row per tenant; a single-tenant or unserved
+/// run simply leaves [`RunReport::tenants`] empty.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantSection {
+    /// Tenant identifier (the string clients present at admission).
+    pub tenant: String,
+    /// Sessions the tenant attempted to open.
+    pub sessions_offered: u64,
+    /// Sessions admitted (≤ offered; the rest hit admission control).
+    pub sessions_admitted: u64,
+    /// Frames accepted off the wire for this tenant.
+    pub frames_accepted: u64,
+    /// Frames delivered end to end to the tenant's pipelines.
+    pub frames_delivered: u64,
+    /// Frames dropped (quota throttling plus drop-oldest eviction).
+    pub frames_dropped: u64,
+    /// Payload bytes ingested for this tenant.
+    pub bytes_ingested: u64,
+    /// Times the tenant hit its byte or frame token bucket.
+    pub quota_throttles: u64,
+    /// Times the tenant's queue raised degrade pressure.
+    pub degrade_events: u64,
+    /// `frames_delivered / frames_accepted` (1.0 when nothing was
+    /// accepted) — the headline per-tenant service-quality number.
+    pub delivered_fraction: f64,
+}
+
 /// One run of one workload, fully described: the unified document the
 /// `rpr-report` CLI renders and diffs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -188,6 +216,8 @@ pub struct RunReport {
     /// Traffic bytes not attributable to any label (masks, region
     /// tables, raw-baseline frames).
     pub unattributed_bytes: u64,
+    /// Per-tenant serving accounting (empty for unserved runs).
+    pub tenants: Vec<TenantSection>,
 }
 
 impl RunReport {
@@ -298,6 +328,23 @@ impl RunReport {
                 );
             }
             push(&mut out, format!("  unattributed: {} B", self.unattributed_bytes));
+        }
+        if !self.tenants.is_empty() {
+            push(
+                &mut out,
+                "tenants (sessions adm/off, frames del/acc/drop, bytes, throttles):".to_string(),
+            );
+            for t in &self.tenants {
+                push(
+                    &mut out,
+                    format!(
+                        "  {}: {}/{} sessions  {}/{} frames ({} dropped)  {} B  {} throttles  {} degrades  delivered {:.3}",
+                        t.tenant, t.sessions_admitted, t.sessions_offered, t.frames_delivered,
+                        t.frames_accepted, t.frames_dropped, t.bytes_ingested, t.quota_throttles,
+                        t.degrade_events, t.delivered_fraction
+                    ),
+                );
+            }
         }
         out
     }
@@ -457,6 +504,17 @@ pub fn diff_reports(base: &RunReport, new: &RunReport, th: &DiffThresholds) -> R
             ));
         }
     }
+    for bt in &base.tenants {
+        if let Some(nt) = new.tenants.iter().find(|t| t.tenant == bt.tenant) {
+            deltas.push(delta(
+                format!("tenant.{}.delivered_fraction", bt.tenant),
+                bt.delivered_fraction,
+                nt.delivered_fraction,
+                th.accuracy_pct,
+                Worse::Down,
+            ));
+        }
+    }
     if th.check_latency {
         for (bs, ns) in base.streams.iter().zip(new.streams.iter()) {
             deltas.push(delta(
@@ -597,5 +655,57 @@ mod tests {
         assert!(text.contains("energy:"));
         assert!(text.contains("label attribution"));
         assert!(text.contains("L0 s2 k1"));
+    }
+
+    fn tenant(name: &str, accepted: u64, delivered: u64) -> TenantSection {
+        TenantSection {
+            tenant: name.to_string(),
+            sessions_offered: 8,
+            sessions_admitted: 8,
+            frames_accepted: accepted,
+            frames_delivered: delivered,
+            frames_dropped: accepted - delivered,
+            bytes_ingested: accepted * 100,
+            delivered_fraction: if accepted == 0 {
+                1.0
+            } else {
+                delivered as f64 / accepted as f64
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tenant_sections_render_and_roundtrip() {
+        let mut report = sample_report();
+        report.tenants = vec![tenant("acme", 100, 100), tenant("globex", 100, 60)];
+        let text = report.render_text();
+        assert!(text.contains("tenants ("), "{text}");
+        assert!(text.contains("globex: 8/8 sessions  60/100 frames"), "{text}");
+        let back: RunReport =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn tenant_delivered_fraction_drop_regresses() {
+        let mut base = sample_report();
+        base.tenants = vec![tenant("acme", 100, 100)];
+        let mut new = base.clone();
+        new.tenants = vec![tenant("acme", 100, 60)];
+        let diff = diff_reports(&base, &new, &DiffThresholds::default());
+        let d = diff
+            .deltas
+            .iter()
+            .find(|d| d.name == "tenant.acme.delivered_fraction")
+            .expect("tenant delta present");
+        assert!(d.regressed, "{}", diff.render_text());
+        // A tenant only present in the candidate is ignored (new
+        // tenants cannot regress a baseline that never served them).
+        new.tenants.push(tenant("initech", 10, 0));
+        assert!(diff_reports(&base, &new, &DiffThresholds::default())
+            .deltas
+            .iter()
+            .all(|d| !d.name.contains("initech")));
     }
 }

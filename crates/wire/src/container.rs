@@ -219,7 +219,7 @@ impl<W: Write> ContainerWriter<W> {
 /// Checks the 16-byte file header. Returns nothing; the version and
 /// flags are the only variable fields and v1 readers ignore flags
 /// (reserved, writers emit zero).
-fn check_header(bytes: &[u8]) -> Result<()> {
+pub(crate) fn check_header(bytes: &[u8]) -> Result<()> {
     if bytes.len() < HEADER_LEN {
         return Err(WireError::Truncated {
             what: "file header",
@@ -253,6 +253,13 @@ fn parse_trailer(bytes: &[u8]) -> Result<(u64, u32)> {
         });
     }
     let t = raw::slice_at(bytes, bytes.len() - TRAILER_LEN, TRAILER_LEN, "container trailer")?;
+    parse_trailer_slice(t)
+}
+
+/// Parses exactly the [`TRAILER_LEN`] trailer bytes — the shared core
+/// of [`parse_trailer`] and the streaming decoder, which holds the
+/// trailer in its own buffer rather than at the end of a whole file.
+pub(crate) fn parse_trailer_slice(t: &[u8]) -> Result<(u64, u32)> {
     if raw::slice_at(t, 16, 4, "trailer magic")? != TRAILER_MAGIC {
         return Err(WireError::BadMagic { what: "trailer" });
     }

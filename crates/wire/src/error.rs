@@ -38,6 +38,21 @@ pub enum WireError {
         /// Bytes actually available.
         available: u64,
     },
+    /// A *streaming* ingest ended mid-structure: the session closed
+    /// while the decoder still held a partial header, chunk, or
+    /// trailer. Distinct from [`WireError::Truncated`] (a whole-buffer
+    /// parse running off the end) so ingest services can tell a torn
+    /// final chunk apart from an ordinary short read — scan recovery
+    /// must never report this case as a clean end of stream.
+    TruncatedStream {
+        /// Which structure was cut short.
+        what: &'static str,
+        /// Bytes of the partial structure already buffered.
+        buffered: u64,
+        /// Bytes the structure needs (lower bound when the structure's
+        /// own length field had not arrived yet).
+        needed: u64,
+    },
     /// A stored CRC32 does not match the checksum of the covered bytes.
     ChecksumMismatch {
         /// Which checksummed region mismatched.
@@ -104,6 +119,12 @@ impl fmt::Display for WireError {
             }
             WireError::Truncated { what, needed, available } => {
                 write!(f, "{what} truncated: needs {needed} bytes, {available} available")
+            }
+            WireError::TruncatedStream { what, buffered, needed } => {
+                write!(
+                    f,
+                    "stream ended mid-{what}: {buffered} of {needed} bytes buffered"
+                )
             }
             WireError::ChecksumMismatch { what, stored, computed } => write!(
                 f,

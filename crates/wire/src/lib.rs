@@ -66,6 +66,7 @@ mod crc32;
 mod error;
 pub mod frame;
 pub mod rle;
+pub mod stream;
 pub mod varint;
 
 pub use container::{
@@ -81,3 +82,4 @@ pub use frame::{
     encode_frame, EncodedFrameView, FrameEncodeStats, MaskCodec, FRAME_HEADER_LEN, MAX_DIMENSION,
     MAX_PIXELS,
 };
+pub use stream::{StreamDecoder, StreamEvent, MAX_STREAM_CHUNK};

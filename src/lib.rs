@@ -24,7 +24,13 @@
 //! * [`wire`] — the `.rpr` wire format: a canonical little-endian
 //!   bitstream for encoded frames and a chunked, CRC-guarded container
 //!   with an O(1)-seek index, powering record/replay of capture
-//!   streams.
+//!   streams;
+//! * [`serve`] — the multi-tenant ingestion service: a non-blocking
+//!   event loop accepting camera sessions that stream `.rpr`
+//!   containers, with per-tenant admission control, token-bucket
+//!   quotas, and QoS backpressure;
+//! * [`trace`] — cross-layer tracing and the unified [`trace::RunReport`]
+//!   metrics schema with its regression-diff tooling.
 //!
 //! # Quick start
 //!
@@ -53,7 +59,9 @@ pub use rpr_hwsim as hwsim;
 pub use rpr_isp as isp;
 pub use rpr_memsim as memsim;
 pub use rpr_sensor as sensor;
+pub use rpr_serve as serve;
 pub use rpr_stream as stream;
+pub use rpr_trace as trace;
 pub use rpr_vision as vision;
 pub use rpr_wire as wire;
 pub use rpr_workloads as workloads;
