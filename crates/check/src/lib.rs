@@ -134,6 +134,8 @@ mod tests {
             ("lints.panic_surface.include", &[
                 "crates/wire/src/",
                 "crates/core/src/decoder.rs",
+                "crates/core/src/kernels.rs",
+                "crates/core/src/pool.rs",
                 "crates/testkit/src/wirefault.rs",
                 "crates/testkit/src/fault.rs",
                 "crates/testkit/src/servefault.rs",
@@ -143,9 +145,11 @@ mod tests {
             ("lints.truncating_cast.include", &[
                 "crates/wire/src/",
                 "crates/core/src/decoder.rs",
+                "crates/core/src/kernels.rs",
+                "crates/core/src/pool.rs",
                 "crates/serve/src/protocol.rs",
             ]),
-            ("dynamic.miri.crates", &["rpr-wire"]),
+            ("dynamic.miri.crates", &["rpr-wire", "rpr-core"]),
             ("dynamic.miri.extra_tests", &["panic_freedom"]),
             ("dynamic.asan.crates", &["rpr-wire", "rpr-core", "rpr-serve"]),
             ("dynamic.lsan.crates", &["rpr-wire", "rpr-core", "rpr-serve"]),

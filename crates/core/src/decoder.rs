@@ -17,7 +17,10 @@
 //!   behaviour (§4.2.2): a strided pixel re-samples whatever value the
 //!   response stream produced last.
 
-use crate::{EncodedFrame, PixelMmu, PixelRequest, PixelStatus, Result, SubRequestKind};
+use crate::kernels;
+use crate::{
+    BufferPool, EncodedFrame, PixelMmu, PixelRequest, PixelStatus, Result, SubRequestKind,
+};
 use rpr_frame::{GrayFrame, Plane};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -29,6 +32,18 @@ fn us(v: u32) -> usize {
     v as usize // rpr-check: allow(truncating-cast): u32 -> usize is lossless on the 32/64-bit targets this crate supports
 }
 
+/// Run length (bounded by the pixel count) to a `u64` stats increment.
+#[inline]
+fn ul(v: usize) -> u64 {
+    v as u64 // rpr-check: allow(truncating-cast): usize -> u64 is lossless on the 32/64-bit targets this crate supports
+}
+
+/// In-row `usize` position back to the `u32` coordinate space.
+#[inline]
+fn ux(v: usize) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
 /// Number of recent encoded frames whose metadata the decoder's
 /// scratchpad holds (paper §4.2.1: "the four most recent encoded
 /// frames").
@@ -38,19 +53,33 @@ pub const HISTORY_DEPTH: usize = 4;
 #[derive(Debug, Clone, Default)]
 pub struct FrameHistory {
     frames: VecDeque<EncodedFrame>,
+    /// When set, evicted frames are dismantled into this pool
+    /// ([`EncodedFrame::recycle`]) instead of dropped, closing the
+    /// encoder's buffer-reuse loop.
+    pool: Option<BufferPool>,
 }
 
 impl FrameHistory {
     /// Creates an empty history.
     pub fn new() -> Self {
-        FrameHistory { frames: VecDeque::with_capacity(HISTORY_DEPTH) }
+        FrameHistory { frames: VecDeque::with_capacity(HISTORY_DEPTH), pool: None }
+    }
+
+    /// Creates an empty history that recycles evicted frames' buffers
+    /// into `pool`.
+    pub fn with_pool(pool: BufferPool) -> Self {
+        FrameHistory { frames: VecDeque::with_capacity(HISTORY_DEPTH), pool: Some(pool) }
     }
 
     /// Pushes a newly encoded frame, evicting the oldest beyond
     /// [`HISTORY_DEPTH`].
     pub fn push(&mut self, frame: EncodedFrame) {
         self.frames.push_front(frame);
-        self.frames.truncate(HISTORY_DEPTH);
+        while self.frames.len() > HISTORY_DEPTH {
+            if let (Some(old), Some(pool)) = (self.frames.pop_back(), &self.pool) {
+                old.recycle(pool);
+            }
+        }
     }
 
     /// The most recent frame.
@@ -138,6 +167,15 @@ pub struct SoftwareDecoder {
     history: FrameHistory,
     last_decoded: Option<GrayFrame>,
     stats: DecoderStats,
+    /// Buffer source for output planes; evicted history frames are
+    /// dismantled back into it. Share with the encoder via
+    /// [`Self::with_pool`] to close the zero-alloc loop.
+    pool: BufferPool,
+    /// Persistent chamfer-distance scratch rows (one frame's worth of
+    /// state, reset per decode) so steady-state decoding allocates
+    /// nothing.
+    prev_dist: Vec<u32>,
+    cur_dist: Vec<u32>,
 }
 
 impl SoftwareDecoder {
@@ -149,14 +187,37 @@ impl SoftwareDecoder {
 
     /// Creates a decoder with an explicit reconstruction mode.
     pub fn with_mode(width: u32, height: u32, mode: ReconstructionMode) -> Self {
+        Self::with_pool(width, height, mode, BufferPool::new())
+    }
+
+    /// Creates a decoder drawing output planes from `pool` and
+    /// recycling evicted history frames into it. Hand the encoder the
+    /// same pool ([`crate::RhythmicEncoder::with_pool`]) and return
+    /// retired output planes via [`Self::recycle_output`], and the
+    /// steady-state encode→decode loop performs no heap allocation.
+    pub fn with_pool(width: u32, height: u32, mode: ReconstructionMode, pool: BufferPool) -> Self {
         SoftwareDecoder {
             width,
             height,
             mode,
-            history: FrameHistory::new(),
+            history: FrameHistory::with_pool(pool.clone()),
             last_decoded: None,
             stats: DecoderStats::default(),
+            pool,
+            prev_dist: Vec::new(),
+            cur_dist: Vec::new(),
         }
+    }
+
+    /// The pool this decoder draws output planes from.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Returns a retired output plane's buffer to the pool so the next
+    /// decode reuses it.
+    pub fn recycle_output(&self, frame: GrayFrame) {
+        self.pool.put_vec(frame.into_vec());
     }
 
     /// Frame width the decoder was built for.
@@ -217,6 +278,19 @@ impl SoftwareDecoder {
     /// Panics when the encoded frame's geometry does not match the
     /// decoder's.
     pub fn decode(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        self.decode_owned(encoded.clone())
+    }
+
+    /// [`Self::decode`] taking the frame by value: the frame moves into
+    /// the history without cloning its mask/payload/offsets, which is
+    /// what keeps the pooled steady state allocation-free. Identical
+    /// output, stats, and panic contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the encoded frame's geometry does not match the
+    /// decoder's.
+    pub fn decode_owned(&mut self, encoded: EncodedFrame) -> GrayFrame {
         // rpr-check: allow(panic-surface): documented panic contract (see doc comment and the should_panic test); try_decode is the fallible entry for untrusted frames
         assert_eq!(
             (encoded.width(), encoded.height()),
@@ -226,11 +300,16 @@ impl SoftwareDecoder {
         let _span = rpr_trace::span(rpr_trace::names::DECODE, "core")
             .with_frame(encoded.frame_idx());
         let out = match self.mode {
-            ReconstructionMode::BlockNearest => self.decode_block_nearest(encoded),
-            ReconstructionMode::FifoReplicate => self.decode_fifo(encoded),
+            ReconstructionMode::BlockNearest => self.decode_block_nearest(&encoded),
+            ReconstructionMode::FifoReplicate => self.decode_fifo(&encoded),
         };
-        self.history.push(encoded.clone());
-        self.last_decoded = Some(out.clone());
+        self.history.push(encoded);
+        // Refresh the retained copy in place (a memcpy, not an alloc)
+        // when one exists; geometry is fixed, so lengths always match.
+        match &mut self.last_decoded {
+            Some(prev) => prev.as_mut_slice().copy_from_slice(out.as_slice()),
+            None => self.last_decoded = Some(out.clone()),
+        }
         self.stats.frames += 1;
         out
     }
@@ -240,139 +319,217 @@ impl SoftwareDecoder {
     /// row, else directly above), which for stride grids is exactly the
     /// governing stride anchor.
     fn decode_block_nearest(&mut self, encoded: &EncodedFrame) -> GrayFrame {
-        let w = us(self.width);
+        // Disjoint field borrows: the output buffer, distance scratch,
+        // stats, and the previous decoded plane are all live at once.
+        let SoftwareDecoder { width, height, last_decoded, stats, pool, prev_dist, cur_dist, .. } =
+            self;
+        let (width, height) = (*width, *height);
+        let w = us(width);
         let meta = encoded.metadata();
-        let mut out: GrayFrame = Plane::new(self.width, self.height);
+        let mask_bytes = meta.mask.as_bytes();
+        // Every pixel below is written by exactly one run, so the
+        // recycled buffer's stale contents are never observable — the
+        // poisoned-pool conformance sweep is what proves that.
+        let mut out_vec = pool.get_scratch(w * us(height));
+        let prev_plane: Option<&[u8]> = last_decoded.as_ref().map(|p| p.as_slice());
         // Distance (in chamfer steps) from each pixel of the previous row
         // to its data source; u32::MAX marks "no data".
-        let mut prev_dist = vec![u32::MAX; w];
-        let mut cur_dist = vec![u32::MAX; w];
+        prev_dist.clear();
+        prev_dist.resize(w, u32::MAX);
+        cur_dist.clear();
+        cur_dist.resize(w, u32::MAX);
 
-        for y in 0..self.height {
+        for y in 0..height {
             let span = meta.row_offsets.row_span(y);
             // A frame whose offsets overrun its payload decodes the
             // overrun as black instead of panicking; try_decode's
             // validation is what reports such frames as corrupt.
             let row_pixels =
                 encoded.pixels().get(us(span.start)..us(span.end)).unwrap_or(&[]);
+            let base = us(y) * w;
+            // Split-borrow the plane: everything before this row is
+            // final, so the previous row reads straight from the output
+            // buffer (the old code copied it to a fresh Vec per row).
+            let (done, rest) = out_vec.split_at_mut(base.min(w * us(height)));
+            let Some(cur_row) = rest.get_mut(..w) else { continue };
+            let prev_row: &[u8] =
+                if y == 0 { &[] } else { done.get(base - w..).unwrap_or(&[]) };
+            let prev_hist_row = prev_plane.and_then(|p| p.get(base..base + w));
             let mut next_r = 0usize;
             let mut last_r: Option<(u32, u8)> = None;
-            let (prev_row_black, out_row_split) = if y == 0 {
-                (true, None)
-            } else {
-                (false, Some(y))
-            };
-            // Borrow previous decoded row by value-copies to appease the
-            // borrow checker cheaply: we only need u8 reads.
-            let prev_row: Vec<u8> = if let Some(yy) = out_row_split {
-                out.row(yy - 1).to_vec()
-            } else {
-                Vec::new()
-            };
+            let mut x = 0usize;
 
-            for x in 0..self.width {
-                let status = meta.mask.get(x, y);
-                let (value, dist) = match status {
+            kernels::for_each_run(mask_bytes, base, w, |status, run| {
+                match PixelStatus::from_bits(status) {
                     PixelStatus::Regional => {
-                        let v = row_pixels.get(next_r).copied().unwrap_or(0);
-                        next_r += 1;
-                        last_r = Some((x, v));
-                        self.stats.regional += 1;
-                        (v, 0)
+                        // Whole-run payload copy; overruns past the
+                        // payload decode as black, as per-pixel
+                        // `.get(..).unwrap_or(0)` did.
+                        let avail = row_pixels.len().saturating_sub(next_r).min(run);
+                        if let (Some(dst), Some(src)) = (
+                            cur_row.get_mut(x..x + avail),
+                            row_pixels.get(next_r..next_r + avail),
+                        ) {
+                            dst.copy_from_slice(src);
+                        }
+                        if let Some(pad) = cur_row.get_mut(x + avail..x + run) {
+                            pad.fill(0);
+                        }
+                        if let Some(d) = cur_dist.get_mut(x..x + run) {
+                            d.fill(0);
+                        }
+                        next_r += run;
+                        stats.regional += ul(run);
+                        let lx = x + run - 1;
+                        last_r = Some((ux(lx), cur_row.get(lx).copied().unwrap_or(0)));
                     }
                     PixelStatus::Strided => {
-                        self.stats.interpolated += 1;
-                        let left = last_r.map(|(xr, v)| (x - xr, v));
-                        let above = if prev_row_black {
-                            None
-                        } else {
-                            match (
-                                prev_dist.get(us(x)).copied(),
-                                prev_row.get(us(x)).copied(),
-                            ) {
-                                (Some(d), Some(v)) if d != u32::MAX => Some((d + 1, v)),
-                                _ => None,
-                            }
-                        };
-                        match (left, above) {
-                            (Some((dl, vl)), Some((da, va))) => {
-                                if dl <= da {
-                                    (vl, dl)
-                                } else {
-                                    (va, da)
+                        stats.interpolated += ul(run);
+                        for i in x..x + run {
+                            let left = last_r.map(|(xr, v)| (ux(i) - xr, v));
+                            let above = if y == 0 {
+                                None
+                            } else {
+                                match (prev_dist.get(i).copied(), prev_row.get(i).copied()) {
+                                    (Some(d), Some(v)) if d != u32::MAX => Some((d + 1, v)),
+                                    _ => None,
                                 }
+                            };
+                            let (value, dist) = match (left, above) {
+                                (Some((dl, vl)), Some((da, va))) => {
+                                    if dl <= da {
+                                        (vl, dl)
+                                    } else {
+                                        (va, da)
+                                    }
+                                }
+                                (Some((dl, vl)), None) => (vl, dl),
+                                (None, Some((da, va))) => (va, da),
+                                (None, None) => (0, u32::MAX),
+                            };
+                            if let Some(slot) = cur_row.get_mut(i) {
+                                *slot = value;
                             }
-                            (Some((dl, vl)), None) => (vl, dl),
-                            (None, Some((da, va))) => (va, da),
-                            (None, None) => (0, u32::MAX),
+                            if let Some(slot) = cur_dist.get_mut(i) {
+                                *slot = dist;
+                            }
                         }
                     }
                     PixelStatus::Skipped => {
-                        if let Some(prev) = &self.last_decoded {
-                            self.stats.from_history += 1;
-                            (prev.get(x, y).unwrap_or(0), 0)
+                        if let Some(prow) = prev_hist_row {
+                            stats.from_history += ul(run);
+                            if let (Some(dst), Some(src)) =
+                                (cur_row.get_mut(x..x + run), prow.get(x..x + run))
+                            {
+                                dst.copy_from_slice(src);
+                            }
+                            if let Some(d) = cur_dist.get_mut(x..x + run) {
+                                d.fill(0);
+                            }
                         } else {
-                            self.stats.black += 1;
-                            (0, u32::MAX)
+                            stats.black += ul(run);
+                            if let Some(dst) = cur_row.get_mut(x..x + run) {
+                                dst.fill(0);
+                            }
+                            if let Some(d) = cur_dist.get_mut(x..x + run) {
+                                d.fill(u32::MAX);
+                            }
                         }
                     }
                     PixelStatus::NonRegional => {
-                        self.stats.black += 1;
-                        (0, u32::MAX)
+                        stats.black += ul(run);
+                        if let Some(dst) = cur_row.get_mut(x..x + run) {
+                            dst.fill(0);
+                        }
+                        if let Some(d) = cur_dist.get_mut(x..x + run) {
+                            d.fill(u32::MAX);
+                        }
                     }
-                };
-                out.set(x, y, value);
-                if let Some(slot) = cur_dist.get_mut(us(x)) {
-                    *slot = dist;
                 }
-            }
-            std::mem::swap(&mut prev_dist, &mut cur_dist);
+                x += run;
+            });
+            std::mem::swap(prev_dist, cur_dist);
         }
-        out
+        Plane::from_vec(width, height, out_vec)
+            .unwrap_or_else(|_| Plane::new(width, height))
     }
 
     /// Hardware-faithful FIFO reconstruction: one whole-frame
     /// transaction; `St` repeats the last emitted value.
     fn decode_fifo(&mut self, encoded: &EncodedFrame) -> GrayFrame {
+        let SoftwareDecoder { width, height, last_decoded, stats, pool, .. } = self;
+        let (width, height) = (*width, *height);
+        let w = us(width);
         let meta = encoded.metadata();
-        let mut out: GrayFrame = Plane::new(self.width, self.height);
+        let mask_bytes = meta.mask.as_bytes();
+        let mut out_vec = pool.get_scratch(w * us(height));
+        let prev_plane: Option<&[u8]> = last_decoded.as_ref().map(|p| p.as_slice());
         let mut last_emitted: u8 = 0;
-        for y in 0..self.height {
+        for y in 0..height {
             let span = meta.row_offsets.row_span(y);
             let row_pixels =
                 encoded.pixels().get(us(span.start)..us(span.end)).unwrap_or(&[]);
+            let base = us(y) * w;
+            let Some(cur_row) = out_vec.get_mut(base..base + w) else { continue };
+            let prev_hist_row = prev_plane.and_then(|p| p.get(base..base + w));
             let mut next_r = 0usize;
-            for x in 0..self.width {
-                let value = match meta.mask.get(x, y) {
+            let mut x = 0usize;
+            kernels::for_each_run(mask_bytes, base, w, |status, run| {
+                match PixelStatus::from_bits(status) {
                     PixelStatus::Regional => {
-                        let v = row_pixels.get(next_r).copied().unwrap_or(0);
-                        next_r += 1;
-                        self.stats.regional += 1;
-                        v
+                        let avail = row_pixels.len().saturating_sub(next_r).min(run);
+                        if let (Some(dst), Some(src)) = (
+                            cur_row.get_mut(x..x + avail),
+                            row_pixels.get(next_r..next_r + avail),
+                        ) {
+                            dst.copy_from_slice(src);
+                        }
+                        if let Some(pad) = cur_row.get_mut(x + avail..x + run) {
+                            pad.fill(0);
+                        }
+                        next_r += run;
+                        stats.regional += ul(run);
+                        last_emitted = cur_row.get(x + run - 1).copied().unwrap_or(0);
                     }
                     PixelStatus::Strided => {
-                        self.stats.interpolated += 1;
-                        last_emitted
+                        // Replicates the FIFO's last output; the run
+                        // leaves `last_emitted` unchanged because every
+                        // pixel re-emits it.
+                        stats.interpolated += ul(run);
+                        if let Some(dst) = cur_row.get_mut(x..x + run) {
+                            dst.fill(last_emitted);
+                        }
                     }
                     PixelStatus::Skipped => {
-                        if let Some(prev) = &self.last_decoded {
-                            self.stats.from_history += 1;
-                            prev.get(x, y).unwrap_or(0)
+                        if let Some(prow) = prev_hist_row {
+                            stats.from_history += ul(run);
+                            if let (Some(dst), Some(src)) =
+                                (cur_row.get_mut(x..x + run), prow.get(x..x + run))
+                            {
+                                dst.copy_from_slice(src);
+                            }
+                            last_emitted = cur_row.get(x + run - 1).copied().unwrap_or(0);
                         } else {
-                            self.stats.black += 1;
-                            0
+                            stats.black += ul(run);
+                            if let Some(dst) = cur_row.get_mut(x..x + run) {
+                                dst.fill(0);
+                            }
+                            last_emitted = 0;
                         }
                     }
                     PixelStatus::NonRegional => {
-                        self.stats.black += 1;
-                        0
+                        stats.black += ul(run);
+                        if let Some(dst) = cur_row.get_mut(x..x + run) {
+                            dst.fill(0);
+                        }
+                        last_emitted = 0;
                     }
-                };
-                last_emitted = value;
-                out.set(x, y, value);
-            }
+                }
+                x += run;
+            });
         }
-        out
+        Plane::from_vec(width, height, out_vec)
+            .unwrap_or_else(|_| Plane::new(width, height))
     }
 
     /// Random-access read of a single decoded pixel through the PMMU

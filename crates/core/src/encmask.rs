@@ -178,6 +178,12 @@ impl EncMask {
         Some(EncMask { width, height, packed })
     }
 
+    /// Dismantles the mask into its raw packed bytes, so a
+    /// [`crate::BufferPool`] can recycle the allocation.
+    pub fn into_raw_bytes(self) -> Vec<u8> {
+        self.packed
+    }
+
     /// Iterates the statuses of row `y` from left to right.
     ///
     /// # Panics

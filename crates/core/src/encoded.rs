@@ -57,11 +57,25 @@ impl EncodedFrame {
         pixels: Vec<u8>,
         metadata: FrameMetadata,
     ) -> Self {
+        Self::new_shared(width, height, frame_idx, std::sync::Arc::new(pixels), metadata)
+    }
+
+    /// [`EncodedFrame::new`] over an already-shared payload buffer
+    /// ([`crate::BufferPool::get_shared`]): sealing reuses the
+    /// buffer's existing ref-count block, so the pooled encode path
+    /// allocates nothing.
+    pub fn new_shared(
+        width: u32,
+        height: u32,
+        frame_idx: u64,
+        pixels: std::sync::Arc<Vec<u8>>,
+        metadata: FrameMetadata,
+    ) -> Self {
         let mut frame = EncodedFrame {
             width,
             height,
             frame_idx,
-            pixels: Bytes::from(pixels),
+            pixels: Bytes::from_shared(pixels),
             metadata,
             integrity: 0,
         };
@@ -85,9 +99,42 @@ impl EncodedFrame {
         EncodedFrame { width, height, frame_idx, pixels: Bytes::from(pixels), metadata, integrity }
     }
 
+    /// [`EncodedFrame::from_raw_parts`] over an already-shared payload
+    /// buffer, for pooled promotion paths that must not allocate a new
+    /// ref-count block per frame.
+    pub fn from_shared_parts(
+        width: u32,
+        height: u32,
+        frame_idx: u64,
+        pixels: std::sync::Arc<Vec<u8>>,
+        metadata: FrameMetadata,
+        integrity: u64,
+    ) -> Self {
+        EncodedFrame {
+            width,
+            height,
+            frame_idx,
+            pixels: Bytes::from_shared(pixels),
+            metadata,
+            integrity,
+        }
+    }
+
     /// The digest stored when the frame was assembled.
     pub fn integrity(&self) -> u64 {
         self.integrity
+    }
+
+    /// Dismantles the frame, returning its buffers to `pool` so the
+    /// next encode reuses them instead of allocating. The payload is
+    /// recovered — ref-count block included — only when this frame is
+    /// its sole owner (the payload `Bytes` is shared by `clone`d
+    /// frames); shared payloads are simply dropped. [`crate::FrameHistory`]
+    /// calls this on every frame it evicts.
+    pub fn recycle(self, pool: &crate::BufferPool) {
+        pool.put_shared(self.pixels.into_shared());
+        pool.put_vec(self.metadata.mask.into_raw_bytes());
+        pool.put_words(self.metadata.row_offsets.into_raw_offsets());
     }
 
     /// Recomputes the integrity digest from the frame's current

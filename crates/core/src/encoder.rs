@@ -19,7 +19,11 @@
 //! the naive *parallel* design that compares every pixel against every
 //! region.
 
-use crate::{EncMask, EncodedFrame, FrameMetadata, PixelStatus, RegionLabel, RegionList, RowOffsets};
+use crate::kernels;
+use crate::{
+    BufferPool, EncMask, EncodedFrame, FrameMetadata, PixelStatus, RegionLabel, RegionList,
+    RowOffsets,
+};
 use rpr_frame::GrayFrame;
 use serde::{Deserialize, Serialize};
 
@@ -289,6 +293,15 @@ pub struct RhythmicEncoder {
     height: u32,
     config: EncoderConfig,
     stats: EncoderStats,
+    /// Buffer source for the per-frame mask/payload/offset allocations;
+    /// defaults to a private pool, share one via [`Self::with_pool`].
+    pool: BufferPool,
+    /// Persistent scratch reused across frames (zero-alloc steady
+    /// state; see `crates/core/src/pool.rs`).
+    selector: RoiSelector,
+    row_pri: Vec<u8>,
+    row_counts: Vec<u32>,
+    label_px: Vec<u64>,
 }
 
 impl RhythmicEncoder {
@@ -300,7 +313,30 @@ impl RhythmicEncoder {
 
     /// Creates an encoder with an explicit configuration.
     pub fn with_config(width: u32, height: u32, config: EncoderConfig) -> Self {
-        RhythmicEncoder { width, height, config, stats: EncoderStats::default() }
+        Self::with_pool(width, height, config, BufferPool::new())
+    }
+
+    /// Creates an encoder drawing its per-frame buffers from `pool`.
+    /// Share the pool with the decoder's [`crate::FrameHistory`] (or
+    /// call [`crate::EncodedFrame::recycle`] yourself) to close the
+    /// reuse loop: after warmup, encoding allocates nothing.
+    pub fn with_pool(width: u32, height: u32, config: EncoderConfig, pool: BufferPool) -> Self {
+        RhythmicEncoder {
+            width,
+            height,
+            config,
+            stats: EncoderStats::default(),
+            pool,
+            selector: RoiSelector::new(),
+            row_pri: Vec::new(),
+            row_counts: Vec::new(),
+            label_px: Vec::new(),
+        }
+    }
+
+    /// The pool this encoder draws per-frame buffers from.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Frame width the encoder was built for.
@@ -352,12 +388,25 @@ impl RhythmicEncoder {
             "region list geometry mismatch"
         );
 
-        let w = self.width as usize;
-        let mut mask = EncMask::new(self.width, self.height);
-        let mut pixels: Vec<u8> = Vec::new();
-        let mut row_counts: Vec<u32> = Vec::with_capacity(self.height as usize);
-        let mut selector = RoiSelector::new();
-        let mut row_status: Vec<PixelStatus> = vec![PixelStatus::NonRegional; w];
+        // Disjoint field borrows: the selector's shortlist stays
+        // borrowed across stats/scratch updates below.
+        let RhythmicEncoder {
+            width, height, config, stats, pool, selector, row_pri, row_counts, label_px,
+        } = self;
+        let (width, height, config) = (*width, *height, *config);
+
+        let w = width as usize;
+        let pixels_total = w * height as usize;
+        let mut mask_bytes = pool.get_zeroed(pixels_total.div_ceil(4));
+        let mut payload = pool.get_shared();
+        // Unique by the pool's contract, so make_mut never clones; the
+        // payload is gathered in place and sealed without a new
+        // ref-count block.
+        let pixels = std::sync::Arc::make_mut(&mut payload);
+        row_counts.clear();
+        selector.reset();
+        row_pri.clear();
+        row_pri.resize(w, 0);
         let labels = regions.labels();
         let all_regions = labels.len() as u64;
 
@@ -369,96 +418,107 @@ impl RhythmicEncoder {
         } else {
             None
         };
-        let mut label_px: Vec<u64> = if tracing { vec![0; labels.len()] } else { Vec::new() };
+        label_px.clear();
+        if tracing {
+            label_px.resize(labels.len(), 0);
+        }
 
-        for y in 0..self.height {
-            let shortlist: Vec<usize> = selector.advance_to_row(regions, y).to_vec();
-            self.stats.rows_total += 1;
-            self.stats.shortlist_len_sum += shortlist.len() as u64;
+        for y in 0..height {
+            let shortlist = selector.advance_to_row(regions, y);
+            stats.rows_total += 1;
+            stats.shortlist_len_sum += shortlist.len() as u64;
 
             // Account the comparison work of the modeled engine.
-            self.stats.comparisons += match self.config.engine {
-                EngineKind::Parallel => all_regions * u64::from(self.width),
+            stats.comparisons += match config.engine {
+                EngineKind::Parallel => all_regions * u64::from(width),
                 EngineKind::Hybrid => {
                     if shortlist.is_empty() {
                         // The selector's row check is the only work.
                         0
-                    } else if self.config.run_length_reuse {
+                    } else if config.run_length_reuse {
                         // One x-range check per shortlisted region per row:
                         // the verdict is reused across the region's width.
                         shortlist.len() as u64
                     } else {
-                        shortlist.len() as u64 * u64::from(self.width)
+                        shortlist.len() as u64 * u64::from(width)
                     }
                 }
             };
 
             if shortlist.is_empty() {
-                self.stats.rows_skipped += 1;
-                self.stats.pixels_in += u64::from(self.width);
-                self.stats.status_counts[PixelStatus::NonRegional.bits() as usize] +=
-                    u64::from(self.width);
+                stats.rows_skipped += 1;
+                stats.pixels_in += u64::from(width);
+                stats.status_counts[PixelStatus::NonRegional.bits() as usize] +=
+                    u64::from(width);
                 row_counts.push(0);
                 continue;
             }
 
-            // Paint the row: regions write their spans, priority-merged.
-            for s in row_status.iter_mut() {
-                *s = PixelStatus::NonRegional;
-            }
-            for &i in &shortlist {
+            // Paint the row in *priority* space (one byte per pixel,
+            // N=0 < Sk=1 < St=2 < R=3): the merge is a plain `u8::max`
+            // sweep the compiler vectorizes, which the 2-bit wire
+            // encoding cannot be (its bit order is not priority order).
+            row_pri.fill(0);
+            for &i in shortlist {
                 let r = &labels[i];
                 let sampled = r.is_sampled_on(frame_idx);
                 let stride = r.stride.max(1);
                 let y_aligned = (y - r.y).is_multiple_of(stride);
-                let x_end = r.right().min(self.width) as usize;
-                for (x, slot) in
-                    row_status.iter_mut().enumerate().take(x_end).skip(r.x as usize)
-                {
-                    let status = if !sampled {
-                        PixelStatus::Skipped
-                    } else if y_aligned && (x as u32 - r.x).is_multiple_of(stride) {
-                        PixelStatus::Regional
-                    } else {
-                        PixelStatus::Strided
-                    };
-                    *slot = slot.max_priority(status);
+                let x0 = (r.x as usize).min(w);
+                let x_end = (r.right().min(width) as usize).max(x0);
+                let Some(span) = row_pri.get_mut(x0..x_end) else { continue };
+                if !sampled {
+                    for p in span.iter_mut() {
+                        *p = (*p).max(1); // Skipped
+                    }
+                } else if !y_aligned {
+                    for p in span.iter_mut() {
+                        *p = (*p).max(2); // Strided
+                    }
+                } else {
+                    for p in span.iter_mut() {
+                        *p = (*p).max(2);
+                    }
+                    // Anchor columns; span starts at r.x, so step_by
+                    // lands exactly on (x - r.x) % stride == 0.
+                    for p in span.iter_mut().step_by(stride as usize) {
+                        *p = 3; // Regional outranks every merge
+                    }
                 }
             }
 
             // Attribute stored pixels to the first shortlist label that
             // samples them (the label whose `R` won the priority merge).
             if tracing {
-                for (x, &status) in row_status.iter().enumerate() {
-                    if status != PixelStatus::Regional {
+                for (x, &pri) in row_pri.iter().enumerate() {
+                    if pri != 3 {
                         continue;
                     }
-                    for &i in &shortlist {
+                    for &i in shortlist {
                         if ComparisonEngine::classify_one(&labels[i], x as u32, y, frame_idx)
                             == PixelStatus::Regional
                         {
-                            label_px[i] += 1;
+                            if let Some(slot) = label_px.get_mut(i) {
+                                *slot += 1;
+                            }
                             break;
                         }
                     }
                 }
             }
 
-            // Sampler + counter: emit R pixels, the row count, the mask.
-            let src = frame.row(y);
-            let mut count = 0u32;
-            for (x, &status) in row_status.iter().enumerate() {
-                self.stats.status_counts[status.bits() as usize] += 1;
-                if status != PixelStatus::NonRegional {
-                    mask.set(x as u32, y, status);
-                }
-                if status == PixelStatus::Regional {
-                    pixels.push(src[x]);
-                    count += 1;
-                }
-            }
-            self.stats.pixels_in += u64::from(self.width);
-            row_counts.push(count);
+            // Sampler + counter, kernelized: histogram the row, pack the
+            // mask 32 entries per u64 word, gather the `R` payload a run
+            // at a time (crates/core/src/kernels.rs).
+            let counts = kernels::count_priorities(row_pri);
+            stats.status_counts[PixelStatus::NonRegional.bits() as usize] += counts[0];
+            stats.status_counts[PixelStatus::Skipped.bits() as usize] += counts[1];
+            stats.status_counts[PixelStatus::Strided.bits() as usize] += counts[2];
+            stats.status_counts[PixelStatus::Regional.bits() as usize] += counts[3];
+            kernels::pack_priority_row(&mut mask_bytes, y as usize * w, row_pri);
+            let count = kernels::gather_regional(row_pri, frame.row(y), pixels);
+            stats.pixels_in += u64::from(width);
+            row_counts.push(u32::try_from(count).unwrap_or(u32::MAX));
         }
 
         if tracing {
@@ -478,13 +538,17 @@ impl RhythmicEncoder {
             }
         }
 
-        let metadata =
-            FrameMetadata { row_offsets: RowOffsets::from_row_counts(&row_counts), mask };
-        self.stats.frames += 1;
-        self.stats.pixels_out += metadata.row_offsets.total() as u64;
-        self.stats.payload_bytes += metadata.row_offsets.total() as u64;
-        self.stats.metadata_bytes += metadata.size_bytes() as u64;
-        EncodedFrame::new(self.width, self.height, frame_idx, pixels, metadata)
+        let mask = EncMask::from_raw_bytes(width, height, mask_bytes)
+            .unwrap_or_else(|| EncMask::new(width, height));
+        let metadata = FrameMetadata {
+            row_offsets: RowOffsets::from_row_counts_in(row_counts, pool.get_words()),
+            mask,
+        };
+        stats.frames += 1;
+        stats.pixels_out += metadata.row_offsets.total() as u64;
+        stats.payload_bytes += metadata.row_offsets.total() as u64;
+        stats.metadata_bytes += metadata.size_bytes() as u64;
+        EncodedFrame::new_shared(width, height, frame_idx, payload, metadata)
     }
 }
 

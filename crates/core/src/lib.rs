@@ -44,10 +44,12 @@ mod encoder;
 mod decoder;
 mod error;
 mod kalman;
+pub mod kernels;
 mod labelsearch;
 mod metadata;
 mod mmu;
 mod policy;
+mod pool;
 mod region;
 mod runtime;
 
@@ -67,6 +69,7 @@ pub use policy::{
     AdaptiveCyclePolicy, CycleLengthPolicy, Feature, FeaturePolicy, FeaturePolicyParams,
     FullFramePolicy, Policy, PolicyContext, StaticPolicy,
 };
+pub use pool::{BufferPool, PoolStats};
 pub use region::{RegionLabel, RegionList};
 pub use runtime::{RegionRuntime, RegisterFile, RuntimeService, RuntimeStats};
 

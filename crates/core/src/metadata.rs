@@ -29,7 +29,14 @@ pub struct RowOffsets {
 impl RowOffsets {
     /// Builds the table from the number of encoded pixels in each row.
     pub fn from_row_counts(counts: &[u32]) -> Self {
-        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        Self::from_row_counts_in(counts, Vec::new())
+    }
+
+    /// [`RowOffsets::from_row_counts`] into a recycled buffer (cleared
+    /// first), so a [`crate::BufferPool`] can recycle the allocation.
+    pub fn from_row_counts_in(counts: &[u32], mut offsets: Vec<u32>) -> Self {
+        offsets.clear();
+        offsets.reserve(counts.len() + 1);
         let mut acc = 0u32;
         offsets.push(0);
         for &c in counts {
@@ -85,6 +92,12 @@ impl RowOffsets {
             offsets.push(0);
         }
         RowOffsets { offsets }
+    }
+
+    /// Dismantles the table into its raw entry vector, so a
+    /// [`crate::BufferPool`] can recycle the allocation.
+    pub fn into_raw_offsets(self) -> Vec<u32> {
+        self.offsets
     }
 
     /// True when the cumulative entries never decrease — the invariant

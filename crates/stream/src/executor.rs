@@ -75,28 +75,50 @@ where
             let mut stats = StageTelemetry::new("capture");
             let mut feedback = Feedback::empty();
             let mut first = true;
-            while let Some((idx, frame)) = raw_q.pop() {
-                if first {
-                    first = false;
+            // Under lossless Block backpressure, raw frames are drained
+            // in batches to amortize the queue crossing; the per-frame
+            // feedback lock-step below is untouched, so outputs stay
+            // bit-identical to the synchronous loop. The lossy modes
+            // keep per-frame pops: a frame parked in a local batch
+            // could neither be evicted for freshness (DropOldest) nor
+            // observe pressure promptly (Degrade).
+            let batch_raw = config.backpressure == BackpressureMode::Block;
+            let mut batch: Vec<(u64, S::Frame)> = Vec::new();
+            'outer: loop {
+                batch.clear();
+                if batch_raw {
+                    if raw_q.pop_up_to(config.raw_capacity.max(1), &mut batch) == 0 {
+                        break;
+                    }
                 } else {
-                    match fb_q.pop() {
-                        Some(fb) => feedback = fb,
+                    match raw_q.pop() {
+                        Some(item) => batch.push(item),
                         None => break,
                     }
                 }
-                let degraded = raw_q.take_pressure();
-                if degraded {
-                    stats.degraded_frames += 1;
-                }
-                let span = rpr_trace::span(rpr_trace::names::STAGE_CAPTURE, "stream")
-                    .with_frame(idx);
-                let t0 = Instant::now();
-                let out = capture.process(frame, &feedback, degraded);
-                stats.latency.record(t0.elapsed());
-                drop(span);
-                stats.frames += 1;
-                if !proc_q.push((idx, out)) {
-                    break;
+                for (idx, frame) in batch.drain(..) {
+                    if first {
+                        first = false;
+                    } else {
+                        match fb_q.pop() {
+                            Some(fb) => feedback = fb,
+                            None => break 'outer,
+                        }
+                    }
+                    let degraded = raw_q.take_pressure();
+                    if degraded {
+                        stats.degraded_frames += 1;
+                    }
+                    let span = rpr_trace::span(rpr_trace::names::STAGE_CAPTURE, "stream")
+                        .with_frame(idx);
+                    let t0 = Instant::now();
+                    let out = capture.process(frame, &feedback, degraded);
+                    stats.latency.record(t0.elapsed());
+                    drop(span);
+                    stats.frames += 1;
+                    if !proc_q.push((idx, out)) {
+                        break 'outer;
+                    }
                 }
             }
             proc_q.close();
@@ -106,15 +128,28 @@ where
 
         let task_worker = scope.spawn(|| {
             let mut stats = StageTelemetry::new("task");
-            while let Some((idx, input)) = proc_q.pop() {
-                let span = rpr_trace::span(rpr_trace::names::STAGE_TASK, "stream")
-                    .with_frame(idx);
-                let t0 = Instant::now();
-                let fb = task.consume(idx, input);
-                stats.latency.record(t0.elapsed());
-                drop(span);
-                stats.frames += 1;
-                fb_q.push(fb);
+            // Batch-drain the proc queue: one lock crossing per batch.
+            // The batch never exceeds proc_capacity items and at most
+            // one feedback was in flight when it was taken, so the
+            // feedback pushes below fit fb_q's proc_capacity + 1 slots
+            // without ever blocking — no deadlock against a capture
+            // worker stalled on a full proc queue.
+            let mut batch: Vec<(u64, T::Input)> = Vec::new();
+            loop {
+                batch.clear();
+                if proc_q.pop_up_to(config.proc_capacity.max(1), &mut batch) == 0 {
+                    break;
+                }
+                for (idx, input) in batch.drain(..) {
+                    let span = rpr_trace::span(rpr_trace::names::STAGE_TASK, "stream")
+                        .with_frame(idx);
+                    let t0 = Instant::now();
+                    let fb = task.consume(idx, input);
+                    stats.latency.record(t0.elapsed());
+                    drop(span);
+                    stats.frames += 1;
+                    fb_q.push(fb);
+                }
             }
             (task.finish(), stats)
         });

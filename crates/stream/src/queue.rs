@@ -278,6 +278,38 @@ impl<T> StageQueue<T> {
         }
     }
 
+    /// Blocking batch pop: waits until at least one frame is queued,
+    /// then drains up to `max` frames into `out` under a single lock
+    /// acquisition — the amortization that lets a consumer cross the
+    /// queue once per batch instead of once per frame. Returns the
+    /// number of frames appended; `0` means closed-and-drained (or
+    /// `max == 0`). FIFO order is preserved exactly.
+    pub fn pop_up_to(&self, max: usize, out: &mut Vec<T>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        loop {
+            if !st.items.is_empty() {
+                let n = st.items.len().min(max);
+                for _ in 0..n {
+                    if let Some(item) = st.items.pop_front() {
+                        out.push(item);
+                    }
+                }
+                st.stats.popped += n as u64;
+                drop(st);
+                // Several slots may have freed at once.
+                self.not_full.notify_all();
+                return n;
+            }
+            if st.closed {
+                return 0;
+            }
+            st = self.not_empty.wait(st);
+        }
+    }
+
     /// Reads and clears the degrade-pressure flag (set when a producer
     /// hit a full queue under [`BackpressureMode::Degrade`]).
     pub fn take_pressure(&self) -> bool {
@@ -391,6 +423,38 @@ mod tests {
         q.close();
         assert!(q.is_closed());
         assert_eq!(q.try_push(3), TryPush::Closed(3));
+    }
+
+    #[test]
+    fn pop_up_to_drains_in_order_and_respects_max() {
+        let q = StageQueue::new("raw", 8, BackpressureMode::Block);
+        for i in 0..5 {
+            q.push(i);
+        }
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_up_to(3, &mut batch), 3);
+        assert_eq!(batch, [0, 1, 2]);
+        assert_eq!(q.pop_up_to(3, &mut batch), 2);
+        assert_eq!(batch, [0, 1, 2, 3, 4]);
+        q.close();
+        assert_eq!(q.pop_up_to(3, &mut batch), 0, "closed and drained");
+        assert_eq!(q.telemetry().popped, 5);
+        assert_eq!(q.pop_up_to(0, &mut batch), 0, "max == 0 is a no-op");
+    }
+
+    #[test]
+    fn pop_up_to_wakes_a_blocked_producer() {
+        let q = Arc::new(StageQueue::new("raw", 2, BackpressureMode::Block));
+        q.push(1);
+        q.push(2);
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(3));
+        let mut batch = Vec::new();
+        while batch.len() < 3 {
+            q.pop_up_to(4, &mut batch);
+        }
+        h.join().unwrap();
+        assert_eq!(batch, [1, 2, 3]);
     }
 
     #[test]

@@ -30,6 +30,27 @@ fn block_mode_is_lossless_and_fifo_under_contention() {
 }
 
 #[test]
+fn batch_pop_is_lossless_and_fifo_under_contention() {
+    loom::model(|| {
+        let q = Arc::new(StageQueue::new("model", 1, BackpressureMode::Block));
+        let producer = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            assert!(producer.push(1));
+            assert!(producer.push(2));
+            producer.close();
+        });
+        // The batch consumer must see both frames in order on every
+        // interleaving, and its multi-slot wakeup must release the
+        // producer blocked on the 1-deep queue.
+        let mut got = Vec::new();
+        while q.pop_up_to(2, &mut got) != 0 {}
+        h.join().unwrap();
+        assert_eq!(got, [1, 2]);
+        assert_eq!(q.telemetry().popped, 2);
+    });
+}
+
+#[test]
 fn close_wakes_a_draining_consumer() {
     loom::model(|| {
         let q = Arc::new(StageQueue::new("model", 2, BackpressureMode::Block));

@@ -18,11 +18,16 @@ const DEFAULT_BASE_SEED: u64 = 0x5252_2021; // "RR 2021"
 /// Number of cases in the CI corpus.
 const DEFAULT_CASES: u64 = 2000;
 
-/// The combined report CI archives: both corpora side by side.
+/// The combined report CI archives: both corpora, each run twice —
+/// once with a plain recycling pool and once under the buffer-reuse
+/// adversary (every returned buffer filled with the poison sentinel),
+/// proving no kernel reads stale pool memory.
 #[derive(Serialize)]
 struct CombinedReport {
     encode_decode: rpr_testkit::CorpusReport,
     container: rpr_testkit::WireCorpusReport,
+    encode_decode_poisoned: rpr_testkit::CorpusReport,
+    container_poisoned: rpr_testkit::WireCorpusReport,
 }
 
 fn main() -> ExitCode {
@@ -42,9 +47,12 @@ fn main() -> ExitCode {
         None => DEFAULT_CASES,
     };
 
+    let poison = rpr_testkit::PoolDiscipline::Poisoned(rpr_testkit::POISON_SENTINEL);
     let report = CombinedReport {
         encode_decode: rpr_testkit::run_corpus(base_seed, n_cases),
         container: rpr_testkit::run_wire_corpus(base_seed, n_cases),
+        encode_decode_poisoned: rpr_testkit::run_corpus_in(base_seed, n_cases, poison),
+        container_poisoned: rpr_testkit::run_wire_corpus_in(base_seed, n_cases, poison),
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => println!("{json}"),
@@ -53,7 +61,9 @@ fn main() -> ExitCode {
 
     let ed = &report.encode_decode;
     let ct = &report.container;
-    if ed.passed() && ct.passed() {
+    let edp = &report.encode_decode_poisoned;
+    let ctp = &report.container_poisoned;
+    if ed.passed() && ct.passed() && edp.passed() && ctp.passed() {
         eprintln!(
             "conformance: {} cases passed ({} clean frames, {} faults detected, {} harmless, {} skipped)",
             ed.cases, ed.clean_frames_ok, ed.faults_detected, ed.faults_harmless, ed.faults_skipped,
@@ -67,18 +77,31 @@ fn main() -> ExitCode {
             ct.faults_harmless,
             ct.faults_skipped,
         );
+        eprintln!(
+            "poisoned-pool adversary: {} + {} cases passed with zero divergences",
+            edp.cases, ctp.cases,
+        );
         ExitCode::SUCCESS
     } else {
-        let failing = ed.failing_seeds.len() + ct.failing_seeds.len();
+        let failing = ed.failing_seeds.len()
+            + ct.failing_seeds.len()
+            + edp.failing_seeds.len()
+            + ctp.failing_seeds.len();
         eprintln!(
             "conformance: {failing} of {} case runs FAILED; reproduce with `cargo run --release -p rpr-testkit --bin conformance -- <seed> 1`",
-            ed.cases + ct.cases,
+            ed.cases + ct.cases + edp.cases + ctp.cases,
         );
         for seed in &ed.failing_seeds {
             eprintln!("  failing seed (encode-decode): {seed}");
         }
         for seed in &ct.failing_seeds {
             eprintln!("  failing seed (container): {seed}");
+        }
+        for seed in &edp.failing_seeds {
+            eprintln!("  failing seed (encode-decode, poisoned pool): {seed}");
+        }
+        for seed in &ctp.failing_seeds {
+            eprintln!("  failing seed (container, poisoned pool): {seed}");
         }
         ExitCode::FAILURE
     }

@@ -23,10 +23,40 @@
 //! carries the case seed, which reproduces the whole case offline.
 
 use crate::{gen_capture_sequence, LossyDram, ReadOutcome, ReferenceDecoder, TestRng, ALL_FAULTS};
-use rpr_core::{ReconstructionMode, RhythmicEncoder, SoftwareDecoder};
+use rpr_core::{BufferPool, ReconstructionMode, RhythmicEncoder, SoftwareDecoder};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How a conformance run provisions the [`BufferPool`] shared by the
+/// encoder and the production decoders.
+///
+/// The poisoned discipline is the buffer-reuse adversary: every buffer
+/// returned to the pool is filled with the sentinel byte, so any
+/// kernel that reads recycled memory it never wrote decodes the
+/// sentinel instead of real pixels — and the differential comparison
+/// against the pool-free [`ReferenceDecoder`] flags the divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolDiscipline {
+    /// Plain recycling pool, buffer contents left as returned.
+    #[default]
+    Fresh,
+    /// Returned buffers are filled with this sentinel byte.
+    Poisoned(u8),
+}
+
+/// The sentinel byte the CI adversary corpus poisons with (`0xA5`:
+/// alternating bits, not a plausible black/white pixel value).
+pub const POISON_SENTINEL: u8 = 0xA5;
+
+impl PoolDiscipline {
+    fn pool(&self) -> BufferPool {
+        match self {
+            PoolDiscipline::Fresh => BufferPool::new(),
+            PoolDiscipline::Poisoned(sentinel) => BufferPool::poisoned(*sentinel),
+        }
+    }
+}
 
 const MODES: [ReconstructionMode; 2] =
     [ReconstructionMode::BlockNearest, ReconstructionMode::FifoReplicate];
@@ -109,6 +139,14 @@ impl CorpusReport {
 /// Runs one seeded conformance case. Geometry, content, regions,
 /// policies, and fault draws are all derived from `seed`.
 pub fn run_case(seed: u64) -> CaseReport {
+    run_case_in(seed, PoolDiscipline::Fresh)
+}
+
+/// [`run_case`] under an explicit [`PoolDiscipline`]; the production
+/// encoder and decoders share one pool, and every decoded output is
+/// recycled back into it so buffers actually cycle through the
+/// sentinel path.
+pub fn run_case_in(seed: u64, discipline: PoolDiscipline) -> CaseReport {
     let mut rng = TestRng::new(seed);
     let width = rng.range_u32(8, 40);
     let height = rng.range_u32(8, 32);
@@ -129,9 +167,17 @@ pub fn run_case(seed: u64) -> CaseReport {
         violations: Vec::new(),
     };
 
-    let mut encoder = RhythmicEncoder::new(width, height);
-    let mut production: Vec<SoftwareDecoder> =
-        MODES.iter().map(|&m| SoftwareDecoder::with_mode(width, height, m)).collect();
+    let pool = discipline.pool();
+    let mut encoder = RhythmicEncoder::with_pool(
+        width,
+        height,
+        rpr_core::EncoderConfig::default(),
+        pool.clone(),
+    );
+    let mut production: Vec<SoftwareDecoder> = MODES
+        .iter()
+        .map(|&m| SoftwareDecoder::with_pool(width, height, m, pool.clone()))
+        .collect();
     let mut reference: Vec<ReferenceDecoder> =
         MODES.iter().map(|&m| ReferenceDecoder::new(width, height, m)).collect();
     let mut dram = LossyDram::new(rng.next_u64(), 1, 2);
@@ -229,6 +275,9 @@ pub fn run_case(seed: u64) -> CaseReport {
                             kind.name()
                         ));
                     }
+                    // Return the buffer so later decodes run on
+                    // recycled (sentinel-filled, when poisoned) memory.
+                    dec.recycle_output(out);
                 }
             }
         }
@@ -259,6 +308,13 @@ pub fn run_case(seed: u64) -> CaseReport {
                 ));
             }
         }
+
+        // Cycle this frame's outputs back through the shared pool so
+        // the next frame's kernels run over recycled buffers.
+        production[0].recycle_output(clean_out);
+        for out in clean_outputs.into_iter().flatten() {
+            production[0].recycle_output(out);
+        }
     }
     report
 }
@@ -267,6 +323,12 @@ pub fn run_case(seed: u64) -> CaseReport {
 /// the outcome. Violation text is capped at 20 entries; failing seeds
 /// are always all recorded.
 pub fn run_corpus(base_seed: u64, n_cases: u64) -> CorpusReport {
+    run_corpus_in(base_seed, n_cases, PoolDiscipline::Fresh)
+}
+
+/// [`run_corpus`] under an explicit [`PoolDiscipline`] — the entry
+/// point of the buffer-reuse adversary sweep.
+pub fn run_corpus_in(base_seed: u64, n_cases: u64, discipline: PoolDiscipline) -> CorpusReport {
     let mut corpus = CorpusReport {
         cases: n_cases,
         cases_passed: 0,
@@ -284,7 +346,7 @@ pub fn run_corpus(base_seed: u64, n_cases: u64) -> CorpusReport {
     }
     for i in 0..n_cases {
         let seed = base_seed.wrapping_add(i);
-        let case = run_case(seed);
+        let case = run_case_in(seed, discipline);
         corpus.clean_frames_ok += case.clean_frames_ok;
         corpus.faults_detected += case.faults_detected;
         corpus.faults_harmless += case.faults_harmless;
@@ -325,6 +387,27 @@ mod tests {
         assert_eq!(corpus.cases_passed, 25);
         assert!(corpus.faults_detected > 0, "corpus must exercise detections");
         assert!(corpus.dram_reads > 0);
+    }
+
+    #[test]
+    fn poisoned_pool_corpus_has_zero_divergences() {
+        let corpus = run_corpus_in(1000, 25, PoolDiscipline::Poisoned(POISON_SENTINEL));
+        assert!(corpus.passed(), "violations: {:#?}", corpus.violations);
+        assert_eq!(corpus.cases_passed, 25);
+    }
+
+    #[test]
+    fn poisoned_and_fresh_disciplines_decode_identically() {
+        // The pool is invisible to the outputs by construction; a
+        // sentinel leaking into any decode would break this equality.
+        for seed in [7, 0x1CE, 9999] {
+            let fresh = run_case_in(seed, PoolDiscipline::Fresh);
+            let poisoned = run_case_in(seed, PoolDiscipline::Poisoned(0xFF));
+            assert_eq!(fresh.clean_frames_ok, poisoned.clean_frames_ok, "seed {seed}");
+            assert_eq!(fresh.faults_detected, poisoned.faults_detected, "seed {seed}");
+            assert_eq!(fresh.faults_harmless, poisoned.faults_harmless, "seed {seed}");
+            assert_eq!(fresh.violations, poisoned.violations, "seed {seed}");
+        }
     }
 
     #[test]

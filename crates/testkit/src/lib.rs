@@ -52,7 +52,10 @@ mod servefault;
 mod wireconf;
 mod wirefault;
 
-pub use conformance::{run_case, run_corpus, CaseReport, CorpusReport};
+pub use conformance::{
+    run_case, run_case_in, run_corpus, run_corpus_in, CaseReport, CorpusReport, PoolDiscipline,
+    POISON_SENTINEL,
+};
 pub use fault::{FaultKind, ALL_FAULTS};
 pub use gen::{
     gen_capture_sequence, gen_frame, gen_frame_with, gen_policy, gen_region,
@@ -62,5 +65,8 @@ pub use lossy::{LossyDram, ReadOutcome};
 pub use reference::ReferenceDecoder;
 pub use rng::TestRng;
 pub use servefault::{SessionFaultKind, ALL_SESSION_FAULTS};
-pub use wireconf::{run_wire_case, run_wire_corpus, WireCaseReport, WireCorpusReport};
+pub use wireconf::{
+    run_wire_case, run_wire_case_in, run_wire_corpus, run_wire_corpus_in, WireCaseReport,
+    WireCorpusReport,
+};
 pub use wirefault::{WireFaultKind, ALL_WIRE_FAULTS};

@@ -28,11 +28,11 @@
 //! Reports serialize to JSON so CI can archive them next to the
 //! encode→decode corpus; any violation carries the case seed.
 
-use crate::{gen_capture_sequence, TestRng, ALL_WIRE_FAULTS};
-use rpr_core::{EncodedFrame, ReconstructionMode, RhythmicEncoder, SoftwareDecoder};
+use crate::{gen_capture_sequence, PoolDiscipline, TestRng, ALL_WIRE_FAULTS};
+use rpr_core::{BufferPool, EncodedFrame, ReconstructionMode, RhythmicEncoder, SoftwareDecoder};
 use rpr_wire::{
     list_chunks, read_all, write_container, ContainerReader, EncodedFrameView, MaskCodec,
-    CHUNK_INDEX,
+    StreamDecoder, StreamEvent, CHUNK_INDEX,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -129,6 +129,18 @@ impl WireCorpusReport {
 /// ranges as [`crate::run_case`], so the two corpora stress the same
 /// frame population.
 pub fn run_wire_case(seed: u64) -> WireCaseReport {
+    run_wire_case_in(seed, PoolDiscipline::Fresh)
+}
+
+/// [`run_wire_case`] under an explicit [`PoolDiscipline`]: the
+/// encoder, both production decoders, and a streaming-ingest leg share
+/// one pool, with every drained frame and decoded output recycled back
+/// into it — the wire half of the buffer-reuse adversary.
+pub fn run_wire_case_in(seed: u64, discipline: PoolDiscipline) -> WireCaseReport {
+    let pool = match discipline {
+        PoolDiscipline::Fresh => BufferPool::new(),
+        PoolDiscipline::Poisoned(sentinel) => BufferPool::poisoned(sentinel),
+    };
     let mut rng = TestRng::new(seed);
     let width = rng.range_u32(8, 40);
     let height = rng.range_u32(8, 32);
@@ -151,7 +163,12 @@ pub fn run_wire_case(seed: u64) -> WireCaseReport {
         violations: Vec::new(),
     };
 
-    let mut encoder = RhythmicEncoder::new(width, height);
+    let mut encoder = RhythmicEncoder::with_pool(
+        width,
+        height,
+        rpr_core::EncoderConfig::default(),
+        pool.clone(),
+    );
     let frames: Vec<EncodedFrame> = seq
         .frames
         .iter()
@@ -210,8 +227,8 @@ pub fn run_wire_case(seed: u64) -> WireCaseReport {
                 ));
             }
             for mode in MODES {
-                if decode_sequence(&frames, width, height, mode)
-                    == decode_sequence(&back, width, height, mode)
+                if decode_sequence(&frames, width, height, mode, &pool)
+                    == decode_sequence(&back, width, height, mode, &pool)
                 {
                     report.decode_modes_ok += 1;
                 } else {
@@ -220,6 +237,40 @@ pub fn run_wire_case(seed: u64) -> WireCaseReport {
                         mode_name(mode)
                     ));
                 }
+            }
+
+            // Streaming ingest over the same bytes: frames promoted
+            // into recycled pool buffers must match the whole-file
+            // read, and each drained frame is dismantled back into the
+            // pool so later promotions reuse (poisoned) capacity.
+            let mut dec = StreamDecoder::with_pool(pool.clone());
+            dec.push(&container);
+            let mut streamed = 0usize;
+            loop {
+                match dec.next_event() {
+                    Ok(Some(StreamEvent::Frame(f))) => {
+                        if frames.get(streamed) != Some(&f) {
+                            report.violations.push(format!(
+                                "seed {seed}: streamed frame {streamed} differs from original"
+                            ));
+                        }
+                        streamed += 1;
+                        f.recycle(&pool);
+                    }
+                    Ok(Some(StreamEvent::Finished { .. })) | Ok(None) => break,
+                    Err(e) => {
+                        report.violations.push(format!(
+                            "seed {seed}: streaming ingest of a clean container failed: {e}"
+                        ));
+                        break;
+                    }
+                }
+            }
+            if streamed != frames.len() {
+                report.violations.push(format!(
+                    "seed {seed}: streaming ingest delivered {streamed} of {} frames",
+                    frames.len()
+                ));
             }
         }
     }
@@ -295,8 +346,9 @@ fn decode_sequence(
     width: u32,
     height: u32,
     mode: ReconstructionMode,
+    pool: &BufferPool,
 ) -> Vec<Option<rpr_frame::GrayFrame>> {
-    let mut decoder = SoftwareDecoder::with_mode(width, height, mode);
+    let mut decoder = SoftwareDecoder::with_pool(width, height, mode, pool.clone());
     frames.iter().map(|f| decoder.try_decode(f).ok()).collect()
 }
 
@@ -325,6 +377,16 @@ fn scan_recovery(container: &[u8], frames: &[EncodedFrame]) -> Result<(), String
 /// aggregates the outcome. Violation text is capped at 20 entries;
 /// failing seeds are always all recorded.
 pub fn run_wire_corpus(base_seed: u64, n_cases: u64) -> WireCorpusReport {
+    run_wire_corpus_in(base_seed, n_cases, PoolDiscipline::Fresh)
+}
+
+/// [`run_wire_corpus`] under an explicit [`PoolDiscipline`] — the
+/// container half of the buffer-reuse adversary sweep.
+pub fn run_wire_corpus_in(
+    base_seed: u64,
+    n_cases: u64,
+    discipline: PoolDiscipline,
+) -> WireCorpusReport {
     let mut corpus = WireCorpusReport {
         cases: n_cases,
         cases_passed: 0,
@@ -343,7 +405,7 @@ pub fn run_wire_corpus(base_seed: u64, n_cases: u64) -> WireCorpusReport {
     }
     for i in 0..n_cases {
         let seed = base_seed.wrapping_add(i);
-        let case = run_wire_case(seed);
+        let case = run_wire_case_in(seed, discipline);
         corpus.blob_roundtrips += case.blob_roundtrips;
         corpus.container_frames_ok += case.container_frames_ok;
         corpus.decode_modes_ok += case.decode_modes_ok;
@@ -388,6 +450,14 @@ mod tests {
         assert_eq!(corpus.cases_passed, 25);
         assert!(corpus.faults_detected > 0, "corpus must exercise detections");
         assert_eq!(corpus.blob_roundtrips, corpus.container_frames_ok * 3);
+    }
+
+    #[test]
+    fn poisoned_pool_wire_corpus_has_zero_divergences() {
+        let corpus =
+            run_wire_corpus_in(2000, 25, PoolDiscipline::Poisoned(crate::POISON_SENTINEL));
+        assert!(corpus.passed(), "violations: {:#?}", corpus.violations);
+        assert_eq!(corpus.cases_passed, 25);
     }
 
     #[test]

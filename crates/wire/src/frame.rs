@@ -405,6 +405,32 @@ impl<'a> EncodedFrameView<'a> {
         )
     }
 
+    /// [`EncodedFrameView::to_frame`] promoting into buffers recycled
+    /// from `pool`, so a long-lived stream decoder reaches a
+    /// zero-allocation steady state: the mask, offset table, and
+    /// payload copies all reuse returned capacity.
+    pub fn to_frame_in(&self, pool: &rpr_core::BufferPool) -> EncodedFrame {
+        let mut mask_vec = pool.get_vec();
+        mask_vec.extend_from_slice(&self.mask);
+        let mask = EncMask::from_raw_bytes(self.width, self.height, mask_vec)
+            // rpr-check: allow(panic-surface): parse_prefix checked the mask is exactly width*height 2-bit entries, so from_raw_bytes cannot fail on any view this crate constructs
+            .expect("parse sized the mask to width x height");
+        let mut offsets = pool.get_words();
+        offsets.extend_from_slice(&self.row_offsets);
+        let mut payload = pool.get_shared();
+        std::sync::Arc::make_mut(&mut payload).extend_from_slice(self.payload);
+        let metadata =
+            FrameMetadata { row_offsets: RowOffsets::from_raw_offsets(offsets), mask };
+        EncodedFrame::from_shared_parts(
+            self.width,
+            self.height,
+            self.frame_idx,
+            payload,
+            metadata,
+            self.integrity,
+        )
+    }
+
     /// [`EncodedFrameView::to_frame`] plus a full
     /// [`EncodedFrame::validate`] pass.
     ///
@@ -413,6 +439,20 @@ impl<'a> EncodedFrameView<'a> {
     /// [`WireError::CorruptFrame`] wrapping the validation failure.
     pub fn to_validated_frame(&self) -> Result<EncodedFrame> {
         let frame = self.to_frame();
+        frame
+            .validate()
+            .map_err(|e| WireError::CorruptFrame { reason: e.to_string() })?;
+        Ok(frame)
+    }
+
+    /// [`EncodedFrameView::to_frame_in`] plus a full
+    /// [`EncodedFrame::validate`] pass.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::CorruptFrame`] wrapping the validation failure.
+    pub fn to_validated_frame_in(&self, pool: &rpr_core::BufferPool) -> Result<EncodedFrame> {
+        let frame = self.to_frame_in(pool);
         frame
             .validate()
             .map_err(|e| WireError::CorruptFrame { reason: e.to_string() })?;
@@ -502,6 +542,21 @@ mod tests {
             }
         }
         assert_eq!(view.status_bits(frame.width(), 0), None);
+    }
+
+    #[test]
+    fn pooled_promotion_matches_plain_promotion() {
+        let frame = sample_frame(8);
+        let pool = rpr_core::BufferPool::new();
+        for codec in [MaskCodec::Raw, MaskCodec::Rle] {
+            let (buf, _) = encode(&frame, codec);
+            let view = EncodedFrameView::parse(&buf).unwrap();
+            let pooled = view.to_validated_frame_in(&pool).unwrap();
+            assert_eq!(pooled, view.to_validated_frame().unwrap());
+            assert_eq!(pooled, frame);
+            pooled.recycle(&pool);
+        }
+        assert!(pool.stats().puts > 0);
     }
 
     #[test]

@@ -62,7 +62,7 @@
 
 mod bytes;
 pub mod container;
-mod crc32;
+pub mod crc32;
 mod error;
 pub mod frame;
 pub mod rle;
@@ -76,7 +76,7 @@ pub use container::{
     CHUNK_INDEX, FILE_MAGIC, FORMAT_VERSION, HEADER_LEN, MAX_FRAME_COUNT, TRAILER_LEN,
     TRAILER_MAGIC,
 };
-pub use crc32::crc32;
+pub use crc32::{crc32, crc32_scalar};
 pub use error::{Result, WireError};
 pub use frame::{
     encode_frame, EncodedFrameView, FrameEncodeStats, MaskCodec, FRAME_HEADER_LEN, MAX_DIMENSION,

@@ -17,9 +17,17 @@
 //! checkerboards) can inflate past the raw packed size, which is why
 //! the frame codec measures both and keeps whichever is smaller
 //! ([`crate::MaskCodec::Auto`]).
+//!
+//! The run finder is the chunked word-at-a-time scanner shared with
+//! the encoder/decoder ([`rpr_core::kernels::for_each_run`] — 32
+//! entries per step through uniform spans), and [`inflate`] fills run
+//! bodies a splat byte at a time instead of entry-by-entry. The
+//! original per-entry loops are retained as `*_scalar` references for
+//! the kernel-equivalence battery (TESTING.md).
 
-use crate::varint::{read_varint, write_varint};
+use crate::varint::{read_varint, varint_len, write_varint};
 use crate::{Result, WireError};
+use rpr_core::kernels::{for_each_run, splat_byte};
 
 /// Iterates the 2-bit entries of a packed mask (4 per byte, entry `i`
 /// in bits `2*(i%4)` — the [`rpr_core::EncMask`] layout).
@@ -27,13 +35,33 @@ use crate::{Result, WireError};
 fn packed_get(packed: &[u8], i: usize) -> u8 {
     // Out-of-range entries read as 0 (`N`): compress/compressed_len are
     // public, so a caller-supplied pixel count larger than the packed
-    // buffer must not panic.
+    // buffer must not panic. `for_each_run` honors the same contract.
     (packed.get(i / 4).copied().unwrap_or(0) >> ((i % 4) * 2)) & 0b11
 }
 
 /// RLE-compresses `pixels` 2-bit entries of `packed` into `out`.
 /// Returns the number of bytes appended.
 pub fn compress(packed: &[u8], pixels: usize, out: &mut Vec<u8>) -> usize {
+    let mut written = 0;
+    for_each_run(packed, 0, pixels, |status, run| {
+        written += write_varint(out, (run as u64) << 2 | u64::from(status));
+    });
+    written
+}
+
+/// Size in bytes [`compress`] would produce, without allocating.
+pub fn compressed_len(packed: &[u8], pixels: usize) -> usize {
+    let mut len = 0;
+    for_each_run(packed, 0, pixels, |status, run| {
+        len += varint_len((run as u64) << 2 | u64::from(status));
+    });
+    len
+}
+
+/// Per-entry reference implementation of [`compress`] — the loop it
+/// originally shipped with, pinned byte-identical by the equivalence
+/// suite. Keep it untouched when optimizing `compress`.
+pub fn compress_scalar(packed: &[u8], pixels: usize, out: &mut Vec<u8>) -> usize {
     let mut written = 0;
     let mut i = 0;
     while i < pixels {
@@ -46,22 +74,6 @@ pub fn compress(packed: &[u8], pixels: usize, out: &mut Vec<u8>) -> usize {
         i += run;
     }
     written
-}
-
-/// Size in bytes [`compress`] would produce, without allocating.
-pub fn compressed_len(packed: &[u8], pixels: usize) -> usize {
-    let mut len = 0;
-    let mut i = 0;
-    while i < pixels {
-        let status = packed_get(packed, i);
-        let mut run = 1usize;
-        while i + run < pixels && packed_get(packed, i + run) == status {
-            run += 1;
-        }
-        len += crate::varint::varint_len((run as u64) << 2 | u64::from(status));
-        i += run;
-    }
-    len
 }
 
 /// Inflates an RLE stream back into packed 2-bit form.
@@ -77,6 +89,87 @@ pub fn compressed_len(packed: &[u8], pixels: usize) -> usize {
 /// [`WireError::BadRle`] or [`WireError::BadVarint`] describing the
 /// first defect found.
 pub fn inflate(buf: &[u8], pixels: usize) -> Result<Vec<u8>> {
+    let mut packed = Vec::new();
+    inflate_into(buf, pixels, &mut packed)?;
+    Ok(packed)
+}
+
+/// [`inflate`] into a caller-supplied buffer (cleared and resized to
+/// `pixels.div_ceil(4)`), so a pool can recycle the allocation.
+///
+/// # Errors
+///
+/// Same as [`inflate`]; on error the buffer contents are unspecified.
+pub fn inflate_into(buf: &[u8], pixels: usize, packed: &mut Vec<u8>) -> Result<()> {
+    packed.clear();
+    packed.resize(pixels.div_ceil(4), 0);
+    let mut pos = 0usize;
+    let mut filled = 0usize;
+    while pos < buf.len() {
+        let v = read_varint(buf, &mut pos, "rle run")?;
+        let status = (v & 0b11) as u8; // rpr-check: allow(truncating-cast): masked to 2 bits before the cast
+        let run = v >> 2;
+        if run == 0 {
+            return Err(WireError::BadRle { reason: "zero-length run".into() });
+        }
+        let run = usize::try_from(run)
+            .map_err(|_| WireError::BadRle { reason: "run length overflows usize".into() })?;
+        let end = filled.checked_add(run).filter(|&e| e <= pixels).ok_or_else(|| {
+            WireError::BadRle {
+                reason: format!("runs overrun the mask: {filled} + {run} > {pixels}"),
+            }
+        })?;
+        if status != 0 {
+            fill_entries(packed, filled, end, status);
+        }
+        filled = end;
+    }
+    if filled != pixels {
+        return Err(WireError::BadRle {
+            reason: format!("runs cover {filled} of {pixels} pixels"),
+        });
+    }
+    Ok(())
+}
+
+/// Sets entries `[start, end)` of a zeroed packed buffer to `status`:
+/// per-entry ORs up to the first byte boundary, one `slice::fill` of
+/// the splat byte across the body, per-entry ORs for the tail.
+fn fill_entries(packed: &mut [u8], start: usize, end: usize, status: u8) {
+    let body_first = start.div_ceil(4); // first byte fully inside the run
+    let body_last = end / 4; // one past the last fully covered byte
+    if body_first >= body_last {
+        // The run covers no whole byte: per-entry ORs only.
+        for i in start..end {
+            if let Some(b) = packed.get_mut(i / 4) {
+                *b |= status << ((i % 4) * 2);
+            }
+        }
+        return;
+    }
+    // Head entries before the first whole byte.
+    for i in start..body_first * 4 {
+        if let Some(b) = packed.get_mut(i / 4) {
+            *b |= status << ((i % 4) * 2);
+        }
+    }
+    // Body: one memset of the splat byte (runs never overlap, so a
+    // plain fill equals the OR on the zeroed buffer).
+    if let Some(body) = packed.get_mut(body_first..body_last) {
+        body.fill(splat_byte(status));
+    }
+    // Tail entries after the last whole byte.
+    for i in body_last * 4..end {
+        if let Some(b) = packed.get_mut(i / 4) {
+            *b |= status << ((i % 4) * 2);
+        }
+    }
+}
+
+/// Per-entry reference implementation of [`inflate`] — the loop it
+/// originally shipped with; the equivalence suite pins the fast path
+/// to it across every run phase and length.
+pub fn inflate_scalar(buf: &[u8], pixels: usize) -> Result<Vec<u8>> {
     let mut packed = vec![0u8; pixels.div_ceil(4)];
     let mut pos = 0usize;
     let mut filled = 0usize;
@@ -134,6 +227,11 @@ mod tests {
         assert_eq!(n, compressed_len(mask.as_bytes(), pixels));
         let back = inflate(&rle, pixels).unwrap();
         assert_eq!(back, mask.as_bytes(), "packed bytes must round-trip exactly");
+        // And the scalar references agree at every step.
+        let mut rle_ref = Vec::new();
+        assert_eq!(compress_scalar(mask.as_bytes(), pixels, &mut rle_ref), n);
+        assert_eq!(rle_ref, rle, "chunked compress must match the scalar reference");
+        assert_eq!(inflate_scalar(&rle, pixels).unwrap(), back);
     }
 
     #[test]
@@ -176,6 +274,26 @@ mod tests {
     }
 
     #[test]
+    fn run_fill_matches_scalar_at_every_phase() {
+        // Runs starting/ending at every 2-bit phase, crossing 0..=3
+        // byte boundaries, exercise fill_entries' head/body/tail split.
+        for start in 0..12usize {
+            for len in 1..40usize {
+                let pixels = start + len + 5;
+                let mut rle = Vec::new();
+                if start > 0 {
+                    write_varint(&mut rle, (start as u64) << 2); // N prefix
+                }
+                write_varint(&mut rle, (len as u64) << 2 | 0b11); // R run
+                write_varint(&mut rle, 5u64 << 2 | 0b01); // St suffix
+                let fast = inflate(&rle, pixels).unwrap();
+                let slow = inflate_scalar(&rle, pixels).unwrap();
+                assert_eq!(fast, slow, "start {start} len {len}");
+            }
+        }
+    }
+
+    #[test]
     fn short_and_long_totals_are_rejected() {
         let mut rle = Vec::new();
         compress(EncMask::new(8, 1).as_bytes(), 8, &mut rle);
@@ -188,11 +306,23 @@ mod tests {
         let mut rle = Vec::new();
         write_varint(&mut rle, 0b11); // run_len 0, status R
         assert!(matches!(inflate(&rle, 4), Err(WireError::BadRle { .. })));
+        assert!(matches!(inflate_scalar(&rle, 4), Err(WireError::BadRle { .. })));
     }
 
     #[test]
     fn truncated_varint_is_rejected() {
         let rle = [0x80u8]; // continuation bit, no next byte
         assert!(matches!(inflate(&rle, 4), Err(WireError::BadVarint { .. })));
+        assert!(matches!(inflate_scalar(&rle, 4), Err(WireError::BadVarint { .. })));
+    }
+
+    #[test]
+    fn inflate_into_recycles_buffer() {
+        let mut rle = Vec::new();
+        let mask = mask_with_regions();
+        compress(mask.as_bytes(), 32 * 8, &mut rle);
+        let mut buf = vec![0xFFu8; 512]; // stale contents must not leak
+        inflate_into(&rle, 32 * 8, &mut buf).unwrap();
+        assert_eq!(buf, mask.as_bytes());
     }
 }

@@ -98,6 +98,9 @@ pub struct StreamDecoder {
     state: State,
     frames: u64,
     bytes_fed: u64,
+    /// When set, decoded frames are promoted into recycled buffers —
+    /// the zero-allocation steady state for long-lived sessions.
+    pool: Option<rpr_core::BufferPool>,
 }
 
 impl Default for StreamDecoder {
@@ -114,7 +117,21 @@ const COMPACT_THRESHOLD: usize = 64 * 1024;
 impl StreamDecoder {
     /// A decoder expecting a container stream from its first byte.
     pub fn new() -> Self {
-        StreamDecoder { buf: Vec::new(), pos: 0, state: State::Header, frames: 0, bytes_fed: 0 }
+        StreamDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            state: State::Header,
+            frames: 0,
+            bytes_fed: 0,
+            pool: None,
+        }
+    }
+
+    /// A decoder promoting every frame into buffers recycled from
+    /// `pool`. Recycle drained frames back with
+    /// [`rpr_core::EncodedFrame::recycle`] to close the loop.
+    pub fn with_pool(pool: rpr_core::BufferPool) -> Self {
+        StreamDecoder { pool: Some(pool), ..StreamDecoder::new() }
     }
 
     /// Appends newly-arrived session bytes. Cheap: one extend; parsing
@@ -186,7 +203,10 @@ impl StreamDecoder {
                     if self.pending().len() < HEADER_LEN {
                         return Ok(None);
                     }
-                    let header = self.pending().get(..HEADER_LEN).unwrap_or(&[]).to_vec();
+                    let mut header = [0u8; HEADER_LEN];
+                    if let Some(src) = self.pending().get(..HEADER_LEN) {
+                        header.copy_from_slice(src);
+                    }
                     if let Err(e) = check_header(&header) {
                         return self.fail(e);
                     }
@@ -248,9 +268,12 @@ impl StreamDecoder {
                         });
                     }
                     if kind == CHUNK_FRAME {
-                        let frame = match EncodedFrameView::parse(payload)
-                            .and_then(|v| v.to_validated_frame())
-                        {
+                        let frame = match EncodedFrameView::parse(payload).and_then(|v| {
+                            match &self.pool {
+                                Some(pool) => v.to_validated_frame_in(pool),
+                                None => v.to_validated_frame(),
+                            }
+                        }) {
                             Ok(f) => f,
                             Err(e) => return self.fail(e),
                         };
@@ -287,7 +310,10 @@ impl StreamDecoder {
                     if self.pending().len() < TRAILER_LEN {
                         return Ok(None);
                     }
-                    let trailer = self.pending().get(..TRAILER_LEN).unwrap_or(&[]).to_vec();
+                    let mut trailer = [0u8; TRAILER_LEN];
+                    if let Some(src) = self.pending().get(..TRAILER_LEN) {
+                        trailer.copy_from_slice(src);
+                    }
                     if let Err(e) = parse_trailer_slice(&trailer) {
                         return self.fail(e);
                     }
@@ -550,6 +576,35 @@ mod tests {
             matches!(saw_err, Some(WireError::BadIndex { .. })),
             "{saw_err:?} (container had {} frames)",
             frames.len()
+        );
+    }
+
+    #[test]
+    fn pooled_decoding_matches_and_reuses_recycled_buffers() {
+        let (frames, bytes) = sample();
+        let pool = rpr_core::BufferPool::new();
+        let mut dec = StreamDecoder::with_pool(pool.clone());
+        let events = drive(&mut dec, &bytes, 37);
+        let decoded: Vec<_> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                StreamEvent::Frame(f) => Some(f),
+                StreamEvent::Finished { .. } => None,
+            })
+            .collect();
+        assert_eq!(decoded, frames);
+        // Dismantle the drained frames back into the pool; a second
+        // session over the same bytes then allocates nothing new.
+        for f in decoded {
+            f.recycle(&pool);
+        }
+        let misses_before = pool.stats().misses;
+        let mut dec = StreamDecoder::with_pool(pool.clone());
+        drive(&mut dec, &bytes, 37);
+        assert_eq!(
+            pool.stats().misses,
+            misses_before,
+            "steady-state stream decode must reuse recycled buffers"
         );
     }
 

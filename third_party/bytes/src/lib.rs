@@ -1,7 +1,13 @@
 //! Offline drop-in subset of `bytes`: [`Bytes`], a cheaply clonable
-//! immutable byte buffer backed by `Arc<[u8]>`. With the `serde`
+//! immutable byte buffer backed by `Arc<Vec<u8>>`. With the `serde`
 //! feature it serializes as a byte sequence, matching the upstream
 //! crate's serde integration.
+//!
+//! Beyond the upstream API subset, this stub exposes the shared
+//! backing store directly ([`Bytes::from_shared`] /
+//! [`Bytes::into_shared`] / [`Bytes::try_into_vec`]) so buffer pools
+//! can recycle payload allocations: `From<Vec<u8>>` is zero-copy, and
+//! a uniquely-owned buffer can be taken back out without copying.
 
 #![deny(missing_docs)]
 
@@ -12,9 +18,15 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer; clones share storage.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes { data: Arc::new(Vec::new()) }
+    }
 }
 
 impl Bytes {
@@ -25,7 +37,27 @@ impl Bytes {
 
     /// Copies a static/borrowed slice into a buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes { data: Arc::new(data.to_vec()) }
+    }
+
+    /// Wraps an already-shared buffer without copying.
+    pub fn from_shared(data: Arc<Vec<u8>>) -> Self {
+        Bytes { data }
+    }
+
+    /// The shared backing store (clone of the `Arc`, no byte copy).
+    pub fn into_shared(self) -> Arc<Vec<u8>> {
+        self.data
+    }
+
+    /// Recovers the backing `Vec` when this handle is the only owner;
+    /// returns `self` unchanged otherwise. The zero-copy exit path a
+    /// buffer pool uses to recycle payload allocations.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes { data }),
+        }
     }
 
     /// Length in bytes.
@@ -48,13 +80,13 @@ impl Bytes {
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.data.as_slice().to_vec()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -100,13 +132,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        *self.data == *other
+        self.data.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        *self.data == other[..]
+        self.data.as_slice() == other.as_slice()
     }
 }
 
@@ -124,7 +156,7 @@ impl Ord for Bytes {
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.data.as_slice().hash(state);
     }
 }
 
@@ -181,6 +213,33 @@ mod tests {
     fn debug_escapes_non_printable() {
         let b = Bytes::from(vec![b'h', b'i', 0]);
         assert_eq!(format!("{b:?}"), "b\"hi\\x00\"");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec<u8>> must not copy");
+        let back = b.try_into_vec().expect("sole owner recovers the Vec");
+        assert_eq!(back.as_ptr(), ptr, "try_into_vec must not copy");
+    }
+
+    #[test]
+    fn try_into_vec_refuses_shared_buffers() {
+        let a = Bytes::from(vec![9u8; 4]);
+        let b = a.clone();
+        let a = a.try_into_vec().expect_err("shared buffer must come back");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_roundtrip() {
+        let arc = Arc::new(vec![5u8, 6]);
+        let b = Bytes::from_shared(Arc::clone(&arc));
+        assert_eq!(&b[..], &[5, 6]);
+        let back = b.into_shared();
+        assert!(Arc::ptr_eq(&arc, &back));
     }
 
     #[cfg(feature = "serde")]
