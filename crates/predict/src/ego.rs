@@ -1,0 +1,274 @@
+//! Global camera ego-motion estimation over block-matching vectors.
+//!
+//! A moving camera imprints a coherent displacement field on the whole
+//! frame; independently moving objects show up as outliers against it.
+//! RANSAC over the motion-vector correspondences separates the two:
+//! the consensus transform is the camera, the outliers are the scene.
+
+use rpr_trace::names;
+use rpr_vision::{estimate_rigid_motion, MotionVector, PointPair, Rigid2d};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`estimate_ego_motion`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EgoEstimatorConfig {
+    /// RANSAC hypothesis iterations.
+    pub iterations: u32,
+    /// Inlier distance threshold in pixels.
+    pub inlier_threshold: f64,
+    /// Seed of the RANSAC sampler — fixed so prediction is
+    /// deterministic across runs.
+    pub seed: u64,
+    /// Fewest motion vectors worth fitting over; below this the
+    /// estimator returns the identity with zero confidence.
+    pub min_vectors: usize,
+    /// Fewest vectors worth a full rigid (rotation + translation) fit.
+    /// Rotation is unobservable from a handful of local blocks — a
+    /// 2-point exact fit aliases one bad vector into a large spurious
+    /// rotation — so smaller sets get a translation-only median fit.
+    pub min_rigid_vectors: usize,
+}
+
+impl Default for EgoEstimatorConfig {
+    fn default() -> Self {
+        EgoEstimatorConfig {
+            iterations: 64,
+            inlier_threshold: 1.5,
+            seed: 0x5052_4544, // "PRED"
+            min_vectors: 4,
+            min_rigid_vectors: 6,
+        }
+    }
+}
+
+/// The fitted camera motion between two consecutive frames, mapping
+/// previous-frame positions onto current-frame positions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EgoMotion {
+    /// The rigid transform `cur = R(theta) prev + t`.
+    pub transform: Rigid2d,
+    /// RANSAC inlier count of the consensus set.
+    pub inliers: usize,
+    /// Motion vectors the fit consumed.
+    pub total: usize,
+    /// Inlier fraction in `[0, 1]`; `0` when the fit degenerated and
+    /// the identity was substituted.
+    pub confidence: f64,
+}
+
+impl EgoMotion {
+    /// The identity motion with zero confidence — what degenerate
+    /// input degrades to.
+    pub fn identity() -> Self {
+        EgoMotion { transform: Rigid2d::default(), inliers: 0, total: 0, confidence: 0.0 }
+    }
+
+    /// Displacement the camera motion imparts to a point: where the
+    /// content at `p` will appear one frame later, minus `p`.
+    ///
+    /// Under a constant-velocity assumption this is also the forward
+    /// prediction used to project frame-t−1 labels to frame t.
+    pub fn displacement_at(&self, p: (f64, f64)) -> (f64, f64) {
+        let q = self.transform.apply(p);
+        (q.0 - p.0, q.1 - p.1)
+    }
+}
+
+impl Default for EgoMotion {
+    fn default() -> Self {
+        EgoMotion::identity()
+    }
+}
+
+/// Builds the RANSAC correspondences: each vector's best match sat at
+/// `center + (dx, dy)` in the previous frame, so the pair maps that
+/// previous position onto the block's current centre.
+fn point_pairs(vectors: &[MotionVector]) -> Vec<PointPair> {
+    vectors
+        .iter()
+        .map(|v| {
+            let (cx, cy) = v.block.center();
+            ((cx + f64::from(v.dx), cy + f64::from(v.dy)), (cx, cy))
+        })
+        .collect()
+}
+
+/// Fits the global camera motion over a frame's motion vectors.
+///
+/// Never fails: fewer than `cfg.min_vectors` vectors, an all-outlier
+/// field, or any other degenerate geometry degrades to
+/// [`EgoMotion::identity`] (zero confidence) so downstream prediction
+/// falls back to the reactive t−1 labels instead of guessing.
+pub fn estimate_ego_motion(vectors: &[MotionVector], cfg: &EgoEstimatorConfig) -> EgoMotion {
+    let _span = rpr_trace::span(names::PREDICT_EGO_FIT, "predict");
+    rpr_trace::counter(names::PREDICT_VECTORS, "predict", vectors.len() as f64);
+    if vectors.len() < cfg.min_vectors.max(2) {
+        return EgoMotion::identity();
+    }
+    if vectors.len() < cfg.min_rigid_vectors {
+        let ego = estimate_translation_motion(vectors, cfg);
+        rpr_trace::counter(names::PREDICT_INLIER_FRACTION, "predict", ego.confidence);
+        return ego;
+    }
+    let pairs = point_pairs(vectors);
+    let fitted = estimate_rigid_motion(&pairs, cfg.iterations, cfg.inlier_threshold, cfg.seed);
+    let ego = match fitted {
+        Some((transform, inlier_idx)) if transform.tx.is_finite() && transform.ty.is_finite() => {
+            let confidence = inlier_idx.len() as f64 / pairs.len() as f64;
+            EgoMotion { transform, inliers: inlier_idx.len(), total: pairs.len(), confidence }
+        }
+        _ => EgoMotion { total: pairs.len(), ..EgoMotion::identity() },
+    };
+    rpr_trace::counter(names::PREDICT_INLIER_FRACTION, "predict", ego.confidence);
+    ego
+}
+
+/// Translation-only robust fit for vector sets too small to constrain
+/// rotation: the component-wise median of the observed block velocities
+/// (the negated match offsets), with inliers counted against it.
+fn estimate_translation_motion(vectors: &[MotionVector], cfg: &EgoEstimatorConfig) -> EgoMotion {
+    let tx = median(vectors.iter().map(|v| -f64::from(v.dx)));
+    let ty = median(vectors.iter().map(|v| -f64::from(v.dy)));
+    let inliers = vectors
+        .iter()
+        .filter(|v| {
+            let ex = -f64::from(v.dx) - tx;
+            let ey = -f64::from(v.dy) - ty;
+            ex.hypot(ey) <= cfg.inlier_threshold
+        })
+        .count();
+    EgoMotion {
+        transform: Rigid2d { theta: 0.0, tx, ty },
+        inliers,
+        total: vectors.len(),
+        confidence: inliers as f64 / vectors.len().max(1) as f64,
+    }
+}
+
+/// Median of a non-empty sequence; the mean of the two middle values
+/// for even counts.
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    let lo = v.get(n.saturating_sub(1) / 2).copied().unwrap_or(0.0);
+    let hi = v.get(n / 2).copied().unwrap_or(0.0);
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_frame::Rect;
+
+    fn grid(dx: i32, dy: i32) -> Vec<MotionVector> {
+        (0..5)
+            .flat_map(|by| {
+                (0..5).map(move |bx| MotionVector {
+                    block: Rect::new(bx * 16, by * 16, 16, 16),
+                    dx,
+                    dy,
+                    sad: 40,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_field_recovers_translation() {
+        // (dx, dy) points to the previous-frame match, so content that
+        // moved (+6, -3) yields vectors (-6, +3) and the prev→cur ego
+        // transform must translate by (+6, -3).
+        let ego = estimate_ego_motion(&grid(-6, 3), &EgoEstimatorConfig::default());
+        assert!(ego.confidence > 0.99, "confidence {}", ego.confidence);
+        assert!((ego.transform.tx - 6.0).abs() < 1e-6, "tx {}", ego.transform.tx);
+        assert!((ego.transform.ty + 3.0).abs() < 1e-6, "ty {}", ego.transform.ty);
+        let (dx, dy) = ego.displacement_at((40.0, 40.0));
+        assert!((dx - 6.0).abs() < 1e-6 && (dy + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_field_is_exact_identity() {
+        let ego = estimate_ego_motion(&grid(0, 0), &EgoEstimatorConfig::default());
+        assert!(ego.confidence > 0.99);
+        assert!(ego.transform.translation_norm() < 1e-9);
+        assert!(ego.transform.theta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn outliers_are_rejected() {
+        let mut vectors = grid(-4, 0);
+        // A quarter of the blocks track an independently moving object.
+        for v in vectors.iter_mut().take(6) {
+            v.dx = 7;
+            v.dy = -5;
+        }
+        let ego = estimate_ego_motion(&vectors, &EgoEstimatorConfig::default());
+        assert!((ego.transform.tx - 4.0).abs() < 1e-6, "tx {}", ego.transform.tx);
+        assert_eq!(ego.inliers, 19);
+        assert!(ego.confidence < 0.99);
+    }
+
+    #[test]
+    fn small_sets_take_the_translation_only_path() {
+        // Four vectors agree on a pan, one is a flat-block zero tie: a
+        // rigid fit through a disagreeing pair could alias the outlier
+        // into a huge rotation, but the median translation shrugs it
+        // off and keeps theta pinned to zero.
+        let mut vectors: Vec<MotionVector> = grid(7, 0).into_iter().take(5).collect();
+        if let Some(v) = vectors.last_mut() {
+            v.dx = 0;
+            v.dy = 0;
+        }
+        let cfg = EgoEstimatorConfig { min_vectors: 2, ..EgoEstimatorConfig::default() };
+        assert!(vectors.len() < cfg.min_rigid_vectors);
+        let ego = estimate_ego_motion(&vectors, &cfg);
+        assert_eq!(ego.transform.theta, 0.0);
+        assert!((ego.transform.tx + 7.0).abs() < 1e-9, "tx {}", ego.transform.tx);
+        assert_eq!(ego.transform.ty, 0.0);
+        assert_eq!(ego.inliers, 4);
+        assert_eq!(ego.total, 5);
+    }
+
+    #[test]
+    fn two_disagreeing_vectors_cannot_invent_rotation() {
+        let vectors: Vec<MotionVector> = vec![
+            MotionVector { block: Rect::new(0, 0, 16, 16), dx: 7, dy: 0, sad: 10 },
+            MotionVector { block: Rect::new(64, 48, 16, 16), dx: 0, dy: 0, sad: 0 },
+        ];
+        let cfg = EgoEstimatorConfig { min_vectors: 2, ..EgoEstimatorConfig::default() };
+        let ego = estimate_ego_motion(&vectors, &cfg);
+        assert_eq!(ego.transform.theta, 0.0);
+        assert!((ego.transform.tx + 3.5).abs() < 1e-9, "tx {}", ego.transform.tx);
+    }
+
+    #[test]
+    fn too_few_vectors_degrades_to_identity() {
+        let vectors = grid(-6, 0);
+        let ego = estimate_ego_motion(&vectors[..3], &EgoEstimatorConfig::default());
+        assert_eq!(ego.confidence, 0.0);
+        assert_eq!(ego.transform, Rigid2d::default());
+    }
+
+    #[test]
+    fn all_outlier_chaos_never_panics() {
+        let vectors: Vec<MotionVector> = (0..25)
+            .map(|i| MotionVector {
+                block: Rect::new((i % 5) * 16, (i / 5) * 16, 16, 16),
+                dx: ((i * 37) % 17) as i32 - 8,
+                dy: ((i * 53) % 15) as i32 - 7,
+                sad: 10_000,
+            })
+            .collect();
+        let ego = estimate_ego_motion(&vectors, &EgoEstimatorConfig::default());
+        assert!(ego.transform.tx.is_finite() && ego.transform.ty.is_finite());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let vectors = grid(-5, 2);
+        let a = estimate_ego_motion(&vectors, &EgoEstimatorConfig::default());
+        let b = estimate_ego_motion(&vectors, &EgoEstimatorConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,176 @@
+//! The predictive policy wrapper and the shared motion estimate it
+//! reads.
+//!
+//! The capture loop owns the decoded-frame history and therefore the
+//! motion vectors; the policy runs inside the region runtime. A
+//! [`SharedMotion`] handle bridges the two: the loop calls
+//! [`SharedMotion::update`] after block-matching consecutive decoded
+//! frames, and [`PredictivePolicy::plan`] snapshots the latest
+//! estimate to forward-project whatever its wrapped policy planned.
+
+use crate::{estimate_ego_motion, predict_labels, EgoEstimatorConfig, EgoMotion, TrackerConfig};
+use parking_lot::Mutex;
+use rpr_core::{Policy, PolicyContext, RegionList};
+use rpr_vision::MotionVector;
+use std::sync::Arc;
+
+/// The latest motion estimate: the frame pair's block-matching vectors
+/// and the ego-motion fit over them.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionState {
+    /// Block-matching vectors from the newest decoded frame pair.
+    pub vectors: Vec<MotionVector>,
+    /// The global camera motion fitted over `vectors`.
+    pub ego: EgoMotion,
+}
+
+/// A cloneable handle to the motion estimate shared between the
+/// capture loop (writer) and [`PredictivePolicy`] (reader).
+#[derive(Debug, Clone, Default)]
+pub struct SharedMotion {
+    state: Arc<Mutex<Option<PredictionState>>>,
+}
+
+impl SharedMotion {
+    /// A handle holding no estimate yet (prediction passes through).
+    pub fn new() -> Self {
+        SharedMotion::default()
+    }
+
+    /// Replaces the estimate with a fresh fit over `vectors`.
+    pub fn update(&self, vectors: Vec<MotionVector>, cfg: &EgoEstimatorConfig) {
+        let ego = estimate_ego_motion(&vectors, cfg);
+        *self.state.lock() = Some(PredictionState { vectors, ego });
+    }
+
+    /// Drops the estimate, e.g. on a scene cut or stream restart.
+    pub fn clear(&self) {
+        *self.state.lock() = None;
+    }
+
+    /// The current estimate, if any.
+    pub fn snapshot(&self) -> Option<PredictionState> {
+        self.state.lock().clone()
+    }
+}
+
+/// Wraps any feedback policy and rewrites its t−1 labels into
+/// predicted-t labels before they reach the encoder.
+///
+/// With no motion estimate available (first frames, cleared state) the
+/// wrapped policy's plan passes through unchanged, so the wrapper is
+/// always safe to install.
+pub struct PredictivePolicy {
+    inner: Box<dyn Policy + Send>,
+    motion: SharedMotion,
+    tracker: TrackerConfig,
+    name: String,
+}
+
+impl PredictivePolicy {
+    /// Wraps `inner`, reading motion estimates from `motion`.
+    pub fn new(inner: Box<dyn Policy + Send>, motion: SharedMotion) -> Self {
+        Self::with_tracker(inner, motion, TrackerConfig::default())
+    }
+
+    /// Wraps `inner` with explicit tracker tuning.
+    pub fn with_tracker(
+        inner: Box<dyn Policy + Send>,
+        motion: SharedMotion,
+        tracker: TrackerConfig,
+    ) -> Self {
+        let name = format!("predictive+{}", inner.name());
+        PredictivePolicy { inner, motion, tracker, name }
+    }
+
+    /// The motion handle the capture loop should update.
+    pub fn motion(&self) -> SharedMotion {
+        self.motion.clone()
+    }
+}
+
+impl Policy for PredictivePolicy {
+    fn plan(&mut self, ctx: &PolicyContext) -> RegionList {
+        let base = self.inner.plan(ctx);
+        let Some(state) = self.motion.snapshot() else {
+            return base;
+        };
+        let predicted = predict_labels(
+            base.labels(),
+            &state.vectors,
+            &state.ego,
+            ctx.width,
+            ctx.height,
+            &self.tracker,
+        );
+        RegionList::new_lossy(ctx.width, ctx.height, predicted)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::{FeaturePolicy, RegionLabel, StaticPolicy};
+    use rpr_frame::Rect;
+
+    fn pan_vectors(dx: i32) -> Vec<MotionVector> {
+        (0..6)
+            .flat_map(|by| {
+                (0..8).map(move |bx| MotionVector {
+                    block: Rect::new(bx * 16, by * 16, 16, 16),
+                    dx,
+                    dy: 0,
+                    sad: 0,
+                })
+            })
+            .collect()
+    }
+
+    fn ctx() -> PolicyContext {
+        PolicyContext {
+            frame_idx: 3,
+            width: 128,
+            height: 96,
+            features: vec![],
+            detections: vec![(Rect::new(40, 40, 20, 20), 2.0)],
+        }
+    }
+
+    #[test]
+    fn without_estimate_plan_passes_through() {
+        let mut reactive = FeaturePolicy::new();
+        let mut predictive =
+            PredictivePolicy::new(Box::new(FeaturePolicy::new()), SharedMotion::new());
+        assert_eq!(predictive.plan(&ctx()), reactive.plan(&ctx()));
+        assert_eq!(predictive.name(), "predictive+feature");
+    }
+
+    #[test]
+    fn with_pan_estimate_labels_shift() {
+        let motion = SharedMotion::new();
+        motion.update(pan_vectors(-6), &EgoEstimatorConfig::default());
+        let label = RegionLabel::new(30, 30, 20, 20, 1, 1);
+        let mut predictive =
+            PredictivePolicy::new(Box::new(StaticPolicy::new(vec![label])), motion.clone());
+        let planned = predictive.plan(&ctx());
+        assert_eq!(planned.labels(), &[RegionLabel::new(36, 30, 20, 20, 1, 1)]);
+
+        motion.clear();
+        let reset = predictive.plan(&ctx());
+        assert_eq!(reset.labels(), &[label]);
+    }
+
+    #[test]
+    fn zero_motion_estimate_is_noop() {
+        let motion = SharedMotion::new();
+        motion.update(pan_vectors(0), &EgoEstimatorConfig::default());
+        let mut reactive = FeaturePolicy::new();
+        let mut predictive =
+            PredictivePolicy::new(Box::new(FeaturePolicy::new()), motion);
+        assert_eq!(predictive.plan(&ctx()), reactive.plan(&ctx()));
+    }
+}

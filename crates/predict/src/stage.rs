@@ -1,0 +1,182 @@
+//! The stream-layer prediction stage.
+//!
+//! [`MotionPredictor`] implements `rpr_stream::FeedbackTransform` for
+//! grayscale pipelines: it block-matches consecutive decoded frames as
+//! they leave the capture stage and rewrites the task's t−1 feedback —
+//! detections and features — to where the estimated motion puts them
+//! at frame t, so the capture→task feedback edge carries predicted
+//! labels without the capture stage changing at all.
+
+use crate::{displacement_for_rect, estimate_ego_motion, shift_rect, EgoEstimatorConfig, EgoMotion};
+use rpr_frame::GrayFrame;
+use rpr_stream::{Feedback, FeedbackTransform};
+use rpr_vision::{estimate_block_motion, MotionVector};
+
+/// Motion state estimated from the newest decoded frame pair.
+#[derive(Debug, Clone)]
+struct Estimate {
+    ego: EgoMotion,
+    vectors: Vec<MotionVector>,
+    width: u32,
+    height: u32,
+}
+
+/// A [`FeedbackTransform`] that forward-projects feedback by the
+/// motion observed between consecutive decoded frames.
+#[derive(Debug)]
+pub struct MotionPredictor {
+    block_size: u32,
+    search_radius: u32,
+    ego_cfg: EgoEstimatorConfig,
+    prev: Option<GrayFrame>,
+    estimate: Option<Estimate>,
+}
+
+impl MotionPredictor {
+    /// Creates a predictor block-matching with the given block size
+    /// and search radius (a zero block size is raised to 1).
+    pub fn new(block_size: u32, search_radius: u32) -> Self {
+        MotionPredictor {
+            block_size: block_size.max(1),
+            search_radius,
+            ego_cfg: EgoEstimatorConfig::default(),
+            prev: None,
+            estimate: None,
+        }
+    }
+
+    /// Overrides the ego-estimator configuration.
+    pub fn with_ego_config(mut self, cfg: EgoEstimatorConfig) -> Self {
+        self.ego_cfg = cfg;
+        self
+    }
+
+    /// The latest ego-motion estimate, if two comparable frames have
+    /// been observed.
+    pub fn ego(&self) -> Option<EgoMotion> {
+        self.estimate.as_ref().map(|e| e.ego)
+    }
+}
+
+impl Default for MotionPredictor {
+    fn default() -> Self {
+        MotionPredictor::new(16, 8)
+    }
+}
+
+impl FeedbackTransform<GrayFrame> for MotionPredictor {
+    fn observe(&mut self, output: &GrayFrame) {
+        if let Some(prev) = &self.prev {
+            if prev.width() == output.width() && prev.height() == output.height() {
+                let vectors =
+                    estimate_block_motion(prev, output, self.block_size, self.search_radius);
+                let ego = estimate_ego_motion(&vectors, &self.ego_cfg);
+                self.estimate = Some(Estimate {
+                    ego,
+                    vectors,
+                    width: output.width(),
+                    height: output.height(),
+                });
+            } else {
+                // Geometry changed mid-stream: stale motion is useless.
+                self.estimate = None;
+            }
+        }
+        self.prev = Some(output.clone());
+    }
+
+    fn transform(&mut self, mut feedback: Feedback) -> Feedback {
+        let Some(est) = &self.estimate else {
+            return feedback;
+        };
+        let mut projected = Vec::with_capacity(feedback.detections.len());
+        for (rect, _) in feedback.detections.iter() {
+            let ((dx, dy), _sad) = displacement_for_rect(rect, &est.vectors, &est.ego);
+            if let Some(moved) = shift_rect(rect, dx, dy, est.width, est.height) {
+                projected.push((moved, (dx * dx + dy * dy).sqrt()));
+            }
+        }
+        feedback.detections = projected;
+        for f in feedback.features.iter_mut() {
+            let (dx, dy) = est.ego.displacement_at((f.x, f.y));
+            f.x = (f.x + dx).clamp(0.0, f64::from(est.width));
+            f.y = (f.y + dy).clamp(0.0, f64::from(est.height));
+            f.displacement = f.displacement.max((dx * dx + dy * dy).sqrt());
+        }
+        feedback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_core::Feature;
+    use rpr_frame::{Plane, Rect};
+
+    /// A textured scene shifted right by `offset` pixels.
+    fn scene(offset: u32) -> GrayFrame {
+        Plane::from_fn(128, 96, |x, y| {
+            let sx = x.wrapping_sub(offset);
+            (sx.wrapping_mul(37) ^ y.wrapping_mul(11)).wrapping_mul(59) as u8
+        })
+    }
+
+    #[test]
+    fn first_frame_passes_feedback_through() {
+        let mut p = MotionPredictor::default();
+        p.observe(&scene(0));
+        let fb = Feedback {
+            features: vec![Feature::new(10.0, 10.0, 8.0)],
+            detections: vec![(Rect::new(5, 5, 10, 10), 1.0)],
+        };
+        let out = p.transform(fb.clone());
+        assert_eq!(out.detections, fb.detections);
+        assert!(p.ego().is_none());
+    }
+
+    #[test]
+    fn pan_shifts_detections_and_features() {
+        let mut p = MotionPredictor::default();
+        p.observe(&scene(0));
+        p.observe(&scene(4));
+        let ego = p.ego().expect("two frames observed");
+        assert!((ego.transform.tx - 4.0).abs() < 1.0, "tx {}", ego.transform.tx);
+
+        let fb = Feedback {
+            features: vec![Feature::new(50.0, 50.0, 8.0)],
+            detections: vec![(Rect::new(40, 40, 16, 16), 0.0)],
+        };
+        let out = p.transform(fb);
+        let (moved, disp) = out.detections.first().expect("kept");
+        assert_eq!(moved.y, 40);
+        assert!((i64::from(moved.x) - 44).abs() <= 1, "moved {moved:?}");
+        assert!(*disp > 2.0);
+        let f = out.features.first().expect("kept");
+        assert!((f.x - 54.0).abs() < 1.5, "feature x {}", f.x);
+    }
+
+    #[test]
+    fn geometry_change_clears_the_estimate() {
+        let mut p = MotionPredictor::default();
+        p.observe(&scene(0));
+        p.observe(&scene(4));
+        assert!(p.ego().is_some());
+        p.observe(&Plane::new(64, 64));
+        assert!(p.ego().is_none());
+    }
+
+    #[test]
+    fn zero_texture_ties_stay_identity() {
+        let mut p = MotionPredictor::default();
+        p.observe(&Plane::new(128, 96));
+        p.observe(&Plane::new(128, 96));
+        let fb = Feedback {
+            features: vec![],
+            detections: vec![(Rect::new(40, 40, 16, 16), 0.0)],
+        };
+        let out = p.transform(fb);
+        // Flat frames match everywhere; the zero-MV tie bias keeps the
+        // field at rest and the detection must not move.
+        assert_eq!(out.detections, vec![(Rect::new(40, 40, 16, 16), 0.0)]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Per-region forward projection.
+//!
+//! Each region label is moved by the camera ego displacement at its
+//! centre plus the *local residual* of the motion vectors it overlaps
+//! (the part of the observed motion the camera does not explain — an
+//! independently moving object). Confidence comes from the SAD
+//! residuals of those vectors: a poorly matched region is inflated to
+//! widen the net, but its stride is bumped in the same step so the
+//! extra coverage does not grow the high-resolution pixel budget.
+
+use crate::EgoMotion;
+use rpr_core::RegionLabel;
+use rpr_frame::Rect;
+use rpr_trace::names;
+use rpr_vision::MotionVector;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`predict_labels`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Mean SAD per pixel above which a region's motion estimate is
+    /// considered low-confidence.
+    pub low_confidence_sad: f64,
+    /// Pixels added on every side of a low-confidence region.
+    pub inflate: u32,
+    /// Stride ceiling applied when a low-confidence region's stride is
+    /// bumped alongside the inflation.
+    pub max_stride: u32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { low_confidence_sad: 12.0, inflate: 8, max_stride: 4 }
+    }
+}
+
+/// Displacement to apply to `rect` for the next frame, and the mean
+/// SAD per pixel of the motion vectors supporting it.
+///
+/// The displacement is the ego displacement at the rect centre plus
+/// the mean residual of overlapping vectors (observed content velocity
+/// minus what the camera motion alone would produce). With no
+/// overlapping vectors the ego term stands alone and the SAD is 0.
+pub fn displacement_for_rect(
+    rect: &Rect,
+    vectors: &[MotionVector],
+    ego: &EgoMotion,
+) -> ((f64, f64), f64) {
+    let (ex, ey) = ego.displacement_at(rect.center());
+    let mut rx = 0.0;
+    let mut ry = 0.0;
+    let mut sad = 0u64;
+    let mut area = 0u64;
+    let mut n = 0u32;
+    for v in vectors.iter().filter(|v| v.block.intersection(rect).is_some()) {
+        let (bex, bey) = ego.displacement_at(v.block.center());
+        // Observed content velocity is the negated match offset: the
+        // vector points to where the content came *from*.
+        rx += -f64::from(v.dx) - bex;
+        ry += -f64::from(v.dy) - bey;
+        sad = sad.saturating_add(v.sad);
+        area = area.saturating_add(v.block.area());
+        n += 1;
+    }
+    if n == 0 {
+        return ((ex, ey), 0.0);
+    }
+    let inv = 1.0 / f64::from(n);
+    let sad_per_px = if area == 0 { 0.0 } else { sad as f64 / area as f64 };
+    ((ex + rx * inv, ey + ry * inv), sad_per_px)
+}
+
+/// Shifts `rect` by the rounded displacement and clamps it to the
+/// `width x height` frame. Returns `None` when the shifted rectangle
+/// no longer intersects the frame.
+pub fn shift_rect(rect: &Rect, dx: f64, dy: f64, width: u32, height: u32) -> Option<Rect> {
+    let sx = dx.round() as i64;
+    let sy = dy.round() as i64;
+    let x0 = (i64::from(rect.x) + sx).clamp(0, i64::from(width));
+    let y0 = (i64::from(rect.y) + sy).clamp(0, i64::from(height));
+    let x1 = (i64::from(rect.x) + i64::from(rect.w) + sx).clamp(0, i64::from(width));
+    let y1 = (i64::from(rect.y) + i64::from(rect.h) + sy).clamp(0, i64::from(height));
+    if x1 <= x0 || y1 <= y0 {
+        return None;
+    }
+    let x = u32::try_from(x0).ok()?;
+    let y = u32::try_from(y0).ok()?;
+    let w = u32::try_from(x1 - x0).ok()?;
+    let h = u32::try_from(y1 - y0).ok()?;
+    Some(Rect::new(x, y, w, h))
+}
+
+/// True when `outer`'s footprint covers `inner`'s at an equal-or-finer
+/// rhythm, making `inner` redundant.
+fn encloses(outer: &RegionLabel, inner: &RegionLabel) -> bool {
+    outer.x <= inner.x
+        && outer.y <= inner.y
+        && outer.right() >= inner.right()
+        && outer.bottom() >= inner.bottom()
+        && outer.stride <= inner.stride
+        && outer.skip <= inner.skip
+}
+
+/// Forward-projects region labels planned from frame t−1 feedback to
+/// where their content will be at frame t.
+///
+/// * Full-frame labels pass through untouched (cycle-length full
+///   captures must stay full captures).
+/// * Labels whose projection leaves the frame are dropped; projections
+///   straddling a border are clamped.
+/// * Labels cut or inflated at a border are merged away when another
+///   projected label already covers them at an equal-or-finer rhythm.
+/// * Zero estimated motion is an exact no-op: the output equals the
+///   input labels.
+pub fn predict_labels(
+    labels: &[RegionLabel],
+    vectors: &[MotionVector],
+    ego: &EgoMotion,
+    width: u32,
+    height: u32,
+    cfg: &TrackerConfig,
+) -> Vec<RegionLabel> {
+    let _span = rpr_trace::span(names::PREDICT_PROJECT, "predict");
+    let mut out: Vec<RegionLabel> = Vec::with_capacity(labels.len());
+    // Tracks which outputs had their footprint altered (border cut or
+    // inflation) and are therefore merge candidates.
+    let mut altered: Vec<bool> = Vec::with_capacity(labels.len());
+    for label in labels {
+        if label.x == 0 && label.y == 0 && label.w >= width && label.h >= height {
+            out.push(*label);
+            altered.push(false);
+            continue;
+        }
+        let rect = label.rect();
+        let ((dx, dy), sad_per_px) = displacement_for_rect(&rect, vectors, ego);
+        let Some(moved) = shift_rect(&rect, dx, dy, width, height) else {
+            continue;
+        };
+        let confident = sad_per_px <= cfg.low_confidence_sad;
+        let (footprint, stride) = if confident {
+            (moved, label.stride)
+        } else {
+            // Inflate only when the stride bump actually pays for the
+            // extra coverage: a label already at the stride ceiling
+            // cannot coarsen further, and inflating it would grow the
+            // high-resolution pixel budget.
+            let ceiling = cfg.max_stride.max(label.stride);
+            let bumped = label.stride.saturating_add(1).min(ceiling);
+            let inflated = moved.inflated(cfg.inflate).clamped(width, height);
+            let candidate = RegionLabel::from_rect(inflated, bumped, label.skip);
+            if candidate.kept_pixels() <= label.kept_pixels() {
+                (inflated, bumped)
+            } else {
+                (moved, label.stride)
+            }
+        };
+        if footprint.is_empty() {
+            continue;
+        }
+        altered.push(footprint.w != label.w || footprint.h != label.h || stride != label.stride);
+        out.push(RegionLabel::from_rect(footprint, stride, label.skip));
+    }
+    // Border merge: drop altered labels another label already covers.
+    // Mutually enclosing (identical) labels keep only the first.
+    let kept: Vec<RegionLabel> = out
+        .iter()
+        .enumerate()
+        .filter(|(i, label)| {
+            if !altered.get(*i).copied().unwrap_or(false) {
+                return true;
+            }
+            !out.iter().enumerate().any(|(j, other)| {
+                j != *i && encloses(other, label) && (j < *i || !encloses(label, other))
+            })
+        })
+        .map(|(_, label)| *label)
+        .collect();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{estimate_ego_motion, EgoEstimatorConfig};
+
+    fn uniform_field(dx: i32, dy: i32, sad: u64) -> Vec<MotionVector> {
+        (0..6)
+            .flat_map(|by| {
+                (0..8).map(move |bx| MotionVector {
+                    block: Rect::new(bx * 16, by * 16, 16, 16),
+                    dx,
+                    dy,
+                    sad,
+                })
+            })
+            .collect()
+    }
+
+    fn ego_for(vectors: &[MotionVector]) -> EgoMotion {
+        estimate_ego_motion(vectors, &EgoEstimatorConfig::default())
+    }
+
+    #[test]
+    fn zero_motion_is_exact_noop() {
+        let vectors = uniform_field(0, 0, 0);
+        let ego = ego_for(&vectors);
+        let labels = vec![
+            RegionLabel::new(10, 20, 30, 40, 2, 3),
+            RegionLabel::new(90, 5, 16, 16, 1, 1),
+        ];
+        let predicted =
+            predict_labels(&labels, &vectors, &ego, 128, 96, &TrackerConfig::default());
+        assert_eq!(predicted, labels);
+    }
+
+    #[test]
+    fn pan_moves_labels_with_the_content() {
+        // Content moves +5 px right each frame (vectors point back).
+        let vectors = uniform_field(-5, 0, 0);
+        let ego = ego_for(&vectors);
+        let labels = vec![RegionLabel::new(40, 40, 20, 20, 1, 1)];
+        let predicted =
+            predict_labels(&labels, &vectors, &ego, 128, 96, &TrackerConfig::default());
+        assert_eq!(predicted, vec![RegionLabel::new(45, 40, 20, 20, 1, 1)]);
+    }
+
+    #[test]
+    fn projection_clamps_at_borders_and_drops_departures() {
+        let vectors = uniform_field(-8, 0, 0);
+        let ego = ego_for(&vectors);
+        let near_edge = RegionLabel::new(116, 40, 12, 12, 1, 1);
+        let predicted = predict_labels(
+            &[near_edge],
+            &vectors,
+            &ego,
+            128,
+            96,
+            &TrackerConfig::default(),
+        );
+        // 116 + 8 = 124; width 12 clips to 4.
+        assert_eq!(predicted, vec![RegionLabel::new(124, 40, 4, 12, 1, 1)]);
+
+        let leaving = RegionLabel::new(124, 40, 4, 4, 1, 1);
+        let gone =
+            predict_labels(&[leaving], &vectors, &ego, 128, 96, &TrackerConfig::default());
+        assert!(gone.is_empty(), "{gone:?}");
+    }
+
+    #[test]
+    fn low_confidence_inflates_and_coarsens() {
+        let vectors = uniform_field(-5, 0, 16 * 16 * 40); // SAD 40/px
+        let ego = ego_for(&vectors);
+        let label = RegionLabel::new(40, 40, 20, 20, 1, 1);
+        let cfg = TrackerConfig::default();
+        let predicted = predict_labels(&[label], &vectors, &ego, 128, 96, &cfg);
+        let p = predicted.first().expect("one label");
+        assert_eq!(p.w, 20 + 2 * cfg.inflate);
+        assert_eq!(p.stride, 2, "inflation must coarsen the grid");
+        // The budget guarantee: inflating never adds kept pixels.
+        assert!(p.kept_pixels() <= label.kept_pixels());
+    }
+
+    #[test]
+    fn stride_ceiling_labels_never_inflate_past_their_budget() {
+        // A label already at the stride ceiling cannot coarsen to pay
+        // for inflation, so low confidence must leave its size alone.
+        let vectors = uniform_field(-5, 0, 16 * 16 * 40); // SAD 40/px
+        let ego = ego_for(&vectors);
+        let cfg = TrackerConfig::default();
+        let label = RegionLabel::new(40, 40, 20, 20, cfg.max_stride, 1);
+        let predicted = predict_labels(&[label], &vectors, &ego, 128, 96, &cfg);
+        let p = predicted.first().expect("one label");
+        assert_eq!((p.w, p.h, p.stride), (20, 20, cfg.max_stride));
+        assert!(p.kept_pixels() <= label.kept_pixels());
+    }
+
+    #[test]
+    fn local_residual_tracks_independent_objects() {
+        // Camera pans +4 px; one block's content additionally moves +4.
+        let mut vectors = uniform_field(-4, 0, 0);
+        for v in vectors.iter_mut().filter(|v| v.block.contains(64, 48)) {
+            v.dx = -8;
+        }
+        let ego = ego_for(&vectors);
+        assert!((ego.transform.tx - 4.0).abs() < 0.5, "tx {}", ego.transform.tx);
+        // The label overlaps only the object's block, so the residual
+        // is undiluted: ego 4 px + residual 4 px = 8 px.
+        let on_object = RegionLabel::new(65, 49, 8, 8, 1, 1);
+        let predicted = predict_labels(
+            &[on_object],
+            &vectors,
+            &ego,
+            128,
+            96,
+            &TrackerConfig::default(),
+        );
+        let p = predicted.first().expect("one label");
+        assert_eq!(p.x, 73, "ego 4 px + residual 4 px");
+    }
+
+    #[test]
+    fn cut_labels_merge_into_enclosing_ones() {
+        let vectors = uniform_field(-8, 0, 0);
+        let ego = ego_for(&vectors);
+        let big = RegionLabel::new(80, 20, 40, 60, 1, 1);
+        let small = RegionLabel::new(118, 40, 10, 10, 2, 1);
+        let predicted = predict_labels(
+            &[big, small],
+            &vectors,
+            &ego,
+            128,
+            96,
+            &TrackerConfig::default(),
+        );
+        // Both get cut at x=128; the small coarse one lands inside the
+        // big fine one and is merged away.
+        assert_eq!(predicted.len(), 1);
+        let p = predicted.first().expect("one label");
+        assert_eq!((p.x, p.w), (88, 40));
+    }
+
+    #[test]
+    fn full_frame_labels_pass_through() {
+        let vectors = uniform_field(-8, 0, 0);
+        let ego = ego_for(&vectors);
+        let full = RegionLabel::full_frame(128, 96);
+        let predicted =
+            predict_labels(&[full], &vectors, &ego, 128, 96, &TrackerConfig::default());
+        assert_eq!(predicted, vec![full]);
+    }
+
+    #[test]
+    fn shift_rect_handles_extreme_displacements() {
+        let r = Rect::new(10, 10, 20, 20);
+        assert!(shift_rect(&r, 1e12, 0.0, 128, 96).is_none());
+        assert!(shift_rect(&r, f64::NAN, f64::NAN, 128, 96).is_some());
+        assert!(shift_rect(&r, -1e12, -1e12, 128, 96).is_none());
+    }
+}

@@ -77,6 +77,49 @@ impl Trajectory {
         Trajectory { poses }
     }
 
+    /// A constant-velocity global pan: the camera starts at
+    /// `(x, y)` and translates by `(vx, vy)` px every frame with a
+    /// fixed heading — the moving-camera scenario the reactive t−1
+    /// policy systematically lags on.
+    pub fn pan(x: f64, y: f64, vx: f64, vy: f64, frames: usize) -> Self {
+        let poses = (0..frames)
+            .map(|i| {
+                let t = i as f64;
+                CameraPose::new(x + vx * t, y + vy * t, 0.0)
+            })
+            .collect();
+        Trajectory { poses }
+    }
+
+    /// Handheld jitter around `(x, y)`: a seeded sum of two
+    /// incommensurate sinusoids per axis (slow sway + faster tremor)
+    /// plus small seeded noise, with matching low-amplitude roll. The
+    /// per-frame motion is bounded by ~`amplitude`, so visual odometry
+    /// stays locked while the labels still smear without prediction.
+    pub fn handheld(x: f64, y: f64, frames: usize, amplitude: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Seeded phases decorrelate the axes between scenario seeds.
+        let phase_x = rng.gen_range(0.0..std::f64::consts::TAU);
+        let phase_y = rng.gen_range(0.0..std::f64::consts::TAU);
+        let phase_roll = rng.gen_range(0.0..std::f64::consts::TAU);
+        let poses = (0..frames)
+            .map(|i| {
+                let t = i as f64;
+                let sway_x = (t * 0.11 + phase_x).sin() + 0.4 * (t * 0.43 + phase_y).sin();
+                let sway_y = (t * 0.09 + phase_y).cos() + 0.4 * (t * 0.37 + phase_x).cos();
+                let noise_x = rng.gen_range(-0.15..0.15);
+                let noise_y = rng.gen_range(-0.15..0.15);
+                let roll = 0.01 * (t * 0.07 + phase_roll).sin();
+                CameraPose::new(
+                    x + amplitude * (sway_x + noise_x),
+                    y + amplitude * (sway_y + noise_y),
+                    normalize_angle(roll),
+                )
+            })
+            .collect();
+        Trajectory { poses }
+    }
+
     /// Number of frames.
     pub fn len(&self) -> usize {
         self.poses.len()
@@ -150,6 +193,33 @@ mod tests {
     fn trajectory_actually_moves() {
         let t = Trajectory::generate(2000, 2000, 300, 200, 6);
         assert!(t.mean_speed() > 0.5, "mean speed {}", t.mean_speed());
+    }
+
+    #[test]
+    fn pan_is_constant_velocity() {
+        let t = Trajectory::pan(300.0, 400.0, 2.5, -1.0, 60);
+        assert_eq!(t.len(), 60);
+        for w in t.poses().windows(2) {
+            assert!((w[1].x - w[0].x - 2.5).abs() < 1e-9);
+            assert!((w[1].y - w[0].y + 1.0).abs() < 1e-9);
+            assert_eq!(w[0].theta, 0.0);
+        }
+        assert!((t.mean_speed() - (2.5f64 * 2.5 + 1.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handheld_jitters_near_anchor_deterministically() {
+        let a = Trajectory::handheld(500.0, 500.0, 120, 6.0, 9);
+        let b = Trajectory::handheld(500.0, 500.0, 120, 6.0, 9);
+        assert_eq!(a.poses(), b.poses());
+        assert!(a.mean_speed() > 0.1, "mean speed {}", a.mean_speed());
+        for p in a.poses() {
+            assert!((p.x - 500.0).abs() <= 6.0 * 1.6, "x={}", p.x);
+            assert!((p.y - 500.0).abs() <= 6.0 * 1.6, "y={}", p.y);
+            assert!(p.theta.abs() < 0.02);
+        }
+        let c = Trajectory::handheld(500.0, 500.0, 120, 6.0, 10);
+        assert_ne!(a.poses(), c.poses(), "seed must matter");
     }
 
     #[test]

@@ -28,6 +28,7 @@ struct CombinedReport {
     container: rpr_testkit::WireCorpusReport,
     encode_decode_poisoned: rpr_testkit::CorpusReport,
     container_poisoned: rpr_testkit::WireCorpusReport,
+    prediction: rpr_testkit::PredictCorpusReport,
 }
 
 fn main() -> ExitCode {
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         container: rpr_testkit::run_wire_corpus(base_seed, n_cases),
         encode_decode_poisoned: rpr_testkit::run_corpus_in(base_seed, n_cases, poison),
         container_poisoned: rpr_testkit::run_wire_corpus_in(base_seed, n_cases, poison),
+        prediction: rpr_testkit::run_predict_corpus(base_seed, n_cases),
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => println!("{json}"),
@@ -63,7 +65,8 @@ fn main() -> ExitCode {
     let ct = &report.container;
     let edp = &report.encode_decode_poisoned;
     let ctp = &report.container_poisoned;
-    if ed.passed() && ct.passed() && edp.passed() && ctp.passed() {
+    let pr = &report.prediction;
+    if ed.passed() && ct.passed() && edp.passed() && ctp.passed() && pr.passed() {
         eprintln!(
             "conformance: {} cases passed ({} clean frames, {} faults detected, {} harmless, {} skipped)",
             ed.cases, ed.clean_frames_ok, ed.faults_detected, ed.faults_harmless, ed.faults_skipped,
@@ -81,15 +84,20 @@ fn main() -> ExitCode {
             "poisoned-pool adversary: {} + {} cases passed with zero divergences",
             edp.cases, ctp.cases,
         );
+        eprintln!(
+            "prediction adversary: {} cases passed ({} identity degradations, {} projections)",
+            pr.cases, pr.identity_degradations, pr.labels_projected,
+        );
         ExitCode::SUCCESS
     } else {
         let failing = ed.failing_seeds.len()
             + ct.failing_seeds.len()
             + edp.failing_seeds.len()
-            + ctp.failing_seeds.len();
+            + ctp.failing_seeds.len()
+            + pr.failing_seeds.len();
         eprintln!(
             "conformance: {failing} of {} case runs FAILED; reproduce with `cargo run --release -p rpr-testkit --bin conformance -- <seed> 1`",
-            ed.cases + ct.cases + edp.cases + ctp.cases,
+            ed.cases + ct.cases + edp.cases + ctp.cases + pr.cases,
         );
         for seed in &ed.failing_seeds {
             eprintln!("  failing seed (encode-decode): {seed}");
@@ -102,6 +110,9 @@ fn main() -> ExitCode {
         }
         for seed in &ctp.failing_seeds {
             eprintln!("  failing seed (container, poisoned pool): {seed}");
+        }
+        for seed in &pr.failing_seeds {
+            eprintln!("  failing seed (prediction): {seed}");
         }
         ExitCode::FAILURE
     }

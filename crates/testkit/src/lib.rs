@@ -22,6 +22,12 @@
 //!   [`rpr_core::ReconstructionMode`]s, plus the invariant checker:
 //!   every injected fault is *detected* or *harmless*, never a panic
 //!   and never silently wrong pixels.
+//! * **Prediction adversaries** ([`PredictFaultKind`],
+//!   [`run_predict_corpus`]) — hostile motion-vector fields
+//!   (all-outlier chaos, flat-block zero ties, degenerate geometry,
+//!   `i32`-extreme displacements) checked against the prediction
+//!   contract: finite fits, in-bounds projected labels, a
+//!   never-growing pixel budget, and exact no-ops on zero fields.
 //! * **Session faults** ([`SessionFaultKind`]) — one layer further
 //!   out: typed corruption of the byte scripts cameras send an
 //!   `rpr-serve` server (torn hellos, forged message framing,
@@ -46,6 +52,7 @@ mod conformance;
 mod fault;
 mod gen;
 mod lossy;
+mod predictfault;
 mod reference;
 mod rng;
 mod servefault;
@@ -62,6 +69,9 @@ pub use gen::{
     gen_region_list, CaptureSequence, FramePattern,
 };
 pub use lossy::{LossyDram, ReadOutcome};
+pub use predictfault::{
+    run_predict_corpus, PredictCorpusReport, PredictFaultKind, ALL_PREDICT_FAULTS,
+};
 pub use reference::ReferenceDecoder;
 pub use rng::TestRng;
 pub use servefault::{SessionFaultKind, ALL_SESSION_FAULTS};

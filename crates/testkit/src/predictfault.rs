@@ -1,0 +1,291 @@
+//! Typed adversaries over motion-vector fields for the prediction
+//! subsystem.
+//!
+//! The prediction contract mirrors the decode contract one layer up:
+//! whatever the block matcher hands the ego estimator — coherent pans,
+//! all-outlier chaos, flat-block zero ties, degenerate geometry — the
+//! fit must stay finite, forward-projected labels must stay inside the
+//! frame without growing the high-resolution pixel budget, and a
+//! zero-motion field must be an exact no-op. Each [`PredictFaultKind`]
+//! manufactures one hostile field class from a seeded coherent base;
+//! [`run_predict_corpus`] checks the invariants over a fixed seed
+//! corpus the `conformance` binary gates CI on.
+
+use crate::{gen_region_list, TestRng};
+use rpr_frame::Rect;
+use rpr_predict::{estimate_ego_motion, predict_labels, EgoEstimatorConfig, TrackerConfig};
+use rpr_vision::MotionVector;
+use serde::Serialize;
+
+/// Every motion-field corruption class the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictFaultKind {
+    /// Replace every vector with incoherent random displacements — an
+    /// all-outlier field. The fit must stay finite; confidence may
+    /// collapse but never exceed 1.
+    AllOutliers,
+    /// Replace every vector with a zero-displacement, zero-SAD tie —
+    /// what flat untextured blocks produce. Prediction must be an
+    /// exact no-op on the input labels.
+    ZeroTies,
+    /// Drop all but one vector. Below the estimator's minimum the fit
+    /// must degrade to the identity, never extrapolate from one block.
+    SingleVector,
+    /// Drop every vector. Identity fit, labels pass through shifted
+    /// by nothing.
+    EmptyField,
+    /// Saturate displacements at the `i32` extremes — the overflow
+    /// regime the `magnitude` fix targets. Nothing may panic and all
+    /// outputs must stay in frame bounds.
+    ExtremeDisplacements,
+    /// Shrink every block to zero area. Degenerate geometry must not
+    /// divide by zero anywhere in the fit or the SAD normalisation.
+    DegenerateBlocks,
+    /// Collapse all block centres onto one row — rank-deficient
+    /// geometry for a rigid fit. The result must stay finite.
+    CollinearField,
+    /// Split the field into two halves voting opposite pans. The fit
+    /// must pick a consensus (or degrade) without inventing rotation
+    /// larger than the disagreement explains.
+    ConflictingHalves,
+}
+
+/// All prediction fault kinds, for corpus iteration.
+pub const ALL_PREDICT_FAULTS: [PredictFaultKind; 8] = [
+    PredictFaultKind::AllOutliers,
+    PredictFaultKind::ZeroTies,
+    PredictFaultKind::SingleVector,
+    PredictFaultKind::EmptyField,
+    PredictFaultKind::ExtremeDisplacements,
+    PredictFaultKind::DegenerateBlocks,
+    PredictFaultKind::CollinearField,
+    PredictFaultKind::ConflictingHalves,
+];
+
+impl PredictFaultKind {
+    /// Short stable name for reports and corpus bookkeeping.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictFaultKind::AllOutliers => "all-outliers",
+            PredictFaultKind::ZeroTies => "zero-ties",
+            PredictFaultKind::SingleVector => "single-vector",
+            PredictFaultKind::EmptyField => "empty-field",
+            PredictFaultKind::ExtremeDisplacements => "extreme-displacements",
+            PredictFaultKind::DegenerateBlocks => "degenerate-blocks",
+            PredictFaultKind::CollinearField => "collinear-field",
+            PredictFaultKind::ConflictingHalves => "conflicting-halves",
+        }
+    }
+
+    /// Applies the fault to a coherent base `field`, deterministically
+    /// under `rng`.
+    pub fn inject(self, field: &[MotionVector], rng: &mut TestRng) -> Vec<MotionVector> {
+        let mut out = field.to_vec();
+        match self {
+            PredictFaultKind::AllOutliers => {
+                for v in &mut out {
+                    v.dx = i32::try_from(rng.range_u32(0, 16)).unwrap_or(0) - 8;
+                    v.dy = i32::try_from(rng.range_u32(0, 16)).unwrap_or(0) - 8;
+                    v.sad = u64::from(rng.range_u32(0, 50_000));
+                }
+                out
+            }
+            PredictFaultKind::ZeroTies => {
+                for v in &mut out {
+                    v.dx = 0;
+                    v.dy = 0;
+                    v.sad = 0;
+                }
+                out
+            }
+            PredictFaultKind::SingleVector => {
+                let keep = rng.range_usize(0, out.len().saturating_sub(1));
+                out.into_iter().skip(keep).take(1).collect()
+            }
+            PredictFaultKind::EmptyField => Vec::new(),
+            PredictFaultKind::ExtremeDisplacements => {
+                for (i, v) in out.iter_mut().enumerate() {
+                    v.dx = if i % 2 == 0 { i32::MAX } else { i32::MIN };
+                    v.dy = if i % 3 == 0 { i32::MIN } else { i32::MAX };
+                    v.sad = u64::MAX;
+                }
+                out
+            }
+            PredictFaultKind::DegenerateBlocks => {
+                for v in &mut out {
+                    v.block = Rect::new(v.block.x, v.block.y, 0, 0);
+                }
+                out
+            }
+            PredictFaultKind::CollinearField => {
+                let row = rng.range_u32(0, 80);
+                for v in &mut out {
+                    v.block = Rect::new(v.block.x, row, v.block.w, v.block.h);
+                }
+                out
+            }
+            PredictFaultKind::ConflictingHalves => {
+                let mag = i32::try_from(rng.range_u32(1, 8)).unwrap_or(1);
+                let half = out.len() / 2;
+                for (i, v) in out.iter_mut().enumerate() {
+                    v.dx = if i < half { mag } else { -mag };
+                    v.dy = 0;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Outcome of a prediction-adversary seed corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictCorpusReport {
+    /// Cases run (seeds × fault kinds).
+    pub cases: u64,
+    /// Cases where the fit degraded to the identity (by design for
+    /// starved fields).
+    pub identity_degradations: u64,
+    /// Cases where prediction produced at least one projected label.
+    pub labels_projected: u64,
+    /// Invariant violations — must be zero for the gate to pass.
+    pub violations: u64,
+    /// Seeds of violating cases, for reproduction.
+    pub failing_seeds: Vec<u64>,
+}
+
+impl PredictCorpusReport {
+    /// Whether the corpus met the contract.
+    pub fn passed(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// A coherent base field: a `cols x rows` grid of 16 px blocks all
+/// voting one rigid pan, with small per-block SAD noise.
+fn base_field(rng: &mut TestRng) -> Vec<MotionVector> {
+    let cols = rng.range_u32(2, 8);
+    let rows = rng.range_u32(2, 6);
+    let dx = i32::try_from(rng.range_u32(0, 14)).unwrap_or(0) - 7;
+    let dy = i32::try_from(rng.range_u32(0, 10)).unwrap_or(0) - 5;
+    (0..rows)
+        .flat_map(|by| {
+            (0..cols).map(move |bx| MotionVector {
+                block: Rect::new(bx * 16, by * 16, 16, 16),
+                dx,
+                dy,
+                sad: 37,
+            })
+        })
+        .map(|mut v| {
+            v.sad += u64::from(rng.range_u32(0, 64));
+            v
+        })
+        .collect()
+}
+
+/// Runs one prediction-adversary case; returns `true` when every
+/// invariant held.
+fn run_predict_case(seed: u64, kind: PredictFaultKind, report: &mut PredictCorpusReport) -> bool {
+    let width = 128u32;
+    let height = 96u32;
+    let mut rng = TestRng::new(seed ^ 0x5045_5246); // "PERF" domain split
+    let field = kind.inject(&base_field(&mut rng), &mut rng);
+    let labels = gen_region_list(&mut rng, width, height, 4).labels().to_vec();
+
+    let ego_cfg = EgoEstimatorConfig::default();
+    let ego = estimate_ego_motion(&field, &ego_cfg);
+    let ego2 = estimate_ego_motion(&field, &ego_cfg);
+
+    // Fit invariants: finite, bounded confidence, deterministic.
+    let fit_ok = ego.transform.tx.is_finite()
+        && ego.transform.ty.is_finite()
+        && ego.transform.theta.is_finite()
+        && (0.0..=1.0).contains(&ego.confidence)
+        && ego.inliers <= ego.total
+        && ego == ego2;
+    if ego.confidence == 0.0 {
+        report.identity_degradations += 1;
+    }
+
+    let cfg = TrackerConfig::default();
+    let predicted = predict_labels(&labels, &field, &ego, width, height, &cfg);
+    let predicted2 = predict_labels(&labels, &field, &ego, width, height, &cfg);
+    if !predicted.is_empty() {
+        report.labels_projected += 1;
+    }
+
+    // Projection invariants: in bounds, non-empty footprints, budget
+    // never grows, deterministic; zero fields are exact no-ops.
+    let in_bounds = predicted
+        .iter()
+        .all(|l| l.right() <= width && l.bottom() <= height && l.w > 0 && l.h > 0);
+    let budget_in: u64 = labels.iter().map(|l| l.kept_pixels()).sum();
+    let budget_out: u64 = predicted.iter().map(|l| l.kept_pixels()).sum();
+    let noop_ok = kind != PredictFaultKind::ZeroTies || predicted == labels;
+    fit_ok && in_bounds && budget_out <= budget_in && predicted == predicted2 && noop_ok
+}
+
+/// Runs the fixed prediction-adversary corpus: `n_cases` seeds, each
+/// exercising every [`PredictFaultKind`].
+pub fn run_predict_corpus(base_seed: u64, n_cases: u64) -> PredictCorpusReport {
+    let mut report = PredictCorpusReport {
+        cases: 0,
+        identity_degradations: 0,
+        labels_projected: 0,
+        violations: 0,
+        failing_seeds: Vec::new(),
+    };
+    for i in 0..n_cases {
+        let seed = base_seed.wrapping_add(i);
+        for kind in ALL_PREDICT_FAULTS {
+            report.cases += 1;
+            if !run_predict_case(seed, kind, &mut report) {
+                report.violations += 1;
+                if report.failing_seeds.len() < 32 {
+                    report.failing_seeds.push(seed);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_has_a_stable_unique_name() {
+        let mut names: Vec<_> = ALL_PREDICT_FAULTS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_PREDICT_FAULTS.len());
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let mut rng = TestRng::new(99);
+        let base = base_field(&mut rng);
+        for kind in ALL_PREDICT_FAULTS {
+            let a = kind.inject(&base, &mut TestRng::new(7));
+            let b = kind.inject(&base, &mut TestRng::new(7));
+            assert_eq!(a, b, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn small_corpus_passes_clean() {
+        let report = run_predict_corpus(0x5252_2021, 50);
+        assert_eq!(report.cases, 50 * ALL_PREDICT_FAULTS.len() as u64);
+        assert!(report.passed(), "failing seeds: {:?}", report.failing_seeds);
+        assert!(report.identity_degradations > 0, "starved fields must degrade");
+        assert!(report.labels_projected > 0, "healthy fields must project");
+    }
+
+    #[test]
+    fn zero_ties_field_really_is_a_noop() {
+        let mut rng = TestRng::new(3);
+        let field = PredictFaultKind::ZeroTies.inject(&base_field(&mut rng), &mut rng);
+        assert!(field.iter().all(|v| v.dx == 0 && v.dy == 0 && v.sad == 0));
+    }
+}

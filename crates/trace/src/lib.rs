@@ -48,8 +48,8 @@ pub use chrome::{chrome_trace_json, chrome_trace_value};
 pub use registry::MetricsRegistry;
 pub use report::{
     diff_reports, DiffThresholds, EnergySection, HwSection, LabelAttribution, MemorySection,
-    MetricDelta, RegionSection, ReportDiff, RunReport, StageSection, StreamSection, TenantSection,
-    REPORT_SCHEMA_VERSION,
+    MetricDelta, PredictionSection, RegionSection, ReportDiff, RunReport, StageSection,
+    StreamSection, TenantSection, REPORT_SCHEMA_VERSION,
 };
 pub use sink::{
     counter, counter_for_frame, counter_for_region, disable, drain, enable, instant, is_enabled,
@@ -79,4 +79,19 @@ pub mod names {
     pub const STAGE_CAPTURE: &str = "stage.capture";
     /// One task-stage frame (`rpr-stream`), span.
     pub const STAGE_TASK: &str = "stage.task";
+    /// One ego-motion fit over a frame's motion vectors
+    /// (`rpr-predict`), span.
+    pub const PREDICT_EGO_FIT: &str = "predict.ego_fit";
+    /// One forward-projection pass over a frame's region labels
+    /// (`rpr-predict`), span.
+    pub const PREDICT_PROJECT: &str = "predict.project";
+    /// Motion vectors consumed by one ego-motion fit (`rpr-predict`),
+    /// counter.
+    pub const PREDICT_VECTORS: &str = "predict.vectors";
+    /// RANSAC inlier fraction of one ego-motion fit (`rpr-predict`),
+    /// counter in [0, 1].
+    pub const PREDICT_INLIER_FRACTION: &str = "predict.inlier_fraction";
+    /// Mean IoU of predicted regions against ground-truth object tracks
+    /// on one frame (`rpr-workloads` tracking runner), counter.
+    pub const PREDICT_REGION_IOU: &str = "predict.region_iou";
 }

@@ -182,6 +182,26 @@ pub struct TenantSection {
     pub delivered_fraction: f64,
 }
 
+/// Region-prediction quality for a moving-camera run (from
+/// `rpr-predict` via the workloads tracking runner). Absent for runs
+/// without prediction scoring.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictionSection {
+    /// Mean best-IoU of the planned regions against the ground-truth
+    /// object tracks, over scored regional frames — the headline
+    /// prediction-quality number.
+    pub mean_region_iou: f64,
+    /// Regional frames that contributed to `mean_region_iou`.
+    pub frames_scored: u64,
+    /// Mean RANSAC inlier fraction of the per-frame ego-motion fits
+    /// (0 when no fit ran).
+    pub mean_inlier_fraction: f64,
+    /// Total full-resolution-equivalent pixels the planned regions
+    /// kept over scored frames — the high-resolution pixel budget the
+    /// acceptance criterion compares at.
+    pub hi_res_pixels: u64,
+}
+
 /// One run of one workload, fully described: the unified document the
 /// `rpr-report` CLI renders and diffs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -218,6 +238,9 @@ pub struct RunReport {
     pub unattributed_bytes: u64,
     /// Per-tenant serving accounting (empty for unserved runs).
     pub tenants: Vec<TenantSection>,
+    /// Region-prediction quality (absent when the run scored none;
+    /// reports written before this field existed parse as `None`).
+    pub prediction: Option<PredictionSection>,
 }
 
 impl RunReport {
@@ -345,6 +368,15 @@ impl RunReport {
                     ),
                 );
             }
+        }
+        if let Some(p) = &self.prediction {
+            push(
+                &mut out,
+                format!(
+                    "prediction: mean region IoU {:.4} over {} frames  inliers {:.3}  hi-res px {}",
+                    p.mean_region_iou, p.frames_scored, p.mean_inlier_fraction, p.hi_res_pixels
+                ),
+            );
         }
         out
     }
@@ -514,6 +546,22 @@ pub fn diff_reports(base: &RunReport, new: &RunReport, th: &DiffThresholds) -> R
                 Worse::Down,
             ));
         }
+    }
+    if let (Some(bp), Some(np)) = (&base.prediction, &new.prediction) {
+        deltas.push(delta(
+            "prediction.mean_region_iou".into(),
+            bp.mean_region_iou,
+            np.mean_region_iou,
+            th.accuracy_pct,
+            Worse::Down,
+        ));
+        deltas.push(delta(
+            "prediction.hi_res_pixels".into(),
+            bp.hi_res_pixels as f64,
+            np.hi_res_pixels as f64,
+            th.dram_pct,
+            Worse::Up,
+        ));
     }
     if th.check_latency {
         for (bs, ns) in base.streams.iter().zip(new.streams.iter()) {
@@ -685,6 +733,59 @@ mod tests {
         let back: RunReport =
             serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn prediction_section_roundtrips_and_old_reports_still_parse() {
+        let mut report = sample_report();
+        report.prediction = Some(PredictionSection {
+            mean_region_iou: 0.62,
+            frames_scored: 40,
+            mean_inlier_fraction: 0.85,
+            hi_res_pixels: 120_000,
+        });
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(report.render_text().contains("prediction: mean region IoU 0.6200"));
+
+        // A pre-prediction report (no `prediction` key) still parses
+        // with the section absent.
+        let old = serde_json::to_string(&sample_report())
+            .unwrap()
+            .replace("\"prediction\":null", "\"unknown_future_field\":null");
+        assert!(!old.contains("\"prediction\""), "{old}");
+        let parsed: RunReport = serde_json::from_str(&old).unwrap();
+        assert_eq!(parsed.prediction, None);
+    }
+
+    #[test]
+    fn prediction_iou_drop_regresses_and_budget_growth_regresses() {
+        let mut base = sample_report();
+        base.prediction = Some(PredictionSection {
+            mean_region_iou: 0.60,
+            frames_scored: 40,
+            mean_inlier_fraction: 0.9,
+            hi_res_pixels: 100_000,
+        });
+        let mut worse = base.clone();
+        worse.prediction.as_mut().unwrap().mean_region_iou = 0.50;
+        let diff = diff_reports(&base, &worse, &DiffThresholds::default());
+        assert!(diff.regressed(), "{}", diff.render_text());
+        let mut fatter = base.clone();
+        fatter.prediction.as_mut().unwrap().hi_res_pixels = 120_000;
+        assert!(diff_reports(&base, &fatter, &DiffThresholds::default()).regressed());
+        // Better IoU at the same budget is not a regression.
+        let mut better = base.clone();
+        better.prediction.as_mut().unwrap().mean_region_iou = 0.70;
+        assert!(!diff_reports(&base, &better, &DiffThresholds::default()).regressed());
+        // One-sided sections are skipped, not compared against zero.
+        let mut none = base.clone();
+        none.prediction = None;
+        assert!(diff_reports(&base, &none, &DiffThresholds::default())
+            .deltas
+            .iter()
+            .all(|d| !d.name.starts_with("prediction.")));
     }
 
     #[test]

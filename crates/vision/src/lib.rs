@@ -58,4 +58,4 @@ pub use metrics::{
 pub use motion::{estimate_block_motion, moving_regions, MotionVector};
 pub use orb::{OrbConfig, OrbDetector, OrbFeature};
 pub use pyramid::{resize_bilinear, ImagePyramid};
-pub use ransac::{estimate_rigid_motion, Rigid2d};
+pub use ransac::{estimate_rigid_motion, PointPair, Rigid2d};

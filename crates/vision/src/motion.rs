@@ -26,8 +26,13 @@ pub struct MotionVector {
 
 impl MotionVector {
     /// Displacement magnitude in pixels.
+    ///
+    /// Squared in `f64` so extreme displacements cannot wrap the way
+    /// an `i32` `dx*dx + dy*dy` would.
     pub fn magnitude(&self) -> f64 {
-        f64::from(self.dx * self.dx + self.dy * self.dy).sqrt()
+        let dx = f64::from(self.dx);
+        let dy = f64::from(self.dy);
+        (dx * dx + dy * dy).sqrt()
     }
 }
 
@@ -207,6 +212,32 @@ mod tests {
                 30
             }
         })
+    }
+
+    #[test]
+    fn magnitude_survives_large_displacements() {
+        // 50_000^2 + 50_000^2 wraps i32; the f64 path must not.
+        let mv = MotionVector {
+            block: Rect::new(0, 0, 16, 16),
+            dx: 50_000,
+            dy: -50_000,
+            sad: 0,
+        };
+        let expected = 50_000.0 * std::f64::consts::SQRT_2;
+        assert!(
+            (mv.magnitude() - expected).abs() < 1e-6,
+            "magnitude {} != {expected}",
+            mv.magnitude()
+        );
+        // And the maximal case stays finite and monotone.
+        let extreme = MotionVector {
+            block: Rect::new(0, 0, 16, 16),
+            dx: i32::MAX,
+            dy: i32::MIN,
+            sad: 0,
+        };
+        assert!(extreme.magnitude().is_finite());
+        assert!(extreme.magnitude() > mv.magnitude());
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! truth, so accuracy comparisons across baselines are exact.
 
 mod face;
+mod moving;
 mod pose;
 mod slam;
 
 pub use face::FaceDataset;
+pub use moving::MovingCameraDataset;
 pub use pose::{PoseDataset, Skeleton};
 pub use slam::SlamDataset;
 

@@ -30,9 +30,10 @@ pub mod runner;
 pub mod staged;
 pub mod stats;
 pub mod tasks;
+pub mod tracking;
 
 pub use baselines::Baseline;
-pub use datasets::{FaceDataset, PoseDataset, SlamDataset};
+pub use datasets::{FaceDataset, MovingCameraDataset, PoseDataset, SlamDataset};
 pub use h264::{H264Model, H264Quality};
 pub use progression::progression_series;
 pub use replay::{
@@ -46,3 +47,4 @@ pub use staged::{
     PoseSpec, PoseTask, SlamSpec, SlamTask, SlamTrack,
 };
 pub use stats::{RegionStats, RegionStatsCollector};
+pub use tracking::{run_tracking, TrackingConfig, TrackingResult};

@@ -38,6 +38,12 @@ pub enum PolicyKind {
     /// ("readily available in memory") adds moving-cluster regions on
     /// top of the task's detections (§4.3.1).
     CycleMotion,
+    /// The feature policy wrapped in `rpr-predict`'s motion-compensated
+    /// forward projection: block motion between the two most recent
+    /// decoded frames feeds a RANSAC ego-motion fit, and the planned
+    /// t−1 labels are rewritten to predicted-t labels before they reach
+    /// the encoder.
+    CyclePredictive,
 }
 
 /// Static configuration of an experiment pipeline.
@@ -136,8 +142,15 @@ pub struct Pipeline {
     fractions: Vec<f64>,
     frame_idx: u64,
     /// The two most recent decoded frames (newest last), kept for the
-    /// motion-vector policy.
+    /// motion-vector and predictive policies.
     decoded_history: Vec<GrayFrame>,
+    /// The captured-region rectangles of the same two frames. Decoded
+    /// pixels outside these rects are stale copies, so only blocks
+    /// inside them carry motion evidence.
+    captured_history: Vec<Vec<Rect>>,
+    /// Motion-estimate handle shared with the predictive policy
+    /// (`Some` only for [`PolicyKind::CyclePredictive`]).
+    motion: Option<rpr_predict::SharedMotion>,
     /// Observer invoked with every encoded frame the rhythmic path
     /// produces (the record half of wire record/replay). `None` costs
     /// nothing; the rhythmic branch is the only caller.
@@ -168,6 +181,7 @@ impl Pipeline {
         };
         let window = if matches!(cfg.baseline, Baseline::H264 { .. }) { 3 } else { 4 };
         let feature_policy = FeaturePolicy::with_params(cfg.policy_params);
+        let mut motion = None;
         let policy: Box<dyn Policy + Send> = match cfg.policy_kind {
             PolicyKind::CycleFeature | PolicyKind::CycleMotion => {
                 Box::new(CycleLengthPolicy::new(cycle, feature_policy))
@@ -177,6 +191,14 @@ impl Pipeline {
             }
             PolicyKind::AdaptiveCycle { min_cycle, max_cycle } => {
                 Box::new(AdaptiveCyclePolicy::new(min_cycle, max_cycle, feature_policy))
+            }
+            PolicyKind::CyclePredictive => {
+                let handle = rpr_predict::SharedMotion::new();
+                motion = Some(handle.clone());
+                Box::new(rpr_predict::PredictivePolicy::new(
+                    Box::new(CycleLengthPolicy::new(cycle, feature_policy)),
+                    handle,
+                ))
             }
         };
         Pipeline {
@@ -190,9 +212,32 @@ impl Pipeline {
             fractions: Vec::new(),
             frame_idx: 0,
             decoded_history: Vec::new(),
+            captured_history: Vec::new(),
+            motion,
             encoded_tap: None,
             cfg,
         }
+    }
+
+    /// True when this pipeline's policy consumes decoded-frame motion.
+    fn uses_motion_history(&self) -> bool {
+        matches!(
+            self.cfg.policy_kind,
+            PolicyKind::CycleMotion | PolicyKind::CyclePredictive
+        )
+    }
+
+    /// The region labels the policy planned for the most recent frame —
+    /// what the tracking runner scores against ground-truth tracks.
+    pub fn planned_regions(&self) -> &RegionList {
+        self.runtime.regions()
+    }
+
+    /// The shared motion-estimate handle (`Some` only for
+    /// [`PolicyKind::CyclePredictive`]) — lets callers read the ego
+    /// fit's inlier fraction after each frame.
+    pub fn motion(&self) -> Option<&rpr_predict::SharedMotion> {
+        self.motion.as_ref()
     }
 
     /// Installs an observer for every [`EncodedFrame`] the rhythmic
@@ -257,10 +302,49 @@ impl Pipeline {
             }
             Baseline::Rp { .. } => {
                 let mut detections = detections;
-                if self.cfg.policy_kind == PolicyKind::CycleMotion {
-                    if let [prev, cur] = &self.decoded_history[..] {
-                        let mvs = rpr_vision::estimate_block_motion(prev, cur, 16, 8);
-                        detections.extend(rpr_vision::moving_regions(&mvs, 1.5));
+                if let [prev, cur] = &self.decoded_history[..] {
+                    match self.cfg.policy_kind {
+                        PolicyKind::CycleMotion => {
+                            let mvs = rpr_vision::estimate_block_motion(prev, cur, 16, 8);
+                            detections.extend(rpr_vision::moving_regions(&mvs, 1.5));
+                        }
+                        PolicyKind::CyclePredictive => {
+                            if let Some(motion) = &self.motion {
+                                let mvs = rpr_vision::estimate_block_motion(prev, cur, 16, 8);
+                                // Three gates keep the ego fit honest:
+                                // decoded pixels outside the captured
+                                // regions are stale copies that vote
+                                // "zero motion" with zero SAD (keep only
+                                // blocks freshly captured in both
+                                // frames); flat blocks tie at many
+                                // offsets and the zero bias turns them
+                                // into confident spurious zero vectors;
+                                // and a match whose window fell on stale
+                                // content shows up as a high residual.
+                                let fresh: Vec<_> = mvs
+                                    .into_iter()
+                                    .filter(|v| {
+                                        (match &self.captured_history[..] {
+                                            [ra, rb] => {
+                                                covers_block(ra, &v.block)
+                                                    && covers_block(rb, &v.block)
+                                            }
+                                            _ => true,
+                                        }) && textured_block(cur, &v.block)
+                                            && v.sad <= v.block.area() * MAX_SAD_PER_PX
+                                    })
+                                    .collect();
+                                // Tracked regions can be as small as one
+                                // block pair; small sets take the
+                                // translation-only path inside the fit.
+                                let cfg = rpr_predict::EgoEstimatorConfig {
+                                    min_vectors: 2,
+                                    ..Default::default()
+                                };
+                                motion.update(fresh, &cfg);
+                            }
+                        }
+                        _ => {}
                     }
                 }
                 let ctx = PolicyContext {
@@ -276,6 +360,7 @@ impl Pipeline {
                     && planned.labels()[0]
                         == RegionLabel::full_frame(self.cfg.width, self.cfg.height);
                 self.stats.observe(planned, is_full);
+                let planned_rects: Vec<Rect> = planned.iter().map(|r| r.rect()).collect();
                 let encoded = self.runtime.encode_frame(raw);
                 if let Some(tap) = self.encoded_tap.as_mut() {
                     tap(&encoded);
@@ -285,10 +370,14 @@ impl Pipeline {
                 self.pool.admit_encoded(&encoded, self.cfg.format);
                 self.fractions.push(encoded.captured_fraction());
                 let decoded = self.decoder.decode(&encoded);
-                if self.cfg.policy_kind == PolicyKind::CycleMotion {
+                if self.uses_motion_history() {
                     self.decoded_history.push(decoded.clone());
                     if self.decoded_history.len() > 2 {
                         self.decoded_history.remove(0);
+                    }
+                    self.captured_history.push(planned_rects);
+                    if self.captured_history.len() > 2 {
+                        self.captured_history.remove(0);
                     }
                 }
                 decoded
@@ -399,6 +488,42 @@ impl Pipeline {
     }
 }
 
+/// True when `block` lies entirely inside one of `rects` — the test for
+/// "this block's pixels were freshly captured, not stale copies".
+fn covers_block(rects: &[Rect], block: &Rect) -> bool {
+    rects
+        .iter()
+        .any(|r| r.intersection(block).is_some_and(|i| i.area() == block.area()))
+}
+
+/// Highest plausible per-pixel SAD for a match onto fresh content;
+/// above this the match window likely straddled stale pixels.
+const MAX_SAD_PER_PX: u64 = 16;
+
+/// Mean absolute deviation a block must exceed to be worth matching:
+/// flat blocks tie at many offsets, so their vectors carry no signal.
+const MIN_BLOCK_MAD: u64 = 4;
+
+/// Whether the block has enough texture for its match to be
+/// trustworthy.
+fn textured_block(frame: &GrayFrame, block: &Rect) -> bool {
+    let area = block.area().max(1);
+    let mut sum = 0u64;
+    for y in block.y..block.y.saturating_add(block.h) {
+        for x in block.x..block.x.saturating_add(block.w) {
+            sum += u64::from(frame.get_clamped(i64::from(x), i64::from(y)));
+        }
+    }
+    let mean = sum / area;
+    let mut dev = 0u64;
+    for y in block.y..block.y.saturating_add(block.h) {
+        for x in block.x..block.x.saturating_add(block.w) {
+            dev += u64::from(frame.get_clamped(i64::from(x), i64::from(y))).abs_diff(mean);
+        }
+    }
+    dev / area >= MIN_BLOCK_MAD
+}
+
 /// One row of an experiment: a task run on a dataset under a baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
@@ -498,6 +623,34 @@ mod tests {
         let d1 = p.process_frame(&raw1, feats, vec![]);
         // Inside the feature region the fresh pixels are present.
         assert_eq!(d1.get(30, 24), raw1.get(30, 24));
+    }
+
+    #[test]
+    fn predictive_policy_runs_end_to_end_and_stays_in_bounds() {
+        // Content scrolls right 4 px/frame.
+        let scroll = |t: u32| {
+            Plane::from_fn(96, 64, |x, y| {
+                let sx = x.wrapping_sub(t * 4);
+                ((sx.wrapping_mul(13)) ^ (y.wrapping_mul(29))).wrapping_mul(31) as u8
+            })
+        };
+        let cfg = PipelineConfig::new(96, 64, Baseline::Rp { cycle_length: 4 })
+            .with_policy(PolicyKind::CyclePredictive);
+        let mut p = Pipeline::new(cfg);
+        for t in 0..9u32 {
+            let det = vec![(Rect::new(30, 20, 20, 20), 0.0)];
+            let _ = p.process_frame(&scroll(t), vec![], det);
+            for r in p.planned_regions().labels() {
+                assert!(r.right() <= 96 && r.bottom() <= 64, "out of bounds {r}");
+            }
+        }
+        let m = p.finish();
+        assert!(m.region_stats.is_some());
+        assert!(m.encoder.is_some());
+        // Full captures survive prediction untouched.
+        assert_eq!(m.captured_fractions[0], 1.0);
+        assert_eq!(m.captured_fractions[4], 1.0);
+        assert!(m.captured_fractions[1] < 1.0);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The moving-camera tracking runner: drives a [`MovingCameraDataset`]
+//! through a rhythmic [`Pipeline`] with an oracle tracker whose vision
+//! is gated by the pixels the policy actually captured, and scores the
+//! planned regions against the ground-truth object tracks.
+//!
+//! The task model isolates the policy's lag: the tracker re-detects an
+//! object perfectly whenever the planned regions cover at least half of
+//! it (fresh pixels), and otherwise keeps believing the last place it
+//! saw the object — exactly how a detector behind a reactive t−1
+//! region policy drifts off a moving-camera scene.
+
+use crate::datasets::{MovingCameraDataset, VideoDataset};
+use crate::{Baseline, Measurements, Pipeline, PipelineConfig, PolicyKind};
+use rpr_core::FeaturePolicyParams;
+use rpr_frame::Rect;
+use rpr_trace::PredictionSection;
+
+/// Configuration for one tracking run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackingConfig {
+    /// Full captures every `cycle_length` frames.
+    pub cycle_length: u64,
+    /// The region policy under test (reactive `CycleFeature` vs
+    /// `CyclePredictive` is the headline comparison).
+    pub policy_kind: PolicyKind,
+    /// Detection margin in pixels. The reactive policy only lags
+    /// visibly when per-frame apparent motion exceeds this.
+    pub margin: u32,
+}
+
+impl Default for TrackingConfig {
+    fn default() -> Self {
+        TrackingConfig { cycle_length: 4, policy_kind: PolicyKind::CycleFeature, margin: 4 }
+    }
+}
+
+/// Outcome of one tracking run: prediction quality plus the usual
+/// memory-side measurements.
+#[derive(Debug, Clone)]
+pub struct TrackingResult {
+    /// Mean best-IoU of planned regions vs ground-truth tracks over
+    /// scored regional frames.
+    pub mean_region_iou: f64,
+    /// Regional frames that had ground truth to score against.
+    pub frames_scored: u64,
+    /// Mean RANSAC inlier fraction of the ego fits (0 when the run
+    /// never fitted one — e.g. for reactive policies).
+    pub mean_inlier_fraction: f64,
+    /// Full-resolution-equivalent pixels kept by the planned regions
+    /// over scored frames — the high-resolution pixel budget.
+    pub hi_res_pixels: u64,
+    /// Memory-side measurements of the run.
+    pub measurements: Measurements,
+}
+
+impl TrackingResult {
+    /// The run's [`PredictionSection`] for a `RunReport`.
+    pub fn prediction_section(&self) -> PredictionSection {
+        PredictionSection {
+            mean_region_iou: self.mean_region_iou,
+            frames_scored: self.frames_scored,
+            mean_inlier_fraction: self.mean_inlier_fraction,
+            hi_res_pixels: self.hi_res_pixels,
+        }
+    }
+}
+
+/// Fraction of `target` covered by the best single rect in `rects`.
+fn coverage(rects: &[Rect], target: &Rect) -> f64 {
+    let best = rects
+        .iter()
+        .filter_map(|r| r.intersection(target))
+        .map(|i| i.area())
+        .max()
+        .unwrap_or(0);
+    best as f64 / target.area().max(1) as f64
+}
+
+/// Best IoU any rect in `rects` achieves against `target`.
+fn best_iou(rects: &[Rect], target: &Rect) -> f64 {
+    rects.iter().map(|r| r.iou(target)).fold(0.0, f64::max)
+}
+
+/// Runs `ds` through a rhythmic pipeline under `cfg`, scoring planned
+/// regions against the dataset's ground-truth object tracks.
+pub fn run_tracking(ds: &MovingCameraDataset, cfg: &TrackingConfig) -> TrackingResult {
+    let params = FeaturePolicyParams { margin: cfg.margin, ..Default::default() };
+    let mut pipe_cfg =
+        PipelineConfig::new(ds.width(), ds.height(), Baseline::Rp { cycle_length: cfg.cycle_length })
+            .with_policy(cfg.policy_kind);
+    pipe_cfg.policy_params = params;
+    let mut pipeline = Pipeline::new(pipe_cfg);
+
+    // On a moving camera everything is displaced every frame, so the
+    // tracker reports every box as fast-moving (skip 1).
+    let displacement = params.fast_displacement.max(4.0);
+
+    let mut believed: Vec<Rect> = Vec::new();
+    let mut iou_sum = 0.0;
+    let mut frames_scored = 0u64;
+    let mut hi_res_pixels = 0u64;
+    let mut inlier_sum = 0.0;
+    let mut inlier_samples = 0u64;
+
+    for idx in 0..ds.len() {
+        let frame = ds.frame(idx);
+        let full_capture = pipeline.next_is_full_capture();
+        let detections: Vec<(Rect, f64)> =
+            believed.iter().map(|b| (*b, displacement)).collect();
+        let _ = pipeline.process_frame(&frame, Vec::new(), detections);
+
+        let planned: Vec<Rect> =
+            pipeline.planned_regions().iter().map(|r| r.rect()).collect();
+        let gt = ds.gt_object_tracks(idx);
+
+        if !full_capture {
+            if !gt.is_empty() {
+                let frame_iou =
+                    gt.iter().map(|g| best_iou(&planned, g)).sum::<f64>() / gt.len() as f64;
+                iou_sum += frame_iou;
+                frames_scored += 1;
+                rpr_trace::counter_for_frame(
+                    rpr_trace::names::PREDICT_REGION_IOU,
+                    "predict",
+                    idx as u64,
+                    frame_iou,
+                );
+            }
+            hi_res_pixels += pipeline
+                .planned_regions()
+                .iter()
+                .map(|l| l.kept_pixels())
+                .sum::<u64>();
+        }
+        // Only fits that consumed vectors count: frames where gating
+        // left nothing fall back to identity and carry no signal.
+        if let Some(state) = pipeline.motion().and_then(|m| m.snapshot()) {
+            if state.ego.total > 0 {
+                inlier_sum += state.ego.confidence;
+                inlier_samples += 1;
+            }
+        }
+
+        // Tracker update: objects whose pixels were captured (or a full
+        // frame) re-detect exactly; lost objects keep their stale box.
+        let mut next: Vec<Rect> = gt
+            .iter()
+            .filter(|g| full_capture || coverage(&planned, g) >= 0.5)
+            .copied()
+            .collect();
+        for b in &believed {
+            if !next.iter().any(|n| n.intersection(b).is_some()) {
+                next.push(*b);
+            }
+        }
+        believed = next;
+    }
+
+    let measurements = pipeline.finish();
+    TrackingResult {
+        mean_region_iou: if frames_scored == 0 { 0.0 } else { iou_sum / frames_scored as f64 },
+        frames_scored,
+        mean_inlier_fraction: if inlier_samples == 0 {
+            0.0
+        } else {
+            inlier_sum / inlier_samples as f64
+        },
+        hi_res_pixels,
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpr_sensor::Trajectory;
+
+    fn reactive() -> TrackingConfig {
+        TrackingConfig::default()
+    }
+
+    fn predictive() -> TrackingConfig {
+        TrackingConfig { policy_kind: PolicyKind::CyclePredictive, ..TrackingConfig::default() }
+    }
+
+    #[test]
+    fn predictive_beats_reactive_on_a_pan_at_no_extra_budget() {
+        // 7 px/frame pan against a 4 px detection margin: the reactive
+        // policy's labels trail the scene every regional frame.
+        let ds = MovingCameraDataset::panning(192, 144, 36, 7.0, 11);
+        let r = run_tracking(&ds, &reactive());
+        let p = run_tracking(&ds, &predictive());
+        assert_eq!(r.frames_scored, p.frames_scored);
+        assert!(r.frames_scored > 10, "scored {}", r.frames_scored);
+        assert!(
+            p.mean_region_iou > r.mean_region_iou,
+            "predictive {:.4} vs reactive {:.4}",
+            p.mean_region_iou,
+            r.mean_region_iou
+        );
+        assert!(
+            p.hi_res_pixels <= r.hi_res_pixels,
+            "predictive {} px vs reactive {} px",
+            p.hi_res_pixels,
+            r.hi_res_pixels
+        );
+        assert!(p.mean_inlier_fraction > 0.5, "inliers {}", p.mean_inlier_fraction);
+        assert_eq!(r.mean_inlier_fraction, 0.0, "reactive runs no ego fit");
+    }
+
+    #[test]
+    fn static_camera_prediction_is_a_noop() {
+        // A zero-velocity "pan" with frozen objects: nothing moves, so
+        // the predictive wrapper must plan the same regions as the
+        // reactive policy.
+        let ds = MovingCameraDataset::panning(160, 120, 24, 0.0, 3).with_static_objects();
+        assert!(ds.trajectory().mean_speed() < 1e-9);
+        let r = run_tracking(&ds, &reactive());
+        let p = run_tracking(&ds, &predictive());
+        assert!(
+            (r.mean_region_iou - p.mean_region_iou).abs() < 1e-6,
+            "reactive {:.4} predictive {:.4}",
+            r.mean_region_iou,
+            p.mean_region_iou
+        );
+        assert_eq!(r.hi_res_pixels, p.hi_res_pixels);
+    }
+
+    #[test]
+    fn result_converts_to_prediction_section() {
+        let ds = MovingCameraDataset::panning(128, 96, 12, 3.0, 5);
+        let res = run_tracking(&ds, &predictive());
+        let sec = res.prediction_section();
+        assert_eq!(sec.mean_region_iou, res.mean_region_iou);
+        assert_eq!(sec.frames_scored, res.frames_scored);
+        assert_eq!(sec.hi_res_pixels, res.hi_res_pixels);
+    }
+
+    #[test]
+    fn handheld_jitter_does_not_break_tracking() {
+        let ds = MovingCameraDataset::handheld(160, 120, 24, 4.0, 9);
+        let p = run_tracking(&ds, &predictive());
+        assert!(p.frames_scored > 0);
+        assert!(p.mean_region_iou > 0.0, "iou {}", p.mean_region_iou);
+    }
+
+    #[test]
+    fn empty_trajectory_scores_nothing() {
+        let empty = MovingCameraDataset::panning(128, 96, 0, 2.0, 7);
+        assert_eq!(empty.len(), 0);
+        assert!(Trajectory::from_poses(Vec::new()).is_empty());
+        let res = run_tracking(&empty, &predictive());
+        assert_eq!(res.frames_scored, 0);
+        assert_eq!(res.mean_region_iou, 0.0);
+    }
+}

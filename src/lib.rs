@@ -17,6 +17,9 @@
 //! * [`hwsim`] — FPGA resource/power/cycle models of the hardware
 //!   blocks;
 //! * [`vision`] — FAST/ORB features, matching, RANSAC, blobs, metrics;
+//! * [`predict`] — motion-compensated region prediction: global
+//!   ego-motion estimation over block-matching vectors, per-region
+//!   forward projection, and the predictive policy wrapper;
 //! * [`workloads`] — the three evaluation workloads, baselines, and
 //!   the experiment runner;
 //! * [`stream`] — the staged multi-camera executor: per-stage workers,
@@ -58,6 +61,7 @@ pub use rpr_frame as frame;
 pub use rpr_hwsim as hwsim;
 pub use rpr_isp as isp;
 pub use rpr_memsim as memsim;
+pub use rpr_predict as predict;
 pub use rpr_sensor as sensor;
 pub use rpr_serve as serve;
 pub use rpr_stream as stream;

@@ -119,15 +119,20 @@ impl Deserialize for Value {
 pub mod de {
     use super::{DeError, Deserialize, Value};
 
-    /// Looks up `name` in a struct map and deserializes it.
+    /// Looks up `name` in a struct map and deserializes it. A missing
+    /// field deserializes from `Null`, so nullable targets (`Option`)
+    /// tolerate documents written before the field existed; all other
+    /// types keep reporting the field as missing.
     ///
     /// # Errors
     ///
-    /// Returns [`DeError`] when the field is missing or mismatched.
+    /// Returns [`DeError`] when the field is missing (and the target
+    /// rejects `Null`) or mismatched.
     pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, DeError> {
         match map.iter().find(|(k, _)| k == name) {
             Some((_, v)) => T::from_value(v),
-            None => Err(DeError::custom(format!("missing field `{name}`"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
         }
     }
 
