@@ -7,9 +7,11 @@
 //! per-tenant drop rates under overload.
 //!
 //! ```text
-//! load_gen smoke    [--clients N] [--out FILE]
-//! load_gen bench    [--clients N] [--frames N] [--out FILE]
-//! load_gen overload [--clients N] [--out FILE]
+//! load_gen smoke     [--clients N] [--out FILE]
+//! load_gen bench     [--clients N] [--frames N] [--out FILE]
+//! load_gen overload  [--clients N] [--out FILE]
+//! load_gen telemetry [--clients N] [--out FILE]
+//! load_gen breach    [--clients N] [--out FILE]
 //! ```
 //!
 //! `smoke` is the CI gate: a fixed 64-client, two-tenant schedule on a
@@ -19,10 +21,22 @@
 //! writes `BENCH_serve.json` (together with the `overload` scenario,
 //! which pits a quota-busting tenant against a compliant one and
 //! checks the hog throttles itself).
+//!
+//! `telemetry` is the live-observability gate: the same deterministic
+//! fleet with per-tenant SLOs, scraped by a [`ScrapeClient`]
+//! *mid-flight* — the Prometheus page must show non-zero per-tenant
+//! counters that never exceed final accounting — and emitting a
+//! `RunReport` with an `slos` section diffable against
+//! `ci/baseline_telemetry.json`. `breach` is its self-check: the same
+//! schedule with one tenant's quota zeroed so its SLO burn rate
+//! breaches, which must fire the flight recorder (a valid Chrome trace
+//! dump) and move `slo.*.breaches` in the report — a non-zero
+//! `rpr-report diff` CI asserts on.
 
 use rpr_core::{EncMask, EncodedFrame, FrameMetadata, PixelStatus};
 use rpr_serve::{
-    session_script, Clock, ManualClock, ScriptedClient, Server, SystemClock, TenantConfig,
+    session_script, Clock, ManualClock, ScrapeClient, ScriptedClient, Server, SloConfig,
+    SystemClock, TenantConfig,
 };
 use rpr_stream::BackpressureMode;
 use rpr_trace::{RunReport, REPORT_SCHEMA_VERSION};
@@ -236,6 +250,241 @@ fn smoke(clients: u64, out: Option<String>) {
     }
 }
 
+/// Pulls `family{tenant="..."}` off a Prometheus exposition page.
+fn scraped_counter(page: &str, family: &str, tenant: &str) -> Option<u64> {
+    let prefix = format!("{family}{{tenant=\"{tenant}\"}} ");
+    page.lines().find_map(|l| l.strip_prefix(prefix.as_str())).and_then(|v| v.parse().ok())
+}
+
+/// The shared deterministic telemetry fleet: two SLO-tracked tenants on
+/// a manual clock, `fleet-b` under a frame quota (`fleet_b_burst`
+/// frames). Drives to drain with a mid-flight scrape, records every
+/// popped delivery into the tenant's live histogram/SLO tracker, and
+/// returns the scraped page plus the periodic live-report count.
+fn drive_telemetry(
+    server: &mut Server,
+    manual: &ManualClock,
+    clock: &Arc<dyn Clock>,
+    plans: Vec<Plan>,
+    tenants: &[&str],
+) -> (Option<String>, u64, u64) {
+    let listener = server.listener();
+    let queues: Vec<_> = tenants
+        .iter()
+        .map(|t| server.tenant_queue(t).expect("tenant registered"))
+        .collect();
+    let lives: Vec<_> = tenants
+        .iter()
+        .map(|t| server.tenant_live(t).expect("tenant live handle"))
+        .collect();
+
+    let mut plans = plans;
+    plans.sort_by_key(|p| p.start_step);
+    let mut active: Vec<ScriptedClient> = Vec::new();
+    let mut next_plan = 0usize;
+    let mut delivered = 0u64;
+    let mut scraper: Option<ScrapeClient> = None;
+    let mut page: Option<String> = None;
+    let mut live_reports = 0u64;
+
+    for step in 0..50_000_000u64 {
+        while next_plan < plans.len() && plans[next_plan].start_step <= step {
+            active.push(ScriptedClient::connect(&listener, 1 << 14, plans[next_plan].script.clone()));
+            next_plan += 1;
+        }
+        for c in active.iter_mut() {
+            c.flush();
+        }
+        server.step();
+        let now = clock.now_micros();
+        for (q, live) in queues.iter().zip(&lives) {
+            while let Some(d) = q.try_pop() {
+                delivered += 1;
+                live.record_delivery(now, now.saturating_sub(d.ctx.ingest_micros));
+            }
+        }
+        if server.poll_report().is_some() {
+            live_reports += 1;
+        }
+        // Scrape mid-flight, deterministically: the step after the
+        // first delivery, while sessions are still streaming.
+        if scraper.is_none() && delivered > 0 {
+            scraper = Some(ScrapeClient::connect(&listener, 1 << 16, tenants[0], u64::MAX));
+        }
+        if let Some(s) = scraper.as_mut() {
+            if page.is_none() {
+                page = s.poll().map(str::to_string);
+            }
+        }
+        manual.advance(200);
+        if next_plan >= plans.len()
+            && server.is_idle()
+            && page.is_some()
+            && active.iter_mut().all(|c| c.done() || c.rejected())
+        {
+            break;
+        }
+    }
+    server.close_tenant_queues();
+    (page, delivered, live_reports)
+}
+
+/// Builds the telemetry fleet's server + plans. `fleet_b_burst` is the
+/// frame-quota burst for `fleet-b` (zero = the breach scenario).
+fn telemetry_fleet(clients: u64, fleet_b_burst: u64) -> (ManualClock, Arc<dyn Clock>, Server, Vec<Plan>) {
+    let manual = ManualClock::new();
+    let clock: Arc<dyn Clock> = Arc::new(manual.clone());
+    let mut server = Server::new(Arc::clone(&clock))
+        .with_read_quantum(4096)
+        .with_report_interval(1_000);
+    // A budget wide enough that quota throttling burns budget visibly
+    // without breaching in the healthy run; the breach run (burst 0)
+    // turns every fleet-b frame into a bad event and blows through it.
+    let slo = SloConfig {
+        target_delivery_us: 10_000,
+        budget_fraction: 0.75,
+        window_micros: 1_000_000,
+        min_events: 16,
+    };
+    server.add_tenant(
+        "fleet-a",
+        TenantConfig::unlimited().with_qos(BackpressureMode::Block, 64).with_slo(slo),
+    );
+    server.add_tenant(
+        "fleet-b",
+        TenantConfig::unlimited()
+            .with_frame_quota(0, fleet_b_burst)
+            .with_qos(BackpressureMode::Block, 64)
+            .with_slo(slo),
+    );
+    let plans = make_plans(clients, &["fleet-a", "fleet-b"], 6, 24, 256, 8, 3);
+    (manual, clock, server, plans)
+}
+
+/// Builds the telemetry-gate `RunReport` (tenant sections + SLOs).
+fn telemetry_report(server: &Server, clients: u64, delivered: u64, task: &str) -> RunReport {
+    let sections = server.tenant_sections();
+    let stats = server.stats();
+    let mut accuracy = BTreeMap::new();
+    accuracy.insert("sessions_admitted".to_string(), stats.sessions_clean as f64);
+    accuracy.insert("frames_delivered".to_string(), delivered as f64);
+    RunReport {
+        schema_version: REPORT_SCHEMA_VERSION,
+        task: task.to_string(),
+        dataset: format!("{clients} cameras x 6 frames, 2 slo tenants"),
+        baseline: "serve".to_string(),
+        frames: delivered,
+        fps: 0.0,
+        accuracy,
+        tenants: sections,
+        slos: Some(server.slo_sections()),
+        ..RunReport::default()
+    }
+}
+
+/// The live-observability CI gate: scrape the fleet mid-flight, check
+/// the page against final accounting, and emit the SLO-bearing report.
+fn telemetry(clients: u64, out: Option<String>) {
+    let (manual, clock, mut server, plans) = telemetry_fleet(clients, 3 * clients / 2);
+    let (page, delivered, live_reports) =
+        drive_telemetry(&mut server, &manual, &clock, plans, &["fleet-a", "fleet-b"]);
+
+    let Some(page) = page else {
+        eprintln!("telemetry FAILED: scrape never completed");
+        std::process::exit(1);
+    };
+    // Mid-flight consistency: the scraped counters are non-zero (the
+    // scrape happened after ingest started) and never exceed final
+    // accounting (snapshots are prefixes of the final totals).
+    let mut scraped_any = 0u64;
+    for s in server.tenant_sections() {
+        let snap = scraped_counter(&page, "rpr_frames_accepted_total", &s.tenant).unwrap_or(0);
+        if snap > s.frames_accepted {
+            eprintln!(
+                "telemetry FAILED: scraped {snap} accepted for {} > final {}",
+                s.tenant, s.frames_accepted
+            );
+            std::process::exit(1);
+        }
+        scraped_any += snap;
+    }
+    if scraped_any == 0 {
+        eprintln!("telemetry FAILED: mid-flight scrape saw zero accepted frames");
+        std::process::exit(1);
+    }
+    if !page.contains("rpr_slo_burn_rate{tenant=\"fleet-b\"}") {
+        eprintln!("telemetry FAILED: exposition page is missing the SLO gauge");
+        std::process::exit(1);
+    }
+    let sections = server.slo_sections();
+    if sections.iter().any(|s| s.breaches > 0) {
+        eprintln!("telemetry FAILED: healthy run breached an SLO: {sections:?}");
+        std::process::exit(1);
+    }
+    if live_reports == 0 {
+        eprintln!("telemetry FAILED: periodic live-report emitter never fired");
+        std::process::exit(1);
+    }
+
+    let report = telemetry_report(&server, clients, delivered, "serve_telemetry");
+    print!("{}", report.render_text());
+    println!(
+        "telemetry: {delivered} delivered  {live_reports} live reports  scrape saw {scraped_any} accepted mid-flight"
+    );
+    if let Some(path) = out {
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_or_print(&Some(path), &text);
+    }
+}
+
+/// The injected-breach self-check: same fleet, `fleet-b` quota zeroed.
+/// Every fleet-b frame becomes a bad SLO event, the burn rate crosses
+/// 1.0, and the flight recorder must dump a valid Chrome trace. The
+/// emitted report's `slo.fleet-b.breaches` moves off the baseline, so
+/// `rpr-report diff` against `ci/baseline_telemetry.json` must be
+/// non-zero — CI asserts both.
+fn breach(clients: u64, out: Option<String>, dump_out: Option<String>) {
+    let (manual, clock, mut server, plans) = telemetry_fleet(clients, 0);
+    let (_, delivered, _) =
+        drive_telemetry(&mut server, &manual, &clock, plans, &["fleet-a", "fleet-b"]);
+
+    let sections = server.slo_sections();
+    let b = sections.iter().find(|s| s.tenant == "fleet-b");
+    if !b.is_some_and(|s| s.breaches > 0 && s.burn_rate >= 1.0) {
+        eprintln!("breach FAILED: zero-quota tenant never breached: {sections:?}");
+        std::process::exit(1);
+    }
+    let Some(dump) = server.take_flight_dump() else {
+        eprintln!("breach FAILED: SLO breach did not fire the flight recorder");
+        std::process::exit(1);
+    };
+    if serde_json::from_str::<serde_json::Value>(&dump).is_err()
+        || !dump.contains("\"traceEvents\"")
+    {
+        eprintln!("breach FAILED: flight dump is not a valid Chrome trace");
+        std::process::exit(1);
+    }
+    if let Some(path) = dump_out {
+        if let Err(e) = std::fs::write(&path, &dump) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote flight dump to {path}");
+    }
+
+    let report = telemetry_report(&server, clients, delivered, "serve_telemetry");
+    println!(
+        "breach: flight recorder fired ({} bytes), fleet-b burn {:.2}, {} breach(es)",
+        dump.len(),
+        b.map(|s| s.burn_rate).unwrap_or(0.0),
+        b.map(|s| s.breaches).unwrap_or(0),
+    );
+    if let Some(path) = out {
+        let text = serde_json::to_string_pretty(&report).expect("report serializes");
+        write_or_print(&Some(path), &text);
+    }
+}
+
 /// Wall-clock load: `clients` concurrent bursty cameras over four
 /// tenants. Returns the JSON section for `BENCH_serve.json`.
 fn bench_load(clients: u64, n_frames: u64) -> serde_json::Value {
@@ -346,12 +595,13 @@ struct Args {
     clients: Option<u64>,
     frames: u64,
     out: Option<String>,
+    dump: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let mode = it.next().unwrap_or_default();
-    let mut args = Args { mode, clients: None, frames: 4, out: None };
+    let mut args = Args { mode, clients: None, frames: 4, out: None, dump: None };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next().unwrap_or_else(|| {
@@ -373,8 +623,11 @@ fn parse_args() -> Args {
                 });
             }
             "--out" => args.out = Some(value("--out")),
+            "--dump" => args.dump = Some(value("--dump")),
             "--help" | "-h" => {
-                println!("load_gen smoke|bench|overload [--clients N] [--frames N] [--out FILE]");
+                println!(
+                    "load_gen smoke|bench|overload|telemetry|breach [--clients N] [--frames N] [--out FILE] [--dump FILE]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -407,8 +660,10 @@ fn main() {
             let text = serde_json::to_string_pretty(&record).expect("record serializes");
             write_or_print(&args.out, &text);
         }
+        "telemetry" => telemetry(args.clients.unwrap_or(32), args.out),
+        "breach" => breach(args.clients.unwrap_or(32), args.out, args.dump),
         other => {
-            eprintln!("unknown mode {other:?} (want smoke|bench|overload)");
+            eprintln!("unknown mode {other:?} (want smoke|bench|overload|telemetry|breach)");
             std::process::exit(2);
         }
     }

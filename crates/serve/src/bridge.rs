@@ -14,9 +14,11 @@
 
 use rpr_core::EncodedFrame;
 use rpr_stream::{channel_source, BackpressureMode, ChannelSource, SourceHandle, StageQueue};
+use rpr_trace::TenantLive;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::clock::Clock;
 use crate::server::Delivered;
 
 /// Routes one tenant's delivered frames into per-camera channels.
@@ -34,6 +36,38 @@ impl TenantBridge {
         queue: Arc<StageQueue<Delivered>>,
         capacity: usize,
         mode: BackpressureMode,
+        on_camera: F,
+    ) -> Self
+    where
+        F: FnMut(u64, ChannelSource<EncodedFrame>) + Send + 'static,
+    {
+        Self::start_inner(queue, capacity, mode, None, on_camera)
+    }
+
+    /// [`TenantBridge::start`] with live telemetry: each routed frame
+    /// records its ingest→routed latency (read from `clock` against the
+    /// frame's [`FrameCtx::ingest_micros`](rpr_trace::FrameCtx)) into
+    /// the tenant's [`TenantLive`] — feeding the delivery histogram and
+    /// the SLO burn-rate tracker while the run is in flight.
+    pub fn start_with_live<F>(
+        queue: Arc<StageQueue<Delivered>>,
+        capacity: usize,
+        mode: BackpressureMode,
+        live: Arc<TenantLive>,
+        clock: Arc<dyn Clock>,
+        on_camera: F,
+    ) -> Self
+    where
+        F: FnMut(u64, ChannelSource<EncodedFrame>) + Send + 'static,
+    {
+        Self::start_inner(queue, capacity, mode, Some((live, clock)), on_camera)
+    }
+
+    fn start_inner<F>(
+        queue: Arc<StageQueue<Delivered>>,
+        capacity: usize,
+        mode: BackpressureMode,
+        telemetry: Option<(Arc<TenantLive>, Arc<dyn Clock>)>,
         mut on_camera: F,
     ) -> Self
     where
@@ -42,6 +76,7 @@ impl TenantBridge {
         let thread = std::thread::Builder::new()
             .name("rpr-bridge".to_string())
             .spawn(move || {
+                rpr_trace::thread_label("rpr-bridge");
                 let mut cameras: BTreeMap<u64, SourceHandle<EncodedFrame>> = BTreeMap::new();
                 let mut routed = 0u64;
                 while let Some(d) = queue.pop() {
@@ -54,8 +89,22 @@ impl TenantBridge {
                         on_camera(d.camera_id, rx);
                         tx
                     });
+                    let ctx = d.ctx;
                     if handle.push(d.frame) {
                         routed += 1;
+                        if let Some((live, clock)) = &telemetry {
+                            let now = clock.now_micros();
+                            let latency = now.saturating_sub(ctx.ingest_micros);
+                            live.record_delivery(now, latency);
+                            rpr_trace::counter_for_ctx(
+                                rpr_trace::names::SERVE_E2E_US,
+                                "serve",
+                                ctx,
+                                latency as f64,
+                            );
+                        }
+                    } else if let Some((live, clock)) = &telemetry {
+                        live.record_drop(clock.now_micros());
                     }
                 }
                 for handle in cameras.values() {
@@ -99,6 +148,13 @@ mod tests {
             session_id: camera,
             frame: EncodedFrame::new(8, 4, idx, vec![7], FrameMetadata::from_mask(mask)),
             accepted_micros: 0,
+            ctx: rpr_trace::FrameCtx {
+                tenant: 0,
+                camera,
+                session: camera,
+                frame_seq: idx,
+                ingest_micros: 0,
+            },
         }
     }
 

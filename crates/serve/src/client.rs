@@ -7,7 +7,9 @@
 //! *client* side of backpressure observable: a stalled server shows up
 //! as a client whose [`ScriptedClient::flush`] stops making progress.
 
-use crate::protocol::{encode_bye, encode_data, encode_hello, AdmitCode};
+use crate::protocol::{
+    encode_bye, encode_data, encode_hello, encode_metrics_request, try_parse_msg, AdmitCode, Msg,
+};
 use crate::transport::{Conn, ConnRead, MemConn, MemListener};
 
 /// Builds the full byte script of one camera session: hello for
@@ -112,5 +114,81 @@ impl ScriptedClient {
     /// Bytes of script not yet accepted by the transport.
     pub fn remaining(&self) -> usize {
         self.script.len().saturating_sub(self.pos)
+    }
+}
+
+/// A scrape-only session: hello, one metrics request, bye. Poll it
+/// alongside [`Server::step`](crate::Server::step) until the server's
+/// Prometheus exposition page arrives — which works *mid-flight*, while
+/// other sessions of the same server are still streaming frames.
+#[derive(Debug)]
+pub struct ScrapeClient {
+    conn: MemConn,
+    script: Vec<u8>,
+    pos: usize,
+    admit: Option<AdmitCode>,
+    inbox: Vec<u8>,
+    response: Option<String>,
+}
+
+impl ScrapeClient {
+    /// Connects to `listener` (per-direction ring of `ring` bytes) and
+    /// stages the scrape script under `tenant` / `camera_id`.
+    pub fn connect(listener: &MemListener, ring: usize, tenant: &str, camera_id: u64) -> Self {
+        let mut script = encode_hello(tenant, camera_id);
+        script.extend_from_slice(&encode_metrics_request());
+        script.extend_from_slice(&encode_bye());
+        ScrapeClient {
+            conn: listener.connect(ring),
+            script,
+            pos: 0,
+            admit: None,
+            inbox: Vec::new(),
+            response: None,
+        }
+    }
+
+    /// One non-blocking pump: pushes what remains of the script and
+    /// drains whatever the server wrote. Returns the exposition page
+    /// once the response frame is complete.
+    pub fn poll(&mut self) -> Option<&str> {
+        let remaining = self.script.get(self.pos..).unwrap_or(&[]);
+        if !remaining.is_empty() {
+            self.pos += self.conn.write_ready(remaining);
+        }
+        let mut buf = [0u8; 4096];
+        while let ConnRead::Data(n) = self.conn.read_ready(&mut buf) {
+            self.inbox.extend_from_slice(buf.get(..n).unwrap_or(&[]));
+            if n < buf.len() {
+                break;
+            }
+        }
+        if self.admit.is_none() {
+            if let Some((&byte, rest)) = self.inbox.split_first() {
+                self.admit = AdmitCode::from_byte(byte);
+                self.inbox = rest.to_vec();
+            }
+        }
+        if matches!(self.admit, Some(c) if c != AdmitCode::Accepted) {
+            return None;
+        }
+        if self.response.is_none() {
+            if let Ok(Some((Msg::Metrics(payload), _))) = try_parse_msg(&self.inbox) {
+                let page = String::from_utf8_lossy(payload).into_owned();
+                self.response = Some(page);
+                self.conn.close();
+            }
+        }
+        self.response.as_deref()
+    }
+
+    /// The scraped page, once [`ScrapeClient::poll`] completed.
+    pub fn response(&self) -> Option<&str> {
+        self.response.as_deref()
+    }
+
+    /// The admission verdict, once the server replied.
+    pub fn admit_code(&self) -> Option<AdmitCode> {
+        self.admit
     }
 }

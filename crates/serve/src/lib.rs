@@ -71,10 +71,11 @@ pub mod tenant;
 pub mod transport;
 
 pub use bridge::TenantBridge;
-pub use client::{session_script, ScriptedClient};
+pub use client::{session_script, ScrapeClient, ScriptedClient};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use error::{Result, ServeError};
 pub use protocol::{AdmitCode, Hello, MAX_MSG_LEN, MAX_TENANT_LEN, PROTOCOL_VERSION};
+pub use rpr_trace::SloConfig;
 pub use server::{Delivered, Server, ServerStats, StepStats};
 pub use session::{Session, SessionEnd, SessionPhase};
 pub use tenant::{TenantConfig, TokenBucket};

@@ -44,6 +44,10 @@ pub const MAX_MSG_LEN: u32 = 1 << 20;
 pub const MSG_DATA: u8 = b'D';
 /// Message kind: the client finished its container cleanly.
 pub const MSG_BYE: u8 = b'B';
+/// Message kind: metrics scrape. Client→server it is a request and
+/// must carry no payload; server→client the payload is the
+/// Prometheus-format exposition text.
+pub const MSG_METRICS: u8 = b'M';
 
 /// The server's one-byte admission verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +123,27 @@ pub fn encode_bye() -> Vec<u8> {
     let mut out = Vec::with_capacity(MSG_HEADER_LEN);
     out.push(MSG_BYE);
     out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+/// Encodes a metrics scrape request (client side, empty payload).
+pub fn encode_metrics_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(MSG_HEADER_LEN);
+    out.push(MSG_METRICS);
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+/// Encodes a metrics scrape response carrying the exposition text
+/// (server side). Truncates defensively at [`MAX_MSG_LEN`] rather than
+/// panicking; exposition pages are KiB-scale in practice.
+pub fn encode_metrics_response(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).unwrap_or(MAX_MSG_LEN).min(MAX_MSG_LEN);
+    let take = usize::try_from(len).unwrap_or(0);
+    let mut out = Vec::with_capacity(MSG_HEADER_LEN + take);
+    out.push(MSG_METRICS);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload.get(..take).unwrap_or(b""));
     out
 }
 
@@ -198,6 +223,9 @@ pub enum Msg<'a> {
     Data(&'a [u8]),
     /// The client declared its container complete.
     Bye,
+    /// A metrics scrape: an empty payload is a request (client→server),
+    /// a non-empty one the exposition text (server→client).
+    Metrics(&'a [u8]),
 }
 
 /// Attempts to parse one message from the front of `buf`.
@@ -213,7 +241,7 @@ pub fn try_parse_msg(buf: &[u8]) -> Result<Option<(Msg<'_>, usize)>> {
     let Some(&kind) = buf.first() else {
         return Ok(None);
     };
-    if kind != MSG_DATA && kind != MSG_BYE {
+    if kind != MSG_DATA && kind != MSG_BYE && kind != MSG_METRICS {
         return Err(ServeError::Protocol {
             reason: format!("unknown message kind {kind:#04x}"),
         });
@@ -240,7 +268,11 @@ pub fn try_parse_msg(buf: &[u8]) -> Result<Option<(Msg<'_>, usize)>> {
     let Some(payload) = buf.get(MSG_HEADER_LEN..end) else {
         return Ok(None);
     };
-    let msg = if kind == MSG_BYE { Msg::Bye } else { Msg::Data(payload) };
+    let msg = match kind {
+        MSG_BYE => Msg::Bye,
+        MSG_METRICS => Msg::Metrics(payload),
+        _ => Msg::Data(payload),
+    };
     Ok(Some((msg, end)))
 }
 
@@ -316,6 +348,23 @@ mod tests {
 
         assert!(try_parse_msg(&[0x7a]).is_err(), "unknown kind");
         assert!(try_parse_msg(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn metrics_messages_roundtrip_both_directions() {
+        let req = encode_metrics_request();
+        let (msg, used) = try_parse_msg(&req).unwrap().unwrap();
+        assert_eq!(used, req.len());
+        assert_eq!(msg, Msg::Metrics(b""));
+
+        let page = b"# TYPE rpr_frames_accepted_total counter\n";
+        let resp = encode_metrics_response(page);
+        let (msg, used) = try_parse_msg(&resp).unwrap().unwrap();
+        assert_eq!(used, resp.len());
+        assert_eq!(msg, Msg::Metrics(page.as_slice()));
+
+        assert!(try_parse_msg(&resp[..4]).unwrap().is_none(), "short header waits");
+        assert!(try_parse_msg(&resp[..9]).unwrap().is_none(), "short payload waits");
     }
 
     #[test]

@@ -19,14 +19,17 @@
 
 use rpr_core::EncodedFrame;
 use rpr_stream::{StageQueue, TryPush};
-use rpr_trace::TenantSection;
+use rpr_trace::{
+    EventKind, FlightRecorder, FrameCtx, LiveMetrics, Provenance, RunReport, SloSection,
+    TenantLive, TenantSection, TraceEvent,
+};
 use rpr_wire::WireError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::clock::Clock;
 use crate::error::ServeError;
-use crate::protocol::AdmitCode;
+use crate::protocol::{encode_metrics_response, AdmitCode};
 use crate::session::{Session, SessionEnd, SessionPhase};
 use crate::tenant::{TenantAccounting, TenantConfig};
 use crate::transport::{Conn, MemListener};
@@ -45,6 +48,9 @@ pub struct Delivered {
     pub frame: EncodedFrame,
     /// Server clock reading when the frame cleared quota.
     pub accepted_micros: u64,
+    /// Trace context: the frame's end-to-end identity, threaded through
+    /// the bridge into stage spans and latency accounting.
+    pub ctx: FrameCtx,
 }
 
 /// Server-wide counters (tenant-agnostic failures live here; per-tenant
@@ -98,6 +104,12 @@ struct TenantEntry {
     config: TenantConfig,
     acct: TenantAccounting,
     queue: Arc<StageQueue<Delivered>>,
+    live: Arc<TenantLive>,
+    /// True while the tenant is inside one SLO-breach episode, so the
+    /// flight recorder fires once per episode rather than every step.
+    breach_latch: bool,
+    breaches: u64,
+    flight_dumps: u64,
 }
 
 struct Slot {
@@ -116,6 +128,18 @@ pub struct Server {
     accepting: bool,
     read_quantum: usize,
     stats: ServerStats,
+    live: Arc<LiveMetrics>,
+    flight: FlightRecorder,
+    flight_tids: BTreeMap<(u32, u64), u64>,
+    flight_names: Vec<(u64, String)>,
+    next_flight_tid: u64,
+    flight_dump: Option<String>,
+    fault_storm_threshold: u64,
+    fault_window_micros: u64,
+    fault_window_start: u64,
+    faults_in_window: u64,
+    report_interval_micros: Option<u64>,
+    last_report_micros: u64,
 }
 
 impl std::fmt::Debug for Server {
@@ -142,6 +166,18 @@ impl Server {
             accepting: true,
             read_quantum: 64 * 1024,
             stats: ServerStats::default(),
+            live: Arc::new(LiveMetrics::new()),
+            flight: FlightRecorder::new(4096),
+            flight_tids: BTreeMap::new(),
+            flight_names: Vec::new(),
+            next_flight_tid: 1,
+            flight_dump: None,
+            fault_storm_threshold: 8,
+            fault_window_micros: 1_000_000,
+            fault_window_start: 0,
+            faults_in_window: 0,
+            report_interval_micros: None,
+            last_report_micros: 0,
         }
     }
 
@@ -149,6 +185,29 @@ impl Server {
     /// quantum). Default 64 KiB.
     pub fn with_read_quantum(mut self, bytes: usize) -> Self {
         self.read_quantum = bytes.max(1);
+        self
+    }
+
+    /// Sets the flight recorder's span capacity (default 4096).
+    pub fn with_flight_capacity(mut self, events: usize) -> Self {
+        self.flight = FlightRecorder::new(events);
+        self
+    }
+
+    /// Tunes the session-fault storm trigger: `threshold` session
+    /// failures within `window_micros` dump the flight recorder
+    /// (defaults: 8 faults within one second).
+    pub fn with_fault_storm(mut self, threshold: u64, window_micros: u64) -> Self {
+        self.fault_storm_threshold = threshold.max(1);
+        self.fault_window_micros = window_micros.max(1);
+        self
+    }
+
+    /// Enables periodic live-RunReport snapshots: once at least
+    /// `micros` of server-clock time pass, the next
+    /// [`Server::poll_report`] returns a report.
+    pub fn with_report_interval(mut self, micros: u64) -> Self {
+        self.report_interval_micros = Some(micros.max(1));
         self
     }
 
@@ -161,6 +220,7 @@ impl Server {
             config.queue_capacity.max(1),
             config.backpressure,
         ));
+        let live = self.live.register(name, config.slo);
         self.tenants.insert(
             name.to_string(),
             TenantEntry {
@@ -168,6 +228,10 @@ impl Server {
                 acct: TenantAccounting::new(name, &config, now),
                 config,
                 queue,
+                live,
+                breach_latch: false,
+                breaches: 0,
+                flight_dumps: 0,
             },
         );
     }
@@ -234,6 +298,87 @@ impl Server {
         &self.stats
     }
 
+    /// The live metrics plane the server writes: scrapeable while
+    /// [`Server::step`] runs from the loop's own thread.
+    pub fn live(&self) -> Arc<LiveMetrics> {
+        Arc::clone(&self.live)
+    }
+
+    /// One tenant's live handle (e.g. for a consumer loop that records
+    /// delivery latency on pop).
+    pub fn tenant_live(&self, tenant: &str) -> Option<Arc<TenantLive>> {
+        self.tenants.get(tenant).map(|t| Arc::clone(&t.live))
+    }
+
+    /// Renders the Prometheus-format exposition page for the current
+    /// live state (what a `METRICS` protocol request returns).
+    pub fn render_metrics(&self) -> String {
+        let now = self.clock.now_micros();
+        rpr_trace::render_prometheus(&self.live.snapshot(), &self.slo_sections(), now)
+    }
+
+    /// Per-tenant SLO outcomes at the current server-clock reading, one
+    /// section per tenant that declared an SLO.
+    pub fn slo_sections(&self) -> Vec<SloSection> {
+        let now = self.clock.now_micros();
+        self.tenants
+            .values()
+            .filter_map(|entry| {
+                let slo = entry.live.slo()?;
+                let (good, bad) = slo.window_totals(now);
+                let cfg = slo.config();
+                Some(SloSection {
+                    tenant: entry.live.name.clone(),
+                    target_delivery_us: cfg.target_delivery_us,
+                    budget_fraction: cfg.budget_fraction,
+                    window_micros: cfg.window_micros,
+                    good_events: good,
+                    bad_events: bad,
+                    burn_rate: slo.burn_rate(now),
+                    breaches: entry.breaches,
+                    flight_dumps: entry.flight_dumps,
+                })
+            })
+            .collect()
+    }
+
+    /// A live [`RunReport`] snapshot of the run so far: per-tenant
+    /// accounting plus SLO outcomes, diffable by `rpr-report` like any
+    /// finished run.
+    pub fn live_report(&self) -> RunReport {
+        let frames = self.live.snapshot().iter().map(|t| t.frames_accepted).sum();
+        RunReport {
+            schema_version: rpr_trace::REPORT_SCHEMA_VERSION,
+            task: "serve-live".to_string(),
+            dataset: "live".to_string(),
+            baseline: "rpr-serve".to_string(),
+            frames,
+            tenants: self.tenant_sections(),
+            slos: Some(self.slo_sections()),
+            ..Default::default()
+        }
+    }
+
+    /// Returns a live report once per configured
+    /// [`Server::with_report_interval`] window; `None` between emits or
+    /// when no interval was set. Call from the driving loop.
+    pub fn poll_report(&mut self) -> Option<RunReport> {
+        let every = self.report_interval_micros?;
+        let now = self.clock.now_micros();
+        if now.saturating_sub(self.last_report_micros) < every {
+            return None;
+        }
+        self.last_report_micros = now;
+        Some(self.live_report())
+    }
+
+    /// Takes the pending flight-recorder trace dump (Chrome trace-event
+    /// JSON), produced automatically on an SLO breach or a
+    /// session-fault storm.
+    pub fn take_flight_dump(&mut self) -> Option<String> {
+        self.flight_dump.take()
+    }
+
     /// Per-tenant accounting, with `delivered_fraction` computed.
     pub fn tenant_sections(&self) -> Vec<TenantSection> {
         self.tenants
@@ -268,6 +413,26 @@ impl Server {
             if t.queue.take_pressure() {
                 t.acct.section.degrade_events += 1;
             }
+        }
+        // Evaluate SLO burn once per step; a tenant entering a breach
+        // episode fires the flight recorder exactly once.
+        let now = self.clock.now_micros();
+        let mut breach_entered = false;
+        for t in self.tenants.values_mut() {
+            let Some(slo) = t.live.slo() else { continue };
+            if slo.breached(now) {
+                if !t.breach_latch {
+                    t.breach_latch = true;
+                    t.breaches += 1;
+                    t.flight_dumps += 1;
+                    breach_entered = true;
+                }
+            } else {
+                t.breach_latch = false;
+            }
+        }
+        if breach_entered {
+            self.trigger_flight_dump();
         }
         stats
     }
@@ -363,7 +528,16 @@ impl Server {
                 }
             }
         }
+        if slot.session.take_metrics_request() {
+            let page = self.render_metrics();
+            slot.session.queue_response(&encode_metrics_response(page.as_bytes()));
+        }
+        slot.session.pump_write();
         if slot.session.input_exhausted() {
+            if !slot.session.outbox_drained() {
+                // Hold the slot open until the queued response flushes.
+                return;
+            }
             let end = slot.session.end();
             match &end {
                 SessionEnd::Clean(_) => self.stats.sessions_clean += 1,
@@ -400,37 +574,66 @@ impl Server {
     /// means the frame was throttled (counted, discarded).
     fn admit_frame(&mut self, session: &Session, frame: EncodedFrame) -> Option<Delivered> {
         let tenant = session.tenant.as_deref()?;
-        let entry = self.tenants.get_mut(tenant)?;
         let now = self.clock.now_micros();
         let cost = frame.total_bytes() as u64;
-        let frame_ok = entry.acct.frame_bucket.try_take(1, now);
-        let bytes_ok = frame_ok && entry.acct.byte_bucket.try_take(cost, now);
-        if !frame_ok || !bytes_ok {
-            if frame_ok {
-                // The byte bucket vetoed after the frame token was
-                // taken; refund it so the two throttle as one decision.
-                entry.acct.frame_bucket.refund(1);
+        let (accepted, name, live) = {
+            let entry = self.tenants.get_mut(tenant)?;
+            let frame_ok = entry.acct.frame_bucket.try_take(1, now);
+            let bytes_ok = frame_ok && entry.acct.byte_bucket.try_take(cost, now);
+            if !frame_ok || !bytes_ok {
+                if frame_ok {
+                    // The byte bucket vetoed after the frame token was
+                    // taken; refund it so the two throttle as one
+                    // decision.
+                    entry.acct.frame_bucket.refund(1);
+                }
+                entry.acct.section.frames_dropped += 1;
+                entry.acct.section.quota_throttles += 1;
+                entry.live.quota_throttles.add(1);
+                entry.live.record_drop(now);
+                (false, Arc::clone(&entry.name), Arc::clone(&entry.live))
+            } else {
+                entry.acct.section.frames_accepted += 1;
+                entry.acct.section.bytes_ingested += cost;
+                entry.live.frames_accepted.add(1);
+                entry.live.bytes_ingested.add(cost);
+                (true, Arc::clone(&entry.name), Arc::clone(&entry.live))
             }
-            entry.acct.section.frames_dropped += 1;
-            entry.acct.section.quota_throttles += 1;
+        };
+        let ctx = FrameCtx {
+            tenant: live.id,
+            camera: session.camera_id,
+            session: session.id,
+            frame_seq: session.frames_returned().saturating_sub(1),
+            ingest_micros: now,
+        };
+        let tid = self.flight_tid(&name, live.id, session.camera_id);
+        let verdict = if accepted { 1.0 } else { 0.0 };
+        self.flight_record(rpr_trace::names::SERVE_ADMIT, tid, now, verdict, ctx);
+        if !accepted {
             return None;
         }
-        entry.acct.section.frames_accepted += 1;
-        entry.acct.section.bytes_ingested += cost;
+        rpr_trace::counter_for_ctx(rpr_trace::names::SERVE_ADMIT, "serve", ctx, 1.0);
         Some(Delivered {
-            tenant: Arc::clone(&entry.name),
+            tenant: name,
             camera_id: session.camera_id,
             session_id: session.id,
             frame,
             accepted_micros: now,
+            ctx,
         })
     }
 
     fn offer(&mut self, delivered: Delivered) -> Offer {
+        let now = self.clock.now_micros();
+        let ctx = delivered.ctx;
+        let camera = delivered.camera_id;
         let Some(entry) = self.tenants.get_mut(delivered.tenant.as_ref()) else {
             return Offer::Gone;
         };
-        match entry.queue.try_push(delivered) {
+        let name = Arc::clone(&entry.name);
+        let tenant_id = entry.live.id;
+        let result = match entry.queue.try_push(delivered) {
             TryPush::Pushed => {
                 entry.acct.section.frames_delivered += 1;
                 Offer::Delivered
@@ -438,16 +641,69 @@ impl Server {
             TryPush::Dropped => {
                 // The new frame is in; an older queued frame was
                 // evicted. It had been counted delivered, so the books
-                // move one from delivered to dropped.
+                // move one from delivered to dropped; the evicted frame
+                // also burns SLO error budget.
                 entry.acct.section.frames_dropped += 1;
+                entry.live.record_drop(now);
                 Offer::Delivered
             }
             TryPush::Full(frame) => Offer::Parked(frame),
             TryPush::Closed(_) => {
                 entry.acct.section.frames_dropped += 1;
+                entry.live.record_drop(now);
                 Offer::Gone
             }
+        };
+        if matches!(result, Offer::Delivered) {
+            let tid = self.flight_tid(&name, tenant_id, camera);
+            self.flight_record(rpr_trace::names::SERVE_DELIVER, tid, now, 1.0, ctx);
         }
+        result
+    }
+
+    /// Compact flight-recorder track id for a `(tenant, camera)` pair,
+    /// assigning one (and its `tenant/camera-N` track name) on first
+    /// sight.
+    fn flight_tid(&mut self, tenant: &str, tenant_id: u32, camera: u64) -> u64 {
+        if let Some(tid) = self.flight_tids.get(&(tenant_id, camera)) {
+            return *tid;
+        }
+        let tid = self.next_flight_tid;
+        self.next_flight_tid = self.next_flight_tid.saturating_add(1);
+        self.flight_tids.insert((tenant_id, camera), tid);
+        self.flight_names.push((tid, format!("{tenant}/camera-{camera}")));
+        tid
+    }
+
+    fn flight_record(&mut self, name: &'static str, tid: u64, now_micros: u64, value: f64, ctx: FrameCtx) {
+        self.flight.record(TraceEvent {
+            name,
+            cat: "serve",
+            kind: EventKind::Instant,
+            tid,
+            ts_ns: now_micros.saturating_mul(1_000),
+            dur_ns: 0,
+            value,
+            provenance: Provenance {
+                frame_idx: Some(ctx.frame_seq),
+                ctx: Some(ctx),
+                ..Default::default()
+            },
+        });
+    }
+
+    fn trigger_flight_dump(&mut self) {
+        // A pending dump is the interesting one (first breach of the
+        // episode); don't overwrite it before anyone reads it.
+        if self.flight_dump.is_some() {
+            return;
+        }
+        let events = self.flight.dump();
+        self.flight_dump = Some(rpr_trace::chrome_trace_json_named(
+            &events,
+            &self.flight_names,
+            "rpr-serve",
+        ));
     }
 
     fn release_session(&mut self, session: &Session) {
@@ -464,6 +720,18 @@ impl Server {
                 self.stats.sessions_truncated += 1;
             }
             _ => self.stats.sessions_errored += 1,
+        }
+        // Session-fault storm: a burst of failures inside one window
+        // dumps the flight recorder for postmortem.
+        let now = self.clock.now_micros();
+        if now.saturating_sub(self.fault_window_start) > self.fault_window_micros {
+            self.fault_window_start = now;
+            self.faults_in_window = 0;
+        }
+        self.faults_in_window = self.faults_in_window.saturating_add(1);
+        if self.faults_in_window >= self.fault_storm_threshold {
+            self.faults_in_window = 0;
+            self.trigger_flight_dump();
         }
     }
 }

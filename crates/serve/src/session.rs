@@ -66,6 +66,10 @@ pub struct Session {
     peer_gone: bool,
     container_done: bool,
     error: Option<ServeError>,
+    frames_returned: u64,
+    metrics_requested: bool,
+    outbox: Vec<u8>,
+    outbox_pos: usize,
 }
 
 impl std::fmt::Debug for Session {
@@ -96,6 +100,10 @@ impl Session {
             peer_gone: false,
             container_done: false,
             error: None,
+            frames_returned: 0,
+            metrics_requested: false,
+            outbox: Vec::new(),
+            outbox_pos: 0,
         }
     }
 
@@ -115,6 +123,55 @@ impl Session {
     /// The typed error that ended the session, if any.
     pub fn take_error(&mut self) -> Option<ServeError> {
         self.error.take()
+    }
+
+    /// Frames [`Session::poll_frame`] has returned so far: the session's
+    /// per-frame sequence counter (the frame just returned carries
+    /// sequence `frames_returned() - 1`).
+    pub fn frames_returned(&self) -> u64 {
+        self.frames_returned
+    }
+
+    /// Takes the pending metrics-scrape request flag, if the client has
+    /// asked for one since the last call.
+    pub fn take_metrics_request(&mut self) -> bool {
+        std::mem::take(&mut self.metrics_requested)
+    }
+
+    /// Queues server→client bytes (e.g. a metrics response) for
+    /// [`Session::pump_write`] to drain without blocking the loop.
+    pub fn queue_response(&mut self, bytes: &[u8]) {
+        if self.peer_gone || self.phase == SessionPhase::Closed {
+            return;
+        }
+        self.outbox.extend_from_slice(bytes);
+    }
+
+    /// True when nothing queued toward the client remains unsent (a
+    /// vanished peer counts as drained — those bytes have no reader).
+    pub fn outbox_drained(&self) -> bool {
+        self.peer_gone || self.outbox_pos >= self.outbox.len()
+    }
+
+    /// Pushes as much queued response data as the transport accepts,
+    /// returning the bytes moved.
+    pub fn pump_write(&mut self) -> usize {
+        if self.peer_gone || self.phase == SessionPhase::Closed {
+            self.outbox.clear();
+            self.outbox_pos = 0;
+            return 0;
+        }
+        let pending = self.outbox.get(self.outbox_pos..).unwrap_or(&[]);
+        if pending.is_empty() {
+            return 0;
+        }
+        let n = self.conn.write_ready(pending);
+        self.outbox_pos = self.outbox_pos.saturating_add(n).min(self.outbox.len());
+        if self.outbox_pos >= self.outbox.len() {
+            self.outbox.clear();
+            self.outbox_pos = 0;
+        }
+        n
     }
 
     fn unread(&self) -> &[u8] {
@@ -221,7 +278,10 @@ impl Session {
         loop {
             // Drain any frame the decoder already completed.
             match self.decoder.next_event() {
-                Ok(Some(rpr_wire::StreamEvent::Frame(frame))) => return Ok(Some(frame)),
+                Ok(Some(rpr_wire::StreamEvent::Frame(frame))) => {
+                    self.frames_returned = self.frames_returned.saturating_add(1);
+                    return Ok(Some(frame));
+                }
                 Ok(Some(rpr_wire::StreamEvent::Finished { .. })) => {
                     self.container_done = true;
                 }
@@ -246,6 +306,16 @@ impl Session {
                     self.consume(used);
                     self.bye_seen = true;
                     return Ok(None);
+                }
+                Ok(Some((Msg::Metrics(payload), used))) => {
+                    let extra = payload.len();
+                    if extra != 0 {
+                        return self.fail(ServeError::Protocol {
+                            reason: format!("metrics request carries {extra} payload bytes"),
+                        });
+                    }
+                    self.consume(used);
+                    self.metrics_requested = true;
                 }
                 Ok(None) => return Ok(None),
                 Err(e) => return self.fail(e),
@@ -410,6 +480,56 @@ mod tests {
             matches!(err, Some(ServeError::Protocol { .. })),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn metrics_request_sets_flag_and_response_drains_through_outbox() {
+        use crate::protocol::{
+            encode_metrics_request, encode_metrics_response, try_parse_msg, Msg,
+        };
+        let (mut client, server_end) = mem_pair(1 << 20);
+        let mut session = Session::new(1, Box::new(server_end));
+        client.write_ready(&encode_hello("acme", 7));
+        session.pump_read(usize::MAX);
+        let hello = session.poll_hello().unwrap().unwrap();
+        session.admit(&hello);
+        let mut code = [0u8; 1];
+        assert_eq!(client.read_ready(&mut code), ConnRead::Data(1));
+
+        client.write_ready(&encode_metrics_request());
+        session.pump_read(usize::MAX);
+        assert!(session.poll_frame().unwrap().is_none());
+        assert!(session.take_metrics_request());
+        assert!(!session.take_metrics_request(), "flag is one-shot");
+
+        session.queue_response(&encode_metrics_response(b"page"));
+        assert!(!session.outbox_drained());
+        session.pump_write();
+        assert!(session.outbox_drained());
+
+        let mut buf = [0u8; 64];
+        let ConnRead::Data(n) = client.read_ready(&mut buf) else {
+            panic!("client should see the framed response");
+        };
+        let (msg, _) = try_parse_msg(buf.get(..n).unwrap()).unwrap().unwrap();
+        assert_eq!(msg, Msg::Metrics(b"page".as_slice()));
+    }
+
+    #[test]
+    fn poll_frame_counts_a_per_session_sequence() {
+        let (mut client, server_end) = mem_pair(1 << 20);
+        let mut session = Session::new(1, Box::new(server_end));
+        client.write_ready(&encode_hello("acme", 7));
+        session.pump_read(usize::MAX);
+        let hello = session.poll_hello().unwrap().unwrap();
+        session.admit(&hello);
+        let container = write_container(&frames(4)).unwrap();
+        client.write_ready(&encode_data(&container));
+        client.write_ready(&encode_bye());
+        let (got, err) = pump_all(&mut session);
+        assert!(err.is_none());
+        assert_eq!(got.len(), 4);
+        assert_eq!(session.frames_returned(), 4);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! buckets and queues are untouched.
 
 use rpr_stream::BackpressureMode;
-use rpr_trace::TenantSection;
+use rpr_trace::{SloConfig, TenantSection};
 
 /// A token bucket: `rate` tokens/second refill toward a `burst` cap.
 ///
@@ -102,6 +102,9 @@ pub struct TenantConfig {
     pub backpressure: BackpressureMode,
     /// Capacity of the tenant's delivery queue, in frames.
     pub queue_capacity: usize,
+    /// Declarative delivery SLO. When set, the server tracks windowed
+    /// burn rate against it and fires the flight recorder on breach.
+    pub slo: Option<SloConfig>,
 }
 
 impl TenantConfig {
@@ -116,6 +119,7 @@ impl TenantConfig {
             frame_burst: u64::MAX / 2,
             backpressure: BackpressureMode::Block,
             queue_capacity: 1024,
+            slo: None,
         }
     }
 
@@ -143,6 +147,12 @@ impl TenantConfig {
     pub fn with_qos(mut self, mode: BackpressureMode, queue_capacity: usize) -> Self {
         self.backpressure = mode;
         self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+
+    /// Declares a delivery SLO for the tenant.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
         self
     }
 }

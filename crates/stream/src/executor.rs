@@ -53,11 +53,16 @@ where
     let started = Instant::now();
     let (capture_summary, task_output, stage_stats) = std::thread::scope(|scope| {
         let source_worker = scope.spawn(|| {
+            rpr_trace::thread_label(rpr_trace::names::STAGE_SOURCE);
             let mut stats = StageTelemetry::new("source");
             let mut idx = 0u64;
             loop {
-                let _span = rpr_trace::span(rpr_trace::names::STAGE_SOURCE, "stream")
+                let mut span = rpr_trace::span(rpr_trace::names::STAGE_SOURCE, "stream")
                     .with_frame(idx);
+                if let Some(base) = config.trace_ctx {
+                    span = span.with_ctx(base.for_frame(idx));
+                }
+                let _span = span;
                 let t0 = Instant::now();
                 let Some(frame) = source.next_frame() else { break };
                 stats.latency.record(t0.elapsed());
@@ -72,6 +77,7 @@ where
         });
 
         let capture_worker = scope.spawn(|| {
+            rpr_trace::thread_label(rpr_trace::names::STAGE_CAPTURE);
             let mut stats = StageTelemetry::new("capture");
             let mut feedback = Feedback::empty();
             let mut first = true;
@@ -109,8 +115,11 @@ where
                     if degraded {
                         stats.degraded_frames += 1;
                     }
-                    let span = rpr_trace::span(rpr_trace::names::STAGE_CAPTURE, "stream")
+                    let mut span = rpr_trace::span(rpr_trace::names::STAGE_CAPTURE, "stream")
                         .with_frame(idx);
+                    if let Some(base) = config.trace_ctx {
+                        span = span.with_ctx(base.for_frame(idx));
+                    }
                     let t0 = Instant::now();
                     let out = capture.process(frame, &feedback, degraded);
                     stats.latency.record(t0.elapsed());
@@ -127,6 +136,7 @@ where
         });
 
         let task_worker = scope.spawn(|| {
+            rpr_trace::thread_label(rpr_trace::names::STAGE_TASK);
             let mut stats = StageTelemetry::new("task");
             // Batch-drain the proc queue: one lock crossing per batch.
             // The batch never exceeds proc_capacity items and at most
@@ -141,8 +151,11 @@ where
                     break;
                 }
                 for (idx, input) in batch.drain(..) {
-                    let span = rpr_trace::span(rpr_trace::names::STAGE_TASK, "stream")
+                    let mut span = rpr_trace::span(rpr_trace::names::STAGE_TASK, "stream")
                         .with_frame(idx);
+                    if let Some(base) = config.trace_ctx {
+                        span = span.with_ctx(base.for_frame(idx));
+                    }
                     let t0 = Instant::now();
                     let fb = task.consume(idx, input);
                     stats.latency.record(t0.elapsed());
@@ -306,6 +319,7 @@ mod tests {
                 raw_capacity: 1,
                 proc_capacity: 1,
                 backpressure: BackpressureMode::DropOldest,
+                ..Default::default()
             },
         );
         let frames: Vec<u32> = staged.capture.iter().map(|(f, _, _)| *f).collect();

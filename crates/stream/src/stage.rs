@@ -164,11 +164,21 @@ pub struct StreamConfig {
     /// would break the task↔capture feedback lock-step and with it
     /// the determinism guarantee.
     pub backpressure: BackpressureMode,
+    /// Serving-side frame identity attached to every stage span this
+    /// stream emits (the per-frame `frame_seq` is filled in from the
+    /// stage's own frame index). `None` for standalone benchmark
+    /// streams that have no tenant/camera identity.
+    pub trace_ctx: Option<rpr_trace::FrameCtx>,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { raw_capacity: 4, proc_capacity: 2, backpressure: BackpressureMode::Block }
+        StreamConfig {
+            raw_capacity: 4,
+            proc_capacity: 2,
+            backpressure: BackpressureMode::Block,
+            trace_ctx: None,
+        }
     }
 }
 
@@ -181,6 +191,12 @@ impl StreamConfig {
     /// Same queues under a different backpressure mode.
     pub fn with_backpressure(mut self, mode: BackpressureMode) -> Self {
         self.backpressure = mode;
+        self
+    }
+
+    /// Attaches a serving-side frame context to the stream's spans.
+    pub fn with_trace_ctx(mut self, ctx: rpr_trace::FrameCtx) -> Self {
+        self.trace_ctx = Some(ctx);
         self
     }
 }

@@ -15,146 +15,11 @@
 
 use crate::queue::QueueTelemetry;
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
 
-/// Upper bucket bounds for stage-latency histograms, in microseconds.
-/// The final bucket is unbounded.
-pub const LATENCY_BUCKETS_US: [u64; 11] =
-    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
-
-/// A fixed-bucket latency histogram with exact count/sum/min/max.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    /// Sample count.
-    pub count: u64,
-    /// Total time across all samples, nanoseconds.
-    pub sum_ns: u64,
-    /// Fastest sample, nanoseconds (0 when empty).
-    pub min_ns: u64,
-    /// Slowest sample, nanoseconds.
-    pub max_ns: u64,
-    /// One count per bucket of [`LATENCY_BUCKETS_US`] plus a final
-    /// overflow bucket.
-    pub buckets: Vec<u64>,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            count: 0,
-            sum_ns: 0,
-            min_ns: 0,
-            max_ns: 0,
-            buckets: vec![0; LATENCY_BUCKETS_US.len() + 1],
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram::default()
-    }
-
-    /// Records one stage execution.
-    pub fn record(&mut self, elapsed: Duration) {
-        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let us = ns / 1_000;
-        let idx = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum_ns += ns;
-        if self.count == 1 || ns < self.min_ns {
-            self.min_ns = ns;
-        }
-        if ns > self.max_ns {
-            self.max_ns = ns;
-        }
-    }
-
-    /// Mean latency in seconds (0 when empty).
-    pub fn mean_s(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64 / 1e9
-        }
-    }
-
-    /// Estimated latency at percentile `p` (0–100), in microseconds.
-    ///
-    /// The value is linearly interpolated inside the bucket containing
-    /// the target rank, using the bucket's bounds (the overflow bucket
-    /// is bounded by the exact recorded maximum). The estimate is
-    /// clamped to the exact observed `[min, max]`, so single-sample and
-    /// boundary cases return real samples rather than bucket edges.
-    /// Returns 0 for an empty histogram.
-    pub fn percentile_us(&self, p: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let p = p.clamp(0.0, 100.0);
-        let min_us = self.min_ns as f64 / 1e3;
-        let max_us = self.max_ns as f64 / 1e3;
-        let target = p / 100.0 * self.count as f64;
-        let mut cum = 0u64;
-        for (idx, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            let before = cum as f64;
-            cum += n;
-            if cum as f64 >= target {
-                let lo = if idx == 0 { 0.0 } else { LATENCY_BUCKETS_US[idx - 1] as f64 };
-                let hi = if idx < LATENCY_BUCKETS_US.len() {
-                    LATENCY_BUCKETS_US[idx] as f64
-                } else {
-                    // Overflow bucket: bounded by the recorded maximum.
-                    max_us.max(lo)
-                };
-                let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
-                return (lo + frac * (hi - lo)).clamp(min_us, max_us);
-            }
-        }
-        max_us
-    }
-
-    /// Median latency estimate in microseconds.
-    pub fn p50_us(&self) -> f64 {
-        self.percentile_us(50.0)
-    }
-
-    /// 90th-percentile latency estimate in microseconds.
-    pub fn p90_us(&self) -> f64 {
-        self.percentile_us(90.0)
-    }
-
-    /// 99th-percentile latency estimate in microseconds.
-    pub fn p99_us(&self) -> f64 {
-        self.percentile_us(99.0)
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        if other.count == 0 {
-            return;
-        }
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        if self.count == 0 {
-            self.min_ns = other.min_ns;
-        } else {
-            self.min_ns = self.min_ns.min(other.min_ns);
-        }
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-    }
-}
+/// The histogram type itself lives in `rpr-trace` (the live metrics
+/// plane shards and merges it there); re-exported here so the stream
+/// telemetry schema and call sites are unchanged.
+pub use rpr_trace::{LatencyHistogram, LATENCY_BUCKETS_US};
 
 /// Telemetry for one stage worker of one stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -225,92 +90,17 @@ pub fn frames_per_second(frames: u64, wall_time_s: f64) -> f64 {
 mod tests {
     use super::*;
 
+    // The histogram unit tests moved to `rpr-trace` (crates/trace/src/
+    // hist.rs) with the type; what stays here is the re-export contract
+    // the stream telemetry schema depends on.
     #[test]
-    fn histogram_buckets_and_stats() {
+    fn reexported_histogram_keeps_schema_and_behaviour() {
         let mut h = LatencyHistogram::new();
-        h.record(Duration::from_micros(40)); // bucket 0 (<= 50us)
-        h.record(Duration::from_micros(90)); // bucket 1 (<= 100us)
-        h.record(Duration::from_millis(200)); // overflow bucket
-        assert_eq!(h.count, 3);
-        assert_eq!(h.buckets[0], 1);
-        assert_eq!(h.buckets[1], 1);
-        assert_eq!(*h.buckets.last().unwrap(), 1);
-        assert_eq!(h.min_ns, 40_000);
-        assert_eq!(h.max_ns, 200_000_000);
-        assert!(h.mean_s() > 0.0);
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        a.record(Duration::from_micros(10));
-        let mut b = LatencyHistogram::new();
-        b.record(Duration::from_micros(400));
-        b.record(Duration::from_micros(600));
-        a.merge(&b);
-        assert_eq!(a.count, 3);
-        assert_eq!(a.min_ns, 10_000);
-        assert_eq!(a.max_ns, 600_000);
-    }
-
-    #[test]
-    fn percentiles_empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.p50_us(), 0.0);
-        assert_eq!(h.p99_us(), 0.0);
-    }
-
-    #[test]
-    fn percentiles_single_sample_returns_that_sample() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_micros(75));
-        // Interpolation inside the (50, 100] bucket is clamped to the
-        // exact observed min/max, which coincide.
-        assert_eq!(h.p50_us(), 75.0);
-        assert_eq!(h.p90_us(), 75.0);
-        assert_eq!(h.p99_us(), 75.0);
-    }
-
-    #[test]
-    fn percentiles_interpolate_within_boundary_buckets() {
-        let mut h = LatencyHistogram::new();
-        // 100 samples spread across the first bucket (<= 50 us).
-        for i in 0..100u64 {
-            h.record(Duration::from_nanos(i * 500 + 1));
-        }
-        let p50 = h.p50_us();
-        let p90 = h.p90_us();
-        // Bucket 0 spans 0..50 us: rank interpolation lands mid-bucket.
-        assert!((20.0..=30.0).contains(&p50), "p50 {p50}");
-        assert!((40.0..=50.0).contains(&p90), "p90 {p90}");
-        assert!(p50 <= p90);
-        assert!(p90 <= h.max_ns as f64 / 1e3);
-    }
-
-    #[test]
-    fn percentiles_overflow_bucket_is_bounded_by_max() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_micros(10)); // bucket 0
-        h.record(Duration::from_millis(150)); // overflow (> 100 ms)
-        h.record(Duration::from_millis(250)); // overflow
-        let p99 = h.p99_us();
-        assert!(p99 > 100_000.0, "p99 {p99} must land in the overflow bucket");
-        assert!(p99 <= 250_000.0, "p99 {p99} must not exceed the recorded max");
-        assert_eq!(h.percentile_us(100.0), 250_000.0);
-    }
-
-    #[test]
-    fn percentiles_are_monotone_in_p() {
-        let mut h = LatencyHistogram::new();
-        for us in [10u64, 60, 200, 800, 3_000, 40_000, 90_000, 200_000] {
-            h.record(Duration::from_micros(us));
-        }
-        let mut last = 0.0;
-        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
-            let v = h.percentile_us(p);
-            assert!(v >= last, "p{p}: {v} < {last}");
-            last = v;
-        }
+        h.record(std::time::Duration::from_micros(40));
+        assert_eq!(h.buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(h.count, 1);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.starts_with("{\"count\":1,\"sum_ns\":40000,"), "{json}");
     }
 
     #[test]

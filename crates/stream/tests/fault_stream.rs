@@ -233,7 +233,12 @@ fn blocking_stream_detects_every_fault_and_delivers_the_rest() {
 
 #[test]
 fn drop_oldest_stream_never_delivers_wrong_pixels() {
-    let config = StreamConfig { raw_capacity: 2, proc_capacity: 2, backpressure: BackpressureMode::DropOldest };
+    let config = StreamConfig {
+        raw_capacity: 2,
+        proc_capacity: 2,
+        backpressure: BackpressureMode::DropOldest,
+        ..Default::default()
+    };
     let (capture, task) = run_with(config, 2);
     // Frames may be dropped, but whatever arrives is either a typed
     // rejection or byte-identical to the reference decode.
@@ -246,7 +251,12 @@ fn drop_oldest_stream_never_delivers_wrong_pixels() {
 
 #[test]
 fn degrade_stream_completes_with_faults_detected() {
-    let config = StreamConfig { raw_capacity: 1, proc_capacity: 1, backpressure: BackpressureMode::Degrade };
+    let config = StreamConfig {
+        raw_capacity: 1,
+        proc_capacity: 1,
+        backpressure: BackpressureMode::Degrade,
+        ..Default::default()
+    };
     let (capture, task) = run_with(config, 4);
     assert_eq!(capture.processed, FRAMES, "degrade mode never drops frames");
     // Degradation is timing-dependent; it may or may not trigger, but it

@@ -29,6 +29,7 @@ struct CombinedReport {
     encode_decode_poisoned: rpr_testkit::CorpusReport,
     container_poisoned: rpr_testkit::WireCorpusReport,
     prediction: rpr_testkit::PredictCorpusReport,
+    metrics: rpr_testkit::MetricsCorpusReport,
 }
 
 fn main() -> ExitCode {
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
         encode_decode_poisoned: rpr_testkit::run_corpus_in(base_seed, n_cases, poison),
         container_poisoned: rpr_testkit::run_wire_corpus_in(base_seed, n_cases, poison),
         prediction: rpr_testkit::run_predict_corpus(base_seed, n_cases),
+        metrics: rpr_testkit::run_metrics_corpus(base_seed, n_cases),
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => println!("{json}"),
@@ -66,7 +68,8 @@ fn main() -> ExitCode {
     let edp = &report.encode_decode_poisoned;
     let ctp = &report.container_poisoned;
     let pr = &report.prediction;
-    if ed.passed() && ct.passed() && edp.passed() && ctp.passed() && pr.passed() {
+    let mt = &report.metrics;
+    if ed.passed() && ct.passed() && edp.passed() && ctp.passed() && pr.passed() && mt.passed() {
         eprintln!(
             "conformance: {} cases passed ({} clean frames, {} faults detected, {} harmless, {} skipped)",
             ed.cases, ed.clean_frames_ok, ed.faults_detected, ed.faults_harmless, ed.faults_skipped,
@@ -88,16 +91,21 @@ fn main() -> ExitCode {
             "prediction adversary: {} cases passed ({} identity degradations, {} projections)",
             pr.cases, pr.identity_degradations, pr.labels_projected,
         );
+        eprintln!(
+            "metrics adversary: {} cases passed ({} samples, {} live reads)",
+            mt.cases, mt.samples_recorded, mt.reads_taken,
+        );
         ExitCode::SUCCESS
     } else {
         let failing = ed.failing_seeds.len()
             + ct.failing_seeds.len()
             + edp.failing_seeds.len()
             + ctp.failing_seeds.len()
-            + pr.failing_seeds.len();
+            + pr.failing_seeds.len()
+            + mt.failing_seeds.len();
         eprintln!(
             "conformance: {failing} of {} case runs FAILED; reproduce with `cargo run --release -p rpr-testkit --bin conformance -- <seed> 1`",
-            ed.cases + ct.cases + edp.cases + ctp.cases + pr.cases,
+            ed.cases + ct.cases + edp.cases + ctp.cases + pr.cases + mt.cases,
         );
         for seed in &ed.failing_seeds {
             eprintln!("  failing seed (encode-decode): {seed}");
@@ -113,6 +121,9 @@ fn main() -> ExitCode {
         }
         for seed in &pr.failing_seeds {
             eprintln!("  failing seed (prediction): {seed}");
+        }
+        for seed in &mt.failing_seeds {
+            eprintln!("  failing seed (metrics): {seed}");
         }
         ExitCode::FAILURE
     }

@@ -33,6 +33,13 @@
 //!   `rpr-serve` server (torn hellos, forged message framing,
 //!   truncated final chunks), for exercising admission and
 //!   end-of-stream judgment.
+//! * **Live-telemetry adversaries** ([`MetricsFaultKind`],
+//!   [`run_metrics_corpus`]) — hostile schedules against the live
+//!   metrics plane: scrapes racing window rotations, snapshots torn
+//!   across mid-flight writers, and SLO trackers fed skewed clocks.
+//!   Snapshots must stay internally consistent and monotonic, rotations
+//!   must conserve every sample, and burn-rate arithmetic must stay
+//!   finite under any clock.
 //! * **Wire conformance** ([`WireFaultKind`], [`run_wire_case`],
 //!   [`run_wire_corpus`]) — the same discipline one layer down, over
 //!   serialized `.rpr` container *bytes*: byte-identical round-trips
@@ -52,6 +59,7 @@ mod conformance;
 mod fault;
 mod gen;
 mod lossy;
+mod metricsfault;
 mod predictfault;
 mod reference;
 mod rng;
@@ -69,6 +77,9 @@ pub use gen::{
     gen_region_list, CaptureSequence, FramePattern,
 };
 pub use lossy::{LossyDram, ReadOutcome};
+pub use metricsfault::{
+    run_metrics_corpus, MetricsCorpusReport, MetricsFaultKind, ALL_METRICS_FAULTS,
+};
 pub use predictfault::{
     run_predict_corpus, PredictCorpusReport, PredictFaultKind, ALL_PREDICT_FAULTS,
 };

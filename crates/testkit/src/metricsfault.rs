@@ -1,0 +1,317 @@
+//! Typed adversaries over the live telemetry plane.
+//!
+//! The live metrics contract is a concurrency contract: scrapes happen
+//! *while* the serve loop and its worker threads keep writing, and the
+//! numbers a scrape reports must still make sense. Each
+//! [`MetricsFaultKind`] manufactures one hostile schedule — a reader
+//! racing a window rotation, a snapshot torn across mid-flight writers,
+//! or an SLO tracker fed skewed clocks — and checks the invariants the
+//! exposition layer depends on: internal consistency
+//! (`count == Σ buckets`), monotonicity between reads, conservation of
+//! every sample across rotations, and finite, saturating burn-rate
+//! arithmetic no matter how the clock misbehaves.
+//!
+//! [`run_metrics_corpus`] runs the fixed seed corpus the `conformance`
+//! binary gates CI on.
+
+use crate::TestRng;
+use rpr_serve::{Clock, ManualClock};
+use rpr_trace::{LatencyHistogram, LiveCounter, LiveHistogram, SloConfig, SloTracker};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Every live-telemetry adversary class the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricsFaultKind {
+    /// A consumer rotates windows out of the histogram while writer
+    /// threads are mid-record. Every sample must land in exactly one
+    /// rotated window (or the final snapshot) — never lost, never
+    /// double-counted — and each window must be internally consistent.
+    ScrapeDuringRotation,
+    /// A reader snapshots while writer threads race it. Every torn
+    /// snapshot must still satisfy `count == Σ buckets`, totals must be
+    /// monotonic between reads, and the post-join snapshot must account
+    /// for the full workload.
+    TornSnapshot,
+    /// An SLO tracker fed from a [`ManualClock`] whose readings skew:
+    /// stale timestamps (time running backward) and forward jumps past
+    /// the whole window. Burn rate must stay finite and non-negative,
+    /// window totals must never exceed the events fed, and the tracker
+    /// must stay deterministic per seed.
+    SloClockSkew,
+}
+
+/// All metrics fault kinds, for corpus iteration.
+pub const ALL_METRICS_FAULTS: [MetricsFaultKind; 3] = [
+    MetricsFaultKind::ScrapeDuringRotation,
+    MetricsFaultKind::TornSnapshot,
+    MetricsFaultKind::SloClockSkew,
+];
+
+impl MetricsFaultKind {
+    /// Short stable name for reports and corpus bookkeeping.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsFaultKind::ScrapeDuringRotation => "scrape-during-rotation",
+            MetricsFaultKind::TornSnapshot => "torn-snapshot",
+            MetricsFaultKind::SloClockSkew => "slo-clock-skew",
+        }
+    }
+}
+
+/// Outcome of a live-telemetry adversary seed corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsCorpusReport {
+    /// Cases run (seeds × fault kinds).
+    pub cases: u64,
+    /// Samples recorded across all cases.
+    pub samples_recorded: u64,
+    /// Mid-flight snapshots/rotations taken across all cases.
+    pub reads_taken: u64,
+    /// Invariant violations — must be zero for the gate to pass.
+    pub violations: u64,
+    /// Seeds of violating cases, for reproduction.
+    pub failing_seeds: Vec<u64>,
+}
+
+impl MetricsCorpusReport {
+    /// Whether the corpus met the contract.
+    pub fn passed(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// A seeded latency workload: microsecond samples spanning every
+/// bucket of [`rpr_trace::LATENCY_BUCKETS_US`] plus the overflow.
+fn workload(rng: &mut TestRng) -> Vec<u64> {
+    let n = rng.range_usize(1, 160);
+    (0..n).map(|_| u64::from(rng.range_u32(0, 200_000))).collect()
+}
+
+fn internally_consistent(snap: &LatencyHistogram) -> bool {
+    snap.count == snap.buckets.iter().sum::<u64>()
+}
+
+/// Writers race a rotating consumer; mass must be conserved.
+fn scrape_during_rotation(rng: &mut TestRng, report: &mut MetricsCorpusReport) -> bool {
+    let samples = workload(rng);
+    let rotations = rng.range_usize(1, 16);
+    let hist = Arc::new(LiveHistogram::new());
+    let half = samples.len() / 2;
+    let writers: Vec<_> = [(0usize, 0usize, half), (1, half, samples.len())]
+        .into_iter()
+        .map(|(stripe, lo, hi)| {
+            let hist = Arc::clone(&hist);
+            let chunk = samples.get(lo..hi).unwrap_or(&[]).to_vec();
+            std::thread::spawn(move || {
+                for (i, &us) in chunk.iter().enumerate() {
+                    hist.record_us_in(stripe * 3 + i, us);
+                }
+            })
+        })
+        .collect();
+
+    let mut windows = LatencyHistogram::new();
+    let mut windows_ok = true;
+    for _ in 0..rotations {
+        let w = hist.rotate();
+        windows_ok &= internally_consistent(&w);
+        windows.merge(&w);
+        report.reads_taken += 1;
+    }
+    for h in writers {
+        if h.join().is_err() {
+            return false;
+        }
+    }
+    windows.merge(&hist.snapshot());
+    report.samples_recorded += samples.len() as u64;
+
+    let expected_ns: u64 = samples.iter().map(|us| us * 1_000).sum();
+    windows_ok
+        && windows.count == samples.len() as u64
+        && windows.sum_ns == expected_ns
+        && internally_consistent(&windows)
+}
+
+/// Writers race a snapshotting reader; every torn read must still be
+/// internally consistent and monotonic.
+fn torn_snapshot(rng: &mut TestRng, report: &mut MetricsCorpusReport) -> bool {
+    let samples = workload(rng);
+    let hist = Arc::new(LiveHistogram::new());
+    let counter = Arc::new(LiveCounter::new());
+    let half = samples.len() / 2;
+    let writers: Vec<_> = [(0usize, 0usize, half), (1, half, samples.len())]
+        .into_iter()
+        .map(|(stripe, lo, hi)| {
+            let hist = Arc::clone(&hist);
+            let counter = Arc::clone(&counter);
+            let chunk = samples.get(lo..hi).unwrap_or(&[]).to_vec();
+            std::thread::spawn(move || {
+                for &us in &chunk {
+                    hist.record_us(us);
+                    counter.add_in(stripe, 1);
+                }
+            })
+        })
+        .collect();
+
+    let mut torn_ok = true;
+    let mut last_count = 0u64;
+    let mut last_sum = 0u64;
+    for _ in 0..24 {
+        let snap = hist.snapshot();
+        torn_ok &= internally_consistent(&snap);
+        torn_ok &= snap.count >= last_count && snap.sum_ns >= last_sum;
+        torn_ok &= counter.value() <= samples.len() as u64;
+        last_count = snap.count;
+        last_sum = snap.sum_ns;
+        report.reads_taken += 1;
+    }
+    for h in writers {
+        if h.join().is_err() {
+            return false;
+        }
+    }
+    report.samples_recorded += samples.len() as u64;
+
+    let fin = hist.snapshot();
+    torn_ok
+        && fin.count == samples.len() as u64
+        && counter.value() == samples.len() as u64
+        && internally_consistent(&fin)
+}
+
+/// An SLO tracker fed skewed clock readings: stale `now`s and forward
+/// jumps. Nothing may panic, totals may never exceed the feed, and the
+/// tracker must be deterministic per seed.
+fn slo_clock_skew(rng: &mut TestRng, report: &mut MetricsCorpusReport) -> bool {
+    let window = rng.range_u32(1_000, 1_000_000);
+    let cfg = SloConfig {
+        target_delivery_us: u64::from(rng.range_u32(100, 20_000)),
+        budget_fraction: 0.01,
+        window_micros: u64::from(window),
+        min_events: u64::from(rng.range_u32(1, 32)),
+    };
+    // One seeded schedule, replayed against two trackers: skew must not
+    // introduce nondeterminism.
+    let events: Vec<(u64, u64, bool)> = {
+        let clock = ManualClock::new();
+        let n = rng.range_usize(1, 200);
+        (0..n)
+            .map(|_| {
+                clock.advance(u64::from(rng.range_u32(0, window / 4 + 1)));
+                let now = clock.now_micros();
+                let skewed = match rng.range_u32(0, 9) {
+                    // Stale read: time appears to run backward.
+                    0..=2 => now.saturating_sub(u64::from(rng.range_u32(0, 1 << 20))),
+                    // Forward jump past the whole window.
+                    3 => now.saturating_add(cfg.window_micros.saturating_mul(2)),
+                    _ => now,
+                };
+                let latency = u64::from(rng.range_u32(0, 40_000));
+                (skewed, latency, rng.range_u32(0, 4) == 0)
+            })
+            .collect()
+    };
+
+    let run = |tracker: &SloTracker| -> (u64, u64, f64, bool) {
+        for &(now, latency, drop) in &events {
+            if drop {
+                tracker.record_drop(now);
+            } else {
+                tracker.record_delivery(now, latency);
+            }
+        }
+        let last = events.last().map(|&(now, _, _)| now).unwrap_or(0);
+        let (good, bad) = tracker.window_totals(last);
+        (good, bad, tracker.burn_rate(last), tracker.breached(last))
+    };
+    let (good_a, bad_a, burn_a, breached_a) = run(&SloTracker::new(cfg));
+    let (good_b, bad_b, burn_b, breached_b) = run(&SloTracker::new(cfg));
+    report.samples_recorded += events.len() as u64;
+    report.reads_taken += 2;
+
+    let total = good_a + bad_a;
+    total <= events.len() as u64
+        && burn_a.is_finite()
+        && burn_a >= 0.0
+        && (!breached_a || total >= cfg.min_events.max(1))
+        && (good_a, bad_a, breached_a) == (good_b, bad_b, breached_b)
+        && burn_a == burn_b
+}
+
+/// Runs one live-telemetry adversary case; returns `true` when every
+/// invariant held.
+fn run_metrics_case(seed: u64, kind: MetricsFaultKind, report: &mut MetricsCorpusReport) -> bool {
+    let mut rng = TestRng::new(seed ^ 0x4d45_5452); // "METR" domain split
+    match kind {
+        MetricsFaultKind::ScrapeDuringRotation => scrape_during_rotation(&mut rng, report),
+        MetricsFaultKind::TornSnapshot => torn_snapshot(&mut rng, report),
+        MetricsFaultKind::SloClockSkew => slo_clock_skew(&mut rng, report),
+    }
+}
+
+/// Runs the fixed live-telemetry adversary corpus: `n_cases` seeds,
+/// each exercising every [`MetricsFaultKind`].
+pub fn run_metrics_corpus(base_seed: u64, n_cases: u64) -> MetricsCorpusReport {
+    let mut report = MetricsCorpusReport {
+        cases: 0,
+        samples_recorded: 0,
+        reads_taken: 0,
+        violations: 0,
+        failing_seeds: Vec::new(),
+    };
+    for i in 0..n_cases {
+        let seed = base_seed.wrapping_add(i);
+        for kind in ALL_METRICS_FAULTS {
+            report.cases += 1;
+            if !run_metrics_case(seed, kind, &mut report) {
+                report.violations += 1;
+                if report.failing_seeds.len() < 32 {
+                    report.failing_seeds.push(seed);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_has_a_stable_unique_name() {
+        let mut names: Vec<_> = ALL_METRICS_FAULTS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_METRICS_FAULTS.len());
+    }
+
+    #[test]
+    fn small_corpus_passes_clean() {
+        let report = run_metrics_corpus(0x5252_2021, 40);
+        assert_eq!(report.cases, 40 * ALL_METRICS_FAULTS.len() as u64);
+        assert!(report.passed(), "failing seeds: {:?}", report.failing_seeds);
+        assert!(report.samples_recorded > 0);
+        assert!(report.reads_taken > 0);
+    }
+
+    #[test]
+    fn clock_skew_case_is_deterministic_per_seed() {
+        let mut a = MetricsCorpusReport {
+            cases: 0,
+            samples_recorded: 0,
+            reads_taken: 0,
+            violations: 0,
+            failing_seeds: Vec::new(),
+        };
+        let mut b = a.clone();
+        assert_eq!(
+            run_metrics_case(7, MetricsFaultKind::SloClockSkew, &mut a),
+            run_metrics_case(7, MetricsFaultKind::SloClockSkew, &mut b),
+        );
+        assert_eq!(a.samples_recorded, b.samples_recorded);
+    }
+}

@@ -14,7 +14,7 @@ fn args_of(e: &TraceEvent) -> Value {
     if e.kind == EventKind::Counter {
         entries.push(("value".to_string(), Value::F64(e.value)));
     }
-    let Provenance { frame_idx, label_id, stride, skip } = e.provenance;
+    let Provenance { frame_idx, label_id, stride, skip, ctx } = e.provenance;
     if let Some(f) = frame_idx {
         entries.push(("frame_idx".to_string(), Value::U64(f)));
     }
@@ -27,6 +27,31 @@ fn args_of(e: &TraceEvent) -> Value {
     if let Some(s) = skip {
         entries.push(("skip".to_string(), Value::U64(u64::from(s))));
     }
+    if let Some(c) = ctx {
+        entries.push(("tenant".to_string(), Value::U64(u64::from(c.tenant))));
+        entries.push(("camera".to_string(), Value::U64(c.camera)));
+        entries.push(("session".to_string(), Value::U64(c.session)));
+        entries.push(("frame_seq".to_string(), Value::U64(c.frame_seq)));
+        entries.push(("ingest_micros".to_string(), Value::U64(c.ingest_micros)));
+    }
+    Value::Map(entries)
+}
+
+/// A Perfetto metadata (`ph: "M"`) event naming a process or thread
+/// track.
+fn metadata_event(name: &str, tid: Option<u64>, label: &str) -> Value {
+    let mut entries: Vec<(String, Value)> = vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::U64(1)),
+    ];
+    if let Some(tid) = tid {
+        entries.push(("tid".to_string(), Value::U64(tid)));
+    }
+    entries.push((
+        "args".to_string(),
+        Value::Map(vec![("name".to_string(), Value::Str(label.to_string()))]),
+    ));
     Value::Map(entries)
 }
 
@@ -61,12 +86,50 @@ fn event_value(e: &TraceEvent) -> Value {
 
 /// Builds the Chrome trace-event JSON document (the
 /// `{"traceEvents": [...]}` object form) for a set of drained events.
+///
+/// [`crate::thread_label`] markers in the event stream are converted to
+/// Perfetto `thread_name` metadata, so stage workers show up as named
+/// tracks. For explicit track names (e.g. `tenant/camera` labels from
+/// the serve flight recorder) use [`chrome_trace_value_named`].
 pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
+    chrome_trace_value_named(events, &[], "")
+}
+
+/// [`chrome_trace_value`] with explicit track names: `thread_names`
+/// maps tids to track labels (merged with any [`crate::thread_label`]
+/// markers found in the stream; explicit names win), and a non-empty
+/// `process_name` names the pid-1 process track.
+pub fn chrome_trace_value_named(
+    events: &[TraceEvent],
+    thread_names: &[(u64, String)],
+    process_name: &str,
+) -> Value {
+    // Harvest thread labels the workers self-reported, newest wins,
+    // then overlay the caller's explicit names.
+    let mut names: Vec<(u64, String)> = Vec::new();
+    let mut upsert = |tid: u64, label: String| match names.iter_mut().find(|(t, _)| *t == tid) {
+        Some(entry) => entry.1 = label,
+        None => names.push((tid, label)),
+    };
+    for e in events {
+        if e.name == crate::names::THREAD_LABEL {
+            upsert(e.tid, e.cat.to_string());
+        }
+    }
+    for (tid, label) in thread_names {
+        upsert(*tid, label.clone());
+    }
+
+    let mut out: Vec<Value> = Vec::new();
+    if !process_name.is_empty() {
+        out.push(metadata_event("process_name", None, process_name));
+    }
+    for (tid, label) in &names {
+        out.push(metadata_event("thread_name", Some(*tid), label));
+    }
+    out.extend(events.iter().filter(|e| e.name != crate::names::THREAD_LABEL).map(event_value));
     Value::Map(vec![
-        (
-            "traceEvents".to_string(),
-            Value::Seq(events.iter().map(event_value).collect()),
-        ),
+        ("traceEvents".to_string(), Value::Seq(out)),
         ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
     ])
 }
@@ -74,6 +137,16 @@ pub fn chrome_trace_value(events: &[TraceEvent]) -> Value {
 /// [`chrome_trace_value`] rendered as a JSON string.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     serde_json::to_string(&chrome_trace_value(events)).expect("chrome trace serializes")
+}
+
+/// [`chrome_trace_value_named`] rendered as a JSON string.
+pub fn chrome_trace_json_named(
+    events: &[TraceEvent],
+    thread_names: &[(u64, String)],
+    process_name: &str,
+) -> String {
+    serde_json::to_string(&chrome_trace_value_named(events, thread_names, process_name))
+        .expect("chrome trace serializes")
 }
 
 #[cfg(test)]
@@ -107,6 +180,7 @@ mod tests {
                 label_id: Some(1),
                 stride: Some(2),
                 skip: Some(3),
+                ..Default::default()
             },
         }
     }
@@ -128,6 +202,59 @@ mod tests {
         assert_eq!(entries[0].0, "traceEvents");
         let Value::Seq(events) = &entries[0].1 else { panic!("array expected") };
         assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn thread_labels_become_perfetto_metadata() {
+        let label = TraceEvent {
+            name: crate::names::THREAD_LABEL,
+            cat: "stage.task",
+            kind: EventKind::Instant,
+            tid: 7,
+            ts_ns: 0,
+            dur_ns: 0,
+            value: 0.0,
+            provenance: Provenance::default(),
+        };
+        let json = chrome_trace_json(&[label, span_event()]);
+        assert!(json.contains("\"name\":\"thread_name\""), "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("{\"name\":\"stage.task\"}"), "{json}");
+        assert!(!json.contains(crate::names::THREAD_LABEL), "marker itself filtered out");
+    }
+
+    #[test]
+    fn explicit_names_and_process_label_are_emitted() {
+        let json = chrome_trace_json_named(
+            &[span_event()],
+            &[(3, "fleet-a/camera-9".to_string())],
+            "rpr-serve",
+        );
+        assert!(json.contains("\"name\":\"process_name\""), "{json}");
+        assert!(json.contains("{\"name\":\"rpr-serve\"}"), "{json}");
+        assert!(json.contains("\"tid\":3"), "{json}");
+        assert!(json.contains("{\"name\":\"fleet-a/camera-9\"}"), "{json}");
+        // Still loads as JSON with traceEvents first.
+        let back: Value = serde_json::from_str(&json).unwrap();
+        let Value::Map(entries) = back else { panic!("object expected") };
+        assert_eq!(entries[0].0, "traceEvents");
+    }
+
+    #[test]
+    fn ctx_provenance_lands_in_args() {
+        let mut e = span_event();
+        e.provenance.ctx = Some(crate::FrameCtx {
+            tenant: 2,
+            camera: 9,
+            session: 5,
+            frame_seq: 31,
+            ingest_micros: 400,
+        });
+        let json = chrome_trace_json(&[e]);
+        assert!(json.contains("\"tenant\":2"), "{json}");
+        assert!(json.contains("\"camera\":9"), "{json}");
+        assert!(json.contains("\"frame_seq\":31"), "{json}");
+        assert!(json.contains("\"ingest_micros\":400"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Trace-context propagation: the compact per-frame identity that rides
+//! with a frame from session ingest, across the tenant bridge, into the
+//! staged-executor stages — so one frame's end-to-end path
+//! (ingest → admit → deliver → decode → task) reconstructs as a single
+//! causal span chain in the exported trace.
+//!
+//! The context is all-numeric and `Copy` so it fits inside
+//! [`crate::Provenance`] (trace events are `Copy` structs with no
+//! allocation on the hot path); tenant *names* are interned by the live
+//! aggregator ([`crate::live::LiveMetrics`]), which hands out the dense
+//! `tenant` ids used here.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one frame on its way through the serving stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameCtx {
+    /// Dense tenant id interned by the live aggregator (registration
+    /// order; resolve back to a name via `LiveMetrics::tenant_name`).
+    pub tenant: u32,
+    /// Camera id the session announced in its HELLO.
+    pub camera: u64,
+    /// Serving-session id (unique per server instance).
+    pub session: u64,
+    /// 0-based frame sequence number within the session.
+    pub frame_seq: u64,
+    /// Server-clock timestamp (µs) at which the frame was admitted —
+    /// the anchor every downstream latency measures against.
+    pub ingest_micros: u64,
+}
+
+impl FrameCtx {
+    /// The same context re-anchored to a specific frame sequence
+    /// number — used by stages that carry a per-stream base context and
+    /// stamp each frame as it passes.
+    pub fn for_frame(mut self, frame_seq: u64) -> Self {
+        self.frame_seq = frame_seq;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_frame_rewrites_only_the_sequence() {
+        let base = FrameCtx { tenant: 2, camera: 7, session: 11, frame_seq: 0, ingest_micros: 99 };
+        let f = base.for_frame(41);
+        assert_eq!(f.frame_seq, 41);
+        assert_eq!(f.tenant, 2);
+        assert_eq!(f.camera, 7);
+        assert_eq!(f.session, 11);
+        assert_eq!(f.ingest_micros, 99);
+    }
+
+    #[test]
+    fn ctx_serializes_roundtrip() {
+        let c = FrameCtx { tenant: 1, camera: 2, session: 3, frame_seq: 4, ingest_micros: 5 };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FrameCtx = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

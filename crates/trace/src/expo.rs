@@ -1,0 +1,229 @@
+//! Prometheus text exposition: renders live aggregator snapshots (and
+//! SLO state) in the `text/plain; version=0.0.4` format a Prometheus
+//! scraper — or the serve protocol's `METRICS` request — returns.
+//!
+//! The output is deterministic for a given snapshot (insertion order,
+//! no timestamps beyond the explicit scrape-clock gauge), which is what
+//! lets the golden test and the CI consistency check pin it.
+
+use crate::live::TenantSnapshot;
+use crate::report::SloSection;
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn counter_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    rows: impl Iterator<Item = (String, u64)>,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (tenant, value) in rows {
+        let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {value}", escape_label(&tenant));
+    }
+}
+
+/// Renders the exposition document for a set of tenant snapshots and
+/// their SLO outcomes, stamped with the serving clock.
+pub fn render_prometheus(
+    tenants: &[TenantSnapshot],
+    slos: &[SloSection],
+    now_micros: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP rpr_scrape_clock_micros Serving-clock time of this scrape.");
+    let _ = writeln!(out, "# TYPE rpr_scrape_clock_micros gauge");
+    let _ = writeln!(out, "rpr_scrape_clock_micros {now_micros}");
+
+    counter_family(
+        &mut out,
+        "rpr_frames_accepted_total",
+        "Frames admitted past quotas.",
+        tenants.iter().map(|t| (t.tenant.clone(), t.frames_accepted)),
+    );
+    counter_family(
+        &mut out,
+        "rpr_frames_delivered_total",
+        "Frames routed to the tenant's pipelines.",
+        tenants.iter().map(|t| (t.tenant.clone(), t.frames_delivered)),
+    );
+    counter_family(
+        &mut out,
+        "rpr_frames_dropped_total",
+        "Frames dropped by quota veto or queue eviction.",
+        tenants.iter().map(|t| (t.tenant.clone(), t.frames_dropped)),
+    );
+    counter_family(
+        &mut out,
+        "rpr_bytes_ingested_total",
+        "Payload bytes billed against the byte quota.",
+        tenants.iter().map(|t| (t.tenant.clone(), t.bytes_ingested)),
+    );
+    counter_family(
+        &mut out,
+        "rpr_quota_throttles_total",
+        "Token-bucket throttle events.",
+        tenants.iter().map(|t| (t.tenant.clone(), t.quota_throttles)),
+    );
+
+    let _ = writeln!(out, "# HELP rpr_delivery_latency_us Delivery latency (admit to routed), µs.");
+    let _ = writeln!(out, "# TYPE rpr_delivery_latency_us summary");
+    for t in tenants {
+        let tenant = escape_label(&t.tenant);
+        let h = &t.delivery_us;
+        for (q, v) in
+            [("0.5", h.p50_us()), ("0.9", h.p90_us()), ("0.99", h.p99_us())]
+        {
+            let _ = writeln!(
+                out,
+                "rpr_delivery_latency_us{{tenant=\"{tenant}\",quantile=\"{q}\"}} {v}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "rpr_delivery_latency_us_sum{{tenant=\"{tenant}\"}} {}",
+            h.sum_ns as f64 / 1e3
+        );
+        let _ = writeln!(out, "rpr_delivery_latency_us_count{{tenant=\"{tenant}\"}} {}", h.count);
+    }
+
+    if !slos.is_empty() {
+        let _ = writeln!(out, "# HELP rpr_slo_burn_rate Windowed bad fraction over error budget.");
+        let _ = writeln!(out, "# TYPE rpr_slo_burn_rate gauge");
+        for s in slos {
+            let _ = writeln!(
+                out,
+                "rpr_slo_burn_rate{{tenant=\"{}\"}} {}",
+                escape_label(&s.tenant),
+                s.burn_rate
+            );
+        }
+        let _ = writeln!(out, "# HELP rpr_slo_breaches_total Breach episodes over the run.");
+        let _ = writeln!(out, "# TYPE rpr_slo_breaches_total counter");
+        for s in slos {
+            let _ = writeln!(
+                out,
+                "rpr_slo_breaches_total{{tenant=\"{}\"}} {}",
+                escape_label(&s.tenant),
+                s.breaches
+            );
+        }
+        let _ = writeln!(out, "# HELP rpr_flight_dumps_total Flight-recorder dumps triggered.");
+        let _ = writeln!(out, "# TYPE rpr_flight_dumps_total counter");
+        for s in slos {
+            let _ = writeln!(
+                out,
+                "rpr_flight_dumps_total{{tenant=\"{}\"}} {}",
+                escape_label(&s.tenant),
+                s.flight_dumps
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use std::time::Duration;
+
+    fn snap(name: &str) -> TenantSnapshot {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(75));
+        TenantSnapshot {
+            tenant: name.to_string(),
+            frames_accepted: 12,
+            frames_delivered: 10,
+            frames_dropped: 2,
+            bytes_ingested: 4_096,
+            quota_throttles: 1,
+            delivery_us: h,
+        }
+    }
+
+    #[test]
+    fn golden_exposition_format() {
+        let slos = vec![SloSection {
+            tenant: "fleet-a".into(),
+            target_delivery_us: 5_000,
+            budget_fraction: 0.01,
+            window_micros: 1_000_000,
+            good_events: 10,
+            bad_events: 2,
+            burn_rate: 2.5,
+            breaches: 1,
+            flight_dumps: 1,
+        }];
+        let text = render_prometheus(&[snap("fleet-a")], &slos, 123_456);
+        let expected = "\
+# HELP rpr_scrape_clock_micros Serving-clock time of this scrape.
+# TYPE rpr_scrape_clock_micros gauge
+rpr_scrape_clock_micros 123456
+# HELP rpr_frames_accepted_total Frames admitted past quotas.
+# TYPE rpr_frames_accepted_total counter
+rpr_frames_accepted_total{tenant=\"fleet-a\"} 12
+# HELP rpr_frames_delivered_total Frames routed to the tenant's pipelines.
+# TYPE rpr_frames_delivered_total counter
+rpr_frames_delivered_total{tenant=\"fleet-a\"} 10
+# HELP rpr_frames_dropped_total Frames dropped by quota veto or queue eviction.
+# TYPE rpr_frames_dropped_total counter
+rpr_frames_dropped_total{tenant=\"fleet-a\"} 2
+# HELP rpr_bytes_ingested_total Payload bytes billed against the byte quota.
+# TYPE rpr_bytes_ingested_total counter
+rpr_bytes_ingested_total{tenant=\"fleet-a\"} 4096
+# HELP rpr_quota_throttles_total Token-bucket throttle events.
+# TYPE rpr_quota_throttles_total counter
+rpr_quota_throttles_total{tenant=\"fleet-a\"} 1
+# HELP rpr_delivery_latency_us Delivery latency (admit to routed), µs.
+# TYPE rpr_delivery_latency_us summary
+rpr_delivery_latency_us{tenant=\"fleet-a\",quantile=\"0.5\"} 75
+rpr_delivery_latency_us{tenant=\"fleet-a\",quantile=\"0.9\"} 75
+rpr_delivery_latency_us{tenant=\"fleet-a\",quantile=\"0.99\"} 75
+rpr_delivery_latency_us_sum{tenant=\"fleet-a\"} 75
+rpr_delivery_latency_us_count{tenant=\"fleet-a\"} 1
+# HELP rpr_slo_burn_rate Windowed bad fraction over error budget.
+# TYPE rpr_slo_burn_rate gauge
+rpr_slo_burn_rate{tenant=\"fleet-a\"} 2.5
+# HELP rpr_slo_breaches_total Breach episodes over the run.
+# TYPE rpr_slo_breaches_total counter
+rpr_slo_breaches_total{tenant=\"fleet-a\"} 1
+# HELP rpr_flight_dumps_total Flight-recorder dumps triggered.
+# TYPE rpr_flight_dumps_total counter
+rpr_flight_dumps_total{tenant=\"fleet-a\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn multiple_tenants_keep_registration_order() {
+        let text = render_prometheus(&[snap("b-fleet"), snap("a-fleet")], &[], 0);
+        let b = text.find("rpr_frames_accepted_total{tenant=\"b-fleet\"}").unwrap();
+        let a = text.find("rpr_frames_accepted_total{tenant=\"a-fleet\"}").unwrap();
+        assert!(b < a, "rows follow snapshot order, not lexical order");
+        assert!(!text.contains("rpr_slo_burn_rate"), "no SLO families without SLOs");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut s = snap("we\"ird\\name");
+        s.tenant = "we\"ird\\name\n".into();
+        let text = render_prometheus(&[s], &[], 0);
+        assert!(text.contains("tenant=\"we\\\"ird\\\\name\\n\""), "{text}");
+    }
+}

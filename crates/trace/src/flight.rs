@@ -1,0 +1,120 @@
+//! The flight recorder: a bounded ring of recent trace events that is
+//! always on (cheap enough to run in production) and dumped as a
+//! Chrome/Perfetto trace when something goes wrong — an SLO breach or a
+//! session-fault storm — so the anomaly arrives with a retroactive
+//! trace attached instead of a request to "please reproduce with
+//! tracing enabled".
+//!
+//! Events are striped into per-thread shards by `tid` (each writer
+//! thread locks only its own stripe) and each stripe is a fixed-size
+//! ring: recording never allocates past the cap and never blocks on
+//! other writers. [`FlightRecorder::dump`] drains the rings, merges and
+//! time-sorts the events, so one anomaly produces one dump and the
+//! ring starts refilling for the next.
+
+use crate::sink::TraceEvent;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Shard count: matches the live aggregator's stripe width.
+const FLIGHT_SHARDS: usize = 8;
+
+/// A bounded multi-writer ring of recent [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Box<[Mutex<VecDeque<TraceEvent>>]>,
+    cap_per_shard: usize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events overall
+    /// (rounded up to a multiple of the shard count).
+    pub fn new(capacity: usize) -> Self {
+        let cap_per_shard = capacity.div_ceil(FLIGHT_SHARDS).max(1);
+        FlightRecorder {
+            shards: (0..FLIGHT_SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cap_per_shard,
+        }
+    }
+
+    /// Records one event, evicting the shard's oldest when full.
+    pub fn record(&self, event: TraceEvent) {
+        let idx = usize::try_from(event.tid).unwrap_or(0) % self.shards.len();
+        let mut ring = self.shards[idx].lock().expect("flight shard poisoned");
+        if ring.len() >= self.cap_per_shard {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Events currently buffered across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("flight shard poisoned").len()).sum()
+    }
+
+    /// Whether the recorder holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains every shard and returns the merged, time-sorted events.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in self.shards.iter() {
+            all.extend(std::mem::take(&mut *shard.lock().expect("flight shard poisoned")));
+        }
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{EventKind, Provenance};
+
+    fn ev(tid: u64, ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: "serve.deliver",
+            cat: "serve",
+            kind: EventKind::Span,
+            tid,
+            ts_ns,
+            dur_ns: 10,
+            value: 0.0,
+            provenance: Provenance::default(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let fr = FlightRecorder::new(FLIGHT_SHARDS * 4);
+        // Everything lands on tid 0's shard: capacity 4 there.
+        for ts in 0..100 {
+            fr.record(ev(0, ts));
+        }
+        assert_eq!(fr.len(), 4);
+        let dump = fr.dump();
+        let ts: Vec<u64> = dump.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![96, 97, 98, 99], "oldest evicted first");
+    }
+
+    #[test]
+    fn dump_merges_shards_sorted_and_drains() {
+        let fr = FlightRecorder::new(64);
+        fr.record(ev(1, 30));
+        fr.record(ev(2, 10));
+        fr.record(ev(3, 20));
+        let dump = fr.dump();
+        assert_eq!(dump.iter().map(|e| e.ts_ns).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert!(fr.is_empty(), "dump drains the rings");
+    }
+
+    #[test]
+    fn zero_capacity_still_holds_one_per_shard() {
+        let fr = FlightRecorder::new(0);
+        fr.record(ev(0, 1));
+        fr.record(ev(0, 2));
+        assert_eq!(fr.dump().len(), 1);
+    }
+}

@@ -39,22 +39,36 @@
 #![deny(missing_docs)]
 
 mod chrome;
+mod ctx;
+mod expo;
+mod flight;
 pub mod gate;
+mod hist;
+pub mod live;
 mod registry;
 mod report;
 mod sink;
+pub mod slo;
 
-pub use chrome::{chrome_trace_json, chrome_trace_value};
+pub use chrome::{
+    chrome_trace_json, chrome_trace_json_named, chrome_trace_value, chrome_trace_value_named,
+};
+pub use ctx::FrameCtx;
+pub use expo::render_prometheus;
+pub use flight::FlightRecorder;
+pub use hist::{LatencyHistogram, LATENCY_BUCKETS_US};
+pub use live::{LiveCounter, LiveHistogram, LiveMetrics, TenantLive, TenantSnapshot};
 pub use registry::MetricsRegistry;
 pub use report::{
     diff_reports, DiffThresholds, EnergySection, HwSection, LabelAttribution, MemorySection,
-    MetricDelta, PredictionSection, RegionSection, ReportDiff, RunReport, StageSection,
+    MetricDelta, PredictionSection, RegionSection, ReportDiff, RunReport, SloSection, StageSection,
     StreamSection, TenantSection, REPORT_SCHEMA_VERSION,
 };
 pub use sink::{
-    counter, counter_for_frame, counter_for_region, disable, drain, enable, instant, is_enabled,
-    span, EventKind, Provenance, Span, TraceEvent,
+    counter, counter_for_ctx, counter_for_frame, counter_for_region, disable, drain, enable,
+    instant, is_enabled, span, thread_label, EventKind, Provenance, Span, TraceEvent,
 };
+pub use slo::{SloConfig, SloTracker};
 
 /// Canonical event names emitted by the instrumented crates, shared
 /// between the emission sites and [`MetricsRegistry`] ingestion.
@@ -94,4 +108,20 @@ pub mod names {
     /// Mean IoU of predicted regions against ground-truth object tracks
     /// on one frame (`rpr-workloads` tracking runner), counter.
     pub const PREDICT_REGION_IOU: &str = "predict.region_iou";
+    /// Thread-label marker emitted by [`crate::thread_label`]; the
+    /// Chrome exporter turns it into `thread_name` metadata.
+    pub const THREAD_LABEL: &str = "meta.thread_label";
+    /// One session's bytes→frames ingest poll (`rpr-serve`), span.
+    pub const SERVE_INGEST: &str = "serve.ingest";
+    /// One frame's admission decision (`rpr-serve`), instant/counter.
+    pub const SERVE_ADMIT: &str = "serve.admit";
+    /// One frame's path from admission to its tenant delivery queue
+    /// (`rpr-serve`), span.
+    pub const SERVE_DELIVER: &str = "serve.deliver";
+    /// One frame routed by the tenant bridge into its per-camera
+    /// pipeline (`rpr-serve`), span whose duration is admit→routed.
+    pub const SERVE_ROUTE: &str = "serve.route";
+    /// End-to-end delivery latency sample in µs (`rpr-serve`), counter
+    /// with frame ctx.
+    pub const SERVE_E2E_US: &str = "serve.e2e_us";
 }

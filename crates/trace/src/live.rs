@@ -1,0 +1,420 @@
+//! The live metrics plane: sharded counters and histograms whose
+//! consistent snapshots can be read *while* the serve event loop (and
+//! its bridge/stage worker threads) keep writing.
+//!
+//! [`crate::MetricsRegistry`] builds a [`crate::RunReport`] after a run
+//! finishes; this module is its during-the-run counterpart. Writers pay
+//! one `Relaxed` fetch-add per counter bump (striped across shards to
+//! keep cache lines from ping-ponging) or one uncontended mutex lock
+//! per histogram sample; readers fold the shards into a merged
+//! [`LatencyHistogram`] snapshot. Each shard is internally consistent
+//! under its lock, so a snapshot always satisfies
+//! `count == sum(buckets)` even with writers mid-flight — the property
+//! the proptest and loom suites pin.
+//!
+//! Atomic orderings are `Relaxed` only (pinned by rpr-check's
+//! `atomic-ordering` lint for this file): counter shards publish no
+//! other memory, and cross-shard skew of a few in-flight increments is
+//! inherent to live scraping anyway.
+
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{AtomicU64, Ordering},
+    Mutex,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{AtomicU64, AtomicUsize, Ordering},
+    Mutex,
+};
+
+use crate::hist::LatencyHistogram;
+use crate::slo::{SloConfig, SloTracker};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Shard count for live counters and histograms. Eight is plenty for
+/// the writer populations we run (event loop + bridge + stage workers)
+/// while keeping snapshot folds cheap.
+pub const LIVE_SHARDS: usize = 8;
+
+/// Picks the calling thread's shard stripe: a dense per-thread index
+/// assigned on first use, so each steady writer thread lands on its own
+/// shard (modulo [`LIVE_SHARDS`]).
+#[cfg(not(loom))]
+fn shard_hint() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: std::cell::OnceCell<usize> = const { std::cell::OnceCell::new() };
+    }
+    STRIPE.with(|cell| *cell.get_or_init(|| NEXT.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Under loom every access is perturbation-scheduled anyway; models
+/// exercise cross-shard behaviour through the explicit `*_in` APIs.
+#[cfg(loom)]
+fn shard_hint() -> usize {
+    0
+}
+
+/// A monotonically increasing counter striped over [`LIVE_SHARDS`]
+/// relaxed atomics.
+#[derive(Debug)]
+pub struct LiveCounter {
+    shards: Box<[AtomicU64]>,
+}
+
+impl LiveCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        LiveCounter { shards: (0..LIVE_SHARDS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Adds `value` on the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, value: u64) {
+        self.add_in(shard_hint(), value);
+    }
+
+    /// Adds `value` on an explicit shard (tests and loom models).
+    #[inline]
+    pub fn add_in(&self, shard: usize, value: u64) {
+        self.shards[shard % self.shards.len()].fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards. Monotonic between calls: every
+    /// shard only ever grows, so a later read can never be smaller.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Default for LiveCounter {
+    fn default() -> Self {
+        LiveCounter::new()
+    }
+}
+
+/// A latency histogram striped over [`LIVE_SHARDS`] mutex-guarded
+/// [`LatencyHistogram`] shards. Writers lock only their own stripe;
+/// [`snapshot`](LiveHistogram::snapshot) folds the shards with
+/// [`LatencyHistogram::merge`].
+#[derive(Debug)]
+pub struct LiveHistogram {
+    shards: Box<[Mutex<LatencyHistogram>]>,
+}
+
+impl LiveHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LiveHistogram {
+            shards: (0..LIVE_SHARDS).map(|_| Mutex::new(LatencyHistogram::new())).collect(),
+        }
+    }
+
+    /// Records a sample (µs) on the calling thread's stripe.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.record_us_in(shard_hint(), us);
+    }
+
+    /// Records a sample (µs) on an explicit shard (tests and loom
+    /// models).
+    pub fn record_us_in(&self, shard: usize, us: u64) {
+        let idx = shard % self.shards.len();
+        self.shards[idx].lock().expect("live histogram shard poisoned").record_us(us);
+    }
+
+    /// A consistent merged snapshot, readable while writers run. Each
+    /// shard is folded under its own lock, so the result always has
+    /// `count == sum(buckets)`; totals are monotonic between snapshots.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in self.shards.iter() {
+            merged.merge(&shard.lock().expect("live histogram shard poisoned"));
+        }
+        merged
+    }
+
+    /// Rotates the histogram: drains every shard and returns the merged
+    /// contents, leaving the histogram empty. Used by windowed
+    /// consumers; samples are never lost or double-counted — each lands
+    /// in exactly one rotation (or the final snapshot), the
+    /// conservation law the loom model checks.
+    pub fn rotate(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in self.shards.iter() {
+            let taken = std::mem::take(&mut *shard.lock().expect("live histogram shard poisoned"));
+            merged.merge(&taken);
+        }
+        merged
+    }
+}
+
+impl Default for LiveHistogram {
+    fn default() -> Self {
+        LiveHistogram::new()
+    }
+}
+
+/// Live per-tenant metrics: the during-the-run mirror of
+/// [`crate::TenantSection`], plus the delivery-latency histogram and
+/// the tenant's SLO tracker.
+#[derive(Debug)]
+pub struct TenantLive {
+    /// Dense tenant id (registration order) — the value carried in
+    /// [`crate::FrameCtx::tenant`].
+    pub id: u32,
+    /// Tenant name.
+    pub name: String,
+    /// Frames admitted past quotas.
+    pub frames_accepted: LiveCounter,
+    /// Frames that reached the tenant's delivery queue (and, once the
+    /// consumer records delivery latency, its pipelines).
+    pub frames_delivered: LiveCounter,
+    /// Frames dropped by quota veto or queue eviction.
+    pub frames_dropped: LiveCounter,
+    /// Payload bytes billed against the byte quota.
+    pub bytes_ingested: LiveCounter,
+    /// Quota throttle events.
+    pub quota_throttles: LiveCounter,
+    /// End-to-end delivery latency (admit → routed), microseconds.
+    pub delivery_us: LiveHistogram,
+    slo: Option<SloTracker>,
+}
+
+impl TenantLive {
+    fn new(id: u32, name: &str, slo: Option<SloConfig>) -> Self {
+        TenantLive {
+            id,
+            name: name.to_string(),
+            frames_accepted: LiveCounter::new(),
+            frames_delivered: LiveCounter::new(),
+            frames_dropped: LiveCounter::new(),
+            bytes_ingested: LiveCounter::new(),
+            quota_throttles: LiveCounter::new(),
+            delivery_us: LiveHistogram::new(),
+            slo: slo.map(SloTracker::new),
+        }
+    }
+
+    /// The tenant's SLO tracker, when one was configured.
+    pub fn slo(&self) -> Option<&SloTracker> {
+        self.slo.as_ref()
+    }
+
+    /// Records one routed delivery: feeds the latency histogram and the
+    /// SLO tracker (when configured).
+    pub fn record_delivery(&self, now_micros: u64, latency_us: u64) {
+        self.frames_delivered.add(1);
+        self.delivery_us.record_us(latency_us);
+        if let Some(slo) = &self.slo {
+            slo.record_delivery(now_micros, latency_us);
+        }
+    }
+
+    /// Records one dropped frame against the SLO error budget.
+    pub fn record_drop(&self, now_micros: u64) {
+        self.frames_dropped.add(1);
+        if let Some(slo) = &self.slo {
+            slo.record_drop(now_micros);
+        }
+    }
+
+    /// A consistent point-in-time view of this tenant.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: self.name.clone(),
+            frames_accepted: self.frames_accepted.value(),
+            frames_delivered: self.frames_delivered.value(),
+            frames_dropped: self.frames_dropped.value(),
+            bytes_ingested: self.bytes_ingested.value(),
+            quota_throttles: self.quota_throttles.value(),
+            delivery_us: self.delivery_us.snapshot(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of one tenant's live metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub tenant: String,
+    /// Frames admitted past quotas.
+    pub frames_accepted: u64,
+    /// Frames that reached the delivery queue.
+    pub frames_delivered: u64,
+    /// Frames dropped (quota veto or queue eviction).
+    pub frames_dropped: u64,
+    /// Payload bytes ingested.
+    pub bytes_ingested: u64,
+    /// Quota throttle events.
+    pub quota_throttles: u64,
+    /// Delivery-latency histogram at snapshot time.
+    pub delivery_us: LatencyHistogram,
+}
+
+/// The process-level live aggregator: interns tenant names into dense
+/// ids and hands out shared [`TenantLive`] handles that writer threads
+/// (event loop, bridge, stages, load generators) update concurrently.
+#[derive(Debug, Default)]
+pub struct LiveMetrics {
+    tenants: Mutex<Vec<Arc<TenantLive>>>,
+}
+
+impl LiveMetrics {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        LiveMetrics { tenants: Mutex::new(Vec::new()) }
+    }
+
+    /// Registers (or re-fetches) a tenant, optionally attaching an SLO.
+    /// Registration is idempotent by name; the first call wins and
+    /// fixes the tenant's dense id and SLO config.
+    pub fn register(&self, name: &str, slo: Option<SloConfig>) -> Arc<TenantLive> {
+        let mut tenants = self.tenants.lock().expect("live tenant registry poisoned");
+        if let Some(t) = tenants.iter().find(|t| t.name == name) {
+            return Arc::clone(t);
+        }
+        let id = u32::try_from(tenants.len()).unwrap_or(u32::MAX);
+        let t = Arc::new(TenantLive::new(id, name, slo));
+        tenants.push(Arc::clone(&t));
+        t
+    }
+
+    /// Looks a tenant up by its dense id.
+    pub fn get(&self, id: u32) -> Option<Arc<TenantLive>> {
+        let tenants = self.tenants.lock().expect("live tenant registry poisoned");
+        tenants.get(id as usize).map(Arc::clone)
+    }
+
+    /// Looks a tenant up by name.
+    pub fn get_by_name(&self, name: &str) -> Option<Arc<TenantLive>> {
+        let tenants = self.tenants.lock().expect("live tenant registry poisoned");
+        tenants.iter().find(|t| t.name == name).map(Arc::clone)
+    }
+
+    /// Resolves a dense tenant id back to its name.
+    pub fn tenant_name(&self, id: u32) -> Option<String> {
+        self.get(id).map(|t| t.name.clone())
+    }
+
+    /// Snapshots every registered tenant.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let tenants: Vec<Arc<TenantLive>> = {
+            let guard = self.tenants.lock().expect("live tenant registry poisoned");
+            guard.iter().map(Arc::clone).collect()
+        };
+        tenants.iter().map(|t| t.snapshot()).collect()
+    }
+
+    /// Shared handles to every registered tenant, in id order.
+    pub fn tenants(&self) -> Vec<Arc<TenantLive>> {
+        let guard = self.tenants.lock().expect("live tenant registry poisoned");
+        guard.iter().map(Arc::clone).collect()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_explicit_shards() {
+        let c = LiveCounter::new();
+        c.add_in(0, 5);
+        c.add_in(3, 7);
+        c.add_in(LIVE_SHARDS + 3, 1); // wraps onto shard 3
+        assert_eq!(c.value(), 13);
+        c.add(2);
+        assert_eq!(c.value(), 15);
+    }
+
+    #[test]
+    fn histogram_snapshot_merges_shards() {
+        let h = LiveHistogram::new();
+        h.record_us_in(0, 40);
+        h.record_us_in(1, 90);
+        h.record_us_in(2, 200_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert_eq!(snap.min_ns, 40_000);
+        assert_eq!(snap.max_ns, 200_000_000);
+        // Snapshot does not drain.
+        assert_eq!(h.snapshot().count, 3);
+    }
+
+    #[test]
+    fn histogram_rotate_drains_exactly_once() {
+        let h = LiveHistogram::new();
+        for i in 0..10 {
+            h.record_us_in(i % LIVE_SHARDS, 100 + i as u64);
+        }
+        let first = h.rotate();
+        assert_eq!(first.count, 10);
+        assert_eq!(h.rotate().count, 0, "second rotation finds nothing");
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_ids_are_dense() {
+        let live = LiveMetrics::new();
+        let a = live.register("fleet-a", None);
+        let b = live.register("fleet-b", None);
+        let a2 = live.register("fleet-a", None);
+        assert_eq!(a.id, 0);
+        assert_eq!(b.id, 1);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(live.tenant_name(1).as_deref(), Some("fleet-b"));
+        assert!(live.get(2).is_none());
+        assert_eq!(live.get_by_name("fleet-b").unwrap().id, 1);
+    }
+
+    #[test]
+    fn tenant_delivery_feeds_histogram_and_counters() {
+        let live = LiveMetrics::new();
+        let t = live.register("cam-fleet", None);
+        t.frames_accepted.add(2);
+        t.record_delivery(1_000, 150);
+        t.record_delivery(2_000, 350);
+        t.record_drop(3_000);
+        let snap = t.snapshot();
+        assert_eq!(snap.frames_accepted, 2);
+        assert_eq!(snap.frames_delivered, 2);
+        assert_eq!(snap.frames_dropped, 1);
+        assert_eq!(snap.delivery_us.count, 2);
+        assert!(snap.delivery_us.p99_us() >= 150.0);
+    }
+
+    #[test]
+    fn snapshots_are_monotonic_under_a_writer_thread() {
+        let live = Arc::new(LiveMetrics::new());
+        let t = live.register("hot", None);
+        let writer = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    t.frames_accepted.add(1);
+                    t.delivery_us.record_us(50 + i % 400);
+                }
+            })
+        };
+        let mut last_count = 0u64;
+        let mut last_accepted = 0u64;
+        for _ in 0..50 {
+            let snap = t.snapshot();
+            assert!(snap.frames_accepted >= last_accepted);
+            assert!(snap.delivery_us.count >= last_count);
+            assert_eq!(
+                snap.delivery_us.buckets.iter().sum::<u64>(),
+                snap.delivery_us.count,
+                "snapshot must be internally sum-consistent"
+            );
+            last_accepted = snap.frames_accepted;
+            last_count = snap.delivery_us.count;
+        }
+        writer.join().unwrap();
+        assert_eq!(t.snapshot().delivery_us.count, 2_000);
+    }
+}

@@ -160,6 +160,7 @@ mod tests {
                 label_id: Some(label),
                 stride: Some(stride),
                 skip: Some(skip),
+                ..Default::default()
             },
         }
     }

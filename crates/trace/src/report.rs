@@ -202,6 +202,31 @@ pub struct PredictionSection {
     pub hi_res_pixels: u64,
 }
 
+/// One tenant's service-level-objective outcome for a served run (from
+/// the live telemetry plane in `rpr-trace`/`rpr-serve`). One row per
+/// tenant that declared an SLO.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloSection {
+    /// Tenant the objective belongs to.
+    pub tenant: String,
+    /// Delivery-latency target in µs (slower deliveries are bad events).
+    pub target_delivery_us: u64,
+    /// Allowed fraction of bad events (late + dropped) per window.
+    pub budget_fraction: f64,
+    /// Sliding-window length in microseconds.
+    pub window_micros: u64,
+    /// Good events in the window at report time.
+    pub good_events: u64,
+    /// Bad events (late deliveries + drops) in the window at report time.
+    pub bad_events: u64,
+    /// Windowed burn rate: bad fraction ÷ budget (≥ 1.0 = violating).
+    pub burn_rate: f64,
+    /// Breach episodes observed over the run.
+    pub breaches: u64,
+    /// Flight-recorder dumps triggered for this tenant over the run.
+    pub flight_dumps: u64,
+}
+
 /// One run of one workload, fully described: the unified document the
 /// `rpr-report` CLI renders and diffs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -241,6 +266,9 @@ pub struct RunReport {
     /// Region-prediction quality (absent when the run scored none;
     /// reports written before this field existed parse as `None`).
     pub prediction: Option<PredictionSection>,
+    /// Per-tenant SLO outcomes (absent for runs without declared SLOs;
+    /// reports written before this field existed parse as `None`).
+    pub slos: Option<Vec<SloSection>>,
 }
 
 impl RunReport {
@@ -377,6 +405,21 @@ impl RunReport {
                     p.mean_region_iou, p.frames_scored, p.mean_inlier_fraction, p.hi_res_pixels
                 ),
             );
+        }
+        if let Some(slos) = &self.slos {
+            if !slos.is_empty() {
+                push(&mut out, "slos (target µs, budget, window µs, good/bad, burn):".to_string());
+                for s in slos {
+                    push(
+                        &mut out,
+                        format!(
+                            "  {}: target {} µs  budget {:.4}  window {} µs  {}/{} events  burn {:.3}  breaches {}  dumps {}",
+                            s.tenant, s.target_delivery_us, s.budget_fraction, s.window_micros,
+                            s.good_events, s.bad_events, s.burn_rate, s.breaches, s.flight_dumps
+                        ),
+                    );
+                }
+            }
         }
         out
     }
@@ -562,6 +605,26 @@ pub fn diff_reports(base: &RunReport, new: &RunReport, th: &DiffThresholds) -> R
             th.dram_pct,
             Worse::Up,
         ));
+    }
+    if let (Some(base_slos), Some(new_slos)) = (&base.slos, &new.slos) {
+        for bs in base_slos {
+            if let Some(ns) = new_slos.iter().find(|s| s.tenant == bs.tenant) {
+                deltas.push(delta(
+                    format!("slo.{}.burn_rate", bs.tenant),
+                    bs.burn_rate,
+                    ns.burn_rate,
+                    th.accuracy_pct,
+                    Worse::Up,
+                ));
+                deltas.push(delta(
+                    format!("slo.{}.breaches", bs.tenant),
+                    bs.breaches as f64,
+                    ns.breaches as f64,
+                    th.accuracy_pct,
+                    Worse::Up,
+                ));
+            }
+        }
     }
     if th.check_latency {
         for (bs, ns) in base.streams.iter().zip(new.streams.iter()) {
@@ -786,6 +849,62 @@ mod tests {
             .deltas
             .iter()
             .all(|d| !d.name.starts_with("prediction.")));
+    }
+
+    fn slo_row(tenant: &str, burn: f64, breaches: u64) -> SloSection {
+        SloSection {
+            tenant: tenant.to_string(),
+            target_delivery_us: 5_000,
+            budget_fraction: 0.01,
+            window_micros: 1_000_000,
+            good_events: 990,
+            bad_events: 10,
+            burn_rate: burn,
+            breaches,
+            flight_dumps: breaches.min(1),
+        }
+    }
+
+    #[test]
+    fn slo_section_roundtrips_and_old_reports_still_parse() {
+        let mut report = sample_report();
+        report.slos = Some(vec![slo_row("acme", 0.5, 0)]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        let text = report.render_text();
+        assert!(text.contains("slos ("), "{text}");
+        assert!(text.contains("acme: target 5000 µs"), "{text}");
+
+        // A pre-SLO report (no `slos` key) still parses with the
+        // section absent.
+        let old = serde_json::to_string(&sample_report())
+            .unwrap()
+            .replace("\"slos\":null", "\"unknown_future_field\":null");
+        assert!(!old.contains("\"slos\""), "{old}");
+        let parsed: RunReport = serde_json::from_str(&old).unwrap();
+        assert_eq!(parsed.slos, None);
+    }
+
+    #[test]
+    fn slo_burn_rate_growth_regresses() {
+        let mut base = sample_report();
+        base.slos = Some(vec![slo_row("acme", 0.0, 0)]);
+        // An injected breach against a zero-burn baseline must trip the
+        // gate (pct_change reports 100% growth from a 0 baseline).
+        let mut breached = base.clone();
+        breached.slos = Some(vec![slo_row("acme", 3.0, 1)]);
+        let diff = diff_reports(&base, &breached, &DiffThresholds::default());
+        assert!(diff.regressed(), "{}", diff.render_text());
+        let d = diff.deltas.iter().find(|d| d.name == "slo.acme.burn_rate").unwrap();
+        assert!(d.regressed);
+        assert_eq!(d.pct_change, 100.0);
+        // Identical SLO outcomes do not regress.
+        assert!(!diff_reports(&base, &base.clone(), &DiffThresholds::default()).regressed());
+        // A tenant only in the candidate is ignored.
+        let mut extra = base.clone();
+        extra.slos.as_mut().unwrap().push(slo_row("newcomer", 9.0, 4));
+        assert!(!diff_reports(&base, &extra, &DiffThresholds::default()).regressed());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   recording (the collector locks it once at [`drain`] time), so the
 //!   fast path is an uncontended lock + vector push.
 
+use crate::ctx::FrameCtx;
 use crate::gate::{EnableGate, TidAssigner};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -41,6 +42,9 @@ pub struct Provenance {
     pub stride: Option<u32>,
     /// The label's temporal skip.
     pub skip: Option<u32>,
+    /// Serving-side frame identity (tenant/camera/session/frame_seq),
+    /// threaded from session ingest through the bridge into the stages.
+    pub ctx: Option<FrameCtx>,
 }
 
 /// One recorded trace event.
@@ -168,8 +172,42 @@ pub fn counter_for_region(
             label_id: Some(label_id),
             stride: Some(stride),
             skip: Some(skip),
+            ctx: None,
         },
     )
+}
+
+/// Records a counter sample attributed to a serving-side frame context.
+#[inline]
+pub fn counter_for_ctx(name: &'static str, cat: &'static str, ctx: FrameCtx, value: f64) {
+    counter_with(
+        name,
+        cat,
+        value,
+        Provenance { frame_idx: Some(ctx.frame_seq), ctx: Some(ctx), ..Default::default() },
+    );
+}
+
+/// Labels the calling thread for trace exports: emits one
+/// [`crate::names::THREAD_LABEL`] marker whose category is the label.
+/// The Chrome exporter turns it into a Perfetto `thread_name` metadata
+/// event, so stage workers show up as named tracks instead of bare
+/// thread ids. Cheap to call repeatedly; the exporter dedupes.
+#[inline]
+pub fn thread_label(label: &'static str) {
+    if !is_enabled() {
+        return;
+    }
+    record(TraceEvent {
+        name: crate::names::THREAD_LABEL,
+        cat: label,
+        kind: EventKind::Instant,
+        tid: with_local(|tid, _| tid),
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        value: 0.0,
+        provenance: Provenance::default(),
+    });
 }
 
 #[inline]
@@ -256,6 +294,17 @@ impl Span {
         }
         self
     }
+
+    /// Attributes the span to a serving-side frame context (and, via
+    /// `frame_seq`, to a frame index).
+    #[inline]
+    pub fn with_ctx(mut self, ctx: FrameCtx) -> Self {
+        if let Some(meta) = self.live.as_mut() {
+            meta.provenance.ctx = Some(ctx);
+            meta.provenance.frame_idx = Some(ctx.frame_seq);
+        }
+        self
+    }
 }
 
 impl Drop for Span {
@@ -338,6 +387,29 @@ mod tests {
         let px2 = events.iter().find(|e| e.name == "px2").unwrap();
         assert_eq!(px2.provenance.frame_idx, Some(5));
         assert_ne!(px.tid, px2.tid, "threads get distinct tids");
+    }
+
+    #[test]
+    fn ctx_rides_spans_and_counters() {
+        let _gate = serialized();
+        let _ = drain();
+        enable();
+        let ctx = FrameCtx { tenant: 3, camera: 9, session: 1, frame_seq: 12, ingest_micros: 77 };
+        {
+            let _s = span("deliver", "serve").with_ctx(ctx);
+        }
+        counter_for_ctx("serve.e2e_us", "serve", ctx, 140.0);
+        thread_label("stage.task");
+        disable();
+        let events = drain();
+        assert_eq!(events.len(), 3);
+        let s = events.iter().find(|e| e.name == "deliver").unwrap();
+        assert_eq!(s.provenance.ctx, Some(ctx));
+        assert_eq!(s.provenance.frame_idx, Some(12), "ctx also sets the frame index");
+        let c = events.iter().find(|e| e.name == "serve.e2e_us").unwrap();
+        assert_eq!(c.provenance.ctx.unwrap().camera, 9);
+        let label = events.iter().find(|e| e.name == crate::names::THREAD_LABEL).unwrap();
+        assert_eq!(label.cat, "stage.task");
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Per-tenant service-level objectives: declarative delivery-latency /
+//! drop-rate targets with windowed burn-rate computation.
+//!
+//! The model is the classic error-budget one: every delivery is *good*
+//! if it lands within [`SloConfig::target_delivery_us`], every late
+//! delivery or dropped frame is *bad*, and the tenant is allowed a
+//! [`SloConfig::budget_fraction`] of bad events over a sliding
+//! [`SloConfig::window_micros`] window. The **burn rate** is the
+//! observed bad fraction divided by the budget: 1.0 means the tenant is
+//! consuming its entire budget exactly; above 1.0 the objective is
+//! being violated and (once [`SloConfig::min_events`] events are in the
+//! window) the tracker reports a breach, which the server uses to
+//! trigger a flight-recorder dump.
+//!
+//! The sliding window is a ring of [`SUB_WINDOWS`] sub-window slots
+//! rotated on the injected serving clock — no wall-clock reads — and
+//! the rotate path is deliberately robust to clock skew: time moving
+//! backwards records into the current slot without rotating, and a
+//! forward jump larger than the whole window resets the ring rather
+//! than spinning through intermediate slots.
+
+#[cfg(loom)]
+use loom::sync::Mutex;
+#[cfg(not(loom))]
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of sub-window slots the sliding window is divided into.
+pub const SUB_WINDOWS: usize = 8;
+
+/// A tenant's declarative delivery objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Deliveries slower than this (µs, admit → routed) are bad events.
+    pub target_delivery_us: u64,
+    /// Allowed fraction of bad events (late + dropped) per window.
+    pub budget_fraction: f64,
+    /// Sliding-window length in microseconds.
+    pub window_micros: u64,
+    /// Minimum events in the window before a breach can be declared
+    /// (keeps a single early drop from tripping the recorder).
+    pub min_events: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target_delivery_us: 10_000,
+            budget_fraction: 0.01,
+            window_micros: 1_000_000,
+            min_events: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    start: u64,
+    good: u64,
+    bad: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: [Slot; SUB_WINDOWS],
+    cur: usize,
+}
+
+/// Windowed burn-rate tracker for one tenant's [`SloConfig`].
+/// Interior-mutable so the event loop, the bridge thread, and load
+/// generators can share one handle.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    ring: Mutex<Ring>,
+}
+
+impl SloTracker {
+    /// Creates a tracker for one objective.
+    pub fn new(cfg: SloConfig) -> Self {
+        SloTracker {
+            cfg,
+            ring: Mutex::new(Ring { slots: [Slot::default(); SUB_WINDOWS], cur: 0 }),
+        }
+    }
+
+    /// The objective being tracked.
+    pub fn config(&self) -> SloConfig {
+        self.cfg
+    }
+
+    fn slot_width(&self) -> u64 {
+        (self.cfg.window_micros / SUB_WINDOWS as u64).max(1)
+    }
+
+    /// Rotates expired sub-windows forward to `now`. Skew-tolerant:
+    /// `now` earlier than the current slot leaves the ring untouched.
+    fn advance(&self, ring: &mut Ring, now: u64) {
+        let width = self.slot_width();
+        loop {
+            let cur_start = ring.slots[ring.cur].start;
+            let Some(age) = now.checked_sub(cur_start) else { return };
+            if age < width {
+                return;
+            }
+            if age > self.cfg.window_micros.saturating_add(width) {
+                // Forward jump past the whole window: everything in the
+                // ring has expired; reset instead of spinning.
+                ring.slots = [Slot::default(); SUB_WINDOWS];
+                ring.cur = 0;
+                ring.slots[0].start = now;
+                return;
+            }
+            let next_start = cur_start.saturating_add(width);
+            ring.cur = (ring.cur + 1) % SUB_WINDOWS;
+            ring.slots[ring.cur] = Slot { start: next_start, good: 0, bad: 0 };
+        }
+    }
+
+    /// Records one routed delivery at `now` with the given latency.
+    pub fn record_delivery(&self, now_micros: u64, latency_us: u64) {
+        let mut ring = self.ring.lock().expect("slo ring poisoned");
+        self.advance(&mut ring, now_micros);
+        let cur = ring.cur;
+        if latency_us <= self.cfg.target_delivery_us {
+            ring.slots[cur].good += 1;
+        } else {
+            ring.slots[cur].bad += 1;
+        }
+    }
+
+    /// Records one dropped frame at `now` (always a bad event).
+    pub fn record_drop(&self, now_micros: u64) {
+        let mut ring = self.ring.lock().expect("slo ring poisoned");
+        self.advance(&mut ring, now_micros);
+        let cur = ring.cur;
+        ring.slots[cur].bad += 1;
+    }
+
+    /// `(good, bad)` event totals currently in the window.
+    pub fn window_totals(&self, now_micros: u64) -> (u64, u64) {
+        let mut ring = self.ring.lock().expect("slo ring poisoned");
+        self.advance(&mut ring, now_micros);
+        ring.slots.iter().fold((0, 0), |(g, b), s| (g + s.good, b + s.bad))
+    }
+
+    /// The window's burn rate: observed bad fraction divided by the
+    /// error budget. 0.0 while the window holds no events; always
+    /// finite (a zero budget is clamped to a tiny epsilon).
+    pub fn burn_rate(&self, now_micros: u64) -> f64 {
+        let (good, bad) = self.window_totals(now_micros);
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_fraction = bad as f64 / total as f64;
+        bad_fraction / self.cfg.budget_fraction.max(1e-9)
+    }
+
+    /// Whether the objective is currently breached: burn rate at or
+    /// above 1.0 with at least [`SloConfig::min_events`] events in the
+    /// window.
+    pub fn breached(&self, now_micros: u64) -> bool {
+        let (good, bad) = self.window_totals(now_micros);
+        let total = good + bad;
+        if total < self.cfg.min_events.max(1) {
+            return false;
+        }
+        let bad_fraction = bad as f64 / total as f64;
+        bad_fraction / self.cfg.budget_fraction.max(1e-9) >= 1.0
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            target_delivery_us: 1_000,
+            budget_fraction: 0.1,
+            window_micros: 8_000,
+            min_events: 4,
+        }
+    }
+
+    #[test]
+    fn fast_deliveries_do_not_burn() {
+        let t = SloTracker::new(cfg());
+        for i in 0..20 {
+            t.record_delivery(i * 100, 200);
+        }
+        assert_eq!(t.window_totals(2_000), (20, 0));
+        assert_eq!(t.burn_rate(2_000), 0.0);
+        assert!(!t.breached(2_000));
+    }
+
+    #[test]
+    fn late_and_dropped_frames_burn_the_budget() {
+        let t = SloTracker::new(cfg());
+        // 10 events in one slot: 8 good, 1 late, 1 dropped = 20% bad
+        // against a 10% budget → burn rate 2.0, breached.
+        for _ in 0..8 {
+            t.record_delivery(100, 500);
+        }
+        t.record_delivery(100, 5_000);
+        t.record_drop(100);
+        let burn = t.burn_rate(100);
+        assert!((burn - 2.0).abs() < 1e-9, "burn {burn}");
+        assert!(t.breached(100));
+    }
+
+    #[test]
+    fn min_events_gates_breach_but_not_burn() {
+        let t = SloTracker::new(cfg());
+        t.record_drop(0);
+        assert!(t.burn_rate(0) > 1.0);
+        assert!(!t.breached(0), "one event is below min_events");
+    }
+
+    #[test]
+    fn bad_events_age_out_of_the_window() {
+        let t = SloTracker::new(cfg());
+        for _ in 0..8 {
+            t.record_drop(100);
+        }
+        assert!(t.breached(100));
+        // One window later the drops have rotated out entirely.
+        for i in 0..8u64 {
+            t.record_delivery(10_000 + i * 1_000, 100);
+        }
+        let (good, bad) = t.window_totals(18_000);
+        assert_eq!(bad, 0, "old drops expired");
+        assert!(good >= 4);
+        assert!(!t.breached(18_000));
+    }
+
+    #[test]
+    fn backwards_time_records_without_rotating() {
+        let t = SloTracker::new(cfg());
+        t.record_delivery(5_000, 100);
+        // A skewed observer reports an earlier timestamp: the event
+        // still lands, nothing panics, totals stay conserved.
+        t.record_delivery(1_000, 100);
+        t.record_drop(0);
+        let (good, bad) = t.window_totals(5_000);
+        assert_eq!(good + bad, 3);
+    }
+
+    #[test]
+    fn huge_forward_jump_resets_instead_of_spinning() {
+        let t = SloTracker::new(cfg());
+        t.record_drop(0);
+        // A jump of ~2^40 µs must not iterate slot-by-slot.
+        let far = 1u64 << 40;
+        assert_eq!(t.window_totals(far), (0, 0));
+        t.record_delivery(far, 100);
+        assert_eq!(t.window_totals(far), (1, 0));
+    }
+
+    #[test]
+    fn zero_budget_is_clamped_finite() {
+        let t = SloTracker::new(SloConfig { budget_fraction: 0.0, ..cfg() });
+        t.record_drop(0);
+        assert!(t.burn_rate(0).is_finite());
+        assert!(t.burn_rate(0) > 1.0);
+    }
+}

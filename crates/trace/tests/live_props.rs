@@ -1,0 +1,96 @@
+//! Property tests for the live metrics plane: snapshots taken while
+//! writer threads are mid-flight must stay internally consistent
+//! (`count == Σ buckets`, `sum_ns` matching the recorded mass) and
+//! monotonic from one snapshot to the next.
+
+use proptest::prelude::*;
+use rpr_trace::{LiveCounter, LiveHistogram};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concurrent writers + a snapshotting reader: every snapshot is
+    /// internally consistent and totals only ever grow; the final
+    /// snapshot accounts for every sample exactly once.
+    #[test]
+    fn snapshots_stay_consistent_under_concurrent_writers(
+        samples in proptest::collection::vec(0u64..200_000, 1..256),
+        writers in 1usize..5,
+    ) {
+        let hist = Arc::new(LiveHistogram::new());
+        let counter = Arc::new(LiveCounter::new());
+        let chunks: Vec<Vec<u64>> = samples
+            .chunks(samples.len().div_ceil(writers))
+            .map(<[u64]>::to_vec)
+            .collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(w, chunk)| {
+                let hist = Arc::clone(&hist);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for &us in &chunk {
+                        hist.record_us_in(w, us);
+                        counter.add_in(w, 1);
+                    }
+                })
+            })
+            .collect();
+
+        // Reader races the writers: consistency and monotonicity must
+        // hold for every mid-flight snapshot.
+        let mut last_count = 0u64;
+        let mut last_sum = 0u64;
+        for _ in 0..64 {
+            let snap = hist.snapshot();
+            let bucket_total: u64 = snap.buckets.iter().sum();
+            prop_assert_eq!(snap.count, bucket_total, "count == sum(buckets) mid-flight");
+            prop_assert!(snap.count >= last_count, "count is monotonic");
+            prop_assert!(snap.sum_ns >= last_sum, "sum is monotonic");
+            prop_assert!(counter.value() >= snap.count || counter.value() <= samples.len() as u64);
+            last_count = snap.count;
+            last_sum = snap.sum_ns;
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+
+        let fin = hist.snapshot();
+        prop_assert_eq!(fin.count, samples.len() as u64, "every sample landed once");
+        let expected_ns: u64 = samples.iter().map(|us| us * 1_000).sum();
+        prop_assert_eq!(fin.sum_ns, expected_ns, "mass conserved");
+        prop_assert_eq!(fin.buckets.iter().sum::<u64>(), fin.count);
+        prop_assert_eq!(counter.value(), samples.len() as u64);
+        if let Some(&mx) = samples.iter().max() {
+            prop_assert_eq!(fin.max_ns, mx * 1_000);
+        }
+    }
+
+    /// Rotation conserves mass: interleaving rotations with writes never
+    /// loses or double-counts a sample — the rotations plus the final
+    /// snapshot always merge back to exactly the recorded workload.
+    #[test]
+    fn rotations_conserve_every_sample(
+        samples in proptest::collection::vec(0u64..200_000, 1..256),
+        rotate_every in 1usize..32,
+    ) {
+        let hist = LiveHistogram::new();
+        let mut windows = rpr_trace::LatencyHistogram::new();
+        for (i, &us) in samples.iter().enumerate() {
+            hist.record_us_in(i, us);
+            if i % rotate_every == 0 {
+                windows.merge(&hist.rotate());
+            }
+        }
+        windows.merge(&hist.snapshot());
+        prop_assert_eq!(windows.count, samples.len() as u64);
+        let expected_ns: u64 = samples.iter().map(|us| us * 1_000).sum();
+        prop_assert_eq!(windows.sum_ns, expected_ns);
+        prop_assert_eq!(windows.buckets.iter().sum::<u64>(), windows.count);
+        // And rotation really drains every shard.
+        let _residue = hist.rotate();
+        prop_assert_eq!(hist.snapshot().count, 0, "rotate leaves the histogram empty");
+    }
+}

@@ -2,15 +2,19 @@
 //! streams to `.rpr` containers, then stream them at one `rpr-serve`
 //! event loop. The server admits each session, enforces per-tenant
 //! quotas, and demuxes deliveries through a [`TenantBridge`] into one
-//! decode pipeline per camera; the run ends with the per-tenant
-//! `RunReport` a fleet operator would export.
+//! decode pipeline per camera — with the live telemetry plane wired:
+//! delivery latency and SLO burn rate accumulate while sessions
+//! stream, a `ScrapeClient` pulls the Prometheus page off the same
+//! event loop, and the run ends with the per-tenant `RunReport`
+//! (SLO section included) a fleet operator would export.
 //!
 //! Run with: `cargo run --release --example fleet_ingest`
 
 use rhythmic_pixel_regions::core::{EncodedFrame, RegionLabel, RegionRuntime};
 use rhythmic_pixel_regions::frame::{GrayFrame, Plane};
 use rhythmic_pixel_regions::serve::{
-    session_script, AdmitCode, ManualClock, ScriptedClient, Server, TenantBridge, TenantConfig,
+    session_script, AdmitCode, ManualClock, ScrapeClient, ScriptedClient, Server, SloConfig,
+    TenantBridge, TenantConfig,
 };
 use rhythmic_pixel_regions::stream::{
     run_stream, BackpressureMode, DecodeCapture, Feedback, StreamConfig, TaskStage,
@@ -81,16 +85,28 @@ fn main() {
     // 2. One ingestion server, two tenants with different contracts:
     //    north is unlimited; south has a frame budget smaller than its
     //    cameras offer, so the quota throttle is visible in the report.
-    let mut server = Server::new(Arc::new(ManualClock::new())).with_read_quantum(2048);
+    //    Both tenants carry a delivery SLO so the burn rate shows up
+    //    live and in the final report.
+    let clock = Arc::new(ManualClock::new());
+    let mut server = Server::new(clock.clone()).with_read_quantum(2048);
+    let slo = SloConfig {
+        target_delivery_us: 50_000,
+        budget_fraction: 0.5,
+        window_micros: 1_000_000,
+        min_events: 8,
+    };
     server.add_tenant(
         tenants[0],
-        TenantConfig::unlimited().with_qos(BackpressureMode::Block, 32),
+        TenantConfig::unlimited()
+            .with_qos(BackpressureMode::Block, 32)
+            .with_slo(slo),
     );
     server.add_tenant(
         tenants[1],
         TenantConfig::unlimited()
             .with_frame_quota(0, 3 * FRAMES_PER_CAM)
-            .with_qos(BackpressureMode::Block, 32),
+            .with_qos(BackpressureMode::Block, 32)
+            .with_slo(slo),
     );
 
     // 3. Behind each tenant queue, a bridge demuxes deliveries into a
@@ -105,22 +121,33 @@ fn main() {
         .enumerate()
         .map(|(ti, t)| {
             let queue = server.tenant_queue(t).expect("tenant registered");
+            let live = server.live().get_by_name(t).expect("tenant live block");
             let results = Arc::clone(&results);
             let workers = Arc::clone(&workers);
-            TenantBridge::start(queue, 16, BackpressureMode::Block, move |camera, source| {
-                let results = Arc::clone(&results);
-                workers.lock().expect("workers lock").push(std::thread::spawn(move || {
-                    let out = run_stream(
-                        camera as usize,
-                        source,
-                        DecodeCapture::new(W, H),
-                        BrightnessTally::default(),
-                        StreamConfig::blocking(),
-                    );
-                    let (frames, brightness) = out.task;
-                    results.lock().expect("results lock").push((ti, camera, frames, brightness));
-                }));
-            })
+            TenantBridge::start_with_live(
+                queue,
+                16,
+                BackpressureMode::Block,
+                live,
+                clock.clone(),
+                move |camera, source| {
+                    let results = Arc::clone(&results);
+                    workers.lock().expect("workers lock").push(std::thread::spawn(move || {
+                        let out = run_stream(
+                            camera as usize,
+                            source,
+                            DecodeCapture::new(W, H),
+                            BrightnessTally::default(),
+                            StreamConfig::blocking(),
+                        );
+                        let (frames, brightness) = out.task;
+                        results
+                            .lock()
+                            .expect("results lock")
+                            .push((ti, camera, frames, brightness));
+                    }));
+                },
+            )
         })
         .collect();
 
@@ -150,6 +177,27 @@ fn main() {
     for c in cams.iter_mut() {
         assert_eq!(c.admit_code(), Some(AdmitCode::Accepted));
     }
+
+    // 5. A monitoring scrape over the same event loop: MSG_METRICS in,
+    //    Prometheus text page out — what a collector would poll while
+    //    the fleet streams.
+    let mut scrape = ScrapeClient::connect(&listener, 1 << 14, tenants[0], u64::MAX);
+    let mut page = None;
+    for _ in 0..10_000 {
+        if let Some(p) = scrape.poll() {
+            page = Some(p.to_string());
+            break;
+        }
+        server.step();
+    }
+    let page = page.expect("metrics scrape completes");
+    println!("prometheus scrape ({} bytes), delivery + slo families:", page.len());
+    for line in page.lines().filter(|l| {
+        l.starts_with("rpr_frames_delivered_total") || l.starts_with("rpr_slo_burn_rate")
+    }) {
+        println!("  {line}");
+    }
+
     server.close_tenant_queues();
     let routed: u64 = bridges.into_iter().map(TenantBridge::join).sum();
     for w in workers.lock().expect("workers lock").drain(..) {
@@ -157,8 +205,8 @@ fn main() {
     }
     println!("server drained: {routed} frames routed to per-camera pipelines");
 
-    // 5. The per-tenant RunReport: admission, delivery, quota, and
-    //    drop accounting straight off the server's books.
+    // 6. The per-tenant RunReport: admission, delivery, quota, drop,
+    //    and SLO burn-rate accounting straight off the server's books.
     let sections = server.tenant_sections();
     let delivered: u64 = sections.iter().map(|s| s.frames_delivered).sum();
     let mut accuracy = BTreeMap::new();
@@ -171,6 +219,7 @@ fn main() {
         frames: delivered,
         accuracy,
         tenants: sections,
+        slos: Some(server.slo_sections()),
         ..RunReport::default()
     };
     print!("{}", report.render_text());
