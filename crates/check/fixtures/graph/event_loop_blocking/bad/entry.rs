@@ -1,0 +1,12 @@
+//! Known-bad: the event loop's delivery step reaches a condvar wait
+//! inside the queue's blocking `push`, one crate away.
+
+pub struct Server {
+    queue: StageQueue,
+}
+
+impl Server {
+    pub fn step(&self) {
+        self.queue.push(1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-good: the loop only ever uses the non-blocking variant.
+
+pub struct Server {
+    queue: StageQueue,
+}
+
+impl Server {
+    pub fn step(&self) {
+        if !self.queue.try_push(1) {
+            self.shed();
+        }
+    }
+
+    fn shed(&self) {}
+}

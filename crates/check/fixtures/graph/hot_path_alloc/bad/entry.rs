@@ -1,0 +1,6 @@
+//! Known-bad: the kernel itself is clean, but its helper allocates a
+//! fresh scratch buffer every call — invisible to a per-file lint.
+
+pub fn kernel(out: &mut Vec<u8>, src: &[u8]) {
+    widen_rows(out, src);
+}

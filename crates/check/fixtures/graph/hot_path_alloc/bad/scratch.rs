@@ -1,0 +1,11 @@
+//! The allocating helper on the hot path.
+
+pub fn widen_rows(out: &mut Vec<u8>, src: &[u8]) {
+    let tmp = Vec::new();
+    stash(out, tmp, src);
+}
+
+fn stash(out: &mut Vec<u8>, tmp: Vec<u8>, src: &[u8]) {
+    out.extend_from_slice(src);
+    drop(tmp);
+}

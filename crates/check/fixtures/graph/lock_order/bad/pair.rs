@@ -1,0 +1,27 @@
+//! Known-bad: `refill` takes `Depot.stats` while holding `Depot.slots`;
+//! the flush path in flush.rs takes them in the opposite order via a
+//! cross-file call — a classic ABBA deadlock.
+
+pub struct Depot {
+    slots: Mutex<Vec<u8>>,
+    stats: Mutex<Counters>,
+}
+
+impl Depot {
+    pub fn refill(&self) {
+        let slots = self.slots.lock();
+        let stats = self.stats.lock();
+        drop(stats);
+        drop(slots);
+    }
+
+    pub fn note(&self) {
+        let stats = self.stats.lock();
+        drop(stats);
+    }
+
+    pub fn grab(&self) {
+        let slots = self.slots.lock();
+        drop(slots);
+    }
+}

@@ -1,0 +1,14 @@
+//! Same order as pair.rs: `slots` (via `grab`) is never taken while
+//! `stats` is held.
+
+pub struct Flusher {
+    depot: Depot,
+}
+
+impl Flusher {
+    pub fn flush(&self, d: Depot) {
+        d.grab();
+        let stats = d.stats.lock();
+        drop(stats);
+    }
+}

@@ -1,0 +1,29 @@
+//! Known-good: every path agrees on the order `slots` before `stats`,
+//! and the one intentional reversal is waived with a quiescence proof.
+
+pub struct Depot {
+    slots: Mutex<Vec<u8>>,
+    stats: Mutex<Counters>,
+}
+
+impl Depot {
+    pub fn refill(&self) {
+        let slots = self.slots.lock();
+        let stats = self.stats.lock();
+        drop(stats);
+        drop(slots);
+    }
+
+    pub fn grab(&self) {
+        let slots = self.slots.lock();
+        drop(slots);
+    }
+
+    pub fn shutdown_report(&self) {
+        let stats = self.stats.lock();
+        // rpr-check: allow(lock-order): shutdown runs single-threaded after all workers joined
+        let slots = self.slots.lock();
+        drop(slots);
+        drop(stats);
+    }
+}

@@ -1,0 +1,9 @@
+//! The panicking helper the entry point reaches transitively.
+
+pub fn read_len(data: &[u8]) -> u32 {
+    decode(data)
+}
+
+fn decode(data: &[u8]) -> u32 {
+    u32::from(*data.first().unwrap())
+}

@@ -1,0 +1,9 @@
+//! Known-good: the same call shape, but the helper chain is fallible
+//! all the way down, and the one justified panic is behind a waived
+//! edge (the per-edge waiver cuts reachability).
+
+pub fn parse_frame(data: &[u8]) -> u32 {
+    // rpr-check: allow(panic-reach): sanity_check only runs under debug builds, fuzz-covered
+    sanity_check(data);
+    read_len(data).unwrap_or(0)
+}

@@ -1,0 +1,20 @@
+//! Fallible helpers: no panic site reachable from the entry without
+//! passing a waived edge.
+
+pub fn read_len(data: &[u8]) -> Option<u32> {
+    decode(data)
+}
+
+fn decode(data: &[u8]) -> Option<u32> {
+    data.first().map(|b| u32::from(*b))
+}
+
+pub fn sanity_check(data: &[u8]) {
+    assert_or_die(data)
+}
+
+fn assert_or_die(data: &[u8]) {
+    if data.is_empty() {
+        panic!("empty frame");
+    }
+}

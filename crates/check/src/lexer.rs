@@ -116,7 +116,14 @@ pub fn lex(src: &str) -> Lexed {
                     line: start_line,
                     standalone,
                 });
-                line_has_code = false;
+                // A single-line block comment must not erase the fact
+                // that code already appeared on this line — otherwise a
+                // trailing `//` waiver after `/* c */ code;` would look
+                // standalone and over-waive the NEXT line. Only a
+                // multi-line comment starts a fresh code-free line.
+                if line != start_line {
+                    line_has_code = false;
+                }
                 i = j;
             }
             '"' => {
@@ -129,6 +136,22 @@ pub fn lex(src: &str) -> Lexed {
                 i = consume_prefixed_string(&b, i, &mut line);
                 out.toks.push(Tok { kind: TokKind::Str, line: start_line });
                 line_has_code = true;
+            }
+            // Raw identifier `r#ident`: a keyword escaped as a plain
+            // name. Lexed as one Ident with the `r#` retained so it can
+            // never be confused with the keyword itself (a field named
+            // `r#unsafe` is not an `unsafe` block).
+            'r' if b.get(i + 1) == Some(&'#')
+                && matches!(b.get(i + 2), Some(c) if c.is_alphabetic() || *c == '_') =>
+            {
+                let mut j = i + 2;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = b[i..j].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Ident(ident), line });
+                line_has_code = true;
+                i = j;
             }
             '\'' => {
                 // Lifetime vs char literal: a lifetime is `'` + ident
@@ -182,18 +205,28 @@ pub fn lex(src: &str) -> Lexed {
     out
 }
 
-/// True when position `i` starts a string with a prefix: `r"`, `r#`,
+/// True when position `i` starts a string with a prefix: `r"`, `r#"`,
 /// `b"`, `br"`, `b'`… (only the forms that begin string-ish literals).
+/// Hashes are looked through to the quote: `r#ident` is a raw
+/// *identifier*, not a string, and must not be consumed as one.
 fn is_string_prefix(b: &[char], i: usize) -> bool {
     match b[i] {
-        'r' => matches!(b.get(i + 1), Some('"') | Some('#')),
+        'r' => hashes_then_quote(b, i + 1),
         'b' | 'c' => match b.get(i + 1) {
             Some('"') | Some('\'') => true,
-            Some('r') => matches!(b.get(i + 2), Some('"') | Some('#')),
+            Some('r') => hashes_then_quote(b, i + 2),
             _ => false,
         },
         _ => false,
     }
+}
+
+/// True when position `j` holds zero or more `#` followed by `"`.
+fn hashes_then_quote(b: &[char], mut j: usize) -> bool {
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
 }
 
 /// Consumes a plain `"…"` string starting at `i` (the quote). Returns
@@ -365,5 +398,72 @@ mod tests {
     fn byte_and_raw_strings_consume_correctly() {
         let src = r###"let a = b"unwrap"; let b = br#"expect"#; let c = b'x';"###;
         assert_eq!(idents(src), vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_fabricated_panics() {
+        // A `"#` inside a `r##"…"##` literal must not end it early and
+        // leak the tail as code tokens.
+        let src = r####"let a = r##"has "# inner .unwrap() and panic!"##; let b = 1;"####;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b"]);
+        // `cr#"…"#` C-string raw literals consume the same way.
+        let src2 = r###"let a = cr#"x.unwrap()"#; let b = 1;"###;
+        assert_eq!(idents(src2), vec!["let", "a", "let", "b"]);
+        // Unterminated raw string at EOF swallows the rest, no panic.
+        let src3 = "let a = r#\"fell off .unwrap()";
+        assert_eq!(idents(src3), vec!["let", "a"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "let r#type = 1; r#fn(); let x = r#unsafe;";
+        let lexed = lex(src);
+        assert!(
+            lexed.toks.iter().all(|t| t.kind != TokKind::Str),
+            "raw identifiers must not lex as string literals: {:?}",
+            lexed.toks
+        );
+        // The `r#` stays in the name so `r#unsafe` can never be
+        // mistaken for the `unsafe` keyword by the unsafe-block lint.
+        assert_eq!(
+            idents(src),
+            vec!["let", "r#type", "r#fn", "let", "x", "r#unsafe"]
+        );
+    }
+
+    #[test]
+    fn fabricated_waiver_inside_raw_string_is_not_a_comment() {
+        let src = r###"let a = r#"// rpr-check: allow(panic-surface): fake"#; v.unwrap();"###;
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty(), "string contents must never become comments");
+        assert!(idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn single_line_block_comment_keeps_trailing_comments_non_standalone() {
+        // The trailing `//` comment sits on a line that HAS code; it
+        // must not be standalone, or its waiver would cover line 2.
+        let src = "/* c */ v.unwrap(); // rpr-check: allow(panic-surface): this line only\nw.unwrap();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].standalone, "block comment starts the line");
+        assert!(
+            !lexed.comments[1].standalone,
+            "trailing comment after code must not cover the next line"
+        );
+        // A multi-line block comment, by contrast, leaves the current
+        // line code-free, so a comment after it IS standalone.
+        let src2 = "/* a\nb */ // rpr-check: allow(panic-surface): next line\nv.unwrap();";
+        let lexed2 = lex(src2);
+        assert!(lexed2.comments[1].standalone);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_hide_contents() {
+        let src = "/* 1 /* 2 /* panic!() */ .unwrap() */ v[0] */ let a = 1;";
+        assert_eq!(idents(src), vec!["let", "a"]);
+        // Sequential close-open `*/*` inside: ends where rustc ends.
+        let src2 = "/* a /*/ b */ c */ let ok = 1;";
+        assert_eq!(idents(src2), vec!["let", "ok"]);
     }
 }

@@ -72,6 +72,36 @@ pub const LINTS: &[LintInfo] = &[
         hint: "the trace gate is Relaxed-load/Release-store by design (DESIGN.md 4e); \
                stronger orderings need a policy pin or a waiver",
     },
+    // Graph lints (DESIGN.md §4j): cross-file, run over the workspace
+    // call graph rather than per-file token streams.
+    LintInfo {
+        id: "RPR006",
+        name: "panic-reach",
+        description: "entry points in the panic surface must be transitively panic-free",
+        hint: "make the reachable callee fallible (typed error) or break the edge: \
+               waive the call line or the panic site with a justification",
+    },
+    LintInfo {
+        id: "RPR007",
+        name: "lock-order",
+        description: "lock acquisitions across serve/stream/trace must form no ordering cycle",
+        hint: "acquire locks in one global order (or drop the first guard before \
+               taking the second); waive an acquisition only with a proof it cannot deadlock",
+    },
+    LintInfo {
+        id: "RPR008",
+        name: "hot-path-alloc",
+        description: "no allocating call reachable from chunked kernels / BufferPool steady state",
+        hint: "take buffers from the BufferPool (DESIGN.md 4g) instead of allocating; \
+               cold-path or capacity-amortized allocations may be waived with justification",
+    },
+    LintInfo {
+        id: "RPR009",
+        name: "event-loop-blocking",
+        description: "no blocking call reachable from the Server's non-blocking event loop",
+        hint: "use the try_/poll_ variant (try_push, try_pop, non-blocking I/O); \
+               a bounded, measured wait may be waived with justification",
+    },
 ];
 
 /// Looks up a lint by kebab-case name.
@@ -112,21 +142,25 @@ pub fn path_matches(path: &str, entry: &str) -> bool {
 }
 
 /// True when `path` matches any entry.
-fn in_set(path: &str, entries: &[String]) -> bool {
+pub(crate) fn in_set(path: &str, entries: &[String]) -> bool {
     entries.iter().any(|e| path_matches(path, e))
 }
 
 /// A waiver parsed from a comment.
 #[derive(Debug, Clone)]
-struct Waiver {
-    lint: String,
-    reason: String,
+pub(crate) struct Waiver {
+    pub(crate) lint: String,
+    pub(crate) reason: String,
     /// Lines this waiver covers.
-    lines: Vec<usize>,
+    pub(crate) lines: Vec<usize>,
 }
 
 /// Extracts waivers (and malformed-waiver findings) from comments.
-fn collect_waivers(comments: &[Comment], file: &str, findings: &mut Vec<Finding>) -> Vec<Waiver> {
+pub(crate) fn collect_waivers(
+    comments: &[Comment],
+    file: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Waiver> {
     let mut waivers = Vec::new();
     for c in comments {
         // Doc comments (`///`, `//!`, `/** */`, `/*! */`) describe the
@@ -191,7 +225,7 @@ fn malformed(file: &str, line: usize, msg: &str) -> Finding {
 
 /// Computes half-open token-index ranges covered by test items
 /// (`#[test]` / `#[cfg(test)]` attributes and the item that follows).
-fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -280,7 +314,7 @@ fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
 
 /// Keywords that may legitimately precede `[` without forming an index
 /// expression (`for [a, b] in …`, `impl Trait for [u8]`).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn", "for", "if",
     "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
     "struct", "trait", "type", "unsafe", "use", "where", "while", "yield", "await",
@@ -481,7 +515,7 @@ pub fn check_file(rel_path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
     findings
 }
 
-fn finding(lint: &LintInfo, file: &str, line: usize, message: String) -> Finding {
+pub(crate) fn finding(lint: &LintInfo, file: &str, line: usize, message: String) -> Finding {
     Finding {
         id: lint.id,
         lint: lint.name,

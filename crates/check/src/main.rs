@@ -1,11 +1,18 @@
 //! The `rpr-check` CLI.
 //!
 //! ```text
-//! rpr-check --workspace [--root DIR] [--policy FILE] [--json]
+//! rpr-check --workspace [--root DIR] [--policy FILE] [--format human|json|sarif]
+//! rpr-check --lint RPR006,RPR007 [--root DIR] [--policy FILE] [--timing]
 //! rpr-check --self-test [--fixtures DIR]
 //! rpr-check --dynamic-plan TOOL [--root DIR] [--policy FILE]
 //! rpr-check --list
 //! ```
+//!
+//! `--workspace` runs the per-file token lints (RPR001–RPR005).
+//! `--lint` selects lints by ID: token IDs filter the workspace scan,
+//! graph IDs (RPR006–RPR009) run the two-phase call-graph engine.
+//! `--timing` prints per-phase wall times to stderr so the CI split
+//! can show where the graph job spends its budget.
 //!
 //! `--dynamic-plan` prints the policy-pinned coverage for one nightly
 //! tool (miri/asan/lsan/tsan/loom) as `cargo test` argument lines, one
@@ -16,25 +23,36 @@
 //! under `--self-test`), 2 = usage/configuration error.
 
 use rpr_check::{
-    check_workspace, dynamic_plan, render_json, render_lints, render_text, selftest, Policy,
+    check_graph, check_workspace, dynamic_plan, render_json, render_lints, render_sarif,
+    render_text, selftest, Policy, GRAPH_LINT_IDS, LINTS,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     workspace: bool,
     self_test: bool,
     list: bool,
-    json: bool,
+    format: Format,
+    timing: bool,
     root: PathBuf,
     policy: PathBuf,
     fixtures: Option<PathBuf>,
     dynamic_plan: Option<String>,
+    lints: Option<Vec<String>>,
 }
 
 fn usage() -> &'static str {
-    "usage: rpr-check (--workspace | --self-test | --dynamic-plan TOOL | --list) \
-     [--root DIR] [--policy FILE] [--fixtures DIR] [--json]"
+    "usage: rpr-check (--workspace | --lint IDS | --self-test | --dynamic-plan TOOL | --list) \
+     [--root DIR] [--policy FILE] [--fixtures DIR] [--format human|json|sarif] [--timing]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,11 +60,13 @@ fn parse_args() -> Result<Args, String> {
         workspace: false,
         self_test: false,
         list: false,
-        json: false,
+        format: Format::Human,
+        timing: false,
         root: PathBuf::from("."),
         policy: PathBuf::from("ci/check_policy.toml"),
         fixtures: None,
         dynamic_plan: None,
+        lints: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,7 +74,33 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => args.workspace = true,
             "--self-test" => args.self_test = true,
             "--list" => args.list = true,
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
+            "--timing" => args.timing = true,
+            "--format" => {
+                let v = it.next().ok_or_else(|| format!("--format needs a value\n{}", usage()))?;
+                args.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        return Err(format!("unknown format `{other}`\n{}", usage()));
+                    }
+                };
+            }
+            "--lint" => {
+                let v = it.next().ok_or_else(|| format!("--lint needs IDs\n{}", usage()))?;
+                let ids: Vec<String> =
+                    v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+                if ids.is_empty() {
+                    return Err(format!("--lint needs IDs\n{}", usage()));
+                }
+                for id in &ids {
+                    if !LINTS.iter().any(|l| l.id == *id) {
+                        return Err(format!("unknown lint ID `{id}` (see --list)\n{}", usage()));
+                    }
+                }
+                args.lints = Some(ids);
+            }
             "--root" => args.root = next_path(&mut it, "--root")?,
             "--policy" => args.policy = next_path(&mut it, "--policy")?,
             "--fixtures" => args.fixtures = Some(next_path(&mut it, "--fixtures")?),
@@ -66,7 +112,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
-    if !(args.workspace || args.self_test || args.list || args.dynamic_plan.is_some()) {
+    if !(args.workspace || args.self_test || args.list || args.dynamic_plan.is_some())
+        && args.lints.is_none()
+    {
         return Err(format!("pick a mode\n{}", usage()));
     }
     Ok(args)
@@ -82,6 +130,14 @@ fn load_policy(args: &Args) -> Result<Policy, String> {
     let text = std::fs::read_to_string(&policy_path)
         .map_err(|e| format!("cannot read policy {}: {e}", policy_path.display()))?;
     Policy::parse(&text).map_err(|e| format!("{}: {e}", policy_path.display()))
+}
+
+fn render(format: Format, findings: &[rpr_check::Finding], scanned: usize) -> String {
+    match format {
+        Format::Human => render_text(findings, scanned),
+        Format::Json => format!("{}\n", render_json(findings, scanned)),
+        Format::Sarif => format!("{}\n", render_sarif(findings, scanned)),
+    }
 }
 
 fn main() -> ExitCode {
@@ -139,7 +195,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.workspace {
+    if args.workspace || args.lints.is_some() {
         let policy = match load_policy(&args) {
             Ok(p) => p,
             Err(e) => {
@@ -147,21 +203,71 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match check_workspace(&args.root, &policy) {
-            Ok((findings, scanned)) => {
-                if args.json {
-                    println!("{}", render_json(&findings, scanned));
-                } else {
-                    print!("{}", render_text(&findings, scanned));
+
+        // Which lints run: `--workspace` alone = all token lints;
+        // `--lint` = exactly the named ones (token and/or graph).
+        let selected: Option<&[String]> = args.lints.as_deref();
+        let want_token = args.workspace
+            || selected
+                .map(|ids| ids.iter().any(|id| !GRAPH_LINT_IDS.contains(&id.as_str())))
+                .unwrap_or(false);
+        let graph_ids: Vec<&str> = selected
+            .map(|ids| {
+                ids.iter()
+                    .map(String::as_str)
+                    .filter(|id| GRAPH_LINT_IDS.contains(id))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let mut findings = Vec::new();
+        let mut scanned = 0usize;
+
+        if want_token {
+            let t0 = Instant::now();
+            match check_workspace(&args.root, &policy) {
+                Ok((mut fs, n)) => {
+                    if let Some(ids) = selected {
+                        // RPR000 (waiver syntax) always rides along.
+                        fs.retain(|f| f.id == "RPR000" || ids.iter().any(|id| id == f.id));
+                    }
+                    findings.extend(fs);
+                    scanned = n;
                 }
-                if findings.iter().any(|f| !f.waived) {
-                    failed = true;
+                Err(e) => {
+                    eprintln!("rpr-check: workspace scan failed: {e}");
+                    return ExitCode::from(2);
                 }
             }
-            Err(e) => {
-                eprintln!("rpr-check: workspace scan failed: {e}");
-                return ExitCode::from(2);
+            if args.timing {
+                eprintln!("rpr-check: token lints in {:?}", t0.elapsed());
             }
+        }
+
+        if !graph_ids.is_empty() {
+            let t0 = Instant::now();
+            match check_graph(&args.root, &policy, &graph_ids) {
+                Ok((fs, n)) => {
+                    findings.extend(fs);
+                    scanned = scanned.max(n);
+                }
+                Err(e) => {
+                    eprintln!("rpr-check: graph scan failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if args.timing {
+                eprintln!(
+                    "rpr-check: graph lints ({}) in {:?}",
+                    graph_ids.join(","),
+                    t0.elapsed()
+                );
+            }
+        }
+
+        print!("{}", render(args.format, &findings, scanned));
+        if findings.iter().any(|f| !f.waived) {
+            failed = true;
         }
     }
 

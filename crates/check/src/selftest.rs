@@ -3,14 +3,23 @@
 //!
 //! A lint that silently stops firing is worse than no lint — the gate
 //! keeps reporting green while the invariant rots. The fixtures under
-//! `crates/check/fixtures/` pin each lint's behaviour: `<lint>_bad.rs`
-//! must produce at least one *unwaived* finding with the right ID, and
-//! `<lint>_good.rs` must produce none (it exercises the same constructs
-//! guarded, allowed, or waived — so the waiver machinery is covered
-//! too). `rpr-check --self-test` runs in CI next to the workspace scan.
+//! `crates/check/fixtures/` pin each lint's behaviour. Token lints
+//! (RPR001–RPR005) use single files: `<lint>_bad.rs` must produce at
+//! least one *unwaived* finding with the right ID, and
+//! `<lint>_good.rs` must produce none (it exercises the same
+//! constructs guarded, allowed, or waived — so the waiver machinery is
+//! covered too). Graph lints (RPR006–RPR009) are cross-file by
+//! definition, so their fixtures are *directories*
+//! (`fixtures/graph/<lint>/{bad,good}/*.rs`) parsed as miniature
+//! workspaces and run through the full phase-1/phase-2 engine.
+//! `rpr-check --self-test` runs both corpora in CI next to the
+//! workspace scan; the fixtures directory is in `[global].exclude` so
+//! the deliberately-deadlocking fixture code never trips the real gate.
 
+use crate::callgraph::{Graph, Workspace};
 use crate::lints::{check_file, LINTS};
 use crate::policy::Policy;
+use crate::{run_graph_lints, GRAPH_LINT_IDS};
 use std::path::Path;
 
 /// The policy the fixtures are checked under: every scoped lint is
@@ -44,10 +53,38 @@ fn fixture_policy() -> Policy {
 /// Returns an I/O error when a fixture file is missing or unreadable —
 /// a missing fixture is itself a self-test failure mode that must not
 /// pass silently.
+/// The policy the graph fixtures run under: each lint's scope points
+/// at its fixture directory's `entry.rs` (or the whole directory for
+/// lock-order, whose entries are implicit in the lock sites).
+fn graph_fixture_policy() -> Policy {
+    Policy::parse(
+        r#"
+        [lints.panic_reach]
+        include = [
+            "fixtures/graph/panic_reach/bad/entry.rs",
+            "fixtures/graph/panic_reach/good/entry.rs",
+        ]
+        [lints.lock_order]
+        include = ["fixtures/graph/lock_order/"]
+        [lints.hot_path_alloc]
+        entries = [
+            "fixtures/graph/hot_path_alloc/bad/entry.rs::kernel",
+            "fixtures/graph/hot_path_alloc/good/entry.rs::kernel",
+        ]
+        [lints.event_loop_blocking]
+        entries = [
+            "fixtures/graph/event_loop_blocking/bad/entry.rs::Server::step",
+            "fixtures/graph/event_loop_blocking/good/entry.rs::Server::step",
+        ]
+        "#,
+    )
+    .expect("graph fixture policy is statically valid")
+}
+
 pub fn run(fixtures_dir: &Path) -> std::io::Result<Vec<String>> {
     let policy = fixture_policy();
     let mut failures = Vec::new();
-    for lint in LINTS {
+    for lint in LINTS.iter().filter(|l| !GRAPH_LINT_IDS.contains(&l.id)) {
         let snake = lint.name.replace('-', "_");
         for (suffix, expect_fire) in [("bad", true), ("good", false)] {
             let file = format!("{snake}_{suffix}.rs");
@@ -74,6 +111,59 @@ pub fn run(fixtures_dir: &Path) -> std::io::Result<Vec<String>> {
                     findings.iter().filter(|f| !f.waived).map(|f| f.id).collect();
                 failures.push(format!(
                     "known-good fixture {rel} produced blocking findings: {ids:?}"
+                ));
+            }
+        }
+    }
+
+    // Graph lints: directory fixtures parsed as miniature workspaces.
+    let graph_policy = graph_fixture_policy();
+    for lint in LINTS.iter().filter(|l| GRAPH_LINT_IDS.contains(&l.id)) {
+        let snake = lint.name.replace('-', "_");
+        for (suffix, expect_fire) in [("bad", true), ("good", false)] {
+            let dir = fixtures_dir.join("graph").join(&snake).join(suffix);
+            let rel_dir = format!("fixtures/graph/{snake}/{suffix}");
+            let mut files = Vec::new();
+            let entries = std::fs::read_dir(&dir).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("graph fixture dir {} unreadable: {e}", dir.display()),
+                )
+            })?;
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.ends_with(".rs") {
+                    continue;
+                }
+                let src = std::fs::read_to_string(entry.path())?;
+                files.push((format!("{rel_dir}/{name}"), src));
+            }
+            files.sort();
+            if files.is_empty() {
+                failures.push(format!("graph fixture dir {rel_dir} holds no .rs files"));
+                continue;
+            }
+            let ws = Workspace::parse(&files);
+            let graph = Graph::build(&ws);
+            let findings = run_graph_lints(&graph, &graph_policy, &[lint.id]);
+            let unwaived_hits =
+                findings.iter().filter(|f| !f.waived && f.id == lint.id).count();
+            let unwaived_any = findings.iter().filter(|f| !f.waived).count();
+            if expect_fire && unwaived_hits == 0 {
+                failures.push(format!(
+                    "{} ({}) did not fire on {rel_dir}/ — the lint has gone dead",
+                    lint.id, lint.name
+                ));
+            }
+            if !expect_fire && unwaived_any != 0 {
+                let msgs: Vec<_> = findings
+                    .iter()
+                    .filter(|f| !f.waived)
+                    .map(|f| format!("{}:{} {}", f.file, f.line, f.message))
+                    .collect();
+                failures.push(format!(
+                    "known-good graph fixture {rel_dir}/ produced blocking findings: {msgs:#?}"
                 ));
             }
         }

@@ -73,6 +73,7 @@ impl RowOffsets {
 
     /// Total number of encoded pixels.
     pub fn total(&self) -> u32 {
+        // rpr-check: allow(panic-reach): every constructor stores rows+1 >= 1 entries, so last() is always Some
         *self.offsets.last().expect("offsets always non-empty")
     }
 

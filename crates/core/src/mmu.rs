@@ -129,6 +129,7 @@ impl TransactionAnalyzer {
     ///
     /// Panics when the history holds no frames.
     pub fn translate_pixel(&mut self, history: &FrameHistory, x: u32, y: u32) -> SubRequest {
+        // rpr-check: allow(panic-reach): documented precondition — PixelMmu::analyze seeds the history before any translate
         let current = history.current().expect("translate_pixel needs a current frame");
         let kind = match current.metadata().mask.get(x, y) {
             PixelStatus::Regional => {
@@ -154,7 +155,7 @@ impl TransactionAnalyzer {
     /// temporally skipped pixel.
     fn resolve_skipped(&mut self, history: &FrameHistory, x: u32, y: u32) -> SubRequestKind {
         for back in 1..history.len() {
-            let frame = history.get(back).expect("index < len");
+            let Some(frame) = history.get(back) else { continue };
             match frame.metadata().mask.get(x, y) {
                 PixelStatus::Regional => {
                     self.stats.inter_frame += 1;

@@ -48,7 +48,7 @@ pub struct PoolStats {
     pub dropped: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PoolInner {
     bytes: Vec<Vec<u8>>,
     words: Vec<Vec<u32>>,
@@ -58,6 +58,22 @@ struct PoolInner {
     shared: Vec<Arc<Vec<u8>>>,
     poison: Option<u8>,
     stats: PoolStats,
+}
+
+impl Default for PoolInner {
+    fn default() -> Self {
+        // Slot vectors are reserved to the cap up front so the `put_*`
+        // recycle path never grows them — `push` below MAX_POOLED is a
+        // pointer move, keeping the steady state allocation-free
+        // (enforced transitively by the RPR008 hot-path-alloc lint).
+        PoolInner {
+            bytes: Vec::with_capacity(MAX_POOLED),
+            words: Vec::with_capacity(MAX_POOLED),
+            shared: Vec::with_capacity(MAX_POOLED),
+            poison: None,
+            stats: PoolStats::default(),
+        }
+    }
 }
 
 /// A shared recycling pool of `Vec<u8>` and `Vec<u32>` buffers.
@@ -152,8 +168,10 @@ impl BufferPool {
         if let Some(p) = st.poison {
             // Poison the full capacity, not just the live prefix.
             v.clear();
+            // rpr-check: allow(hot-path-alloc): resize to the buffer's own capacity never reallocates
             v.resize(v.capacity(), p);
         }
+        // rpr-check: allow(hot-path-alloc): slot vector is pre-reserved to MAX_POOLED and push is guarded by the cap above
         st.bytes.push(v);
     }
 
@@ -196,8 +214,10 @@ impl BufferPool {
         }
         if let Some(p) = st.poison {
             v.clear();
+            // rpr-check: allow(hot-path-alloc): resize to the buffer's own capacity never reallocates
             v.resize(v.capacity(), p);
         }
+        // rpr-check: allow(hot-path-alloc): slot vector is pre-reserved to MAX_POOLED and push is guarded by the cap above
         st.shared.push(arc);
     }
 
@@ -230,8 +250,10 @@ impl BufferPool {
         }
         if let Some(p) = st.poison {
             v.clear();
+            // rpr-check: allow(hot-path-alloc): resize to the buffer's own capacity never reallocates
             v.resize(v.capacity(), u32::from_le_bytes([p, p, p, p]));
         }
+        // rpr-check: allow(hot-path-alloc): slot vector is pre-reserved to MAX_POOLED and push is guarded by the cap above
         st.words.push(v);
     }
 
@@ -312,6 +334,31 @@ mod tests {
         pool.put_vec(Vec::new());
         assert_eq!(pool.pooled().0, 0);
         assert_eq!(pool.stats().puts, 0);
+    }
+
+    #[test]
+    fn slot_vectors_never_grow_past_their_initial_reservation() {
+        // The recycle path must not allocate: the slot vectors are
+        // reserved to MAX_POOLED at construction and the cap guard
+        // keeps push below that, so capacity stays at its initial
+        // value no matter how many buffers cycle through.
+        let pool = BufferPool::new();
+        let (bytes_cap, words_cap, shared_cap) = {
+            let st = pool.inner.lock();
+            (st.bytes.capacity(), st.words.capacity(), st.shared.capacity())
+        };
+        assert!(bytes_cap >= MAX_POOLED);
+        assert!(words_cap >= MAX_POOLED);
+        assert!(shared_cap >= MAX_POOLED);
+        for _ in 0..(MAX_POOLED * 2) {
+            pool.put_vec(vec![0u8; 4]);
+            pool.put_words(vec![0u32; 4]);
+            pool.put_shared(Arc::new(vec![0u8; 4]));
+        }
+        let st = pool.inner.lock();
+        assert_eq!(st.bytes.capacity(), bytes_cap);
+        assert_eq!(st.words.capacity(), words_cap);
+        assert_eq!(st.shared.capacity(), shared_cap);
     }
 
     #[test]

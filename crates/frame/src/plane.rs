@@ -38,6 +38,7 @@ impl<T: Copy + Default> Plane<T> {
     pub fn new(width: u32, height: u32) -> Self {
         let len = (width as usize)
             .checked_mul(height as usize)
+            // rpr-check: allow(panic-reach): u32 x u32 cannot overflow the 64-bit usize this workspace targets
             .expect("plane dimensions overflow");
         Plane { width, height, data: vec![T::default(); len] }
     }

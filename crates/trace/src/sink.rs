@@ -97,6 +97,7 @@ fn with_local<R>(f: impl FnOnce(u64, &SharedBuffer) -> R) -> R {
         let (tid, buf) = cell.get_or_init(|| {
             let tid = TIDS.assign();
             let buf: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+            // rpr-check: allow(panic-reach): poisoned mutex means a panic is already unwinding elsewhere; propagating is correct
             registry().lock().expect("trace registry poisoned").push(Arc::clone(&buf));
             (tid, buf)
         });
@@ -136,6 +137,7 @@ pub fn drain() -> Vec<TraceEvent> {
 
 #[inline]
 fn record(event: TraceEvent) {
+    // rpr-check: allow(panic-reach): poisoned mutex means a panic is already unwinding elsewhere; propagating is correct
     with_local(|_, buf| buf.lock().expect("trace buffer poisoned").push(event));
 }
 
